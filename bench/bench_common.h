@@ -1,0 +1,74 @@
+// Shared scaffolding for the bench harnesses. Each bench binary regenerates
+// one of the paper's tables/figures: it builds (and times) the simulated
+// one-week experiment, times the analysis pass, and prints the paper-style
+// rows so the output is directly comparable with the publication.
+//
+// Environment knobs:
+//   CW_SCALE  population scale factor (default 0.5)
+//   CW_T24    telescope size in /24 networks (default 16)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "core/experiment.h"
+#include "core/tables.h"
+
+namespace cw::bench {
+
+inline double env_scale(double fallback = 0.5) {
+  const char* value = std::getenv("CW_SCALE");
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+inline int env_telescope_slash24s(int fallback = 16) {
+  const char* value = std::getenv("CW_T24");
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+inline core::ExperimentConfig bench_config(
+    topology::ScenarioYear year = topology::ScenarioYear::k2021) {
+  core::ExperimentConfig config;
+  config.year = year;
+  config.scale = env_scale();
+  config.telescope_slash24s = env_telescope_slash24s();
+  return config;
+}
+
+// One experiment per scenario year, built on first use and reused by every
+// benchmark iteration in the binary.
+inline const core::ExperimentResult& shared_experiment(
+    topology::ScenarioYear year = topology::ScenarioYear::k2021) {
+  static std::map<int, std::unique_ptr<core::ExperimentResult>> cache;
+  auto& slot = cache[static_cast<int>(year)];
+  if (!slot) slot = core::Experiment(bench_config(year)).run();
+  return *slot;
+}
+
+// Times one full experiment build (registered by most binaries so the
+// simulation substrate itself is benchmarked, not just the analysis).
+inline void bm_experiment_build(benchmark::State& state, topology::ScenarioYear year) {
+  for (auto _ : state) {
+    auto result = core::Experiment(bench_config(year)).run();
+    benchmark::DoNotOptimize(result->store().size());
+  }
+}
+
+// Standard main: run benchmarks, then print the regenerated artifact.
+#define CW_BENCH_MAIN(print_expression)                              \
+  int main(int argc, char** argv) {                                  \
+    ::benchmark::Initialize(&argc, argv);                            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {      \
+      return 1;                                                      \
+    }                                                                \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    std::printf("\n%s\n", std::string(print_expression).c_str());    \
+    return 0;                                                        \
+  }
+
+}  // namespace cw::bench

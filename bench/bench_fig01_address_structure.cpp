@@ -1,0 +1,120 @@
+// Figure 1 (a-d): address-structure preferences inside the telescope. Runs
+// with a wide telescope (default 768 /24s, spanning three /16s so 255-octet
+// /24 blocks exist) and a streaming per-address counter instead of stored
+// records, then prints the rolling-average series and structural ratios for
+// the figure's four ports.
+#include "bench_common.h"
+
+#include <string>
+
+#include "analysis/structure.h"
+#include "stats/descriptive.h"
+#include "util/strings.h"
+
+namespace {
+
+constexpr cw::net::Port kFigurePorts[] = {22, 445, 80, 17128};
+
+struct FigureRun {
+  std::unique_ptr<cw::core::ExperimentResult> result;
+  std::unique_ptr<cw::analysis::TelescopeCounter> counter;
+};
+
+cw::core::ExperimentConfig figure_config() {
+  cw::core::ExperimentConfig config;
+  config.scale = cw::bench::env_scale(0.5);
+  // Needs >= 512 /24s so third-octet-255 blocks appear (Figure 1b/1c).
+  config.telescope_slash24s = cw::bench::env_telescope_slash24s(768);
+  return config;
+}
+
+FigureRun run_figure_experiment() {
+  FigureRun run;
+  cw::core::ExperimentConfig config = figure_config();
+  // Pre-build the deployment once to size the counter identically to the
+  // experiment's own telescope.
+  cw::topology::DeploymentConfig dconfig;
+  dconfig.year = config.year;
+  dconfig.telescope_slash24s = config.telescope_slash24s;
+  dconfig.seed = config.seed ^ 0x746f706fULL;
+  const auto deployment = cw::topology::Deployment::table1(dconfig);
+  const cw::topology::VantagePoint* telescope = nullptr;
+  for (const auto& vp : deployment.vantage_points()) {
+    if (vp.type == cw::topology::NetworkType::kTelescope) telescope = &vp;
+  }
+  run.counter = std::make_unique<cw::analysis::TelescopeCounter>(
+      *telescope, std::vector<cw::net::Port>(std::begin(kFigurePorts), std::end(kFigurePorts)));
+  config.telescope_sink = [counter = run.counter.get()](const cw::capture::ScanEvent& event,
+                                                        const cw::topology::Target& target) {
+    return counter->consume(event, target);
+  };
+  run.result = cw::core::Experiment(config).run();
+  return run;
+}
+
+const FigureRun& shared_run() {
+  static const FigureRun run = run_figure_experiment();
+  return run;
+}
+
+std::string render_panel(const FigureRun& run, cw::net::Port port) {
+  const auto& counts = run.counter->counts(port);
+  const auto rolled = cw::stats::rolling_average(counts, 512);
+  const cw::topology::VantagePoint* telescope = nullptr;
+  for (const auto& vp : run.result->deployment().vantage_points()) {
+    if (vp.type == cw::topology::NetworkType::kTelescope) telescope = &vp;
+  }
+  const auto stats = cw::analysis::structure_stats(counts, *telescope);
+
+  std::string out = "Figure 1 panel, port " + std::to_string(port) + " (" +
+                    std::to_string(counts.size()) + " telescope addresses)\n";
+  const double peak_rolled = *std::max_element(rolled.begin(), rolled.end());
+  const std::size_t step = std::max<std::size_t>(rolled.size() / 32, 1);
+  for (std::size_t i = 0; i < rolled.size(); i += step) {
+    const int bar =
+        peak_rolled > 0.0 ? static_cast<int>(rolled[i] / peak_rolled * 50.0) : 0;
+    out += "  +" + std::to_string(i) + "\t" + cw::util::format_double(rolled[i], 2) + "\t" +
+           std::string(static_cast<std::size_t>(std::min(bar, 50)), '#') + "\n";
+  }
+  out += "  class means: plain=" + cw::util::format_double(stats.mean_plain, 2) +
+         " any255=" + cw::util::format_double(stats.mean_any_255, 2) +
+         " last255=" + cw::util::format_double(stats.mean_last_255, 2) +
+         " first/16=" + cw::util::format_double(stats.mean_first_16, 2) + "\n";
+  out += "  avoidance(any255)=" + cw::util::format_double(stats.avoidance_any_255(), 1) +
+         "x avoidance(.255)=" + cw::util::format_double(stats.avoidance_last_255(), 1) +
+         "x preference(first/16)=" + cw::util::format_double(stats.preference_first_16(), 2) +
+         "x\n";
+  std::size_t argmax = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[argmax]) argmax = i;
+  }
+  out += "  peak: offset " + std::to_string(argmax) + " with " +
+         cw::util::format_double(counts[argmax], 0) + " hits\n";
+  return out;
+}
+
+std::string render_all_panels() {
+  std::string out;
+  for (cw::net::Port port : kFigurePorts) out += render_panel(shared_run(), port) + "\n";
+  return out;
+}
+
+void BM_FigureExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    const FigureRun run = run_figure_experiment();
+    benchmark::DoNotOptimize(run.result->events_processed());
+  }
+}
+BENCHMARK(BM_FigureExperiment)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_RollingAverage(benchmark::State& state) {
+  const FigureRun& run = shared_run();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cw::stats::rolling_average(run.counter->counts(22), 512));
+  }
+}
+BENCHMARK(BM_RollingAverage)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+CW_BENCH_MAIN(render_all_panels())

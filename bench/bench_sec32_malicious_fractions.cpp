@@ -1,0 +1,26 @@
+// Section 3.2: malicious-traffic classification fractions
+//
+// Regenerates the table from a simulated 2021 observation window and
+// benchmarks both the simulation build and the analysis pass.
+#include "bench_common.h"
+
+namespace {
+
+constexpr auto kYear = cw::topology::ScenarioYear::k2021;
+
+void BM_ExperimentBuild(benchmark::State& state) {
+  cw::bench::bm_experiment_build(state, kYear);
+}
+BENCHMARK(BM_ExperimentBuild)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Analysis(benchmark::State& state) {
+  const auto& result = cw::bench::shared_experiment(kYear);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cw::core::render_sec32(result));
+  }
+}
+BENCHMARK(BM_Analysis)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+CW_BENCH_MAIN(cw::core::render_sec32(cw::bench::shared_experiment(kYear)))

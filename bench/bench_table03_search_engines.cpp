@@ -1,0 +1,33 @@
+// Table 3: impact of Internet-service search engines. Runs the full
+// Section 4.3 leak experiment — control / Censys-leaked / Shodan-leaked /
+// previously-leaked honeypot groups with per-engine access control — and
+// reports the fold increases with Mann-Whitney (bold) and KS (*) markers.
+#include "bench_common.h"
+
+#include "analysis/leak.h"
+
+namespace {
+
+cw::analysis::LeakExperimentConfig leak_config() {
+  cw::analysis::LeakExperimentConfig config;
+  config.population_scale = cw::bench::env_scale(1.0);
+  return config;
+}
+
+const cw::analysis::LeakExperimentResult& shared_leak() {
+  static const cw::analysis::LeakExperimentResult result =
+      cw::analysis::run_leak_experiment(leak_config());
+  return result;
+}
+
+void BM_LeakExperiment(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto result = cw::analysis::run_leak_experiment(leak_config());
+    benchmark::DoNotOptimize(result.total_records);
+  }
+}
+BENCHMARK(BM_LeakExperiment)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+CW_BENCH_MAIN(cw::core::render_table3(shared_leak()))

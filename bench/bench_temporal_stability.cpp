@@ -1,0 +1,24 @@
+// Temporal stability (Section 3.4 / Appendix C): runs the 2020 and 2021
+// scenarios back to back and reports which headline conclusions persist —
+// the machine-checkable version of "attacker preferences remain relatively
+// stable over time".
+#include "bench_common.h"
+
+#include "core/temporal.h"
+
+namespace {
+
+std::string render_report() {
+  const auto& y2020 = cw::bench::shared_experiment(cw::topology::ScenarioYear::k2020);
+  const auto& y2021 = cw::bench::shared_experiment(cw::topology::ScenarioYear::k2021);
+  return cw::core::compare_years(y2020, y2021, "2020", "2021").render();
+}
+
+void BM_TemporalComparison(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(render_report());
+}
+BENCHMARK(BM_TemporalComparison)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+CW_BENCH_MAIN(render_report())

@@ -1,0 +1,231 @@
+// cloudwatch_cli — command-line driver for the library.
+//
+//   cloudwatch_cli report  [--scale S] [--t24 N] [--year 2020|2021|2022] [--table NAME]...
+//   cloudwatch_cli export  [--scale S] [--t24 N] [--year Y] --out FILE [--csv FILE]
+//   cloudwatch_cli inspect --in FILE
+//
+// `report` runs an experiment and prints the requested tables (default:
+// all). `export` additionally persists the captured traffic — the analog of
+// the paper's released dataset — in the CWDS binary format and optionally
+// as CSV. `inspect` summarizes a previously exported dataset.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "capture/dataset.h"
+#include "capture/pcap.h"
+#include "core/experiment.h"
+#include "core/tables.h"
+
+namespace {
+
+using cw::core::ExperimentResult;
+
+struct Options {
+  std::string command;
+  double scale = 0.5;
+  int telescope_slash24s = 16;
+  cw::topology::ScenarioYear year = cw::topology::ScenarioYear::k2021;
+  std::vector<std::string> tables;
+  std::string out_path;
+  std::string csv_path;
+  std::string pcap_path;
+  std::string in_path;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: cloudwatch_cli report [--scale S] [--t24 N] [--year Y] [--table NAME]...\n"
+               "       cloudwatch_cli export [--scale S] [--t24 N] [--year Y] --out FILE"
+               " [--csv FILE] [--pcap FILE]\n"
+               "       cloudwatch_cli inspect --in FILE\n"
+               "tables: 1 2 4 5 6 7 8 9 10 11 17 sec32 fig1\n");
+}
+
+bool parse(int argc, char** argv, Options& options) {
+  if (argc < 2) return false;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.scale = std::atof(v);
+    } else if (arg == "--t24") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.telescope_slash24s = std::atoi(v);
+    } else if (arg == "--year") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "2020") == 0) {
+        options.year = cw::topology::ScenarioYear::k2020;
+      } else if (std::strcmp(v, "2021") == 0) {
+        options.year = cw::topology::ScenarioYear::k2021;
+      } else if (std::strcmp(v, "2022") == 0) {
+        options.year = cw::topology::ScenarioYear::k2022;
+      } else {
+        return false;
+      }
+    } else if (arg == "--table") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.tables.push_back(v);
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.out_path = v;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.csv_path = v;
+    } else if (arg == "--pcap") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.pcap_path = v;
+    } else if (arg == "--in") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.in_path = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<ExperimentResult> run_experiment(const Options& options) {
+  cw::core::ExperimentConfig config;
+  config.scale = options.scale;
+  config.telescope_slash24s = options.telescope_slash24s;
+  config.year = options.year;
+  std::fprintf(stderr, "running %s experiment (scale %.2f, telescope %d /24s)...\n",
+               std::string(cw::topology::scenario_year_name(options.year)).c_str(),
+               options.scale, options.telescope_slash24s);
+  return cw::core::Experiment(config).run();
+}
+
+int cmd_report(const Options& options) {
+  const auto result = run_experiment(options);
+  const std::map<std::string, std::string (*)(const ExperimentResult&)> renderers = {
+      {"1", cw::core::render_table1},   {"2", cw::core::render_table2},
+      {"4", cw::core::render_table4},   {"5", cw::core::render_table5},
+      {"6", cw::core::render_table6},   {"7", cw::core::render_table7},
+      {"8", cw::core::render_table8},   {"9", cw::core::render_table9},
+      {"10", cw::core::render_table10}, {"11", cw::core::render_table11},
+      {"17", cw::core::render_table17}, {"sec32", cw::core::render_sec32},
+  };
+  std::vector<std::string> selected = options.tables;
+  if (selected.empty()) {
+    for (const auto& [name, renderer] : renderers) selected.push_back(name);
+    selected.push_back("fig1");
+  }
+  for (const std::string& name : selected) {
+    if (name == "fig1") {
+      std::printf("--- figure 1 (port 22) ---\n%s\n",
+                  cw::core::render_figure1(*result, 22).c_str());
+      continue;
+    }
+    auto it = renderers.find(name);
+    if (it == renderers.end()) {
+      std::fprintf(stderr, "unknown table: %s\n", name.c_str());
+      return 1;
+    }
+    std::printf("--- table %s ---\n%s\n", name.c_str(), it->second(*result).c_str());
+  }
+  return 0;
+}
+
+int cmd_export(const Options& options) {
+  if (options.out_path.empty()) {
+    usage();
+    return 1;
+  }
+  const auto result = run_experiment(options);
+  if (!cw::capture::save_dataset(result->store(), options.out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", options.out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu records to %s\n", result->store().size(), options.out_path.c_str());
+  if (!options.csv_path.empty()) {
+    std::ofstream csv(options.csv_path);
+    if (!csv) {
+      std::fprintf(stderr, "failed to open %s\n", options.csv_path.c_str());
+      return 1;
+    }
+    cw::capture::write_csv(result->store(), result->deployment(), csv);
+    std::printf("wrote CSV to %s\n", options.csv_path.c_str());
+  }
+  if (!options.pcap_path.empty()) {
+    const std::size_t packets = cw::capture::save_pcap(result->store(), options.pcap_path);
+    if (packets == 0) {
+      std::fprintf(stderr, "failed to write %s\n", options.pcap_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu packets to %s (libpcap format)\n", packets,
+                options.pcap_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_inspect(const Options& options) {
+  if (options.in_path.empty()) {
+    usage();
+    return 1;
+  }
+  const auto store = cw::capture::load_dataset(options.in_path);
+  if (!store) {
+    std::fprintf(stderr, "failed to load %s (not a CWDS dataset?)\n", options.in_path.c_str());
+    return 1;
+  }
+  std::set<std::uint32_t> sources;
+  std::set<std::uint32_t> ases;
+  std::map<cw::net::Port, std::uint64_t> per_port;
+  std::uint64_t with_payload = 0;
+  std::uint64_t with_credential = 0;
+  for (const auto& record : store->records()) {
+    sources.insert(record.src);
+    ases.insert(record.src_as);
+    ++per_port[record.port];
+    if (record.payload_id != cw::capture::kNoPayload) ++with_payload;
+    if (record.credential_id != cw::capture::kNoCredential) ++with_credential;
+  }
+  std::printf("dataset: %s\n", options.in_path.c_str());
+  std::printf("  records:            %zu\n", store->size());
+  std::printf("  unique source IPs:  %zu\n", sources.size());
+  std::printf("  unique source ASes: %zu\n", ases.size());
+  std::printf("  distinct payloads:  %zu (%llu records carry one)\n", store->distinct_payloads(),
+              static_cast<unsigned long long>(with_payload));
+  std::printf("  credential records: %llu\n", static_cast<unsigned long long>(with_credential));
+  std::printf("  top ports:\n");
+  std::vector<std::pair<std::uint64_t, cw::net::Port>> ports;
+  for (const auto& [port, count] : per_port) ports.emplace_back(count, port);
+  std::sort(ports.rbegin(), ports.rend());
+  for (std::size_t i = 0; i < std::min<std::size_t>(ports.size(), 10); ++i) {
+    std::printf("    %5u  %llu\n", ports[i].second,
+                static_cast<unsigned long long>(ports[i].first));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, options)) {
+    usage();
+    return 1;
+  }
+  if (options.command == "report") return cmd_report(options);
+  if (options.command == "export") return cmd_export(options);
+  if (options.command == "inspect") return cmd_inspect(options);
+  usage();
+  return 1;
+}

@@ -1,0 +1,54 @@
+// Geographic study: how attackers discriminate between regions (Section 5.1)
+// — run the experiment, then drill into the Asia-Pacific divergence and the
+// specific regional behaviors the paper names (AWS Australia's Huawei
+// credentials, the Mumbai-only HTTP POST campaign).
+//
+//   ./geo_study [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/characteristics.h"
+#include "analysis/geography.h"
+#include "core/experiment.h"
+#include "core/tables.h"
+
+int main(int argc, char** argv) {
+  cw::core::ExperimentConfig config;
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  config.telescope_slash24s = 8;
+
+  std::printf("running one simulated week across 23 countries...\n\n");
+  const auto result = cw::core::Experiment(config).run();
+
+  std::printf("=== Table 4: most-different regions per provider ===\n%s\n",
+              cw::core::render_table4(*result).c_str());
+  std::printf("=== Table 5: similarity within US / EU / APAC ===\n%s\n",
+              cw::core::render_table5(*result).c_str());
+
+  // Drill-down: AWS Australia's Telnet usernames vs a US region's.
+  cw::topology::VantageId aws_au = static_cast<cw::topology::VantageId>(-1);
+  cw::topology::VantageId aws_us = static_cast<cw::topology::VantageId>(-1);
+  for (const auto& vp : result->deployment().vantage_points()) {
+    if (vp.name == "AWS/AP-AU") aws_au = vp.id;
+    if (vp.name == "AWS/US-OR") aws_us = vp.id;
+  }
+  if (aws_au != static_cast<cw::topology::VantageId>(-1) &&
+      aws_us != static_cast<cw::topology::VantageId>(-1)) {
+    std::printf("=== Top Telnet usernames: AWS Australia vs AWS Oregon ===\n");
+    const auto au = cw::analysis::username_table(cw::analysis::slice_vantage(
+        result->store(), aws_au, cw::analysis::TrafficScope::kTelnet23));
+    const auto us = cw::analysis::username_table(cw::analysis::slice_vantage(
+        result->store(), aws_us, cw::analysis::TrafficScope::kTelnet23));
+    const auto au_top = au.sorted();
+    const auto us_top = us.sorted();
+    for (std::size_t i = 0; i < 5; ++i) {
+      std::printf("  #%zu  AP-AU: %-16s US-OR: %s\n", i + 1,
+                  i < au_top.size() ? au_top[i].first.c_str() : "-",
+                  i < us_top.size() ? us_top[i].first.c_str() : "-");
+    }
+    std::printf("\nThe Huawei-targeting regional dictionary (\"mother\", \"e8ehome\") dominates\n"
+                "Australia, while \"root\"/\"admin\"/\"support\" lead everywhere else —\n"
+                "the Section 5.1 observation.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Runs the Section 4.3 search-engine leak experiment end to end and walks
+// through what happened: which honeypot groups the engines could see, how
+// the miners found them, and the resulting Table 3.
+//
+//   ./leak_experiment [population_scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/leak.h"
+#include "core/tables.h"
+
+int main(int argc, char** argv) {
+  cw::analysis::LeakExperimentConfig config;
+  config.population_scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+
+  std::printf("deploying %d control + %d previously-leaked + %d leaked honeypot IPs...\n",
+              config.control_ips, config.previously_leaked_ips,
+              config.leaked_ips_per_group * 6);
+  std::printf("leak matrix: {Censys, Shodan} x {SSH/22, Telnet/23, HTTP/80}, one group each\n");
+  std::printf("running one simulated week with baseline scanners + search-engine miners...\n\n");
+
+  const auto result = cw::analysis::run_leak_experiment(config);
+  std::printf("captured %llu session records (engine probes excluded from measurements)\n\n",
+              static_cast<unsigned long long>(result.total_records));
+
+  std::printf("%s\n", cw::core::render_table3(result).c_str());
+
+  std::printf("control-group baseline (events per IP per hour): SSH %.2f, Telnet %.2f, "
+              "HTTP %.2f\n\n",
+              result.control_hourly_mean[0], result.control_hourly_mean[1],
+              result.control_hourly_mean[2]);
+
+  std::printf("per-condition detail:\n");
+  for (const cw::analysis::LeakCell& cell : result.cells) {
+    std::printf("  port %-5u %-18s fold(all)=%6.1f fold(malicious)=%6.1f spikes/IP=%4.0f "
+                "unique-passwords/IP=%5.1f\n",
+                cell.port, std::string(cw::analysis::leak_condition_name(cell.condition)).c_str(),
+                cell.fold_all, cell.fold_malicious, cell.spikes_per_ip,
+                cell.unique_passwords_per_ip);
+  }
+  return 0;
+}

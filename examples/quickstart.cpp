@@ -1,0 +1,36 @@
+// Quickstart: run a scaled-down one-week cloud-watching experiment and
+// print the headline analyses — who scans what, how neighboring honeypots
+// differ, and how much scanning the telescope misses.
+//
+//   ./quickstart [scale]
+//
+// `scale` (default 0.3) scales the actor population; 1.0 reproduces the
+// full population used by the bench harnesses.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/tables.h"
+
+int main(int argc, char** argv) {
+  cw::core::ExperimentConfig config;
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  config.telescope_slash24s = 16;
+
+  std::printf("building the %s deployment and a scale-%.2f population...\n",
+              std::string(cw::topology::scenario_year_name(config.year)).c_str(), config.scale);
+  const auto result = cw::core::Experiment(config).run();
+
+  std::printf("simulated one week: %llu scheduled events, %zu captured session records\n\n",
+              static_cast<unsigned long long>(result->events_processed()),
+              result->store().size());
+
+  std::printf("=== Vantage points (Table 1) ===\n%s\n",
+              cw::core::render_table1(*result).c_str());
+  std::printf("=== Malicious-traffic fractions (Section 3.2) ===\n%s\n",
+              cw::core::render_sec32(*result).c_str());
+  std::printf("=== Scanners avoiding the telescope (Table 8) ===\n%s\n",
+              cw::core::render_table8(*result).c_str());
+  return 0;
+}

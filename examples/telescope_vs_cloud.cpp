@@ -1,0 +1,66 @@
+// Demonstrates the paper's central methodological finding: what a network
+// telescope sees is not what cloud services experience. Runs one experiment
+// and contrasts, per popular port, the scanner populations, AS mixes, and
+// the attacker evidence visible from each vantage type.
+//
+//   ./telescope_vs_cloud [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/characteristics.h"
+#include "analysis/network.h"
+#include "analysis/overlap.h"
+#include "core/experiment.h"
+#include "core/tables.h"
+
+int main(int argc, char** argv) {
+  cw::core::ExperimentConfig config;
+  config.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  config.telescope_slash24s = 16;
+
+  std::printf("running one simulated week across cloud, education, and telescope vantages...\n\n");
+  const auto result = cw::core::Experiment(config).run();
+
+  std::printf("=== Who scans where? (Table 8: scanner overlap) ===\n%s\n",
+              cw::core::render_table8(*result).c_str());
+  std::printf("=== Do attackers reach the telescope? (Table 9) ===\n%s\n",
+              cw::core::render_table9(*result).c_str());
+  std::printf("=== Are they even the same ASes? (Table 10) ===\n%s\n",
+              cw::core::render_table10(*result).c_str());
+
+  // Side-by-side top-AS view for SSH: the telescope's picture vs the cloud's.
+  const auto telescope_ids =
+      result->deployment().with_type(cw::topology::NetworkType::kTelescope);
+  const auto cloud_ids = result->deployment().with_collection(
+      cw::topology::CollectionMethod::kGreyNoise);
+  if (!telescope_ids.empty() && !cloud_ids.empty()) {
+    const auto telescope_slice = cw::analysis::slice_vantage(
+        result->store(), telescope_ids.front(), cw::analysis::TrafficScope::kSsh22);
+    cw::analysis::TrafficSlice cloud_slice;
+    cloud_slice.store = &result->store();
+    for (const auto id : cloud_ids) {
+      const auto s = cw::analysis::slice_vantage(result->store(), id,
+                                                 cw::analysis::TrafficScope::kSsh22);
+      cloud_slice.records.insert(cloud_slice.records.end(), s.records.begin(), s.records.end());
+    }
+    std::printf("=== Top 5 SSH/22 scanning ASes, telescope vs cloud ===\n");
+    const auto telescope_top = cw::analysis::as_table(telescope_slice).sorted();
+    const auto cloud_top = cw::analysis::as_table(cloud_slice).sorted();
+    const auto registry = cw::net::AsRegistry::standard();
+    auto resolve = [&](const std::string& key) {
+      return registry.name_of(static_cast<cw::net::Asn>(std::atoi(key.c_str() + 2)));
+    };
+    for (std::size_t i = 0; i < 5; ++i) {
+      std::printf("  #%zu  telescope: %-28s cloud: %s\n", i + 1,
+                  i < telescope_top.size() ? resolve(telescope_top[i].first).c_str() : "-",
+                  i < cloud_top.size() ? resolve(cloud_top[i].first).c_str() : "-");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Takeaway: the telescope misses most SSH attackers entirely and can never\n"
+      "recover intent (no payloads) — deploy honeypots in networks that host real\n"
+      "services to see cloud-focused attacks (Section 8).\n");
+  return 0;
+}

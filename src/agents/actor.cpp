@@ -1,0 +1,63 @@
+#include "agents/actor.h"
+
+#include "util/rng.h"
+
+namespace cw::agents {
+namespace {
+
+// Source addresses live in a reserved simulation block (176.0.0.0/6-ish)
+// that never overlaps the monitored provider pools, so a source IP can
+// never be mistaken for a vantage point. Uniqueness per actor is guaranteed
+// by embedding the actor id.
+net::IPv4Addr make_source(capture::ActorId actor, std::uint32_t index) {
+  return net::IPv4Addr(0xb0000000u | ((actor & 0xffffu) << 12) | (index & 0xfffu));
+}
+
+}  // namespace
+
+Actor::Actor(capture::ActorId id, net::Asn asn, int source_count, util::Rng rng)
+    : rng_(rng), id_(id), asn_(asn) {
+  sources_.reserve(static_cast<std::size_t>(source_count));
+  for (int i = 0; i < source_count; ++i) {
+    sources_.push_back(make_source(id, static_cast<std::uint32_t>(i)));
+  }
+}
+
+net::IPv4Addr Actor::next_source() {
+  const net::IPv4Addr addr = sources_[next_source_];
+  next_source_ = (next_source_ + 1) % sources_.size();
+  return addr;
+}
+
+bool Actor::covers(net::IPv4Addr addr, double coverage, std::uint64_t salt) const noexcept {
+  if (coverage >= 1.0) return true;
+  if (coverage <= 0.0) return false;
+  // A deterministic hash coin. Salt 0 yields a stable subset: the same
+  // actor always covers the same addresses, which is what makes neighboring
+  // honeypots see persistently different actor populations (Section 4.1).
+  std::uint64_t h = (static_cast<std::uint64_t>(id_) << 32) | addr.value();
+  h ^= salt * 0xd1342543de82ef95ULL;
+  h = util::splitmix64(h);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < coverage;
+}
+
+void Actor::emit(AgentContext& ctx, util::SimTime time, net::IPv4Addr dst, net::Port port,
+                 std::string payload, std::optional<proto::Credential> credential,
+                 net::Protocol intended, bool malicious, net::Transport transport) {
+  if (time < 0 || time >= ctx.window_end) return;  // outside the observation window
+  capture::ScanEvent event;
+  event.transport = transport;
+  event.time = time;
+  event.src = next_source();
+  event.src_as = asn_;
+  event.dst = dst;
+  event.dst_port = port;
+  event.payload = std::move(payload);
+  event.credential = std::move(credential);
+  event.intended_protocol = intended;
+  event.malicious_intent = malicious;
+  event.actor = id_;
+  ctx.collector->deliver(event);
+}
+
+}  // namespace cw::agents

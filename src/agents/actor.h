@@ -1,0 +1,81 @@
+// Scanner-actor framework. An actor models one scanning campaign (a botnet,
+// a brute-force operation, a research scanner, a search-engine miner): it
+// owns a source-IP pool inside one autonomous system, derives all its
+// randomness from a per-actor stream, and schedules its scanning waves on
+// the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capture/collector.h"
+#include "capture/event.h"
+#include "net/asn.h"
+#include "searchengine/engine.h"
+#include "sim/engine.h"
+#include "topology/universe.h"
+#include "util/rng.h"
+
+namespace cw::agents {
+
+struct AgentContext {
+  sim::Engine* engine = nullptr;
+  const topology::TargetUniverse* universe = nullptr;
+  capture::Collector* collector = nullptr;
+  search::ServiceSearchEngine* censys = nullptr;
+  search::ServiceSearchEngine* shodan = nullptr;
+  util::SimTime window_end = util::kWeek;  // observation window length
+};
+
+class Actor {
+ public:
+  Actor(capture::ActorId id, net::Asn asn, int source_count, util::Rng rng);
+  virtual ~Actor() = default;
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  // Schedules this actor's activity on the context's event engine.
+  virtual void start(AgentContext& ctx) = 0;
+
+  [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
+
+  // Ground-truth intent; feeds the reputation oracle, never the analyses.
+  [[nodiscard]] virtual bool is_malicious() const noexcept = 0;
+
+  [[nodiscard]] capture::ActorId id() const noexcept { return id_; }
+  [[nodiscard]] net::Asn asn() const noexcept { return asn_; }
+  [[nodiscard]] const std::vector<net::IPv4Addr>& sources() const noexcept { return sources_; }
+
+ protected:
+  // A source address for the next connection: actors rotate through their
+  // pool, which is how multi-IP campaigns appear as many unique scan IPs
+  // from one AS.
+  net::IPv4Addr next_source();
+
+  // Deterministic per-(actor, target, salt) coin: true if this actor's
+  // sub-sampled Internet-wide scan covers the address. With salt 0 the
+  // subset is stable across waves (a persistent target preference); passing
+  // the wave index re-randomizes per wave, like a ZMap run re-sampling its
+  // target list.
+  [[nodiscard]] bool covers(net::IPv4Addr addr, double coverage,
+                            std::uint64_t salt = 0) const noexcept;
+
+  // Sends one connection attempt through the collector.
+  void emit(AgentContext& ctx, util::SimTime time, net::IPv4Addr dst, net::Port port,
+            std::string payload, std::optional<proto::Credential> credential,
+            net::Protocol intended, bool malicious,
+            net::Transport transport = net::Transport::kTcp);
+
+  util::Rng rng_;
+
+ private:
+  capture::ActorId id_;
+  net::Asn asn_;
+  std::vector<net::IPv4Addr> sources_;
+  std::size_t next_source_ = 0;
+};
+
+}  // namespace cw::agents

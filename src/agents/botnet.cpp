@@ -1,0 +1,67 @@
+#include "agents/botnet.h"
+
+namespace cw::agents {
+
+CampaignConfig mirai_config(net::Asn asn, int sources, double telescope_coverage) {
+  CampaignConfig config;
+  config.label = "mirai-telnet";
+  config.asn = asn;
+  config.sources = sources;
+  config.ports = {23, 2323};
+  config.payload = PayloadKind::kBruteforce;
+  config.dictionary = proto::CredentialDictionary::kMirai;
+  config.malicious = true;
+  config.waves = 3;
+  config.wave_duration = 2 * util::kDay;
+  config.min_attempts = 2;
+  config.max_attempts = 6;
+  config.filter.cloud_coverage = 0.8;
+  config.filter.edu_coverage = 0.8;
+  config.filter.telescope_coverage = telescope_coverage;
+  return config;
+}
+
+CampaignConfig mirai_ssh_seed_config(net::Asn asn, int sources) {
+  CampaignConfig config;
+  config.label = "mirai-ssh-seed";
+  config.asn = asn;
+  config.sources = sources;
+  config.ports = {22};
+  config.payload = PayloadKind::kBruteforce;
+  config.dictionary = proto::CredentialDictionary::kMirai;
+  config.malicious = true;
+  config.waves = 4;
+  config.wave_duration = util::kDay;
+  config.min_attempts = 1;
+  config.max_attempts = 3;
+  config.filter.cloud_coverage = 0.3;
+  config.filter.edu_coverage = 0.3;
+  // The bot picks the first address of a /16 as its first scanning target
+  // an order of magnitude more often than any other address.
+  config.filter.telescope_coverage = 0.08;
+  config.filter.weight_first_of_16 = 10.0;
+  return config;
+}
+
+CampaignConfig tsunami_config(net::Asn asn, int sources, std::vector<net::IPv4Addr> latched,
+                              net::Port port) {
+  CampaignConfig config;
+  config.label = "tsunami-latch";
+  config.asn = asn;
+  config.sources = sources;
+  config.ports = {port};
+  config.payload =
+      (port == 22 || port == 23 || port == 2222 || port == 2323)
+          ? PayloadKind::kBruteforce
+          : PayloadKind::kSynOnly;
+  config.dictionary = proto::CredentialDictionary::kMirai;
+  config.malicious = true;
+  config.waves = 2;
+  config.wave_duration = 3 * util::kDay;
+  config.min_attempts = 1;
+  config.max_attempts = 2;
+  config.filter.latch_addresses = std::move(latched);
+  return config;
+}
+
+}  // namespace cw::agents

@@ -1,0 +1,33 @@
+// Botnet actors, expressed as calibrated campaign configurations plus a
+// worker pool:
+//
+//  - Mirai-like: hundreds of infected sources across consumer ISP ASes,
+//    Telnet credential stuffing from the Mirai dictionary, no telescope
+//    avoidance (botnets historically scan unused space freely), and the
+//    first-address-of-a-/16 seeding preference on port 22 (Section 4.2,
+//    Figure 1a).
+//  - Tsunami-like: thousands of sources that latch onto a handful of fixed
+//    addresses (the single Hurricane Electric IP and the four telescope IPs
+//    of Figure 1d) instead of sweeping.
+#pragma once
+
+#include <vector>
+
+#include "agents/campaign.h"
+
+namespace cw::agents {
+
+// Mirai-style Telnet worker swarm configuration. `asn` is the consumer ISP
+// the workers live in; a real deployment spreads across several ASes, so
+// population construction instantiates this for a list of ASes.
+CampaignConfig mirai_config(net::Asn asn, int sources, double telescope_coverage = 0.9);
+
+// The Mirai SSH-port seeding wave: port 22, strong first-of-/16 preference.
+CampaignConfig mirai_ssh_seed_config(net::Asn asn, int sources);
+
+// Tsunami-style latching botnet: all sources hammer exactly the given
+// addresses on the given port.
+CampaignConfig tsunami_config(net::Asn asn, int sources, std::vector<net::IPv4Addr> latched,
+                              net::Port port);
+
+}  // namespace cw::agents

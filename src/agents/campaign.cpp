@@ -1,0 +1,177 @@
+#include "agents/campaign.h"
+
+#include <algorithm>
+
+#include "proto/payloads.h"
+
+namespace cw::agents {
+
+ScanCampaign::ScanCampaign(capture::ActorId id, util::Rng rng, CampaignConfig config)
+    : Actor(id, config.asn, std::max(config.sources, 1), rng), config_(std::move(config)) {}
+
+void ScanCampaign::start(AgentContext& ctx) {
+  for (int wave = 0; wave < config_.waves; ++wave) {
+    const util::SimTime latest_start =
+        std::max<util::SimTime>(ctx.window_end - config_.wave_duration, 1);
+    const util::SimTime wave_start =
+        static_cast<util::SimTime>(rng_.next_below(static_cast<std::uint64_t>(latest_start)));
+    ctx.engine->schedule_at(wave_start,
+                            [this, &ctx, wave_start](sim::Engine&) { run_wave(ctx, wave_start); });
+  }
+}
+
+bool ScanCampaign::region_admitted(const topology::Target& target,
+                                   const AgentContext& ctx) const {
+  const TargetFilter& filter = config_.filter;
+  if (filter.region_allow.empty() && filter.region_deny.empty()) return true;
+  // Geographic targeting is a policy about *services*; telescope sweeps are
+  // governed solely by telescope_coverage.
+  if (target.type == topology::NetworkType::kTelescope) return true;
+  // Entries match either a bare region code ("AP-SG": any provider there)
+  // or a provider-qualified vantage name ("AWS/AP-AU").
+  const topology::VantagePoint& vp = ctx.universe->deployment().at(target.vantage);
+  const std::string code = vp.region.code();
+  for (const std::string& denied : filter.region_deny) {
+    if (code == denied || vp.name == denied) return false;
+  }
+  if (filter.region_allow.empty()) return true;
+  for (const std::string& allowed : filter.region_allow) {
+    if (code == allowed || vp.name == allowed) return true;
+  }
+  return false;
+}
+
+double ScanCampaign::effective_coverage(const topology::Target& target, double base) const {
+  const TargetFilter& filter = config_.filter;
+  double coverage = base;
+  if (target.address.has_255_octet()) coverage *= filter.weight_any_255;
+  if (target.address.ends_in_255()) coverage *= filter.weight_last_255;
+  if (target.address.is_first_of_slash16()) coverage *= filter.weight_first_of_16;
+  auto it = filter.continent_weight.find(target.continent);
+  if (it != filter.continent_weight.end()) coverage *= it->second;
+  return std::min(coverage, 1.0);
+}
+
+void ScanCampaign::scan_target(AgentContext& ctx, util::SimTime time,
+                               const topology::Target& target, net::Port port) {
+  const net::Protocol protocol = config_.protocol != net::Protocol::kUnknown
+                                     ? config_.protocol
+                                     : net::iana_assignment(port);
+  switch (config_.payload) {
+    case PayloadKind::kSynOnly:
+      emit(ctx, time, target.address, port, {}, std::nullopt, protocol, config_.malicious,
+           config_.transport);
+      return;
+    case PayloadKind::kBenignProbe:
+      // Benign HTTP sweeps fetch a handful of paths per operator (/, then
+      // /robots.txt, ...), so one actor contributes several distinct
+      // payloads — real benign HTTP is far more diverse than exploit
+      // campaigns, which reuse one byte-identical payload.
+      emit(ctx, time, target.address, port,
+           protocol == net::Protocol::kHttp
+               ? proto::http_benign_request(static_cast<std::uint32_t>(id() * 8 + current_wave_))
+               : proto::probe_payload(protocol),
+           std::nullopt, protocol, config_.malicious, config_.transport);
+      return;
+    case PayloadKind::kNmapProbe:
+      emit(ctx, time, target.address, port,
+           "GET / HTTP/1.0\r\nUser-Agent: Mozilla/5.0 (compatible; Nmap Scripting Engine)"
+           "\r\n\r\n",
+           std::nullopt, protocol, config_.malicious);
+      return;
+    case PayloadKind::kExploit: {
+      const proto::ExploitKind kind =
+          config_.exploit.value_or(proto::ExploitKind::kLog4Shell);
+      // Exploit chains retry delivery; attempts bounds model that.
+      const int attempts = static_cast<int>(rng_.uniform_int(
+          config_.min_attempts, std::max(config_.max_attempts, config_.min_attempts)));
+      for (int i = 0; i < attempts; ++i) {
+        emit(ctx, time + i * 5 * util::kSecond, target.address, port,
+             proto::exploit_payload(kind, id()), std::nullopt, proto::exploit_protocol(kind),
+             /*malicious=*/true, config_.transport);
+      }
+      return;
+    }
+    case PayloadKind::kBruteforce: {
+      const int attempts = static_cast<int>(
+          rng_.uniform_int(config_.min_attempts, std::max(config_.max_attempts, config_.min_attempts)));
+      const auto& dict = proto::dictionary(config_.dictionary);
+      for (int i = 0; i < attempts; ++i) {
+        proto::Credential credential = proto::sample_credential(config_.dictionary, rng_);
+        if (config_.favorite_weight > 0.0 && rng_.bernoulli(config_.favorite_weight)) {
+          const proto::Credential& favorite =
+              dict[static_cast<std::size_t>(config_.dict_offset) % dict.size()];
+          credential.username = favorite.username;
+          if (!config_.favorite_username_only) credential.password = favorite.password;
+        }
+        const std::string banner = protocol == net::Protocol::kSsh
+                                       ? proto::ssh_client_banner()
+                                       : proto::telnet_negotiation();
+        emit(ctx, time + i * 3 * util::kSecond, target.address, port, banner,
+             std::move(credential), protocol, /*malicious=*/true);
+      }
+      return;
+    }
+  }
+}
+
+void ScanCampaign::run_wave(AgentContext& ctx, util::SimTime wave_start) {
+  ++current_wave_;
+  const TargetFilter& filter = config_.filter;
+  const auto& targets = ctx.universe->targets();
+
+  // Latched campaigns fixate on their addresses and hammer them.
+  if (!filter.latch_addresses.empty()) {
+    for (const net::IPv4Addr addr : filter.latch_addresses) {
+      const auto index = ctx.universe->find(addr);
+      if (!index) continue;
+      const topology::Target& target = targets[*index];
+      for (net::Port port : config_.ports) {
+        // Every source IP in the pool hits the latched target once per wave.
+        const int hits = static_cast<int>(sources().size());
+        for (int i = 0; i < hits; ++i) {
+          const util::SimTime t =
+              wave_start + static_cast<util::SimTime>(rng_.next_below(
+                               static_cast<std::uint64_t>(config_.wave_duration)));
+          scan_target(ctx, t, target, port);
+        }
+      }
+    }
+    return;
+  }
+
+  struct ClassCoverage {
+    topology::NetworkType type;
+    double coverage;
+  };
+  const ClassCoverage classes[] = {
+      {topology::NetworkType::kCloud, filter.cloud_coverage},
+      {topology::NetworkType::kEducation, filter.edu_coverage},
+      {topology::NetworkType::kTelescope, filter.telescope_coverage},
+  };
+
+  for (const ClassCoverage& cls : classes) {
+    if (cls.coverage <= 0.0) continue;
+    const std::vector<std::size_t>& indices = ctx.universe->of_type(cls.type);
+    if (indices.empty()) continue;
+    // Spread the wave's probes across its duration in address order with
+    // jitter — the zmap-style randomized-order detail does not affect any
+    // analysis, but keeping per-target times spread out does (hourly rates).
+    for (const std::size_t index : indices) {
+      const topology::Target& target = targets[index];
+      if (!region_admitted(target, ctx)) continue;
+      const double coverage = effective_coverage(target, cls.coverage);
+      const std::uint64_t salt =
+          config_.stable_subset ? 0 : static_cast<std::uint64_t>(current_wave_);
+      if (!covers(target.address, coverage, salt)) continue;
+      for (net::Port port : config_.ports) {
+        const util::SimTime t =
+            wave_start + static_cast<util::SimTime>(
+                             rng_.next_below(static_cast<std::uint64_t>(config_.wave_duration)));
+        scan_target(ctx, t, target, port);
+      }
+    }
+  }
+}
+
+}  // namespace cw::agents

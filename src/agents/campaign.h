@@ -1,0 +1,117 @@
+// Config-driven scanning campaign: the workhorse actor. One instance models
+// one coordinated scan operation — a commodity SSH brute-forcer, an HTTP
+// exploit campaign, a benign research sweep, a structure-aware SYN scanner.
+// The configuration encodes the target-selection *policy* (which network
+// types, what coverage, geographic and address-structure biases, telescope
+// participation); the analyses must then recover those policies from the
+// captured traffic alone.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agents/actor.h"
+#include "net/geo.h"
+#include "proto/credentials.h"
+#include "proto/exploits.h"
+
+namespace cw::agents {
+
+enum class PayloadKind : std::uint8_t {
+  kBenignProbe = 0,  // banner-grab / GET / — no auth attempt, no state change
+  kBruteforce,       // credential attempts from a dictionary (SSH/Telnet)
+  kExploit,          // a payload from the exploit library
+  kNmapProbe,        // nmap-style service probe (benign)
+  kSynOnly,          // bare SYN scan: no payload at all
+};
+
+struct TargetFilter {
+  // Fraction of each network class the campaign's sub-sampled scan covers.
+  // 0 disables the class entirely (e.g. telescope avoidance).
+  double cloud_coverage = 0.0;
+  double edu_coverage = 0.0;
+  double telescope_coverage = 0.0;
+
+  // Address-structure multipliers applied on top of coverage (Section 4.2).
+  // weight < 1 models avoidance (broadcast-style filtering); weight > 1
+  // models preference (Mirai's first-of-/16 seeding).
+  double weight_any_255 = 1.0;    // any octet == 255
+  double weight_last_255 = 1.0;   // last octet == 255 (applied after any_255)
+  double weight_first_of_16 = 1.0;
+
+  // Geographic policy, evaluated against the target vantage point's region
+  // code (e.g. "AP-SG") and continent. An empty allow-list admits all.
+  std::vector<std::string> region_allow;
+  std::vector<std::string> region_deny;
+  std::map<net::Continent, double> continent_weight;
+
+  // If non-empty the campaign latches onto exactly these addresses and
+  // ignores every other knob (Tsunami-style single-target fixation).
+  std::vector<net::IPv4Addr> latch_addresses;
+};
+
+struct CampaignConfig {
+  std::string label;  // diagnostic name
+  net::Asn asn = 0;
+  int sources = 1;
+
+  std::vector<net::Port> ports;
+  net::Transport transport = net::Transport::kTcp;
+  // Protocol actually spoken; kUnknown means "the port's IANA assignment"
+  // — setting it explicitly models Section 6's unexpected-protocol traffic.
+  net::Protocol protocol = net::Protocol::kUnknown;
+
+  PayloadKind payload = PayloadKind::kBenignProbe;
+  proto::CredentialDictionary dictionary = proto::CredentialDictionary::kGenericSsh;
+  // Different brute-force tools favor different list entries: with
+  // probability `favorite_weight` the campaign attempts its favorite
+  // (dictionary[dict_offset]) instead of a popularity-sampled entry. When
+  // `favorite_username_only` is set, only the username is pinned — top SSH
+  // usernames vary by tool far more than top passwords do (Table 2).
+  int dict_offset = 0;
+  double favorite_weight = 0.0;
+  bool favorite_username_only = false;
+  std::optional<proto::ExploitKind> exploit;
+  bool malicious = false;
+
+  int waves = 1;
+  util::SimDuration wave_duration = util::kDay;
+  // Stable subsets persist across waves (Section 4.1's persistent
+  // neighbor preferences); the default re-samples every wave like ZMap.
+  bool stable_subset = false;
+  // Credential attempts per target per wave (brute-force only).
+  int min_attempts = 1;
+  int max_attempts = 1;
+
+  TargetFilter filter;
+};
+
+class ScanCampaign : public Actor {
+ public:
+  ScanCampaign(capture::ActorId id, util::Rng rng, CampaignConfig config);
+
+  void start(AgentContext& ctx) override;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "campaign"; }
+  [[nodiscard]] bool is_malicious() const noexcept override { return config_.malicious; }
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+
+ private:
+  void run_wave(AgentContext& ctx, util::SimTime wave_start);
+
+  // Index of the wave currently being emitted; benign HTTP payloads vary
+  // per wave (operators rotate fetched paths), not per target — per-target
+  // variation would fabricate neighborhood payload differences.
+  int current_wave_ = 0;
+  void scan_target(AgentContext& ctx, util::SimTime time, const topology::Target& target,
+                   net::Port port);
+  [[nodiscard]] double effective_coverage(const topology::Target& target, double base) const;
+  [[nodiscard]] bool region_admitted(const topology::Target& target,
+                                     const AgentContext& ctx) const;
+
+  CampaignConfig config_;
+};
+
+}  // namespace cw::agents

@@ -1,0 +1,67 @@
+#include "agents/evader.h"
+
+#include <algorithm>
+
+#include "proto/payloads.h"
+#include "util/rng.h"
+
+namespace cw::agents {
+
+FingerprintingEvader::FingerprintingEvader(capture::ActorId id, util::Rng rng,
+                                           EvaderConfig config)
+    : Actor(id, config.asn, std::max(config.sources, 1), rng), config_(std::move(config)) {}
+
+void FingerprintingEvader::start(AgentContext& ctx) {
+  for (int wave = 0; wave < config_.waves; ++wave) {
+    const util::SimTime latest_start =
+        std::max<util::SimTime>(ctx.window_end - config_.wave_duration, 1);
+    const util::SimTime wave_start =
+        static_cast<util::SimTime>(rng_.next_below(static_cast<std::uint64_t>(latest_start)));
+    ctx.engine->schedule_at(wave_start,
+                            [this, &ctx, wave_start](sim::Engine&) { run_wave(ctx, wave_start); });
+  }
+}
+
+bool FingerprintingEvader::detects_honeypot(net::IPv4Addr addr) const noexcept {
+  // Stable per-(actor, address) verdict: fingerprinting is a deterministic
+  // procedure against a fixed service, so re-probing never changes it.
+  std::uint64_t h = (static_cast<std::uint64_t>(id()) << 32) ^ addr.value() ^
+                    0x66707265766164ULL;
+  const double coin = static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53;
+  return coin < config_.detection_rate;
+}
+
+void FingerprintingEvader::run_wave(AgentContext& ctx, util::SimTime wave_start) {
+  const auto scan_class = [&](topology::NetworkType type, double coverage) {
+    if (coverage <= 0.0) return;
+    for (const std::size_t index : ctx.universe->of_type(type)) {
+      const topology::Target& target = ctx.universe->targets()[index];
+      if (!covers(target.address, coverage)) continue;
+      const util::SimTime t = wave_start + static_cast<util::SimTime>(rng_.next_below(
+                                               static_cast<std::uint64_t>(config_.wave_duration)));
+      // The fingerprinting probe itself: a banner grab, benign on the wire.
+      emit(ctx, t, target.address, config_.port, proto::probe_payload(config_.protocol),
+           std::nullopt, config_.protocol, /*malicious=*/false);
+      ++probed_;
+      if (detects_honeypot(target.address)) {
+        ++evaded_;  // classified as a honeypot: never attacked
+        continue;
+      }
+      const int attempts = static_cast<int>(
+          rng_.uniform_int(config_.min_attempts, std::max(config_.max_attempts,
+                                                          config_.min_attempts)));
+      for (int i = 0; i < attempts; ++i) {
+        const proto::Credential& credential =
+            proto::sample_credential(config_.dictionary, rng_);
+        emit(ctx, t + (i + 1) * 4 * util::kSecond, target.address, config_.port,
+             config_.protocol == net::Protocol::kSsh ? proto::ssh_client_banner()
+                                                     : proto::telnet_negotiation(),
+             credential, config_.protocol, /*malicious=*/true);
+      }
+    }
+  };
+  scan_class(topology::NetworkType::kCloud, config_.cloud_coverage);
+  scan_class(topology::NetworkType::kEducation, config_.edu_coverage);
+}
+
+}  // namespace cw::agents

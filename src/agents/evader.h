@@ -1,0 +1,63 @@
+// Honeypot-fingerprinting evader — Section 7's sophistication bias:
+// "Scanners occasionally fingerprint honeypots to avoid detection. ...
+// other fingerprinting techniques could bias results against sophisticated
+// attackers." The evader probes a target first; with probability
+// `detection_rate` it recognizes the service as a honeypot (Cowrie
+// artifacts, protocol-mute servers) and walks away after the single probe,
+// otherwise it proceeds with its brute-force attack. The detection verdict
+// is stable per (actor, address), so an evader never returns to a target it
+// has classified.
+//
+// Honeypot operators therefore observe only (1 - detection_rate) of an
+// evader's attack traffic plus its recon probes — the measurable
+// sophistication bias bench_ablation_fingerprinting quantifies.
+#pragma once
+
+#include "agents/actor.h"
+#include "proto/credentials.h"
+
+namespace cw::agents {
+
+struct EvaderConfig {
+  std::string label = "fingerprinting-evader";
+  net::Asn asn = 0;
+  int sources = 2;
+  net::Port port = 22;
+  net::Protocol protocol = net::Protocol::kSsh;
+  proto::CredentialDictionary dictionary = proto::CredentialDictionary::kGenericSsh;
+  // Probability the evader identifies a honeypot before attacking it.
+  // 0 models a naive attacker (attacks everything it probes).
+  double detection_rate = 0.8;
+  double cloud_coverage = 0.8;
+  double edu_coverage = 0.8;
+  int waves = 2;
+  util::SimDuration wave_duration = util::kDay;
+  int min_attempts = 3;
+  int max_attempts = 8;
+};
+
+class FingerprintingEvader : public Actor {
+ public:
+  FingerprintingEvader(capture::ActorId id, util::Rng rng, EvaderConfig config);
+
+  void start(AgentContext& ctx) override;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "evader"; }
+  [[nodiscard]] bool is_malicious() const noexcept override { return true; }
+
+  [[nodiscard]] const EvaderConfig& config() const noexcept { return config_; }
+
+  // Counters for the bias analysis: how many targets were probed, and how
+  // many the evader classified as honeypots and skipped.
+  [[nodiscard]] std::uint64_t probed() const noexcept { return probed_; }
+  [[nodiscard]] std::uint64_t evaded() const noexcept { return evaded_; }
+
+ private:
+  void run_wave(AgentContext& ctx, util::SimTime wave_start);
+  [[nodiscard]] bool detects_honeypot(net::IPv4Addr addr) const noexcept;
+
+  EvaderConfig config_;
+  std::uint64_t probed_ = 0;
+  std::uint64_t evaded_ = 0;
+};
+
+}  // namespace cw::agents

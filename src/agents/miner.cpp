@@ -1,0 +1,141 @@
+#include "agents/miner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "proto/payloads.h"
+
+namespace cw::agents {
+
+SearchEngineMiner::SearchEngineMiner(capture::ActorId id, util::Rng rng, MinerConfig config)
+    : Actor(id, config.asn, std::max(config.sources, 1), rng), config_(std::move(config)) {}
+
+void SearchEngineMiner::start(AgentContext& ctx) {
+  // First query lands at a random offset within one interval, then repeats.
+  const util::SimTime first = static_cast<util::SimTime>(
+      rng_.next_below(static_cast<std::uint64_t>(config_.query_interval)));
+  for (util::SimTime t = first; t < ctx.window_end; t += config_.query_interval) {
+    ctx.engine->schedule_at(t, [this, &ctx](sim::Engine&) { query_and_attack(ctx); });
+  }
+}
+
+void SearchEngineMiner::query_and_attack(AgentContext& ctx) {
+  std::set<std::uint32_t> hits;
+  const bool use_censys =
+      config_.engines == EnginePreference::kCensys || config_.engines == EnginePreference::kBoth;
+  const bool use_shodan =
+      config_.engines == EnginePreference::kShodan || config_.engines == EnginePreference::kBoth;
+  if (use_censys && ctx.censys != nullptr) {
+    if (config_.banner_query.empty()) {
+      for (net::IPv4Addr addr : ctx.censys->query_port(config_.port)) hits.insert(addr.value());
+    } else {
+      for (net::IPv4Addr addr : ctx.censys->query_banner(config_.banner_query)) {
+        hits.insert(addr.value());
+      }
+    }
+    if (config_.mine_history) {
+      for (net::IPv4Addr addr : ctx.censys->query_port_history(config_.history_port)) {
+        hits.insert(addr.value());
+      }
+    }
+  }
+  if (use_shodan && ctx.shodan != nullptr) {
+    if (config_.banner_query.empty()) {
+      for (net::IPv4Addr addr : ctx.shodan->query_port(config_.port)) hits.insert(addr.value());
+    } else {
+      for (net::IPv4Addr addr : ctx.shodan->query_banner(config_.banner_query)) {
+        hits.insert(addr.value());
+      }
+    }
+    if (config_.mine_history) {
+      for (net::IPv4Addr addr : ctx.shodan->query_port_history(config_.history_port)) {
+        hits.insert(addr.value());
+      }
+    }
+  }
+  // Sample the hit list uniformly so the cap doesn't bias toward low
+  // addresses (the miner's "curated list" is a random subset of the dump).
+  std::vector<std::uint32_t> hit_list(hits.begin(), hits.end());
+  rng_.shuffle(hit_list);
+  std::size_t attacked = 0;
+  for (std::uint32_t value : hit_list) {
+    if (attacked >= config_.max_targets_per_query) break;
+    if (!rng_.bernoulli(config_.attack_fraction)) continue;
+    attack(ctx, net::IPv4Addr(value));
+    ++attacked;
+  }
+}
+
+void SearchEngineMiner::attack(AgentContext& ctx, net::IPv4Addr target) {
+  const util::SimTime start = ctx.engine->now();
+  if (config_.payload == PayloadKind::kExploit) {
+    const proto::ExploitKind kind = config_.exploit.value_or(proto::ExploitKind::kLog4Shell);
+    // Exploit bursts: several delivery attempts of the same payload.
+    const int shots = static_cast<int>(rng_.uniform_int(2, 3));
+    for (int i = 0; i < shots; ++i) {
+      const util::SimTime t = start + static_cast<util::SimTime>(rng_.next_below(
+                                          static_cast<std::uint64_t>(config_.burst_duration)));
+      emit(ctx, t, target, config_.port, proto::exploit_payload(kind, id()), std::nullopt,
+           proto::exploit_protocol(kind), /*malicious=*/true);
+    }
+    return;
+  }
+  // Brute-force burst: many *unique* credentials in a short window — the
+  // spike signature the KS test detects.
+  const int attempts = static_cast<int>(
+      rng_.uniform_int(config_.burst_attempts_min, config_.burst_attempts_max));
+  std::set<std::pair<std::string, std::string>> used;
+  for (int i = 0; i < attempts; ++i) {
+    proto::Credential credential = proto::sample_credential(config_.dictionary, rng_);
+    // Force uniqueness within the burst by perturbing repeats.
+    if (!used.insert({credential.username, credential.password}).second) {
+      credential.password += std::to_string(i);
+    }
+    const util::SimTime t = start + static_cast<util::SimTime>(rng_.next_below(
+                                        static_cast<std::uint64_t>(config_.burst_duration)));
+    const std::string banner = config_.protocol == net::Protocol::kSsh
+                                   ? proto::ssh_client_banner()
+                                   : proto::telnet_negotiation();
+    emit(ctx, t, target, config_.port, banner, credential, config_.protocol,
+         /*malicious=*/true);
+  }
+}
+
+NmapProber::NmapProber(capture::ActorId id, util::Rng rng, NmapProberConfig config)
+    : Actor(id, config.asn, std::max(config.sources, 1), rng), config_(std::move(config)) {}
+
+void NmapProber::start(AgentContext& ctx) {
+  for (int wave = 0; wave < config_.waves; ++wave) {
+    const util::SimTime latest_start =
+        std::max<util::SimTime>(ctx.window_end - config_.wave_duration, 1);
+    const util::SimTime wave_start =
+        static_cast<util::SimTime>(rng_.next_below(static_cast<std::uint64_t>(latest_start)));
+    ctx.engine->schedule_at(wave_start,
+                            [this, &ctx, wave_start](sim::Engine&) { run_wave(ctx, wave_start); });
+  }
+}
+
+void NmapProber::run_wave(AgentContext& ctx, util::SimTime wave_start) {
+  const auto scan_class = [&](topology::NetworkType type, double coverage) {
+    if (coverage <= 0.0) return;
+    for (std::size_t index : ctx.universe->of_type(type)) {
+      const topology::Target& target = ctx.universe->targets()[index];
+      // The live Censys index is consulted before each probe: currently
+      // listed services are skipped.
+      if (ctx.censys != nullptr && ctx.censys->currently_indexed(target.address, config_.port)) {
+        continue;
+      }
+      if (!covers(target.address, coverage)) continue;
+      const util::SimTime t = wave_start + static_cast<util::SimTime>(rng_.next_below(
+                                               static_cast<std::uint64_t>(config_.wave_duration)));
+      emit(ctx, t, target.address, config_.port,
+           "GET / HTTP/1.0\r\nUser-Agent: Mozilla/5.0 (compatible; Nmap Scripting Engine)"
+           "\r\n\r\n",
+           std::nullopt, net::Protocol::kHttp, /*malicious=*/false);
+    }
+  };
+  scan_class(topology::NetworkType::kCloud, config_.cloud_coverage);
+  scan_class(topology::NetworkType::kEducation, config_.edu_coverage);
+}
+
+}  // namespace cw::agents

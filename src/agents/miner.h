@@ -1,0 +1,94 @@
+// Actors that consult the Internet-service search engines:
+//
+//  - SearchEngineMiner (Section 4.3): periodically queries Censys and/or
+//    Shodan for live services on its protocol and attacks each hit in a
+//    short burst — producing the traffic spikes and elevated unique-
+//    credential counts the leak experiment measures.
+//  - NmapProber: the Avast/M247/CDN77 behavior — nmap-style HTTP probing
+//    of cloud and education networks that actively *avoids* services
+//    currently listed on Censys (it sources only up-to-date index data, so
+//    previously-indexed-but-delisted services are still probed).
+#pragma once
+
+#include <optional>
+
+#include "agents/actor.h"
+#include "agents/campaign.h"
+#include "proto/credentials.h"
+#include "proto/exploits.h"
+
+namespace cw::agents {
+
+enum class EnginePreference : std::uint8_t { kCensys = 0, kShodan, kBoth };
+
+struct MinerConfig {
+  std::string label;
+  net::Asn asn = 0;
+  int sources = 2;
+  net::Port port = 22;
+  net::Protocol protocol = net::Protocol::kSsh;
+  EnginePreference engines = EnginePreference::kBoth;
+  PayloadKind payload = PayloadKind::kBruteforce;
+  proto::CredentialDictionary dictionary = proto::CredentialDictionary::kGenericSsh;
+  std::optional<proto::ExploitKind> exploit;
+  util::SimDuration query_interval = 12 * util::kHour;
+  // When set, the miner searches the engines by banner text ("OpenSSH_7.4")
+  // instead of by port — how attackers actually use Shodan/Censys to find
+  // specific vulnerable software.
+  std::string banner_query;
+  // When set, the miner also mines *historical* index data: addresses ever
+  // indexed on `history_port` are attacked on `port` even if the old
+  // service is gone — the mechanism behind the previously-leaked effect.
+  bool mine_history = false;
+  net::Port history_port = 80;
+  double attack_fraction = 1.0;       // fraction of index hits attacked per burst
+  // Hard cap on targets attacked per query round; miners work from curated
+  // hit lists, not the full index dump.
+  std::size_t max_targets_per_query = 40;
+  int burst_attempts_min = 6;         // unique credentials per burst (the paper
+  int burst_attempts_max = 15;        // measures ~3x more unique passwords)
+  util::SimDuration burst_duration = 20 * util::kMinute;
+};
+
+class SearchEngineMiner : public Actor {
+ public:
+  SearchEngineMiner(capture::ActorId id, util::Rng rng, MinerConfig config);
+
+  void start(AgentContext& ctx) override;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "search-miner"; }
+  [[nodiscard]] bool is_malicious() const noexcept override { return true; }
+
+  [[nodiscard]] const MinerConfig& config() const noexcept { return config_; }
+
+ private:
+  void query_and_attack(AgentContext& ctx);
+  void attack(AgentContext& ctx, net::IPv4Addr target);
+
+  MinerConfig config_;
+};
+
+struct NmapProberConfig {
+  net::Asn asn = 0;
+  int sources = 2;
+  net::Port port = 80;
+  double cloud_coverage = 0.8;
+  double edu_coverage = 0.8;
+  int waves = 2;
+  util::SimDuration wave_duration = util::kDay;
+};
+
+class NmapProber : public Actor {
+ public:
+  NmapProber(capture::ActorId id, util::Rng rng, NmapProberConfig config);
+
+  void start(AgentContext& ctx) override;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "nmap-prober"; }
+  [[nodiscard]] bool is_malicious() const noexcept override { return false; }
+
+ private:
+  void run_wave(AgentContext& ctx, util::SimTime wave_start);
+
+  NmapProberConfig config_;
+};
+
+}  // namespace cw::agents

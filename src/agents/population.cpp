@@ -1,0 +1,933 @@
+#include "agents/population.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agents/botnet.h"
+#include "agents/campaign.h"
+#include "agents/evader.h"
+#include "agents/miner.h"
+#include "net/asn.h"
+
+namespace cw::agents {
+namespace {
+
+// Builder state threaded through the per-port constructors.
+struct Builder {
+  const PopulationConfig* config;
+  const topology::Deployment* deployment;
+  util::Rng rng;
+  capture::ActorId next_id = Population::kFirstPopulationActorId;
+  std::vector<std::unique_ptr<Actor>>* actors;
+  std::vector<net::Asn> tail_ases;       // synthetic long-tail origins
+  std::vector<net::Asn> cn_ases;         // China-registered origins
+  // Bulk-hosting origins shared by many campaigns. Partial-coverage
+  // campaigns draw from this pool: several independent half-coverage
+  // subsets under one AS smooth out at the AS level (which is why the
+  // paper's username differences outnumber its AS differences on SSH).
+  std::vector<net::Asn> bulk_ases = {net::kAsnChinanet, net::kAsnChinaMobile,
+                                     net::kAsnDigitalOcean, net::kAsnOvh, net::kAsnHetzner};
+
+  net::Asn random_bulk_as() { return bulk_ases[rng.index(bulk_ases.size())]; }
+
+  [[nodiscard]] int scaled(int count) const {
+    return std::max(1, static_cast<int>(std::lround(count * config->scale)));
+  }
+
+  net::Asn random_tail_as() { return tail_ases[rng.index(tail_ases.size())]; }
+  net::Asn random_cn_as() { return cn_ases[rng.index(cn_ases.size())]; }
+
+  void add_campaign(CampaignConfig config_in) {
+    const capture::ActorId id = next_id++;
+    actors->push_back(std::make_unique<ScanCampaign>(id, rng.stream(id), std::move(config_in)));
+  }
+  void add_miner(MinerConfig config_in) {
+    const capture::ActorId id = next_id++;
+    actors->push_back(std::make_unique<SearchEngineMiner>(id, rng.stream(id), std::move(config_in)));
+  }
+  void add_nmap(NmapProberConfig config_in) {
+    const capture::ActorId id = next_id++;
+    actors->push_back(std::make_unique<NmapProber>(id, rng.stream(id), std::move(config_in)));
+  }
+  void add_evader(EvaderConfig config_in) {
+    const capture::ActorId id = next_id++;
+    actors->push_back(
+        std::make_unique<FingerprintingEvader>(id, rng.stream(id), std::move(config_in)));
+  }
+};
+
+// Locates a vantage point by its display name; returns nullptr when the
+// scenario year does not deploy it.
+const topology::VantagePoint* find_vantage(const topology::Deployment& deployment,
+                                           std::string_view name) {
+  for (const topology::VantagePoint& vp : deployment.vantage_points()) {
+    if (vp.name == name) return &vp;
+  }
+  return nullptr;
+}
+
+// --- SSH (ports 22, 2222) ---------------------------------------------------
+// Attackers on SSH-assigned ports avoid the telescope hardest: <= 7.5% of
+// malicious cloud-targeting IPs appear there (Table 9); overall scanner
+// overlap is 13% on 22 and 9% on 2222 (Table 8).
+void build_ssh(Builder& b) {
+  const int bruteforcers = b.scaled(22);
+  for (int i = 0; i < bruteforcers; ++i) {
+    CampaignConfig c;
+    c.label = "ssh-bruteforce";
+    // Chinanet and China Mobile dominate cloud-/edu-targeting SSH attackers
+    // (12x / 2.5x more than in the telescope, Section 5.2).
+    const double cn = b.rng.uniform();
+    c.asn = cn < 0.25   ? net::kAsnChinanet
+            : cn < 0.40 ? net::kAsnChinaMobile
+            : cn < 0.50 ? b.random_cn_as()
+                        : b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(2, 8));
+    c.ports = {22};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = proto::CredentialDictionary::kGenericSsh;
+    c.malicious = true;
+    c.waves = static_cast<int>(b.rng.uniform_int(2, 4));
+    c.min_attempts = 3;
+    c.max_attempts = 12;
+    // Tool-specific username preference (Table 2: SSH top usernames differ
+    // across neighborhoods far more than top passwords do).
+    c.dict_offset = i;
+    c.favorite_weight = 0.45;
+    c.favorite_username_only = true;
+    // Most campaigns sweep nearly everything; a minority's stable
+    // half-coverage subsets create the neighborhood differences.
+    const bool partial = b.rng.bernoulli(0.3);
+    if (partial) c.asn = b.random_bulk_as();
+    c.filter.cloud_coverage = partial ? b.rng.uniform(0.45, 0.7) : b.rng.uniform(0.9, 1.0);
+    c.filter.edu_coverage = c.filter.cloud_coverage;
+    c.filter.telescope_coverage = b.rng.bernoulli(0.05) ? 0.6 : 0.0;
+    c.filter.weight_last_255 = 1.0 / 3.5;
+    b.add_campaign(std::move(c));
+  }
+  // Stable-subset brute-force tools: each persistently covers its own
+  // half of the address space with its own favorite username, and they all
+  // originate from the two dominant source ASes. Summed per AS the subsets
+  // smooth out, so neighborhoods differ in top usernames more often than in
+  // top ASes — exactly Table 2's SSH pattern (55% vs 44%).
+  const int tools = b.scaled(8);
+  for (int i = 0; i < tools; ++i) {
+    CampaignConfig c;
+    c.label = "ssh-bruteforce-tool";
+    c.asn = i % 2 == 0 ? net::kAsnChinanet : net::kAsnChinaMobile;
+    c.sources = static_cast<int>(b.rng.uniform_int(2, 6));
+    c.ports = {22};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = proto::CredentialDictionary::kGenericSsh;
+    c.malicious = true;
+    c.waves = 3;
+    c.min_attempts = 3;
+    c.max_attempts = 8;
+    c.dict_offset = 5 + i;
+    c.favorite_weight = 0.6;
+    c.favorite_username_only = true;
+    c.stable_subset = true;  // a persistent neighbor preference
+    c.filter.cloud_coverage = b.rng.uniform(0.4, 0.6);
+    c.filter.edu_coverage = b.rng.uniform(0.4, 0.6);
+    c.filter.telescope_coverage = 0.0;
+    b.add_campaign(std::move(c));
+  }
+  // Benign/recon banner grabbers participate in the telescope more often.
+  const int recon = b.scaled(8);
+  for (int i = 0; i < recon; ++i) {
+    CampaignConfig c;
+    c.label = "ssh-recon";
+    // Cogent-hosted scanners prefer clouds over education networks
+    // (7x more in clouds, Section 5.2).
+    c.asn = i == 0 ? net::kAsnCogent : b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(1, 3));
+    c.ports = {22};
+    c.payload = PayloadKind::kBenignProbe;
+    c.malicious = false;
+    c.waves = 1;
+    c.filter.cloud_coverage = b.rng.uniform(0.85, 1.0);
+    c.filter.edu_coverage = i == 0 ? 0.1 : b.rng.uniform(0.85, 1.0);
+    c.filter.telescope_coverage = b.rng.bernoulli(0.5) ? 0.7 : 0.0;
+    c.filter.weight_last_255 = 1.0 / 3.5;
+    b.add_campaign(std::move(c));
+  }
+  // Port 2222: same shape, even stronger telescope avoidance.
+  const int alt = b.scaled(9);
+  for (int i = 0; i < alt; ++i) {
+    CampaignConfig c;
+    c.label = "ssh2222-bruteforce";
+    c.asn = b.rng.bernoulli(0.3) ? b.random_cn_as() : b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(1, 4));
+    c.ports = {2222};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = proto::CredentialDictionary::kGenericSsh;
+    c.malicious = true;
+    c.waves = static_cast<int>(b.rng.uniform_int(1, 2));
+    c.min_attempts = 2;
+    c.max_attempts = 6;
+    c.dict_offset = 3 + i;
+    c.favorite_weight = 0.3;
+    c.favorite_username_only = true;
+    c.filter.cloud_coverage = b.rng.bernoulli(0.3) ? b.rng.uniform(0.5, 0.7)
+                                                   : b.rng.uniform(0.9, 1.0);
+    c.filter.edu_coverage = c.filter.cloud_coverage;
+    c.filter.telescope_coverage = b.rng.bernoulli(0.04) ? 0.6 : 0.0;
+    b.add_campaign(std::move(c));
+  }
+}
+
+// --- Telnet (ports 23, 2323) ------------------------------------------------
+// Botnet-dominated; historically no unused-space avoidance, so >= 91% of
+// Telnet/23 scanners also appear in the telescope (Table 8).
+void build_telnet(Builder& b) {
+  static constexpr net::Asn kConsumerIsps[] = {
+      net::kAsnKtCorp, net::kAsnVietnamPt, net::kAsnBharti, net::kAsnChinaUnicom,
+      net::kAsnTelstra,
+  };
+  const int mirai_swarms = b.scaled(6);
+  for (int i = 0; i < mirai_swarms; ++i) {
+    const net::Asn asn = kConsumerIsps[static_cast<std::size_t>(i) % std::size(kConsumerIsps)];
+    const int sources = static_cast<int>(b.rng.uniform_int(40, 120));
+    CampaignConfig c = mirai_config(asn, sources, /*telescope_coverage=*/0.9);
+    // The 2323 worker arm concentrates on unused space and education
+    // networks; cloud 2323 services are mostly reached by a separate,
+    // telescope-shy population (Table 8's 53% vs 94% asymmetry).
+    c.ports = {23};
+    b.add_campaign(std::move(c));
+    CampaignConfig alt = mirai_config(asn, sources / 3 + 1, /*telescope_coverage=*/0.85);
+    alt.label = "mirai-telnet-2323";
+    alt.ports = {2323};
+    alt.filter.cloud_coverage = 0.0;
+    b.add_campaign(std::move(alt));
+  }
+  // The Mirai port-22 seeding wave plus PonyNet's copycat (Figure 1a).
+  b.add_campaign(mirai_ssh_seed_config(net::kAsnKtCorp, 30));
+  b.add_campaign(mirai_ssh_seed_config(net::kAsnPonyNet, 20));
+
+  const int generic = b.scaled(10);
+  for (int i = 0; i < generic; ++i) {
+    CampaignConfig c;
+    c.label = "telnet-bruteforce";
+    const bool chinese = b.rng.bernoulli(0.4);
+    c.asn = chinese ? b.random_cn_as() : b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(2, 10));
+    c.ports = {23};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = proto::CredentialDictionary::kGenericTelnet;
+    c.malicious = true;
+    c.waves = static_cast<int>(b.rng.uniform_int(1, 3));
+    c.min_attempts = 2;
+    c.max_attempts = 6;
+    c.dict_offset = i;
+    c.favorite_weight = 0.4;
+    const bool partial = b.rng.bernoulli(0.35);
+    if (partial) {
+      c.asn = b.random_bulk_as();
+      c.min_attempts = 2;
+      c.max_attempts = 5;
+      c.stable_subset = true;
+    }
+    c.filter.cloud_coverage = partial ? b.rng.uniform(0.45, 0.7) : b.rng.uniform(0.9, 1.0);
+    c.filter.edu_coverage = c.filter.cloud_coverage;
+    // China-registered ASes actively avoid the telescope (Section 5.2);
+    // the rest of the commodity Telnet population does not.
+    c.filter.telescope_coverage =
+        b.rng.bernoulli(chinese ? 0.25 : 0.9) ? 0.8 : 0.0;
+    c.filter.weight_last_255 = 1.0 / 3.5;
+    b.add_campaign(std::move(c));
+  }
+  // Port 2323 attracts a smaller population with weaker telescope ties
+  // (53% overlap in the cloud).
+  const int alt = b.scaled(10);
+  for (int i = 0; i < alt; ++i) {
+    CampaignConfig c;
+    c.label = "telnet2323-bruteforce";
+    c.asn = b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(2, 8));
+    c.ports = {2323};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = proto::CredentialDictionary::kGenericTelnet;
+    c.malicious = true;
+    c.waves = 1;
+    c.min_attempts = 1;
+    c.max_attempts = 4;
+    c.filter.cloud_coverage = b.rng.uniform(0.5, 0.9);
+    c.filter.edu_coverage = b.rng.uniform(0.02, 0.1);
+    c.filter.telescope_coverage = b.rng.bernoulli(0.2) ? 0.7 : 0.0;
+    b.add_campaign(std::move(c));
+  }
+  // A smaller 2323 population sweeps everything including the telescope.
+  const int wide_alt = b.scaled(4);
+  for (int i = 0; i < wide_alt; ++i) {
+    CampaignConfig c;
+    c.label = "telnet2323-wide";
+    c.asn = b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(3, 6));
+    c.ports = {2323};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = proto::CredentialDictionary::kGenericTelnet;
+    c.malicious = true;
+    c.waves = 1;
+    c.min_attempts = 1;
+    c.max_attempts = 4;
+    c.filter.cloud_coverage = b.rng.uniform(0.5, 0.8);
+    c.filter.edu_coverage = b.rng.uniform(0.5, 0.8);
+    c.filter.telescope_coverage = 0.9;
+    b.add_campaign(std::move(c));
+  }
+  // Benign Telnet reachability probes.
+  const int recon = b.scaled(4);
+  for (int i = 0; i < recon; ++i) {
+    CampaignConfig c;
+    c.label = "telnet-recon";
+    c.asn = b.random_tail_as();
+    c.sources = 1;
+    c.ports = {23};
+    c.payload = PayloadKind::kBenignProbe;
+    c.malicious = false;
+    c.waves = 1;
+    c.filter.cloud_coverage = b.rng.uniform(0.6, 0.9);
+    c.filter.edu_coverage = b.rng.uniform(0.6, 0.9);
+    c.filter.telescope_coverage = 0.8;
+    b.add_campaign(std::move(c));
+  }
+}
+
+// --- HTTP (ports 80, 8080, 443) ----------------------------------------------
+void build_http(Builder& b) {
+  // Exploit campaigns: one actor per circulating exploit family.
+  const auto& exploits = proto::http_exploits();
+  const int exploit_campaigns = b.scaled(static_cast<int>(exploits.size()));
+  for (int i = 0; i < exploit_campaigns; ++i) {
+    CampaignConfig c;
+    const proto::ExploitKind kind = exploits[static_cast<std::size_t>(i) % exploits.size()];
+    c.label = std::string("http-exploit-") + std::string(proto::exploit_name(kind));
+    c.asn = b.rng.bernoulli(0.45) ? b.random_cn_as() : b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(1, 6));
+    c.ports = b.rng.bernoulli(0.5) ? std::vector<net::Port>{80} : std::vector<net::Port>{80, 8080};
+    c.payload = PayloadKind::kExploit;
+    c.exploit = kind;
+    c.malicious = true;
+    c.waves = static_cast<int>(b.rng.uniform_int(1, 2));
+    const bool partial = b.rng.bernoulli(0.4);
+    if (partial) c.asn = b.random_bulk_as();
+    c.filter.cloud_coverage = partial ? b.rng.uniform(0.4, 0.6) : b.rng.uniform(0.85, 1.0);
+    c.filter.edu_coverage = c.filter.cloud_coverage;
+    c.filter.telescope_coverage = b.rng.bernoulli(0.85) ? 0.7 : 0.0;
+    c.filter.weight_any_255 = 1.0 / 3.5;
+    c.filter.weight_last_255 = 1.0 / 3.5;
+    b.add_campaign(std::move(c));
+  }
+  // Benign GET sweeps dominate HTTP/80 volume (75% of port-80 payloads are
+  // not exploits, Section 3.2).
+  const int benign = b.scaled(12);
+  for (int i = 0; i < benign; ++i) {
+    CampaignConfig c;
+    c.label = "http-benign-sweep";
+    c.asn = b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(2, 8));
+    c.ports = {80, 8080};
+    c.payload = PayloadKind::kBenignProbe;
+    c.malicious = false;
+    c.waves = static_cast<int>(b.rng.uniform_int(2, 4));
+    c.filter.cloud_coverage = b.rng.uniform(0.85, 1.0);
+    c.filter.edu_coverage = c.filter.cloud_coverage;
+    c.filter.telescope_coverage = b.rng.bernoulli(0.75) ? 0.8 : 0.0;
+    c.filter.weight_any_255 = 1.0 / 3.5;
+    c.filter.weight_last_255 = 1.0 / 3.5;
+    b.add_campaign(std::move(c));
+  }
+  // The nmap trio that avoids Censys-listed HTTP services (Section 4.3).
+  static constexpr net::Asn kNmapTrio[] = {net::kAsnAvast, net::kAsnM247, net::kAsnCdn77};
+  for (net::Asn asn : kNmapTrio) {
+    NmapProberConfig c;
+    c.asn = asn;
+    c.sources = 2;
+    c.port = 80;
+    c.cloud_coverage = 0.85;
+    c.edu_coverage = 0.85;
+    c.waves = 2;
+    b.add_nmap(c);
+  }
+  // TLS-assigned port 443: probes with low telescope participation.
+  const int tls = b.scaled(8);
+  for (int i = 0; i < tls; ++i) {
+    CampaignConfig c;
+    c.label = "tls-probe";
+    c.asn = b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(1, 3));
+    c.ports = {443};
+    c.protocol = net::Protocol::kTls;
+    c.payload = PayloadKind::kBenignProbe;
+    c.malicious = false;
+    c.waves = 1;
+    c.filter.cloud_coverage = b.rng.uniform(0.6, 0.9);
+    c.filter.edu_coverage = b.rng.uniform(0.6, 0.9);
+    c.filter.telescope_coverage = b.rng.bernoulli(0.2) ? 0.7 : 0.0;
+    b.add_campaign(std::move(c));
+  }
+}
+
+// --- Unexpected protocols on HTTP ports (Section 6, Table 11) ----------------
+void build_unexpected(Builder& b, bool doubled) {
+  struct AltSpec {
+    net::Protocol protocol;
+    int count;
+    double malicious_fraction;
+  };
+  // Shares follow the paper: TLS dominates (7% of port-80 scanners),
+  // followed by Telnet, SQL, RTSP, SMB (Section 6).
+  const AltSpec specs[] = {
+      {net::Protocol::kTls, 7, 0.45},  {net::Protocol::kTelnet, 2, 0.8},
+      {net::Protocol::kSql, 2, 0.8},   {net::Protocol::kRtsp, 1, 0.6},
+      {net::Protocol::kSmb, 1, 0.8},   {net::Protocol::kRedis, 1, 1.0},
+  };
+  for (const AltSpec& spec : specs) {
+    const int count = b.scaled(doubled ? spec.count * 2 : spec.count);
+    for (int i = 0; i < count; ++i) {
+      CampaignConfig c;
+      c.label = std::string("unexpected-") + std::string(net::protocol_name(spec.protocol));
+      const bool malicious = b.rng.bernoulli(spec.malicious_fraction);
+      // China-registered ASes lead malicious unexpected-protocol scanning;
+      // Censys leads the benign side.
+      c.asn = malicious ? (b.rng.bernoulli(0.5) ? net::kAsnChinanet : net::kAsnChinaUnicom)
+                        : (b.rng.bernoulli(0.4) ? net::kAsnCensys : b.random_tail_as());
+      c.sources = static_cast<int>(b.rng.uniform_int(1, 3));
+      c.ports = {80, 8080};
+      c.protocol = spec.protocol;
+      if (spec.protocol == net::Protocol::kRedis && malicious) {
+        c.payload = PayloadKind::kExploit;
+        c.exploit = proto::ExploitKind::kRedisHijack;
+      } else {
+        c.payload = PayloadKind::kBenignProbe;
+      }
+      c.malicious = malicious;
+      c.waves = 1;
+      c.filter.cloud_coverage = b.rng.uniform(0.5, 0.9);
+      c.filter.edu_coverage = b.rng.uniform(0.5, 0.9);
+      c.filter.telescope_coverage = b.rng.bernoulli(0.5) ? 0.6 : 0.0;
+      b.add_campaign(std::move(c));
+    }
+  }
+}
+
+// --- Other popular ports (21, 25, 7547, 445) ---------------------------------
+void build_other_ports(Builder& b) {
+  struct PortSpec {
+    net::Port port;
+    int cloud_actors;
+    double cloud_tel_rate;  // telescope participation of cloud-targeting actors
+    int edu_actors;         // regional actors: edu + telescope, no cloud
+  };
+  // cloud_tel_rate tracks Table 8's cloud column; the edu-regional actors
+  // (Merit shares an AS with Orion) pull the EDU column up.
+  const PortSpec specs[] = {
+      {21, 16, 0.29, 5},
+      {25, 16, 0.15, 5},
+      {7547, 12, 0.2, 4},
+  };
+  for (const PortSpec& spec : specs) {
+    const int cloud_actors = b.scaled(spec.cloud_actors);
+    for (int i = 0; i < cloud_actors; ++i) {
+      CampaignConfig c;
+      c.label = "port" + std::to_string(spec.port) + "-scan";
+      c.asn = b.random_tail_as();
+      c.sources = static_cast<int>(b.rng.uniform_int(2, 6));
+      c.ports = {spec.port};
+      c.payload = spec.port == 7547 ? PayloadKind::kExploit : PayloadKind::kSynOnly;
+      if (spec.port == 7547) c.exploit = proto::ExploitKind::kTr069Injection;
+      c.malicious = spec.port == 7547;
+      c.waves = 1;
+      c.filter.cloud_coverage = b.rng.uniform(0.5, 0.9);
+      c.filter.edu_coverage = b.rng.uniform(0.5, 0.9);
+      c.filter.telescope_coverage = b.rng.bernoulli(spec.cloud_tel_rate) ? 0.7 : 0.0;
+      b.add_campaign(std::move(c));
+    }
+    const int edu_actors = b.scaled(spec.edu_actors);
+    for (int i = 0; i < edu_actors; ++i) {
+      CampaignConfig c;
+      c.label = "port" + std::to_string(spec.port) + "-edu-regional";
+      c.asn = b.random_tail_as();
+      c.sources = static_cast<int>(b.rng.uniform_int(1, 3));
+      c.ports = {spec.port};
+      c.payload = PayloadKind::kSynOnly;
+      c.malicious = false;
+      c.waves = 1;
+      c.filter.cloud_coverage = 0.0;
+      c.filter.edu_coverage = b.rng.uniform(0.6, 0.9);
+      c.filter.telescope_coverage = 0.9;  // Merit and Orion share an AS
+      b.add_campaign(std::move(c));
+    }
+  }
+  // Education-focused scanners on 2222/443 (Merit's AS neighbors the
+  // telescope, pulling the EDU overlap columns up on ports whose cloud
+  // population is telescope-shy).
+  struct EduSpec {
+    net::Port port;
+    int actors;
+  };
+  const EduSpec edu_specs[] = {{2222, 5}, {443, 4}, {22, 6}, {80, 5}, {25, 5}, {21, 5}};
+  for (const EduSpec& spec : edu_specs) {
+    const int actors = b.scaled(spec.actors);
+    for (int i = 0; i < actors; ++i) {
+      CampaignConfig c;
+      c.label = "port" + std::to_string(spec.port) + "-edu-regional";
+      c.asn = b.random_tail_as();
+      c.sources = static_cast<int>(b.rng.uniform_int(1, 3));
+      c.ports = {spec.port};
+      c.payload = PayloadKind::kSynOnly;
+      c.malicious = false;
+      c.waves = 1;
+      c.filter.edu_coverage = b.rng.uniform(0.6, 0.9);
+      c.filter.telescope_coverage = 0.9;
+      b.add_campaign(std::move(c));
+    }
+  }
+
+  // SMB/445: structure-aware scanners that filter broadcast-looking
+  // addresses — 9x less likely on any-255 octets, a further 3.5x on .255
+  // endings (Section 4.2, Figure 1b).
+  const int smb = b.scaled(10);
+  for (int i = 0; i < smb; ++i) {
+    CampaignConfig c;
+    c.label = "smb-structure-aware";
+    c.asn = b.rng.bernoulli(0.3) ? b.random_cn_as() : b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(1, 6));
+    c.ports = {445};
+    c.payload = PayloadKind::kBenignProbe;
+    c.protocol = net::Protocol::kSmb;
+    c.malicious = b.rng.bernoulli(0.5);
+    c.waves = 1;
+    c.filter.cloud_coverage = b.rng.uniform(0.5, 0.9);
+    c.filter.edu_coverage = b.rng.uniform(0.5, 0.9);
+    c.filter.telescope_coverage = 0.9;
+    c.filter.weight_any_255 = 1.0 / 9.0;
+    c.filter.weight_last_255 = 1.0 / 3.5;
+    b.add_campaign(std::move(c));
+  }
+}
+
+// --- UDP services (NTP, SIP) ---------------------------------------------------
+// The honeypots record the first UDP datagram but never answer (the
+// paper's no-amplification ethics posture); GreyNoise honeypots do not
+// expose UDP services at all, so this traffic lands on the Honeytrap
+// networks and the telescope.
+void build_udp(Builder& b) {
+  const int ntp_probes = b.scaled(5);
+  for (int i = 0; i < ntp_probes; ++i) {
+    CampaignConfig c;
+    c.label = "ntp-udp-probe";
+    c.asn = b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(1, 3));
+    c.ports = {123};
+    c.transport = net::Transport::kUdp;
+    c.protocol = net::Protocol::kNtp;
+    c.payload = PayloadKind::kBenignProbe;
+    c.malicious = false;
+    c.waves = 1;
+    c.filter.cloud_coverage = b.rng.uniform(0.5, 0.9);
+    c.filter.edu_coverage = b.rng.uniform(0.5, 0.9);
+    c.filter.telescope_coverage = 0.8;
+    b.add_campaign(std::move(c));
+  }
+  const int sip_brute = b.scaled(4);
+  for (int i = 0; i < sip_brute; ++i) {
+    CampaignConfig c;
+    c.label = "sipvicious-udp";
+    c.asn = b.rng.bernoulli(0.4) ? b.random_cn_as() : b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(1, 4));
+    c.ports = {5060};
+    c.transport = net::Transport::kUdp;
+    c.payload = PayloadKind::kExploit;
+    c.exploit = proto::ExploitKind::kSipRegister;
+    c.malicious = true;
+    c.waves = static_cast<int>(b.rng.uniform_int(1, 2));
+    c.min_attempts = 2;
+    c.max_attempts = 6;
+    c.filter.cloud_coverage = b.rng.uniform(0.5, 0.9);
+    c.filter.edu_coverage = b.rng.uniform(0.5, 0.9);
+    c.filter.telescope_coverage = b.rng.bernoulli(0.6) ? 0.7 : 0.0;
+    b.add_campaign(std::move(c));
+  }
+}
+
+// --- Background radiation ----------------------------------------------------
+// A long tail of low-rate random sub-sampled scans. Individually they
+// almost never hit a 4-address cloud region, but the telescope's sheer size
+// catches them all — which is why the telescope's unique-scanner counts
+// dwarf every honeypot's (Table 1).
+void build_background(Builder& b) {
+  const int actors = b.scaled(500);
+  for (int i = 0; i < actors; ++i) {
+    CampaignConfig c;
+    c.label = "background";
+    c.asn = b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(1, 2));
+    const net::Port port = net::popular_ports()[b.rng.index(net::popular_ports().size())];
+    c.ports = {port};
+    c.payload = PayloadKind::kSynOnly;
+    c.malicious = false;
+    c.waves = 1;
+    // A real sub-1%-of-IPv4 sampler lands on a handful of a 475K-address
+    // telescope's IPs but almost never on a 4-address honeypot region. Our
+    // telescope is ~100x smaller than Orion, so the telescope coverage is
+    // boosted relative to the honeypot-side coverage to preserve that
+    // asymmetry: most background sources appear *only* in the telescope.
+    const double telescope_rate = b.rng.uniform(0.01, 0.12);
+    c.filter.cloud_coverage = telescope_rate / 150.0;
+    c.filter.edu_coverage = telescope_rate / 150.0;
+    c.filter.telescope_coverage = telescope_rate;
+    // Mild last-octet broadcast filtering is widespread (Figure 1c).
+    c.filter.weight_last_255 = 1.0 / 3.5;
+    b.add_campaign(std::move(c));
+  }
+}
+
+// --- Search-engine miners (Section 4.3, Table 3) ------------------------------
+void build_miners(Builder& b) {
+  // SSH miners rely on Shodan, HTTP miners on Censys; Telnet attackers use
+  // both but lean on the engines less (lower attack fractions).
+  struct MinerSpec {
+    net::Port port;
+    net::Protocol protocol;
+    EnginePreference engines;
+    int count;
+    double attack_fraction;
+    PayloadKind payload;
+  };
+  const MinerSpec specs[] = {
+      {22, net::Protocol::kSsh, EnginePreference::kShodan, 4, 0.9, PayloadKind::kBruteforce},
+      {22, net::Protocol::kSsh, EnginePreference::kCensys, 1, 0.7, PayloadKind::kBruteforce},
+      {80, net::Protocol::kHttp, EnginePreference::kCensys, 4, 0.9, PayloadKind::kExploit},
+      {80, net::Protocol::kHttp, EnginePreference::kShodan, 2, 0.7, PayloadKind::kExploit},
+      {23, net::Protocol::kTelnet, EnginePreference::kBoth, 2, 0.35, PayloadKind::kBruteforce},
+  };
+  for (const MinerSpec& spec : specs) {
+    const int count = b.scaled(spec.count);
+    for (int i = 0; i < count; ++i) {
+      MinerConfig c;
+      c.label = "miner-" + std::string(net::protocol_name(spec.protocol));
+      c.asn = b.rng.bernoulli(0.4) ? b.random_cn_as() : b.random_tail_as();
+      c.sources = static_cast<int>(b.rng.uniform_int(1, 4));
+      c.port = spec.port;
+      c.protocol = spec.protocol;
+      c.engines = spec.engines;
+      c.payload = spec.payload;
+      c.attack_fraction = spec.attack_fraction;
+      c.dictionary = spec.protocol == net::Protocol::kTelnet
+                         ? proto::CredentialDictionary::kGenericTelnet
+                         : proto::CredentialDictionary::kGenericSsh;
+      if (spec.payload == PayloadKind::kExploit) {
+        const auto& exploits = proto::http_exploits();
+        c.exploit = exploits[b.rng.index(exploits.size())];
+      }
+      // A fraction of SSH miners hunt a specific software version by banner
+      // search rather than dumping everything on the port.
+      if (spec.port == 22 && b.rng.bernoulli(0.4)) c.banner_query = "OpenSSH";
+      b.add_miner(std::move(c));
+    }
+  }
+}
+
+// --- Geographic discrimination (Section 5.1, Tables 4-5) ----------------------
+void build_geography(Builder& b) {
+  // Asia-Pacific sub-region exploit campaigns: each targets exactly one AP
+  // region with its own payload, so AP region pairs diverge in top-3
+  // payloads while US/EU pairs (covered uniformly above) do not.
+  static constexpr const char* kApRegions[] = {
+      "AP-SG", "AP-JP", "AP-HK", "AP-ID", "AP-AU", "AP-IN", "AP-KR", "AP-TW",
+  };
+  const auto& exploits = proto::http_exploits();
+  int exploit_cursor = 0;
+  for (const char* region : kApRegions) {
+    const int per_region = b.scaled(3);
+    for (int i = 0; i < per_region; ++i) {
+      CampaignConfig c;
+      c.label = std::string("ap-exploit-") + region;
+      c.asn = b.rng.bernoulli(0.5) ? b.random_cn_as() : b.random_tail_as();
+      c.sources = static_cast<int>(b.rng.uniform_int(1, 3));
+      c.ports = {80, 8080};
+      c.payload = PayloadKind::kExploit;
+      c.exploit = exploits[static_cast<std::size_t>(exploit_cursor++) % exploits.size()];
+      c.malicious = true;
+      c.waves = 4;
+      c.min_attempts = 2;
+      c.max_attempts = 4;
+      c.filter.cloud_coverage = 0.9;
+      c.filter.telescope_coverage = b.rng.bernoulli(0.7) ? 0.6 : 0.0;
+      c.filter.region_allow = {region};
+      b.add_campaign(std::move(c));
+    }
+  }
+  // Campaigns that avoid (or exclusively target) the whole Asia-Pacific
+  // block on SSH/Telnet: these drive the AS-level AP divergence that every
+  // provider shows (Table 4's Top-3-AS rows).
+  for (int i = 0; i < b.scaled(4); ++i) {
+    CampaignConfig c;
+    c.label = "ap-avoider";
+    c.asn = b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(3, 8));
+    c.ports = b.rng.bernoulli(0.5) ? std::vector<net::Port>{22} : std::vector<net::Port>{23};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = c.ports[0] == 22 ? proto::CredentialDictionary::kGenericSsh
+                                    : proto::CredentialDictionary::kGenericTelnet;
+    c.malicious = true;
+    c.waves = 2;
+    c.min_attempts = 2;
+    c.max_attempts = 8;
+    c.filter.cloud_coverage = 0.95;
+    c.filter.edu_coverage = 0.95;
+    c.filter.continent_weight[net::Continent::kAsiaPacific] = 0.05;
+    b.add_campaign(std::move(c));
+  }
+  for (int i = 0; i < b.scaled(3); ++i) {
+    CampaignConfig c;
+    c.label = "ap-only";
+    c.asn = b.rng.bernoulli(0.6) ? b.random_cn_as() : b.random_tail_as();
+    c.sources = static_cast<int>(b.rng.uniform_int(3, 8));
+    c.ports = b.rng.bernoulli(0.5) ? std::vector<net::Port>{22} : std::vector<net::Port>{23};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = proto::CredentialDictionary::kMirai;
+    c.malicious = true;
+    c.waves = 2;
+    c.min_attempts = 2;
+    c.max_attempts = 8;
+    c.dict_offset = 10 + i;
+    c.favorite_weight = 0.3;
+    c.filter.cloud_coverage = 0.95;
+    c.filter.continent_weight[net::Continent::kNorthAmerica] = 0.03;
+    c.filter.continent_weight[net::Continent::kEurope] = 0.03;
+    b.add_campaign(std::move(c));
+  }
+
+  // The Huawei-credential Telnet campaign that dominates AWS Australia
+  // ("mother" / "e8ehome", Section 5.1).
+  {
+    CampaignConfig c;
+    c.label = "huawei-telnet-ap-au";
+    c.asn = b.random_cn_as();
+    c.sources = 12;
+    c.ports = {23};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = proto::CredentialDictionary::kHuaweiRegional;
+    c.malicious = true;
+    c.waves = 3;
+    c.min_attempts = 6;
+    c.max_attempts = 14;
+    c.filter.cloud_coverage = 0.95;
+    c.filter.region_allow = {"AWS/AP-AU"};
+    b.add_campaign(std::move(c));
+  }
+  // AP-JP SSH campaign with a distinct (Mirai) username mix — the AWS AP-JP
+  // top-username divergence of Table 4.
+  {
+    CampaignConfig c;
+    c.label = "ap-jp-ssh";
+    c.asn = b.random_tail_as();
+    c.sources = 8;
+    c.ports = {22};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = proto::CredentialDictionary::kMirai;
+    c.malicious = true;
+    c.waves = 3;
+    c.min_attempts = 5;
+    c.max_attempts = 12;
+    c.filter.cloud_coverage = 0.95;
+    c.filter.region_allow = {"AWS/AP-JP"};
+    b.add_campaign(std::move(c));
+  }
+  // Emirates Internet: HTTP POST login requests only toward Mumbai (the
+  // closest region); SATNET Ecuador scans everywhere *except* Mumbai.
+  {
+    CampaignConfig c;
+    c.label = "emirates-mumbai";
+    c.asn = net::kAsnEmiratesInternet;
+    c.sources = 3;
+    c.ports = {80};
+    c.payload = PayloadKind::kExploit;
+    c.exploit = proto::ExploitKind::kHttpPostLogin;
+    c.malicious = true;
+    c.waves = 2;
+    c.filter.cloud_coverage = 0.95;
+    c.filter.region_allow = {"AP-IN"};
+    b.add_campaign(std::move(c));
+  }
+  {
+    CampaignConfig c;
+    c.label = "satnet-avoids-mumbai";
+    c.asn = net::kAsnSatnet;
+    c.sources = 3;
+    c.ports = {80};
+    c.payload = PayloadKind::kBenignProbe;
+    c.malicious = false;
+    c.waves = 1;
+    c.filter.cloud_coverage = 0.9;
+    c.filter.edu_coverage = 0.9;
+    c.filter.region_deny = {"AP-IN"};
+    b.add_campaign(std::move(c));
+  }
+  // Flavor campaigns from Section 5.1's US/EU observations: elevated Telnet
+  // payloads toward AWS Paris and Android-emulator commands toward AWS
+  // Frankfurt. Both are small effects by construction.
+  {
+    CampaignConfig c;
+    c.label = "paris-telnet";
+    c.asn = b.random_tail_as();
+    c.sources = 2;
+    c.ports = {23};
+    c.payload = PayloadKind::kBruteforce;
+    c.dictionary = proto::CredentialDictionary::kGenericTelnet;
+    c.malicious = true;
+    c.waves = 1;
+    c.min_attempts = 2;
+    c.max_attempts = 4;
+    c.filter.cloud_coverage = 0.8;
+    c.filter.region_allow = {"AWS/EU-FR"};
+    b.add_campaign(std::move(c));
+  }
+  {
+    CampaignConfig c;
+    c.label = "frankfurt-adb";
+    c.asn = b.random_tail_as();
+    c.sources = 2;
+    c.ports = {5555};
+    c.payload = PayloadKind::kExploit;
+    c.exploit = proto::ExploitKind::kAdbShell;
+    c.malicious = true;
+    c.waves = 1;
+    c.filter.cloud_coverage = 0.8;
+    c.filter.region_allow = {"AWS/EU-DE"};
+    b.add_campaign(std::move(c));
+  }
+}
+
+// --- Neighborhood anomalies (Section 4.1) -------------------------------------
+void build_neighborhood_anomalies(Builder& b) {
+  // Axtel: three orders of magnitude more unique scanning IPs against one
+  // of the four identical Linode Singapore services.
+  if (const auto* vp = find_vantage(*b.deployment, "Linode/AP-SG");
+      vp != nullptr && !vp->addresses.empty()) {
+    CampaignConfig c = tsunami_config(net::kAsnAxtel, 80, {vp->addresses.front()}, 22);
+    c.label = "axtel-linode-sg-latch";
+    b.add_campaign(std::move(c));
+  }
+  // Tsunami: thousands of bot IPs locked onto a single Hurricane Electric
+  // honeypot address.
+  if (const auto* vp = find_vantage(*b.deployment, "HurricaneElectric/US-OH");
+      vp != nullptr && vp->addresses.size() > 37) {
+    CampaignConfig c = tsunami_config(b.random_tail_as(), 90, {vp->addresses[37]}, 22);
+    c.label = "tsunami-he-latch";
+    b.add_campaign(std::move(c));
+  }
+  // Azure Singapore: an order of magnitude more HTTP POST login attempts
+  // against one of the four identical honeypots.
+  if (const auto* vp = find_vantage(*b.deployment, "Azure/AP-SG");
+      vp != nullptr && !vp->addresses.empty()) {
+    CampaignConfig c;
+    c.label = "azure-sg-post-latch";
+    c.asn = b.random_tail_as();
+    c.sources = 30;
+    c.ports = {80};
+    c.payload = PayloadKind::kExploit;
+    c.exploit = proto::ExploitKind::kHttpPostLogin;
+    c.malicious = true;
+    c.waves = 3;
+    c.filter.latch_addresses = {vp->addresses.front()};
+    b.add_campaign(std::move(c));
+  }
+  // Tsunami's four fixed telescope targets on port 17128 (Figure 1d). The
+  // offsets scale with the configured telescope size.
+  if (const auto* vp = find_vantage(*b.deployment, "Orion");
+      vp != nullptr && vp->addresses.size() >= 1024) {
+    const std::size_t n = vp->addresses.size();
+    std::vector<net::IPv4Addr> latched = {vp->addresses[n / 8], vp->addresses[n / 8 + 1],
+                                          vp->addresses[n / 2], vp->addresses[n / 2 + 1]};
+    CampaignConfig c = tsunami_config(b.random_tail_as(), 500, std::move(latched), 17128);
+    c.label = "tsunami-telescope-17128";
+    b.add_campaign(std::move(c));
+  }
+}
+
+}  // namespace
+
+Population Population::build(const PopulationConfig& config,
+                             const topology::Deployment& deployment) {
+  Population population;
+  Builder b{
+      .config = &config,
+      .deployment = &deployment,
+      .rng = util::Rng(config.seed ^ (static_cast<std::uint64_t>(config.year) << 48)),
+      .next_id = Population::kFirstPopulationActorId,
+      .actors = &population.actors_,
+      .tail_ases = {},
+      .cn_ases = {},
+  };
+  const net::AsRegistry registry = net::AsRegistry::standard();
+  for (const net::AsInfo& info : registry.all()) {
+    if (info.asn >= 64512) b.tail_ases.push_back(info.asn);
+    if (info.country == net::CountryCode('C', 'N')) b.cn_ases.push_back(info.asn);
+  }
+
+  build_ssh(b);
+  build_telnet(b);
+  build_http(b);
+  // 2022 saw roughly double the unexpected-protocol share (Table 17).
+  build_unexpected(b, /*doubled=*/config.year == topology::ScenarioYear::k2022);
+  build_other_ports(b);
+  build_udp(b);
+  build_background(b);
+  build_miners(b);
+  // A small population of honeypot-fingerprinting attackers (Section 7):
+  // sophisticated SSH brute-forcers that recognize most honeypots from the
+  // probe response and walk away, biasing honeypot data against them.
+  for (int i = 0; i < b.scaled(3); ++i) {
+    EvaderConfig e;
+    e.asn = b.random_cn_as();
+    e.sources = static_cast<int>(b.rng.uniform_int(2, 5));
+    e.detection_rate = b.rng.uniform(0.6, 0.9);
+    e.cloud_coverage = b.rng.uniform(0.5, 0.9);
+    e.edu_coverage = e.cloud_coverage;
+    b.add_evader(std::move(e));
+  }
+  build_geography(b);
+  build_neighborhood_anomalies(b);
+
+  // Year-specific anomalies: 2020 carried one-off SSH campaigns that made
+  // US/EU sub-regions look different (Appendix C.3).
+  if (config.year == topology::ScenarioYear::k2020) {
+    static constexpr const char* kUsEuRegions[] = {"AWS/US-OR", "AWS/EU-FR", "Google/EU-NL"};
+    for (const char* region : kUsEuRegions) {
+      CampaignConfig c;
+      c.label = std::string("anomaly2020-") + region;
+      c.asn = b.random_tail_as();
+      c.sources = 6;
+      c.ports = {22};
+      c.payload = PayloadKind::kBruteforce;
+      c.dictionary = proto::CredentialDictionary::kMirai;
+      c.malicious = true;
+      c.waves = 2;
+      c.min_attempts = 4;
+      c.max_attempts = 10;
+      c.filter.cloud_coverage = 0.9;
+      c.filter.region_allow = {region};
+      b.add_campaign(std::move(c));
+    }
+  }
+  return population;
+}
+
+void Population::start_all(AgentContext& ctx) {
+  for (const std::unique_ptr<Actor>& actor : actors_) actor->start(ctx);
+}
+
+std::unordered_map<capture::ActorId, bool> Population::ground_truth() const {
+  std::unordered_map<capture::ActorId, bool> out;
+  out.emplace(kCensysActorId, false);
+  out.emplace(kShodanActorId, false);
+  for (const std::unique_ptr<Actor>& actor : actors_) {
+    out.emplace(actor->id(), actor->is_malicious());
+  }
+  return out;
+}
+
+}  // namespace cw::agents

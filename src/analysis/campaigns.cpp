@@ -1,0 +1,120 @@
+#include "analysis/campaigns.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "proto/http.h"
+
+namespace cw::analysis {
+namespace {
+
+// The clustering key for a record: the normalized payload when present
+// (campaign tooling reuses byte-identical requests), otherwise the
+// credential stream is too individually variable, so credential-bearing
+// records key on the banner payload they ride with.
+std::string signature_of(const capture::SessionRecord& record,
+                         const capture::EventStore& store) {
+  if (record.payload_id != capture::kNoPayload) {
+    return proto::normalize_http_payload(store.payload(record.payload_id));
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<InferredCampaign> infer_campaigns(const capture::EventStore& store,
+                                              const CampaignInferenceOptions& options) {
+  // Signature -> time-ordered (time, src, port) observations.
+  struct Observation {
+    util::SimTime time;
+    std::uint32_t src;
+    net::Port port;
+  };
+  std::unordered_map<std::string, std::vector<Observation>> by_signature;
+  for (const capture::SessionRecord& record : store.records()) {
+    const std::string signature = signature_of(record, store);
+    if (signature.empty()) continue;
+    by_signature[signature].push_back({record.time, record.src, record.port});
+  }
+
+  std::vector<InferredCampaign> campaigns;
+  for (auto& [signature, observations] : by_signature) {
+    std::sort(observations.begin(), observations.end(),
+              [](const Observation& a, const Observation& b) { return a.time < b.time; });
+
+    // Split on quiet gaps, then keep segments with enough distinct sources.
+    std::size_t segment_start = 0;
+    for (std::size_t i = 1; i <= observations.size(); ++i) {
+      const bool gap = i == observations.size() ||
+                       observations[i].time - observations[i - 1].time > options.max_gap;
+      if (!gap) continue;
+
+      std::set<std::uint32_t> sources;
+      std::map<net::Port, std::uint64_t> per_port;
+      for (std::size_t j = segment_start; j < i; ++j) {
+        sources.insert(observations[j].src);
+        ++per_port[observations[j].port];
+      }
+      if (sources.size() >= options.min_sources) {
+        InferredCampaign campaign;
+        campaign.signature = signature;
+        campaign.sources.assign(sources.begin(), sources.end());
+        campaign.events = i - segment_start;
+        campaign.first_seen = observations[segment_start].time;
+        campaign.last_seen = observations[i - 1].time;
+        campaign.dominant_port =
+            std::max_element(per_port.begin(), per_port.end(), [](const auto& a, const auto& b) {
+              return a.second < b.second;
+            })->first;
+        campaigns.push_back(std::move(campaign));
+      }
+      segment_start = i;
+    }
+  }
+
+  std::sort(campaigns.begin(), campaigns.end(),
+            [](const InferredCampaign& a, const InferredCampaign& b) {
+              if (a.events != b.events) return a.events > b.events;
+              return a.signature < b.signature;
+            });
+  return campaigns;
+}
+
+CampaignValidation validate_campaigns(const capture::EventStore& store,
+                                      const std::vector<InferredCampaign>& campaigns,
+                                      const CampaignInferenceOptions& options) {
+  CampaignValidation validation;
+  validation.inferred = campaigns.size();
+
+  // Ground truth: source address -> actor, and actor -> active source count.
+  std::unordered_map<std::uint32_t, capture::ActorId> actor_of;
+  std::unordered_map<capture::ActorId, std::set<std::uint32_t>> sources_of;
+  for (const capture::SessionRecord& record : store.records()) {
+    actor_of[record.src] = record.actor;
+    sources_of[record.actor].insert(record.src);
+  }
+  std::set<capture::ActorId> true_campaigns;
+  for (const auto& [actor, sources] : sources_of) {
+    if (sources.size() >= options.min_sources) true_campaigns.insert(actor);
+  }
+  validation.true_campaigns = true_campaigns.size();
+
+  std::set<capture::ActorId> recovered;
+  for (const InferredCampaign& campaign : campaigns) {
+    std::set<capture::ActorId> actors;
+    for (const std::uint32_t src : campaign.sources) {
+      auto it = actor_of.find(src);
+      if (it != actor_of.end()) actors.insert(it->second);
+    }
+    if (actors.size() == 1) {
+      ++validation.pure;
+      if (true_campaigns.contains(*actors.begin())) recovered.insert(*actors.begin());
+    }
+  }
+  validation.recovered = recovered.size();
+  return validation;
+}
+
+}  // namespace cw::analysis

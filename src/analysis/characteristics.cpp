@@ -1,0 +1,117 @@
+#include "analysis/characteristics.h"
+
+#include <unordered_set>
+
+#include "proto/http.h"
+
+namespace cw::analysis {
+
+std::string_view scope_name(TrafficScope scope) noexcept {
+  switch (scope) {
+    case TrafficScope::kSsh22: return "SSH/22";
+    case TrafficScope::kTelnet23: return "Telnet/23";
+    case TrafficScope::kHttp80: return "HTTP/80";
+    case TrafficScope::kHttpAllPorts: return "HTTP/All Ports";
+    case TrafficScope::kAnyAll: return "Any/All";
+  }
+  return "?";
+}
+
+bool in_scope(const capture::SessionRecord& record, TrafficScope scope,
+              const capture::EventStore& store) {
+  switch (scope) {
+    case TrafficScope::kSsh22: return record.port == 22;
+    case TrafficScope::kTelnet23: return record.port == 23;
+    case TrafficScope::kHttp80: return record.port == 80;
+    case TrafficScope::kHttpAllPorts: {
+      if (record.payload_id == capture::kNoPayload) return false;
+      return proto::Fingerprinter::identify(store.payload(record.payload_id)) ==
+             net::Protocol::kHttp;
+    }
+    case TrafficScope::kAnyAll: return true;
+  }
+  return false;
+}
+
+TrafficSlice slice_vantage(const capture::EventStore& store, topology::VantageId vantage,
+                           TrafficScope scope) {
+  TrafficSlice slice;
+  slice.store = &store;
+  for (std::uint32_t index : store.for_vantage(vantage)) {
+    if (in_scope(store.records()[index], scope, store)) slice.records.push_back(index);
+  }
+  return slice;
+}
+
+TrafficSlice slice_neighbor(const capture::EventStore& store, topology::VantageId vantage,
+                            std::uint16_t neighbor, TrafficScope scope) {
+  TrafficSlice slice;
+  slice.store = &store;
+  for (std::uint32_t index : store.for_vantage(vantage)) {
+    const capture::SessionRecord& record = store.records()[index];
+    if (record.neighbor != neighbor) continue;
+    if (in_scope(record, scope, store)) slice.records.push_back(index);
+  }
+  return slice;
+}
+
+stats::FrequencyTable as_table(const TrafficSlice& slice) {
+  stats::FrequencyTable table;
+  for (std::uint32_t index : slice.records) {
+    table.add("AS" + std::to_string(slice.store->records()[index].src_as));
+  }
+  return table;
+}
+
+stats::FrequencyTable username_table(const TrafficSlice& slice) {
+  stats::FrequencyTable table;
+  for (std::uint32_t index : slice.records) {
+    const capture::SessionRecord& record = slice.store->records()[index];
+    if (record.credential_id == capture::kNoCredential) continue;
+    table.add(slice.store->credential(record.credential_id).username);
+  }
+  return table;
+}
+
+stats::FrequencyTable password_table(const TrafficSlice& slice) {
+  stats::FrequencyTable table;
+  for (std::uint32_t index : slice.records) {
+    const capture::SessionRecord& record = slice.store->records()[index];
+    if (record.credential_id == capture::kNoCredential) continue;
+    table.add(slice.store->credential(record.credential_id).password);
+  }
+  return table;
+}
+
+stats::FrequencyTable payload_table(const TrafficSlice& slice) {
+  stats::FrequencyTable table;
+  for (std::uint32_t index : slice.records) {
+    const capture::SessionRecord& record = slice.store->records()[index];
+    if (record.payload_id == capture::kNoPayload) continue;
+    table.add(proto::normalize_http_payload(slice.store->payload(record.payload_id)));
+  }
+  return table;
+}
+
+std::pair<std::uint64_t, std::uint64_t> malicious_counts(const TrafficSlice& slice,
+                                                         const MaliciousClassifier& classifier) {
+  return classifier.count(*slice.store, slice.records);
+}
+
+std::size_t unique_sources(const TrafficSlice& slice) {
+  std::unordered_set<std::uint32_t> sources;
+  for (std::uint32_t index : slice.records) {
+    sources.insert(slice.store->records()[index].src);
+  }
+  return sources.size();
+}
+
+std::size_t unique_ases(const TrafficSlice& slice) {
+  std::unordered_set<std::uint32_t> ases;
+  for (std::uint32_t index : slice.records) {
+    ases.insert(slice.store->records()[index].src_as);
+  }
+  return ases.size();
+}
+
+}  // namespace cw::analysis

@@ -1,0 +1,72 @@
+// Traffic-characteristic extraction (Section 3.3): the "who" (scanning
+// ASes), "what" (top usernames, passwords, payloads) and "why" (fraction of
+// malicious traffic) of a slice of captured traffic. Slices select records
+// by vantage point, neighbor index, and protocol scope.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "analysis/malicious.h"
+#include "capture/store.h"
+#include "net/asn.h"
+#include "proto/fingerprint.h"
+#include "stats/freq.h"
+#include "topology/deployment.h"
+
+namespace cw::analysis {
+
+// The protocol scopes the paper reports on. HTTP/AllPorts selects payloads
+// that fingerprint as HTTP regardless of destination port (footnote 3);
+// the port-named scopes select by destination port.
+enum class TrafficScope : std::uint8_t {
+  kSsh22 = 0,
+  kTelnet23,
+  kHttp80,
+  kHttpAllPorts,
+  kAnyAll,
+};
+
+std::string_view scope_name(TrafficScope scope) noexcept;
+
+// True if the record falls inside the scope. HTTP/AllPorts needs payload
+// access, hence the store parameter.
+bool in_scope(const capture::SessionRecord& record, TrafficScope scope,
+              const capture::EventStore& store);
+
+// A selected subset of a store's records.
+struct TrafficSlice {
+  const capture::EventStore* store = nullptr;
+  std::vector<std::uint32_t> records;
+
+  [[nodiscard]] bool empty() const noexcept { return records.empty(); }
+};
+
+// All records captured by one vantage point within a scope.
+TrafficSlice slice_vantage(const capture::EventStore& store, topology::VantageId vantage,
+                           TrafficScope scope);
+
+// Records captured by one neighbor (address) of a vantage point.
+TrafficSlice slice_neighbor(const capture::EventStore& store, topology::VantageId vantage,
+                            std::uint16_t neighbor, TrafficScope scope);
+
+// Characteristic extraction. AS tables are keyed by ASN rendered as text so
+// they compose with the generic frequency machinery.
+stats::FrequencyTable as_table(const TrafficSlice& slice);
+stats::FrequencyTable username_table(const TrafficSlice& slice);
+stats::FrequencyTable password_table(const TrafficSlice& slice);
+
+// Payload table with ephemeral HTTP fields stripped (Section 3.3). Records
+// without payloads are skipped.
+stats::FrequencyTable payload_table(const TrafficSlice& slice);
+
+// (malicious, benign) record counts per the Section 3.2 classifier.
+std::pair<std::uint64_t, std::uint64_t> malicious_counts(const TrafficSlice& slice,
+                                                         const MaliciousClassifier& classifier);
+
+// Unique source addresses / ASes in a slice (Table 1 columns).
+std::size_t unique_sources(const TrafficSlice& slice);
+std::size_t unique_ases(const TrafficSlice& slice);
+
+}  // namespace cw::analysis

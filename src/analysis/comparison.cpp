@@ -1,0 +1,70 @@
+#include "analysis/comparison.h"
+
+namespace cw::analysis {
+
+std::string_view characteristic_name(Characteristic c) noexcept {
+  switch (c) {
+    case Characteristic::kTopAs: return "Top 3 AS";
+    case Characteristic::kFracMalicious: return "Fraction Malicious";
+    case Characteristic::kTopUsername: return "Top 3 Username";
+    case Characteristic::kTopPassword: return "Top 3 Password";
+    case Characteristic::kTopPayload: return "Top 3 Payloads";
+  }
+  return "?";
+}
+
+stats::SignificanceTest compare_characteristic(const std::vector<TrafficSlice>& groups,
+                                               Characteristic characteristic,
+                                               const MaliciousClassifier* classifier,
+                                               const CompareOptions& options) {
+  if (characteristic == Characteristic::kFracMalicious) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> rows;
+    rows.reserve(groups.size());
+    for (const TrafficSlice& slice : groups) {
+      rows.push_back(malicious_counts(slice, *classifier));
+    }
+    return stats::compare_binary(rows, options.alpha, options.family_size);
+  }
+
+  std::vector<stats::FrequencyTable> tables;
+  tables.reserve(groups.size());
+  for (const TrafficSlice& slice : groups) {
+    switch (characteristic) {
+      case Characteristic::kTopAs: tables.push_back(as_table(slice)); break;
+      case Characteristic::kTopUsername: tables.push_back(username_table(slice)); break;
+      case Characteristic::kTopPassword: tables.push_back(password_table(slice)); break;
+      case Characteristic::kTopPayload: tables.push_back(payload_table(slice)); break;
+      case Characteristic::kFracMalicious: break;  // handled above
+    }
+  }
+  std::vector<const stats::FrequencyTable*> pointers;
+  pointers.reserve(tables.size());
+  for (const stats::FrequencyTable& table : tables) pointers.push_back(&table);
+  return stats::compare_top_k(pointers, options.top_k, options.alpha, options.family_size);
+}
+
+bool measurable(Characteristic characteristic, topology::CollectionMethod method,
+                TrafficScope scope) noexcept {
+  switch (method) {
+    case topology::CollectionMethod::kGreyNoise:
+      return true;
+    case topology::CollectionMethod::kHoneytrap:
+      // First-payload capture only: no credential extraction, and hence no
+      // way to judge the intent of authentication-based protocols.
+      if (characteristic == Characteristic::kTopUsername ||
+          characteristic == Characteristic::kTopPassword) {
+        return false;
+      }
+      if (characteristic == Characteristic::kFracMalicious &&
+          (scope == TrafficScope::kSsh22 || scope == TrafficScope::kTelnet23)) {
+        return false;
+      }
+      return true;
+    case topology::CollectionMethod::kTelescope:
+      // First packet only: source attribution works, nothing else does.
+      return characteristic == Characteristic::kTopAs;
+  }
+  return false;
+}
+
+}  // namespace cw::analysis

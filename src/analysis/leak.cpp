@@ -1,0 +1,369 @@
+#include "analysis/leak.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "agents/campaign.h"
+#include "agents/miner.h"
+#include "agents/population.h"
+#include "capture/collector.h"
+#include "ids/ruleset.h"
+#include "analysis/malicious.h"
+#include "searchengine/engine.h"
+#include "sim/engine.h"
+#include "stats/descriptive.h"
+#include "stats/ks.h"
+#include "stats/mann_whitney.h"
+#include "topology/universe.h"
+
+namespace cw::analysis {
+namespace {
+
+constexpr net::Port kServices[3] = {22, 23, 80};
+
+struct Groups {
+  std::vector<net::IPv4Addr> control;
+  std::vector<net::IPv4Addr> previously_leaked;
+  // leaked[engine][service]: engine 0 = Censys, 1 = Shodan.
+  std::vector<net::IPv4Addr> leaked[2][3];
+
+  [[nodiscard]] const std::vector<net::IPv4Addr>& of(LeakCondition condition, int service,
+                                                     int engine_for_leaked) const {
+    switch (condition) {
+      case LeakCondition::kControl: return control;
+      case LeakCondition::kPreviouslyLeaked: return previously_leaked;
+      case LeakCondition::kCensysLeaked: return leaked[0][service];
+      case LeakCondition::kShodanLeaked: return leaked[1][service];
+    }
+    (void)engine_for_leaked;
+    return control;
+  }
+};
+
+int service_index(net::Port port) {
+  for (int i = 0; i < 3; ++i) {
+    if (kServices[i] == port) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string_view leak_condition_name(LeakCondition c) noexcept {
+  switch (c) {
+    case LeakCondition::kControl: return "control";
+    case LeakCondition::kCensysLeaked: return "Censys leaked";
+    case LeakCondition::kShodanLeaked: return "Shodan leaked";
+    case LeakCondition::kPreviouslyLeaked: return "previously leaked";
+  }
+  return "?";
+}
+
+const LeakCell* LeakExperimentResult::find(net::Port port, LeakCondition condition) const {
+  for (const LeakCell& cell : cells) {
+    if (cell.port == port && cell.condition == condition) return &cell;
+  }
+  return nullptr;
+}
+
+LeakExperimentResult run_leak_experiment(const LeakExperimentConfig& config) {
+  util::Rng rng(config.seed);
+
+  // --- Deployment: one Stanford vantage point holding all groups. --------
+  // Collection uses GreyNoise semantics so credential attempts are captured
+  // (the real deployment inferred logins from Honeytrap payloads; recording
+  // the credentials directly yields the same per-hour counts).
+  topology::Deployment deployment;
+  topology::VantagePoint vp;
+  vp.provider = topology::Provider::kStanford;
+  vp.type = topology::NetworkType::kEducation;
+  vp.collection = topology::CollectionMethod::kGreyNoise;
+  vp.region = net::make_region("US", "CA");
+  vp.name = "Stanford/Leak";
+  vp.open_ports = {22, 23, 80};
+
+  Groups groups;
+  const net::Prefix pool = topology::provider_pool(topology::Provider::kStanford);
+  std::uint32_t offset = 96 * 256;  // a quiet corner of the Stanford pool
+  auto take = [&](int count) {
+    std::vector<net::IPv4Addr> out;
+    for (int i = 0; i < count; ++i) out.push_back(pool.at(offset++));
+    return out;
+  };
+  groups.control = take(config.control_ips);
+  groups.previously_leaked = take(config.previously_leaked_ips);
+  for (int engine = 0; engine < 2; ++engine) {
+    for (int service = 0; service < 3; ++service) {
+      groups.leaked[engine][service] = take(config.leaked_ips_per_group);
+    }
+  }
+  for (const auto& addr : groups.control) vp.addresses.push_back(addr);
+  for (const auto& addr : groups.previously_leaked) vp.addresses.push_back(addr);
+  for (int engine = 0; engine < 2; ++engine) {
+    for (int service = 0; service < 3; ++service) {
+      for (const auto& addr : groups.leaked[engine][service]) vp.addresses.push_back(addr);
+    }
+  }
+  deployment.add(std::move(vp));
+  const topology::TargetUniverse universe(deployment);
+
+  // --- Engines with the access-control matrix. ----------------------------
+  search::ServiceSearchEngine censys("Censys", net::kAsnCensys,
+                                     agents::Population::kCensysActorId);
+  search::ServiceSearchEngine shodan("Shodan", net::kAsnShodan,
+                                     agents::Population::kShodanActorId);
+  censys.set_crawl_ports({22, 23, 80});
+  shodan.set_crawl_ports({22, 23, 80});
+
+  for (const auto& addr : groups.control) {
+    censys.blocklist(addr);
+    shodan.blocklist(addr);
+  }
+  for (const auto& addr : groups.previously_leaked) {
+    censys.blocklist(addr);
+    shodan.blocklist(addr);
+    // The old tenants' HTTP scanning-notice pages were indexed for years.
+    censys.seed_history(addr, 80, net::Protocol::kHttp, -2 * 365 * util::kDay);
+    shodan.seed_history(addr, 80, net::Protocol::kHttp, -2 * 365 * util::kDay);
+  }
+  for (int service = 0; service < 3; ++service) {
+    for (const auto& addr : groups.leaked[0][service]) {
+      censys.blocklist_except(addr, kServices[service]);
+      shodan.blocklist(addr);
+    }
+    for (const auto& addr : groups.leaked[1][service]) {
+      shodan.blocklist_except(addr, kServices[service]);
+      censys.blocklist(addr);
+    }
+  }
+
+  // --- Simulation. ---------------------------------------------------------
+  sim::Engine engine;
+  capture::Collector collector(universe);
+  agents::AgentContext ctx;
+  ctx.engine = &engine;
+  ctx.universe = &universe;
+  ctx.collector = &collector;
+  ctx.censys = &censys;
+  ctx.shodan = &shodan;
+  ctx.window_end = config.duration;
+
+  // Crawls every 12 hours, starting early so miners have data.
+  for (util::SimTime t = 1 * util::kHour; t < config.duration; t += 12 * util::kHour) {
+    engine.schedule_at(t, [&universe, &collector, &censys, &shodan, &rng](sim::Engine& e) {
+      util::Rng crawl_rng = rng.stream(static_cast<std::uint64_t>(e.now()));
+      censys.crawl(e.now(), universe, collector, crawl_rng);
+      shodan.crawl(e.now(), universe, collector, crawl_rng);
+    });
+  }
+
+  // Baseline population: untargeted campaigns that hit every address alike.
+  std::vector<std::unique_ptr<agents::Actor>> actors;
+  capture::ActorId next_id = agents::Population::kFirstPopulationActorId;
+  auto scaled = [&](int n) {
+    return std::max(1, static_cast<int>(std::lround(n * config.population_scale)));
+  };
+  auto add_campaign = [&](agents::CampaignConfig c) {
+    const capture::ActorId id = next_id++;
+    actors.push_back(std::make_unique<agents::ScanCampaign>(id, rng.stream(id), std::move(c)));
+  };
+  auto add_miner = [&](agents::MinerConfig c) {
+    const capture::ActorId id = next_id++;
+    actors.push_back(
+        std::make_unique<agents::SearchEngineMiner>(id, rng.stream(id), std::move(c)));
+  };
+
+  const int base_per_service = scaled(12);
+  for (int service = 0; service < 3; ++service) {
+    for (int i = 0; i < base_per_service; ++i) {
+      agents::CampaignConfig c;
+      c.label = "leak-baseline";
+      c.asn = 64512 + static_cast<net::Asn>(rng.next_below(600));
+      c.sources = static_cast<int>(rng.uniform_int(1, 4));
+      c.ports = {kServices[service]};
+      if (kServices[service] == 80) {
+        c.payload = rng.bernoulli(0.4) ? agents::PayloadKind::kExploit
+                                       : agents::PayloadKind::kBenignProbe;
+        c.exploit = proto::ExploitKind::kLog4Shell;
+        c.malicious = c.payload == agents::PayloadKind::kExploit;
+      } else {
+        c.payload = agents::PayloadKind::kBruteforce;
+        c.dictionary = kServices[service] == 22 ? proto::CredentialDictionary::kGenericSsh
+                                                : proto::CredentialDictionary::kGenericTelnet;
+        c.malicious = true;
+        c.min_attempts = 1;
+        c.max_attempts = 4;
+      }
+      c.waves = static_cast<int>(rng.uniform_int(2, 4));
+      c.filter.edu_coverage = rng.uniform(0.6, 0.95);
+      add_campaign(std::move(c));
+    }
+  }
+
+  // Miners: the engine-preference asymmetry of Table 3 (SSH->Shodan,
+  // HTTP->Censys, Telnet->both-but-weak) plus history miners that resurrect
+  // previously indexed addresses.
+  struct MinerSpec {
+    net::Port port;
+    net::Protocol protocol;
+    agents::EnginePreference engines;
+    int count;
+    double attack_fraction;
+  };
+  const MinerSpec specs[] = {
+      {22, net::Protocol::kSsh, agents::EnginePreference::kShodan, 5, 0.95},
+      {22, net::Protocol::kSsh, agents::EnginePreference::kCensys, 2, 0.8},
+      {80, net::Protocol::kHttp, agents::EnginePreference::kCensys, 5, 0.95},
+      {80, net::Protocol::kHttp, agents::EnginePreference::kShodan, 2, 0.8},
+      {23, net::Protocol::kTelnet, agents::EnginePreference::kCensys, 2, 0.4},
+      {23, net::Protocol::kTelnet, agents::EnginePreference::kShodan, 2, 0.4},
+  };
+  for (const MinerSpec& spec : specs) {
+    const int count = scaled(spec.count);
+    for (int i = 0; i < count; ++i) {
+      agents::MinerConfig c;
+      c.label = "leak-miner";
+      c.asn = 64512 + static_cast<net::Asn>(rng.next_below(600));
+      c.sources = static_cast<int>(rng.uniform_int(1, 3));
+      c.port = spec.port;
+      c.protocol = spec.protocol;
+      c.engines = spec.engines;
+      c.attack_fraction = spec.attack_fraction;
+      c.query_interval = 8 * util::kHour;
+      c.payload = spec.port == 80 ? agents::PayloadKind::kExploit
+                                  : agents::PayloadKind::kBruteforce;
+      if (spec.port == 80) c.exploit = proto::ExploitKind::kThinkPhpRce;
+      c.dictionary = spec.port == 23 ? proto::CredentialDictionary::kGenericTelnet
+                                     : proto::CredentialDictionary::kGenericSsh;
+      // Some miners mine stale data: they attack everything the engines
+      // *ever* indexed on HTTP/80, on their own port.
+      c.mine_history = rng.bernoulli(0.5);
+      c.history_port = 80;
+      add_miner(std::move(c));
+    }
+  }
+
+  for (const auto& actor : actors) actor->start(ctx);
+  engine.run_until(config.duration);
+
+  // --- Measurement. ----------------------------------------------------------
+  const capture::EventStore& store = collector.store();
+  const ids::RuleEngine rules = ids::curated_engine();
+  const MaliciousClassifier classifier(rules);
+
+  const std::size_t hours = static_cast<std::size_t>(config.duration / util::kHour);
+  struct Series {
+    std::vector<double> all;
+    std::vector<double> malicious;
+    std::set<std::string> passwords;
+    std::size_t ip_count = 0;
+  };
+  // Keyed by (service index, condition).
+  std::map<std::pair<int, LeakCondition>, Series> series;
+
+  auto condition_of = [&](net::IPv4Addr addr, int service) -> std::optional<LeakCondition> {
+    for (const auto& a : groups.control) {
+      if (a == addr) return LeakCondition::kControl;
+    }
+    for (const auto& a : groups.previously_leaked) {
+      if (a == addr) return LeakCondition::kPreviouslyLeaked;
+    }
+    for (const auto& a : groups.leaked[0][service]) {
+      if (a == addr) return LeakCondition::kCensysLeaked;
+    }
+    for (const auto& a : groups.leaked[1][service]) {
+      if (a == addr) return LeakCondition::kShodanLeaked;
+    }
+    return std::nullopt;  // leaked for a different service: not this cell
+  };
+
+  for (int service = 0; service < 3; ++service) {
+    for (const LeakCondition condition :
+         {LeakCondition::kControl, LeakCondition::kCensysLeaked, LeakCondition::kShodanLeaked,
+          LeakCondition::kPreviouslyLeaked}) {
+      Series& s = series[{service, condition}];
+      s.all.assign(hours, 0.0);
+      s.malicious.assign(hours, 0.0);
+      s.ip_count = groups.of(condition, service, 0).size();
+    }
+  }
+
+  for (const capture::SessionRecord& record : store.records()) {
+    // Exclude the search engines' own probes from the measurement.
+    if (record.actor == agents::Population::kCensysActorId ||
+        record.actor == agents::Population::kShodanActorId) {
+      continue;
+    }
+    const int service = service_index(record.port);
+    if (service < 0) continue;
+    const auto condition = condition_of(record.dst_addr(), service);
+    if (!condition) continue;
+    Series& s = series[{service, *condition}];
+    const std::size_t hour = static_cast<std::size_t>(record.time / util::kHour);
+    if (hour >= hours) continue;
+    s.all[hour] += 1.0;
+    if (classifier.classify(record, store) == MeasuredIntent::kMalicious) {
+      s.malicious[hour] += 1.0;
+      if (record.credential_id != capture::kNoCredential) {
+        s.passwords.insert(store.credential(record.credential_id).password);
+      }
+    }
+  }
+
+  // Normalize to per-IP-hour rates so group sizes do not bias folds.
+  auto normalized = [](const Series& s, const std::vector<double>& raw) {
+    std::vector<double> out = raw;
+    const double n = s.ip_count > 0 ? static_cast<double>(s.ip_count) : 1.0;
+    for (double& v : out) v /= n;
+    return out;
+  };
+
+  LeakExperimentResult result;
+  result.total_records = store.size();
+  for (int service = 0; service < 3; ++service) {
+    const Series& control = series[{service, LeakCondition::kControl}];
+    const std::vector<double> control_all = normalized(control, control.all);
+    const std::vector<double> control_mal = normalized(control, control.malicious);
+    result.control_hourly_mean[service] = stats::mean(control_all);
+
+    for (const LeakCondition condition : {LeakCondition::kCensysLeaked,
+                                          LeakCondition::kShodanLeaked,
+                                          LeakCondition::kPreviouslyLeaked}) {
+      const Series& s = series.at({service, condition});
+      const std::vector<double> all = normalized(s, s.all);
+      const std::vector<double> malicious = normalized(s, s.malicious);
+
+      LeakCell cell;
+      cell.port = kServices[service];
+      cell.condition = condition;
+      cell.fold_all = stats::fold_increase(all, control_all);
+      cell.fold_malicious = stats::fold_increase(malicious, control_mal);
+      cell.mwu_all = stats::mann_whitney_greater(all, control_all).p_value < config.alpha;
+      cell.mwu_malicious =
+          stats::mann_whitney_greater(malicious, control_mal).p_value < config.alpha;
+      cell.ks_all = stats::ks_two_sample(all, control_all).p_value < config.alpha;
+      cell.spikes_per_ip = static_cast<double>(stats::count_spikes(all));
+      cell.unique_passwords_per_ip =
+          s.ip_count > 0 ? static_cast<double>(s.passwords.size()) /
+                               static_cast<double>(s.ip_count)
+                         : 0.0;
+      result.cells.push_back(cell);
+    }
+    // Control reference row (folds are 1 by construction).
+    LeakCell control_cell;
+    control_cell.port = kServices[service];
+    control_cell.condition = LeakCondition::kControl;
+    control_cell.fold_all = 1.0;
+    control_cell.fold_malicious = 1.0;
+    control_cell.spikes_per_ip = static_cast<double>(stats::count_spikes(control_all));
+    control_cell.unique_passwords_per_ip =
+        control.ip_count > 0
+            ? static_cast<double>(control.passwords.size()) / static_cast<double>(control.ip_count)
+            : 0.0;
+    result.cells.push_back(control_cell);
+  }
+  return result;
+}
+
+}  // namespace cw::analysis

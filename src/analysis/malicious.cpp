@@ -1,0 +1,39 @@
+#include "analysis/malicious.h"
+
+namespace cw::analysis {
+
+MeasuredIntent MaliciousClassifier::classify(const capture::SessionRecord& record,
+                                             const capture::EventStore& store) const {
+  // Rule (1): an attempted login is an authentication bypass attempt.
+  if (record.credential_id != capture::kNoCredential) return MeasuredIntent::kMalicious;
+
+  if (record.payload_id == capture::kNoPayload) return MeasuredIntent::kUnobservable;
+
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(record.payload_id) << 16) | record.port;
+  auto it = verdict_cache_.find(key);
+  bool fired;
+  if (it != verdict_cache_.end()) {
+    fired = it->second;
+  } else {
+    fired = engine_->matches(store.payload(record.payload_id), record.port, record.transport);
+    verdict_cache_.emplace(key, fired);
+  }
+  return fired ? MeasuredIntent::kMalicious : MeasuredIntent::kBenign;
+}
+
+std::pair<std::uint64_t, std::uint64_t> MaliciousClassifier::count(
+    const capture::EventStore& store, const std::vector<std::uint32_t>& indices) const {
+  std::uint64_t malicious = 0;
+  std::uint64_t benign = 0;
+  for (std::uint32_t index : indices) {
+    switch (classify(store.records()[index], store)) {
+      case MeasuredIntent::kMalicious: ++malicious; break;
+      case MeasuredIntent::kBenign: ++benign; break;
+      case MeasuredIntent::kUnobservable: break;
+    }
+  }
+  return {malicious, benign};
+}
+
+}  // namespace cw::analysis

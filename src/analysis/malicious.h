@@ -1,0 +1,45 @@
+// Section 3.2's maliciousness measurement: a captured session is malicious
+// when it (1) attempts to log in / bypass authentication, or (2) alters the
+// state of the service — the latter detected by the curated Suricata-subset
+// rule set. The classifier sees only what the collection method retained:
+// telescope records (no payload, no credentials) can never be classified,
+// which is precisely the measurement blind spot the paper discusses.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "capture/store.h"
+#include "ids/engine.h"
+
+namespace cw::analysis {
+
+enum class MeasuredIntent : std::uint8_t {
+  kBenign = 0,     // payload observed, nothing fired
+  kMalicious,      // credential attempt or IDS alert
+  kUnobservable,   // no payload/credential retained (telescope, SYN-only)
+};
+
+class MaliciousClassifier {
+ public:
+  // The engine is borrowed and must outlive the classifier.
+  explicit MaliciousClassifier(const ids::RuleEngine& engine) : engine_(&engine) {}
+
+  // Classifies one record against the store it came from. Verdicts for
+  // (payload, port) pairs are memoized — campaign payloads repeat millions
+  // of times.
+  MeasuredIntent classify(const capture::SessionRecord& record,
+                          const capture::EventStore& store) const;
+
+  // Convenience: (malicious, benign) counts over a set of record indices;
+  // unobservable records are excluded from both.
+  std::pair<std::uint64_t, std::uint64_t> count(const capture::EventStore& store,
+                                                const std::vector<std::uint32_t>& indices) const;
+
+ private:
+  const ids::RuleEngine* engine_;
+  // Key packs payload id and port.
+  mutable std::unordered_map<std::uint64_t, bool> verdict_cache_;
+};
+
+}  // namespace cw::analysis

@@ -1,0 +1,54 @@
+// Section 5.2: network-type discrimination. Compares traffic across
+// networks while holding geography fixed — cloud-to-cloud via co-located
+// GreyNoise regions (Table 6/7), cloud-to-education and education-to-
+// education via the matched Honeytrap deployments, and telescope-to-
+// everything for Table 10.
+#pragma once
+
+#include <vector>
+
+#include "analysis/comparison.h"
+
+namespace cw::analysis {
+
+struct NetworkOptions {
+  std::size_t top_k = 3;
+  double alpha = 0.05;
+  std::size_t min_records = 10;
+  // The paper applies Bonferroni "across all vantage points", i.e. over
+  // the whole study's comparison family, which shrinks alpha by orders of
+  // magnitude. The per-call pair count is multiplied by this factor to
+  // approximate that study-wide family.
+  std::size_t family_scale = 50;
+};
+
+struct NetworkComparison {
+  TrafficScope scope = TrafficScope::kSsh22;
+  Characteristic characteristic = Characteristic::kTopAs;
+  bool measurable = true;        // false renders as "x" (collection limits)
+  std::size_t pairs_tested = 0;  // n
+  std::size_t pairs_different = 0;
+  double avg_phi = 0.0;          // mean Cramér's V over significant pairs
+  stats::EffectMagnitude strongest = stats::EffectMagnitude::kNone;
+};
+
+// Generic pairwise driver used by all the comparisons below.
+NetworkComparison compare_vantage_pairs(
+    const capture::EventStore& store, const topology::Deployment& deployment,
+    const std::vector<std::pair<topology::VantageId, topology::VantageId>>& pairs,
+    TrafficScope scope, Characteristic characteristic, const MaliciousClassifier& classifier,
+    const NetworkOptions& options = {});
+
+// The pair lists for each comparison family.
+std::vector<std::pair<topology::VantageId, topology::VantageId>> cloud_cloud_pairs(
+    const topology::Deployment& deployment);
+std::vector<std::pair<topology::VantageId, topology::VantageId>> cloud_edu_pairs(
+    const topology::Deployment& deployment);
+std::vector<std::pair<topology::VantageId, topology::VantageId>> edu_edu_pairs(
+    const topology::Deployment& deployment);
+std::vector<std::pair<topology::VantageId, topology::VantageId>> telescope_edu_pairs(
+    const topology::Deployment& deployment);
+std::vector<std::pair<topology::VantageId, topology::VantageId>> telescope_cloud_pairs(
+    const topology::Deployment& deployment);
+
+}  // namespace cw::analysis

@@ -1,0 +1,27 @@
+#include "analysis/oracle.h"
+
+#include "util/rng.h"
+
+namespace cw::analysis {
+
+ReputationOracle::ReputationOracle(std::unordered_map<capture::ActorId, bool> truth,
+                                   double unknown_fraction, std::uint64_t seed) {
+  for (const auto& [actor, malicious] : truth) {
+    // Stable per-actor coin so the oracle is consistent across queries and
+    // runs with the same seed.
+    std::uint64_t state = seed ^ (static_cast<std::uint64_t>(actor) * 0x9e3779b97f4a7c15ULL);
+    const double coin = static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+    if (coin < unknown_fraction) {
+      labels_.emplace(actor, Reputation::kUnknown);
+    } else {
+      labels_.emplace(actor, malicious ? Reputation::kMalicious : Reputation::kBenign);
+    }
+  }
+}
+
+Reputation ReputationOracle::label(capture::ActorId actor) const {
+  auto it = labels_.find(actor);
+  return it == labels_.end() ? Reputation::kUnknown : it->second;
+}
+
+}  // namespace cw::analysis

@@ -1,0 +1,32 @@
+// The reputation oracle models the GreyNoise API labels used by Section 6:
+// an actor is labeled benign after a vetting process, malicious when seen
+// actively exploiting, and unknown otherwise (78% of 2022 scan IPs were
+// unknown to the real service). The oracle starts from ground-truth actor
+// intent and degrades it with a configurable unknown fraction, drawn
+// deterministically per actor.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "capture/event.h"
+
+namespace cw::analysis {
+
+enum class Reputation : std::uint8_t { kBenign = 0, kMalicious, kUnknown };
+
+class ReputationOracle {
+ public:
+  // `truth` maps actor id to ground-truth maliciousness (from the
+  // population); `unknown_fraction` is the probability an actor is simply
+  // not in the oracle's database.
+  ReputationOracle(std::unordered_map<capture::ActorId, bool> truth, double unknown_fraction,
+                   std::uint64_t seed = 0x677265796e6f69ULL);
+
+  [[nodiscard]] Reputation label(capture::ActorId actor) const;
+
+ private:
+  std::unordered_map<capture::ActorId, Reputation> labels_;
+};
+
+}  // namespace cw::analysis

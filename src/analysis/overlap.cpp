@@ -1,0 +1,123 @@
+#include "analysis/overlap.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cw::analysis {
+namespace {
+
+using IpSet = std::unordered_set<std::uint32_t>;
+
+double intersection_fraction(const IpSet& numerator_side, const IpSet& denominator) {
+  if (denominator.empty()) return 0.0;
+  std::size_t shared = 0;
+  // Iterate over the smaller set.
+  const IpSet& small = denominator.size() <= numerator_side.size() ? denominator : numerator_side;
+  const IpSet& large = denominator.size() <= numerator_side.size() ? numerator_side : denominator;
+  for (std::uint32_t ip : small) {
+    if (large.contains(ip)) ++shared;
+  }
+  // `shared` is |A ∩ B| either way.
+  return static_cast<double>(shared) / static_cast<double>(denominator.size());
+}
+
+}  // namespace
+
+std::vector<OverlapRow> scanner_overlap(const capture::EventStore& store,
+                                        const topology::Deployment& deployment,
+                                        const std::vector<net::Port>& ports,
+                                        const std::vector<capture::ActorId>& exclude_actors) {
+  const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
+                                                      exclude_actors.end());
+  // One pass: per (port, network type) source sets.
+  std::unordered_map<net::Port, IpSet> cloud;
+  std::unordered_map<net::Port, IpSet> edu;
+  std::unordered_map<net::Port, IpSet> telescope;
+  std::unordered_set<net::Port> wanted(ports.begin(), ports.end());
+
+  for (const capture::SessionRecord& record : store.records()) {
+    if (!wanted.contains(record.port)) continue;
+    if (excluded.contains(record.actor)) continue;
+    switch (deployment.at(record.vantage).type) {
+      case topology::NetworkType::kCloud: cloud[record.port].insert(record.src); break;
+      case topology::NetworkType::kEducation: edu[record.port].insert(record.src); break;
+      case topology::NetworkType::kTelescope: telescope[record.port].insert(record.src); break;
+    }
+  }
+
+  std::vector<OverlapRow> rows;
+  for (net::Port port : ports) {
+    OverlapRow row;
+    row.port = port;
+    const IpSet& c = cloud[port];
+    const IpSet& e = edu[port];
+    const IpSet& t = telescope[port];
+    row.cloud_ips = c.size();
+    row.edu_ips = e.size();
+    row.telescope_ips = t.size();
+    if (!c.empty()) {
+      row.tel_cloud_over_cloud = intersection_fraction(t, c);
+      row.cloud_edu_over_cloud = intersection_fraction(e, c);
+    }
+    if (!e.empty()) row.tel_edu_over_edu = intersection_fraction(t, e);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<MaliciousOverlapRow> attacker_overlap(
+    const capture::EventStore& store, const topology::Deployment& deployment,
+    const MaliciousClassifier& classifier, const std::vector<net::Port>& ports,
+    const std::vector<capture::ActorId>& exclude_actors) {
+  const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
+                                                      exclude_actors.end());
+  std::unordered_map<net::Port, IpSet> malicious_cloud;
+  std::unordered_map<net::Port, IpSet> malicious_edu;
+  std::unordered_map<net::Port, IpSet> telescope;
+  // Whether any cloud/EDU vantage could measure intent on this port at all;
+  // if not, the table cell is an "x".
+  std::unordered_map<net::Port, bool> cloud_measurable;
+  std::unordered_map<net::Port, bool> edu_measurable;
+  std::unordered_set<net::Port> wanted(ports.begin(), ports.end());
+
+  for (const capture::SessionRecord& record : store.records()) {
+    if (!wanted.contains(record.port)) continue;
+    if (excluded.contains(record.actor)) continue;
+    const topology::NetworkType type = deployment.at(record.vantage).type;
+    if (type == topology::NetworkType::kTelescope) {
+      telescope[record.port].insert(record.src);
+      continue;
+    }
+    const MeasuredIntent intent = classifier.classify(record, store);
+    const bool observable = intent != MeasuredIntent::kUnobservable;
+    if (type == topology::NetworkType::kCloud) {
+      cloud_measurable[record.port] = cloud_measurable[record.port] || observable;
+      if (intent == MeasuredIntent::kMalicious) malicious_cloud[record.port].insert(record.src);
+    } else {
+      edu_measurable[record.port] = edu_measurable[record.port] || observable;
+      if (intent == MeasuredIntent::kMalicious) malicious_edu[record.port].insert(record.src);
+    }
+  }
+
+  std::vector<MaliciousOverlapRow> rows;
+  for (net::Port port : ports) {
+    MaliciousOverlapRow row;
+    row.port = port;
+    const IpSet& mc = malicious_cloud[port];
+    const IpSet& me = malicious_edu[port];
+    const IpSet& t = telescope[port];
+    row.malicious_cloud_ips = mc.size();
+    row.malicious_edu_ips = me.size();
+    if (cloud_measurable[port] && !mc.empty()) {
+      row.tel_over_malicious_cloud = intersection_fraction(t, mc);
+    }
+    if (edu_measurable[port] && !me.empty()) {
+      row.tel_over_malicious_edu = intersection_fraction(t, me);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace cw::analysis

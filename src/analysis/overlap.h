@@ -1,0 +1,54 @@
+// Tables 8 and 9: do the scanners (and attackers) seen at honeypots also
+// appear in the telescope? Computes per-port source-IP set overlaps across
+// network types.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/malicious.h"
+#include "capture/store.h"
+#include "net/ports.h"
+#include "topology/deployment.h"
+
+namespace cw::analysis {
+
+// Table 8 row: overlap fractions for every scanner IP seen on `port`.
+struct OverlapRow {
+  net::Port port = 0;
+  std::size_t cloud_ips = 0;
+  std::size_t edu_ips = 0;
+  std::size_t telescope_ips = 0;
+  // |Tel ∩ Cloud| / |Cloud| etc.; nullopt when the denominator is empty.
+  std::optional<double> tel_cloud_over_cloud;
+  std::optional<double> tel_edu_over_edu;
+  std::optional<double> cloud_edu_over_cloud;
+};
+
+// `exclude_actors` drops infrastructure scanners (the search-engine
+// crawlers) from the sets: at real scale their handful of source IPs is
+// negligible, but in a scaled-down population they would dominate every
+// denominator.
+std::vector<OverlapRow> scanner_overlap(const capture::EventStore& store,
+                                        const topology::Deployment& deployment,
+                                        const std::vector<net::Port>& ports,
+                                        const std::vector<capture::ActorId>& exclude_actors = {});
+
+// Table 9 row: same numerator/denominator construction but restricted to
+// *attacker* IPs — sources whose cloud/EDU traffic was measured malicious.
+// Cells are nullopt where the collection method cannot measure intent
+// (e.g. credentials on Honeytrap EDU honeypots).
+struct MaliciousOverlapRow {
+  net::Port port = 0;
+  std::size_t malicious_cloud_ips = 0;
+  std::size_t malicious_edu_ips = 0;
+  std::optional<double> tel_over_malicious_cloud;
+  std::optional<double> tel_over_malicious_edu;
+};
+
+std::vector<MaliciousOverlapRow> attacker_overlap(
+    const capture::EventStore& store, const topology::Deployment& deployment,
+    const MaliciousClassifier& classifier, const std::vector<net::Port>& ports,
+    const std::vector<capture::ActorId>& exclude_actors = {});
+
+}  // namespace cw::analysis

@@ -1,0 +1,107 @@
+#include "analysis/protocols.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cw::analysis {
+
+std::vector<ProtocolBreakdownRow> protocol_breakdown(const capture::EventStore& store,
+                                                     const topology::Deployment& deployment,
+                                                     const ProtocolOptions& options) {
+  std::unordered_set<net::Port> wanted(options.ports.begin(), options.ports.end());
+
+  // Per (port, source): the fingerprint of the first payload the source
+  // sent, and the actor behind it (for the reputation lookup).
+  struct ScannerInfo {
+    net::Protocol protocol = net::Protocol::kUnknown;
+    capture::ActorId actor = 0;
+  };
+  std::map<std::pair<net::Port, std::uint32_t>, ScannerInfo> scanners;
+
+  for (const capture::SessionRecord& record : store.records()) {
+    if (!wanted.contains(record.port)) continue;
+    if (record.payload_id == capture::kNoPayload) continue;
+    // Honeytrap only: the assigned-handshake honeypots cannot capture
+    // unexpected protocols, so including them would dilute the shares.
+    if (deployment.at(record.vantage).collection != topology::CollectionMethod::kHoneytrap) {
+      continue;
+    }
+    const auto key = std::make_pair(record.port, record.src);
+    if (scanners.contains(key)) continue;  // first payload wins
+    ScannerInfo info;
+    info.protocol = proto::Fingerprinter::identify(store.payload(record.payload_id));
+    info.actor = record.actor;
+    scanners.emplace(key, info);
+  }
+
+  std::vector<ProtocolBreakdownRow> rows;
+  for (net::Port port : options.ports) {
+    ProtocolBreakdownRow row;
+    row.port = port;
+    const net::Protocol assigned = net::iana_assignment(port);
+
+    std::size_t expected_benign = 0;
+    std::size_t expected_malicious = 0;
+    std::size_t unexpected_benign = 0;
+    std::size_t unexpected_malicious = 0;
+    std::unordered_map<net::Protocol, std::size_t> unexpected_counts;
+
+    for (const auto& [key, info] : scanners) {
+      if (key.first != port) continue;
+      ++row.scanners_total;
+      const bool expected = info.protocol == assigned;
+      if (expected) {
+        ++row.scanners_expected;
+      } else {
+        ++unexpected_counts[info.protocol];
+      }
+      if (options.oracle != nullptr) {
+        switch (options.oracle->label(info.actor)) {
+          case Reputation::kBenign: (expected ? expected_benign : unexpected_benign)++; break;
+          case Reputation::kMalicious:
+            (expected ? expected_malicious : unexpected_malicious)++;
+            break;
+          case Reputation::kUnknown: break;
+        }
+      }
+    }
+    if (row.scanners_total == 0) {
+      rows.push_back(row);
+      continue;
+    }
+
+    const double total = static_cast<double>(row.scanners_total);
+    const double unexpected_total = total - static_cast<double>(row.scanners_expected);
+    row.pct_expected = 100.0 * static_cast<double>(row.scanners_expected) / total;
+    row.pct_unexpected = 100.0 - row.pct_expected;
+    if (row.scanners_expected > 0) {
+      row.expected_benign_pct =
+          100.0 * static_cast<double>(expected_benign) / static_cast<double>(row.scanners_expected);
+      row.expected_malicious_pct = 100.0 * static_cast<double>(expected_malicious) /
+                                   static_cast<double>(row.scanners_expected);
+    }
+    if (unexpected_total > 0) {
+      row.unexpected_benign_pct = 100.0 * static_cast<double>(unexpected_benign) / unexpected_total;
+      row.unexpected_malicious_pct =
+          100.0 * static_cast<double>(unexpected_malicious) / unexpected_total;
+    }
+    for (const auto& [protocol, count] : unexpected_counts) {
+      ProtocolShare share;
+      share.protocol = protocol;
+      share.scanners = count;
+      share.pct_of_port = 100.0 * static_cast<double>(count) / total;
+      row.unexpected_shares.push_back(share);
+    }
+    std::sort(row.unexpected_shares.begin(), row.unexpected_shares.end(),
+              [](const ProtocolShare& a, const ProtocolShare& b) {
+                if (a.scanners != b.scanners) return a.scanners > b.scanners;
+                return static_cast<int>(a.protocol) < static_cast<int>(b.protocol);
+              });
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace cw::analysis

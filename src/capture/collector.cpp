@@ -1,0 +1,110 @@
+#include "capture/collector.h"
+
+namespace cw::capture {
+
+bool is_cowrie_port(net::Port port) noexcept {
+  return port == 22 || port == 2222 || port == 23 || port == 2323;
+}
+
+bool client_speaks_first(net::Protocol protocol) noexcept {
+  switch (protocol) {
+    case net::Protocol::kHttp:
+    case net::Protocol::kTls:
+    case net::Protocol::kRtsp:
+    case net::Protocol::kSip:
+    case net::Protocol::kRdp:
+    case net::Protocol::kAdb:
+    case net::Protocol::kFox:
+    case net::Protocol::kRedis:
+    case net::Protocol::kNtp:
+    case net::Protocol::kSmb:
+      return true;
+    case net::Protocol::kSsh:
+      // Both sides send identification strings immediately (RFC 4253 §4.2);
+      // scanner clients do transmit their banner unprompted.
+      return true;
+    case net::Protocol::kTelnet:
+      // Option negotiation is symmetric; clients lead with IAC verbs. The
+      // *login credentials*, however, only flow after a server prompt.
+      return true;
+    case net::Protocol::kSql:
+      // MySQL is server-first: a real client waits for the server greeting.
+      return false;
+    case net::Protocol::kUnknown:
+      return false;
+  }
+  return false;
+}
+
+bool Collector::deliver(const ScanEvent& event) {
+  const auto target_index = universe_->find(event.dst);
+  if (!target_index) {
+    ++dropped_unmonitored_;
+    return false;
+  }
+  const topology::Target& target = universe_->targets()[*target_index];
+  const topology::VantagePoint& vp = universe_->deployment().at(target.vantage);
+
+  if (firewall_ && firewall_(event, vp)) {
+    ++dropped_firewalled_;
+    return false;
+  }
+
+  if (telescope_sink_ && vp.collection == topology::CollectionMethod::kTelescope) {
+    const bool consumed = telescope_sink_(event, target);
+    if (consumed) ++delivered_;
+    return consumed;
+  }
+
+  SessionRecord record;
+  record.time = event.time;
+  record.src = event.src.value();
+  record.dst = event.dst.value();
+  record.src_as = event.src_as;
+  record.port = event.dst_port;
+  record.transport = event.transport;
+  record.vantage = vp.id;
+  record.neighbor = static_cast<std::uint16_t>(target.index_in_vantage);
+  record.actor = event.actor;
+  record.malicious_truth = event.malicious_intent;
+
+  switch (vp.collection) {
+    case topology::CollectionMethod::kTelescope: {
+      // First packet only: no handshake, no payload, no credentials.
+      record.handshake_completed = false;
+      store_.append(record, {}, std::nullopt);
+      break;
+    }
+    case topology::CollectionMethod::kHoneytrap: {
+      // Listens on every port; completes the handshake; records the first
+      // client payload. Server-first clients that send nothing leave an
+      // empty record (the connection itself is still logged).
+      record.handshake_completed = event.transport == net::Transport::kTcp;
+      const bool client_sends =
+          !event.payload.empty() && (event.transport == net::Transport::kUdp ||
+                                     client_speaks_first(event.intended_protocol));
+      store_.append(record, client_sends ? std::string_view(event.payload) : std::string_view{},
+                    std::nullopt);
+      break;
+    }
+    case topology::CollectionMethod::kGreyNoise: {
+      if (!vp.listens_on(event.dst_port)) {
+        ++dropped_refused_;
+        return false;
+      }
+      record.handshake_completed = true;
+      if (is_cowrie_port(event.dst_port)) {
+        // Cowrie walks the client through the full login exchange, so both
+        // the banner/negotiation payload and the credentials are retained.
+        store_.append(record, event.payload, event.credential);
+      } else {
+        store_.append(record, event.payload, std::nullopt);
+      }
+      break;
+    }
+  }
+  ++delivered_;
+  return true;
+}
+
+}  // namespace cw::capture

@@ -1,0 +1,70 @@
+// The collector applies each vantage point's collection semantics to scan
+// events on the simulated wire (Section 3.1):
+//
+//  - Telescope: records the first packet of a connection; no layer-4
+//    handshake, hence no payload and no credentials.
+//  - Honeytrap: completes the TCP handshake and records the first TCP (or
+//    UDP) payload on any port; it speaks no protocols, so server-first
+//    clients that stay silent leave an empty-payload record.
+//  - GreyNoise: runs Cowrie on 22/2222/23/2323 and records attempted login
+//    credentials there; on its other open ports it completes the TCP/TLS
+//    handshake and records the first payload. Traffic to ports the honeypot
+//    does not expose is not captured (connection refused).
+#pragma once
+
+#include <functional>
+
+#include "capture/event.h"
+#include "capture/store.h"
+#include "topology/universe.h"
+
+namespace cw::capture {
+
+// Ports on which GreyNoise honeypots run the Cowrie credential collector.
+bool is_cowrie_port(net::Port port) noexcept;
+
+// True if a client of this protocol transmits data before hearing from the
+// server. Determines what a protocol-mute Honeytrap honeypot can observe
+// (Section 6's "limited to client-first protocols").
+bool client_speaks_first(net::Protocol protocol) noexcept;
+
+class Collector {
+ public:
+  explicit Collector(const topology::TargetUniverse& universe) : universe_(&universe) {}
+
+  // Delivers one event; returns true if some vantage point captured it.
+  bool deliver(const ScanEvent& event);
+
+  // Optional streaming sink for telescope traffic: when set, events whose
+  // destination is a telescope address are handed to the sink instead of
+  // being stored. Full-scale telescope runs (475K addresses, Figure 1) use
+  // this to tally per-address counters without materializing records.
+  using TelescopeSink = std::function<bool(const ScanEvent&, const topology::Target&)>;
+  void set_telescope_sink(TelescopeSink sink) { telescope_sink_ = std::move(sink); }
+
+  // Optional transparent firewall in front of the vantage points: invoked
+  // before capture; returning true drops the event (Section 7's upstream-
+  // filtering confounder; see capture::SignatureFirewall).
+  using FirewallHook = std::function<bool(const ScanEvent&, const topology::VantagePoint&)>;
+  void set_firewall(FirewallHook hook) { firewall_ = std::move(hook); }
+
+  [[nodiscard]] EventStore& store() noexcept { return store_; }
+  [[nodiscard]] const EventStore& store() const noexcept { return store_; }
+
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_unmonitored() const noexcept { return dropped_unmonitored_; }
+  [[nodiscard]] std::uint64_t dropped_refused() const noexcept { return dropped_refused_; }
+  [[nodiscard]] std::uint64_t dropped_firewalled() const noexcept { return dropped_firewalled_; }
+
+ private:
+  const topology::TargetUniverse* universe_;
+  EventStore store_;
+  TelescopeSink telescope_sink_;
+  FirewallHook firewall_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_unmonitored_ = 0;
+  std::uint64_t dropped_refused_ = 0;
+  std::uint64_t dropped_firewalled_ = 0;
+};
+
+}  // namespace cw::capture

@@ -1,0 +1,178 @@
+#include "capture/dataset.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace cw::capture {
+namespace {
+
+constexpr char kMagic[4] = {'C', 'W', 'D', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  return static_cast<bool>(in);
+}
+
+void write_string(std::ostream& out, const std::string& value) {
+  write_pod(out, static_cast<std::uint32_t>(value.size()));
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+bool read_string(std::istream& in, std::string& value) {
+  std::uint32_t length = 0;
+  if (!read_pod(in, length)) return false;
+  if (length > (1u << 24)) return false;  // sanity bound: 16 MiB per entry
+  value.resize(length);
+  in.read(value.data(), length);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool write_dataset(const EventStore& store, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(store.size()));
+  write_pod(out, static_cast<std::uint32_t>(store.distinct_payloads()));
+  write_pod(out, static_cast<std::uint32_t>(store.distinct_credentials()));
+
+  for (std::uint32_t id = 0; id < store.distinct_payloads(); ++id) {
+    write_string(out, store.payload(id));
+  }
+  for (std::uint32_t id = 0; id < store.distinct_credentials(); ++id) {
+    write_string(out, store.credential_text(id));
+  }
+
+  for (const SessionRecord& record : store.records()) {
+    write_pod(out, record.time);
+    write_pod(out, record.src);
+    write_pod(out, record.dst);
+    write_pod(out, record.src_as);
+    write_pod(out, record.port);
+    write_pod(out, static_cast<std::uint8_t>(record.transport));
+    write_pod(out, static_cast<std::uint8_t>(record.handshake_completed ? 1 : 0));
+    write_pod(out, record.vantage);
+    write_pod(out, record.neighbor);
+    write_pod(out, record.payload_id);
+    write_pod(out, record.credential_id);
+    write_pod(out, record.actor);
+    write_pod(out, static_cast<std::uint8_t>(record.malicious_truth ? 1 : 0));
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<EventStore> read_dataset(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || std::memcmp(magic, kMagic, sizeof kMagic) != 0) return std::nullopt;
+  std::uint32_t version = 0;
+  std::uint64_t record_count = 0;
+  std::uint32_t payload_count = 0;
+  std::uint32_t credential_count = 0;
+  if (!read_pod(in, version) || version != kVersion) return std::nullopt;
+  if (!read_pod(in, record_count) || !read_pod(in, payload_count) ||
+      !read_pod(in, credential_count)) {
+    return std::nullopt;
+  }
+
+  std::vector<std::string> payloads(payload_count);
+  for (std::string& payload : payloads) {
+    if (!read_string(in, payload)) return std::nullopt;
+  }
+  std::vector<proto::Credential> credentials(credential_count);
+  for (proto::Credential& credential : credentials) {
+    std::string joined;
+    if (!read_string(in, joined)) return std::nullopt;
+    const std::size_t split = joined.find('\n');
+    if (split == std::string::npos) return std::nullopt;
+    credential.username = joined.substr(0, split);
+    credential.password = joined.substr(split + 1);
+  }
+
+  EventStore store;
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    SessionRecord record;
+    std::uint8_t transport = 0;
+    std::uint8_t handshake = 0;
+    std::uint8_t malicious = 0;
+    std::uint32_t payload_id = kNoPayload;
+    std::uint32_t credential_id = kNoCredential;
+    if (!read_pod(in, record.time) || !read_pod(in, record.src) || !read_pod(in, record.dst) ||
+        !read_pod(in, record.src_as) || !read_pod(in, record.port) ||
+        !read_pod(in, transport) || !read_pod(in, handshake) || !read_pod(in, record.vantage) ||
+        !read_pod(in, record.neighbor) || !read_pod(in, payload_id) ||
+        !read_pod(in, credential_id) || !read_pod(in, record.actor) ||
+        !read_pod(in, malicious)) {
+      return std::nullopt;
+    }
+    record.transport = static_cast<net::Transport>(transport);
+    record.handshake_completed = handshake != 0;
+    record.malicious_truth = malicious != 0;
+    if (payload_id != kNoPayload && payload_id >= payloads.size()) return std::nullopt;
+    if (credential_id != kNoCredential && credential_id >= credentials.size()) {
+      return std::nullopt;
+    }
+    // Payloads are re-interned as records arrive, so the numeric ids may be
+    // renumbered relative to the source store; the (record, payload text,
+    // credential) associations — all any analysis reads — are preserved.
+    store.append(record, payload_id == kNoPayload ? std::string_view{} : payloads[payload_id],
+                 credential_id == kNoCredential
+                     ? std::nullopt
+                     : std::optional<proto::Credential>(credentials[credential_id]));
+  }
+  return store;
+}
+
+bool save_dataset(const EventStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return write_dataset(store, out);
+}
+
+std::optional<EventStore> load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return read_dataset(in);
+}
+
+void write_csv(const EventStore& store, const topology::Deployment& deployment,
+               std::ostream& out) {
+  util::CsvWriter csv;
+  csv.add_row({"time_ms", "src", "src_asn", "dst", "port", "transport", "handshake", "vantage",
+               "network_type", "neighbor", "actor", "payload", "username", "password"});
+  for (const SessionRecord& record : store.records()) {
+    const topology::VantagePoint& vp = deployment.at(record.vantage);
+    std::string username;
+    std::string password;
+    if (record.credential_id != kNoCredential) {
+      const proto::Credential credential = store.credential(record.credential_id);
+      username = credential.username;
+      password = credential.password;
+    }
+    csv.add_row({std::to_string(record.time), record.src_addr().to_string(),
+                 std::to_string(record.src_as), record.dst_addr().to_string(),
+                 std::to_string(record.port), std::string(net::transport_name(record.transport)),
+                 record.handshake_completed ? "1" : "0", vp.name,
+                 std::string(topology::network_type_name(vp.type)),
+                 std::to_string(record.neighbor), std::to_string(record.actor),
+                 record.payload_id == kNoPayload
+                     ? std::string()
+                     : util::escape_payload(store.payload(record.payload_id), 96),
+                 username, password});
+  }
+  out << csv.str();
+}
+
+}  // namespace cw::capture

@@ -1,0 +1,41 @@
+// Dataset persistence. The paper releases its captured scanning traffic
+// (https://scans.io/study/cloud_watching); this module provides the
+// equivalent for simulated runs: a compact binary format for full-fidelity
+// round-trips and a CSV export for external analysis.
+//
+// Binary format (little-endian):
+//   header:  magic "CWDS", u32 version, u64 record count,
+//            u32 payload count, u32 credential count
+//   payload table:    per entry u32 length + bytes
+//   credential table: per entry u32 length + bytes ("user\npass")
+//   records:  fixed-width fields in SessionRecord order
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "capture/store.h"
+#include "topology/deployment.h"
+
+namespace cw::capture {
+
+// Serializes the store to the stream. Returns false on I/O failure.
+bool write_dataset(const EventStore& store, std::ostream& out);
+
+// Reads a dataset written by write_dataset. Returns nullopt on malformed
+// input (bad magic, truncated tables, out-of-range ids).
+std::optional<EventStore> read_dataset(std::istream& in);
+
+// Convenience file wrappers.
+bool save_dataset(const EventStore& store, const std::string& path);
+std::optional<EventStore> load_dataset(const std::string& path);
+
+// CSV export: one row per record with human-readable fields
+// (time_ms, src, src_asn, dst, port, transport, handshake, vantage,
+//  neighbor, actor, payload_escaped, username, password). The deployment
+// is used to annotate each row with the vantage point's name and type.
+void write_csv(const EventStore& store, const topology::Deployment& deployment,
+               std::ostream& out);
+
+}  // namespace cw::capture

@@ -1,0 +1,11 @@
+#include "capture/event.h"
+
+// SessionRecord and ScanEvent are plain data; this translation unit exists
+// so the header's layout assumptions are compiled (and static_asserted)
+// exactly once.
+namespace cw::capture {
+
+static_assert(sizeof(SessionRecord) <= 56,
+              "SessionRecord is kept compact; millions are stored per run");
+
+}  // namespace cw::capture

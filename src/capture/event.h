@@ -1,0 +1,63 @@
+// Wire-level events. A ScanEvent is what an agent puts on the simulated
+// wire: one connection attempt with the payload the client would send after
+// a completed handshake. A SessionRecord is what a vantage point's
+// collection method retains of it — the telescope keeps no payload and
+// completes no handshake, Honeytrap keeps the first payload, GreyNoise
+// additionally captures SSH/Telnet credentials (Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/asn.h"
+#include "net/ipv4.h"
+#include "net/ports.h"
+#include "proto/credentials.h"
+#include "topology/deployment.h"
+#include "util/sim_time.h"
+
+namespace cw::capture {
+
+using ActorId = std::uint32_t;
+
+struct ScanEvent {
+  util::SimTime time = 0;
+  net::IPv4Addr src;
+  net::Asn src_as = 0;
+  net::IPv4Addr dst;
+  net::Port dst_port = 0;
+  net::Transport transport = net::Transport::kTcp;
+  std::string payload;                             // first client payload (may be empty)
+  std::optional<proto::Credential> credential;     // SSH/Telnet login attempt
+  net::Protocol intended_protocol = net::Protocol::kUnknown;
+  bool malicious_intent = false;                   // ground truth (hidden from analyses)
+  ActorId actor = 0;
+};
+
+// Sentinel ids for "nothing collected".
+inline constexpr std::uint32_t kNoPayload = ~std::uint32_t{0};
+inline constexpr std::uint32_t kNoCredential = ~std::uint32_t{0};
+
+// Compact captured record; payloads and credentials are interned in the
+// owning EventStore.
+struct SessionRecord {
+  util::SimTime time = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  net::Asn src_as = 0;
+  net::Port port = 0;
+  net::Transport transport = net::Transport::kTcp;
+  bool handshake_completed = false;
+  topology::VantageId vantage = 0;
+  std::uint16_t neighbor = 0;  // index of the destination within its vantage point
+  std::uint32_t payload_id = kNoPayload;
+  std::uint32_t credential_id = kNoCredential;
+  ActorId actor = 0;
+  bool malicious_truth = false;
+
+  [[nodiscard]] net::IPv4Addr src_addr() const noexcept { return net::IPv4Addr(src); }
+  [[nodiscard]] net::IPv4Addr dst_addr() const noexcept { return net::IPv4Addr(dst); }
+};
+
+}  // namespace cw::capture

@@ -1,0 +1,32 @@
+#include "capture/firewall.h"
+
+#include "util/rng.h"
+
+namespace cw::capture {
+
+SignatureFirewall::SignatureFirewall(const ids::RuleEngine& engine, double drop_probability,
+                                     std::uint64_t seed)
+    : engine_(&engine), drop_probability_(drop_probability), seed_(seed) {}
+
+void SignatureFirewall::protect(topology::VantageId id) { protected_.insert(id); }
+
+bool SignatureFirewall::inspect(const ScanEvent& event, const topology::VantagePoint& vp) {
+  if (!protected_.contains(vp.id)) return false;
+  ++inspected_;
+  // A signature firewall sees the same first payload the honeypot would;
+  // credential-bearing events carry the client's banner, which no signature
+  // matches, so brute force passes (matching real inline-IPS blind spots).
+  if (event.payload.empty()) return false;
+  if (!engine_->matches(event.payload, event.dst_port, event.transport)) return false;
+  // Deterministic per-flow coin: the same connection is always treated the
+  // same way across reruns.
+  std::uint64_t h = seed_ ^ (static_cast<std::uint64_t>(event.src.value()) << 32) ^
+                    event.dst.value() ^ (static_cast<std::uint64_t>(event.dst_port) << 48) ^
+                    static_cast<std::uint64_t>(event.time);
+  const double coin = static_cast<double>(util::splitmix64(h) >> 11) * 0x1.0p-53;
+  if (coin >= drop_probability_) return false;
+  ++dropped_;
+  return true;
+}
+
+}  // namespace cw::capture

@@ -1,0 +1,45 @@
+// Transparent firewall middlebox — Section 7's confounder: "it is possible
+// that a network could transparently drop malicious traffic before they
+// reach our honeypots". The firewall sits in front of selected vantage
+// points, inspects payloads with an IDS rule engine, and drops matching
+// connections with a configurable probability (real inline IPS deployments
+// are never complete). Installed via Collector::set_firewall, it lets
+// experiments quantify how much attacker evidence an upstream filter would
+// erase from honeypot data.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "capture/event.h"
+#include "ids/engine.h"
+#include "topology/deployment.h"
+
+namespace cw::capture {
+
+class SignatureFirewall {
+ public:
+  // The engine is borrowed and must outlive the firewall.
+  SignatureFirewall(const ids::RuleEngine& engine, double drop_probability,
+                    std::uint64_t seed = 0x66697265ULL);
+
+  // Enables filtering in front of one vantage point. Unprotected vantage
+  // points pass everything through.
+  void protect(topology::VantageId id);
+
+  // Collector hook: true means the event is dropped before capture.
+  bool inspect(const ScanEvent& event, const topology::VantagePoint& vp);
+
+  [[nodiscard]] std::uint64_t inspected() const noexcept { return inspected_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  const ids::RuleEngine* engine_;
+  double drop_probability_;
+  std::uint64_t seed_;
+  std::unordered_set<topology::VantageId> protected_;
+  std::uint64_t inspected_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cw::capture

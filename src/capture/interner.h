@@ -1,0 +1,28 @@
+// String interning for payloads and credentials: scanning campaigns repeat
+// identical byte strings millions of times, so records store 32-bit ids.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cw::capture {
+
+class Interner {
+ public:
+  // Returns a stable id for the string, inserting it on first sight.
+  std::uint32_t intern(std::string_view value);
+
+  // The interned string for an id. Precondition: id came from intern().
+  [[nodiscard]] const std::string& at(std::uint32_t id) const { return values_.at(id); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, std::uint32_t> ids_;
+};
+
+}  // namespace cw::capture

@@ -1,0 +1,153 @@
+#include "capture/pcap.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace cw::capture {
+namespace {
+
+void put_u16(std::string& out, std::uint16_t value) {
+  out += static_cast<char>(value & 0xff);
+  out += static_cast<char>((value >> 8) & 0xff);
+}
+
+void put_u32(std::string& out, std::uint32_t value) {
+  out += static_cast<char>(value & 0xff);
+  out += static_cast<char>((value >> 8) & 0xff);
+  out += static_cast<char>((value >> 16) & 0xff);
+  out += static_cast<char>((value >> 24) & 0xff);
+}
+
+void put_u16_be(std::string& out, std::uint16_t value) {
+  out += static_cast<char>((value >> 8) & 0xff);
+  out += static_cast<char>(value & 0xff);
+}
+
+void put_u32_be(std::string& out, std::uint32_t value) {
+  out += static_cast<char>((value >> 24) & 0xff);
+  out += static_cast<char>((value >> 16) & 0xff);
+  out += static_cast<char>((value >> 8) & 0xff);
+  out += static_cast<char>(value & 0xff);
+}
+
+// RFC 1071 checksum over a buffer (expects even length padding handled by
+// the caller appending a zero byte conceptually; here we handle odd tails).
+std::uint16_t inet_checksum(const std::string& data, std::size_t offset, std::size_t length,
+                            std::uint32_t seed = 0) {
+  std::uint32_t sum = seed;
+  std::size_t i = 0;
+  for (; i + 1 < length; i += 2) {
+    sum += (static_cast<std::uint8_t>(data[offset + i]) << 8) |
+           static_cast<std::uint8_t>(data[offset + i + 1]);
+  }
+  if (i < length) sum += static_cast<std::uint8_t>(data[offset + i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+// Builds the Ethernet + IPv4 + TCP/UDP frame for one record.
+std::string build_frame(const SessionRecord& record, const std::string& payload) {
+  std::string frame;
+  // Ethernet: synthetic MACs, ethertype IPv4.
+  frame += std::string("\x02\x00\x00\x00\x00\x01", 6);
+  frame += std::string("\x02\x00\x00\x00\x00\x02", 6);
+  frame += '\x08';
+  frame += '\x00';
+
+  const bool udp = record.transport == net::Transport::kUdp;
+  const std::size_t l4_header = udp ? 8 : 20;
+  const std::uint16_t total_length =
+      static_cast<std::uint16_t>(20 + l4_header + payload.size());
+
+  // IPv4 header (20 bytes, no options).
+  std::string ip;
+  ip += '\x45';                     // version 4, IHL 5
+  ip += '\x00';                     // DSCP/ECN
+  put_u16_be(ip, total_length);
+  put_u16_be(ip, 0x1234);           // identification
+  put_u16_be(ip, 0x4000);           // don't-fragment
+  ip += '\x40';                     // TTL 64
+  ip += udp ? '\x11' : '\x06';      // protocol
+  put_u16_be(ip, 0);                // checksum placeholder
+  put_u32_be(ip, record.src);
+  put_u32_be(ip, record.dst);
+  const std::uint16_t ip_checksum = inet_checksum(ip, 0, ip.size());
+  ip[10] = static_cast<char>((ip_checksum >> 8) & 0xff);
+  ip[11] = static_cast<char>(ip_checksum & 0xff);
+  frame += ip;
+
+  // Source ports are not modeled; derive a stable ephemeral port.
+  const std::uint16_t src_port =
+      static_cast<std::uint16_t>(32768 + ((record.src ^ record.time) & 0x3fff));
+
+  if (udp) {
+    std::string l4;
+    put_u16_be(l4, src_port);
+    put_u16_be(l4, record.port);
+    put_u16_be(l4, static_cast<std::uint16_t>(8 + payload.size()));
+    put_u16_be(l4, 0);  // checksum optional in IPv4
+    frame += l4;
+  } else {
+    std::string l4;
+    put_u16_be(l4, src_port);
+    put_u16_be(l4, record.port);
+    put_u32_be(l4, 1000);  // sequence
+    put_u32_be(l4, record.handshake_completed ? 2000 : 0);  // ack
+    l4 += '\x50';          // data offset 5
+    // PSH+ACK for data segments, bare SYN for telescope-style records.
+    l4 += payload.empty() && !record.handshake_completed ? '\x02' : '\x18';
+    put_u16_be(l4, 65535);  // window
+    put_u16_be(l4, 0);      // checksum left zero (Wireshark flags, tools accept)
+    put_u16_be(l4, 0);      // urgent
+    frame += l4;
+  }
+  frame += payload;
+  return frame;
+}
+
+}  // namespace
+
+std::size_t write_pcap(const EventStore& store, std::ostream& out,
+                       const PcapWriteOptions& options) {
+  std::string header;
+  put_u32(header, 0xa1b2c3d4);      // magic, little-endian, microsecond
+  put_u16(header, 2);               // version major
+  put_u16(header, 4);               // version minor
+  put_u32(header, 0);               // thiszone
+  put_u32(header, 0);               // sigfigs
+  put_u32(header, options.snaplen);
+  put_u32(header, 1);               // LINKTYPE_ETHERNET
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+
+  std::size_t written = 0;
+  for (const SessionRecord& record : store.records()) {
+    std::string payload;
+    if (record.payload_id != kNoPayload) {
+      payload = store.payload(record.payload_id);
+      if (payload.size() > options.snaplen) payload.resize(options.snaplen);
+    }
+    const std::string frame = build_frame(record, payload);
+
+    std::string packet_header;
+    const std::uint64_t micros = static_cast<std::uint64_t>(record.time) * 1000ULL;
+    put_u32(packet_header,
+            static_cast<std::uint32_t>(options.epoch_offset_seconds + micros / 1000000ULL));
+    put_u32(packet_header, static_cast<std::uint32_t>(micros % 1000000ULL));
+    put_u32(packet_header, static_cast<std::uint32_t>(frame.size()));
+    put_u32(packet_header, static_cast<std::uint32_t>(frame.size()));
+    out.write(packet_header.data(), static_cast<std::streamsize>(packet_header.size()));
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    if (!out) return 0;
+    ++written;
+  }
+  return written;
+}
+
+std::size_t save_pcap(const EventStore& store, const std::string& path,
+                      const PcapWriteOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return 0;
+  return write_pcap(store, out, options);
+}
+
+}  // namespace cw::capture

@@ -1,0 +1,35 @@
+// PCAP export: writes captured session records as a classic libpcap file
+// (synthesizing minimal Ethernet/IPv4/TCP-or-UDP headers around the stored
+// first payloads) so a run can be opened in Wireshark/tcpdump or fed to a
+// real Suricata instance. One record becomes one packet: the client's first
+// data segment (or a bare SYN when no payload was retained — exactly what a
+// telescope would have on disk).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "capture/store.h"
+
+namespace cw::capture {
+
+struct PcapWriteOptions {
+  // Snap length recorded in the global header (and applied to payloads).
+  std::uint32_t snaplen = 65535;
+  // Microseconds offset added to every record's simulated time, so packets
+  // get plausible absolute epoch timestamps (default: 2021-07-01 00:00 UTC,
+  // the paper's collection window).
+  std::uint64_t epoch_offset_seconds = 1625097600;
+};
+
+// Writes the store as a pcap stream. Returns the number of packets written,
+// or 0 on stream failure.
+std::size_t write_pcap(const EventStore& store, std::ostream& out,
+                       const PcapWriteOptions& options = {});
+
+// Convenience file wrapper.
+std::size_t save_pcap(const EventStore& store, const std::string& path,
+                      const PcapWriteOptions& options = {});
+
+}  // namespace cw::capture

@@ -1,0 +1,45 @@
+#include "capture/store.h"
+
+#include <algorithm>
+
+namespace cw::capture {
+
+void EventStore::append(SessionRecord record, std::string_view payload,
+                        const std::optional<proto::Credential>& credential) {
+  record.payload_id = payload.empty() ? kNoPayload : payloads_.intern(payload);
+  if (credential.has_value()) {
+    record.credential_id = credentials_.intern(credential->username + "\n" + credential->password);
+  } else {
+    record.credential_id = kNoCredential;
+  }
+  records_.push_back(record);
+  index_valid_ = false;
+}
+
+proto::Credential EventStore::credential(std::uint32_t id) const {
+  const std::string& joined = credentials_.at(id);
+  const std::size_t split = joined.find('\n');
+  proto::Credential out;
+  out.username = joined.substr(0, split);
+  if (split != std::string::npos) out.password = joined.substr(split + 1);
+  return out;
+}
+
+const std::vector<std::uint32_t>& EventStore::for_vantage(topology::VantageId id) const {
+  if (!index_valid_) {
+    topology::VantageId max_vantage = 0;
+    for (const SessionRecord& record : records_) {
+      max_vantage = std::max(max_vantage, record.vantage);
+    }
+    vantage_index_.assign(max_vantage + 1, {});
+    for (std::uint32_t i = 0; i < records_.size(); ++i) {
+      vantage_index_[records_[i].vantage].push_back(i);
+    }
+    index_valid_ = true;
+  }
+  static const std::vector<std::uint32_t> kEmpty;
+  if (id >= vantage_index_.size()) return kEmpty;
+  return vantage_index_[id];
+}
+
+}  // namespace cw::capture

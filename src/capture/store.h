@@ -1,0 +1,51 @@
+// The event store: every SessionRecord captured during a run, with interned
+// payloads/credentials and per-vantage indices for the analysis pipelines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capture/event.h"
+#include "capture/interner.h"
+#include "proto/credentials.h"
+#include "topology/deployment.h"
+
+namespace cw::capture {
+
+class EventStore {
+ public:
+  // Appends a record whose payload/credential have not been interned yet.
+  // Empty payload => kNoPayload.
+  void append(SessionRecord record, std::string_view payload,
+              const std::optional<proto::Credential>& credential);
+
+  [[nodiscard]] const std::vector<SessionRecord>& records() const noexcept { return records_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  // Interned lookup. Ids must be valid (not the kNo* sentinels).
+  [[nodiscard]] const std::string& payload(std::uint32_t id) const { return payloads_.at(id); }
+  [[nodiscard]] proto::Credential credential(std::uint32_t id) const;
+
+  [[nodiscard]] std::size_t distinct_payloads() const noexcept { return payloads_.size(); }
+  [[nodiscard]] std::size_t distinct_credentials() const noexcept { return credentials_.size(); }
+
+  // Raw interned credential text ("username\npassword"), for serialization.
+  [[nodiscard]] const std::string& credential_text(std::uint32_t id) const {
+    return credentials_.at(id);
+  }
+
+  // Record indices captured by one vantage point. Built lazily on first use
+  // and invalidated by append.
+  [[nodiscard]] const std::vector<std::uint32_t>& for_vantage(topology::VantageId id) const;
+
+ private:
+  std::vector<SessionRecord> records_;
+  Interner payloads_;
+  Interner credentials_;  // interned as "username\npassword"
+  mutable std::vector<std::vector<std::uint32_t>> vantage_index_;
+  mutable bool index_valid_ = false;
+};
+
+}  // namespace cw::capture

@@ -1,0 +1,65 @@
+#include "core/experiment.h"
+
+#include "ids/ruleset.h"
+
+namespace cw::core {
+
+std::unique_ptr<ExperimentResult> Experiment::run() const {
+  auto result = std::make_unique<ExperimentResult>();
+
+  topology::DeploymentConfig deployment_config;
+  deployment_config.year = config_.year;
+  deployment_config.telescope_slash24s = config_.telescope_slash24s;
+  deployment_config.seed = config_.seed ^ 0x746f706fULL;
+  result->deployment_ = topology::Deployment::table1(deployment_config);
+  result->universe_ = std::make_unique<topology::TargetUniverse>(result->deployment_);
+
+  result->collector_ = std::make_unique<capture::Collector>(*result->universe_);
+  if (config_.telescope_sink) result->collector_->set_telescope_sink(config_.telescope_sink);
+  if (config_.firewall) result->collector_->set_firewall(config_.firewall);
+
+  result->censys_ = std::make_unique<search::ServiceSearchEngine>(
+      "Censys", net::kAsnCensys, agents::Population::kCensysActorId);
+  result->shodan_ = std::make_unique<search::ServiceSearchEngine>(
+      "Shodan", net::kAsnShodan, agents::Population::kShodanActorId);
+
+  agents::PopulationConfig population_config;
+  population_config.seed = config_.seed ^ 0x706f70ULL;
+  population_config.scale = config_.scale;
+  population_config.year = config_.year;
+  result->population_ = std::make_unique<agents::Population>(
+      agents::Population::build(population_config, result->deployment_));
+
+  sim::Engine engine;
+  agents::AgentContext ctx;
+  ctx.engine = &engine;
+  ctx.universe = result->universe_.get();
+  ctx.collector = result->collector_.get();
+  ctx.censys = result->censys_.get();
+  ctx.shodan = result->shodan_.get();
+  ctx.window_end = config_.duration;
+
+  if (config_.crawl_interval > 0) {
+    util::Rng crawl_seed(config_.seed ^ 0x637261776cULL);
+    for (util::SimTime t = util::kHour; t < config_.duration; t += config_.crawl_interval) {
+      engine.schedule_at(t, [result = result.get(), crawl_seed](sim::Engine& e) mutable {
+        util::Rng rng = crawl_seed.stream(static_cast<std::uint64_t>(e.now()));
+        result->censys_->crawl(e.now(), *result->universe_, *result->collector_, rng);
+        result->shodan_->crawl(e.now(), *result->universe_, *result->collector_, rng);
+      });
+    }
+  }
+
+  result->population_->start_all(ctx);
+  engine.run_until(config_.duration);
+  result->events_processed_ = engine.events_processed();
+
+  result->rules_ = std::make_unique<ids::RuleEngine>(ids::curated_engine());
+  result->classifier_ = std::make_unique<analysis::MaliciousClassifier>(*result->rules_);
+  result->oracle_ = std::make_unique<analysis::ReputationOracle>(
+      result->population_->ground_truth(), config_.oracle_unknown_fraction,
+      config_.seed ^ 0x6f7261636cULL);
+  return result;
+}
+
+}  // namespace cw::core

@@ -1,0 +1,91 @@
+// The experiment orchestrator: wires topology, search engines, the actor
+// population, the event engine, and capture into one reproducible run — the
+// paper's one-week observation window — and hands the captured traffic plus
+// ground truth to the analyses. This is the primary entry point of the
+// public API:
+//
+//   cw::core::ExperimentConfig config;
+//   config.scale = 0.5;
+//   auto result = cw::core::Experiment(config).run();
+//   // result->store(), result->deployment(), result->classifier(), ...
+#pragma once
+
+#include <memory>
+
+#include "agents/population.h"
+#include "analysis/malicious.h"
+#include "analysis/oracle.h"
+#include "capture/collector.h"
+#include "ids/engine.h"
+#include "searchengine/engine.h"
+#include "sim/engine.h"
+#include "topology/deployment.h"
+#include "topology/universe.h"
+
+namespace cw::core {
+
+struct ExperimentConfig {
+  std::uint64_t seed = 0x636c6f7564776174ULL;
+  topology::ScenarioYear year = topology::ScenarioYear::k2021;
+  // Scales actor counts; telescope size scales via deployment config below.
+  double scale = 1.0;
+  int telescope_slash24s = 64;
+  util::SimTime duration = util::kWeek;
+  // Search-engine crawl cadence; 0 disables crawling entirely.
+  util::SimDuration crawl_interval = 24 * util::kHour;
+  // Fraction of actors whose reputation the oracle does not know.
+  double oracle_unknown_fraction = 0.10;
+  // Optional streaming sink for telescope traffic (Figure 1 full-scale runs).
+  capture::Collector::TelescopeSink telescope_sink;
+  // Optional transparent firewall in front of the vantage points
+  // (Section 7 ablations; see capture::SignatureFirewall).
+  capture::Collector::FirewallHook firewall;
+};
+
+// The completed run. Movable-only; owns every substrate so analyses can
+// borrow freely.
+class ExperimentResult {
+ public:
+  [[nodiscard]] const topology::Deployment& deployment() const noexcept { return deployment_; }
+  [[nodiscard]] const topology::TargetUniverse& universe() const noexcept { return *universe_; }
+  [[nodiscard]] const capture::EventStore& store() const noexcept {
+    return collector_->store();
+  }
+  [[nodiscard]] const capture::Collector& collector() const noexcept { return *collector_; }
+  [[nodiscard]] const analysis::MaliciousClassifier& classifier() const noexcept {
+    return *classifier_;
+  }
+  [[nodiscard]] const analysis::ReputationOracle& oracle() const noexcept { return *oracle_; }
+  [[nodiscard]] const search::ServiceSearchEngine& censys() const noexcept { return *censys_; }
+  [[nodiscard]] const search::ServiceSearchEngine& shodan() const noexcept { return *shodan_; }
+  [[nodiscard]] const agents::Population& population() const noexcept { return *population_; }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+ private:
+  friend class Experiment;
+  topology::Deployment deployment_;
+  std::unique_ptr<topology::TargetUniverse> universe_;
+  std::unique_ptr<capture::Collector> collector_;
+  std::unique_ptr<search::ServiceSearchEngine> censys_;
+  std::unique_ptr<search::ServiceSearchEngine> shodan_;
+  std::unique_ptr<agents::Population> population_;
+  std::unique_ptr<ids::RuleEngine> rules_;
+  std::unique_ptr<analysis::MaliciousClassifier> classifier_;
+  std::unique_ptr<analysis::ReputationOracle> oracle_;
+  std::uint64_t events_processed_ = 0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config) : config_(std::move(config)) {}
+
+  // Builds everything and runs the full observation window.
+  [[nodiscard]] std::unique_ptr<ExperimentResult> run() const;
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+
+ private:
+  ExperimentConfig config_;
+};
+
+}  // namespace cw::core

@@ -1,0 +1,62 @@
+// Table renderers: regenerate each of the paper's tables (and the Figure 1
+// summaries) from a completed experiment, as plain text. One function per
+// table keeps the bench binaries trivial and the outputs directly
+// comparable with the paper.
+#pragma once
+
+#include <string>
+
+#include "analysis/leak.h"
+#include "core/experiment.h"
+
+namespace cw::core {
+
+// Table 1: vantage points with unique scan IP/AS counts.
+std::string render_table1(const ExperimentResult& result);
+
+// Table 2 (and Table 12 when run on a 2020 scenario): neighborhood
+// differences per scope and characteristic.
+std::string render_table2(const ExperimentResult& result);
+
+// Table 3: the leak experiment (independent of the main experiment).
+std::string render_table3(const analysis::LeakExperimentResult& leak);
+
+// Table 4 (and 16): most-different geographic region per provider.
+std::string render_table4(const ExperimentResult& result);
+
+// Table 5 (and 13): % similar pairs of regions per continental group.
+std::string render_table5(const ExperimentResult& result);
+
+// Table 6: co-located multi-cloud cities.
+std::string render_table6(const ExperimentResult& result);
+
+// Table 7 (and 14): cloud-cloud / cloud-EDU / EDU-EDU comparisons.
+std::string render_table7(const ExperimentResult& result);
+
+// Table 8: scanner overlap with the telescope.
+std::string render_table8(const ExperimentResult& result);
+
+// Table 9: attacker overlap with the telescope.
+std::string render_table9(const ExperimentResult& result);
+
+// Table 10 (and 15): telescope-vs-EDU/cloud top-AS differences.
+std::string render_table10(const ExperimentResult& result);
+
+// Table 11: scanner-targeted protocols with reputation breakdown.
+std::string render_table11(const ExperimentResult& result);
+
+// Table 17: protocol breakdown without reputation data (2022 form).
+std::string render_table17(const ExperimentResult& result);
+
+// Section 3.2's headline numbers: fraction of traffic that does not attempt
+// authentication on 22/23, fraction of HTTP/80 payloads without exploits,
+// and the share of distinct HTTP payloads Suricata labels malicious.
+std::string render_sec32(const ExperimentResult& result);
+
+// Figure 1 (one panel): the rolling-average unique-scanner series over
+// telescope addresses for a port, downsampled to `buckets` columns, plus
+// the structural avoidance/preference ratios.
+std::string render_figure1(const ExperimentResult& result, net::Port port,
+                           std::size_t rolling_window = 512, std::size_t buckets = 24);
+
+}  // namespace cw::core

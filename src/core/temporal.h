@@ -1,0 +1,44 @@
+// Temporal stability (Section 3.4 / Appendix C): the paper reruns every
+// analysis on data collected one year before or after the primary window
+// and reports which conclusions persist. This module compares two completed
+// experiments metric by metric and classifies each headline conclusion as
+// stable or shifted — the programmatic form of Appendix C's narrative.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace cw::core {
+
+struct TemporalMetric {
+  std::string name;                  // e.g. "telescope overlap, port 22 (cloud)"
+  std::optional<double> value_a;     // first year (nullopt = unmeasurable)
+  std::optional<double> value_b;     // second year
+  bool stable = false;               // same qualitative conclusion both years
+};
+
+struct TemporalReport {
+  std::string year_a;
+  std::string year_b;
+  std::vector<TemporalMetric> metrics;
+
+  [[nodiscard]] std::size_t stable_count() const;
+  [[nodiscard]] std::string render() const;
+};
+
+// Compares the headline conclusions of two runs:
+//  - per-port telescope-overlap band (low/medium/high avoidance),
+//  - whether the most-different region per provider lies in Asia-Pacific,
+//  - whether APAC payload similarity trails US similarity,
+//  - the unexpected-protocol share on ports 80/8080,
+//  - the SSH-vs-Telnet scanner telescope-avoidance ordering.
+// Metrics that need vantage points absent in one year (e.g. GreyNoise
+// neighborhoods in 2022) come back with the missing side nullopt and do
+// not count against stability.
+TemporalReport compare_years(const ExperimentResult& a, const ExperimentResult& b,
+                             std::string year_a, std::string year_b);
+
+}  // namespace cw::core

@@ -1,0 +1,108 @@
+#include "ids/engine.h"
+
+#include "proto/http.h"
+#include "util/strings.h"
+
+namespace cw::ids {
+namespace {
+
+bool contains(std::string_view haystack, const std::string& needle, bool nocase) {
+  if (needle.empty()) return true;
+  if (nocase) return cw::util::contains_ci(haystack, needle);
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+// Extracts the buffer a content match applies to. For non-HTTP payloads the
+// HTTP buffers are empty, so rules with HTTP selectors cannot fire — same
+// as Suricata's protocol-aware buffers.
+struct HttpBuffers {
+  bool parsed = false;
+  std::string method;
+  std::string uri;
+  std::string headers;  // flattened "Name: value\r\n" block
+  std::string body;
+};
+
+HttpBuffers extract_http(std::string_view payload) {
+  HttpBuffers buffers;
+  auto request = cw::proto::parse_http(payload);
+  if (!request) return buffers;
+  buffers.parsed = true;
+  buffers.method = request->method;
+  buffers.uri = request->uri;
+  for (const auto& [name, value] : request->headers) {
+    buffers.headers += name + ": " + value + "\r\n";
+  }
+  buffers.body = request->body;
+  return buffers;
+}
+
+}  // namespace
+
+void RuleEngine::add(Rule rule) { rules_.push_back(std::move(rule)); }
+
+std::size_t RuleEngine::load(std::string_view rules_text, std::vector<std::string>* skipped) {
+  std::size_t loaded = 0;
+  for (std::string_view line : util::split(rules_text, '\n')) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::string error;
+    auto rule = parse_rule(trimmed, &error);
+    if (rule) {
+      add(std::move(*rule));
+      ++loaded;
+    } else if (skipped != nullptr) {
+      skipped->push_back(std::string(trimmed) + "  # " + error);
+    }
+  }
+  return loaded;
+}
+
+std::vector<Alert> RuleEngine::evaluate(std::string_view payload, net::Port port,
+                                        net::Transport transport) const {
+  std::vector<Alert> alerts;
+  HttpBuffers http;
+  bool http_extracted = false;
+
+  for (const Rule& rule : rules_) {
+    if (rule.transport != transport || !rule.applies_to_port(port)) continue;
+
+    bool all_match = true;
+    for (const ContentMatch& match : rule.contents) {
+      std::string_view buffer;
+      if (match.buffer == MatchBuffer::kRaw) {
+        buffer = payload;
+      } else {
+        if (!http_extracted) {
+          http = extract_http(payload);
+          http_extracted = true;
+        }
+        if (!http.parsed) {
+          all_match = false;
+          break;
+        }
+        switch (match.buffer) {
+          case MatchBuffer::kHttpUri: buffer = http.uri; break;
+          case MatchBuffer::kHttpMethod: buffer = http.method; break;
+          case MatchBuffer::kHttpHeader: buffer = http.headers; break;
+          case MatchBuffer::kHttpClientBody: buffer = http.body; break;
+          case MatchBuffer::kRaw: break;  // unreachable
+        }
+      }
+      const bool found = contains(buffer, match.needle, match.nocase);
+      if (found == match.negated) {
+        all_match = false;
+        break;
+      }
+    }
+    if (all_match) alerts.push_back(Alert{rule.sid, rule.class_type, rule.msg});
+  }
+  return alerts;
+}
+
+bool RuleEngine::matches(std::string_view payload, net::Port port,
+                         net::Transport transport) const {
+  return !evaluate(payload, port, transport).empty();
+}
+
+}  // namespace cw::ids

@@ -1,0 +1,47 @@
+// The rule-matching engine: evaluates every loaded rule against a captured
+// payload, honoring HTTP buffer selectors. This is the instrument Section
+// 3.2 uses to label non-authentication-protocol payloads as malicious.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ids/rule.h"
+#include "net/ports.h"
+
+namespace cw::ids {
+
+struct Alert {
+  std::uint32_t sid = 0;
+  ClassType class_type = ClassType::kMiscActivity;
+  std::string_view msg;  // borrowed from the engine's rule storage
+};
+
+class RuleEngine {
+ public:
+  RuleEngine() = default;
+
+  // Adds a parsed rule.
+  void add(Rule rule);
+
+  // Parses a newline-separated rule file body; returns the number of rules
+  // loaded. Unparseable lines are collected into `skipped` if provided.
+  std::size_t load(std::string_view rules_text, std::vector<std::string>* skipped = nullptr);
+
+  // Evaluates the payload (destined to `port`) against every rule.
+  [[nodiscard]] std::vector<Alert> evaluate(std::string_view payload, net::Port port,
+                                            net::Transport transport = net::Transport::kTcp) const;
+
+  // True if at least one rule fires.
+  [[nodiscard]] bool matches(std::string_view payload, net::Port port,
+                             net::Transport transport = net::Transport::kTcp) const;
+
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept { return rules_; }
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace cw::ids

@@ -1,0 +1,255 @@
+#include "ids/rule.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "util/strings.h"
+
+namespace cw::ids {
+
+std::string_view class_type_name(ClassType c) noexcept {
+  switch (c) {
+    case ClassType::kTrojanActivity: return "trojan-activity";
+    case ClassType::kWebApplicationAttack: return "web-application-attack";
+    case ClassType::kProtocolCommandDecode: return "protocol-command-decode";
+    case ClassType::kAttemptedUser: return "attempted-user";
+    case ClassType::kAttemptedAdmin: return "attempted-admin";
+    case ClassType::kAttemptedRecon: return "attempted-recon";
+    case ClassType::kBadUnknown: return "bad-unknown";
+    case ClassType::kMiscActivity: return "misc-activity";
+  }
+  return "misc-activity";
+}
+
+std::optional<ClassType> class_type_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kClassTypeCount; ++i) {
+    const ClassType c = static_cast<ClassType>(i);
+    if (name == class_type_name(c)) return c;
+  }
+  return std::nullopt;
+}
+
+bool Rule::applies_to_port(net::Port port) const noexcept {
+  if (dst_ports.empty()) return true;
+  return std::find(dst_ports.begin(), dst_ports.end(), port) != dst_ports.end();
+}
+
+namespace {
+
+void set_error(std::string* error, std::string_view message) {
+  if (error != nullptr) *error = std::string(message);
+}
+
+// Decodes Suricata content syntax: literal text with |xx xx| hex spans.
+std::optional<std::string> decode_content(std::string_view raw) {
+  std::string out;
+  bool in_hex = false;
+  std::string hex_accumulator;
+  for (char c : raw) {
+    if (c == '|') {
+      if (in_hex) {
+        // Flush accumulated hex bytes.
+        const auto digits = cw::util::split_trimmed(hex_accumulator, ' ');
+        for (std::string_view d : digits) {
+          if (d.size() != 2) return std::nullopt;
+          unsigned byte = 0;
+          auto [ptr, ec] = std::from_chars(d.data(), d.data() + 2, byte, 16);
+          if (ec != std::errc() || ptr != d.data() + 2) return std::nullopt;
+          out += static_cast<char>(byte);
+        }
+        hex_accumulator.clear();
+      }
+      in_hex = !in_hex;
+      continue;
+    }
+    if (in_hex) {
+      hex_accumulator += c;
+    } else {
+      out += c;
+    }
+  }
+  if (in_hex) return std::nullopt;
+  return out;
+}
+
+// Parses a port spec: "any", a number, or a bracket list "[80,8080]".
+std::optional<std::vector<net::Port>> parse_ports(std::string_view spec) {
+  std::vector<net::Port> out;
+  spec = cw::util::trim(spec);
+  if (spec == "any" || spec == "$HTTP_PORTS" || spec.empty()) return out;
+  std::string_view inner = spec;
+  if (spec.front() == '[' && spec.back() == ']') inner = spec.substr(1, spec.size() - 2);
+  for (std::string_view part : cw::util::split_trimmed(inner, ',')) {
+    unsigned port = 0;
+    auto [ptr, ec] = std::from_chars(part.data(), part.data() + part.size(), port);
+    if (ec != std::errc() || ptr != part.data() + part.size() || port > 65535) {
+      return std::nullopt;
+    }
+    out.push_back(static_cast<net::Port>(port));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Rule> parse_rule(std::string_view line, std::string* error) {
+  line = util::trim(line);
+  if (line.empty() || line.front() == '#') {
+    set_error(error, "comment or blank");
+    return std::nullopt;
+  }
+
+  const std::size_t paren = line.find('(');
+  if (paren == std::string_view::npos || line.back() != ')') {
+    set_error(error, "missing option block");
+    return std::nullopt;
+  }
+  const std::string_view head = util::trim(line.substr(0, paren));
+  const std::string_view options = line.substr(paren + 1, line.size() - paren - 2);
+
+  // Header: action proto src sport -> dst dport
+  const auto head_parts = util::split_trimmed(head, ' ');
+  if (head_parts.size() != 7 || head_parts[4] != "->") {
+    set_error(error, "malformed header");
+    return std::nullopt;
+  }
+  if (head_parts[0] != "alert") {
+    set_error(error, "unsupported action");
+    return std::nullopt;
+  }
+
+  Rule rule;
+  if (head_parts[1] == "tcp" || head_parts[1] == "http") {
+    rule.transport = net::Transport::kTcp;
+  } else if (head_parts[1] == "udp") {
+    rule.transport = net::Transport::kUdp;
+  } else {
+    set_error(error, "unsupported protocol");
+    return std::nullopt;
+  }
+  auto ports = parse_ports(head_parts[6]);
+  if (!ports) {
+    set_error(error, "bad port spec");
+    return std::nullopt;
+  }
+  rule.dst_ports = std::move(*ports);
+
+  // Options: semicolon-separated key[:value] pairs. Values may contain
+  // quoted strings with escaped characters.
+  std::size_t cursor = 0;
+  ContentMatch* last_content = nullptr;
+  while (cursor < options.size()) {
+    // Find the terminating ';' outside quotes.
+    bool in_quotes = false;
+    std::size_t end = cursor;
+    while (end < options.size()) {
+      const char c = options[end];
+      if (c == '"' && (end == 0 || options[end - 1] != '\\')) in_quotes = !in_quotes;
+      if (c == ';' && !in_quotes) break;
+      ++end;
+    }
+    std::string_view option = util::trim(options.substr(cursor, end - cursor));
+    cursor = end + 1;
+    if (option.empty()) continue;
+
+    const std::size_t colon = option.find(':');
+    const std::string_view key = colon == std::string_view::npos
+                                     ? option
+                                     : util::trim(option.substr(0, colon));
+    std::string_view value =
+        colon == std::string_view::npos ? std::string_view{} : util::trim(option.substr(colon + 1));
+
+    auto unquote = [](std::string_view v) -> std::string_view {
+      if (v.size() >= 2 && v.front() == '"' && v.back() == '"') return v.substr(1, v.size() - 2);
+      return v;
+    };
+
+    if (key == "msg") {
+      rule.msg = std::string(unquote(value));
+    } else if (key == "content") {
+      ContentMatch match;
+      std::string_view body = value;
+      if (!body.empty() && body.front() == '!') {
+        match.negated = true;
+        body = util::trim(body.substr(1));
+      }
+      auto decoded = decode_content(unquote(body));
+      if (!decoded) {
+        set_error(error, "bad content encoding");
+        return std::nullopt;
+      }
+      match.needle = std::move(*decoded);
+      rule.contents.push_back(std::move(match));
+      last_content = &rule.contents.back();
+    } else if (key == "nocase") {
+      if (last_content == nullptr) {
+        set_error(error, "nocase without content");
+        return std::nullopt;
+      }
+      last_content->nocase = true;
+    } else if (key == "http_uri" || key == "http.uri") {
+      if (last_content == nullptr) {
+        set_error(error, "http_uri without content");
+        return std::nullopt;
+      }
+      last_content->buffer = MatchBuffer::kHttpUri;
+    } else if (key == "http_method" || key == "http.method") {
+      if (last_content == nullptr) {
+        set_error(error, "http_method without content");
+        return std::nullopt;
+      }
+      last_content->buffer = MatchBuffer::kHttpMethod;
+    } else if (key == "http_header" || key == "http.header") {
+      if (last_content == nullptr) {
+        set_error(error, "http_header without content");
+        return std::nullopt;
+      }
+      last_content->buffer = MatchBuffer::kHttpHeader;
+    } else if (key == "http_client_body" || key == "http.request_body") {
+      if (last_content == nullptr) {
+        set_error(error, "http_client_body without content");
+        return std::nullopt;
+      }
+      last_content->buffer = MatchBuffer::kHttpClientBody;
+    } else if (key == "classtype") {
+      auto c = class_type_from_name(value);
+      if (!c) {
+        set_error(error, "unknown classtype");
+        return std::nullopt;
+      }
+      rule.class_type = *c;
+    } else if (key == "sid") {
+      unsigned sid = 0;
+      auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), sid);
+      if (ec != std::errc() || ptr != value.data() + value.size()) {
+        set_error(error, "bad sid");
+        return std::nullopt;
+      }
+      rule.sid = sid;
+    } else if (key == "rev") {
+      unsigned rev = 0;
+      auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), rev);
+      if (ec == std::errc() && ptr == value.data() + value.size()) rule.rev = rev;
+    } else if (key == "flow" || key == "reference" || key == "metadata" || key == "depth" ||
+               key == "offset" || key == "distance" || key == "within" || key == "threshold" ||
+               key == "fast_pattern" || key == "target") {
+      // Accepted and ignored: these narrow matches in ways that do not
+      // change the verdicts for first-payload honeypot data.
+    } else {
+      set_error(error, "unsupported option: " + std::string(key));
+      return std::nullopt;
+    }
+  }
+
+  if (rule.sid == 0) {
+    set_error(error, "missing sid");
+    return std::nullopt;
+  }
+  if (rule.contents.empty()) {
+    set_error(error, "rule has no content match");
+    return std::nullopt;
+  }
+  return rule;
+}
+
+}  // namespace cw::ids

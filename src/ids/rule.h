@@ -1,0 +1,67 @@
+// A Suricata-compatible subset of the rule language, sufficient for the
+// paper's methodology (Section 3.2): content matches with nocase, HTTP
+// buffer selectors (http_uri / http_method / http_header / http_client_body),
+// destination port constraints, and the eight classtypes the authors kept
+// after false-positive filtering.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ports.h"
+
+namespace cw::ids {
+
+enum class ClassType : std::uint8_t {
+  kTrojanActivity = 0,
+  kWebApplicationAttack,
+  kProtocolCommandDecode,
+  kAttemptedUser,
+  kAttemptedAdmin,
+  kAttemptedRecon,
+  kBadUnknown,
+  kMiscActivity,
+};
+
+inline constexpr std::size_t kClassTypeCount = 8;
+
+std::string_view class_type_name(ClassType c) noexcept;
+std::optional<ClassType> class_type_from_name(std::string_view name) noexcept;
+
+// Which slice of the payload a content match applies to.
+enum class MatchBuffer : std::uint8_t {
+  kRaw = 0,         // whole payload
+  kHttpUri,
+  kHttpMethod,
+  kHttpHeader,
+  kHttpClientBody,
+};
+
+struct ContentMatch {
+  std::string needle;        // decoded: |xx xx| hex spans already binary
+  bool nocase = false;
+  bool negated = false;      // content:!"..."
+  MatchBuffer buffer = MatchBuffer::kRaw;
+};
+
+struct Rule {
+  std::uint32_t sid = 0;
+  std::uint32_t rev = 1;
+  std::string msg;
+  ClassType class_type = ClassType::kMiscActivity;
+  net::Transport transport = net::Transport::kTcp;
+  std::vector<net::Port> dst_ports;  // empty = any
+  std::vector<ContentMatch> contents;
+
+  [[nodiscard]] bool applies_to_port(net::Port port) const noexcept;
+};
+
+// Parses one rule line. Returns nullopt (with a diagnostic in `error` when
+// provided) for malformed rules or unsupported constructs; the caller can
+// skip those, matching how operators curate real rule files.
+std::optional<Rule> parse_rule(std::string_view line, std::string* error = nullptr);
+
+}  // namespace cw::ids

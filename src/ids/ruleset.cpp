@@ -1,0 +1,54 @@
+#include "ids/ruleset.h"
+
+#include <cstdlib>
+
+namespace cw::ids {
+
+std::string_view curated_rules_text() {
+  // sids in the 9,000,000 range mark these as locally curated (Suricata
+  // reserves low ranges for distributed sets).
+  static constexpr std::string_view kRules = R"RULES(
+# --- Remote code execution over HTTP ---------------------------------------
+alert tcp any any -> any any (msg:"CW EXPLOIT Log4Shell JNDI lookup attempt"; content:"${jndi:"; nocase; classtype:web-application-attack; sid:9000001; rev:2;)
+alert tcp any any -> any any (msg:"CW EXPLOIT PHPUnit eval-stdin RCE"; content:"/vendor/phpunit/phpunit/src/Util/PHP/eval-stdin.php"; http_uri; classtype:web-application-attack; sid:9000002; rev:1;)
+alert tcp any any -> any any (msg:"CW EXPLOIT ThinkPHP invokefunction RCE"; content:"invokefunction"; http_uri; content:"call_user_func_array"; http_uri; classtype:web-application-attack; sid:9000003; rev:1;)
+alert tcp any any -> any any (msg:"CW EXPLOIT GPON router diag_Form command injection"; content:"/GponForm/diag_Form"; http_uri; classtype:web-application-attack; sid:9000004; rev:1;)
+alert tcp any any -> any any (msg:"CW EXPLOIT Hadoop YARN unauthenticated application submission"; content:"/ws/v1/cluster/apps/new-application"; http_uri; classtype:attempted-admin; sid:9000005; rev:1;)
+alert tcp any any -> any any (msg:"CW EXPLOIT NETGEAR setup.cgi RCE"; content:"/setup.cgi?next_file=netgear.cfg"; http_uri; classtype:web-application-attack; sid:9000006; rev:1;)
+alert tcp any any -> any any (msg:"CW EXPLOIT Directory traversal in URI"; content:"/../../"; http_uri; classtype:web-application-attack; sid:9000007; rev:1;)
+alert tcp any any -> any any (msg:"CW EXPLOIT TR-069 CWMP SetParameterValues injection"; content:"NewNTPServer1"; classtype:web-application-attack; sid:9000008; rev:1;)
+alert tcp any any -> any any (msg:"CW EXPLOIT Apache path normalization CVE-2021-41773"; content:"/cgi-bin/.%2e/"; http_uri; classtype:web-application-attack; sid:9000018; rev:1;)
+
+# --- Malware delivery / trojan activity ------------------------------------
+alert tcp any any -> any any (msg:"CW TROJAN IoT botnet wget downloader one-liner"; content:"cd /tmp"; content:"wget http"; classtype:trojan-activity; sid:9000009; rev:1;)
+alert tcp any any -> any any (msg:"CW TROJAN busybox loader invocation"; content:"/bin/busybox"; nocase; classtype:trojan-activity; sid:9000010; rev:1;)
+alert tcp any any -> any any (msg:"CW TROJAN Mozi.m download request"; content:"Mozi.m"; classtype:trojan-activity; sid:9000011; rev:1;)
+
+# --- Authentication bypass / brute force -----------------------------------
+alert tcp any any -> any any (msg:"CW POLICY HTTP POST login brute force"; content:"POST"; http_method; content:"/api/login"; http_uri; classtype:attempted-user; sid:9000012; rev:1;)
+alert tcp any any -> any any (msg:"CW POLICY router luci login attempt"; content:"POST"; http_method; content:"/cgi-bin/luci"; http_uri; classtype:attempted-user; sid:9000013; rev:1;)
+alert tcp any any -> any any (msg:"CW POLICY phpMyAdmin login probe"; content:"POST"; http_method; content:"/phpmyadmin/index.php"; http_uri; nocase; classtype:attempted-user; sid:9000014; rev:1;)
+
+# --- State alteration over non-HTTP protocols ------------------------------
+alert tcp any any -> any any (msg:"CW REDIS CONFIG SET persistence hijack"; content:"CONFIG"; nocase; content:"SET"; nocase; content:"dir"; classtype:attempted-admin; sid:9000015; rev:1;)
+alert tcp any any -> any any (msg:"CW ADB remote shell execution"; content:"CNXN"; content:"shell:"; classtype:attempted-admin; sid:9000016; rev:1;)
+alert tcp any any -> any [5555] (msg:"CW ADB sideload attempt"; content:"sideload:"; classtype:attempted-admin; sid:9000017; rev:1;)
+alert tcp any any -> any any (msg:"CW SIP REGISTER brute force"; content:"REGISTER sip:"; content:"Authorization:"; classtype:attempted-user; sid:9000019; rev:1;)
+alert udp any any -> any any (msg:"CW SIP REGISTER brute force (UDP)"; content:"REGISTER sip:"; content:"Authorization:"; classtype:attempted-user; sid:9000020; rev:1;)
+)RULES";
+  return kRules;
+}
+
+RuleEngine curated_engine() {
+  RuleEngine engine;
+  std::vector<std::string> skipped;
+  engine.load(curated_rules_text(), &skipped);
+  if (!skipped.empty()) {
+    // The shipped rules are part of the library's contract; failing loudly
+    // here turns a silent detection gap into an immediate test failure.
+    std::abort();
+  }
+  return engine;
+}
+
+}  // namespace cw::ids

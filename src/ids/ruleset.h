@@ -1,0 +1,23 @@
+// The curated rule set. The paper filtered Suricata's 32K rules down to
+// those that (a) avoid blocklist-IP/port heuristics and (b) verify as
+// detecting authentication bypass or service-state alteration, across eight
+// classtypes. This file ships the equivalent curated set for the exploit
+// and intrusion payloads that circulate in our simulated population —
+// Log4Shell, IoT botnet downloaders, router RCE chains, login brute-force,
+// and state-altering protocol commands.
+#pragma once
+
+#include <string_view>
+
+#include "ids/engine.h"
+
+namespace cw::ids {
+
+// The rule file body (Suricata syntax, parseable by parse_rule).
+std::string_view curated_rules_text();
+
+// Builds an engine pre-loaded with the curated set. Aborts the process on
+// internal inconsistency (the shipped rules must always parse).
+RuleEngine curated_engine();
+
+}  // namespace cw::ids

@@ -1,0 +1,97 @@
+#include "net/asn.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace cw::net {
+namespace {
+
+CountryCode cc(const char (&code)[3]) { return CountryCode(code[0], code[1]); }
+
+}  // namespace
+
+AsRegistry::AsRegistry(std::vector<AsInfo> entries) : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const AsInfo& a, const AsInfo& b) { return a.asn < b.asn; });
+}
+
+AsRegistry AsRegistry::standard(int synthetic_tail) {
+  std::vector<AsInfo> entries = {
+      {kAsnChinanet, "Chinanet", cc("CN")},
+      {kAsnCogent, "Cogent Communications", cc("US")},
+      {kAsnPonyNet, "PonyNet", cc("US")},
+      {kAsnAxtel, "Axtel", cc("MX")},
+      {kAsnChinaMobile, "China Mobile", cc("CN")},
+      {kAsnM247, "M247", cc("GB")},
+      {kAsnAvast, "Avast Software", cc("CZ")},
+      {kAsnCdn77, "CDN77", cc("GB")},
+      {kAsnEmiratesInternet, "Emirates Internet", cc("AE")},
+      {kAsnSatnet, "SATNET", cc("EC")},
+      {kAsnChinaUnicom, "China Unicom", cc("CN")},
+      {kAsnCensys, "Censys", cc("US")},
+      {kAsnShodan, "Shodan (CariNet)", cc("US")},
+      {kAsnMerit, "Merit Network", cc("US")},
+      {kAsnStanford, "Stanford University", cc("US")},
+      {kAsnDigitalOcean, "DigitalOcean", cc("US")},
+      {kAsnOvh, "OVH", cc("FR")},
+      {kAsnHetzner, "Hetzner Online", cc("DE")},
+      {kAsnTencent, "Tencent Cloud", cc("CN")},
+      {kAsnKtCorp, "KT Corporation", cc("KR")},
+      {kAsnVietnamPt, "VNPT", cc("VN")},
+      {kAsnBharti, "Bharti Airtel", cc("IN")},
+      {kAsnTelstra, "Telstra", cc("AU")},
+  };
+
+  // Long tail of scanning origins: synthetic ASes spread across the
+  // countries that dominate unsolicited-scan origination. The weights
+  // loosely follow published scan-origin breakdowns (China, US, Russia,
+  // Brazil, India, ... dominate).
+  struct CountryShare {
+    const char code[3];
+    double share;
+  };
+  static constexpr CountryShare kShares[] = {
+      {"CN", 0.24}, {"US", 0.18}, {"RU", 0.08}, {"BR", 0.06}, {"IN", 0.06}, {"VN", 0.05},
+      {"KR", 0.04}, {"TW", 0.04}, {"DE", 0.04}, {"NL", 0.03}, {"GB", 0.03}, {"FR", 0.03},
+      {"JP", 0.03}, {"ID", 0.03}, {"EC", 0.02}, {"MX", 0.02}, {"AE", 0.01}, {"AU", 0.01},
+  };
+  cw::util::Rng rng(0x41535245u);  // fixed: the registry is part of the model, not the run
+  double total_share = 0.0;
+  for (const auto& share : kShares) total_share += share.share;
+  Asn next_asn = 64512;  // private-use range keeps synthetics distinct from real ASNs
+  for (const auto& share : kShares) {
+    const int count = static_cast<int>(synthetic_tail * share.share / total_share + 0.5);
+    for (int i = 0; i < count; ++i) {
+      AsInfo info;
+      info.asn = next_asn++;
+      info.name = std::string("ISP-") + share.code + "-" + std::to_string(i);
+      info.country = cc(share.code);
+      entries.push_back(info);
+    }
+  }
+  (void)rng;
+  return AsRegistry(std::move(entries));
+}
+
+const AsInfo* AsRegistry::find(Asn asn) const noexcept {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), asn,
+                             [](const AsInfo& info, Asn value) { return info.asn < value; });
+  if (it == entries_.end() || it->asn != asn) return nullptr;
+  return &*it;
+}
+
+std::string AsRegistry::name_of(Asn asn) const {
+  const AsInfo* info = find(asn);
+  return info ? info->name : "AS" + std::to_string(asn);
+}
+
+std::vector<Asn> AsRegistry::in_country(CountryCode country) const {
+  std::vector<Asn> out;
+  for (const AsInfo& info : entries_) {
+    if (info.country == country) out.push_back(info.asn);
+  }
+  return out;
+}
+
+}  // namespace cw::net

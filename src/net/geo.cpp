@@ -1,0 +1,91 @@
+#include "net/geo.h"
+
+namespace cw::net {
+
+std::string_view continent_name(Continent c) noexcept {
+  switch (c) {
+    case Continent::kNorthAmerica: return "North America";
+    case Continent::kEurope: return "Europe";
+    case Continent::kAsiaPacific: return "Asia Pacific";
+    case Continent::kSouthAmerica: return "South America";
+    case Continent::kMiddleEast: return "Middle East";
+    case Continent::kAfrica: return "Africa";
+  }
+  return "Unknown";
+}
+
+std::string_view continent_code(Continent c) noexcept {
+  switch (c) {
+    case Continent::kNorthAmerica: return "NA";
+    case Continent::kEurope: return "EU";
+    case Continent::kAsiaPacific: return "AP";
+    case Continent::kSouthAmerica: return "SA";
+    case Continent::kMiddleEast: return "ME";
+    case Continent::kAfrica: return "AF";
+  }
+  return "??";
+}
+
+std::optional<CountryCode> CountryCode::parse(std::string_view text) {
+  if (text.size() != 2) return std::nullopt;
+  auto is_alpha = [](char c) { return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z'); };
+  if (!is_alpha(text[0]) || !is_alpha(text[1])) return std::nullopt;
+  auto upper = [](char c) { return c >= 'a' ? static_cast<char>(c - 'a' + 'A') : c; };
+  return CountryCode(upper(text[0]), upper(text[1]));
+}
+
+std::string GeoRegion::code() const {
+  // US regions read "US-OR"; everything else is continent-qualified
+  // ("AP-SG", "NA-CA-QC", "SA-BR"), matching the paper's region labels.
+  std::string out;
+  if (country.to_string() == "US") {
+    out = "US";
+  } else {
+    out = std::string(continent_code(continent)) + "-" + country.to_string();
+  }
+  if (!subdivision.empty()) {
+    out += "-";
+    out += subdivision;
+  }
+  return out;
+}
+
+Continent continent_of(CountryCode country) noexcept {
+  const std::string code = country.to_string();
+  // North America
+  if (code == "US" || code == "CA" || code == "MX") return Continent::kNorthAmerica;
+  // Europe
+  if (code == "FR" || code == "IE" || code == "DE" || code == "GB" || code == "UK" ||
+      code == "NL" || code == "CH" || code == "BE" || code == "FI" || code == "RO" ||
+      code == "CZ" || code == "RU" || code == "BG" || code == "UA" || code == "IT" ||
+      code == "ES" || code == "PL" || code == "SE") {
+    return Continent::kEurope;
+  }
+  // Asia Pacific
+  if (code == "AU" || code == "SG" || code == "IN" || code == "KR" || code == "JP" ||
+      code == "HK" || code == "TW" || code == "ID" || code == "CN" || code == "VN" ||
+      code == "TH" || code == "MY" || code == "PH" || code == "NZ") {
+    return Continent::kAsiaPacific;
+  }
+  // South America
+  if (code == "BR" || code == "EC" || code == "AR" || code == "CL" || code == "CO") {
+    return Continent::kSouthAmerica;
+  }
+  // Middle East
+  if (code == "BH" || code == "AE" || code == "IL" || code == "SA" || code == "TR") {
+    return Continent::kMiddleEast;
+  }
+  // Africa
+  if (code == "ZA" || code == "EG" || code == "NG" || code == "KE") return Continent::kAfrica;
+  return Continent::kNorthAmerica;
+}
+
+GeoRegion make_region(std::string_view country, std::string_view subdivision) {
+  GeoRegion region;
+  if (auto code = CountryCode::parse(country)) region.country = *code;
+  region.continent = continent_of(region.country);
+  region.subdivision = std::string(subdivision);
+  return region;
+}
+
+}  // namespace cw::net

@@ -1,0 +1,61 @@
+// Geography model: continental groupings follow how AWS and Google group
+// datacenters (North America, Europe, Asia Pacific — Section 5.1), and
+// regions carry the country/state codes of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cw::net {
+
+enum class Continent : std::uint8_t {
+  kNorthAmerica = 0,
+  kEurope,
+  kAsiaPacific,
+  kSouthAmerica,
+  kMiddleEast,
+  kAfrica,
+};
+
+std::string_view continent_name(Continent c) noexcept;
+std::string_view continent_code(Continent c) noexcept;  // "US"/"EU"/"AP"/...
+
+// ISO-3166-ish country code (two letters), stored compactly.
+class CountryCode {
+ public:
+  constexpr CountryCode() noexcept : code_{'?', '?'} {}
+  constexpr CountryCode(char a, char b) noexcept : code_{a, b} {}
+  static std::optional<CountryCode> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const { return std::string(code_, 2); }
+  friend constexpr bool operator==(CountryCode, CountryCode) noexcept = default;
+
+ private:
+  char code_[2];
+};
+
+// A deployment region: a (continent, country, optional state/city) tuple,
+// e.g. "US-OR", "AP-SG", "EU-DE". Region identity is its code string.
+struct GeoRegion {
+  Continent continent = Continent::kNorthAmerica;
+  CountryCode country;
+  std::string subdivision;  // state/city qualifier, may be empty
+
+  [[nodiscard]] std::string code() const;
+
+  friend bool operator==(const GeoRegion& a, const GeoRegion& b) noexcept {
+    return a.continent == b.continent && a.country == b.country && a.subdivision == b.subdivision;
+  }
+};
+
+// Continent a country belongs to, for the countries in this study.
+Continent continent_of(CountryCode country) noexcept;
+
+// Convenience constructor: region from country code text and optional
+// subdivision, with the continent inferred.
+GeoRegion make_region(std::string_view country, std::string_view subdivision = {});
+
+}  // namespace cw::net

@@ -1,0 +1,48 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace cw::net {
+
+std::optional<IPv4Addr> IPv4Addr::parse(std::string_view text) {
+  auto parts = cw::util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (std::string_view part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    auto [ptr, ec] = std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc() || ptr != part.data() + part.size() || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return IPv4Addr(value);
+}
+
+std::string IPv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2), octet(3));
+  return buf;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto base = IPv4Addr::parse(text.substr(0, slash));
+  if (!base) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  int length = 0;
+  auto [ptr, ec] = std::from_chars(len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc() || ptr != len_text.data() + len_text.size() || length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*base, length);
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace cw::net

@@ -1,0 +1,93 @@
+// IPv4 address and prefix value types, plus the octet-structure predicates
+// the paper's Section 4.2 analyzes (broadcast-style ".255" octets, first
+// address of a /16, last-octet structure).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cw::net {
+
+// An IPv4 address as a host-order 32-bit value with octet accessors.
+class IPv4Addr {
+ public:
+  constexpr IPv4Addr() noexcept = default;
+  constexpr explicit IPv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr IPv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) | (std::uint32_t{c} << 8) | d) {}
+
+  // Parses dotted-quad notation; rejects out-of-range octets and garbage.
+  static std::optional<IPv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  // True if any octet equals 255 (the over-broad "broadcast-looking" filter
+  // the paper hypothesizes scanners apply, Section 4.2).
+  [[nodiscard]] constexpr bool has_255_octet() const noexcept {
+    return octet(0) == 255 || octet(1) == 255 || octet(2) == 255 || octet(3) == 255;
+  }
+
+  // True if the last octet is 255 (an address commonly reserved for
+  // directed broadcast in /24-aligned networks).
+  [[nodiscard]] constexpr bool ends_in_255() const noexcept { return octet(3) == 255; }
+
+  // True if this is the first address of its /16 (x.B.0.0) — the position
+  // Mirai-style scanners over-target (Section 4.2).
+  [[nodiscard]] constexpr bool is_first_of_slash16() const noexcept {
+    return (value_ & 0xffff) == 0;
+  }
+
+  constexpr IPv4Addr operator+(std::uint32_t delta) const noexcept {
+    return IPv4Addr(value_ + delta);
+  }
+
+  friend constexpr auto operator<=>(IPv4Addr, IPv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// A CIDR prefix.
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+  constexpr Prefix(IPv4Addr base, int length) noexcept
+      : base_(IPv4Addr(length == 0 ? 0 : (base.value() & mask(length)))), length_(length) {}
+
+  static std::optional<Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr IPv4Addr base() const noexcept { return base_; }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+  [[nodiscard]] constexpr std::uint32_t size() const noexcept {
+    return length_ == 0 ? 0xffffffffu : (1u << (32 - length_));  // /0 size saturates
+  }
+
+  [[nodiscard]] constexpr bool contains(IPv4Addr addr) const noexcept {
+    if (length_ == 0) return true;
+    return (addr.value() & mask(length_)) == base_.value();
+  }
+
+  // The i-th address inside the prefix (no bounds check beyond size()).
+  [[nodiscard]] constexpr IPv4Addr at(std::uint32_t i) const noexcept { return base_ + i; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask(int length) noexcept {
+    return length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  }
+  IPv4Addr base_{};
+  int length_ = 32;
+};
+
+}  // namespace cw::net

@@ -1,0 +1,93 @@
+#include "net/ports.h"
+
+#include "util/strings.h"
+
+namespace cw::net {
+
+std::string_view protocol_name(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::kUnknown: return "UNKNOWN";
+    case Protocol::kHttp: return "HTTP";
+    case Protocol::kTls: return "TLS";
+    case Protocol::kSsh: return "SSH";
+    case Protocol::kTelnet: return "TELNET";
+    case Protocol::kSmb: return "SMB";
+    case Protocol::kRtsp: return "RTSP";
+    case Protocol::kSip: return "SIP";
+    case Protocol::kNtp: return "NTP";
+    case Protocol::kRdp: return "RDP";
+    case Protocol::kAdb: return "ADB";
+    case Protocol::kFox: return "FOX";
+    case Protocol::kRedis: return "REDIS";
+    case Protocol::kSql: return "SQL";
+  }
+  return "UNKNOWN";
+}
+
+std::optional<Protocol> protocol_from_name(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kProtocolCount; ++i) {
+    const Protocol p = static_cast<Protocol>(i);
+    if (cw::util::starts_with_ci(name, protocol_name(p)) &&
+        name.size() == protocol_name(p).size()) {
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+Protocol iana_assignment(Port port) noexcept {
+  switch (port) {
+    case 22:
+    case 2222: return Protocol::kSsh;
+    case 23:
+    case 2323: return Protocol::kTelnet;
+    case 80:
+    case 8080:
+    case 8000:
+    case 7547:  // TR-069 CWMP is HTTP-based
+      return Protocol::kHttp;
+    case 443:
+    case 8443: return Protocol::kTls;
+    case 445: return Protocol::kSmb;
+    case 554: return Protocol::kRtsp;
+    case 5060: return Protocol::kSip;
+    case 123: return Protocol::kNtp;
+    case 3389: return Protocol::kRdp;
+    case 5555: return Protocol::kAdb;
+    case 1911:
+    case 4911: return Protocol::kFox;
+    case 6379: return Protocol::kRedis;
+    case 3306:
+    case 1433: return Protocol::kSql;
+    default: return Protocol::kUnknown;
+  }
+}
+
+std::vector<Port> ports_assigned_to(Protocol p) {
+  static const Port kRegistry[] = {22,  2222, 23,   2323, 80,   8080, 8000, 7547, 443, 8443,
+                                   445, 554,  5060, 123,  3389, 5555, 1911, 4911, 6379, 3306,
+                                   1433};
+  std::vector<Port> out;
+  for (Port port : kRegistry) {
+    if (iana_assignment(port) == p) out.push_back(port);
+  }
+  return out;
+}
+
+const std::vector<Port>& popular_ports() {
+  // Ordering matches Table 8 (most to least telescope-overlap for Telnet
+  // first), which is the presentation order the benches reuse.
+  static const std::vector<Port> kPorts = {23, 2323, 80, 8080, 21, 2222, 25, 7547, 22, 443};
+  return kPorts;
+}
+
+const std::vector<Port>& greynoise_ports() {
+  static const std::vector<Port> kPorts = {22, 2222, 23, 2323, 80, 8080, 443, 445, 3389, 5555};
+  return kPorts;
+}
+
+std::string_view transport_name(Transport t) noexcept {
+  return t == Transport::kTcp ? "TCP" : "UDP";
+}
+
+}  // namespace cw::net

@@ -1,0 +1,58 @@
+// Application protocols and the IANA port registry slice relevant to the
+// paper: the 13 TCP protocols LZR fingerprints (Section 6) plus the ports
+// GreyNoise honeypots expose and the telescope's consistently-targeted set.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace cw::net {
+
+using Port = std::uint16_t;
+
+// Application-layer protocols recognized by the fingerprinter.
+enum class Protocol : std::uint8_t {
+  kUnknown = 0,
+  kHttp,
+  kTls,
+  kSsh,
+  kTelnet,
+  kSmb,
+  kRtsp,
+  kSip,
+  kNtp,
+  kRdp,
+  kAdb,
+  kFox,
+  kRedis,
+  kSql,
+};
+
+inline constexpr std::size_t kProtocolCount = 14;
+
+std::string_view protocol_name(Protocol p) noexcept;
+std::optional<Protocol> protocol_from_name(std::string_view name) noexcept;
+
+// IANA-assigned protocol for a port, for the ports this study touches
+// (22, 2222 -> SSH; 23, 2323 -> Telnet; 80, 8080 -> HTTP; 443 -> TLS; ...).
+// Returns kUnknown for ports with no assignment we model.
+Protocol iana_assignment(Port port) noexcept;
+
+// Ports with the given IANA assignment within our registry.
+std::vector<Port> ports_assigned_to(Protocol p);
+
+// The ten most consistently targeted ports observed by the telescope,
+// used in Table 8/9 and the address-structure analysis.
+const std::vector<Port>& popular_ports();
+
+// Default ports a GreyNoise honeypot exposes (at least seven popular ports,
+// Section 3.1).
+const std::vector<Port>& greynoise_ports();
+
+enum class Transport : std::uint8_t { kTcp, kUdp };
+
+std::string_view transport_name(Transport t) noexcept;
+
+}  // namespace cw::net

@@ -1,0 +1,60 @@
+#include "proto/banners.h"
+
+namespace cw::proto {
+
+std::string server_banner(net::Protocol protocol, std::uint32_t variant) {
+  switch (protocol) {
+    case net::Protocol::kSsh: {
+      static constexpr const char* kVersions[] = {
+          "SSH-2.0-OpenSSH_7.4p1 Debian-10+deb9u7",
+          "SSH-2.0-OpenSSH_6.6.1p1 Ubuntu-2ubuntu2.13",
+          "SSH-2.0-dropbear_2014.63",
+          "SSH-2.0-OpenSSH_5.3",
+      };
+      return std::string(kVersions[variant % 4]) + "\r\n";
+    }
+    case net::Protocol::kHttp: {
+      static constexpr const char* kServers[] = {
+          "Apache/2.4.29 (Ubuntu)",
+          "nginx/1.10.3",
+          "Microsoft-IIS/7.5",
+          "lighttpd/1.4.35",
+      };
+      return std::string("HTTP/1.1 200 OK\r\nServer: ") + kServers[variant % 4] +
+             "\r\nContent-Type: text/html\r\n\r\n<html><body>It works!</body></html>";
+    }
+    case net::Protocol::kTelnet: {
+      static constexpr const char* kLogins[] = {
+          "BusyBox v1.19.3 built-in shell (ash)\r\nlogin: ",
+          "Welcome to HiLinux.\r\nlogin: ",
+          "(none) login: ",
+          "RouterOS v6.40.5\r\nLogin: ",
+      };
+      return kLogins[variant % 4];
+    }
+    case net::Protocol::kTls:
+      // A crawler records the certificate subject rather than a text banner.
+      return "TLSv1.2; CN=localhost; self-signed";
+    case net::Protocol::kRtsp:
+      return "RTSP/1.0 200 OK\r\nCSeq: 1\r\nServer: Hipcam RealServer/V1.0\r\n\r\n";
+    case net::Protocol::kRedis:
+      return "-NOAUTH Authentication required.\r\n";
+    case net::Protocol::kSql:
+      return std::string("5.5.") + std::to_string(40 + variant % 20) +
+             "-0+deb8u1-log mysql_native_password";
+    case net::Protocol::kFox:
+      return "fox a 0 -1 fox hello { fox.version=s:1.0 }";
+    case net::Protocol::kSip:
+      return "SIP/2.0 200 OK\r\nServer: FPBX-13.0.192(13.17.0)\r\n\r\n";
+    case net::Protocol::kSmb:
+    case net::Protocol::kRdp:
+    case net::Protocol::kNtp:
+    case net::Protocol::kAdb:
+    case net::Protocol::kUnknown:
+      // Binary or server-silent protocols: nothing a text index stores.
+      return {};
+  }
+  return {};
+}
+
+}  // namespace cw::proto

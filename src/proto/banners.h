@@ -1,0 +1,20 @@
+// Server-side banners. The GreyNoise honeypots present "vulnerable-looking
+// protocol-assigned services" (Section 3.1); the banner is what an
+// Internet-service search engine indexes and what attackers search for
+// ("OpenSSH_7.4", "Apache/2.4.29"). Variants rotate across a small set of
+// dated software versions, deterministically per (protocol, variant).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ports.h"
+
+namespace cw::proto {
+
+// The banner a vulnerable-looking service of this protocol presents.
+// Returns an empty string for protocols that do not speak first (and thus
+// expose no banner to a crawler that only connects).
+std::string server_banner(net::Protocol protocol, std::uint32_t variant = 0);
+
+}  // namespace cw::proto

@@ -1,0 +1,58 @@
+#include "proto/credentials.h"
+
+namespace cw::proto {
+
+const std::vector<Credential>& dictionary(CredentialDictionary dict) {
+  static const std::vector<Credential> kGenericSsh = {
+      {"root", "123456"},   {"root", "password"}, {"root", "root"},     {"admin", "admin"},
+      {"root", "admin"},    {"ubuntu", "ubuntu"}, {"test", "test"},     {"root", "12345678"},
+      {"root", "1234"},     {"user", "user"},     {"oracle", "oracle"}, {"postgres", "postgres"},
+      {"root", "qwerty"},   {"pi", "raspberry"},  {"admin", "password"},{"git", "git"},
+      {"root", "toor"},     {"ftpuser", "ftpuser"},{"nagios", "nagios"},{"root", "changeme"},
+  };
+  static const std::vector<Credential> kGenericTelnet = {
+      {"root", "root"},     {"admin", "admin"},   {"support", "support"},{"root", "admin"},
+      {"root", "123456"},   {"admin", "password"},{"root", ""},          {"guest", "guest"},
+      {"admin", "1234"},    {"root", "12345"},    {"user", "user"},      {"root", "pass"},
+      {"admin", ""},        {"tech", "tech"},     {"supervisor", "supervisor"},
+  };
+  static const std::vector<Credential> kMirai = {
+      {"root", "xc3511"},   {"root", "vizxv"},    {"root", "admin"},    {"admin", "admin"},
+      {"root", "888888"},   {"root", "xmhdipc"},  {"root", "default"},  {"root", "juantech"},
+      {"root", "123456"},   {"root", "54321"},    {"support", "support"},{"root", ""},
+      {"admin", "password"},{"root", "root"},     {"root", "12345"},    {"user", "user"},
+      {"admin", ""},        {"root", "pass"},     {"admin", "admin1234"},{"root", "1111"},
+      {"admin", "smcadmin"},{"admin", "1111"},    {"root", "666666"},   {"root", "password"},
+      {"root", "1234"},     {"root", "klv123"},   {"Administrator", "admin"},
+      {"service", "service"},{"supervisor", "supervisor"},{"guest", "guest"},
+      {"guest", "12345"},   {"admin1", "password"},{"administrator", "1234"},
+      {"666666", "666666"}, {"888888", "888888"}, {"ubnt", "ubnt"},     {"root", "klv1234"},
+      {"root", "Zte521"},   {"root", "hi3518"},   {"root", "jvbzd"},    {"root", "anko"},
+      {"root", "zlxx."},    {"root", "7ujMko0vizxv"},{"root", "7ujMko0admin"},
+      {"root", "system"},   {"root", "ikwb"},     {"root", "dreambox"}, {"root", "user"},
+      {"root", "realtek"},  {"root", "00000000"}, {"admin", "1111111"}, {"admin", "1234"},
+      {"admin", "12345"},   {"admin", "54321"},   {"admin", "123456"},  {"admin", "7ujMko0admin"},
+      {"admin", "meinsm"},  {"tech", "tech"},     {"mother", "fucker"},
+  };
+  static const std::vector<Credential> kHuaweiRegional = {
+      {"mother", "fucker"},    {"e8ehome", "e8ehome"}, {"e8telnet", "e8telnet"},
+      {"root", "e8ehome"},     {"telecomadmin", "admintelecom"},
+      {"root", "huawei"},      {"admin", "CenturyL1nk"}, {"root", "5up"},
+  };
+  switch (dict) {
+    case CredentialDictionary::kGenericSsh: return kGenericSsh;
+    case CredentialDictionary::kGenericTelnet: return kGenericTelnet;
+    case CredentialDictionary::kMirai: return kMirai;
+    case CredentialDictionary::kHuaweiRegional: return kHuaweiRegional;
+  }
+  return kGenericSsh;
+}
+
+const Credential& sample_credential(CredentialDictionary dict, util::Rng& rng,
+                                    double zipf_exponent) {
+  const std::vector<Credential>& entries = dictionary(dict);
+  const std::uint64_t rank = rng.zipf(entries.size(), zipf_exponent);
+  return entries[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace cw::proto

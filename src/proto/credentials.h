@@ -1,0 +1,38 @@
+// Credential dictionaries used by brute-force agents. The entries mirror
+// the real-world lists the paper surfaces: generic SSH/Telnet defaults
+// ("root"/"admin"/"support" dominate most regions), the Mirai botnet's
+// embedded dictionary, and the Huawei-targeting regional credentials
+// ("e8ehome", "mother") that dominate the AWS Australia region (Section 5.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cw::proto {
+
+struct Credential {
+  std::string username;
+  std::string password;
+
+  friend bool operator==(const Credential&, const Credential&) = default;
+};
+
+enum class CredentialDictionary {
+  kGenericSsh = 0,   // commodity SSH brute-force lists
+  kGenericTelnet,    // commodity Telnet/IoT lists
+  kMirai,            // Mirai's hardcoded table
+  kHuaweiRegional,   // e8ehome/mother-style regional lists
+};
+
+// The dictionary contents, ordered from most to least frequently attempted.
+const std::vector<Credential>& dictionary(CredentialDictionary dict);
+
+// Draws a credential with Zipf-weighted popularity (rank 0 most likely),
+// which reproduces the heavy-headed username/password distributions the
+// paper's top-3 comparisons rely on.
+const Credential& sample_credential(CredentialDictionary dict, util::Rng& rng,
+                                    double zipf_exponent = 1.2);
+
+}  // namespace cw::proto

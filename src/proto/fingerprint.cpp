@@ -1,0 +1,137 @@
+#include "proto/fingerprint.h"
+
+#include "util/strings.h"
+
+namespace cw::proto {
+namespace {
+
+bool looks_http(std::string_view p) {
+  static constexpr std::string_view kMethods[] = {
+      "GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS ", "PATCH ", "TRACE ", "CONNECT ",
+  };
+  for (std::string_view method : kMethods) {
+    if (p.substr(0, method.size()) == method) {
+      // Distinguish from RTSP/SIP, which reuse the request-line shape.
+      const std::size_t eol = p.find("\r\n");
+      const std::string_view line = eol == std::string_view::npos ? p : p.substr(0, eol);
+      if (line.find(" RTSP/") != std::string_view::npos) return false;
+      if (line.find("sip:") != std::string_view::npos) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool looks_tls(std::string_view p) {
+  if (p.size() < 6) return false;
+  const auto b0 = static_cast<unsigned char>(p[0]);
+  const auto b1 = static_cast<unsigned char>(p[1]);
+  const auto b2 = static_cast<unsigned char>(p[2]);
+  const auto b5 = static_cast<unsigned char>(p[5]);
+  // Handshake record, SSL3.0-TLS1.3 version byte, ClientHello type.
+  return b0 == 0x16 && b1 == 0x03 && b2 <= 0x04 && b5 == 0x01;
+}
+
+bool looks_ssh(std::string_view p) { return p.substr(0, 4) == "SSH-"; }
+
+bool looks_telnet(std::string_view p) {
+  // A leading IAC verb is the reliable Telnet signature.
+  return p.size() >= 2 && static_cast<unsigned char>(p[0]) == 0xff &&
+         static_cast<unsigned char>(p[1]) >= 0xf0;
+}
+
+bool looks_smb(std::string_view p) {
+  const std::size_t offset = p.size() >= 8 && p[0] == '\x00' ? 4 : 0;  // NetBIOS framing
+  if (p.size() < offset + 4) return false;
+  const std::string_view magic = p.substr(offset, 4);
+  return magic == std::string_view("\xffSMB", 4) || magic == std::string_view("\xfeSMB", 4);
+}
+
+bool looks_rtsp(std::string_view p) {
+  const std::size_t eol = p.find("\r\n");
+  const std::string_view line = eol == std::string_view::npos ? p : p.substr(0, eol);
+  return line.find(" RTSP/") != std::string_view::npos;
+}
+
+bool looks_sip(std::string_view p) {
+  const std::size_t eol = p.find("\r\n");
+  const std::string_view line = eol == std::string_view::npos ? p : p.substr(0, eol);
+  return line.find("sip:") != std::string_view::npos &&
+         (line.find(" SIP/") != std::string_view::npos || line.substr(0, 8) == "REGISTER");
+}
+
+bool looks_ntp(std::string_view p) {
+  if (p.size() != 48) return false;
+  const auto b0 = static_cast<unsigned char>(p[0]);
+  const int version = (b0 >> 3) & 0x7;
+  const int mode = b0 & 0x7;
+  return version >= 1 && version <= 4 && (mode == 3 || mode == 6 || mode == 7);
+}
+
+bool looks_rdp(std::string_view p) {
+  if (p.size() < 7) return false;
+  return static_cast<unsigned char>(p[0]) == 0x03 && p[1] == '\x00' &&
+         (p.find("Cookie: mstshash=") != std::string_view::npos ||
+          static_cast<unsigned char>(p[5]) == 0xe0);
+}
+
+bool looks_adb(std::string_view p) { return p.substr(0, 4) == "CNXN"; }
+
+bool looks_fox(std::string_view p) { return p.substr(0, 4) == "fox "; }
+
+bool looks_redis(std::string_view p) {
+  if (p.empty()) return false;
+  if (p[0] == '*' && p.find("\r\n$") != std::string_view::npos) return true;  // RESP array
+  static constexpr std::string_view kInline[] = {"PING\r\n", "INFO\r\n", "ECHO ", "CONFIG ",
+                                                 "AUTH "};
+  for (std::string_view cmd : kInline) {
+    if (p.substr(0, cmd.size()) == cmd) return true;
+  }
+  return false;
+}
+
+bool looks_sql(std::string_view p) {
+  if (p.find("mysql_native_password") != std::string_view::npos) return true;
+  // MSSQL TDS pre-login packet.
+  if (p.size() >= 8 && static_cast<unsigned char>(p[0]) == 0x12 && p[1] == '\x01') return true;
+  // MySQL client handshake response: 3-byte length + seq 1 + capability
+  // flag CLIENT_PROTOCOL_41 (0x0200) in the low word.
+  if (p.size() >= 9 && p[3] == '\x01') {
+    const auto cap_lo = static_cast<unsigned char>(p[4]);
+    const auto cap_hi = static_cast<unsigned char>(p[5]);
+    const unsigned caps = cap_lo | (cap_hi << 8);
+    if ((caps & 0x0200) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+net::Protocol Fingerprinter::identify(std::string_view payload) noexcept {
+  using net::Protocol;
+  if (payload.empty()) return Protocol::kUnknown;
+  // Order matters: the most structurally specific signatures run first so a
+  // generic request-line match cannot shadow RTSP/SIP.
+  if (looks_tls(payload)) return Protocol::kTls;
+  if (looks_ssh(payload)) return Protocol::kSsh;
+  if (looks_smb(payload)) return Protocol::kSmb;
+  if (looks_rdp(payload)) return Protocol::kRdp;
+  if (looks_adb(payload)) return Protocol::kAdb;
+  if (looks_fox(payload)) return Protocol::kFox;
+  if (looks_telnet(payload)) return Protocol::kTelnet;
+  if (looks_rtsp(payload)) return Protocol::kRtsp;
+  if (looks_sip(payload)) return Protocol::kSip;
+  if (looks_http(payload)) return Protocol::kHttp;
+  if (looks_redis(payload)) return Protocol::kRedis;
+  if (looks_sql(payload)) return Protocol::kSql;
+  if (looks_ntp(payload)) return Protocol::kNtp;
+  return Protocol::kUnknown;
+}
+
+bool Fingerprinter::is_expected(std::string_view payload, net::Port port) noexcept {
+  const net::Protocol assigned = net::iana_assignment(port);
+  if (assigned == net::Protocol::kUnknown) return false;
+  return identify(payload) == assigned;
+}
+
+}  // namespace cw::proto

@@ -1,0 +1,25 @@
+// LZR-style protocol fingerprinting (Izhikevich et al., USENIX Security
+// 2021): given the first payload a client sends after the TCP handshake,
+// identify which application protocol the client is actually speaking —
+// independent of the destination port. This is the instrument Section 6
+// uses to show that >= 15% of traffic on ports 80/8080 is not HTTP.
+#pragma once
+
+#include <string_view>
+
+#include "net/ports.h"
+
+namespace cw::proto {
+
+class Fingerprinter {
+ public:
+  // Identifies the protocol of a client-first payload. Empty payloads and
+  // unrecognized byte patterns return kUnknown.
+  [[nodiscard]] static net::Protocol identify(std::string_view payload) noexcept;
+
+  // True if the payload speaks the IANA-assigned protocol of the port. An
+  // unknown fingerprint never counts as expected.
+  [[nodiscard]] static bool is_expected(std::string_view payload, net::Port port) noexcept;
+};
+
+}  // namespace cw::proto

@@ -1,0 +1,108 @@
+#include "proto/http.h"
+
+#include "util/strings.h"
+
+namespace cw::proto {
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + uri + " " + version + "\r\n";
+  bool has_content_length = false;
+  for (const auto& [name, value] : headers) {
+    out += name + ": " + value + "\r\n";
+    if (util::starts_with_ci(name, "Content-Length") && name.size() == 14) {
+      has_content_length = true;
+    }
+  }
+  if (!body.empty() && !has_content_length) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::optional<std::string_view> HttpRequest::header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key.size() == name.size() && util::starts_with_ci(key, name)) return value;
+  }
+  return std::nullopt;
+}
+
+std::optional<HttpRequest> parse_http(std::string_view payload) {
+  const std::size_t line_end = payload.find("\r\n");
+  if (line_end == std::string_view::npos) return std::nullopt;
+  const std::string_view request_line = payload.substr(0, line_end);
+
+  const auto parts = util::split(request_line, ' ');
+  if (parts.size() < 3) return std::nullopt;
+  if (!util::starts_with_ci(parts[parts.size() - 1], "HTTP/")) return std::nullopt;
+
+  HttpRequest req;
+  req.method = std::string(parts[0]);
+  // URIs may contain spaces in malformed scanner requests; rejoin middle.
+  std::string uri;
+  for (std::size_t i = 1; i + 1 < parts.size(); ++i) {
+    if (i != 1) uri += ' ';
+    uri += std::string(parts[i]);
+  }
+  req.uri = uri;
+  req.version = std::string(parts[parts.size() - 1]);
+
+  std::size_t cursor = line_end + 2;
+  while (cursor < payload.size()) {
+    const std::size_t next = payload.find("\r\n", cursor);
+    if (next == std::string_view::npos) break;
+    const std::string_view line = payload.substr(cursor, next - cursor);
+    cursor = next + 2;
+    if (line.empty()) {
+      // End of headers; rest is body.
+      req.body = std::string(payload.substr(cursor));
+      break;
+    }
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // tolerate junk lines
+    req.headers.emplace_back(std::string(util::trim(line.substr(0, colon))),
+                             std::string(util::trim(line.substr(colon + 1))));
+  }
+  return req;
+}
+
+std::string normalize_http_payload(std::string_view payload) {
+  const std::size_t first_line_end = payload.find("\r\n");
+  if (first_line_end == std::string_view::npos) return std::string(payload);
+  if (payload.find(" HTTP/") == std::string_view::npos ||
+      payload.find(" HTTP/") > first_line_end) {
+    return std::string(payload);
+  }
+
+  std::string out(payload.substr(0, first_line_end + 2));
+  std::size_t cursor = first_line_end + 2;
+  bool in_headers = true;
+  while (cursor < payload.size()) {
+    if (!in_headers) {
+      out.append(payload.substr(cursor));
+      break;
+    }
+    const std::size_t next = payload.find("\r\n", cursor);
+    if (next == std::string_view::npos) {
+      out.append(payload.substr(cursor));
+      break;
+    }
+    const std::string_view line = payload.substr(cursor, next - cursor);
+    cursor = next + 2;
+    if (line.empty()) {
+      in_headers = false;
+      out += "\r\n";
+      continue;
+    }
+    if (util::starts_with_ci(line, "date:") || util::starts_with_ci(line, "host:") ||
+        util::starts_with_ci(line, "content-length:")) {
+      continue;  // ephemeral field: drop
+    }
+    out.append(line);
+    out += "\r\n";
+  }
+  return out;
+}
+
+}  // namespace cw::proto

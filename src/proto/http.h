@@ -1,0 +1,40 @@
+// HTTP request modeling: serialization of scanner-style requests, a
+// tolerant parser for captured payloads, and the ephemeral-field
+// normalization the paper applies before comparing payloads across vantage
+// points ("removing ephemeral values (i.e., Date, Host, and Content-Length
+// fields)", Section 3.3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cw::proto {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string uri = "/";
+  std::string version = "HTTP/1.1";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // Renders the on-the-wire request (CRLF line endings, Content-Length
+  // appended automatically when a body is present).
+  [[nodiscard]] std::string serialize() const;
+
+  // Convenience: header lookup, case-insensitive. Returns nullopt if absent.
+  [[nodiscard]] std::optional<std::string_view> header(std::string_view name) const;
+};
+
+// Parses a request; returns nullopt if the payload is not parseable HTTP.
+// The parser is deliberately forgiving (scanners send malformed requests).
+std::optional<HttpRequest> parse_http(std::string_view payload);
+
+// Strips Date, Host, and Content-Length headers from a raw HTTP payload so
+// that byte-identical campaign payloads compare equal across vantage
+// points. Non-HTTP payloads are returned unchanged.
+std::string normalize_http_payload(std::string_view payload);
+
+}  // namespace cw::proto

@@ -1,0 +1,189 @@
+#include "proto/payloads.h"
+
+#include "proto/http.h"
+
+namespace cw::proto {
+
+std::string tls_client_hello() {
+  // Record: ContentType=handshake(0x16), version TLS1.0 (0x0301), length.
+  // Handshake: ClientHello(0x01), length, client_version TLS1.2 (0x0303),
+  // 32-byte random, 0-length session id, one cipher suite, null compression.
+  std::string hello;
+  const std::string body = [] {
+    std::string b;
+    b += '\x01';                      // ClientHello
+    std::string ch;
+    ch += '\x03';                     // client_version major
+    ch += '\x03';                     // client_version minor
+    ch.append(32, '\x5a');            // random (fixed; not used by fingerprints)
+    ch += '\x00';                     // session id length
+    ch += '\x00';                     // cipher suites length hi
+    ch += '\x02';                     // cipher suites length lo
+    ch += '\x00';                     // TLS_RSA_WITH_AES_128_CBC_SHA
+    ch += '\x2f';
+    ch += '\x01';                     // compression methods length
+    ch += '\x00';                     // null compression
+    b += '\x00';                      // handshake length (24-bit)
+    b += static_cast<char>((ch.size() >> 8) & 0xff);
+    b += static_cast<char>(ch.size() & 0xff);
+    b += ch;
+    return b;
+  }();
+  hello += '\x16';
+  hello += '\x03';
+  hello += '\x01';
+  hello += static_cast<char>((body.size() >> 8) & 0xff);
+  hello += static_cast<char>(body.size() & 0xff);
+  hello += body;
+  return hello;
+}
+
+std::string ssh_client_banner(std::string_view software) {
+  return "SSH-2.0-" + std::string(software) + "\r\n";
+}
+
+std::string telnet_negotiation() {
+  // IAC DO SUPPRESS-GO-AHEAD, IAC WILL TERMINAL-TYPE, IAC DO ECHO.
+  return std::string("\xff\xfd\x03\xff\xfb\x18\xff\xfd\x01", 9);
+}
+
+std::string smb_negotiate() {
+  std::string out;
+  // NetBIOS session message header (type 0, length filled below).
+  std::string smb;
+  smb += '\xff';
+  smb += "SMB";
+  smb += '\x72';                      // SMB_COM_NEGOTIATE
+  smb.append(27, '\x00');             // status/flags/extra (zeroed)
+  smb += "\x02NT LM 0.12";            // single dialect
+  smb += '\x00';
+  out += '\x00';                      // session message
+  out += '\x00';
+  out += static_cast<char>((smb.size() >> 8) & 0xff);
+  out += static_cast<char>(smb.size() & 0xff);
+  out += smb;
+  return out;
+}
+
+std::string rtsp_options(std::string_view target) {
+  return "OPTIONS " + std::string(target) + " RTSP/1.0\r\nCSeq: 1\r\n\r\n";
+}
+
+std::string sip_options() {
+  return "OPTIONS sip:nm SIP/2.0\r\nVia: SIP/2.0/TCP nm;branch=foo\r\nFrom: <sip:nm@nm>"
+         "\r\nTo: <sip:nm2@nm2>\r\nCall-ID: 50000\r\nCSeq: 42 OPTIONS\r\nMax-Forwards: 70"
+         "\r\nContent-Length: 0\r\n\r\n";
+}
+
+std::string ntp_client() {
+  std::string out(48, '\x00');
+  out[0] = '\x1b';  // LI=0, VN=3, Mode=3 (client)
+  return out;
+}
+
+std::string rdp_connection_request(std::string_view cookie_user) {
+  const std::string cookie = "Cookie: mstshash=" + std::string(cookie_user) + "\r\n";
+  const std::string x224 =
+      std::string("\xe0\x00\x00\x00\x00\x00", 6) + cookie;  // CR TPDU + cookie
+  std::string out;
+  out += '\x03';  // TPKT version
+  out += '\x00';  // reserved
+  const std::size_t total = 4 + 1 + x224.size();
+  out += static_cast<char>((total >> 8) & 0xff);
+  out += static_cast<char>(total & 0xff);
+  out += static_cast<char>(x224.size());  // X.224 length indicator
+  out += x224;
+  return out;
+}
+
+std::string adb_connect() {
+  std::string out = "CNXN";
+  out += std::string("\x00\x00\x00\x01", 4);     // version
+  out += std::string("\x00\x10\x00\x00", 4);     // maxdata
+  out.append(12, '\x00');                        // data length/crc/magic (simplified)
+  out += "host::";
+  return out;
+}
+
+std::string fox_hello() {
+  return "fox a 1 -1 fox hello\n{\nfox.version=s:1.0\nid=i:1\n};;\n";
+}
+
+std::string redis_ping() { return "PING\r\n"; }
+
+std::string mysql_login_probe(std::string_view user) {
+  std::string body;
+  body += std::string("\x85\xa6\x03\x00", 4);    // capability flags
+  body += std::string("\x00\x00\x00\x01", 4);    // max packet
+  body += '\x21';                                // charset utf8
+  body.append(23, '\x00');                       // filler
+  body += std::string(user);
+  body += '\x00';
+  body += '\x00';                                // empty auth response
+  body += "mysql_native_password";
+  body += '\x00';
+  std::string out;
+  out += static_cast<char>(body.size() & 0xff);  // 3-byte LE length
+  out += static_cast<char>((body.size() >> 8) & 0xff);
+  out += static_cast<char>((body.size() >> 16) & 0xff);
+  out += '\x01';                                 // sequence id
+  out += body;
+  return out;
+}
+
+std::string http_benign_request(std::uint32_t variant) {
+  static constexpr std::string_view kPaths[] = {
+      "/", "/robots.txt", "/favicon.ico", "/index.html", "/sitemap.xml", "/status",
+      "/health", "/.well-known/security.txt",
+  };
+  static constexpr std::string_view kAgents[] = {
+      "Mozilla/5.0 zgrab/0.x",
+      "python-requests/2.26.0",
+      "curl/7.74.0",
+      "Go-http-client/1.1",
+      "masscan/1.3",
+      "Mozilla/5.0 (compatible; CensysInspect/1.1)",
+      "Mozilla/5.0 (compatible; InternetMeasurement/1.0)",
+      "HTTP Banner Detection (https://security.ipip.net)",
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64)",
+      "okhttp/3.12.1",
+  };
+  HttpRequest req;
+  req.method = "GET";
+  req.uri = std::string(kPaths[variant % std::size(kPaths)]);
+  req.headers = {{"Host", "scanned.host"},
+                 {"User-Agent", std::string(kAgents[(variant / std::size(kPaths)) %
+                                                    std::size(kAgents)])},
+                 {"Accept", "*/*"}};
+  return req.serialize();
+}
+
+std::string probe_payload(net::Protocol protocol) {
+  switch (protocol) {
+    case net::Protocol::kHttp: {
+      HttpRequest req;
+      req.method = "GET";
+      req.uri = "/";
+      req.headers = {{"Host", "scanned.host"},
+                     {"User-Agent", "Mozilla/5.0 zgrab/0.x"},
+                     {"Accept", "*/*"}};
+      return req.serialize();
+    }
+    case net::Protocol::kTls: return tls_client_hello();
+    case net::Protocol::kSsh: return ssh_client_banner();
+    case net::Protocol::kTelnet: return telnet_negotiation();
+    case net::Protocol::kSmb: return smb_negotiate();
+    case net::Protocol::kRtsp: return rtsp_options();
+    case net::Protocol::kSip: return sip_options();
+    case net::Protocol::kNtp: return ntp_client();
+    case net::Protocol::kRdp: return rdp_connection_request();
+    case net::Protocol::kAdb: return adb_connect();
+    case net::Protocol::kFox: return fox_hello();
+    case net::Protocol::kRedis: return redis_ping();
+    case net::Protocol::kSql: return mysql_login_probe();
+    case net::Protocol::kUnknown: return {};
+  }
+  return {};
+}
+
+}  // namespace cw::proto

@@ -1,0 +1,62 @@
+// First-payload builders for the 13 client-first(ish) TCP protocols the LZR
+// fingerprinter recognizes (Section 6). These produce realistic wire bytes:
+// enough structure for the fingerprinter (and tests) to treat them as the
+// genuine protocol, without implementing full stacks.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/ports.h"
+
+namespace cw::proto {
+
+// A generic benign probe payload for the given protocol (what an Internet
+// scanner sends to elicit a banner).
+std::string probe_payload(net::Protocol protocol);
+
+// A benign HTTP request whose path and User-Agent vary with `variant` —
+// real benign sweeps differ per operator, and the payload-distribution
+// analyses depend on that diversity. The same variant always yields the
+// same bytes (one campaign = one payload).
+std::string http_benign_request(std::uint32_t variant);
+
+// TLS ClientHello record (minimal but structurally valid: record header,
+// handshake header, version, random, one cipher suite, SNI-free).
+std::string tls_client_hello();
+
+// SSH protocol version exchange banner from a scanner client.
+std::string ssh_client_banner(std::string_view software = "OpenSSH_7.4");
+
+// Telnet IAC negotiation burst a Telnet client opens with.
+std::string telnet_negotiation();
+
+// SMB1 protocol negotiate request (NetBIOS session + \xffSMB header).
+std::string smb_negotiate();
+
+// RTSP OPTIONS request.
+std::string rtsp_options(std::string_view target = "*");
+
+// SIP OPTIONS request (over TCP).
+std::string sip_options();
+
+// NTP v3 client mode packet (48 bytes).
+std::string ntp_client();
+
+// RDP X.224 connection request with the mstshash cookie.
+std::string rdp_connection_request(std::string_view cookie_user = "hello");
+
+// ADB CNXN handshake message.
+std::string adb_connect();
+
+// Niagara Fox protocol hello.
+std::string fox_hello();
+
+// Redis inline PING command.
+std::string redis_ping();
+
+// MySQL client login packet fragment (header + capability flags + the
+// mysql_native_password auth plugin name scanners blast blindly).
+std::string mysql_login_probe(std::string_view user = "root");
+
+}  // namespace cw::proto

@@ -1,0 +1,172 @@
+#include "searchengine/engine.h"
+
+#include "proto/banners.h"
+#include "proto/payloads.h"
+#include "util/strings.h"
+
+namespace cw::search {
+
+ServiceSearchEngine::ServiceSearchEngine(std::string name, net::Asn scanning_asn,
+                                         capture::ActorId actor_id)
+    : name_(std::move(name)), asn_(scanning_asn), actor_id_(actor_id) {
+  crawl_ports_ = net::popular_ports();
+  // A small fixed pool per engine, like the real engines' published
+  // scanner ranges; 0xc0...-prefixed so it never collides with monitored
+  // pools or campaign sources.
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    sources_.push_back(net::IPv4Addr(0xc0000000u | (actor_id << 8) | i));
+  }
+}
+
+net::IPv4Addr ServiceSearchEngine::next_source() {
+  const net::IPv4Addr addr = sources_[next_source_];
+  next_source_ = (next_source_ + 1) % sources_.size();
+  return addr;
+}
+
+void ServiceSearchEngine::blocklist(net::IPv4Addr addr) {
+  blocklist_[addr.value()] = kNoPortAllowed;
+}
+
+void ServiceSearchEngine::blocklist_except(net::IPv4Addr addr, net::Port port) {
+  blocklist_[addr.value()] = port;
+}
+
+bool ServiceSearchEngine::is_blocked(net::IPv4Addr addr, net::Port port) const {
+  auto it = blocklist_.find(addr.value());
+  if (it == blocklist_.end()) return false;
+  return it->second == kNoPortAllowed || it->second != port;
+}
+
+void ServiceSearchEngine::seed_history(net::IPv4Addr addr, net::Port port,
+                                       net::Protocol protocol, util::SimTime when) {
+  IndexEntry entry;
+  entry.address = addr;
+  entry.port = port;
+  entry.protocol = protocol;
+  entry.first_seen = when;
+  entry.last_seen = when;
+  entry.live = false;  // history only: the old tenant's service is gone
+  index_[{addr.value(), port}] = entry;
+}
+
+void ServiceSearchEngine::crawl(util::SimTime now, const topology::TargetUniverse& universe,
+                                capture::Collector& collector, util::Rng& rng) {
+  std::set<std::pair<std::uint32_t, net::Port>> confirmed;
+
+  for (const topology::Target& target : universe.targets()) {
+    if (target.type == topology::NetworkType::kTelescope) {
+      // The engine scans darknets too (its probes are recorded there), but
+      // nothing responds, so nothing is indexed.
+      for (net::Port port : crawl_ports_) {
+        capture::ScanEvent probe;
+        probe.time = now + static_cast<util::SimTime>(rng.next_below(util::kHour));
+        probe.src = next_source();
+        probe.src_as = asn_;
+        probe.dst = target.address;
+        probe.dst_port = port;
+        probe.intended_protocol = net::iana_assignment(port);
+        probe.payload = proto::probe_payload(probe.intended_protocol);
+        probe.malicious_intent = false;
+        probe.actor = actor_id_;
+        collector.deliver(probe);
+      }
+      continue;
+    }
+
+    const topology::VantagePoint& vp = universe.deployment().at(target.vantage);
+    for (net::Port port : crawl_ports_) {
+      if (is_blocked(target.address, port)) continue;  // filtered before reaching the service
+
+      capture::ScanEvent probe;
+      probe.time = now + static_cast<util::SimTime>(rng.next_below(util::kHour));
+      probe.src = next_source();
+      probe.src_as = asn_;
+      probe.dst = target.address;
+      probe.dst_port = port;
+      probe.intended_protocol = net::iana_assignment(port);
+      probe.payload = proto::probe_payload(probe.intended_protocol);
+      probe.malicious_intent = false;
+      probe.actor = actor_id_;
+      collector.deliver(probe);
+
+      if (!vp.listens_on(port)) continue;  // connection refused: nothing to index
+
+      const auto key = std::make_pair(target.address.value(), port);
+      confirmed.insert(key);
+      auto it = index_.find(key);
+      if (it == index_.end()) {
+        IndexEntry entry;
+        entry.address = target.address;
+        entry.port = port;
+        entry.protocol = net::iana_assignment(port);
+        // The banner the vulnerable-looking service presents is stable per
+        // (address, port), like a real deployment's software version.
+        entry.banner = proto::server_banner(
+            entry.protocol, (target.address.value() * 31u) ^ port);
+        entry.first_seen = now;
+        entry.last_seen = now;
+        entry.live = true;
+        index_.emplace(key, entry);
+      } else {
+        it->second.last_seen = now;
+        it->second.live = true;
+      }
+    }
+  }
+
+  // Services that stopped responding fall out of the live index but remain
+  // in history (the paper's "previously leaked" condition).
+  for (auto& [key, entry] : index_) {
+    if (entry.live && !confirmed.contains(key) && entry.last_seen < now) entry.live = false;
+  }
+}
+
+std::vector<net::IPv4Addr> ServiceSearchEngine::query_port(net::Port port) const {
+  std::vector<net::IPv4Addr> out;
+  for (const auto& [key, entry] : index_) {
+    if (entry.live && entry.port == port) out.push_back(entry.address);
+  }
+  return out;
+}
+
+std::vector<net::IPv4Addr> ServiceSearchEngine::query_port_history(net::Port port) const {
+  std::vector<net::IPv4Addr> out;
+  for (const auto& [key, entry] : index_) {
+    if (entry.port == port) out.push_back(entry.address);
+  }
+  return out;
+}
+
+std::vector<net::IPv4Addr> ServiceSearchEngine::query_banner(std::string_view needle) const {
+  std::vector<net::IPv4Addr> out;
+  for (const auto& [key, entry] : index_) {
+    if (!entry.live || entry.banner.empty()) continue;
+    if (cw::util::contains_ci(entry.banner, needle)) out.push_back(entry.address);
+  }
+  return out;
+}
+
+std::string ServiceSearchEngine::banner_of(net::IPv4Addr addr, net::Port port) const {
+  auto it = index_.find({addr.value(), port});
+  return it == index_.end() ? std::string() : it->second.banner;
+}
+
+bool ServiceSearchEngine::currently_indexed(net::IPv4Addr addr, net::Port port) const {
+  auto it = index_.find({addr.value(), port});
+  return it != index_.end() && it->second.live;
+}
+
+bool ServiceSearchEngine::ever_indexed(net::IPv4Addr addr, net::Port port) const {
+  return index_.contains({addr.value(), port});
+}
+
+std::size_t ServiceSearchEngine::live_size() const {
+  std::size_t count = 0;
+  for (const auto& [key, entry] : index_) {
+    if (entry.live) ++count;
+  }
+  return count;
+}
+
+}  // namespace cw::search

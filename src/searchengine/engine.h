@@ -1,0 +1,111 @@
+// Internet-service search engine simulator (Censys/Shodan). The engine
+// periodically crawls the monitored address space from its own scanning
+// ASN — its probes land in honeypot data exactly like the real engines'
+// do — and maintains a historical index that attacker agents mine for
+// targets (Section 4.3). Per-address blocklists model the leak experiment's
+// access control: a blocked engine never discovers (or re-verifies) a
+// service, so the address stays out of the live index.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "capture/collector.h"
+#include "net/asn.h"
+#include "net/ipv4.h"
+#include "net/ports.h"
+#include "topology/universe.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace cw::search {
+
+struct IndexEntry {
+  net::IPv4Addr address;
+  net::Port port = 0;
+  net::Protocol protocol = net::Protocol::kUnknown;
+  std::string banner;  // what the service presented to the crawler
+  util::SimTime first_seen = 0;
+  util::SimTime last_seen = 0;
+  bool live = false;  // present in the current index (vs history only)
+};
+
+class ServiceSearchEngine {
+ public:
+  ServiceSearchEngine(std::string name, net::Asn scanning_asn, capture::ActorId actor_id);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] net::Asn scanning_asn() const noexcept { return asn_; }
+  [[nodiscard]] capture::ActorId actor_id() const noexcept { return actor_id_; }
+
+  // Ports the engine probes on each crawl.
+  void set_crawl_ports(std::vector<net::Port> ports) { crawl_ports_ = std::move(ports); }
+
+  // Blocks the engine's scanners from one address entirely (leak-experiment
+  // control/previously-leaked groups).
+  void blocklist(net::IPv4Addr addr);
+
+  // Blocks every port except one: the engine may discover only `port` on
+  // this address (the leak groups: "allow either Censys or Shodan to find
+  // only one of the three emulated services").
+  void blocklist_except(net::IPv4Addr addr, net::Port port);
+
+  [[nodiscard]] bool is_blocked(net::IPv4Addr addr, net::Port port) const;
+
+  // Seeds pre-experiment history (the "previously leaked" group: IPs whose
+  // earlier tenants were indexed years ago).
+  void seed_history(net::IPv4Addr addr, net::Port port, net::Protocol protocol,
+                    util::SimTime when);
+
+  // Crawls every monitored, non-telescope address on the crawl ports. Each
+  // probe is a benign scan event delivered through the collector, so the
+  // honeypots see the engine exactly as they see any other scanner.
+  // Services that respond (vantage listens on the port and the address is
+  // not blocklisted) enter/refresh the live index; indexed services that no
+  // longer respond drop out of the live index but stay in history.
+  void crawl(util::SimTime now, const topology::TargetUniverse& universe,
+             capture::Collector& collector, util::Rng& rng);
+
+  // Query API used by attacker agents: all live services on a port.
+  [[nodiscard]] std::vector<net::IPv4Addr> query_port(net::Port port) const;
+
+  // Historical query: every address ever indexed on the port, live or not.
+  // Attackers mining stale index data use this (previously-leaked effect).
+  [[nodiscard]] std::vector<net::IPv4Addr> query_port_history(net::Port port) const;
+
+  // Banner search ("search OpenSSH_7.4"): live services whose stored banner
+  // contains the needle, case-insensitively.
+  [[nodiscard]] std::vector<net::IPv4Addr> query_banner(std::string_view needle) const;
+
+  // The stored banner for a live index entry, empty when absent.
+  [[nodiscard]] std::string banner_of(net::IPv4Addr addr, net::Port port) const;
+
+  // Whether the address+port is in the live index / was ever indexed.
+  [[nodiscard]] bool currently_indexed(net::IPv4Addr addr, net::Port port) const;
+  [[nodiscard]] bool ever_indexed(net::IPv4Addr addr, net::Port port) const;
+
+  [[nodiscard]] std::size_t live_size() const;
+  [[nodiscard]] std::size_t history_size() const noexcept { return index_.size(); }
+
+ private:
+  // The next scanner source address; the engine scans from a fixed pool of
+  // well-known addresses (like the real engines' published scan ranges).
+  net::IPv4Addr next_source();
+
+  std::string name_;
+  net::Asn asn_;
+  capture::ActorId actor_id_;
+  std::vector<net::IPv4Addr> sources_;
+  std::size_t next_source_ = 0;
+  std::vector<net::Port> crawl_ports_;
+  // Address -> allowed port; kNoPortAllowed means fully blocked.
+  static constexpr net::Port kNoPortAllowed = 0;
+  std::map<std::uint32_t, net::Port> blocklist_;
+  // Keyed by (address, port); kept ordered so query output is deterministic.
+  std::map<std::pair<std::uint32_t, net::Port>, IndexEntry> index_;
+};
+
+}  // namespace cw::search

@@ -1,0 +1,45 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace cw::sim {
+
+void Engine::schedule_at(util::SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  queue_.push(Scheduled{t, next_sequence_++, std::move(cb)});
+}
+
+void Engine::schedule_after(util::SimDuration delay, Callback cb) {
+  schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+}
+
+std::uint64_t Engine::run_until(util::SimTime end) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().time <= end) {
+    // Move the callback out before popping so re-entrant scheduling from
+    // inside the callback can't touch a dangling reference.
+    Scheduled event = std::move(const_cast<Scheduled&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    event.callback(*this);
+    ++ran;
+    ++processed_;
+  }
+  if (now_ < end) now_ = end;
+  return ran;
+}
+
+std::uint64_t Engine::run_all() {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    Scheduled event = std::move(const_cast<Scheduled&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    event.callback(*this);
+    ++ran;
+    ++processed_;
+  }
+  return ran;
+}
+
+}  // namespace cw::sim

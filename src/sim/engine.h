@@ -1,0 +1,62 @@
+// Deterministic discrete-event simulation engine. Actors (scanners, search
+// engine crawlers, honeypot maintenance tasks) schedule callbacks; events at
+// the same timestamp run in schedule order, so a run is fully reproducible
+// for a given experiment seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace cw::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void(Engine&)>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Schedules a callback at an absolute simulated time. Events scheduled in
+  // the past run immediately at the current time (still in FIFO order).
+  void schedule_at(util::SimTime t, Callback cb);
+
+  // Schedules relative to the current simulated time.
+  void schedule_after(util::SimDuration delay, Callback cb);
+
+  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+
+  // Runs events with timestamp <= end, then sets now() to end. Returns the
+  // number of events processed by this call.
+  std::uint64_t run_until(util::SimTime end);
+
+  // Runs until the queue is empty.
+  std::uint64_t run_all();
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Scheduled {
+    util::SimTime time;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  util::SimTime now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace cw::sim

@@ -1,0 +1,85 @@
+#include "stats/chi_squared.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/fisher.h"
+
+namespace cw::stats {
+
+std::string_view magnitude_name(EffectMagnitude m) noexcept {
+  switch (m) {
+    case EffectMagnitude::kNone: return "none";
+    case EffectMagnitude::kSmall: return "small";
+    case EffectMagnitude::kMedium: return "medium";
+    case EffectMagnitude::kLarge: return "large";
+  }
+  return "none";
+}
+
+EffectMagnitude classify_effect(double cramers_v, std::size_t min_dim_minus_one) noexcept {
+  if (min_dim_minus_one == 0 || cramers_v <= 0.0) return EffectMagnitude::kNone;
+  const double scale = std::sqrt(static_cast<double>(min_dim_minus_one));
+  const double v = cramers_v * scale;  // normalize to the df*=1 scale
+  if (v >= 0.5) return EffectMagnitude::kLarge;
+  if (v >= 0.3) return EffectMagnitude::kMedium;
+  if (v >= 0.1) return EffectMagnitude::kSmall;
+  return EffectMagnitude::kNone;
+}
+
+namespace {
+
+SignificanceTest finish(ContingencyTable table, double alpha, std::size_t family_size) {
+  SignificanceTest out;
+  out.alpha = alpha;
+  out.family_size = std::max<std::size_t>(family_size, 1);
+  // Capture the effective dimensions after empty rows/cols are dropped by
+  // computing on the reduced table directly.
+  table.drop_empty_columns();
+  table.drop_empty_rows();
+  out.chi = pearson_chi_squared(table);
+  if (!out.chi.valid) return out;
+  const double corrected_alpha = out.alpha / static_cast<double>(out.family_size);
+  out.significant = out.chi.p_value < corrected_alpha;
+  const std::size_t min_dim_minus_one =
+      std::min(table.rows(), table.cols()) > 0 ? std::min(table.rows(), table.cols()) - 1 : 0;
+  out.magnitude = out.significant ? classify_effect(out.chi.cramers_v, min_dim_minus_one)
+                                  : EffectMagnitude::kNone;
+  return out;
+}
+
+}  // namespace
+
+SignificanceTest compare_top_k(const std::vector<const FrequencyTable*>& tables, std::size_t k,
+                               double alpha, std::size_t family_size) {
+  const std::vector<std::string> categories = top_k_union(tables, k);
+  ContingencyTable table = ContingencyTable::from_frequency_tables(tables, categories);
+  return finish(std::move(table), alpha, family_size);
+}
+
+SignificanceTest compare_binary(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& rows,
+                                double alpha, std::size_t family_size) {
+  ContingencyTable table(rows.size(), 2);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    table.set(r, 0, static_cast<double>(rows[r].first));
+    table.set(r, 1, static_cast<double>(rows[r].second));
+  }
+  SignificanceTest result = finish(table, alpha, family_size);
+  // Sparse 2x2 tables break the chi-squared approximation (expected cell
+  // counts < 5); substitute Fisher's exact p-value, keeping the chi-based
+  // effect size.
+  if (result.chi.valid && rows.size() == 2 && table.cells_with_expected_below(5.0) > 0) {
+    const FisherResult fisher = fisher_exact_2x2(rows[0].first, rows[0].second, rows[1].first,
+                                                 rows[1].second);
+    if (fisher.valid) {
+      result.used_fisher = true;
+      result.chi.p_value = fisher.p_value;
+      result.significant =
+          fisher.p_value < result.alpha / static_cast<double>(result.family_size);
+      if (!result.significant) result.magnitude = EffectMagnitude::kNone;
+    }
+  }
+  return result;
+}
+
+}  // namespace cw::stats

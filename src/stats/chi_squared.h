@@ -1,0 +1,51 @@
+// The paper's significance pipeline on top of the raw chi-squared test:
+// Bonferroni correction across a family of comparisons, and Cramér's V
+// magnitude classification that accounts for degrees of freedom (the paper
+// stresses that identical phi values can represent different effect sizes
+// when df differ, Section 3.3).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/contingency.h"
+#include "stats/freq.h"
+
+namespace cw::stats {
+
+enum class EffectMagnitude { kNone, kSmall, kMedium, kLarge };
+
+std::string_view magnitude_name(EffectMagnitude m) noexcept;
+
+// Cohen's df-aware thresholds for Cramér's V: with df* = min(r-1, c-1), the
+// small/medium/large boundaries are 0.1/sqrt(df*), 0.3/sqrt(df*),
+// 0.5/sqrt(df*). This is what makes identical phi values carry different
+// magnitudes across tests with different df.
+EffectMagnitude classify_effect(double cramers_v, std::size_t min_dim_minus_one) noexcept;
+
+struct SignificanceTest {
+  ChiSquared chi;                      // raw test output
+  double alpha = 0.05;                 // family-wise alpha before correction
+  std::size_t family_size = 1;         // number of comparisons in the family
+  bool significant = false;            // p < alpha / family_size
+  EffectMagnitude magnitude = EffectMagnitude::kNone;
+  // True when a sparse 2x2 table made the chi-squared approximation
+  // unreliable and Fisher's exact p-value was used instead.
+  bool used_fisher = false;
+};
+
+// Runs the full Section 3.3 recipe over a set of per-vantage frequency
+// tables: take the union of each table's top-k values, build the
+// contingency table, run Pearson chi-squared, apply Bonferroni, classify
+// the effect.
+SignificanceTest compare_top_k(const std::vector<const FrequencyTable*>& tables, std::size_t k,
+                               double alpha, std::size_t family_size);
+
+// Same recipe for a 2-category characteristic (e.g. malicious vs benign
+// counts per vantage point, the "fraction malicious" comparisons).
+SignificanceTest compare_binary(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& rows,
+                                double alpha, std::size_t family_size);
+
+}  // namespace cw::stats

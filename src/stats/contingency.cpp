@@ -1,0 +1,132 @@
+#include "stats/contingency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special_functions.h"
+
+namespace cw::stats {
+
+ContingencyTable::ContingencyTable(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), cells_(rows * cols, 0.0) {}
+
+ContingencyTable ContingencyTable::from_frequency_tables(
+    const std::vector<const FrequencyTable*>& tables, const std::vector<std::string>& categories) {
+  ContingencyTable out(tables.size(), categories.size());
+  for (std::size_t r = 0; r < tables.size(); ++r) {
+    if (tables[r] == nullptr) continue;
+    for (std::size_t c = 0; c < categories.size(); ++c) {
+      out.set(r, c, static_cast<double>(tables[r]->count(categories[c])));
+    }
+  }
+  return out;
+}
+
+void ContingencyTable::set(std::size_t row, std::size_t col, double value) {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range("ContingencyTable::set");
+  cells_[row * cols_ + col] = value;
+}
+
+void ContingencyTable::add(std::size_t row, std::size_t col, double value) {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range("ContingencyTable::add");
+  cells_[row * cols_ + col] += value;
+}
+
+double ContingencyTable::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range("ContingencyTable::at");
+  return cells_[row * cols_ + col];
+}
+
+double ContingencyTable::row_total(std::size_t row) const {
+  double total = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) total += at(row, c);
+  return total;
+}
+
+double ContingencyTable::col_total(std::size_t col) const {
+  double total = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) total += at(r, col);
+  return total;
+}
+
+double ContingencyTable::grand_total() const {
+  double total = 0.0;
+  for (double cell : cells_) total += cell;
+  return total;
+}
+
+std::size_t ContingencyTable::drop_empty_columns() {
+  std::vector<std::size_t> keep;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (col_total(c) > 0.0) keep.push_back(c);
+  }
+  if (keep.size() == cols_) return cols_;
+  std::vector<double> next(rows_ * keep.size(), 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = 0; i < keep.size(); ++i) next[r * keep.size() + i] = at(r, keep[i]);
+  }
+  cells_ = std::move(next);
+  cols_ = keep.size();
+  return cols_;
+}
+
+std::size_t ContingencyTable::drop_empty_rows() {
+  std::vector<std::size_t> keep;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (row_total(r) > 0.0) keep.push_back(r);
+  }
+  if (keep.size() == rows_) return rows_;
+  std::vector<double> next(keep.size() * cols_, 0.0);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (std::size_t c = 0; c < cols_; ++c) next[i * cols_ + c] = at(keep[i], c);
+  }
+  cells_ = std::move(next);
+  rows_ = keep.size();
+  return rows_;
+}
+
+std::size_t ContingencyTable::cells_with_expected_below(double threshold) const {
+  const double n = grand_total();
+  if (n <= 0.0) return rows_ * cols_;
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double rt = row_total(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (rt * col_total(c) / n < threshold) ++count;
+    }
+  }
+  return count;
+}
+
+ChiSquared pearson_chi_squared(const ContingencyTable& input) {
+  ContingencyTable table = input;
+  table.drop_empty_columns();
+  table.drop_empty_rows();
+
+  ChiSquared result;
+  const double n = table.grand_total();
+  if (table.rows() < 2 || table.cols() < 2 || n <= 0.0) return result;
+
+  double statistic = 0.0;
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    const double rt = table.row_total(r);
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      const double expected = rt * table.col_total(c) / n;
+      if (expected <= 0.0) continue;  // cannot happen after dropping empties
+      const double delta = table.at(r, c) - expected;
+      statistic += delta * delta / expected;
+    }
+  }
+
+  result.statistic = statistic;
+  result.df = static_cast<double>((table.rows() - 1) * (table.cols() - 1));
+  result.p_value = chi_squared_sf(statistic, result.df);
+  result.n = static_cast<std::size_t>(n + 0.5);
+  const double min_dim = static_cast<double>(std::min(table.rows(), table.cols()) - 1);
+  result.cramers_v = min_dim > 0.0 ? std::sqrt(statistic / (n * min_dim)) : 0.0;
+  result.valid = true;
+  return result;
+}
+
+}  // namespace cw::stats

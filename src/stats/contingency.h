@@ -1,0 +1,64 @@
+// r x c contingency tables and Pearson's chi-squared statistic with
+// Cramér's V effect size (Sections 3.3). Rows are vantage points (or groups
+// of them); columns are categorical values (the top-3 union).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/freq.h"
+
+namespace cw::stats {
+
+class ContingencyTable {
+ public:
+  ContingencyTable(std::size_t rows, std::size_t cols);
+
+  // Builds a table whose rows are the given frequency tables restricted to
+  // `categories` (typically a top-k union).
+  static ContingencyTable from_frequency_tables(const std::vector<const FrequencyTable*>& tables,
+                                                const std::vector<std::string>& categories);
+
+  void set(std::size_t row, std::size_t col, double value);
+  void add(std::size_t row, std::size_t col, double value);
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double row_total(std::size_t row) const;
+  [[nodiscard]] double col_total(std::size_t col) const;
+  [[nodiscard]] double grand_total() const;
+
+  // Drops columns whose total is zero (they carry no information and break
+  // expected-frequency requirements). Returns the number of columns kept.
+  std::size_t drop_empty_columns();
+
+  // Drops rows whose total is zero.
+  std::size_t drop_empty_rows();
+
+  // Number of cells with expected frequency below the given threshold —
+  // chi-squared validity diagnostics.
+  [[nodiscard]] std::size_t cells_with_expected_below(double threshold) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> cells_;  // row-major
+};
+
+struct ChiSquared {
+  double statistic = 0.0;
+  double df = 0.0;
+  double p_value = 1.0;
+  double cramers_v = 0.0;      // sqrt(chi2 / (n * min(r-1, c-1)))
+  std::size_t n = 0;           // grand total
+  bool valid = false;          // false when the table is degenerate
+};
+
+// Pearson chi-squared over a contingency table. Degenerate tables (fewer
+// than 2 non-empty rows/cols, or zero total) yield valid=false.
+ChiSquared pearson_chi_squared(const ContingencyTable& table);
+
+}  // namespace cw::stats

@@ -1,0 +1,68 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cw::stats {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  double lower = *std::max_element(values.begin(), values.begin() + mid);
+  return (lower + upper) / 2.0;
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double fold_increase(const std::vector<double>& treatment, const std::vector<double>& control,
+                     double cap) {
+  const double t = mean(treatment);
+  const double c = mean(control);
+  if (c <= 0.0) return t <= 0.0 ? 0.0 : cap;
+  return std::min(t / c, cap);
+}
+
+std::vector<double> rolling_average(const std::vector<double>& values, std::size_t window) {
+  std::vector<double> out(values.size(), 0.0);
+  if (values.empty() || window == 0) return out;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    sum += values[i];
+    if (i >= window) sum -= values[i - window];
+    const std::size_t count = std::min(i + 1, window);
+    out[i] = sum / static_cast<double>(count);
+  }
+  return out;
+}
+
+std::size_t count_spikes(const std::vector<double>& hourly, double factor) {
+  if (hourly.empty()) return 0;
+  const double med = median(hourly);
+  const double threshold = med > 0.0 ? med * factor : factor;
+  std::size_t spikes = 0;
+  for (double v : hourly) {
+    if (v > threshold) ++spikes;
+  }
+  return spikes;
+}
+
+}  // namespace cw::stats

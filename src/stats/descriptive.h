@@ -1,0 +1,35 @@
+// Descriptive statistics: means, medians, quantiles, fold changes, and the
+// rolling average used for the Figure 1 address-structure plots ("rolling
+// average of the # of scanning IPs across every consecutive 512 IPs").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cw::stats {
+
+double mean(const std::vector<double>& values);
+
+// Median via midpoint of the two central order statistics. Empty input
+// yields 0.
+double median(std::vector<double> values);
+
+// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::vector<double> values, double q);
+
+// Fold increase of `treatment` over `control` means; returns 0 when the
+// control mean is zero and the treatment mean is zero, and +inf-like large
+// value capped at `cap` when only the control is zero.
+double fold_increase(const std::vector<double>& treatment, const std::vector<double>& control,
+                     double cap = 1e6);
+
+// Centered-as-possible rolling average with the given window (the window is
+// trailing: output[i] averages input[max(0, i-window+1) .. i]).
+std::vector<double> rolling_average(const std::vector<double>& values, std::size_t window);
+
+// Counts "spikes": hours whose volume exceeds `factor` times the median of
+// the series. Used to characterize the burst-scanning behavior of
+// search-engine-driven attackers (Section 4.3).
+std::size_t count_spikes(const std::vector<double>& hourly, double factor = 4.0);
+
+}  // namespace cw::stats

@@ -1,0 +1,53 @@
+#include "stats/fisher.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cw::stats {
+namespace {
+
+// log(n!) via lgamma; exact enough for the table sizes honeypot comparisons
+// produce.
+double log_factorial(std::uint64_t n) { return std::lgamma(static_cast<double>(n) + 1.0); }
+
+// Log-probability of a specific 2x2 table under the hypergeometric null
+// with fixed margins.
+double log_hypergeometric(std::uint64_t a, std::uint64_t b, std::uint64_t c, std::uint64_t d) {
+  const std::uint64_t n = a + b + c + d;
+  return log_factorial(a + b) + log_factorial(c + d) + log_factorial(a + c) +
+         log_factorial(b + d) - log_factorial(n) - log_factorial(a) - log_factorial(b) -
+         log_factorial(c) - log_factorial(d);
+}
+
+}  // namespace
+
+FisherResult fisher_exact_2x2(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                              std::uint64_t d) {
+  FisherResult result;
+  const std::uint64_t row1 = a + b;
+  const std::uint64_t col1 = a + c;
+  const std::uint64_t n = a + b + c + d;
+  if (n == 0) return result;
+
+  const double observed = log_hypergeometric(a, b, c, d);
+  // Enumerate every table with the same margins: a' ranges over
+  // [max(0, row1 + col1 - n), min(row1, col1)].
+  const std::uint64_t lo = row1 + col1 > n ? row1 + col1 - n : 0;
+  const std::uint64_t hi = std::min(row1, col1);
+
+  double p = 0.0;
+  for (std::uint64_t ap = lo; ap <= hi; ++ap) {
+    const std::uint64_t bp = row1 - ap;
+    const std::uint64_t cp = col1 - ap;
+    const std::uint64_t dp = n - row1 - cp;
+    const double lp = log_hypergeometric(ap, bp, cp, dp);
+    // Two-sided: include every table whose probability does not exceed the
+    // observed one (within a relative tolerance for ties).
+    if (lp <= observed + 1e-9) p += std::exp(lp);
+  }
+  result.p_value = std::min(p, 1.0);
+  result.valid = true;
+  return result;
+}
+
+}  // namespace cw::stats

@@ -1,0 +1,24 @@
+// Fisher's exact test for 2x2 contingency tables. Cloud vantage points are
+// small (often 2-4 honeypots per region), so expected cell counts can drop
+// low enough that the chi-squared approximation is unreliable; Fisher's
+// exact test computes the exact hypergeometric tail instead. compare_binary
+// callers can fall back to it when the chi-squared validity diagnostics
+// (expected frequency < 5) trip.
+#pragma once
+
+#include <cstdint>
+
+namespace cw::stats {
+
+struct FisherResult {
+  double p_value = 1.0;  // two-sided
+  bool valid = false;
+};
+
+// Two-sided Fisher's exact test on the table [[a, b], [c, d]], using the
+// standard "sum of all tables at least as extreme" definition (probability
+// mass <= that of the observed table).
+FisherResult fisher_exact_2x2(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                              std::uint64_t d);
+
+}  // namespace cw::stats

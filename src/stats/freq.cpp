@@ -1,0 +1,46 @@
+#include "stats/freq.h"
+
+#include <algorithm>
+#include <set>
+
+namespace cw::stats {
+
+void FrequencyTable::add(const std::string& value, std::uint64_t count) {
+  counts_[value] += count;
+  total_ += count;
+}
+
+std::uint64_t FrequencyTable::count(const std::string& value) const noexcept {
+  auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> FrequencyTable::sorted() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out(counts_.begin(), counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::vector<std::string> FrequencyTable::top_k(std::size_t k) const {
+  auto all = sorted();
+  if (all.size() > k) all.resize(k);
+  std::vector<std::string> out;
+  out.reserve(all.size());
+  for (auto& [value, count] : all) out.push_back(std::move(value));
+  return out;
+}
+
+std::vector<std::string> top_k_union(const std::vector<const FrequencyTable*>& tables,
+                                     std::size_t k) {
+  std::set<std::string> seen;
+  for (const FrequencyTable* table : tables) {
+    if (table == nullptr) continue;
+    for (const std::string& value : table->top_k(k)) seen.insert(value);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace cw::stats

@@ -1,0 +1,47 @@
+// Frequency tables over categorical values (AS numbers, usernames,
+// passwords, normalized payloads) and the paper's top-3-union construction
+// (Section 3.3, footnote 2): when comparing vantage points we take the top
+// k values at each vantage point, union them, and compare counts on that
+// union only, which bounds degrees of freedom and keeps expected cell
+// frequencies away from zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cw::stats {
+
+class FrequencyTable {
+ public:
+  void add(const std::string& value, std::uint64_t count = 1);
+
+  [[nodiscard]] std::uint64_t count(const std::string& value) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return counts_.empty(); }
+
+  // Values sorted by descending count; ties broken lexicographically so the
+  // result is deterministic. Returns at most k values.
+  [[nodiscard]] std::vector<std::string> top_k(std::size_t k) const;
+
+  // All (value, count) pairs, sorted as in top_k.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
+
+  [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>& raw() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Union of the top-k values across a group of tables, sorted
+// deterministically. This is the category set the chi-squared comparisons
+// run over.
+std::vector<std::string> top_k_union(const std::vector<const FrequencyTable*>& tables,
+                                     std::size_t k);
+
+}  // namespace cw::stats

@@ -1,0 +1,44 @@
+#include "stats/ks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace cw::stats {
+
+KsResult ks_two_sample(const std::vector<double>& sample1, const std::vector<double>& sample2) {
+  KsResult result;
+  const std::size_t n1 = sample1.size();
+  const std::size_t n2 = sample2.size();
+  if (n1 == 0 || n2 == 0) return result;
+
+  std::vector<double> s1 = sample1;
+  std::vector<double> s2 = sample2;
+  std::sort(s1.begin(), s1.end());
+  std::sort(s2.begin(), s2.end());
+
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < n1 && j < n2) {
+    const double x = std::min(s1[i], s2[j]);
+    while (i < n1 && s1[i] <= x) ++i;
+    while (j < n2 && s2[j] <= x) ++j;
+    const double f1 = static_cast<double>(i) / static_cast<double>(n1);
+    const double f2 = static_cast<double>(j) / static_cast<double>(n2);
+    d = std::max(d, std::fabs(f1 - f2));
+  }
+
+  result.d_statistic = d;
+  const double ne = static_cast<double>(n1) * static_cast<double>(n2) /
+                    (static_cast<double>(n1) + static_cast<double>(n2));
+  const double sqrt_ne = std::sqrt(ne);
+  // Stephens' finite-sample adjustment of the asymptotic distribution.
+  const double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+  result.p_value = kolmogorov_sf(lambda);
+  result.valid = true;
+  return result;
+}
+
+}  // namespace cw::stats

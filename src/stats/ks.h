@@ -1,0 +1,19 @@
+// Two-sample Kolmogorov-Smirnov test. The paper uses it (Section 4.3,
+// footnote 6) to compare distributions of hourly traffic volume toward
+// leaked vs non-leaked services; spikes of traffic shift the empirical CDF
+// and trip the test even when the mean barely moves.
+#pragma once
+
+#include <vector>
+
+namespace cw::stats {
+
+struct KsResult {
+  double d_statistic = 0.0;  // sup |F1 - F2|
+  double p_value = 1.0;      // asymptotic
+  bool valid = false;
+};
+
+KsResult ks_two_sample(const std::vector<double>& sample1, const std::vector<double>& sample2);
+
+}  // namespace cw::stats

@@ -1,0 +1,72 @@
+#include "stats/mann_whitney.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special_functions.h"
+
+namespace cw::stats {
+
+MannWhitneyResult mann_whitney_greater(const std::vector<double>& greater,
+                                       const std::vector<double>& lesser) {
+  MannWhitneyResult result;
+  const std::size_t n1 = greater.size();
+  const std::size_t n2 = lesser.size();
+  if (n1 == 0 || n2 == 0) return result;
+
+  // Pool, rank with midranks for ties.
+  struct Tagged {
+    double value;
+    int group;  // 0 = greater sample, 1 = lesser sample
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(n1 + n2);
+  for (double v : greater) pooled.push_back({v, 0});
+  for (double v : lesser) pooled.push_back({v, 1});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& a, const Tagged& b) { return a.value < b.value; });
+
+  const std::size_t n = pooled.size();
+  std::vector<double> ranks(n);
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && pooled[j + 1].value == pooled[i].value) ++j;
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[k] = midrank;
+    const double t = static_cast<double>(j - i + 1);
+    tie_correction += t * t * t - t;
+    i = j + 1;
+  }
+
+  double rank_sum_1 = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pooled[k].group == 0) rank_sum_1 += ranks[k];
+  }
+
+  const double dn1 = static_cast<double>(n1);
+  const double dn2 = static_cast<double>(n2);
+  const double u1 = rank_sum_1 - dn1 * (dn1 + 1.0) / 2.0;
+  result.u_statistic = u1;
+
+  const double mean_u = dn1 * dn2 / 2.0;
+  const double dn = dn1 + dn2;
+  const double variance =
+      dn1 * dn2 / 12.0 * ((dn + 1.0) - tie_correction / (dn * (dn - 1.0)));
+  if (variance <= 0.0) {
+    // All values identical: no evidence of stochastic dominance.
+    result.p_value = 1.0;
+    result.valid = true;
+    return result;
+  }
+
+  // Continuity correction toward the null.
+  const double z = (u1 - mean_u - 0.5) / std::sqrt(variance);
+  result.z = z;
+  result.p_value = 1.0 - normal_cdf(z);
+  result.valid = true;
+  return result;
+}
+
+}  // namespace cw::stats

@@ -1,0 +1,24 @@
+// One-sided Mann-Whitney U test with tie correction. The paper uses it
+// (Section 4.3, footnote 5) to test whether hourly traffic volumes toward
+// leaked services are stochastically greater than toward the control group.
+#pragma once
+
+#include <vector>
+
+namespace cw::stats {
+
+struct MannWhitneyResult {
+  double u_statistic = 0.0;  // U for the first sample
+  double z = 0.0;            // normal approximation z-score
+  double p_value = 1.0;      // one-sided: P(sample1 > sample2)
+  bool valid = false;
+};
+
+// Tests H1: values in `greater` tend to exceed values in `lesser`
+// (one-sided). Uses the normal approximation with tie correction, which is
+// accurate for the sample sizes the leak experiment produces (168 hourly
+// buckets per week).
+MannWhitneyResult mann_whitney_greater(const std::vector<double>& greater,
+                                       const std::vector<double>& lesser);
+
+}  // namespace cw::stats

@@ -1,0 +1,27 @@
+// Special functions needed by the hypothesis tests: regularized incomplete
+// gamma (chi-squared tail), the standard normal CDF (Mann-Whitney normal
+// approximation), and the Kolmogorov distribution tail. Implemented from
+// scratch (series + continued fraction, Numerical-Recipes-style) so the
+// library has no numerical dependencies.
+#pragma once
+
+namespace cw::stats {
+
+// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double gamma_p(double a, double x);
+
+// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+// Survival function of the chi-squared distribution with df degrees of
+// freedom: P(X >= x).
+double chi_squared_sf(double x, double df);
+
+// Standard normal CDF.
+double normal_cdf(double z);
+
+// Kolmogorov distribution complementary CDF:
+// Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+double kolmogorov_sf(double lambda);
+
+}  // namespace cw::stats

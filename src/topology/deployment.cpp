@@ -1,0 +1,210 @@
+#include "topology/deployment.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cw::topology {
+
+bool VantagePoint::listens_on(net::Port port) const noexcept {
+  if (open_ports.empty()) return true;
+  return std::find(open_ports.begin(), open_ports.end(), port) != open_ports.end();
+}
+
+std::string_view scenario_year_name(ScenarioYear y) noexcept {
+  switch (y) {
+    case ScenarioYear::k2020: return "2020";
+    case ScenarioYear::k2021: return "2021";
+    case ScenarioYear::k2022: return "2022";
+  }
+  return "?";
+}
+
+VantageId Deployment::add(VantagePoint vp) {
+  vp.id = static_cast<VantageId>(points_.size());
+  points_.push_back(std::move(vp));
+  return points_.back().id;
+}
+
+std::vector<VantageId> Deployment::with_type(NetworkType type) const {
+  std::vector<VantageId> out;
+  for (const VantagePoint& vp : points_) {
+    if (vp.type == type) out.push_back(vp.id);
+  }
+  return out;
+}
+
+std::vector<VantageId> Deployment::with_provider(Provider provider) const {
+  std::vector<VantageId> out;
+  for (const VantagePoint& vp : points_) {
+    if (vp.provider == provider) out.push_back(vp.id);
+  }
+  return out;
+}
+
+std::vector<VantageId> Deployment::with_collection(CollectionMethod method) const {
+  std::vector<VantageId> out;
+  for (const VantagePoint& vp : points_) {
+    if (vp.collection == method) out.push_back(vp.id);
+  }
+  return out;
+}
+
+std::vector<Deployment::CoLocation> Deployment::colocated_clouds() const {
+  // Key: country + subdivision; only GreyNoise cloud vantage points take
+  // part (matching the paper's cloud-to-cloud methodology).
+  std::map<std::string, std::vector<VantageId>> by_city;
+  for (const VantagePoint& vp : points_) {
+    if (vp.type != NetworkType::kCloud || vp.collection != CollectionMethod::kGreyNoise) continue;
+    std::string key = vp.region.country.to_string();
+    if (!vp.region.subdivision.empty()) key += "-" + vp.region.subdivision;
+    by_city[key].push_back(vp.id);
+  }
+  std::vector<CoLocation> out;
+  for (auto& [city, ids] : by_city) {
+    std::set<Provider> providers;
+    for (VantageId id : ids) providers.insert(points_[id].provider);
+    if (providers.size() >= 2) out.push_back(CoLocation{city, std::move(ids)});
+  }
+  return out;
+}
+
+std::vector<net::IPv4Addr> Deployment::allocate_random(util::Rng& rng, net::Prefix pool,
+                                                       int count) {
+  std::set<net::IPv4Addr> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    const net::IPv4Addr addr = pool.at(static_cast<std::uint32_t>(rng.next_below(pool.size())));
+    if (addr.has_255_octet()) continue;  // cloud honeypots never landed on 255-octet addresses
+    if (addr.octet(3) == 0) continue;    // skip network addresses for realism
+    chosen.insert(addr);
+  }
+  return {chosen.begin(), chosen.end()};
+}
+
+std::vector<net::IPv4Addr> Deployment::allocate_block(net::IPv4Addr base, int count) {
+  std::vector<net::IPv4Addr> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(base + static_cast<std::uint32_t>(i));
+  return out;
+}
+
+namespace {
+
+struct RegionSpec {
+  const char* country;
+  const char* subdivision;
+};
+
+// Table 1 region lists.
+constexpr RegionSpec kAwsRegions[] = {
+    {"US", "OR"}, {"US", "CA"}, {"US", "GA"}, {"BR", ""}, {"BH", ""}, {"FR", ""},
+    {"IE", ""},   {"DE", ""},   {"CA", ""},   {"AU", ""}, {"SG", ""}, {"IN", ""},
+    {"KR", ""},   {"JP", ""},   {"HK", ""},   {"ZA", ""},
+};
+constexpr RegionSpec kGoogleRegions[] = {
+    {"US", "NV"}, {"US", "UT"}, {"US", "CA"}, {"US", "OR"}, {"US", "VA"}, {"US", "SC"},
+    {"US", "IA"}, {"CA", "QC"}, {"CH", ""},   {"NL", ""},   {"DE", ""},   {"GB", ""},
+    {"BE", ""},   {"FI", ""},   {"AU", ""},   {"ID", ""},   {"SG", ""},   {"KR", ""},
+    {"JP", ""},   {"HK", ""},   {"TW", ""},
+};
+constexpr RegionSpec kAzureRegions[] = {{"US", "TX"}, {"SG", ""}, {"IN", ""}};
+constexpr RegionSpec kLinodeRegions[] = {{"US", "CA"}, {"US", "NY"}, {"GB", ""}, {"DE", ""},
+                                         {"IN", ""},   {"AU", ""},   {"SG", ""}};
+
+void add_greynoise_provider(Deployment& deployment, util::Rng& rng, Provider provider,
+                            const RegionSpec* regions, std::size_t region_count,
+                            int addresses_per_region) {
+  const net::Prefix pool = provider_pool(provider);
+  for (std::size_t i = 0; i < region_count; ++i) {
+    VantagePoint vp;
+    vp.provider = provider;
+    vp.type = NetworkType::kCloud;
+    vp.collection = CollectionMethod::kGreyNoise;
+    vp.region = net::make_region(regions[i].country, regions[i].subdivision);
+    vp.name = std::string(provider_name(provider)) + "/" + vp.region.code();
+    util::Rng region_rng = rng.stream(vp.name);
+    vp.addresses = Deployment::allocate_random(region_rng, pool, addresses_per_region);
+    vp.open_ports = net::greynoise_ports();
+    deployment.add(std::move(vp));
+  }
+}
+
+void add_honeytrap(Deployment& deployment, Provider provider, net::GeoRegion region,
+                   const char* label, net::IPv4Addr base, int count) {
+  VantagePoint vp;
+  vp.provider = provider;
+  vp.type = network_type(provider);
+  vp.collection = CollectionMethod::kHoneytrap;
+  vp.region = std::move(region);
+  vp.name = std::string(provider_name(provider)) + "/" + label;
+  vp.addresses = Deployment::allocate_block(base, count);
+  // Honeytrap accepts connections on any port (open_ports empty = all).
+  deployment.add(std::move(vp));
+}
+
+}  // namespace
+
+Deployment Deployment::table1(const DeploymentConfig& config) {
+  Deployment deployment;
+  util::Rng rng(config.seed);
+
+  const bool has_greynoise =
+      config.year == ScenarioYear::k2020 || config.year == ScenarioYear::k2021;
+  const bool has_honeytrap =
+      config.year == ScenarioYear::k2021 || config.year == ScenarioYear::k2022;
+
+  if (has_greynoise) {
+    // Hurricane Electric: a full /24 of GreyNoise honeypots in US-OH.
+    VantagePoint he;
+    he.provider = Provider::kHurricaneElectric;
+    he.type = NetworkType::kCloud;
+    he.collection = CollectionMethod::kGreyNoise;
+    he.region = net::make_region("US", "OH");
+    he.name = "HurricaneElectric/US-OH";
+    he.addresses = allocate_block(provider_pool(Provider::kHurricaneElectric).at(47 * 256), 256);
+    he.open_ports = net::greynoise_ports();
+    deployment.add(std::move(he));
+
+    add_greynoise_provider(deployment, rng, Provider::kAws, kAwsRegions, std::size(kAwsRegions),
+                           config.greynoise_per_region);
+    add_greynoise_provider(deployment, rng, Provider::kAzure, kAzureRegions,
+                           std::size(kAzureRegions), config.greynoise_per_region);
+    add_greynoise_provider(deployment, rng, Provider::kGoogle, kGoogleRegions,
+                           std::size(kGoogleRegions), config.greynoise_per_region);
+    add_greynoise_provider(deployment, rng, Provider::kLinode, kLinodeRegions,
+                           std::size(kLinodeRegions), config.greynoise_per_region);
+  }
+
+  if (has_honeytrap) {
+    const int n = config.honeytrap_per_network;
+    add_honeytrap(deployment, Provider::kStanford, net::make_region("US", "CA"), "US-West",
+                  provider_pool(Provider::kStanford).at(12 * 256), n);
+    add_honeytrap(deployment, Provider::kAws, net::make_region("US", "CA"), "US-West-HT",
+                  provider_pool(Provider::kAws).at(1021 * 256), n);
+    add_honeytrap(deployment, Provider::kGoogle, net::make_region("US", "CA"), "US-West-HT",
+                  provider_pool(Provider::kGoogle).at(2077 * 256), n);
+    add_honeytrap(deployment, Provider::kMerit, net::make_region("US", "MI"), "US-East",
+                  provider_pool(Provider::kMerit).at(88 * 256), n);
+    add_honeytrap(deployment, Provider::kGoogle, net::make_region("US", "VA"), "US-East-HT",
+                  provider_pool(Provider::kGoogle).at(3301 * 256), 2);
+  }
+
+  // The Orion telescope exists in all years.
+  {
+    VantagePoint orion;
+    orion.provider = Provider::kOrion;
+    orion.type = NetworkType::kTelescope;
+    orion.collection = CollectionMethod::kTelescope;
+    orion.region = net::make_region("US", "MI");
+    orion.name = "Orion";
+    const net::Prefix pool = provider_pool(Provider::kOrion);
+    const int slash24s = std::min<int>(config.telescope_slash24s,
+                                       static_cast<int>(pool.size() / 256));
+    orion.addresses = allocate_block(pool.base(), slash24s * 256);
+    deployment.add(std::move(orion));
+  }
+
+  return deployment;
+}
+
+}  // namespace cw::topology

@@ -1,0 +1,102 @@
+// Vantage-point deployments. `Deployment::table1(...)` reconstructs the
+// paper's Table 1: GreyNoise honeypots across AWS (16 regions), Google (21),
+// Azure (3), Linode (7) and a Hurricane Electric /24; Honeytrap /26 networks
+// at Stanford, Merit, AWS and Google; and the Orion network telescope.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/geo.h"
+#include "net/ipv4.h"
+#include "net/ports.h"
+#include "topology/provider.h"
+#include "util/rng.h"
+
+namespace cw::topology {
+
+using VantageId = std::uint32_t;
+
+// One deployment site: a set of honeypot (or telescope) addresses sharing a
+// provider, geographic region, and collection method. The addresses of one
+// vantage point are the paper's "neighboring services".
+struct VantagePoint {
+  VantageId id = 0;
+  std::string name;                     // e.g. "AWS/AP-SG" or "Orion"
+  Provider provider = Provider::kAws;
+  NetworkType type = NetworkType::kCloud;
+  CollectionMethod collection = CollectionMethod::kGreyNoise;
+  net::GeoRegion region;
+  std::vector<net::IPv4Addr> addresses;
+  std::vector<net::Port> open_ports;    // empty means "listens on all ports"
+
+  [[nodiscard]] bool listens_on(net::Port port) const noexcept;
+};
+
+// Which year's Table 1 to build. GreyNoise data exists for 2020-2021;
+// Honeytrap vantage points exist for 2021-2022 (Appendix C).
+enum class ScenarioYear : std::uint8_t { k2020 = 0, k2021, k2022 };
+
+std::string_view scenario_year_name(ScenarioYear y) noexcept;
+
+struct DeploymentConfig {
+  ScenarioYear year = ScenarioYear::k2021;
+  // Telescope size in /24 networks. The real Orion telescope spans 1,856
+  // /24s (475K addresses); the default is scaled down so unit tests and
+  // laptop runs stay fast. Benches that need Figure 1's long contiguous
+  // ranges raise it.
+  int telescope_slash24s = 64;
+  // Honeypot addresses per GreyNoise cloud region (the paper keeps >= 4
+  // SSH/Telnet honeypots and 2 HTTP honeypots per region; we expose all
+  // ports on 4 addresses).
+  int greynoise_per_region = 4;
+  // Honeytrap network size (/26 -> 64 addresses).
+  int honeytrap_per_network = 64;
+  std::uint64_t seed = 0x7461626c6531ULL;
+};
+
+class Deployment {
+ public:
+  // Builds the full Table 1 deployment for the configured year.
+  static Deployment table1(const DeploymentConfig& config);
+
+  // Builds an empty deployment for custom experiments (e.g. the Section 4.3
+  // leak experiment constructs its own Stanford-only vantage points).
+  Deployment() = default;
+
+  // Adds a vantage point; assigns and returns its id.
+  VantageId add(VantagePoint vp);
+
+  [[nodiscard]] const std::vector<VantagePoint>& vantage_points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] const VantagePoint& at(VantageId id) const { return points_.at(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+
+  // All vantage points with the given network type / provider.
+  [[nodiscard]] std::vector<VantageId> with_type(NetworkType type) const;
+  [[nodiscard]] std::vector<VantageId> with_provider(Provider provider) const;
+  [[nodiscard]] std::vector<VantageId> with_collection(CollectionMethod method) const;
+
+  // Cities/states hosting >= 2 distinct cloud providers, used for the
+  // geography-controlled cloud-to-cloud comparisons (Table 6).
+  struct CoLocation {
+    std::string city_code;               // e.g. "US-CA"
+    std::vector<VantageId> vantage_ids;  // one per provider present
+  };
+  [[nodiscard]] std::vector<CoLocation> colocated_clouds() const;
+
+  // Allocates `count` distinct random addresses from a provider pool,
+  // skipping addresses with any 255 octet (matching the paper's observation
+  // that none of the cloud honeypots landed on such addresses).
+  static std::vector<net::IPv4Addr> allocate_random(util::Rng& rng, net::Prefix pool, int count);
+
+  // Allocates a contiguous block (used for the HE /24 and Honeytrap /26s).
+  static std::vector<net::IPv4Addr> allocate_block(net::IPv4Addr base, int count);
+
+ private:
+  std::vector<VantagePoint> points_;
+};
+
+}  // namespace cw::topology

@@ -1,0 +1,69 @@
+#include "topology/provider.h"
+
+namespace cw::topology {
+
+std::string_view provider_name(Provider p) noexcept {
+  switch (p) {
+    case Provider::kAws: return "AWS";
+    case Provider::kGoogle: return "Google";
+    case Provider::kAzure: return "Azure";
+    case Provider::kLinode: return "Linode";
+    case Provider::kHurricaneElectric: return "Hurricane Electric";
+    case Provider::kStanford: return "Stanford";
+    case Provider::kMerit: return "Merit";
+    case Provider::kOrion: return "Orion";
+  }
+  return "Unknown";
+}
+
+NetworkType network_type(Provider p) noexcept {
+  switch (p) {
+    case Provider::kAws:
+    case Provider::kGoogle:
+    case Provider::kAzure:
+    case Provider::kLinode:
+    case Provider::kHurricaneElectric: return NetworkType::kCloud;
+    case Provider::kStanford:
+    case Provider::kMerit: return NetworkType::kEducation;
+    case Provider::kOrion: return NetworkType::kTelescope;
+  }
+  return NetworkType::kCloud;
+}
+
+std::string_view network_type_name(NetworkType t) noexcept {
+  switch (t) {
+    case NetworkType::kCloud: return "cloud";
+    case NetworkType::kEducation: return "education";
+    case NetworkType::kTelescope: return "telescope";
+  }
+  return "unknown";
+}
+
+std::string_view collection_method_name(CollectionMethod m) noexcept {
+  switch (m) {
+    case CollectionMethod::kGreyNoise: return "GreyNoise";
+    case CollectionMethod::kHoneytrap: return "Honeytrap";
+    case CollectionMethod::kTelescope: return "Telescope";
+  }
+  return "unknown";
+}
+
+net::Prefix provider_pool(Provider p) noexcept {
+  using net::IPv4Addr;
+  using net::Prefix;
+  // Pools are modeled on each operator's real allocations but what matters
+  // to the simulation is only that they are disjoint and large enough.
+  switch (p) {
+    case Provider::kAws: return Prefix(IPv4Addr(3, 0, 0, 0), 9);
+    case Provider::kGoogle: return Prefix(IPv4Addr(34, 64, 0, 0), 10);
+    case Provider::kAzure: return Prefix(IPv4Addr(20, 0, 0, 0), 10);
+    case Provider::kLinode: return Prefix(IPv4Addr(45, 33, 0, 0), 16);
+    case Provider::kHurricaneElectric: return Prefix(IPv4Addr(216, 218, 0, 0), 16);
+    case Provider::kStanford: return Prefix(IPv4Addr(171, 64, 0, 0), 14);
+    case Provider::kMerit: return Prefix(IPv4Addr(207, 72, 0, 0), 16);
+    case Provider::kOrion: return Prefix(IPv4Addr(71, 96, 0, 0), 13);
+  }
+  return Prefix(IPv4Addr(10, 0, 0, 0), 8);
+}
+
+}  // namespace cw::topology

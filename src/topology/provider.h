@@ -1,0 +1,47 @@
+// Network operators hosting vantage points, their network types, address
+// pools, and collection methods (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/ipv4.h"
+
+namespace cw::topology {
+
+enum class Provider : std::uint8_t {
+  kAws = 0,
+  kGoogle,
+  kAzure,
+  kLinode,
+  kHurricaneElectric,
+  kStanford,
+  kMerit,
+  kOrion,
+};
+
+inline constexpr std::size_t kProviderCount = 8;
+
+enum class NetworkType : std::uint8_t {
+  kCloud = 0,      // dense, recycled IP space hosting real services
+  kEducation,      // enterprise-style network hosting real services
+  kTelescope,      // unused address space, publicly known to host nothing
+};
+
+enum class CollectionMethod : std::uint8_t {
+  kGreyNoise = 0,  // Cowrie credentials on 22/2222/23/2323; first payload after
+                   // TCP/TLS handshake elsewhere
+  kHoneytrap,      // first TCP payload after handshake; first UDP payload
+  kTelescope,      // first packet only, no layer-4 handshake, no payload
+};
+
+std::string_view provider_name(Provider p) noexcept;
+NetworkType network_type(Provider p) noexcept;
+std::string_view network_type_name(NetworkType t) noexcept;
+std::string_view collection_method_name(CollectionMethod m) noexcept;
+
+// The address pool a provider draws honeypot/telescope addresses from. The
+// pools are disjoint so an address maps back to its provider unambiguously.
+net::Prefix provider_pool(Provider p) noexcept;
+
+}  // namespace cw::topology

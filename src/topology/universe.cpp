@@ -1,0 +1,50 @@
+#include "topology/universe.h"
+
+namespace cw::topology {
+
+TargetUniverse::TargetUniverse(const Deployment& deployment) : deployment_(&deployment) {
+  for (const VantagePoint& vp : deployment.vantage_points()) {
+    for (std::uint32_t i = 0; i < vp.addresses.size(); ++i) {
+      Target target;
+      target.address = vp.addresses[i];
+      target.vantage = vp.id;
+      target.index_in_vantage = i;
+      target.type = vp.type;
+      target.provider = vp.provider;
+      target.continent = vp.region.continent;
+      const std::size_t index = targets_.size();
+      targets_.push_back(target);
+      by_address_.emplace(target.address.value(), index);
+      switch (vp.type) {
+        case NetworkType::kCloud: cloud_.push_back(index); break;
+        case NetworkType::kEducation: education_.push_back(index); break;
+        case NetworkType::kTelescope: telescope_.push_back(index); break;
+      }
+    }
+  }
+}
+
+std::optional<std::size_t> TargetUniverse::find(net::IPv4Addr addr) const {
+  auto it = by_address_.find(addr.value());
+  if (it == by_address_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<std::size_t>& TargetUniverse::of_type(NetworkType type) const {
+  switch (type) {
+    case NetworkType::kCloud: return cloud_;
+    case NetworkType::kEducation: return education_;
+    case NetworkType::kTelescope: return telescope_;
+  }
+  return cloud_;
+}
+
+std::vector<std::size_t> TargetUniverse::of_vantage(VantageId id) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].vantage == id) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace cw::topology

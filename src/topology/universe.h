@@ -1,0 +1,55 @@
+// The target universe: a flattened, queryable view of every monitored
+// address in a deployment. Scanner agents sample targets from here (traffic
+// to unmonitored space is unobservable, so the simulator never generates
+// it), and capture components map a destination address back to its vantage
+// point in O(1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/geo.h"
+#include "net/ipv4.h"
+#include "topology/deployment.h"
+
+namespace cw::topology {
+
+struct Target {
+  net::IPv4Addr address;
+  VantageId vantage = 0;
+  std::uint32_t index_in_vantage = 0;  // the paper's "neighbor" index
+  NetworkType type = NetworkType::kCloud;
+  Provider provider = Provider::kAws;
+  net::Continent continent = net::Continent::kNorthAmerica;
+};
+
+class TargetUniverse {
+ public:
+  explicit TargetUniverse(const Deployment& deployment);
+
+  [[nodiscard]] const std::vector<Target>& targets() const noexcept { return targets_; }
+  [[nodiscard]] std::size_t size() const noexcept { return targets_.size(); }
+
+  // Index of a monitored address, or nullopt if the address is unmonitored.
+  [[nodiscard]] std::optional<std::size_t> find(net::IPv4Addr addr) const;
+
+  // Target indices filtered by network type (cached; cheap to call often).
+  [[nodiscard]] const std::vector<std::size_t>& of_type(NetworkType type) const;
+
+  // All target indices belonging to one vantage point.
+  [[nodiscard]] std::vector<std::size_t> of_vantage(VantageId id) const;
+
+  [[nodiscard]] const Deployment& deployment() const noexcept { return *deployment_; }
+
+ private:
+  const Deployment* deployment_;
+  std::vector<Target> targets_;
+  std::unordered_map<std::uint32_t, std::size_t> by_address_;
+  std::vector<std::size_t> cloud_;
+  std::vector<std::size_t> education_;
+  std::vector<std::size_t> telescope_;
+};
+
+}  // namespace cw::topology

@@ -1,0 +1,111 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic decision in cloudwatch flows through an Rng instance that
+// is seeded from the experiment seed plus a stable stream label, so a run is
+// reproducible bit-for-bit regardless of actor scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cw::util {
+
+// SplitMix64: used to expand a single 64-bit seed into the 256-bit state of
+// xoshiro256**, and as a cheap standalone mixer for stream derivation.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+// reimplemented here; fast, 2^256-1 period, passes BigCrush.
+class Rng {
+ public:
+  // Seeds the generator from a 64-bit seed via SplitMix64 expansion.
+  explicit Rng(std::uint64_t seed = 0x6c6f75647761746bULL) noexcept;
+
+  // Derives an independent stream from this generator's seed and a label.
+  // Two streams with different labels are statistically independent, and a
+  // stream does not perturb its parent.
+  [[nodiscard]] Rng stream(std::string_view label) const noexcept;
+  [[nodiscard]] Rng stream(std::uint64_t label) const noexcept;
+
+  std::uint64_t next() noexcept;
+
+  // Uniform in [0, bound). bound == 0 returns 0. Uses Lemire rejection to
+  // avoid modulo bias.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  // Exponential with rate lambda (> 0); used for inter-arrival times.
+  double exponential(double lambda) noexcept;
+
+  // Poisson-distributed count with the given mean (>= 0). Uses Knuth's
+  // method for small means and a normal approximation for large ones.
+  std::uint64_t poisson(double mean) noexcept;
+
+  // Standard normal via Box-Muller (no cached second value; simple and
+  // deterministic).
+  double normal() noexcept;
+  double normal(double mu, double sigma) noexcept;
+
+  // Zipf-distributed rank in [0, n) with exponent s (> 0): rank 0 is the
+  // most popular. Uses inverse-CDF over precomputed weights when n is small
+  // and rejection sampling otherwise.
+  std::uint64_t zipf(std::uint64_t n, double s) noexcept;
+
+  // Picks a uniformly random element index for a container of given size.
+  std::size_t index(std::size_t size) noexcept { return static_cast<std::size_t>(next_below(size)); }
+
+  // Picks an index according to non-negative weights. Returns weights.size()
+  // if all weights are zero or the vector is empty.
+  std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) (k > n yields all of [0, n)).
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) noexcept;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+// Stable 64-bit FNV-1a hash, used for stream-label derivation and payload
+// dedup keys.
+constexpr std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace cw::util

@@ -1,0 +1,22 @@
+#include "util/sim_time.h"
+
+#include <cstdio>
+
+namespace cw::util {
+
+std::string format_sim_time(SimTime t) {
+  const bool negative = t < 0;
+  if (negative) t = -t;
+  const std::int64_t ms = t % kSecond;
+  const std::int64_t s = (t / kSecond) % 60;
+  const std::int64_t m = (t / kMinute) % 60;
+  const std::int64_t h = (t / kHour) % 24;
+  const std::int64_t d = t / kDay;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s%lldd %02lld:%02lld:%02lld.%03lld", negative ? "-" : "",
+                static_cast<long long>(d), static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s), static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace cw::util

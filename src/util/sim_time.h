@@ -1,0 +1,32 @@
+// Simulated time. The simulator runs over one-week observation windows
+// (matching the paper's July 1-7 collection periods); time is kept as
+// integral milliseconds since the start of the window so event ordering is
+// exact and platform-independent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cw::util {
+
+// Milliseconds since the start of the observation window.
+using SimTime = std::int64_t;
+
+// Durations, also in milliseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMillisecond = 1;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+constexpr SimDuration kWeek = 7 * kDay;
+
+// Renders "dD hh:mm:ss.mmm" for log and trace output.
+std::string format_sim_time(SimTime t);
+
+// Index of the hour bucket a timestamp falls into; used by the traffic-rate
+// analyses (fold increase in traffic *per hour*, spike detection).
+constexpr std::int64_t hour_bucket(SimTime t) noexcept { return t / kHour; }
+
+}  // namespace cw::util

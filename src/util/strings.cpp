@@ -1,0 +1,131 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace cw::util {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_trimmed(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  for (std::string_view part : split(text, sep)) {
+    std::string_view t = trim(part);
+    if (!t.empty()) out.push_back(t);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with_ci(std::string_view text, std::string_view prefix) {
+  if (text.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (haystack.size() < needle.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (starts_with_ci(haystack.substr(i), needle)) return true;
+  }
+  return false;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      return out;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::string format_double(double value, int precision, bool trim_whole) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  std::string out(buf);
+  if (trim_whole) {
+    std::size_t dot = out.find('.');
+    if (dot != std::string::npos) {
+      std::size_t last = out.find_last_not_of('0');
+      if (last == dot) last = dot - 1;
+      out.erase(last + 1);
+    }
+  }
+  return out;
+}
+
+std::string escape_payload(std::string_view payload, std::size_t max_len) {
+  std::string out;
+  out.reserve(payload.size());
+  for (char c : payload) {
+    if (out.size() >= max_len) {
+      out += "...";
+      break;
+    }
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (uc == '\n') {
+      out += "\\n";
+    } else if (uc == '\r') {
+      out += "\\r";
+    } else if (uc == '\t') {
+      out += "\\t";
+    } else if (std::isprint(uc)) {
+      out += c;
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x", uc);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace cw::util

@@ -1,0 +1,38 @@
+// Small string helpers used across the library. All functions are pure and
+// allocation-conscious (string_view in, owned strings out only when needed).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cw::util {
+
+// Splits on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+// Splits and drops empty fields after trimming whitespace from each field.
+std::vector<std::string_view> split_trimmed(std::string_view text, char sep);
+
+std::string_view trim(std::string_view text);
+
+std::string to_lower(std::string_view text);
+
+bool starts_with_ci(std::string_view text, std::string_view prefix);
+
+bool contains_ci(std::string_view haystack, std::string_view needle);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Replaces every occurrence of `from` with `to`.
+std::string replace_all(std::string_view text, std::string_view from, std::string_view to);
+
+// Renders a double with fixed precision, trimming a trailing ".0" for
+// whole values when `trim_whole` is set (used in table output).
+std::string format_double(double value, int precision, bool trim_whole = false);
+
+// Escapes a payload for single-line display: non-printable bytes become
+// \xNN, and the result is truncated to `max_len` with an ellipsis.
+std::string escape_payload(std::string_view payload, std::size_t max_len = 64);
+
+}  // namespace cw::util

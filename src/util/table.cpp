@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace cw::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const Row& row : rows_) {
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      if (i >= widths.size()) widths.resize(i + 1, 0);
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < cells.size() ? cells[i] : std::string();
+      cell.resize(widths[i], ' ');
+      line += " " + cell + " |";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_separator = [&] {
+    std::string line = "|";
+    for (std::size_t w : widths) line += std::string(w + 2, '-') + "|";
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_line(header_);
+  out += render_separator();
+  for (const Row& row : rows_) {
+    out += row.separator ? render_separator() : render_line(row.cells);
+  }
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ += ',';
+    const std::string& cell = cells[i];
+    const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) {
+      out_ += cell;
+      continue;
+    }
+    out_ += '"';
+    for (char c : cell) {
+      if (c == '"') out_ += '"';
+      out_ += c;
+    }
+    out_ += '"';
+  }
+  out_ += '\n';
+}
+
+}  // namespace cw::util

@@ -1,0 +1,49 @@
+// Plain-text table renderer used by the benchmark harnesses to print the
+// paper's tables, plus a minimal CSV writer for machine-readable output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cw::util {
+
+// A simple column-aligned text table. Rows may have fewer cells than the
+// header; missing cells render empty.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Adds a data row.
+  void add_row(std::vector<std::string> cells);
+
+  // Adds a horizontal separator at the current position.
+  void add_separator();
+
+  // Renders with single-space-padded `|` separated columns, aligned to the
+  // widest cell per column.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+// Escapes and writes rows as RFC-4180-ish CSV (quotes fields containing
+// comma, quote, or newline).
+class CsvWriter {
+ public:
+  void add_row(const std::vector<std::string>& cells);
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  std::string out_;
+};
+
+}  // namespace cw::util

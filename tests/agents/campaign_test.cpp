@@ -1,0 +1,295 @@
+#include "agents/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "agents/botnet.h"
+#include "capture/collector.h"
+#include "sim/engine.h"
+
+namespace cw::agents {
+namespace {
+
+// A small world: one cloud vantage in AP-SG (4 addrs), one in US-OR
+// (4 addrs), one education /28, one telescope /24.
+topology::Deployment small_world() {
+  topology::Deployment deployment;
+  auto add = [&](const char* name, topology::Provider provider, net::GeoRegion region,
+                 net::IPv4Addr base, int count, topology::CollectionMethod method) {
+    topology::VantagePoint vp;
+    vp.name = name;
+    vp.provider = provider;
+    vp.type = topology::network_type(provider);
+    vp.collection = method;
+    vp.region = std::move(region);
+    vp.addresses = topology::Deployment::allocate_block(base, count);
+    deployment.add(std::move(vp));
+  };
+  add("AWS/AP-SG", topology::Provider::kAws, net::make_region("SG"), net::IPv4Addr(3, 0, 1, 1), 4,
+      topology::CollectionMethod::kHoneytrap);
+  add("AWS/US-OR", topology::Provider::kAws, net::make_region("US", "OR"),
+      net::IPv4Addr(3, 0, 2, 1), 4, topology::CollectionMethod::kHoneytrap);
+  add("Stanford/US-West", topology::Provider::kStanford, net::make_region("US", "CA"),
+      net::IPv4Addr(171, 64, 0, 1), 16, topology::CollectionMethod::kHoneytrap);
+  add("Orion", topology::Provider::kOrion, net::make_region("US", "MI"),
+      net::IPv4Addr(71, 96, 0, 0), 256, topology::CollectionMethod::kTelescope);
+  return deployment;
+}
+
+struct World {
+  topology::Deployment deployment = small_world();
+  topology::TargetUniverse universe{deployment};
+  capture::Collector collector{universe};
+  sim::Engine engine;
+  AgentContext ctx;
+
+  World() {
+    ctx.engine = &engine;
+    ctx.universe = &universe;
+    ctx.collector = &collector;
+    ctx.window_end = util::kWeek;
+  }
+
+  void run(Actor& actor) {
+    actor.start(ctx);
+    engine.run_until(util::kWeek);
+  }
+
+  std::set<topology::VantageId> vantages_hit() const {
+    std::set<topology::VantageId> out;
+    for (const auto& record : collector.store().records()) out.insert(record.vantage);
+    return out;
+  }
+};
+
+CampaignConfig base_config() {
+  CampaignConfig config;
+  config.label = "test";
+  config.asn = 64512;
+  config.sources = 2;
+  config.ports = {80};
+  config.payload = PayloadKind::kSynOnly;
+  config.waves = 1;
+  config.filter.cloud_coverage = 1.0;
+  config.filter.edu_coverage = 1.0;
+  config.filter.telescope_coverage = 1.0;
+  return config;
+}
+
+TEST(ScanCampaign, FullCoverageHitsEveryTarget) {
+  World world;
+  ScanCampaign campaign(50, util::Rng(1), base_config());
+  world.run(campaign);
+  EXPECT_EQ(world.collector.store().size(), world.universe.size());
+}
+
+TEST(ScanCampaign, ZeroTelescopeCoverageAvoidsTelescope) {
+  World world;
+  CampaignConfig config = base_config();
+  config.filter.telescope_coverage = 0.0;
+  ScanCampaign campaign(51, util::Rng(1), config);
+  world.run(campaign);
+  EXPECT_FALSE(world.vantages_hit().contains(3u));  // Orion
+  EXPECT_TRUE(world.vantages_hit().contains(0u));
+}
+
+TEST(ScanCampaign, RegionAllowRestrictsCloudButNotTelescope) {
+  World world;
+  CampaignConfig config = base_config();
+  config.filter.region_allow = {"AP-SG"};
+  ScanCampaign campaign(52, util::Rng(1), config);
+  world.run(campaign);
+  const auto hit = world.vantages_hit();
+  EXPECT_TRUE(hit.contains(0u));   // AWS/AP-SG
+  EXPECT_FALSE(hit.contains(1u));  // AWS/US-OR filtered out
+  EXPECT_FALSE(hit.contains(2u));  // Stanford filtered out
+  EXPECT_TRUE(hit.contains(3u));   // telescope unaffected by geography
+}
+
+TEST(ScanCampaign, VantageNameFilterMatchesProviderQualifiedName) {
+  World world;
+  CampaignConfig config = base_config();
+  config.filter.region_allow = {"AWS/US-OR"};
+  ScanCampaign campaign(53, util::Rng(1), config);
+  world.run(campaign);
+  const auto hit = world.vantages_hit();
+  EXPECT_FALSE(hit.contains(0u));
+  EXPECT_TRUE(hit.contains(1u));
+}
+
+TEST(ScanCampaign, RegionDenyExcludes) {
+  World world;
+  CampaignConfig config = base_config();
+  config.filter.region_deny = {"AP-SG"};
+  ScanCampaign campaign(54, util::Rng(1), config);
+  world.run(campaign);
+  EXPECT_FALSE(world.vantages_hit().contains(0u));
+  EXPECT_TRUE(world.vantages_hit().contains(1u));
+}
+
+TEST(ScanCampaign, StructureWeightSuppressesLast255) {
+  World world;
+  CampaignConfig config = base_config();
+  config.filter.cloud_coverage = 0.0;
+  config.filter.edu_coverage = 0.0;
+  config.filter.telescope_coverage = 1.0;
+  config.filter.weight_last_255 = 0.0;  // hard avoidance
+  ScanCampaign campaign(55, util::Rng(1), config);
+  world.run(campaign);
+  EXPECT_EQ(world.collector.store().size(), 255u);  // /24 minus the .255 address
+  for (const auto& record : world.collector.store().records()) {
+    EXPECT_FALSE(record.dst_addr().ends_in_255());
+  }
+}
+
+TEST(ScanCampaign, LatchingHitsOnlyLatchedAddressOncePerSourcePerWave) {
+  World world;
+  CampaignConfig config = base_config();
+  config.sources = 5;
+  config.waves = 2;
+  config.filter.latch_addresses = {net::IPv4Addr(3, 0, 1, 2)};
+  ScanCampaign campaign(56, util::Rng(1), config);
+  world.run(campaign);
+  EXPECT_EQ(world.collector.store().size(), 10u);  // 5 sources x 2 waves
+  for (const auto& record : world.collector.store().records()) {
+    EXPECT_EQ(record.dst_addr(), net::IPv4Addr(3, 0, 1, 2));
+  }
+}
+
+TEST(ScanCampaign, BruteforceEmitsCredentialsWithinAttemptBounds) {
+  World world;
+  CampaignConfig config = base_config();
+  config.ports = {22};
+  config.payload = PayloadKind::kBruteforce;
+  config.malicious = true;
+  config.min_attempts = 2;
+  config.max_attempts = 4;
+  config.filter.cloud_coverage = 1.0;
+  config.filter.edu_coverage = 0.0;
+  config.filter.telescope_coverage = 0.0;
+  ScanCampaign campaign(57, util::Rng(1), config);
+  world.run(campaign);
+  // 8 cloud targets, 2-4 attempts each.
+  EXPECT_GE(world.collector.store().size(), 16u);
+  EXPECT_LE(world.collector.store().size(), 32u);
+}
+
+TEST(ScanCampaign, FavoriteUsernamePinning) {
+  // A GreyNoise (Cowrie) vantage point retains the credentials, so the
+  // favorite-username policy is observable end to end.
+  topology::Deployment deployment;
+  topology::VantagePoint vp;
+  vp.name = "gn";
+  vp.provider = topology::Provider::kAws;
+  vp.type = topology::NetworkType::kCloud;
+  vp.collection = topology::CollectionMethod::kGreyNoise;
+  vp.region = net::make_region("SG");
+  vp.addresses = {net::IPv4Addr(3, 0, 9, 1)};
+  vp.open_ports = {22};
+  deployment.add(std::move(vp));
+  const topology::TargetUniverse universe(deployment);
+  capture::Collector collector(universe);
+  sim::Engine engine;
+  AgentContext ctx;
+  ctx.engine = &engine;
+  ctx.universe = &universe;
+  ctx.collector = &collector;
+  ctx.window_end = util::kWeek;
+
+  CampaignConfig config = base_config();
+  config.ports = {22};
+  config.payload = PayloadKind::kBruteforce;
+  config.min_attempts = 8;
+  config.max_attempts = 8;
+  config.dict_offset = 13;
+  config.favorite_weight = 1.0;  // always pin the username
+  config.favorite_username_only = true;
+  ScanCampaign campaign(58, util::Rng(1), config);
+  campaign.start(ctx);
+  engine.run_until(util::kWeek);
+
+  const auto& dict = proto::dictionary(config.dictionary);
+  const std::string expected = dict[13 % dict.size()].username;
+  const auto& store = collector.store();
+  ASSERT_GT(store.size(), 0u);
+  std::set<std::string> passwords;
+  for (const auto& record : store.records()) {
+    ASSERT_NE(record.credential_id, capture::kNoCredential);
+    const proto::Credential credential = store.credential(record.credential_id);
+    EXPECT_EQ(credential.username, expected);
+    passwords.insert(credential.password);
+  }
+  // username-only pinning leaves passwords popularity-sampled.
+  EXPECT_GT(passwords.size(), 1u);
+}
+
+TEST(ScanCampaign, ExploitPayloadIsMaliciousRegardlessOfFlag) {
+  World world;
+  CampaignConfig config = base_config();
+  config.payload = PayloadKind::kExploit;
+  config.exploit = proto::ExploitKind::kLog4Shell;
+  config.malicious = false;  // the exploit path overrides
+  ScanCampaign campaign(59, util::Rng(1), config);
+  world.run(campaign);
+  for (const auto& record : world.collector.store().records()) {
+    EXPECT_TRUE(record.malicious_truth);
+  }
+}
+
+TEST(ScanCampaign, EventsStayInsideObservationWindow) {
+  World world;
+  CampaignConfig config = base_config();
+  config.waves = 5;
+  config.wave_duration = 3 * util::kDay;
+  ScanCampaign campaign(60, util::Rng(1), config);
+  world.run(campaign);
+  for (const auto& record : world.collector.store().records()) {
+    EXPECT_GE(record.time, 0);
+    EXPECT_LT(record.time, util::kWeek);
+  }
+}
+
+TEST(ScanCampaign, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    World world;
+    CampaignConfig config = base_config();
+    config.filter.cloud_coverage = 0.5;
+    ScanCampaign campaign(61, util::Rng(42), config);
+    world.run(campaign);
+    std::vector<std::pair<util::SimTime, std::uint32_t>> events;
+    for (const auto& record : world.collector.store().records()) {
+      events.emplace_back(record.time, record.dst);
+    }
+    return events;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(BotnetConfigs, MiraiShape) {
+  const CampaignConfig mirai = mirai_config(4766, 50);
+  EXPECT_EQ(mirai.payload, PayloadKind::kBruteforce);
+  EXPECT_EQ(mirai.dictionary, proto::CredentialDictionary::kMirai);
+  EXPECT_TRUE(mirai.malicious);
+  EXPECT_GT(mirai.filter.telescope_coverage, 0.5);
+  EXPECT_EQ(mirai.sources, 50);
+}
+
+TEST(BotnetConfigs, MiraiSshSeedPrefersFirstOf16) {
+  const CampaignConfig seed = mirai_ssh_seed_config(4766, 30);
+  EXPECT_EQ(seed.ports, std::vector<net::Port>{22});
+  EXPECT_GT(seed.filter.weight_first_of_16, 5.0);
+}
+
+TEST(BotnetConfigs, TsunamiLatches) {
+  const CampaignConfig tsunami =
+      tsunami_config(64512, 100, {net::IPv4Addr(1, 2, 3, 4)}, 17128);
+  EXPECT_EQ(tsunami.filter.latch_addresses.size(), 1u);
+  EXPECT_EQ(tsunami.payload, PayloadKind::kSynOnly);
+  const CampaignConfig ssh_tsunami =
+      tsunami_config(64512, 100, {net::IPv4Addr(1, 2, 3, 4)}, 22);
+  EXPECT_EQ(ssh_tsunami.payload, PayloadKind::kBruteforce);
+}
+
+}  // namespace
+}  // namespace cw::agents

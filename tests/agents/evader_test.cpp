@@ -1,0 +1,122 @@
+#include "agents/evader.h"
+
+#include <gtest/gtest.h>
+
+#include "capture/collector.h"
+#include "sim/engine.h"
+
+namespace cw::agents {
+namespace {
+
+struct EvaderWorld {
+  topology::Deployment deployment;
+  std::unique_ptr<topology::TargetUniverse> universe;
+  std::unique_ptr<capture::Collector> collector;
+  sim::Engine engine;
+  AgentContext ctx;
+
+  EvaderWorld() {
+    topology::VantagePoint vp;
+    vp.name = "gn";
+    vp.provider = topology::Provider::kAws;
+    vp.type = topology::NetworkType::kCloud;
+    vp.collection = topology::CollectionMethod::kGreyNoise;
+    vp.region = net::make_region("SG");
+    vp.addresses = topology::Deployment::allocate_block(net::IPv4Addr(3, 0, 7, 1), 64);
+    vp.open_ports = {22};
+    deployment.add(std::move(vp));
+    universe = std::make_unique<topology::TargetUniverse>(deployment);
+    collector = std::make_unique<capture::Collector>(*universe);
+    ctx.engine = &engine;
+    ctx.universe = universe.get();
+    ctx.collector = collector.get();
+    ctx.window_end = util::kWeek;
+  }
+
+  std::uint64_t malicious_records() const {
+    std::uint64_t count = 0;
+    for (const auto& record : collector->store().records()) {
+      if (record.malicious_truth) ++count;
+    }
+    return count;
+  }
+};
+
+EvaderConfig config_with_rate(double rate) {
+  EvaderConfig config;
+  config.asn = 4134;
+  config.sources = 2;
+  config.detection_rate = rate;
+  config.cloud_coverage = 1.0;
+  config.edu_coverage = 0.0;
+  config.waves = 1;
+  return config;
+}
+
+TEST(FingerprintingEvader, NaiveTwinAttacksEverything) {
+  EvaderWorld world;
+  FingerprintingEvader evader(200, util::Rng(3), config_with_rate(0.0));
+  evader.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  EXPECT_EQ(evader.probed(), 64u);
+  EXPECT_EQ(evader.evaded(), 0u);
+  EXPECT_GT(world.malicious_records(), 64u * 2);  // >= min_attempts per target
+}
+
+TEST(FingerprintingEvader, FullDetectionLeavesOnlyProbes) {
+  EvaderWorld world;
+  FingerprintingEvader evader(201, util::Rng(3), config_with_rate(1.0));
+  evader.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  EXPECT_EQ(evader.evaded(), 64u);
+  EXPECT_EQ(world.malicious_records(), 0u);
+  EXPECT_EQ(world.collector->store().size(), 64u);  // the recon probes only
+}
+
+TEST(FingerprintingEvader, PartialDetectionScalesVisibility) {
+  EvaderWorld naive_world;
+  FingerprintingEvader naive(202, util::Rng(3), config_with_rate(0.0));
+  naive.start(naive_world.ctx);
+  naive_world.engine.run_until(util::kWeek);
+
+  EvaderWorld evading_world;
+  FingerprintingEvader evading(202, util::Rng(3), config_with_rate(0.75));
+  evading.start(evading_world.ctx);
+  evading_world.engine.run_until(util::kWeek);
+
+  EXPECT_NEAR(static_cast<double>(evading.evaded()), 48.0, 14.0);  // ~75% of 64
+  EXPECT_LT(evading_world.malicious_records(), naive_world.malicious_records() / 2);
+  EXPECT_GT(evading_world.malicious_records(), 0u);
+}
+
+TEST(FingerprintingEvader, DetectionVerdictIsStableAcrossWaves) {
+  EvaderWorld world;
+  EvaderConfig config = config_with_rate(0.5);
+  config.waves = 3;
+  FingerprintingEvader evader(203, util::Rng(3), config);
+  evader.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  // Each address is classified identically in every wave: an address either
+  // has zero malicious records or malicious records in (roughly) all waves.
+  std::map<std::uint32_t, std::uint64_t> malicious_per_dst;
+  for (const auto& record : world.collector->store().records()) {
+    if (record.malicious_truth) ++malicious_per_dst[record.dst];
+  }
+  for (const auto& [dst, count] : malicious_per_dst) {
+    EXPECT_GE(count, 3u) << net::IPv4Addr(dst).to_string();  // min_attempts x >=1 wave... every wave attacked
+  }
+}
+
+TEST(FingerprintingEvader, ProbesAreBenignOnTheWire) {
+  EvaderWorld world;
+  FingerprintingEvader evader(204, util::Rng(3), config_with_rate(1.0));
+  evader.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  for (const auto& record : world.collector->store().records()) {
+    EXPECT_FALSE(record.malicious_truth);
+    EXPECT_EQ(record.credential_id, capture::kNoCredential);
+  }
+}
+
+}  // namespace
+}  // namespace cw::agents

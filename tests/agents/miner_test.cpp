@@ -1,0 +1,213 @@
+#include "agents/miner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "capture/collector.h"
+#include "searchengine/engine.h"
+#include "sim/engine.h"
+
+namespace cw::agents {
+namespace {
+
+// Two cloud services plus one address the engines never see.
+struct MinerWorld {
+  topology::Deployment deployment;
+  std::unique_ptr<topology::TargetUniverse> universe;
+  std::unique_ptr<capture::Collector> collector;
+  search::ServiceSearchEngine censys{"Censys", net::kAsnCensys, 1};
+  search::ServiceSearchEngine shodan{"Shodan", net::kAsnShodan, 2};
+  sim::Engine engine;
+  AgentContext ctx;
+  util::Rng crawl_rng{3};
+
+  MinerWorld() {
+    topology::VantagePoint vp;
+    vp.name = "gn";
+    vp.provider = topology::Provider::kAws;
+    vp.type = topology::NetworkType::kCloud;
+    vp.collection = topology::CollectionMethod::kGreyNoise;
+    vp.region = net::make_region("SG");
+    vp.addresses = {net::IPv4Addr(3, 0, 0, 1), net::IPv4Addr(3, 0, 0, 2),
+                    net::IPv4Addr(3, 0, 0, 3)};
+    vp.open_ports = {22, 80};
+    deployment.add(std::move(vp));
+    universe = std::make_unique<topology::TargetUniverse>(deployment);
+    collector = std::make_unique<capture::Collector>(*universe);
+
+    censys.set_crawl_ports({22, 80});
+    shodan.set_crawl_ports({22, 80});
+    // The third address is invisible to both engines.
+    censys.blocklist(net::IPv4Addr(3, 0, 0, 3));
+    shodan.blocklist(net::IPv4Addr(3, 0, 0, 3));
+
+    ctx.engine = &engine;
+    ctx.universe = universe.get();
+    ctx.collector = collector.get();
+    ctx.censys = &censys;
+    ctx.shodan = &shodan;
+    ctx.window_end = util::kWeek;
+  }
+
+  void crawl_now() { censys.crawl(0, *universe, *collector, crawl_rng); }
+
+  std::set<std::uint32_t> destinations_of(capture::ActorId actor) const {
+    std::set<std::uint32_t> out;
+    for (const auto& record : collector->store().records()) {
+      if (record.actor == actor) out.insert(record.dst);
+    }
+    return out;
+  }
+};
+
+MinerConfig ssh_miner_config() {
+  MinerConfig config;
+  config.label = "test-miner";
+  config.asn = 64600;
+  config.sources = 2;
+  config.port = 22;
+  config.protocol = net::Protocol::kSsh;
+  config.engines = EnginePreference::kCensys;
+  config.payload = PayloadKind::kBruteforce;
+  config.query_interval = util::kDay;
+  return config;
+}
+
+TEST(SearchEngineMiner, AttacksOnlyIndexedServices) {
+  MinerWorld world;
+  world.crawl_now();
+  SearchEngineMiner miner(100, util::Rng(5), ssh_miner_config());
+  miner.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+
+  const auto destinations = world.destinations_of(100);
+  ASSERT_FALSE(destinations.empty());
+  EXPECT_TRUE(destinations.contains(net::IPv4Addr(3, 0, 0, 1).value()));
+  EXPECT_FALSE(destinations.contains(net::IPv4Addr(3, 0, 0, 3).value()));
+}
+
+TEST(SearchEngineMiner, NoIndexNoAttacks) {
+  MinerWorld world;  // no crawl: the index is empty
+  SearchEngineMiner miner(101, util::Rng(5), ssh_miner_config());
+  miner.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  EXPECT_TRUE(world.destinations_of(101).empty());
+}
+
+TEST(SearchEngineMiner, BurstCarriesUniqueCredentials) {
+  MinerWorld world;
+  world.crawl_now();
+  MinerConfig config = ssh_miner_config();
+  config.burst_attempts_min = 10;
+  config.burst_attempts_max = 10;
+  SearchEngineMiner miner(102, util::Rng(5), config);
+  miner.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+
+  // Per (destination, hour): the burst's credentials are all distinct.
+  const auto& store = world.collector->store();
+  std::map<std::pair<std::uint32_t, std::int64_t>, std::set<std::string>> unique;
+  std::map<std::pair<std::uint32_t, std::int64_t>, int> total;
+  for (const auto& record : store.records()) {
+    if (record.actor != 102 || record.credential_id == capture::kNoCredential) continue;
+    const auto key = std::make_pair(record.dst, record.time / util::kHour);
+    const proto::Credential credential = store.credential(record.credential_id);
+    unique[key].insert(credential.username + ":" + credential.password);
+    ++total[key];
+  }
+  ASSERT_FALSE(total.empty());
+  for (const auto& [key, count] : total) {
+    EXPECT_EQ(unique[key].size(), static_cast<std::size_t>(count));
+  }
+}
+
+TEST(SearchEngineMiner, HistoryMiningResurrectsDelistedAddresses) {
+  MinerWorld world;
+  // Seed history only; live index stays empty.
+  world.censys.seed_history(net::IPv4Addr(3, 0, 0, 2), 80, net::Protocol::kHttp, -1000);
+  MinerConfig config = ssh_miner_config();
+  config.mine_history = true;
+  config.history_port = 80;
+  SearchEngineMiner miner(103, util::Rng(5), config);
+  miner.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  const auto destinations = world.destinations_of(103);
+  EXPECT_TRUE(destinations.contains(net::IPv4Addr(3, 0, 0, 2).value()));
+}
+
+TEST(SearchEngineMiner, RespectsTargetCap) {
+  MinerWorld world;
+  world.crawl_now();
+  MinerConfig config = ssh_miner_config();
+  config.max_targets_per_query = 1;
+  SearchEngineMiner miner(104, util::Rng(5), config);
+  miner.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  // 7-8 query rounds x 1 target each; a burst may straddle an hour
+  // boundary, so bound the distinct (target, hour) pairs accordingly.
+  const auto& store = world.collector->store();
+  std::set<std::pair<std::uint32_t, std::int64_t>> bursts;
+  for (const auto& record : store.records()) {
+    if (record.actor == 104) bursts.insert({record.dst, record.time / util::kHour});
+  }
+  EXPECT_LE(bursts.size(), 16u);
+}
+
+TEST(SearchEngineMiner, BannerQueryTargetsMatchingSoftware) {
+  MinerWorld world;
+  world.crawl_now();
+  MinerConfig config = ssh_miner_config();
+  config.banner_query = "SSH-2.0-";  // every indexed SSH banner matches
+  SearchEngineMiner miner(107, util::Rng(5), config);
+  miner.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  const auto destinations = world.destinations_of(107);
+  EXPECT_FALSE(destinations.empty());
+  EXPECT_FALSE(destinations.contains(net::IPv4Addr(3, 0, 0, 3).value()));  // unindexed
+
+  MinerWorld other;
+  other.crawl_now();
+  MinerConfig miss = ssh_miner_config();
+  miss.banner_query = "ProFTPD";  // no such software in the index
+  SearchEngineMiner no_hits(108, util::Rng(5), miss);
+  no_hits.start(other.ctx);
+  other.engine.run_until(util::kWeek);
+  EXPECT_TRUE(other.destinations_of(108).empty());
+}
+
+TEST(NmapProber, AvoidsCensysIndexedTargets) {
+  MinerWorld world;
+  world.crawl_now();  // addresses .1 and .2 are now live on Censys
+  NmapProberConfig config;
+  config.asn = net::kAsnAvast;
+  config.sources = 1;
+  config.port = 80;
+  config.cloud_coverage = 1.0;
+  config.edu_coverage = 1.0;
+  config.waves = 1;
+  NmapProber prober(105, util::Rng(5), config);
+  prober.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+
+  const auto destinations = world.destinations_of(105);
+  EXPECT_FALSE(destinations.contains(net::IPv4Addr(3, 0, 0, 1).value()));
+  EXPECT_FALSE(destinations.contains(net::IPv4Addr(3, 0, 0, 2).value()));
+  EXPECT_TRUE(destinations.contains(net::IPv4Addr(3, 0, 0, 3).value()));
+}
+
+TEST(NmapProber, ProbesEverythingWhenIndexEmpty) {
+  MinerWorld world;
+  NmapProberConfig config;
+  config.asn = net::kAsnM247;
+  config.port = 80;
+  config.cloud_coverage = 1.0;
+  config.waves = 1;
+  NmapProber prober(106, util::Rng(5), config);
+  prober.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  EXPECT_EQ(world.destinations_of(106).size(), 3u);
+}
+
+}  // namespace
+}  // namespace cw::agents

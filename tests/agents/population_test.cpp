@@ -1,0 +1,153 @@
+#include "agents/population.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "agents/campaign.h"
+
+namespace cw::agents {
+namespace {
+
+topology::Deployment deployment_for(topology::ScenarioYear year) {
+  topology::DeploymentConfig config;
+  config.year = year;
+  config.telescope_slash24s = 4;
+  return topology::Deployment::table1(config);
+}
+
+PopulationConfig population_config(double scale,
+                                   topology::ScenarioYear year = topology::ScenarioYear::k2021) {
+  PopulationConfig config;
+  config.scale = scale;
+  config.year = year;
+  return config;
+}
+
+TEST(Population, BuildsNontrivialPopulation) {
+  const auto deployment = deployment_for(topology::ScenarioYear::k2021);
+  const Population population = Population::build(population_config(1.0), deployment);
+  EXPECT_GT(population.size(), 400u);
+}
+
+TEST(Population, ScaleShrinksPopulation) {
+  const auto deployment = deployment_for(topology::ScenarioYear::k2021);
+  const Population full = Population::build(population_config(1.0), deployment);
+  const Population small = Population::build(population_config(0.2), deployment);
+  EXPECT_LT(small.size(), full.size());
+  EXPECT_GT(small.size(), 50u);
+}
+
+TEST(Population, ActorIdsAreUniqueAndAboveReserved) {
+  const auto deployment = deployment_for(topology::ScenarioYear::k2021);
+  const Population population = Population::build(population_config(0.3), deployment);
+  std::set<capture::ActorId> ids;
+  for (const auto& actor : population.actors()) {
+    EXPECT_GE(actor->id(), Population::kFirstPopulationActorId);
+    EXPECT_TRUE(ids.insert(actor->id()).second);
+  }
+}
+
+TEST(Population, GroundTruthCoversAllActorsPlusEngines) {
+  const auto deployment = deployment_for(topology::ScenarioYear::k2021);
+  const Population population = Population::build(population_config(0.3), deployment);
+  const auto truth = population.ground_truth();
+  EXPECT_EQ(truth.size(), population.size() + 2);
+  EXPECT_FALSE(truth.at(Population::kCensysActorId));
+  EXPECT_FALSE(truth.at(Population::kShodanActorId));
+  bool any_malicious = false;
+  bool any_benign = false;
+  for (const auto& actor : population.actors()) {
+    if (truth.at(actor->id())) {
+      any_malicious = true;
+    } else {
+      any_benign = true;
+    }
+  }
+  EXPECT_TRUE(any_malicious);
+  EXPECT_TRUE(any_benign);
+}
+
+TEST(Population, ContainsExpectedBehaviorClasses) {
+  const auto deployment = deployment_for(topology::ScenarioYear::k2021);
+  const Population population = Population::build(population_config(1.0), deployment);
+  std::map<std::string, int> kinds;
+  for (const auto& actor : population.actors()) {
+    ++kinds[std::string(actor->kind())];
+  }
+  EXPECT_GT(kinds["campaign"], 0);
+  EXPECT_GT(kinds["search-miner"], 0);
+  EXPECT_EQ(kinds["nmap-prober"], 3);  // Avast, M247, CDN77
+}
+
+TEST(Population, NeighborhoodAnomaliesLatchRealAddresses) {
+  const auto deployment = deployment_for(topology::ScenarioYear::k2021);
+  const Population population = Population::build(population_config(1.0), deployment);
+  int latch_campaigns = 0;
+  for (const auto& actor : population.actors()) {
+    const auto* campaign = dynamic_cast<const ScanCampaign*>(actor.get());
+    if (campaign == nullptr) continue;
+    if (!campaign->config().filter.latch_addresses.empty()) ++latch_campaigns;
+  }
+  // Axtel/Linode-SG, Tsunami/HE, Azure-SG POST, Tsunami/telescope-17128.
+  EXPECT_GE(latch_campaigns, 4);
+}
+
+TEST(Population, Year2020AddsAnomalyCampaigns) {
+  const auto d2020 = deployment_for(topology::ScenarioYear::k2020);
+  const Population p2020 =
+      Population::build(population_config(1.0, topology::ScenarioYear::k2020), d2020);
+  int anomalies = 0;
+  for (const auto& actor : p2020.actors()) {
+    const auto* campaign = dynamic_cast<const ScanCampaign*>(actor.get());
+    if (campaign != nullptr && campaign->config().label.rfind("anomaly2020", 0) == 0) {
+      ++anomalies;
+    }
+  }
+  EXPECT_EQ(anomalies, 3);
+}
+
+TEST(Population, Year2022DoublesUnexpectedProtocolActors) {
+  const auto d2021 = deployment_for(topology::ScenarioYear::k2021);
+  const auto d2022 = deployment_for(topology::ScenarioYear::k2022);
+  auto count_unexpected = [](const Population& population) {
+    int count = 0;
+    for (const auto& actor : population.actors()) {
+      const auto* campaign = dynamic_cast<const ScanCampaign*>(actor.get());
+      if (campaign != nullptr && campaign->config().label.rfind("unexpected-", 0) == 0) ++count;
+    }
+    return count;
+  };
+  const Population p2021 =
+      Population::build(population_config(1.0, topology::ScenarioYear::k2021), d2021);
+  const Population p2022 =
+      Population::build(population_config(1.0, topology::ScenarioYear::k2022), d2022);
+  EXPECT_GT(count_unexpected(p2022), count_unexpected(p2021));
+}
+
+TEST(Population, DeterministicForFixedSeed) {
+  const auto deployment = deployment_for(topology::ScenarioYear::k2021);
+  const Population a = Population::build(population_config(0.5), deployment);
+  const Population b = Population::build(population_config(0.5), deployment);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.actors()[i]->id(), b.actors()[i]->id());
+    EXPECT_EQ(a.actors()[i]->asn(), b.actors()[i]->asn());
+    EXPECT_EQ(a.actors()[i]->kind(), b.actors()[i]->kind());
+  }
+}
+
+TEST(Population, SourcePoolsNeverOverlapMonitoredSpace) {
+  const auto deployment = deployment_for(topology::ScenarioYear::k2021);
+  const topology::TargetUniverse universe(deployment);
+  const Population population = Population::build(population_config(0.3), deployment);
+  for (const auto& actor : population.actors()) {
+    for (const net::IPv4Addr source : actor->sources()) {
+      EXPECT_FALSE(universe.find(source).has_value()) << source.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cw::agents

@@ -1,0 +1,136 @@
+#include "analysis/comparison.h"
+
+#include <gtest/gtest.h>
+
+#include "ids/ruleset.h"
+#include "proto/exploits.h"
+#include "proto/payloads.h"
+
+namespace cw::analysis {
+namespace {
+
+class ComparisonTest : public ::testing::Test {
+ protected:
+  ComparisonTest() : engine_(ids::curated_engine()), classifier_(engine_) {}
+
+  // Builds a slice with `benign` benign HTTP records from `asn_a` and
+  // `malicious` exploit records from `asn_b`, all on one synthetic vantage.
+  TrafficSlice make_slice(int benign, int malicious, net::Asn asn_a, net::Asn asn_b) {
+    TrafficSlice slice;
+    slice.store = &store_;
+    for (int i = 0; i < benign; ++i) {
+      capture::SessionRecord record;
+      record.port = 80;
+      record.src_as = asn_a;
+      store_.append(record, proto::http_benign_request(0), std::nullopt);
+      slice.records.push_back(static_cast<std::uint32_t>(store_.size() - 1));
+    }
+    for (int i = 0; i < malicious; ++i) {
+      capture::SessionRecord record;
+      record.port = 80;
+      record.src_as = asn_b;
+      store_.append(record, proto::exploit_payload(proto::ExploitKind::kLog4Shell, 1),
+                    std::nullopt);
+      slice.records.push_back(static_cast<std::uint32_t>(store_.size() - 1));
+    }
+    return slice;
+  }
+
+  ids::RuleEngine engine_;
+  MaliciousClassifier classifier_;
+  capture::EventStore store_;
+};
+
+TEST_F(ComparisonTest, TopAsIdenticalGroupsNotSignificant) {
+  const TrafficSlice a = make_slice(100, 100, 1, 2);
+  const TrafficSlice b = make_slice(100, 100, 1, 2);
+  const auto test =
+      compare_characteristic({a, b}, Characteristic::kTopAs, &classifier_, CompareOptions{});
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_FALSE(test.significant);
+}
+
+TEST_F(ComparisonTest, TopAsDisjointGroupsSignificant) {
+  const TrafficSlice a = make_slice(200, 0, 1, 2);
+  const TrafficSlice b = make_slice(0, 200, 3, 4);
+  const auto test =
+      compare_characteristic({a, b}, Characteristic::kTopAs, &classifier_, CompareOptions{});
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_TRUE(test.significant);
+  EXPECT_EQ(test.magnitude, stats::EffectMagnitude::kLarge);
+}
+
+TEST_F(ComparisonTest, FracMaliciousDetectsRateDifference) {
+  const TrafficSlice mostly_benign = make_slice(300, 20, 1, 1);
+  const TrafficSlice mostly_malicious = make_slice(20, 300, 1, 1);
+  const auto test = compare_characteristic({mostly_benign, mostly_malicious},
+                                           Characteristic::kFracMalicious, &classifier_,
+                                           CompareOptions{});
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_TRUE(test.significant);
+}
+
+TEST_F(ComparisonTest, FracMaliciousSameRateNotSignificant) {
+  const TrafficSlice a = make_slice(100, 50, 1, 1);
+  const TrafficSlice b = make_slice(200, 100, 1, 1);
+  const auto test = compare_characteristic({a, b}, Characteristic::kFracMalicious, &classifier_,
+                                           CompareOptions{});
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_FALSE(test.significant);
+}
+
+TEST_F(ComparisonTest, PayloadComparisonSeparatesCampaigns) {
+  const TrafficSlice a = make_slice(0, 150, 1, 1);  // log4shell campaign
+  TrafficSlice b;
+  b.store = &store_;
+  for (int i = 0; i < 150; ++i) {
+    capture::SessionRecord record;
+    record.port = 80;
+    record.src_as = 1;
+    store_.append(record, proto::exploit_payload(proto::ExploitKind::kGponRce, 2), std::nullopt);
+    b.records.push_back(static_cast<std::uint32_t>(store_.size() - 1));
+  }
+  const auto test = compare_characteristic({a, b}, Characteristic::kTopPayload, &classifier_,
+                                           CompareOptions{});
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_TRUE(test.significant);
+}
+
+TEST(Measurable, CollectionMethodMatrix) {
+  using topology::CollectionMethod;
+  // GreyNoise measures everything.
+  for (auto c : {Characteristic::kTopAs, Characteristic::kFracMalicious,
+                 Characteristic::kTopUsername, Characteristic::kTopPassword,
+                 Characteristic::kTopPayload}) {
+    EXPECT_TRUE(measurable(c, CollectionMethod::kGreyNoise, TrafficScope::kSsh22));
+  }
+  // Honeytrap: no credentials; no intent on auth protocols.
+  EXPECT_FALSE(
+      measurable(Characteristic::kTopUsername, CollectionMethod::kHoneytrap, TrafficScope::kSsh22));
+  EXPECT_FALSE(measurable(Characteristic::kTopPassword, CollectionMethod::kHoneytrap,
+                          TrafficScope::kTelnet23));
+  EXPECT_FALSE(measurable(Characteristic::kFracMalicious, CollectionMethod::kHoneytrap,
+                          TrafficScope::kSsh22));
+  EXPECT_TRUE(measurable(Characteristic::kFracMalicious, CollectionMethod::kHoneytrap,
+                         TrafficScope::kHttp80));
+  EXPECT_TRUE(
+      measurable(Characteristic::kTopPayload, CollectionMethod::kHoneytrap, TrafficScope::kHttp80));
+  // Telescope: only source attribution.
+  EXPECT_TRUE(measurable(Characteristic::kTopAs, CollectionMethod::kTelescope,
+                         TrafficScope::kAnyAll));
+  EXPECT_FALSE(measurable(Characteristic::kTopPayload, CollectionMethod::kTelescope,
+                          TrafficScope::kHttp80));
+  EXPECT_FALSE(measurable(Characteristic::kFracMalicious, CollectionMethod::kTelescope,
+                          TrafficScope::kAnyAll));
+}
+
+TEST(CharacteristicName, AllValues) {
+  EXPECT_EQ(characteristic_name(Characteristic::kTopAs), "Top 3 AS");
+  EXPECT_EQ(characteristic_name(Characteristic::kFracMalicious), "Fraction Malicious");
+  EXPECT_EQ(characteristic_name(Characteristic::kTopUsername), "Top 3 Username");
+  EXPECT_EQ(characteristic_name(Characteristic::kTopPassword), "Top 3 Password");
+  EXPECT_EQ(characteristic_name(Characteristic::kTopPayload), "Top 3 Payloads");
+}
+
+}  // namespace
+}  // namespace cw::analysis

@@ -1,0 +1,79 @@
+#include "analysis/malicious.h"
+
+#include <gtest/gtest.h>
+
+#include "ids/ruleset.h"
+#include "proto/exploits.h"
+#include "proto/payloads.h"
+
+namespace cw::analysis {
+namespace {
+
+class MaliciousClassifierTest : public ::testing::Test {
+ protected:
+  MaliciousClassifierTest() : engine_(ids::curated_engine()), classifier_(engine_) {}
+
+  std::uint32_t add(std::string payload, std::optional<proto::Credential> credential,
+                    net::Port port) {
+    capture::SessionRecord record;
+    record.port = port;
+    record.vantage = 0;
+    store_.append(record, payload, credential);
+    return static_cast<std::uint32_t>(store_.size() - 1);
+  }
+
+  MeasuredIntent classify(std::uint32_t index) {
+    return classifier_.classify(store_.records()[index], store_);
+  }
+
+  ids::RuleEngine engine_;
+  MaliciousClassifier classifier_;
+  capture::EventStore store_;
+};
+
+TEST_F(MaliciousClassifierTest, CredentialAttemptIsMalicious) {
+  const auto index = add(proto::ssh_client_banner(), proto::Credential{"root", "root"}, 22);
+  EXPECT_EQ(classify(index), MeasuredIntent::kMalicious);
+}
+
+TEST_F(MaliciousClassifierTest, ExploitPayloadIsMalicious) {
+  const auto index =
+      add(proto::exploit_payload(proto::ExploitKind::kLog4Shell, 1), std::nullopt, 80);
+  EXPECT_EQ(classify(index), MeasuredIntent::kMalicious);
+}
+
+TEST_F(MaliciousClassifierTest, BenignProbeIsBenign) {
+  const auto index = add(proto::http_benign_request(3), std::nullopt, 80);
+  EXPECT_EQ(classify(index), MeasuredIntent::kBenign);
+}
+
+TEST_F(MaliciousClassifierTest, BannerOnlySshIsBenign) {
+  const auto index = add(proto::ssh_client_banner(), std::nullopt, 22);
+  EXPECT_EQ(classify(index), MeasuredIntent::kBenign);
+}
+
+TEST_F(MaliciousClassifierTest, NoPayloadIsUnobservable) {
+  const auto index = add({}, std::nullopt, 22);
+  EXPECT_EQ(classify(index), MeasuredIntent::kUnobservable);
+}
+
+TEST_F(MaliciousClassifierTest, CountSplitsCorrectly) {
+  std::vector<std::uint32_t> indices;
+  indices.push_back(add(proto::exploit_payload(proto::ExploitKind::kThinkPhpRce, 1), std::nullopt, 80));
+  indices.push_back(add(proto::http_benign_request(0), std::nullopt, 80));
+  indices.push_back(add(proto::http_benign_request(1), std::nullopt, 80));
+  indices.push_back(add({}, std::nullopt, 80));  // unobservable: excluded
+  const auto [malicious, benign] = classifier_.count(store_, indices);
+  EXPECT_EQ(malicious, 1u);
+  EXPECT_EQ(benign, 2u);
+}
+
+TEST_F(MaliciousClassifierTest, VerdictCacheIsConsistent) {
+  const auto a = add(proto::exploit_payload(proto::ExploitKind::kGponRce, 2), std::nullopt, 80);
+  const auto b = add(proto::exploit_payload(proto::ExploitKind::kGponRce, 2), std::nullopt, 80);
+  EXPECT_EQ(classify(a), MeasuredIntent::kMalicious);
+  EXPECT_EQ(classify(b), MeasuredIntent::kMalicious);  // served from cache
+}
+
+}  // namespace
+}  // namespace cw::analysis

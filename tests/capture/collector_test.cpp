@@ -1,0 +1,223 @@
+#include "capture/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "capture/interner.h"
+#include "proto/payloads.h"
+
+namespace cw::capture {
+namespace {
+
+topology::Deployment three_method_deployment() {
+  topology::Deployment deployment;
+  {
+    topology::VantagePoint vp;
+    vp.name = "greynoise";
+    vp.provider = topology::Provider::kAws;
+    vp.type = topology::NetworkType::kCloud;
+    vp.collection = topology::CollectionMethod::kGreyNoise;
+    vp.region = net::make_region("SG");
+    vp.addresses = {net::IPv4Addr(3, 0, 0, 1)};
+    vp.open_ports = {22, 23, 80};
+    deployment.add(std::move(vp));
+  }
+  {
+    topology::VantagePoint vp;
+    vp.name = "honeytrap";
+    vp.provider = topology::Provider::kStanford;
+    vp.type = topology::NetworkType::kEducation;
+    vp.collection = topology::CollectionMethod::kHoneytrap;
+    vp.region = net::make_region("US", "CA");
+    vp.addresses = {net::IPv4Addr(171, 64, 0, 1)};
+    deployment.add(std::move(vp));
+  }
+  {
+    topology::VantagePoint vp;
+    vp.name = "telescope";
+    vp.provider = topology::Provider::kOrion;
+    vp.type = topology::NetworkType::kTelescope;
+    vp.collection = topology::CollectionMethod::kTelescope;
+    vp.region = net::make_region("US", "MI");
+    vp.addresses = {net::IPv4Addr(71, 96, 0, 1)};
+    deployment.add(std::move(vp));
+  }
+  return deployment;
+}
+
+ScanEvent event_to(net::IPv4Addr dst, net::Port port, std::string payload = {},
+                   std::optional<proto::Credential> credential = std::nullopt) {
+  ScanEvent event;
+  event.time = 1000;
+  event.src = net::IPv4Addr(0xb0001000);
+  event.src_as = 4134;
+  event.dst = dst;
+  event.dst_port = port;
+  event.payload = std::move(payload);
+  event.malicious_intent = credential.has_value();
+  event.credential = std::move(credential);
+  event.intended_protocol = net::iana_assignment(port);
+  event.actor = 99;
+  return event;
+}
+
+TEST(Collector, DropsUnmonitoredDestinations) {
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  EXPECT_FALSE(collector.deliver(event_to(net::IPv4Addr(8, 8, 8, 8), 80)));
+  EXPECT_EQ(collector.dropped_unmonitored(), 1u);
+  EXPECT_EQ(collector.store().size(), 0u);
+}
+
+TEST(Collector, TelescopeKeepsNoPayloadOrHandshake) {
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  auto event = event_to(net::IPv4Addr(71, 96, 0, 1), 22, proto::ssh_client_banner(),
+                        proto::Credential{"root", "root"});
+  ASSERT_TRUE(collector.deliver(event));
+  const SessionRecord& record = collector.store().records().front();
+  EXPECT_FALSE(record.handshake_completed);
+  EXPECT_EQ(record.payload_id, kNoPayload);
+  EXPECT_EQ(record.credential_id, kNoCredential);
+  EXPECT_EQ(record.src_as, 4134u);
+}
+
+TEST(Collector, TelescopeAcceptsAnyPort) {
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  EXPECT_TRUE(collector.deliver(event_to(net::IPv4Addr(71, 96, 0, 1), 17128)));
+}
+
+TEST(Collector, GreyNoiseRefusesClosedPorts) {
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  EXPECT_FALSE(collector.deliver(event_to(net::IPv4Addr(3, 0, 0, 1), 9999)));
+  EXPECT_EQ(collector.dropped_refused(), 1u);
+}
+
+TEST(Collector, GreyNoiseCowrieCapturesCredentials) {
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  auto event = event_to(net::IPv4Addr(3, 0, 0, 1), 22, proto::ssh_client_banner(),
+                        proto::Credential{"root", "hunter2"});
+  ASSERT_TRUE(collector.deliver(event));
+  const SessionRecord& record = collector.store().records().front();
+  EXPECT_TRUE(record.handshake_completed);
+  ASSERT_NE(record.credential_id, kNoCredential);
+  const proto::Credential credential = collector.store().credential(record.credential_id);
+  EXPECT_EQ(credential.username, "root");
+  EXPECT_EQ(credential.password, "hunter2");
+}
+
+TEST(Collector, GreyNoiseNonCowriePortDropsCredential) {
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  auto event = event_to(net::IPv4Addr(3, 0, 0, 1), 80, "GET / HTTP/1.1\r\n\r\n",
+                        proto::Credential{"root", "x"});
+  ASSERT_TRUE(collector.deliver(event));
+  const SessionRecord& record = collector.store().records().front();
+  EXPECT_EQ(record.credential_id, kNoCredential);
+  ASSERT_NE(record.payload_id, kNoPayload);
+  EXPECT_EQ(collector.store().payload(record.payload_id), "GET / HTTP/1.1\r\n\r\n");
+}
+
+TEST(Collector, HoneytrapRecordsClientFirstPayload) {
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  auto event = event_to(net::IPv4Addr(171, 64, 0, 1), 8080, "GET / HTTP/1.1\r\n\r\n");
+  event.intended_protocol = net::Protocol::kHttp;
+  ASSERT_TRUE(collector.deliver(event));
+  const SessionRecord& record = collector.store().records().front();
+  EXPECT_TRUE(record.handshake_completed);
+  EXPECT_NE(record.payload_id, kNoPayload);
+}
+
+TEST(Collector, HoneytrapMissesServerFirstClients) {
+  // A MySQL client waits for the server greeting; a protocol-mute honeypot
+  // records the connection but no payload (Section 6's lower-bound caveat).
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  auto event = event_to(net::IPv4Addr(171, 64, 0, 1), 3306, proto::mysql_login_probe());
+  event.intended_protocol = net::Protocol::kSql;
+  ASSERT_TRUE(collector.deliver(event));
+  const SessionRecord& record = collector.store().records().front();
+  EXPECT_EQ(record.payload_id, kNoPayload);
+  EXPECT_TRUE(record.handshake_completed);
+}
+
+TEST(Collector, TelescopeSinkBypassesStore) {
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  int sunk = 0;
+  collector.set_telescope_sink([&](const ScanEvent&, const topology::Target&) {
+    ++sunk;
+    return true;
+  });
+  EXPECT_TRUE(collector.deliver(event_to(net::IPv4Addr(71, 96, 0, 1), 80)));
+  EXPECT_TRUE(collector.deliver(event_to(net::IPv4Addr(3, 0, 0, 1), 80, "x")));
+  EXPECT_EQ(sunk, 1);
+  EXPECT_EQ(collector.store().size(), 1u);  // only the honeypot record
+}
+
+TEST(ClientSpeaksFirst, ProtocolTable) {
+  EXPECT_TRUE(client_speaks_first(net::Protocol::kHttp));
+  EXPECT_TRUE(client_speaks_first(net::Protocol::kTls));
+  EXPECT_TRUE(client_speaks_first(net::Protocol::kSsh));
+  EXPECT_FALSE(client_speaks_first(net::Protocol::kSql));
+  EXPECT_FALSE(client_speaks_first(net::Protocol::kUnknown));
+}
+
+TEST(IsCowriePort, Table) {
+  EXPECT_TRUE(is_cowrie_port(22));
+  EXPECT_TRUE(is_cowrie_port(2222));
+  EXPECT_TRUE(is_cowrie_port(23));
+  EXPECT_TRUE(is_cowrie_port(2323));
+  EXPECT_FALSE(is_cowrie_port(80));
+}
+
+TEST(Interner, DeduplicatesStrings) {
+  Interner interner;
+  const std::uint32_t a = interner.intern("payload");
+  const std::uint32_t b = interner.intern("payload");
+  const std::uint32_t c = interner.intern("other");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.at(a), "payload");
+  EXPECT_EQ(interner.at(c), "other");
+}
+
+TEST(EventStore, VantageIndexTracksAppends) {
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  collector.deliver(event_to(net::IPv4Addr(3, 0, 0, 1), 80, "a"));
+  EXPECT_EQ(collector.store().for_vantage(0).size(), 1u);
+  collector.deliver(event_to(net::IPv4Addr(3, 0, 0, 1), 80, "b"));
+  collector.deliver(event_to(net::IPv4Addr(171, 64, 0, 1), 80, "c"));
+  EXPECT_EQ(collector.store().for_vantage(0).size(), 2u);
+  EXPECT_EQ(collector.store().for_vantage(1).size(), 1u);
+  EXPECT_TRUE(collector.store().for_vantage(77).empty());
+}
+
+TEST(EventStore, DistinctPayloadsCounted) {
+  const topology::Deployment deployment = three_method_deployment();
+  const topology::TargetUniverse universe(deployment);
+  Collector collector(universe);
+  collector.deliver(event_to(net::IPv4Addr(3, 0, 0, 1), 80, "same"));
+  collector.deliver(event_to(net::IPv4Addr(3, 0, 0, 1), 80, "same"));
+  collector.deliver(event_to(net::IPv4Addr(3, 0, 0, 1), 80, "different"));
+  EXPECT_EQ(collector.store().distinct_payloads(), 2u);
+  EXPECT_EQ(collector.store().size(), 3u);
+}
+
+}  // namespace
+}  // namespace cw::capture

@@ -1,0 +1,178 @@
+#include "capture/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cw::capture {
+namespace {
+
+EventStore make_store() {
+  EventStore store;
+  SessionRecord a;
+  a.time = 1234;
+  a.src = 0xb0001000;
+  a.dst = 0x03000001;
+  a.src_as = 4134;
+  a.port = 22;
+  a.transport = net::Transport::kTcp;
+  a.handshake_completed = true;
+  a.vantage = 2;
+  a.neighbor = 1;
+  a.actor = 99;
+  a.malicious_truth = true;
+  store.append(a, "SSH-2.0-x\r\n", proto::Credential{"root", "123456"});
+
+  SessionRecord b;
+  b.time = 5678;
+  b.src = 0xb0002000;
+  b.dst = 0x03000002;
+  b.src_as = 174;
+  b.port = 80;
+  b.transport = net::Transport::kUdp;
+  b.vantage = 0;
+  b.actor = 7;
+  store.append(b, "GET / HTTP/1.1\r\n\r\n", std::nullopt);
+
+  SessionRecord c;  // telescope-style record: nothing retained
+  c.time = 9;
+  c.src = 1;
+  c.dst = 2;
+  c.port = 445;
+  c.vantage = 1;
+  store.append(c, {}, std::nullopt);
+
+  // A duplicate payload to exercise interning.
+  store.append(b, "GET / HTTP/1.1\r\n\r\n", std::nullopt);
+  return store;
+}
+
+TEST(Dataset, BinaryRoundTripPreservesEverything) {
+  const EventStore original = make_store();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(original, buffer));
+
+  const auto loaded = read_dataset(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->distinct_payloads(), original.distinct_payloads());
+  EXPECT_EQ(loaded->distinct_credentials(), original.distinct_credentials());
+
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const SessionRecord& want = original.records()[i];
+    const SessionRecord& got = loaded->records()[i];
+    EXPECT_EQ(got.time, want.time);
+    EXPECT_EQ(got.src, want.src);
+    EXPECT_EQ(got.dst, want.dst);
+    EXPECT_EQ(got.src_as, want.src_as);
+    EXPECT_EQ(got.port, want.port);
+    EXPECT_EQ(got.transport, want.transport);
+    EXPECT_EQ(got.handshake_completed, want.handshake_completed);
+    EXPECT_EQ(got.vantage, want.vantage);
+    EXPECT_EQ(got.neighbor, want.neighbor);
+    EXPECT_EQ(got.actor, want.actor);
+    EXPECT_EQ(got.malicious_truth, want.malicious_truth);
+    // Ids may be renumbered; content must match.
+    ASSERT_EQ(got.payload_id == kNoPayload, want.payload_id == kNoPayload);
+    if (want.payload_id != kNoPayload) {
+      EXPECT_EQ(loaded->payload(got.payload_id), original.payload(want.payload_id));
+    }
+    ASSERT_EQ(got.credential_id == kNoCredential, want.credential_id == kNoCredential);
+    if (want.credential_id != kNoCredential) {
+      EXPECT_EQ(loaded->credential(got.credential_id).username,
+                original.credential(want.credential_id).username);
+      EXPECT_EQ(loaded->credential(got.credential_id).password,
+                original.credential(want.credential_id).password);
+    }
+  }
+}
+
+TEST(Dataset, BinaryPayloadsSurviveRoundTrip) {
+  EventStore store;
+  SessionRecord record;
+  record.port = 443;
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary += static_cast<char>(i);
+  store.append(record, binary, std::nullopt);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(store, buffer));
+  const auto loaded = read_dataset(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->payload(loaded->records()[0].payload_id), binary);
+}
+
+TEST(Dataset, RejectsBadMagic) {
+  std::stringstream buffer("NOPE garbage");
+  EXPECT_FALSE(read_dataset(buffer).has_value());
+}
+
+TEST(Dataset, RejectsTruncatedStream) {
+  const EventStore original = make_store();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(original, buffer));
+  const std::string full = buffer.str();
+  for (const std::size_t cut : {std::size_t{4}, std::size_t{16}, full.size() / 2,
+                                full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(read_dataset(truncated).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Dataset, RejectsWrongVersion) {
+  const EventStore original = make_store();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(original, buffer));
+  std::string bytes = buffer.str();
+  bytes[4] = 99;  // version field
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(read_dataset(corrupted).has_value());
+}
+
+TEST(Dataset, EmptyStoreRoundTrips) {
+  EventStore empty;
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(empty, buffer));
+  const auto loaded = read_dataset(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST(Dataset, CsvExportContainsAnnotatedRows) {
+  topology::Deployment deployment;
+  topology::VantagePoint vp0;
+  vp0.name = "cloud-a";
+  vp0.type = topology::NetworkType::kCloud;
+  vp0.addresses = {net::IPv4Addr(3, 0, 0, 1)};
+  deployment.add(std::move(vp0));
+  topology::VantagePoint vp1;
+  vp1.name = "telescope";
+  vp1.type = topology::NetworkType::kTelescope;
+  vp1.addresses = {net::IPv4Addr(71, 96, 0, 1)};
+  deployment.add(std::move(vp1));
+  topology::VantagePoint vp2;
+  vp2.name = "edu";
+  vp2.type = topology::NetworkType::kEducation;
+  vp2.addresses = {net::IPv4Addr(171, 64, 0, 1)};
+  deployment.add(std::move(vp2));
+
+  const EventStore store = make_store();
+  std::stringstream out;
+  write_csv(store, deployment, out);
+  const std::string csv = out.str();
+  // Header + 4 records.
+  std::size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5u);
+  EXPECT_NE(csv.find("time_ms,src,src_asn"), std::string::npos);
+  EXPECT_NE(csv.find("edu"), std::string::npos);
+  EXPECT_NE(csv.find("telescope"), std::string::npos);
+  EXPECT_NE(csv.find("root"), std::string::npos);     // credential username
+  EXPECT_NE(csv.find("123456"), std::string::npos);   // credential password
+  EXPECT_NE(csv.find("3.0.0.1"), std::string::npos);  // dotted-quad dst
+}
+
+}  // namespace
+}  // namespace cw::capture

@@ -1,0 +1,145 @@
+#include "capture/firewall.h"
+
+#include <gtest/gtest.h>
+
+#include "capture/collector.h"
+#include "ids/ruleset.h"
+#include "proto/exploits.h"
+#include "proto/payloads.h"
+#include "topology/universe.h"
+
+namespace cw::capture {
+namespace {
+
+topology::Deployment one_vantage() {
+  topology::Deployment deployment;
+  topology::VantagePoint vp;
+  vp.name = "cloud";
+  vp.provider = topology::Provider::kAws;
+  vp.type = topology::NetworkType::kCloud;
+  vp.collection = topology::CollectionMethod::kGreyNoise;
+  vp.region = net::make_region("SG");
+  vp.addresses = {net::IPv4Addr(3, 0, 0, 1)};
+  vp.open_ports = {22, 80};
+  deployment.add(std::move(vp));
+  return deployment;
+}
+
+ScanEvent exploit_event() {
+  ScanEvent event;
+  event.time = 500;
+  event.src = net::IPv4Addr(0xb0000001);
+  event.dst = net::IPv4Addr(3, 0, 0, 1);
+  event.dst_port = 80;
+  event.payload = proto::exploit_payload(proto::ExploitKind::kLog4Shell, 1);
+  event.malicious_intent = true;
+  return event;
+}
+
+ScanEvent benign_event() {
+  ScanEvent event;
+  event.time = 600;
+  event.src = net::IPv4Addr(0xb0000002);
+  event.dst = net::IPv4Addr(3, 0, 0, 1);
+  event.dst_port = 80;
+  event.payload = proto::http_benign_request(0);
+  return event;
+}
+
+class FirewallTest : public ::testing::Test {
+ protected:
+  FirewallTest()
+      : deployment_(one_vantage()),
+        universe_(deployment_),
+        collector_(universe_),
+        engine_(ids::curated_engine()) {}
+
+  topology::Deployment deployment_;
+  topology::TargetUniverse universe_;
+  Collector collector_;
+  ids::RuleEngine engine_;
+};
+
+TEST_F(FirewallTest, UnprotectedVantagePassesEverything) {
+  SignatureFirewall firewall(engine_, 1.0);
+  EXPECT_FALSE(firewall.inspect(exploit_event(), deployment_.at(0)));
+  EXPECT_EQ(firewall.inspected(), 0u);
+}
+
+TEST_F(FirewallTest, FullDropRateBlocksMatchingPayloads) {
+  SignatureFirewall firewall(engine_, 1.0);
+  firewall.protect(0);
+  EXPECT_TRUE(firewall.inspect(exploit_event(), deployment_.at(0)));
+  EXPECT_EQ(firewall.dropped(), 1u);
+}
+
+TEST_F(FirewallTest, BenignPayloadsAlwaysPass) {
+  SignatureFirewall firewall(engine_, 1.0);
+  firewall.protect(0);
+  EXPECT_FALSE(firewall.inspect(benign_event(), deployment_.at(0)));
+  ScanEvent empty = benign_event();
+  empty.payload.clear();
+  EXPECT_FALSE(firewall.inspect(empty, deployment_.at(0)));
+}
+
+TEST_F(FirewallTest, ZeroDropRatePassesExploits) {
+  SignatureFirewall firewall(engine_, 0.0);
+  firewall.protect(0);
+  EXPECT_FALSE(firewall.inspect(exploit_event(), deployment_.at(0)));
+  EXPECT_EQ(firewall.inspected(), 1u);
+  EXPECT_EQ(firewall.dropped(), 0u);
+}
+
+TEST_F(FirewallTest, PerFlowVerdictIsDeterministic) {
+  SignatureFirewall a(engine_, 0.5, 99);
+  SignatureFirewall b(engine_, 0.5, 99);
+  a.protect(0);
+  b.protect(0);
+  for (int i = 0; i < 50; ++i) {
+    ScanEvent event = exploit_event();
+    event.time = i * 1000;
+    EXPECT_EQ(a.inspect(event, deployment_.at(0)), b.inspect(event, deployment_.at(0))) << i;
+  }
+}
+
+TEST_F(FirewallTest, PartialDropRateIsApproximatelyHonored) {
+  SignatureFirewall firewall(engine_, 0.5);
+  firewall.protect(0);
+  int dropped = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ScanEvent event = exploit_event();
+    event.time = i;
+    event.src = net::IPv4Addr(0xb0000000u + i);
+    if (firewall.inspect(event, deployment_.at(0))) ++dropped;
+  }
+  EXPECT_NEAR(dropped, 1000, 80);
+}
+
+TEST_F(FirewallTest, CollectorHookDropsBeforeCapture) {
+  SignatureFirewall firewall(engine_, 1.0);
+  firewall.protect(0);
+  collector_.set_firewall([&firewall](const ScanEvent& event,
+                                      const topology::VantagePoint& vp) {
+    return firewall.inspect(event, vp);
+  });
+  EXPECT_FALSE(collector_.deliver(exploit_event()));
+  EXPECT_TRUE(collector_.deliver(benign_event()));
+  EXPECT_EQ(collector_.dropped_firewalled(), 1u);
+  EXPECT_EQ(collector_.store().size(), 1u);
+}
+
+TEST_F(FirewallTest, CredentialBruteForceBypassesSignatures) {
+  // Inline IPS sees the SSH banner, not the credentials: brute force passes.
+  SignatureFirewall firewall(engine_, 1.0);
+  firewall.protect(0);
+  ScanEvent event;
+  event.dst = net::IPv4Addr(3, 0, 0, 1);
+  event.dst_port = 22;
+  event.payload = proto::ssh_client_banner();
+  event.credential = proto::Credential{"root", "root"};
+  event.malicious_intent = true;
+  EXPECT_FALSE(firewall.inspect(event, deployment_.at(0)));
+}
+
+}  // namespace
+}  // namespace cw::capture

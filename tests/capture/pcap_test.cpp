@@ -1,0 +1,130 @@
+#include "capture/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "proto/payloads.h"
+
+namespace cw::capture {
+namespace {
+
+std::uint32_t read_u32_le(const std::string& data, std::size_t offset) {
+  return static_cast<std::uint8_t>(data[offset]) |
+         (static_cast<std::uint8_t>(data[offset + 1]) << 8) |
+         (static_cast<std::uint8_t>(data[offset + 2]) << 16) |
+         (static_cast<std::uint8_t>(data[offset + 3]) << 24);
+}
+
+EventStore store_with(int records) {
+  EventStore store;
+  for (int i = 0; i < records; ++i) {
+    SessionRecord record;
+    record.time = i * util::kSecond;
+    record.src = 0xb0000000u + static_cast<std::uint32_t>(i);
+    record.dst = 0x03000001;
+    record.port = 80;
+    record.handshake_completed = true;
+    store.append(record, "GET / HTTP/1.1\r\n\r\n", std::nullopt);
+  }
+  return store;
+}
+
+TEST(Pcap, GlobalHeaderLayout) {
+  std::stringstream out;
+  EXPECT_EQ(write_pcap(store_with(0), out), 0u);
+  const std::string bytes = out.str();
+  ASSERT_EQ(bytes.size(), 24u);  // just the global header
+  EXPECT_EQ(read_u32_le(bytes, 0), 0xa1b2c3d4u);  // magic
+  EXPECT_EQ(bytes[4], 2);                          // version major
+  EXPECT_EQ(bytes[6], 4);                          // version minor
+  EXPECT_EQ(read_u32_le(bytes, 20), 1u);           // LINKTYPE_ETHERNET
+}
+
+TEST(Pcap, PacketRecordsMatchCount) {
+  std::stringstream out;
+  EXPECT_EQ(write_pcap(store_with(5), out), 5u);
+  const std::string bytes = out.str();
+  // Frame: 14 eth + 20 ip + 20 tcp + 18 payload = 72 bytes; plus 16-byte
+  // per-packet header.
+  EXPECT_EQ(bytes.size(), 24u + 5u * (16u + 72u));
+}
+
+TEST(Pcap, TimestampsCarryEpochOffset) {
+  std::stringstream out;
+  PcapWriteOptions options;
+  options.epoch_offset_seconds = 1625097600;
+  write_pcap(store_with(2), out, options);
+  const std::string bytes = out.str();
+  // First packet header directly after the 24-byte global header.
+  EXPECT_EQ(read_u32_le(bytes, 24), 1625097600u);
+  // Second packet: one simulated second later.
+  EXPECT_EQ(read_u32_le(bytes, 24 + 16 + 72), 1625097601u);
+}
+
+TEST(Pcap, Ipv4HeaderCarriesAddressesAndProtocol) {
+  std::stringstream out;
+  write_pcap(store_with(1), out);
+  const std::string bytes = out.str();
+  const std::size_t ip_offset = 24 + 16 + 14;  // headers + ethernet
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[ip_offset]), 0x45u);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[ip_offset + 9]), 0x06u);  // TCP
+  // Destination address 3.0.0.1 big-endian at offset 16 of the IP header.
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[ip_offset + 16]), 3u);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[ip_offset + 19]), 1u);
+}
+
+TEST(Pcap, TelescopeRecordsBecomeBareSyns) {
+  EventStore store;
+  SessionRecord record;
+  record.time = 0;
+  record.src = 1;
+  record.dst = 2;
+  record.port = 445;
+  record.handshake_completed = false;
+  store.append(record, {}, std::nullopt);
+
+  std::stringstream out;
+  ASSERT_EQ(write_pcap(store, out), 1u);
+  const std::string bytes = out.str();
+  const std::size_t tcp_offset = 24 + 16 + 14 + 20;
+  // Flags byte (offset 13 within TCP header) must be SYN (0x02).
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[tcp_offset + 13]), 0x02u);
+  // No payload: frame is exactly eth + ip + tcp.
+  EXPECT_EQ(bytes.size(), 24u + 16u + 14u + 20u + 20u);
+}
+
+TEST(Pcap, UdpRecordsUseUdpHeader) {
+  EventStore store;
+  SessionRecord record;
+  record.time = 0;
+  record.src = 1;
+  record.dst = 2;
+  record.port = 123;
+  record.transport = net::Transport::kUdp;
+  store.append(record, proto::ntp_client(), std::nullopt);
+
+  std::stringstream out;
+  ASSERT_EQ(write_pcap(store, out), 1u);
+  const std::string bytes = out.str();
+  const std::size_t ip_offset = 24 + 16 + 14;
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[ip_offset + 9]), 0x11u);  // UDP
+  // eth + ip + udp(8) + 48-byte NTP payload.
+  EXPECT_EQ(bytes.size(), 24u + 16u + 14u + 20u + 8u + 48u);
+}
+
+TEST(Pcap, SnaplenTruncatesPayloads) {
+  EventStore store;
+  SessionRecord record;
+  record.port = 80;
+  record.handshake_completed = true;
+  store.append(record, std::string(1000, 'A'), std::nullopt);
+  std::stringstream out;
+  PcapWriteOptions options;
+  options.snaplen = 100;
+  ASSERT_EQ(write_pcap(store, out, options), 1u);
+  EXPECT_EQ(out.str().size(), 24u + 16u + 14u + 20u + 20u + 100u);
+}
+
+}  // namespace
+}  // namespace cw::capture

@@ -1,0 +1,190 @@
+#include "ids/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "ids/ruleset.h"
+#include "proto/exploits.h"
+#include "proto/payloads.h"
+
+namespace cw::ids {
+namespace {
+
+RuleEngine engine_with(std::string_view rule_text) {
+  RuleEngine engine;
+  auto rule = parse_rule(rule_text);
+  EXPECT_TRUE(rule.has_value()) << rule_text;
+  if (rule) engine.add(std::move(*rule));
+  return engine;
+}
+
+TEST(RuleEngine, RawContentMatch) {
+  const RuleEngine engine = engine_with(
+      R"(alert tcp any any -> any any (msg:"m"; content:"needle"; sid:1;))");
+  EXPECT_TRUE(engine.matches("hay needle stack", 80));
+  EXPECT_FALSE(engine.matches("haystack", 80));
+}
+
+TEST(RuleEngine, NocaseMatch) {
+  const RuleEngine engine = engine_with(
+      R"(alert tcp any any -> any any (msg:"m"; content:"JNDI"; nocase; sid:1;))");
+  EXPECT_TRUE(engine.matches("${jndi:ldap}", 80));
+  EXPECT_TRUE(engine.matches("${JnDi:ldap}", 80));
+}
+
+TEST(RuleEngine, CaseSensitiveByDefault) {
+  const RuleEngine engine = engine_with(
+      R"(alert tcp any any -> any any (msg:"m"; content:"Exact"; sid:1;))");
+  EXPECT_TRUE(engine.matches("Exact", 80));
+  EXPECT_FALSE(engine.matches("exact", 80));
+}
+
+TEST(RuleEngine, PortConstraint) {
+  const RuleEngine engine = engine_with(
+      R"(alert tcp any any -> any [5555] (msg:"m"; content:"x"; sid:1;))");
+  EXPECT_TRUE(engine.matches("x", 5555));
+  EXPECT_FALSE(engine.matches("x", 80));
+}
+
+TEST(RuleEngine, TransportConstraint) {
+  const RuleEngine engine = engine_with(
+      R"(alert udp any any -> any any (msg:"m"; content:"x"; sid:1;))");
+  EXPECT_TRUE(engine.matches("x", 123, net::Transport::kUdp));
+  EXPECT_FALSE(engine.matches("x", 123, net::Transport::kTcp));
+}
+
+TEST(RuleEngine, NegatedContent) {
+  const RuleEngine engine = engine_with(
+      R"(alert tcp any any -> any any (msg:"m"; content:"attack"; content:!"whitelisted"; sid:1;))");
+  EXPECT_TRUE(engine.matches("attack payload", 80));
+  EXPECT_FALSE(engine.matches("attack whitelisted", 80));
+}
+
+TEST(RuleEngine, HttpUriBufferOnlyMatchesUri) {
+  const RuleEngine engine = engine_with(
+      R"(alert tcp any any -> any any (msg:"m"; content:"/evil"; http_uri; sid:1;))");
+  EXPECT_TRUE(engine.matches("GET /evil HTTP/1.1\r\n\r\n", 80));
+  // Token present in the body, not the URI: must not fire.
+  EXPECT_FALSE(engine.matches("POST /ok HTTP/1.1\r\n\r\n/evil", 80));
+  // Non-HTTP payload: HTTP buffers are empty, rule cannot fire.
+  EXPECT_FALSE(engine.matches("/evil", 80));
+}
+
+TEST(RuleEngine, HttpMethodAndBodyBuffers) {
+  const RuleEngine engine = engine_with(
+      R"(alert tcp any any -> any any (msg:"m"; content:"POST"; http_method; content:"admin"; http_client_body; sid:1;))");
+  EXPECT_TRUE(engine.matches("POST /x HTTP/1.1\r\n\r\nuser=admin", 80));
+  EXPECT_FALSE(engine.matches("GET /x HTTP/1.1\r\n\r\nuser=admin", 80));
+  EXPECT_FALSE(engine.matches("POST /x HTTP/1.1\r\n\r\nuser=guest", 80));
+}
+
+TEST(RuleEngine, HttpHeaderBuffer) {
+  const RuleEngine engine = engine_with(
+      R"(alert tcp any any -> any any (msg:"m"; content:"evil-agent"; http_header; sid:1;))");
+  EXPECT_TRUE(engine.matches("GET / HTTP/1.1\r\nUser-Agent: evil-agent\r\n\r\n", 80));
+  EXPECT_FALSE(engine.matches("GET / HTTP/1.1\r\nUser-Agent: ok\r\n\r\nevil-agent", 80));
+}
+
+TEST(RuleEngine, EvaluateReturnsAllFiringRules) {
+  RuleEngine engine;
+  engine.load(
+      "alert tcp any any -> any any (msg:\"one\"; content:\"x\"; sid:1;)\n"
+      "alert tcp any any -> any any (msg:\"two\"; content:\"x\"; classtype:trojan-activity; sid:2;)\n"
+      "alert tcp any any -> any any (msg:\"miss\"; content:\"zzz\"; sid:3;)\n");
+  const auto alerts = engine.evaluate("x", 80);
+  ASSERT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(alerts[0].sid, 1u);
+  EXPECT_EQ(alerts[1].sid, 2u);
+  EXPECT_EQ(alerts[1].class_type, ClassType::kTrojanActivity);
+}
+
+TEST(RuleEngine, LoadSkipsCommentsAndCollectsBadLines) {
+  RuleEngine engine;
+  std::vector<std::string> skipped;
+  const std::size_t loaded = engine.load(
+      "# comment\n"
+      "\n"
+      "alert tcp any any -> any any (msg:\"ok\"; content:\"x\"; sid:1;)\n"
+      "this is not a rule\n",
+      &skipped);
+  EXPECT_EQ(loaded, 1u);
+  EXPECT_EQ(engine.rule_count(), 1u);
+  ASSERT_EQ(skipped.size(), 1u);
+}
+
+TEST(CuratedRuleset, LoadsCleanly) {
+  const RuleEngine engine = curated_engine();
+  EXPECT_GE(engine.rule_count(), 15u);
+}
+
+// The pairing contract: every exploit payload in the library must trip the
+// curated rule set on the ports its campaigns use.
+class CuratedCatchesExploit : public ::testing::TestWithParam<proto::ExploitKind> {};
+
+TEST_P(CuratedCatchesExploit, Fires) {
+  static const RuleEngine engine = curated_engine();
+  const proto::ExploitKind kind = GetParam();
+  net::Port port = 6379;
+  if (exploit_protocol(kind) == net::Protocol::kHttp) port = 80;
+  if (kind == proto::ExploitKind::kAdbShell) port = 5555;
+  if (kind == proto::ExploitKind::kSipRegister) port = 5060;
+  for (std::uint32_t variant : {0u, 5u, 123u}) {
+    EXPECT_TRUE(engine.matches(proto::exploit_payload(kind, variant), port))
+        << proto::exploit_name(kind) << " variant " << variant;
+  }
+}
+
+std::vector<proto::ExploitKind> all_exploit_kinds() {
+  std::vector<proto::ExploitKind> kinds;
+  for (std::size_t i = 0; i < proto::kExploitKindCount; ++i) {
+    kinds.push_back(static_cast<proto::ExploitKind>(i));
+  }
+  return kinds;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExploits, CuratedCatchesExploit,
+                         ::testing::ValuesIn(all_exploit_kinds()),
+                         [](const auto& info) {
+                           std::string name(proto::exploit_name(info.param));
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// And the inverse contract: benign probes must not fire.
+class CuratedPassesBenign : public ::testing::TestWithParam<net::Protocol> {};
+
+TEST_P(CuratedPassesBenign, Silent) {
+  static const RuleEngine engine = curated_engine();
+  const net::Port port = net::ports_assigned_to(GetParam()).empty()
+                             ? net::Port{80}
+                             : net::ports_assigned_to(GetParam()).front();
+  EXPECT_FALSE(engine.matches(proto::probe_payload(GetParam()), port))
+      << net::protocol_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Probes, CuratedPassesBenign,
+                         ::testing::Values(net::Protocol::kHttp, net::Protocol::kTls,
+                                           net::Protocol::kSsh, net::Protocol::kTelnet,
+                                           net::Protocol::kSmb, net::Protocol::kRtsp,
+                                           net::Protocol::kSip, net::Protocol::kNtp,
+                                           net::Protocol::kRdp, net::Protocol::kFox,
+                                           net::Protocol::kSql),
+                         [](const auto& info) {
+                           return std::string(net::protocol_name(info.param));
+                         });
+
+TEST(CuratedRuleset, BenignHttpVariantsPass) {
+  const RuleEngine engine = curated_engine();
+  for (std::uint32_t v = 0; v < 80; ++v) {
+    EXPECT_FALSE(engine.matches(proto::http_benign_request(v), 80)) << v;
+  }
+}
+
+TEST(CuratedRuleset, RedisPingPasses) {
+  const RuleEngine engine = curated_engine();
+  EXPECT_FALSE(engine.matches(proto::redis_ping(), 6379));
+}
+
+}  // namespace
+}  // namespace cw::ids

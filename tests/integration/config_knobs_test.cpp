@@ -1,0 +1,78 @@
+// Behavioral tests for the ExperimentConfig knobs not covered elsewhere:
+// oracle unknown fraction, scale monotonicity, duration, and year wiring.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace cw::core {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.scale = 0.05;
+  config.telescope_slash24s = 2;
+  return config;
+}
+
+TEST(ConfigKnobs, ScaleMonotonicallyIncreasesTraffic) {
+  ExperimentConfig small = tiny_config();
+  ExperimentConfig large = tiny_config();
+  large.scale = 0.2;
+  const auto small_run = Experiment(small).run();
+  const auto large_run = Experiment(large).run();
+  EXPECT_GT(large_run->store().size(), small_run->store().size());
+  EXPECT_GT(large_run->population().size(), small_run->population().size());
+}
+
+TEST(ConfigKnobs, ShorterDurationMeansFewerRecords) {
+  ExperimentConfig week = tiny_config();
+  ExperimentConfig day = tiny_config();
+  day.duration = util::kDay;
+  const auto week_run = Experiment(week).run();
+  const auto day_run = Experiment(day).run();
+  EXPECT_LT(day_run->store().size(), week_run->store().size());
+  for (const auto& record : day_run->store().records()) {
+    ASSERT_LT(record.time, util::kDay);
+  }
+}
+
+TEST(ConfigKnobs, OracleUnknownFractionExtremes) {
+  ExperimentConfig omniscient = tiny_config();
+  omniscient.oracle_unknown_fraction = 0.0;
+  const auto run = Experiment(omniscient).run();
+  const auto truth = run->population().ground_truth();
+  for (const auto& [actor, malicious] : truth) {
+    const analysis::Reputation label = run->oracle().label(actor);
+    ASSERT_NE(label, analysis::Reputation::kUnknown);
+    ASSERT_EQ(label == analysis::Reputation::kMalicious, malicious);
+  }
+
+  ExperimentConfig blind = tiny_config();
+  blind.oracle_unknown_fraction = 1.0;
+  const auto blind_run = Experiment(blind).run();
+  for (const auto& [actor, malicious] : blind_run->population().ground_truth()) {
+    ASSERT_EQ(blind_run->oracle().label(actor), analysis::Reputation::kUnknown);
+  }
+}
+
+TEST(ConfigKnobs, YearSelectsDeployment) {
+  ExperimentConfig config = tiny_config();
+  config.year = topology::ScenarioYear::k2022;
+  const auto run = Experiment(config).run();
+  EXPECT_TRUE(
+      run->deployment().with_collection(topology::CollectionMethod::kGreyNoise).empty());
+  EXPECT_FALSE(
+      run->deployment().with_collection(topology::CollectionMethod::kHoneytrap).empty());
+}
+
+TEST(ConfigKnobs, TelescopeSizeFlowsThrough) {
+  ExperimentConfig config = tiny_config();
+  config.telescope_slash24s = 3;
+  const auto run = Experiment(config).run();
+  const auto telescope_ids = run->deployment().with_type(topology::NetworkType::kTelescope);
+  ASSERT_EQ(telescope_ids.size(), 1u);
+  EXPECT_EQ(run->deployment().at(telescope_ids.front()).addresses.size(), 3u * 256u);
+}
+
+}  // namespace
+}  // namespace cw::core

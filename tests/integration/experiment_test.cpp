@@ -1,0 +1,172 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tables.h"
+
+namespace cw::core {
+namespace {
+
+// One small shared experiment run for the whole suite (runs take seconds;
+// the assertions are cheap).
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentConfig config;
+    config.scale = 0.15;
+    config.telescope_slash24s = 8;
+    result_ = Experiment(config).run().release();
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+
+  static const ExperimentResult& result() { return *result_; }
+  static ExperimentResult* result_;
+};
+
+ExperimentResult* ExperimentTest::result_ = nullptr;
+
+TEST_F(ExperimentTest, ProducesTraffic) {
+  EXPECT_GT(result().store().size(), 10000u);
+  EXPECT_GT(result().events_processed(), 0u);
+}
+
+TEST_F(ExperimentTest, AllRecordsInsideObservationWindow) {
+  for (const capture::SessionRecord& record : result().store().records()) {
+    ASSERT_GE(record.time, 0);
+    ASSERT_LT(record.time, util::kWeek);
+  }
+}
+
+TEST_F(ExperimentTest, TelescopeRecordsHaveNoPayloadOrHandshake) {
+  for (const capture::SessionRecord& record : result().store().records()) {
+    if (result().deployment().at(record.vantage).type != topology::NetworkType::kTelescope) {
+      continue;
+    }
+    ASSERT_FALSE(record.handshake_completed);
+    ASSERT_EQ(record.payload_id, capture::kNoPayload);
+    ASSERT_EQ(record.credential_id, capture::kNoCredential);
+  }
+}
+
+TEST_F(ExperimentTest, GreyNoiseRecordsStayOnOpenPorts) {
+  for (const capture::SessionRecord& record : result().store().records()) {
+    const topology::VantagePoint& vp = result().deployment().at(record.vantage);
+    if (vp.collection != topology::CollectionMethod::kGreyNoise) continue;
+    ASSERT_TRUE(vp.listens_on(record.port)) << vp.name << " port " << record.port;
+  }
+}
+
+TEST_F(ExperimentTest, CredentialsOnlyOnCowriePorts) {
+  for (const capture::SessionRecord& record : result().store().records()) {
+    if (record.credential_id == capture::kNoCredential) continue;
+    ASSERT_TRUE(capture::is_cowrie_port(record.port)) << record.port;
+    ASSERT_EQ(result().deployment().at(record.vantage).collection,
+              topology::CollectionMethod::kGreyNoise);
+  }
+}
+
+TEST_F(ExperimentTest, DestinationsMatchVantageAddresses) {
+  // Spot-check a sample: the destination address must belong to the record's
+  // vantage point at the record's neighbor index.
+  const auto& records = result().store().records();
+  for (std::size_t i = 0; i < records.size(); i += 997) {
+    const capture::SessionRecord& record = records[i];
+    const topology::VantagePoint& vp = result().deployment().at(record.vantage);
+    ASSERT_LT(record.neighbor, vp.addresses.size());
+    ASSERT_EQ(vp.addresses[record.neighbor].value(), record.dst);
+  }
+}
+
+TEST_F(ExperimentTest, SearchEnginesIndexedCloudServices) {
+  EXPECT_GT(result().censys().live_size(), 100u);
+  EXPECT_GT(result().shodan().live_size(), 100u);
+}
+
+TEST_F(ExperimentTest, TelescopeNeverEntersIndex) {
+  for (const topology::VantagePoint& vp : result().deployment().vantage_points()) {
+    if (vp.type != topology::NetworkType::kTelescope) continue;
+    for (std::size_t i = 0; i < vp.addresses.size(); i += 64) {
+      ASSERT_FALSE(result().censys().ever_indexed(vp.addresses[i], 22));
+      ASSERT_FALSE(result().censys().ever_indexed(vp.addresses[i], 80));
+    }
+  }
+}
+
+TEST_F(ExperimentTest, EveryActorInGroundTruth) {
+  const auto truth = result().population().ground_truth();
+  for (const capture::SessionRecord& record : result().store().records()) {
+    ASSERT_TRUE(truth.contains(record.actor)) << record.actor;
+  }
+}
+
+TEST_F(ExperimentTest, TableRenderersProduceOutput) {
+  EXPECT_GT(render_table1(result()).size(), 100u);
+  EXPECT_GT(render_table6(result()).size(), 20u);
+  EXPECT_GT(render_table8(result()).size(), 100u);
+  EXPECT_GT(render_sec32(result()).size(), 100u);
+  EXPECT_GT(render_figure1(result(), 22).size(), 50u);
+}
+
+TEST(ExperimentDeterminism, SameSeedSameTraffic) {
+  ExperimentConfig config;
+  config.scale = 0.05;
+  config.telescope_slash24s = 2;
+  const auto a = Experiment(config).run();
+  const auto b = Experiment(config).run();
+  ASSERT_EQ(a->store().size(), b->store().size());
+  for (std::size_t i = 0; i < a->store().size(); i += 101) {
+    const auto& ra = a->store().records()[i];
+    const auto& rb = b->store().records()[i];
+    ASSERT_EQ(ra.time, rb.time);
+    ASSERT_EQ(ra.src, rb.src);
+    ASSERT_EQ(ra.dst, rb.dst);
+    ASSERT_EQ(ra.port, rb.port);
+    ASSERT_EQ(ra.actor, rb.actor);
+  }
+}
+
+TEST(ExperimentDeterminism, DifferentSeedDifferentTraffic) {
+  ExperimentConfig config;
+  config.scale = 0.05;
+  config.telescope_slash24s = 2;
+  const auto a = Experiment(config).run();
+  config.seed ^= 0x1234;
+  const auto b = Experiment(config).run();
+  EXPECT_NE(a->store().size(), b->store().size());
+}
+
+TEST(ExperimentConfigKnobs, CrawlDisabledMeansNoEngineTraffic) {
+  ExperimentConfig config;
+  config.scale = 0.05;
+  config.telescope_slash24s = 2;
+  config.crawl_interval = 0;
+  const auto result = Experiment(config).run();
+  for (const capture::SessionRecord& record : result->store().records()) {
+    ASSERT_NE(record.actor, agents::Population::kCensysActorId);
+    ASSERT_NE(record.actor, agents::Population::kShodanActorId);
+  }
+  EXPECT_EQ(result->censys().live_size(), 0u);
+}
+
+TEST(ExperimentConfigKnobs, TelescopeSinkReceivesTelescopeTraffic) {
+  ExperimentConfig config;
+  config.scale = 0.05;
+  config.telescope_slash24s = 2;
+  std::uint64_t sunk = 0;
+  config.telescope_sink = [&sunk](const capture::ScanEvent&, const topology::Target&) {
+    ++sunk;
+    return true;
+  };
+  const auto result = Experiment(config).run();
+  EXPECT_GT(sunk, 0u);
+  for (const capture::SessionRecord& record : result->store().records()) {
+    ASSERT_NE(result->deployment().at(record.vantage).type,
+              topology::NetworkType::kTelescope);
+  }
+}
+
+}  // namespace
+}  // namespace cw::core

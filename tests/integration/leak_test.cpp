@@ -1,0 +1,133 @@
+#include "analysis/leak.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::analysis {
+namespace {
+
+class LeakTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LeakExperimentConfig config;
+    config.population_scale = 0.6;
+    result_ = new LeakExperimentResult(run_leak_experiment(config));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const LeakExperimentResult& result() { return *result_; }
+  static LeakExperimentResult* result_;
+};
+
+LeakExperimentResult* LeakTest::result_ = nullptr;
+
+TEST_F(LeakTest, ProducesAllCells) {
+  // 3 services x (3 leak conditions + control) rows.
+  EXPECT_EQ(result().cells.size(), 12u);
+  for (net::Port port : {22, 23, 80}) {
+    for (auto condition : {LeakCondition::kControl, LeakCondition::kCensysLeaked,
+                           LeakCondition::kShodanLeaked, LeakCondition::kPreviouslyLeaked}) {
+      EXPECT_NE(result().find(port, condition), nullptr)
+          << port << " " << leak_condition_name(condition);
+    }
+  }
+  EXPECT_EQ(result().find(443, LeakCondition::kControl), nullptr);
+}
+
+TEST_F(LeakTest, ControlGroupReceivesBaselineTraffic) {
+  for (int service = 0; service < 3; ++service) {
+    EXPECT_GT(result().control_hourly_mean[service], 0.0) << service;
+  }
+}
+
+TEST_F(LeakTest, LeakedServicesAttractMoreTraffic) {
+  // The paper's headline: every leaked condition sees a multi-fold traffic
+  // increase on its leaked service.
+  for (net::Port port : {22, 23, 80}) {
+    for (auto condition : {LeakCondition::kCensysLeaked, LeakCondition::kShodanLeaked}) {
+      const LeakCell* cell = result().find(port, condition);
+      ASSERT_NE(cell, nullptr);
+      EXPECT_GT(cell->fold_all, 1.5) << port << " " << leak_condition_name(condition);
+    }
+  }
+}
+
+TEST_F(LeakTest, PreviouslyLeakedStillAttractsAttackers) {
+  const LeakCell* cell = result().find(80, LeakCondition::kPreviouslyLeaked);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_GT(cell->fold_all, 1.5);
+  EXPECT_GT(cell->fold_malicious, 1.5);
+}
+
+TEST_F(LeakTest, EngineProtocolAsymmetry) {
+  // SSH attackers rely on Shodan more than Censys; HTTP attackers on Censys
+  // more than Shodan (Table 3).
+  const LeakCell* ssh_shodan = result().find(22, LeakCondition::kShodanLeaked);
+  const LeakCell* ssh_censys = result().find(22, LeakCondition::kCensysLeaked);
+  ASSERT_NE(ssh_shodan, nullptr);
+  ASSERT_NE(ssh_censys, nullptr);
+  EXPECT_GT(ssh_shodan->fold_malicious, ssh_censys->fold_malicious);
+
+  const LeakCell* http_censys = result().find(80, LeakCondition::kCensysLeaked);
+  const LeakCell* http_shodan = result().find(80, LeakCondition::kShodanLeaked);
+  ASSERT_NE(http_censys, nullptr);
+  ASSERT_NE(http_shodan, nullptr);
+  EXPECT_GT(http_censys->fold_malicious, http_shodan->fold_malicious);
+}
+
+TEST_F(LeakTest, TelnetReliesOnEnginesLess) {
+  // Telnet folds are positive but smaller than the HTTP folds.
+  const LeakCell* telnet = result().find(23, LeakCondition::kCensysLeaked);
+  const LeakCell* http = result().find(80, LeakCondition::kCensysLeaked);
+  ASSERT_NE(telnet, nullptr);
+  ASSERT_NE(http, nullptr);
+  EXPECT_GT(http->fold_malicious, telnet->fold_malicious);
+}
+
+TEST_F(LeakTest, SignificanceMarkersAccompanyLargeFolds) {
+  // A >3x fold must be flagged by at least one test. Spike-concentrated
+  // traffic can evade the rank-based MWU while still shifting the KS
+  // distribution — exactly the unmarked-fold pattern Table 3 shows — so
+  // the assertion accepts either marker.
+  for (const LeakCell& cell : result().cells) {
+    if (cell.condition == LeakCondition::kControl) continue;
+    if (cell.fold_all > 3.0) {
+      EXPECT_TRUE(cell.mwu_all || cell.ks_all)
+          << cell.port << " " << leak_condition_name(cell.condition);
+    }
+  }
+}
+
+TEST_F(LeakTest, LeakedServicesSeeMoreSpikes) {
+  const LeakCell* control = result().find(22, LeakCondition::kControl);
+  const LeakCell* leaked = result().find(22, LeakCondition::kShodanLeaked);
+  ASSERT_NE(control, nullptr);
+  ASSERT_NE(leaked, nullptr);
+  EXPECT_GE(leaked->spikes_per_ip, control->spikes_per_ip);
+}
+
+TEST_F(LeakTest, LeakedServicesSeeMoreUniquePasswords) {
+  // "attackers will attempt on average 3 times more unique SSH passwords on
+  // leaked compared to non-leaked services."
+  const LeakCell* control = result().find(22, LeakCondition::kControl);
+  const LeakCell* leaked = result().find(22, LeakCondition::kShodanLeaked);
+  ASSERT_NE(control, nullptr);
+  ASSERT_NE(leaked, nullptr);
+  EXPECT_GT(leaked->unique_passwords_per_ip, control->unique_passwords_per_ip);
+}
+
+TEST(LeakExperiment, DeterministicForSeed) {
+  LeakExperimentConfig config;
+  config.population_scale = 0.2;
+  const LeakExperimentResult a = run_leak_experiment(config);
+  const LeakExperimentResult b = run_leak_experiment(config);
+  ASSERT_EQ(a.total_records, b.total_records);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.cells[i].fold_all, b.cells[i].fold_all);
+  }
+}
+
+}  // namespace
+}  // namespace cw::analysis

@@ -1,0 +1,104 @@
+// Smoke and structure tests for the table renderers: every renderer must
+// produce well-formed output on a small run, and Table 3's markers must
+// track the leak results they render.
+#include "core/tables.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::core {
+namespace {
+
+class TablesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ExperimentConfig config;
+    config.scale = 0.1;
+    config.telescope_slash24s = 4;
+    result_ = Experiment(config).run().release();
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const ExperimentResult& r() { return *result_; }
+  static ExperimentResult* result_;
+};
+
+ExperimentResult* TablesTest::result_ = nullptr;
+
+TEST_F(TablesTest, EveryRendererProducesATable) {
+  for (const auto& [name, text] :
+       std::vector<std::pair<const char*, std::string>>{{"t1", render_table1(r())},
+                                                        {"t2", render_table2(r())},
+                                                        {"t4", render_table4(r())},
+                                                        {"t5", render_table5(r())},
+                                                        {"t6", render_table6(r())},
+                                                        {"t7", render_table7(r())},
+                                                        {"t8", render_table8(r())},
+                                                        {"t9", render_table9(r())},
+                                                        {"t10", render_table10(r())},
+                                                        {"t11", render_table11(r())},
+                                                        {"t17", render_table17(r())}}) {
+    EXPECT_GT(text.size(), 50u) << name;
+    EXPECT_NE(text.find('|'), std::string::npos) << name;
+    EXPECT_EQ(text.find("nan"), std::string::npos) << name;
+  }
+}
+
+TEST_F(TablesTest, Table1ListsEveryNetworkRow) {
+  const std::string table = render_table1(r());
+  for (const char* row : {"Hurricane Electric", "AWS", "Azure", "Google", "Linode",
+                          "Stanford/US-West", "Merit/US-East", "Orion"}) {
+    EXPECT_NE(table.find(row), std::string::npos) << row;
+  }
+}
+
+TEST_F(TablesTest, Table11And17DifferOnlyInReputationColumns) {
+  const std::string with_oracle = render_table11(r());
+  const std::string without = render_table17(r());
+  EXPECT_NE(with_oracle.find("% Malicious"), std::string::npos);
+  EXPECT_EQ(without.find("% Malicious"), std::string::npos);
+  EXPECT_NE(without.find("Breakdown"), std::string::npos);
+}
+
+TEST_F(TablesTest, Sec32MentionsPaperBaselines) {
+  const std::string text = render_sec32(r());
+  EXPECT_NE(text.find("paper: 34%"), std::string::npos);
+  EXPECT_NE(text.find("paper: 24%"), std::string::npos);
+  EXPECT_NE(text.find("paper: 75%"), std::string::npos);
+}
+
+TEST_F(TablesTest, Figure1ReportsStructureAndPeak) {
+  const std::string text = render_figure1(r(), 22);
+  EXPECT_NE(text.find("rolling avg"), std::string::npos);
+  EXPECT_NE(text.find("avoidance"), std::string::npos);
+  EXPECT_NE(text.find("peak: offset"), std::string::npos);
+}
+
+TEST(Table3Render, MarkersTrackSignificance) {
+  analysis::LeakExperimentResult leak;
+  analysis::LeakCell significant;
+  significant.port = 80;
+  significant.condition = analysis::LeakCondition::kCensysLeaked;
+  significant.fold_all = 7.7;
+  significant.fold_malicious = 4.0;
+  significant.mwu_all = true;
+  significant.mwu_malicious = false;
+  significant.ks_all = true;
+  leak.cells.push_back(significant);
+
+  analysis::LeakCell insignificant;
+  insignificant.port = 22;
+  insignificant.condition = analysis::LeakCondition::kShodanLeaked;
+  insignificant.fold_all = 1.1;
+  leak.cells.push_back(insignificant);
+
+  const std::string table = render_table3(leak);
+  EXPECT_NE(table.find("**7.7***"), std::string::npos);  // bold + KS star
+  EXPECT_NE(table.find("| 4.0"), std::string::npos);     // not bolded
+  EXPECT_NE(table.find("1.1"), std::string::npos);
+  EXPECT_EQ(table.find("**1.1**"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cw::core

@@ -1,0 +1,56 @@
+#include "core/temporal.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::core {
+namespace {
+
+std::unique_ptr<ExperimentResult> run_year(topology::ScenarioYear year) {
+  ExperimentConfig config;
+  config.year = year;
+  config.scale = 0.2;
+  config.telescope_slash24s = 8;
+  return Experiment(config).run();
+}
+
+TEST(TemporalStability, HeadlineConclusionsPersist2020To2021) {
+  const auto y2020 = run_year(topology::ScenarioYear::k2020);
+  const auto y2021 = run_year(topology::ScenarioYear::k2021);
+  const TemporalReport report = compare_years(*y2020, *y2021, "2020", "2021");
+
+  ASSERT_GE(report.metrics.size(), 7u);
+  // The paper's core temporal claim: most conclusions are stable.
+  EXPECT_GE(report.stable_count(), report.metrics.size() / 2);
+
+  // The SSH-vs-Telnet ordering specifically must hold both years.
+  bool found_ordering = false;
+  for (const TemporalMetric& metric : report.metrics) {
+    if (metric.name.find("Telnet/23 exceeds SSH/22") != std::string::npos) {
+      found_ordering = true;
+      EXPECT_TRUE(metric.stable);
+    }
+  }
+  EXPECT_TRUE(found_ordering);
+
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("2020"), std::string::npos);
+  EXPECT_NE(rendered.find("conclusions stable"), std::string::npos);
+}
+
+TEST(TemporalStability, MissingVantagesRenderAsUnmeasurable) {
+  // 2022 has no GreyNoise honeypots: geo similarity is unmeasurable there,
+  // so the APAC metric must come back one-sided rather than falsely stable.
+  const auto y2021 = run_year(topology::ScenarioYear::k2021);
+  const auto y2022 = run_year(topology::ScenarioYear::k2022);
+  const TemporalReport report = compare_years(*y2021, *y2022, "2021", "2022");
+  for (const TemporalMetric& metric : report.metrics) {
+    if (metric.name.find("APAC") != std::string::npos) {
+      EXPECT_TRUE(metric.value_a.has_value());
+      EXPECT_FALSE(metric.value_b.has_value());
+      EXPECT_FALSE(metric.stable);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cw::core

@@ -1,0 +1,91 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::net {
+namespace {
+
+TEST(IPv4Addr, OctetConstruction) {
+  const IPv4Addr addr(192, 168, 1, 255);
+  EXPECT_EQ(addr.octet(0), 192);
+  EXPECT_EQ(addr.octet(1), 168);
+  EXPECT_EQ(addr.octet(2), 1);
+  EXPECT_EQ(addr.octet(3), 255);
+  EXPECT_EQ(addr.value(), 0xc0a801ffu);
+}
+
+TEST(IPv4Addr, ToStringRoundTrip) {
+  for (std::uint32_t value : {0u, 0xffffffffu, 0x01020304u, 0x7f000001u}) {
+    const IPv4Addr addr(value);
+    const auto parsed = IPv4Addr::parse(addr.to_string());
+    ASSERT_TRUE(parsed.has_value()) << addr.to_string();
+    EXPECT_EQ(parsed->value(), value);
+  }
+}
+
+class IPv4ParseInvalid : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IPv4ParseInvalid, Rejects) {
+  EXPECT_FALSE(IPv4Addr::parse(GetParam()).has_value()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Garbage, IPv4ParseInvalid,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.999",
+                                           "a.b.c.d", "1..2.3", "1.2.3.4 ", " 1.2.3.4",
+                                           "1.2.3.-4", "0x1.2.3.4", "1.2.3.4/24", "1234"));
+
+TEST(IPv4Addr, StructurePredicates) {
+  EXPECT_TRUE(IPv4Addr(1, 2, 3, 255).has_255_octet());
+  EXPECT_TRUE(IPv4Addr(1, 255, 3, 4).has_255_octet());
+  EXPECT_TRUE(IPv4Addr(255, 2, 3, 4).has_255_octet());
+  EXPECT_FALSE(IPv4Addr(1, 2, 3, 4).has_255_octet());
+
+  EXPECT_TRUE(IPv4Addr(1, 2, 3, 255).ends_in_255());
+  EXPECT_FALSE(IPv4Addr(1, 255, 3, 4).ends_in_255());
+
+  EXPECT_TRUE(IPv4Addr(10, 20, 0, 0).is_first_of_slash16());
+  EXPECT_FALSE(IPv4Addr(10, 20, 0, 1).is_first_of_slash16());
+  EXPECT_FALSE(IPv4Addr(10, 20, 1, 0).is_first_of_slash16());
+}
+
+TEST(IPv4Addr, ArithmeticAndOrdering) {
+  const IPv4Addr base(10, 0, 0, 250);
+  EXPECT_EQ((base + 6).to_string(), "10.0.1.0");  // carries into third octet
+  EXPECT_LT(IPv4Addr(1, 0, 0, 0), IPv4Addr(2, 0, 0, 0));
+}
+
+TEST(Prefix, ContainsAndSize) {
+  const auto prefix = Prefix::parse("10.1.0.0/16");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->size(), 65536u);
+  EXPECT_TRUE(prefix->contains(IPv4Addr(10, 1, 255, 255)));
+  EXPECT_FALSE(prefix->contains(IPv4Addr(10, 2, 0, 0)));
+  EXPECT_EQ(prefix->at(256).to_string(), "10.1.1.0");
+}
+
+TEST(Prefix, NormalizesBase) {
+  const Prefix prefix(IPv4Addr(10, 1, 2, 3), 24);
+  EXPECT_EQ(prefix.base().to_string(), "10.1.2.0");
+}
+
+TEST(Prefix, Slash32) {
+  const Prefix prefix(IPv4Addr(1, 2, 3, 4), 32);
+  EXPECT_EQ(prefix.size(), 1u);
+  EXPECT_TRUE(prefix.contains(IPv4Addr(1, 2, 3, 4)));
+  EXPECT_FALSE(prefix.contains(IPv4Addr(1, 2, 3, 5)));
+}
+
+TEST(Prefix, ParseRejectsGarbage) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("banana/8").has_value());
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/abc").has_value());
+}
+
+TEST(Prefix, ToString) {
+  EXPECT_EQ(Prefix(IPv4Addr(192, 0, 2, 0), 24).to_string(), "192.0.2.0/24");
+}
+
+}  // namespace
+}  // namespace cw::net

@@ -1,0 +1,45 @@
+#include "proto/banners.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::proto {
+namespace {
+
+TEST(ServerBanner, TextProtocolsHaveBanners) {
+  for (auto protocol : {net::Protocol::kSsh, net::Protocol::kHttp, net::Protocol::kTelnet,
+                        net::Protocol::kTls, net::Protocol::kRtsp, net::Protocol::kRedis,
+                        net::Protocol::kSql, net::Protocol::kFox, net::Protocol::kSip}) {
+    EXPECT_FALSE(server_banner(protocol).empty()) << net::protocol_name(protocol);
+  }
+}
+
+TEST(ServerBanner, SilentProtocolsHaveNone) {
+  for (auto protocol : {net::Protocol::kSmb, net::Protocol::kRdp, net::Protocol::kNtp,
+                        net::Protocol::kAdb, net::Protocol::kUnknown}) {
+    EXPECT_TRUE(server_banner(protocol).empty()) << net::protocol_name(protocol);
+  }
+}
+
+TEST(ServerBanner, DeterministicPerVariant) {
+  EXPECT_EQ(server_banner(net::Protocol::kSsh, 2), server_banner(net::Protocol::kSsh, 2));
+  EXPECT_NE(server_banner(net::Protocol::kSsh, 0), server_banner(net::Protocol::kSsh, 1));
+}
+
+TEST(ServerBanner, SshBannersLookVulnerable) {
+  bool found_dated_openssh = false;
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    const std::string banner = server_banner(net::Protocol::kSsh, v);
+    EXPECT_EQ(banner.rfind("SSH-2.0-", 0), 0u) << banner;
+    if (banner.find("OpenSSH_7.4") != std::string::npos) found_dated_openssh = true;
+  }
+  EXPECT_TRUE(found_dated_openssh);
+}
+
+TEST(ServerBanner, HttpBannersCarryServerHeader) {
+  const std::string banner = server_banner(net::Protocol::kHttp, 0);
+  EXPECT_NE(banner.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(banner.find("Server: "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cw::proto

@@ -1,0 +1,75 @@
+#include "proto/credentials.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cw::proto {
+namespace {
+
+TEST(Dictionaries, AllNonEmpty) {
+  for (auto dict : {CredentialDictionary::kGenericSsh, CredentialDictionary::kGenericTelnet,
+                    CredentialDictionary::kMirai, CredentialDictionary::kHuaweiRegional}) {
+    EXPECT_FALSE(dictionary(dict).empty());
+  }
+}
+
+TEST(Dictionaries, MiraiContainsCanonicalEntries) {
+  const auto& mirai = dictionary(CredentialDictionary::kMirai);
+  EXPECT_EQ(mirai.front(), (Credential{"root", "xc3511"}));
+  bool has_vizxv = false;
+  for (const Credential& c : mirai) {
+    if (c == Credential{"root", "vizxv"}) has_vizxv = true;
+  }
+  EXPECT_TRUE(has_vizxv);
+  EXPECT_GE(mirai.size(), 50u);  // Mirai ships ~60 pairs
+}
+
+TEST(Dictionaries, HuaweiRegionalContainsPaperCredentials) {
+  // Section 5.1: AWS Australia honeypots were dominated by "mother" and
+  // "e8ehome" attempts.
+  const auto& regional = dictionary(CredentialDictionary::kHuaweiRegional);
+  bool has_mother = false;
+  bool has_e8ehome = false;
+  for (const Credential& c : regional) {
+    if (c.username == "mother") has_mother = true;
+    if (c.username == "e8ehome") has_e8ehome = true;
+  }
+  EXPECT_TRUE(has_mother);
+  EXPECT_TRUE(has_e8ehome);
+}
+
+TEST(Dictionaries, TelnetTopIsRootAdminSupport) {
+  // "The top attempted Telnet usernames for most geographic regions are
+  // root, admin, and support."
+  const auto& telnet = dictionary(CredentialDictionary::kGenericTelnet);
+  EXPECT_EQ(telnet[0].username, "root");
+  EXPECT_EQ(telnet[1].username, "admin");
+  EXPECT_EQ(telnet[2].username, "support");
+}
+
+TEST(SampleCredential, HeavyHead) {
+  util::Rng rng(5);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 10000; ++i) {
+    const Credential& c = sample_credential(CredentialDictionary::kGenericSsh, rng);
+    ++counts[c.username + ":" + c.password];
+  }
+  const auto& dict = dictionary(CredentialDictionary::kGenericSsh);
+  const std::string top = dict[0].username + ":" + dict[0].password;
+  const std::string rank5 = dict[5].username + ":" + dict[5].password;
+  EXPECT_GT(counts[top], counts[rank5]);
+  EXPECT_GT(counts[top], 10000 / 8);  // zipf head dominance
+}
+
+TEST(SampleCredential, Deterministic) {
+  util::Rng a(9);
+  util::Rng b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sample_credential(CredentialDictionary::kMirai, a),
+              sample_credential(CredentialDictionary::kMirai, b));
+  }
+}
+
+}  // namespace
+}  // namespace cw::proto

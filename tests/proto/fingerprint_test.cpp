@@ -1,0 +1,112 @@
+#include "proto/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "proto/payloads.h"
+
+namespace cw::proto {
+namespace {
+
+// Property: every protocol's canonical probe payload fingerprints back to
+// that protocol (the LZR closure property Section 6 depends on).
+class ProbeRoundTrip : public ::testing::TestWithParam<net::Protocol> {};
+
+TEST_P(ProbeRoundTrip, IdentifiesOwnProbe) {
+  const net::Protocol protocol = GetParam();
+  const std::string payload = probe_payload(protocol);
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(Fingerprinter::identify(payload), protocol)
+      << "payload: " << payload.substr(0, 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProbeRoundTrip,
+    ::testing::Values(net::Protocol::kHttp, net::Protocol::kTls, net::Protocol::kSsh,
+                      net::Protocol::kTelnet, net::Protocol::kSmb, net::Protocol::kRtsp,
+                      net::Protocol::kSip, net::Protocol::kNtp, net::Protocol::kRdp,
+                      net::Protocol::kAdb, net::Protocol::kFox, net::Protocol::kRedis,
+                      net::Protocol::kSql),
+    [](const ::testing::TestParamInfo<net::Protocol>& info) {
+      return std::string(net::protocol_name(info.param));
+    });
+
+TEST(Fingerprinter, EmptyPayloadUnknown) {
+  EXPECT_EQ(Fingerprinter::identify(""), net::Protocol::kUnknown);
+}
+
+TEST(Fingerprinter, RandomBytesUnknown) {
+  EXPECT_EQ(Fingerprinter::identify("hello world"), net::Protocol::kUnknown);
+  EXPECT_EQ(Fingerprinter::identify(std::string("\x99\x88\x77", 3)), net::Protocol::kUnknown);
+}
+
+TEST(Fingerprinter, HttpMethods) {
+  for (const char* method : {"GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS"}) {
+    const std::string payload = std::string(method) + " / HTTP/1.1\r\n\r\n";
+    EXPECT_EQ(Fingerprinter::identify(payload), net::Protocol::kHttp) << method;
+  }
+}
+
+TEST(Fingerprinter, RtspNotMistakenForHttp) {
+  EXPECT_EQ(Fingerprinter::identify("OPTIONS * RTSP/1.0\r\nCSeq: 1\r\n\r\n"),
+            net::Protocol::kRtsp);
+  EXPECT_EQ(Fingerprinter::identify("DESCRIBE rtsp://x RTSP/1.0\r\n\r\n"), net::Protocol::kRtsp);
+}
+
+TEST(Fingerprinter, SipNotMistakenForHttp) {
+  EXPECT_EQ(Fingerprinter::identify(sip_options()), net::Protocol::kSip);
+}
+
+TEST(Fingerprinter, TlsRequiresClientHello) {
+  // Handshake record but not a ClientHello (type 0x02).
+  std::string not_hello = tls_client_hello();
+  not_hello[5] = '\x02';
+  EXPECT_NE(Fingerprinter::identify(not_hello), net::Protocol::kTls);
+}
+
+TEST(Fingerprinter, SshBannerVariants) {
+  EXPECT_EQ(Fingerprinter::identify("SSH-2.0-Go\r\n"), net::Protocol::kSsh);
+  EXPECT_EQ(Fingerprinter::identify("SSH-1.99-old"), net::Protocol::kSsh);
+  EXPECT_EQ(Fingerprinter::identify("SSH"), net::Protocol::kUnknown);
+}
+
+TEST(Fingerprinter, TelnetRequiresIacVerb) {
+  EXPECT_EQ(Fingerprinter::identify(telnet_negotiation()), net::Protocol::kTelnet);
+  // A lone 0xff byte is not enough.
+  EXPECT_EQ(Fingerprinter::identify(std::string("\xff", 1)), net::Protocol::kUnknown);
+  // 0xff followed by a non-verb byte is not Telnet.
+  EXPECT_EQ(Fingerprinter::identify(std::string("\xff\x01", 2)), net::Protocol::kUnknown);
+}
+
+TEST(Fingerprinter, SmbWithAndWithoutNetbiosFraming) {
+  EXPECT_EQ(Fingerprinter::identify(smb_negotiate()), net::Protocol::kSmb);
+  const std::string bare = std::string("\xffSMB", 4) + std::string(30, '\x00');
+  EXPECT_EQ(Fingerprinter::identify(bare), net::Protocol::kSmb);
+  const std::string smb2 = std::string("\xfeSMB", 4) + std::string(30, '\x00');
+  EXPECT_EQ(Fingerprinter::identify(smb2), net::Protocol::kSmb);
+}
+
+TEST(Fingerprinter, NtpRequiresExactLength) {
+  std::string ntp = ntp_client();
+  EXPECT_EQ(Fingerprinter::identify(ntp), net::Protocol::kNtp);
+  ntp += '\x00';
+  EXPECT_EQ(Fingerprinter::identify(ntp), net::Protocol::kUnknown);
+}
+
+TEST(Fingerprinter, RedisInlineAndResp) {
+  EXPECT_EQ(Fingerprinter::identify("PING\r\n"), net::Protocol::kRedis);
+  EXPECT_EQ(Fingerprinter::identify("*1\r\n$4\r\nPING\r\n"), net::Protocol::kRedis);
+  EXPECT_EQ(Fingerprinter::identify("PONG\r\n"), net::Protocol::kUnknown);
+}
+
+TEST(Fingerprinter, IsExpectedMatchesAssignment) {
+  EXPECT_TRUE(Fingerprinter::is_expected(probe_payload(net::Protocol::kHttp), 80));
+  EXPECT_TRUE(Fingerprinter::is_expected(probe_payload(net::Protocol::kHttp), 8080));
+  EXPECT_FALSE(Fingerprinter::is_expected(tls_client_hello(), 80));
+  EXPECT_TRUE(Fingerprinter::is_expected(tls_client_hello(), 443));
+  EXPECT_FALSE(Fingerprinter::is_expected(probe_payload(net::Protocol::kHttp), 22));
+  // Unassigned port: nothing is "expected" there.
+  EXPECT_FALSE(Fingerprinter::is_expected(probe_payload(net::Protocol::kHttp), 17128));
+}
+
+}  // namespace
+}  // namespace cw::proto

@@ -1,0 +1,115 @@
+#include "proto/http.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::proto {
+namespace {
+
+TEST(HttpRequest, SerializeBasicGet) {
+  HttpRequest req;
+  req.method = "GET";
+  req.uri = "/index.html";
+  req.headers = {{"Host", "example.com"}};
+  EXPECT_EQ(req.serialize(), "GET /index.html HTTP/1.1\r\nHost: example.com\r\n\r\n");
+}
+
+TEST(HttpRequest, SerializeAppendsContentLength) {
+  HttpRequest req;
+  req.method = "POST";
+  req.uri = "/api";
+  req.body = "hello";
+  const std::string wire = req.serialize();
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 5), "hello");
+}
+
+TEST(HttpRequest, SerializeRespectsExplicitContentLength) {
+  HttpRequest req;
+  req.method = "POST";
+  req.uri = "/";
+  req.headers = {{"Content-Length", "99"}};
+  req.body = "x";
+  const std::string wire = req.serialize();
+  EXPECT_NE(wire.find("Content-Length: 99"), std::string::npos);
+  EXPECT_EQ(wire.find("Content-Length: 1\r\n"), std::string::npos);
+}
+
+TEST(HttpRequest, HeaderLookupCaseInsensitive) {
+  HttpRequest req;
+  req.headers = {{"User-Agent", "zgrab"}};
+  ASSERT_TRUE(req.header("user-agent").has_value());
+  EXPECT_EQ(*req.header("user-agent"), "zgrab");
+  EXPECT_FALSE(req.header("Accept").has_value());
+}
+
+TEST(ParseHttp, RoundTrip) {
+  HttpRequest req;
+  req.method = "POST";
+  req.uri = "/login";
+  req.headers = {{"Host", "h"}, {"Content-Type", "text/plain"}};
+  req.body = "user=admin";
+  const auto parsed = parse_http(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "POST");
+  EXPECT_EQ(parsed->uri, "/login");
+  EXPECT_EQ(parsed->body, "user=admin");
+  ASSERT_TRUE(parsed->header("Content-Type").has_value());
+}
+
+TEST(ParseHttp, RejectsNonHttp) {
+  EXPECT_FALSE(parse_http("SSH-2.0-OpenSSH\r\n").has_value());
+  EXPECT_FALSE(parse_http("").has_value());
+  EXPECT_FALSE(parse_http("GET /").has_value());       // no CRLF
+  EXPECT_FALSE(parse_http("GET /\r\n").has_value());   // no version
+}
+
+TEST(ParseHttp, ToleratesSpacesInUri) {
+  const auto parsed = parse_http("GET /a b c HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->uri, "/a b c");
+}
+
+TEST(ParseHttp, ToleratesJunkHeaderLines) {
+  const auto parsed = parse_http("GET / HTTP/1.1\r\ngarbage-no-colon\r\nHost: h\r\n\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->header("Host").has_value());
+}
+
+TEST(NormalizeHttp, StripsEphemeralHeaders) {
+  const std::string payload =
+      "GET / HTTP/1.1\r\nHost: victim-7\r\nDate: Mon, 05 Jul 2021\r\n"
+      "Content-Length: 10\r\nUser-Agent: tool\r\n\r\npayloadbody";
+  const std::string normalized = normalize_http_payload(payload);
+  EXPECT_EQ(normalized.find("Host:"), std::string::npos);
+  EXPECT_EQ(normalized.find("Date:"), std::string::npos);
+  EXPECT_EQ(normalized.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(normalized.find("User-Agent: tool"), std::string::npos);
+  EXPECT_NE(normalized.find("payloadbody"), std::string::npos);
+}
+
+TEST(NormalizeHttp, IdenticalCampaignPayloadsCollapse) {
+  // Two requests differing only in Host/Content-Length normalize equal —
+  // the property Section 3.3's payload comparison relies on.
+  const std::string a =
+      "POST /api HTTP/1.1\r\nHost: 3.1.2.3\r\nContent-Length: 7\r\n\r\nexploit";
+  const std::string b =
+      "POST /api HTTP/1.1\r\nHost: 45.33.9.9\r\nContent-Length: 7\r\n\r\nexploit";
+  EXPECT_EQ(normalize_http_payload(a), normalize_http_payload(b));
+}
+
+TEST(NormalizeHttp, LeavesNonHttpUntouched) {
+  const std::string ssh = "SSH-2.0-OpenSSH_7.4\r\n";
+  EXPECT_EQ(normalize_http_payload(ssh), ssh);
+  const std::string binary("\x16\x03\x01\x00\x05hello", 10);
+  EXPECT_EQ(normalize_http_payload(binary), binary);
+}
+
+TEST(NormalizeHttp, CaseInsensitiveHeaderMatch) {
+  const std::string payload = "GET / HTTP/1.1\r\nhOsT: x\r\nDATE: y\r\n\r\n";
+  const std::string normalized = normalize_http_payload(payload);
+  EXPECT_EQ(normalized.find("hOsT"), std::string::npos);
+  EXPECT_EQ(normalized.find("DATE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cw::proto

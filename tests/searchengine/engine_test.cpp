@@ -1,0 +1,166 @@
+#include "searchengine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cw::search {
+namespace {
+
+topology::Deployment deployment_with_services() {
+  topology::Deployment deployment;
+  {
+    topology::VantagePoint vp;
+    vp.name = "cloud";
+    vp.provider = topology::Provider::kAws;
+    vp.type = topology::NetworkType::kCloud;
+    vp.collection = topology::CollectionMethod::kGreyNoise;
+    vp.region = net::make_region("SG");
+    vp.addresses = {net::IPv4Addr(3, 0, 0, 1), net::IPv4Addr(3, 0, 0, 2)};
+    vp.open_ports = {22, 80};
+    deployment.add(std::move(vp));
+  }
+  {
+    topology::VantagePoint vp;
+    vp.name = "telescope";
+    vp.provider = topology::Provider::kOrion;
+    vp.type = topology::NetworkType::kTelescope;
+    vp.collection = topology::CollectionMethod::kTelescope;
+    vp.region = net::make_region("US", "MI");
+    vp.addresses = {net::IPv4Addr(71, 96, 0, 1)};
+    deployment.add(std::move(vp));
+  }
+  return deployment;
+}
+
+struct Fixture {
+  topology::Deployment deployment = deployment_with_services();
+  topology::TargetUniverse universe{deployment};
+  capture::Collector collector{universe};
+  ServiceSearchEngine engine{"Censys", net::kAsnCensys, 1};
+  util::Rng rng{7};
+
+  Fixture() { engine.set_crawl_ports({22, 80}); }
+  void crawl(util::SimTime t) { engine.crawl(t, universe, collector, rng); }
+};
+
+TEST(SearchEngine, CrawlIndexesListeningServices) {
+  Fixture f;
+  f.crawl(0);
+  EXPECT_TRUE(f.engine.currently_indexed(net::IPv4Addr(3, 0, 0, 1), 22));
+  EXPECT_TRUE(f.engine.currently_indexed(net::IPv4Addr(3, 0, 0, 2), 80));
+  EXPECT_EQ(f.engine.live_size(), 4u);  // 2 addresses x 2 ports
+}
+
+TEST(SearchEngine, TelescopeNeverIndexed) {
+  Fixture f;
+  f.crawl(0);
+  EXPECT_FALSE(f.engine.currently_indexed(net::IPv4Addr(71, 96, 0, 1), 22));
+  EXPECT_FALSE(f.engine.ever_indexed(net::IPv4Addr(71, 96, 0, 1), 80));
+}
+
+TEST(SearchEngine, CrawlProbesAreCapturedAsBenignTraffic) {
+  Fixture f;
+  f.crawl(0);
+  ASSERT_GT(f.collector.store().size(), 0u);
+  for (const capture::SessionRecord& record : f.collector.store().records()) {
+    EXPECT_EQ(record.src_as, net::kAsnCensys);
+    EXPECT_EQ(record.actor, 1u);
+    EXPECT_FALSE(record.malicious_truth);
+  }
+}
+
+TEST(SearchEngine, FullBlocklistPreventsIndexing) {
+  Fixture f;
+  f.engine.blocklist(net::IPv4Addr(3, 0, 0, 1));
+  f.crawl(0);
+  EXPECT_FALSE(f.engine.ever_indexed(net::IPv4Addr(3, 0, 0, 1), 22));
+  EXPECT_FALSE(f.engine.ever_indexed(net::IPv4Addr(3, 0, 0, 1), 80));
+  EXPECT_TRUE(f.engine.currently_indexed(net::IPv4Addr(3, 0, 0, 2), 22));
+}
+
+TEST(SearchEngine, BlocklistExceptLeaksExactlyOnePort) {
+  Fixture f;
+  f.engine.blocklist_except(net::IPv4Addr(3, 0, 0, 1), 22);
+  f.crawl(0);
+  EXPECT_TRUE(f.engine.currently_indexed(net::IPv4Addr(3, 0, 0, 1), 22));
+  EXPECT_FALSE(f.engine.ever_indexed(net::IPv4Addr(3, 0, 0, 1), 80));
+}
+
+TEST(SearchEngine, IsBlockedSemantics) {
+  Fixture f;
+  f.engine.blocklist(net::IPv4Addr(1, 1, 1, 1));
+  f.engine.blocklist_except(net::IPv4Addr(2, 2, 2, 2), 80);
+  EXPECT_TRUE(f.engine.is_blocked(net::IPv4Addr(1, 1, 1, 1), 22));
+  EXPECT_TRUE(f.engine.is_blocked(net::IPv4Addr(1, 1, 1, 1), 80));
+  EXPECT_TRUE(f.engine.is_blocked(net::IPv4Addr(2, 2, 2, 2), 22));
+  EXPECT_FALSE(f.engine.is_blocked(net::IPv4Addr(2, 2, 2, 2), 80));
+  EXPECT_FALSE(f.engine.is_blocked(net::IPv4Addr(3, 3, 3, 3), 80));
+}
+
+TEST(SearchEngine, QueryPortReturnsLiveServices) {
+  Fixture f;
+  f.crawl(0);
+  const auto hits = f.engine.query_port(22);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].to_string(), "3.0.0.1");
+  EXPECT_EQ(hits[1].to_string(), "3.0.0.2");
+  EXPECT_TRUE(f.engine.query_port(443).empty());
+}
+
+TEST(SearchEngine, SeededHistoryIsNotLiveButQueryableViaHistory) {
+  Fixture f;
+  f.engine.seed_history(net::IPv4Addr(9, 9, 9, 9), 80, net::Protocol::kHttp, -1000);
+  EXPECT_FALSE(f.engine.currently_indexed(net::IPv4Addr(9, 9, 9, 9), 80));
+  EXPECT_TRUE(f.engine.ever_indexed(net::IPv4Addr(9, 9, 9, 9), 80));
+  EXPECT_TRUE(f.engine.query_port(80).empty());
+  const auto history = f.engine.query_port_history(80);
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].to_string(), "9.9.9.9");
+}
+
+TEST(SearchEngine, ServiceDroppingOutOfLiveIndexKeepsHistory) {
+  Fixture f;
+  f.crawl(0);
+  ASSERT_TRUE(f.engine.currently_indexed(net::IPv4Addr(3, 0, 0, 1), 22));
+  // The service disappears (blocked from now on); the next crawl delists it.
+  f.engine.blocklist(net::IPv4Addr(3, 0, 0, 1));
+  f.crawl(1000);
+  EXPECT_FALSE(f.engine.currently_indexed(net::IPv4Addr(3, 0, 0, 1), 22));
+  EXPECT_TRUE(f.engine.ever_indexed(net::IPv4Addr(3, 0, 0, 1), 22));
+}
+
+TEST(SearchEngine, BannersAreIndexedAndSearchable) {
+  Fixture f;
+  f.crawl(0);
+  const std::string banner = f.engine.banner_of(net::IPv4Addr(3, 0, 0, 1), 22);
+  ASSERT_FALSE(banner.empty());
+  EXPECT_EQ(banner.rfind("SSH-2.0-", 0), 0u);
+  // Banner search finds the service by its software string.
+  const std::string needle = banner.substr(8, 7);  // e.g. "OpenSSH" or "dropbea"
+  const auto hits = f.engine.query_banner(needle);
+  bool found = false;
+  for (const auto addr : hits) {
+    if (addr == net::IPv4Addr(3, 0, 0, 1)) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(f.engine.query_banner("definitely-not-a-banner").empty());
+}
+
+TEST(SearchEngine, BannerOfUnknownServiceIsEmpty) {
+  Fixture f;
+  EXPECT_TRUE(f.engine.banner_of(net::IPv4Addr(9, 9, 9, 9), 22).empty());
+}
+
+TEST(SearchEngine, SourcePoolIsSmallAndStable) {
+  Fixture f;
+  f.crawl(0);
+  std::set<std::uint32_t> sources;
+  for (const capture::SessionRecord& record : f.collector.store().records()) {
+    sources.insert(record.src);
+  }
+  EXPECT_LE(sources.size(), 16u);
+}
+
+}  // namespace
+}  // namespace cw::search

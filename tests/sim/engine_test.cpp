@@ -1,0 +1,113 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cw::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&](Engine&) { order.push_back(3); });
+  engine.schedule_at(10, [&](Engine&) { order.push_back(1); });
+  engine.schedule_at(20, [&](Engine&) { order.push_back(2); });
+  engine.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 100);
+}
+
+TEST(Engine, SameTimestampRunsInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5, [&order, i](Engine&) { order.push_back(i); });
+  }
+  engine.run_until(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, RunUntilBoundaryIsInclusive) {
+  Engine engine;
+  int ran = 0;
+  engine.schedule_at(50, [&](Engine&) { ++ran; });
+  engine.schedule_at(51, [&](Engine&) { ++ran; });
+  EXPECT_EQ(engine.run_until(50), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(Engine, PastEventsRunAtCurrentTime) {
+  Engine engine;
+  engine.run_until(100);
+  util::SimTime observed = -1;
+  engine.schedule_at(10, [&](Engine& e) { observed = e.now(); });
+  engine.run_until(200);
+  EXPECT_EQ(observed, 100);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  engine.run_until(40);
+  util::SimTime observed = -1;
+  engine.schedule_after(10, [&](Engine& e) { observed = e.now(); });
+  engine.run_until(100);
+  EXPECT_EQ(observed, 50);
+}
+
+TEST(Engine, NegativeDelayClamped) {
+  Engine engine;
+  engine.run_until(40);
+  util::SimTime observed = -1;
+  engine.schedule_after(-100, [&](Engine& e) { observed = e.now(); });
+  engine.run_until(41);
+  EXPECT_EQ(observed, 40);
+}
+
+TEST(Engine, ReentrantSchedulingFromCallback) {
+  Engine engine;
+  std::vector<util::SimTime> times;
+  engine.schedule_at(10, [&](Engine& e) {
+    times.push_back(e.now());
+    e.schedule_after(5, [&](Engine& e2) { times.push_back(e2.now()); });
+  });
+  engine.run_until(100);
+  EXPECT_EQ(times, (std::vector<util::SimTime>{10, 15}));
+}
+
+TEST(Engine, ChainedSelfRescheduling) {
+  // A periodic process that reschedules itself until the horizon.
+  Engine engine;
+  int ticks = 0;
+  std::function<void(Engine&)> tick = [&](Engine& e) {
+    ++ticks;
+    if (e.now() < 90) e.schedule_after(10, tick);
+  };
+  engine.schedule_at(0, tick);
+  engine.run_until(100);
+  EXPECT_EQ(ticks, 10);  // t = 0, 10, ..., 90
+}
+
+TEST(Engine, RunAllDrainsQueue) {
+  Engine engine;
+  int ran = 0;
+  engine.schedule_at(1000000, [&](Engine&) { ++ran; });
+  engine.schedule_at(5, [&](Engine&) { ++ran; });
+  EXPECT_EQ(engine.run_all(), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.now(), 1000000);
+}
+
+TEST(Engine, EventsProcessedAccumulates) {
+  Engine engine;
+  for (int i = 0; i < 5; ++i) engine.schedule_at(i, [](Engine&) {});
+  engine.run_until(2);
+  EXPECT_EQ(engine.events_processed(), 3u);
+  engine.run_until(10);
+  EXPECT_EQ(engine.events_processed(), 5u);
+}
+
+}  // namespace
+}  // namespace cw::sim

@@ -1,0 +1,148 @@
+#include "stats/chi_squared.h"
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::stats {
+namespace {
+
+TEST(ClassifyEffect, DfOneThresholds) {
+  EXPECT_EQ(classify_effect(0.05, 1), EffectMagnitude::kNone);
+  EXPECT_EQ(classify_effect(0.15, 1), EffectMagnitude::kSmall);
+  EXPECT_EQ(classify_effect(0.35, 1), EffectMagnitude::kMedium);
+  EXPECT_EQ(classify_effect(0.60, 1), EffectMagnitude::kLarge);
+}
+
+TEST(ClassifyEffect, IdenticalPhiDifferentMagnitudeAcrossDf) {
+  // The paper's Section 3.3 point: phi = 0.3 is medium at df* = 1 but
+  // large at df* = 4 (thresholds scale with 1/sqrt(df*)).
+  EXPECT_EQ(classify_effect(0.30, 1), EffectMagnitude::kMedium);
+  EXPECT_EQ(classify_effect(0.30, 4), EffectMagnitude::kLarge);
+  EXPECT_EQ(classify_effect(0.08, 1), EffectMagnitude::kNone);
+  EXPECT_EQ(classify_effect(0.08, 4), EffectMagnitude::kSmall);
+}
+
+TEST(ClassifyEffect, DegenerateInputs) {
+  EXPECT_EQ(classify_effect(0.5, 0), EffectMagnitude::kNone);
+  EXPECT_EQ(classify_effect(0.0, 3), EffectMagnitude::kNone);
+  EXPECT_EQ(classify_effect(-0.1, 3), EffectMagnitude::kNone);
+}
+
+TEST(MagnitudeName, AllValues) {
+  EXPECT_EQ(magnitude_name(EffectMagnitude::kNone), "none");
+  EXPECT_EQ(magnitude_name(EffectMagnitude::kSmall), "small");
+  EXPECT_EQ(magnitude_name(EffectMagnitude::kMedium), "medium");
+  EXPECT_EQ(magnitude_name(EffectMagnitude::kLarge), "large");
+}
+
+TEST(CompareTopK, IdenticalDistributionsNotSignificant) {
+  FrequencyTable a;
+  FrequencyTable b;
+  for (int i = 0; i < 100; ++i) {
+    a.add("x", 3);
+    a.add("y", 1);
+    b.add("x", 3);
+    b.add("y", 1);
+  }
+  const SignificanceTest test = compare_top_k({&a, &b}, 3, 0.05, 1);
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_FALSE(test.significant);
+  EXPECT_EQ(test.magnitude, EffectMagnitude::kNone);
+}
+
+TEST(CompareTopK, DisjointTopValuesSignificant) {
+  FrequencyTable a;
+  a.add("alpha", 500);
+  a.add("shared", 100);
+  FrequencyTable b;
+  b.add("beta", 500);
+  b.add("shared", 100);
+  const SignificanceTest test = compare_top_k({&a, &b}, 3, 0.05, 1);
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_TRUE(test.significant);
+  EXPECT_EQ(test.magnitude, EffectMagnitude::kLarge);
+}
+
+TEST(CompareTopK, BonferroniSuppressesBorderlineResults) {
+  // A moderate difference: significant alone, not after dividing alpha by a
+  // large family size.
+  FrequencyTable a;
+  a.add("x", 60);
+  a.add("y", 40);
+  FrequencyTable b;
+  b.add("x", 45);
+  b.add("y", 55);
+  const SignificanceTest alone = compare_top_k({&a, &b}, 3, 0.05, 1);
+  const SignificanceTest corrected = compare_top_k({&a, &b}, 3, 0.05, 1000);
+  ASSERT_TRUE(alone.chi.valid);
+  EXPECT_TRUE(alone.significant);
+  EXPECT_FALSE(corrected.significant);
+}
+
+TEST(CompareTopK, TopKLimitsCategories) {
+  // Values outside both top-3 sets must not enter the comparison.
+  FrequencyTable a;
+  FrequencyTable b;
+  for (int i = 0; i < 3; ++i) {
+    a.add("top" + std::to_string(i), 100);
+    b.add("top" + std::to_string(i), 100);
+  }
+  // Massive difference hidden in the tail (rank 4+).
+  a.add("tail-a", 1);
+  b.add("tail-b", 1);
+  const SignificanceTest test = compare_top_k({&a, &b}, 3, 0.05, 1);
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_FALSE(test.significant);
+}
+
+TEST(CompareTopK, EmptyTablesInvalid) {
+  FrequencyTable a;
+  FrequencyTable b;
+  const SignificanceTest test = compare_top_k({&a, &b}, 3, 0.05, 1);
+  EXPECT_FALSE(test.chi.valid);
+  EXPECT_FALSE(test.significant);
+}
+
+TEST(CompareBinary, DetectsDifferentRates) {
+  const SignificanceTest test =
+      compare_binary({{900, 100}, {500, 500}}, 0.05, 1);
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_TRUE(test.significant);
+}
+
+TEST(CompareBinary, SameRatesNotSignificant) {
+  const SignificanceTest test = compare_binary({{90, 10}, {900, 100}}, 0.05, 1);
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_FALSE(test.significant);
+}
+
+TEST(CompareBinary, AllZeroColumnInvalid) {
+  const SignificanceTest test = compare_binary({{10, 0}, {20, 0}}, 0.05, 1);
+  EXPECT_FALSE(test.chi.valid);
+}
+
+// Property sweep: under the null hypothesis (both tables drawn from the
+// same distribution), Bonferroni-corrected comparisons almost never fire.
+class NullCalibration : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NullCalibration, FalsePositivesAreRare) {
+  util::Rng rng(GetParam());
+  int significant = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    FrequencyTable a;
+    FrequencyTable b;
+    for (int i = 0; i < 400; ++i) {
+      a.add("v" + std::to_string(rng.zipf(6, 1.0)));
+      b.add("v" + std::to_string(rng.zipf(6, 1.0)));
+    }
+    if (compare_top_k({&a, &b}, 3, 0.05, 50).significant) ++significant;
+  }
+  EXPECT_LE(significant, 1);  // alpha/family keeps family-wise errors near zero
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NullCalibration, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace cw::stats

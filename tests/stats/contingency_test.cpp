@@ -1,0 +1,138 @@
+#include "stats/contingency.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cw::stats {
+namespace {
+
+TEST(ContingencyTable, Accessors) {
+  ContingencyTable table(2, 3);
+  table.set(0, 0, 5);
+  table.add(0, 0, 2);
+  table.set(1, 2, 4);
+  EXPECT_DOUBLE_EQ(table.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(table.row_total(0), 7.0);
+  EXPECT_DOUBLE_EQ(table.col_total(2), 4.0);
+  EXPECT_DOUBLE_EQ(table.grand_total(), 11.0);
+  EXPECT_THROW(static_cast<void>(table.at(2, 0)), std::out_of_range);
+  EXPECT_THROW(table.set(0, 3, 1.0), std::out_of_range);
+}
+
+TEST(ContingencyTable, FromFrequencyTables) {
+  FrequencyTable a;
+  a.add("x", 3);
+  a.add("y", 1);
+  FrequencyTable b;
+  b.add("y", 2);
+  const ContingencyTable table =
+      ContingencyTable::from_frequency_tables({&a, &b}, {"x", "y", "z"});
+  EXPECT_DOUBLE_EQ(table.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(table.at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(table.col_total(2), 0.0);
+}
+
+TEST(ContingencyTable, DropEmptyColumnsAndRows) {
+  ContingencyTable table(3, 3);
+  table.set(0, 0, 1);
+  table.set(2, 2, 1);
+  EXPECT_EQ(table.drop_empty_columns(), 2u);
+  EXPECT_EQ(table.drop_empty_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(table.at(1, 1), 1.0);
+}
+
+TEST(ContingencyTable, ExpectedFrequencyDiagnostics) {
+  ContingencyTable table(2, 2);
+  table.set(0, 0, 100);
+  table.set(0, 1, 1);
+  table.set(1, 0, 100);
+  table.set(1, 1, 1);
+  EXPECT_EQ(table.cells_with_expected_below(5.0), 2u);
+  EXPECT_EQ(table.cells_with_expected_below(0.5), 0u);
+}
+
+TEST(PearsonChiSquared, TextbookTwoByTwo) {
+  // Classic example: observed [[10, 20], [30, 40]].
+  ContingencyTable table(2, 2);
+  table.set(0, 0, 10);
+  table.set(0, 1, 20);
+  table.set(1, 0, 30);
+  table.set(1, 1, 40);
+  const ChiSquared result = pearson_chi_squared(table);
+  ASSERT_TRUE(result.valid);
+  // chi2 = 4/12 + 4/18 + 4/28 + 4/42 = 0.79365.
+  EXPECT_NEAR(result.statistic, 0.79365, 1e-4);
+  EXPECT_DOUBLE_EQ(result.df, 1.0);
+  EXPECT_NEAR(result.p_value, 0.3730, 1e-3);
+  EXPECT_NEAR(result.cramers_v, std::sqrt(0.79365 / 100.0), 1e-4);
+  EXPECT_EQ(result.n, 100u);
+}
+
+TEST(PearsonChiSquared, IndependentRowsYieldZero) {
+  // Rows proportional => statistic 0, p 1.
+  ContingencyTable table(2, 3);
+  table.set(0, 0, 10);
+  table.set(0, 1, 20);
+  table.set(0, 2, 30);
+  table.set(1, 0, 20);
+  table.set(1, 1, 40);
+  table.set(1, 2, 60);
+  const ChiSquared result = pearson_chi_squared(table);
+  ASSERT_TRUE(result.valid);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-9);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-9);
+}
+
+TEST(PearsonChiSquared, PerfectAssociationMaxCramersV) {
+  ContingencyTable table(2, 2);
+  table.set(0, 0, 50);
+  table.set(1, 1, 50);
+  const ChiSquared result = pearson_chi_squared(table);
+  ASSERT_TRUE(result.valid);
+  EXPECT_NEAR(result.cramers_v, 1.0, 1e-9);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(PearsonChiSquared, DegenerateTablesInvalid) {
+  {
+    ContingencyTable table(1, 3);  // single row
+    table.set(0, 0, 5);
+    table.set(0, 1, 5);
+    EXPECT_FALSE(pearson_chi_squared(table).valid);
+  }
+  {
+    ContingencyTable table(3, 3);  // empty
+    EXPECT_FALSE(pearson_chi_squared(table).valid);
+  }
+  {
+    // After dropping empty columns only one column remains.
+    ContingencyTable table(2, 2);
+    table.set(0, 0, 5);
+    table.set(1, 0, 7);
+    EXPECT_FALSE(pearson_chi_squared(table).valid);
+  }
+}
+
+TEST(PearsonChiSquared, ScaleInvarianceOfCramersV) {
+  // Doubling all counts doubles chi2 but keeps Cramér's V fixed.
+  ContingencyTable small(2, 2);
+  small.set(0, 0, 10);
+  small.set(0, 1, 30);
+  small.set(1, 0, 25);
+  small.set(1, 1, 15);
+  ContingencyTable big(2, 2);
+  big.set(0, 0, 20);
+  big.set(0, 1, 60);
+  big.set(1, 0, 50);
+  big.set(1, 1, 30);
+  const ChiSquared a = pearson_chi_squared(small);
+  const ChiSquared b = pearson_chi_squared(big);
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_NEAR(b.statistic, 2.0 * a.statistic, 1e-9);
+  EXPECT_NEAR(a.cramers_v, b.cramers_v, 1e-9);
+}
+
+}  // namespace
+}  // namespace cw::stats

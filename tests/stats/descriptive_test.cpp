@@ -1,0 +1,90 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::stats {
+namespace {
+
+TEST(Mean, Basic) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({-2, 2}), 0.0);
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(median({5}), 5.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  const std::vector<double> values = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.125), 5.0);
+}
+
+TEST(Quantile, ClampsOutOfRange) {
+  const std::vector<double> values = {1, 2};
+  EXPECT_DOUBLE_EQ(quantile(values, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(FoldIncrease, Basic) {
+  EXPECT_DOUBLE_EQ(fold_increase({6, 6}, {2, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(fold_increase({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(fold_increase({5}, {0}, 100.0), 100.0);  // capped
+}
+
+TEST(RollingAverage, TrailingWindow) {
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  const auto rolled = rolling_average(values, 2);
+  ASSERT_EQ(rolled.size(), 5u);
+  EXPECT_DOUBLE_EQ(rolled[0], 1.0);
+  EXPECT_DOUBLE_EQ(rolled[1], 1.5);
+  EXPECT_DOUBLE_EQ(rolled[4], 4.5);
+}
+
+TEST(RollingAverage, WindowLargerThanInput) {
+  const auto rolled = rolling_average({2, 4}, 10);
+  EXPECT_DOUBLE_EQ(rolled[0], 2.0);
+  EXPECT_DOUBLE_EQ(rolled[1], 3.0);
+}
+
+TEST(RollingAverage, DegenerateInputs) {
+  EXPECT_TRUE(rolling_average({}, 5).empty());
+  const auto zero_window = rolling_average({1, 2}, 0);
+  EXPECT_DOUBLE_EQ(zero_window[0], 0.0);
+}
+
+TEST(RollingAverage, FlatSeriesUnchanged) {
+  const std::vector<double> flat(100, 7.0);
+  for (double v : rolling_average(flat, 16)) EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(CountSpikes, DetectsBursts) {
+  std::vector<double> hourly(168, 2.0);
+  hourly[10] = 50.0;
+  hourly[50] = 40.0;
+  EXPECT_EQ(count_spikes(hourly, 4.0), 2u);
+}
+
+TEST(CountSpikes, NoSpikesInFlatSeries) {
+  const std::vector<double> flat(100, 3.0);
+  EXPECT_EQ(count_spikes(flat), 0u);
+}
+
+TEST(CountSpikes, ZeroMedianUsesAbsoluteThreshold) {
+  std::vector<double> sparse(100, 0.0);
+  sparse[5] = 10.0;
+  EXPECT_EQ(count_spikes(sparse, 4.0), 1u);
+}
+
+TEST(CountSpikes, EmptyInput) { EXPECT_EQ(count_spikes({}), 0u); }
+
+}  // namespace
+}  // namespace cw::stats

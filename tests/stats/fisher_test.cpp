@@ -1,0 +1,68 @@
+#include "stats/fisher.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::stats {
+namespace {
+
+TEST(FisherExact, EmptyTableInvalid) {
+  EXPECT_FALSE(fisher_exact_2x2(0, 0, 0, 0).valid);
+}
+
+TEST(FisherExact, LadyTastingTea) {
+  // Fisher's canonical example: [[3,1],[1,3]] -> two-sided p ~= 0.4857.
+  const FisherResult result = fisher_exact_2x2(3, 1, 1, 3);
+  ASSERT_TRUE(result.valid);
+  EXPECT_NEAR(result.p_value, 0.4857, 1e-3);
+}
+
+TEST(FisherExact, PerfectSeparationSmall) {
+  // [[4,0],[0,4]]: p = 2 / C(8,4) = 2/70 ~= 0.02857.
+  const FisherResult result = fisher_exact_2x2(4, 0, 0, 4);
+  ASSERT_TRUE(result.valid);
+  EXPECT_NEAR(result.p_value, 0.02857, 1e-4);
+}
+
+TEST(FisherExact, BalancedTableNotSignificant) {
+  const FisherResult result = fisher_exact_2x2(10, 10, 10, 10);
+  ASSERT_TRUE(result.valid);
+  EXPECT_GT(result.p_value, 0.9);
+}
+
+TEST(FisherExact, ScipyReferenceValue) {
+  // scipy.stats.fisher_exact([[8, 2], [1, 5]]) -> p ~= 0.03497.
+  const FisherResult result = fisher_exact_2x2(8, 2, 1, 5);
+  ASSERT_TRUE(result.valid);
+  EXPECT_NEAR(result.p_value, 0.03497, 1e-3);
+}
+
+TEST(FisherExact, SymmetricUnderTransposition) {
+  const FisherResult a = fisher_exact_2x2(7, 3, 2, 9);
+  const FisherResult b = fisher_exact_2x2(7, 2, 3, 9);  // transpose
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_NEAR(a.p_value, b.p_value, 1e-9);
+}
+
+TEST(FisherExact, SymmetricUnderRowSwap) {
+  const FisherResult a = fisher_exact_2x2(7, 3, 2, 9);
+  const FisherResult b = fisher_exact_2x2(2, 9, 7, 3);
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_NEAR(a.p_value, b.p_value, 1e-9);
+}
+
+TEST(FisherExact, ZeroMarginYieldsOne) {
+  // One empty row: only one possible table, p = 1.
+  const FisherResult result = fisher_exact_2x2(0, 0, 5, 7);
+  ASSERT_TRUE(result.valid);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(FisherExact, AgreesWithChiSquaredAtLargeN) {
+  // At large n with a strong effect both tests are decisive.
+  const FisherResult result = fisher_exact_2x2(900, 100, 500, 500);
+  ASSERT_TRUE(result.valid);
+  EXPECT_LT(result.p_value, 1e-10);
+}
+
+}  // namespace
+}  // namespace cw::stats

@@ -1,0 +1,85 @@
+#include "stats/freq.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::stats {
+namespace {
+
+TEST(FrequencyTable, CountsAndTotal) {
+  FrequencyTable table;
+  table.add("a");
+  table.add("a");
+  table.add("b", 3);
+  EXPECT_EQ(table.count("a"), 2u);
+  EXPECT_EQ(table.count("b"), 3u);
+  EXPECT_EQ(table.count("missing"), 0u);
+  EXPECT_EQ(table.total(), 5u);
+  EXPECT_EQ(table.distinct(), 2u);
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(FrequencyTable, TopKOrdering) {
+  FrequencyTable table;
+  table.add("low", 1);
+  table.add("high", 10);
+  table.add("mid", 5);
+  const auto top = table.top_k(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], "high");
+  EXPECT_EQ(top[1], "mid");
+}
+
+TEST(FrequencyTable, TopKTiesBreakLexicographically) {
+  FrequencyTable table;
+  table.add("zeta", 5);
+  table.add("alpha", 5);
+  table.add("mid", 5);
+  const auto top = table.top_k(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], "alpha");
+  EXPECT_EQ(top[1], "mid");
+  EXPECT_EQ(top[2], "zeta");
+}
+
+TEST(FrequencyTable, TopKLargerThanDistinct) {
+  FrequencyTable table;
+  table.add("only");
+  EXPECT_EQ(table.top_k(3).size(), 1u);
+}
+
+TEST(FrequencyTable, EmptyTable) {
+  FrequencyTable table;
+  EXPECT_TRUE(table.empty());
+  EXPECT_TRUE(table.top_k(3).empty());
+  EXPECT_TRUE(table.sorted().empty());
+}
+
+TEST(TopKUnion, UnionsAndSorts) {
+  FrequencyTable a;
+  a.add("x", 5);
+  a.add("y", 3);
+  FrequencyTable b;
+  b.add("y", 9);
+  b.add("z", 1);
+  const auto categories = top_k_union({&a, &b}, 2);
+  ASSERT_EQ(categories.size(), 3u);
+  EXPECT_EQ(categories[0], "x");
+  EXPECT_EQ(categories[1], "y");
+  EXPECT_EQ(categories[2], "z");
+}
+
+TEST(TopKUnion, IgnoresNulls) {
+  FrequencyTable a;
+  a.add("x");
+  const auto categories = top_k_union({&a, nullptr}, 3);
+  EXPECT_EQ(categories.size(), 1u);
+}
+
+TEST(TopKUnion, RespectsK) {
+  FrequencyTable a;
+  for (int i = 0; i < 10; ++i) a.add("v" + std::to_string(i), 10 - i);
+  EXPECT_EQ(top_k_union({&a}, 3).size(), 3u);
+}
+
+}  // namespace
+}  // namespace cw::stats

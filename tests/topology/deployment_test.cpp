@@ -1,0 +1,157 @@
+#include "topology/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cw::topology {
+namespace {
+
+DeploymentConfig small_config(ScenarioYear year = ScenarioYear::k2021) {
+  DeploymentConfig config;
+  config.year = year;
+  config.telescope_slash24s = 4;
+  return config;
+}
+
+TEST(Deployment, Table1Has2021Structure) {
+  const Deployment deployment = Deployment::table1(small_config());
+  // 1 HE + 16 AWS + 3 Azure + 21 Google + 7 Linode GreyNoise regions,
+  // 5 Honeytrap deployments, 1 telescope.
+  EXPECT_EQ(deployment.with_collection(CollectionMethod::kGreyNoise).size(), 48u);
+  EXPECT_EQ(deployment.with_collection(CollectionMethod::kHoneytrap).size(), 5u);
+  EXPECT_EQ(deployment.with_collection(CollectionMethod::kTelescope).size(), 1u);
+  EXPECT_EQ(deployment.with_provider(Provider::kAws).size(), 17u);   // 16 GN + 1 HT
+  EXPECT_EQ(deployment.with_provider(Provider::kGoogle).size(), 23u);  // 21 GN + 2 HT
+  EXPECT_EQ(deployment.with_provider(Provider::kAzure).size(), 3u);
+  EXPECT_EQ(deployment.with_provider(Provider::kLinode).size(), 7u);
+}
+
+TEST(Deployment, Year2020DropsHoneytrap) {
+  const Deployment deployment = Deployment::table1(small_config(ScenarioYear::k2020));
+  EXPECT_EQ(deployment.with_collection(CollectionMethod::kHoneytrap).size(), 0u);
+  EXPECT_EQ(deployment.with_collection(CollectionMethod::kGreyNoise).size(), 48u);
+  EXPECT_EQ(deployment.with_collection(CollectionMethod::kTelescope).size(), 1u);
+}
+
+TEST(Deployment, Year2022DropsGreyNoise) {
+  const Deployment deployment = Deployment::table1(small_config(ScenarioYear::k2022));
+  EXPECT_EQ(deployment.with_collection(CollectionMethod::kGreyNoise).size(), 0u);
+  EXPECT_EQ(deployment.with_collection(CollectionMethod::kHoneytrap).size(), 5u);
+}
+
+TEST(Deployment, NetworkTypesMatchProviders) {
+  const Deployment deployment = Deployment::table1(small_config());
+  for (const VantagePoint& vp : deployment.vantage_points()) {
+    EXPECT_EQ(vp.type, network_type(vp.provider)) << vp.name;
+  }
+}
+
+TEST(Deployment, HurricaneElectricIsFullSlash24) {
+  const Deployment deployment = Deployment::table1(small_config());
+  const VantagePoint* he = nullptr;
+  for (const VantagePoint& vp : deployment.vantage_points()) {
+    if (vp.provider == Provider::kHurricaneElectric) he = &vp;
+  }
+  ASSERT_NE(he, nullptr);
+  EXPECT_EQ(he->addresses.size(), 256u);
+  // Contiguous block.
+  for (std::size_t i = 1; i < he->addresses.size(); ++i) {
+    EXPECT_EQ(he->addresses[i].value(), he->addresses[i - 1].value() + 1);
+  }
+}
+
+TEST(Deployment, GreyNoiseAddressesStayInsideProviderPool) {
+  const Deployment deployment = Deployment::table1(small_config());
+  for (const VantagePoint& vp : deployment.vantage_points()) {
+    const net::Prefix pool = provider_pool(vp.provider);
+    for (const net::IPv4Addr addr : vp.addresses) {
+      EXPECT_TRUE(pool.contains(addr)) << vp.name << " " << addr.to_string();
+    }
+  }
+}
+
+TEST(Deployment, RandomAllocationsAvoid255Octets) {
+  util::Rng rng(1);
+  const auto addresses =
+      Deployment::allocate_random(rng, provider_pool(Provider::kAws), 500);
+  std::set<net::IPv4Addr> unique(addresses.begin(), addresses.end());
+  EXPECT_EQ(unique.size(), 500u);
+  for (const net::IPv4Addr addr : addresses) {
+    EXPECT_FALSE(addr.has_255_octet()) << addr.to_string();
+    EXPECT_NE(addr.octet(3), 0) << addr.to_string();
+  }
+}
+
+TEST(Deployment, TelescopeSizeFollowsConfig) {
+  DeploymentConfig config = small_config();
+  config.telescope_slash24s = 8;
+  const Deployment deployment = Deployment::table1(config);
+  const VantageId orion = deployment.with_type(NetworkType::kTelescope).front();
+  EXPECT_EQ(deployment.at(orion).addresses.size(), 8u * 256u);
+}
+
+TEST(Deployment, TelescopeListensOnAllPorts) {
+  const Deployment deployment = Deployment::table1(small_config());
+  const VantageId orion = deployment.with_type(NetworkType::kTelescope).front();
+  EXPECT_TRUE(deployment.at(orion).listens_on(1));
+  EXPECT_TRUE(deployment.at(orion).listens_on(65535));
+}
+
+TEST(Deployment, GreyNoiseListensOnlyOnOpenPorts) {
+  const Deployment deployment = Deployment::table1(small_config());
+  const VantageId gn = deployment.with_collection(CollectionMethod::kGreyNoise).front();
+  EXPECT_TRUE(deployment.at(gn).listens_on(22));
+  EXPECT_TRUE(deployment.at(gn).listens_on(80));
+  EXPECT_FALSE(deployment.at(gn).listens_on(12345));
+}
+
+TEST(Deployment, ColocatedCloudsContainSingaporeWithFourProviders) {
+  const Deployment deployment = Deployment::table1(small_config());
+  const auto cities = deployment.colocated_clouds();
+  bool found_sg = false;
+  for (const auto& city : cities) {
+    std::set<Provider> providers;
+    for (VantageId id : city.vantage_ids) providers.insert(deployment.at(id).provider);
+    EXPECT_GE(providers.size(), 2u) << city.city_code;
+    if (city.city_code == "SG") {
+      found_sg = true;
+      EXPECT_EQ(providers.size(), 4u);  // AWS, Azure, Google, Linode
+    }
+  }
+  EXPECT_TRUE(found_sg);
+}
+
+TEST(Deployment, DeterministicForFixedSeed) {
+  const Deployment a = Deployment::table1(small_config());
+  const Deployment b = Deployment::table1(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.at(i).addresses, b.at(i).addresses) << a.at(i).name;
+  }
+}
+
+TEST(Deployment, DistinctSeedsChangeAddresses) {
+  DeploymentConfig other = small_config();
+  other.seed ^= 0xdeadbeef;
+  const Deployment a = Deployment::table1(small_config());
+  const Deployment b = Deployment::table1(other);
+  const VantageId aws = a.with_provider(Provider::kAws).front();
+  EXPECT_NE(a.at(aws).addresses, b.at(aws).addresses);
+}
+
+TEST(Deployment, VantageNamesAreUnique) {
+  const Deployment deployment = Deployment::table1(small_config());
+  std::set<std::string> names;
+  for (const VantagePoint& vp : deployment.vantage_points()) names.insert(vp.name);
+  EXPECT_EQ(names.size(), deployment.size());
+}
+
+TEST(ScenarioYear, Names) {
+  EXPECT_EQ(scenario_year_name(ScenarioYear::k2020), "2020");
+  EXPECT_EQ(scenario_year_name(ScenarioYear::k2021), "2021");
+  EXPECT_EQ(scenario_year_name(ScenarioYear::k2022), "2022");
+}
+
+}  // namespace
+}  // namespace cw::topology

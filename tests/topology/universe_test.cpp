@@ -1,0 +1,77 @@
+#include "topology/universe.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::topology {
+namespace {
+
+Deployment tiny_deployment() {
+  Deployment deployment;
+  VantagePoint cloud;
+  cloud.name = "cloud";
+  cloud.provider = Provider::kAws;
+  cloud.type = NetworkType::kCloud;
+  cloud.collection = CollectionMethod::kGreyNoise;
+  cloud.region = net::make_region("SG");
+  cloud.addresses = {net::IPv4Addr(3, 1, 1, 1), net::IPv4Addr(3, 1, 1, 2)};
+  deployment.add(std::move(cloud));
+
+  VantagePoint telescope;
+  telescope.name = "telescope";
+  telescope.provider = Provider::kOrion;
+  telescope.type = NetworkType::kTelescope;
+  telescope.collection = CollectionMethod::kTelescope;
+  telescope.region = net::make_region("US", "MI");
+  telescope.addresses = {net::IPv4Addr(71, 96, 0, 0), net::IPv4Addr(71, 96, 0, 1),
+                         net::IPv4Addr(71, 96, 0, 2)};
+  deployment.add(std::move(telescope));
+  return deployment;
+}
+
+TEST(TargetUniverse, FlattensAllAddresses) {
+  const Deployment deployment = tiny_deployment();
+  const TargetUniverse universe(deployment);
+  EXPECT_EQ(universe.size(), 5u);
+  EXPECT_EQ(universe.of_type(NetworkType::kCloud).size(), 2u);
+  EXPECT_EQ(universe.of_type(NetworkType::kTelescope).size(), 3u);
+  EXPECT_EQ(universe.of_type(NetworkType::kEducation).size(), 0u);
+}
+
+TEST(TargetUniverse, FindMapsAddressToTarget) {
+  const Deployment deployment = tiny_deployment();
+  const TargetUniverse universe(deployment);
+  const auto index = universe.find(net::IPv4Addr(3, 1, 1, 2));
+  ASSERT_TRUE(index.has_value());
+  const Target& target = universe.targets()[*index];
+  EXPECT_EQ(target.vantage, 0u);
+  EXPECT_EQ(target.index_in_vantage, 1u);
+  EXPECT_EQ(target.type, NetworkType::kCloud);
+  EXPECT_EQ(target.continent, net::Continent::kAsiaPacific);
+}
+
+TEST(TargetUniverse, FindRejectsUnmonitored) {
+  const Deployment deployment = tiny_deployment();
+  const TargetUniverse universe(deployment);
+  EXPECT_FALSE(universe.find(net::IPv4Addr(9, 9, 9, 9)).has_value());
+}
+
+TEST(TargetUniverse, OfVantageReturnsAllItsTargets) {
+  const Deployment deployment = tiny_deployment();
+  const TargetUniverse universe(deployment);
+  EXPECT_EQ(universe.of_vantage(0).size(), 2u);
+  EXPECT_EQ(universe.of_vantage(1).size(), 3u);
+  EXPECT_TRUE(universe.of_vantage(42).empty());
+}
+
+TEST(TargetUniverse, NeighborIndicesFollowAddressOrder) {
+  const Deployment deployment = tiny_deployment();
+  const TargetUniverse universe(deployment);
+  for (std::size_t i : universe.of_vantage(1)) {
+    const Target& target = universe.targets()[i];
+    EXPECT_EQ(target.address.value(),
+              deployment.at(1).addresses[target.index_in_vantage].value());
+  }
+}
+
+}  // namespace
+}  // namespace cw::topology

@@ -1,0 +1,231 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace cw::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, StreamIsIndependentOfParentState) {
+  Rng parent(7);
+  Rng s1 = parent.stream("alpha");
+  (void)parent.next();  // advancing the parent must not change the stream
+  Rng s2 = Rng(7).stream("alpha");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s1.next(), s2.next());
+}
+
+TEST(Rng, DistinctLabelsGiveDistinctStreams) {
+  Rng parent(7);
+  Rng a = parent.stream("alpha");
+  Rng b = parent.stream("beta");
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 12345ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroReturnsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit with overwhelming probability
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / 20000.0, 3.0, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(29);
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / 5000.0, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(31);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(37);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ZipfRankZeroMostLikely) {
+  Rng rng(41);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[0], 20000 / 4);  // heavy head
+}
+
+TEST(Rng, ZipfSingleElement) {
+  Rng rng(43);
+  EXPECT_EQ(rng.zipf(1, 1.0), 0u);
+  EXPECT_EQ(rng.zipf(0, 1.0), 0u);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(47);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t index = rng.weighted_index(weights);
+    ASSERT_LT(index, 3u);
+    ++counts[index];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(Rng, WeightedIndexAllZeroReturnsSize) {
+  Rng rng(53);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights), 2u);
+  std::vector<double> empty;
+  EXPECT_EQ(rng.weighted_index(empty), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(59);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded) {
+  Rng rng(61);
+  const auto sample = rng.sample_indices(100, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (std::size_t index : sample) EXPECT_LT(index, 100u);
+}
+
+TEST(Rng, SampleIndicesKExceedsN) {
+  Rng rng(67);
+  const auto sample = rng.sample_indices(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Fnv1a, KnownValues) {
+  // Reference FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(fnv1a64("abc"), fnv1a64("acb"));
+}
+
+// Property sweep: uniformity of next_below over several bounds and seeds,
+// via a coarse chi-squared check against the uniform expectation.
+class RngUniformity : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(RngUniformity, NextBelowIsRoughlyUniform) {
+  const auto [seed, bound] = GetParam();
+  Rng rng(seed);
+  const int draws = 20000;
+  std::vector<int> counts(bound, 0);
+  for (int i = 0; i < draws; ++i) ++counts[rng.next_below(bound)];
+  const double expected = static_cast<double>(draws) / static_cast<double>(bound);
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 99.9th percentile of chi2 with (bound-1) df, generous envelope.
+  const double df = static_cast<double>(bound - 1);
+  EXPECT_LT(chi2, df + 4.0 * std::sqrt(2.0 * df) + 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RngUniformity,
+                         ::testing::Combine(::testing::Values(1ULL, 99ULL, 777ULL),
+                                            ::testing::Values(2ULL, 10ULL, 64ULL, 100ULL)));
+
+}  // namespace
+}  // namespace cw::util

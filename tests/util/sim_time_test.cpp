@@ -1,0 +1,30 @@
+#include "util/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::util {
+namespace {
+
+TEST(SimTime, Constants) {
+  EXPECT_EQ(kSecond, 1000);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kWeek, 7 * kDay);
+}
+
+TEST(SimTime, Format) {
+  EXPECT_EQ(format_sim_time(0), "0d 00:00:00.000");
+  EXPECT_EQ(format_sim_time(kDay + kHour + kMinute + kSecond + 1), "1d 01:01:01.001");
+  EXPECT_EQ(format_sim_time(-kHour), "-0d 01:00:00.000");
+}
+
+TEST(SimTime, HourBucket) {
+  EXPECT_EQ(hour_bucket(0), 0);
+  EXPECT_EQ(hour_bucket(kHour - 1), 0);
+  EXPECT_EQ(hour_bucket(kHour), 1);
+  EXPECT_EQ(hour_bucket(kWeek - 1), 7 * 24 - 1);
+}
+
+}  // namespace
+}  // namespace cw::util

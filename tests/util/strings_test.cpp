@@ -1,0 +1,86 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::util {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Split, NoSeparator) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyInput) {
+  auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitTrimmed, DropsEmptyAndTrims) {
+  auto parts = split_trimmed("  a , ,b ,  ", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\nx"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(ToLower, Basic) { EXPECT_EQ(to_lower("AbC-09"), "abc-09"); }
+
+TEST(StartsWithCi, Cases) {
+  EXPECT_TRUE(starts_with_ci("Content-Length: 5", "content-length"));
+  EXPECT_FALSE(starts_with_ci("Content", "content-length"));
+  EXPECT_TRUE(starts_with_ci("x", ""));
+}
+
+TEST(ContainsCi, Cases) {
+  EXPECT_TRUE(contains_ci("User-Agent: ${JNDI:ldap}", "${jndi:"));
+  EXPECT_FALSE(contains_ci("abc", "abcd"));
+  EXPECT_TRUE(contains_ci("abc", ""));
+  EXPECT_TRUE(contains_ci("xxabyABCz", "abc"));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+}
+
+TEST(FormatDouble, PrecisionAndTrim) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 2, /*trim_whole=*/true), "3");
+  EXPECT_EQ(format_double(3.10, 2, /*trim_whole=*/true), "3.1");
+  EXPECT_EQ(format_double(0.0, 1), "0.0");
+}
+
+TEST(EscapePayload, NonPrintableAndTruncation) {
+  EXPECT_EQ(escape_payload("GET /\r\n"), "GET /\\r\\n");
+  EXPECT_EQ(escape_payload(std::string("\x16\x03", 2)), "\\x16\\x03");
+  const std::string long_payload(100, 'a');
+  const std::string escaped = escape_payload(long_payload, 10);
+  EXPECT_EQ(escaped.substr(escaped.size() - 3), "...");
+  EXPECT_LE(escaped.size(), 13u);
+}
+
+}  // namespace
+}  // namespace cw::util

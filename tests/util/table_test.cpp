@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"A", "Long header"});
+  table.add_row({"value-1", "x"});
+  const std::string out = table.render();
+  // Every line has the same length (alignment).
+  std::size_t first_newline = out.find('\n');
+  const std::size_t width = first_newline;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TextTable, MissingCellsRenderEmpty) {
+  TextTable table({"A", "B"});
+  table.add_row({"only-a"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("only-a"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorRow) {
+  TextTable table({"A"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  // Header separator plus the explicit one.
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("|---", pos)) != std::string::npos) {
+    ++count;
+    pos += 4;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"A"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_separator();
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  CsvWriter csv;
+  csv.add_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(csv.str(), "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvWriter, MultipleRows) {
+  CsvWriter csv;
+  csv.add_row({"a", "b"});
+  csv.add_row({"c"});
+  EXPECT_EQ(csv.str(), "a,b\nc\n");
+}
+
+}  // namespace
+}  // namespace cw::util
