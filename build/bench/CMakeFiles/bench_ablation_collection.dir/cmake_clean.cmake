@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_collection.dir/bench_ablation_collection.cpp.o"
+  "CMakeFiles/bench_ablation_collection.dir/bench_ablation_collection.cpp.o.d"
+  "bench_ablation_collection"
+  "bench_ablation_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

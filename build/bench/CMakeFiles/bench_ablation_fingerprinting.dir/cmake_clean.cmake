@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fingerprinting.dir/bench_ablation_fingerprinting.cpp.o"
+  "CMakeFiles/bench_ablation_fingerprinting.dir/bench_ablation_fingerprinting.cpp.o.d"
+  "bench_ablation_fingerprinting"
+  "bench_ablation_fingerprinting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fingerprinting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_firewall.dir/bench_ablation_firewall.cpp.o"
+  "CMakeFiles/bench_ablation_firewall.dir/bench_ablation_firewall.cpp.o.d"
+  "bench_ablation_firewall"
+  "bench_ablation_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

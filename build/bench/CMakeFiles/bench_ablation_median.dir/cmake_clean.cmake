@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_median.dir/bench_ablation_median.cpp.o"
+  "CMakeFiles/bench_ablation_median.dir/bench_ablation_median.cpp.o.d"
+  "bench_ablation_median"
+  "bench_ablation_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

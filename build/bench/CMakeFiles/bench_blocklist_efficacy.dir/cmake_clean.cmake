@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocklist_efficacy.dir/bench_blocklist_efficacy.cpp.o"
+  "CMakeFiles/bench_blocklist_efficacy.dir/bench_blocklist_efficacy.cpp.o.d"
+  "bench_blocklist_efficacy"
+  "bench_blocklist_efficacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocklist_efficacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_campaign_inference.dir/bench_campaign_inference.cpp.o"
+  "CMakeFiles/bench_campaign_inference.dir/bench_campaign_inference.cpp.o.d"
+  "bench_campaign_inference"
+  "bench_campaign_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_campaign_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

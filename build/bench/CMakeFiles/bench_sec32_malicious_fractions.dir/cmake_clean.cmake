@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_malicious_fractions.dir/bench_sec32_malicious_fractions.cpp.o"
+  "CMakeFiles/bench_sec32_malicious_fractions.dir/bench_sec32_malicious_fractions.cpp.o.d"
+  "bench_sec32_malicious_fractions"
+  "bench_sec32_malicious_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_malicious_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

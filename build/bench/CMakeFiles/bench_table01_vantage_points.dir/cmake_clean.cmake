@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table01_vantage_points.dir/bench_table01_vantage_points.cpp.o"
+  "CMakeFiles/bench_table01_vantage_points.dir/bench_table01_vantage_points.cpp.o.d"
+  "bench_table01_vantage_points"
+  "bench_table01_vantage_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_vantage_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table02_neighbors.dir/bench_table02_neighbors.cpp.o"
+  "CMakeFiles/bench_table02_neighbors.dir/bench_table02_neighbors.cpp.o.d"
+  "bench_table02_neighbors"
+  "bench_table02_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table02_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_search_engines.dir/bench_table03_search_engines.cpp.o"
+  "CMakeFiles/bench_table03_search_engines.dir/bench_table03_search_engines.cpp.o.d"
+  "bench_table03_search_engines"
+  "bench_table03_search_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_search_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

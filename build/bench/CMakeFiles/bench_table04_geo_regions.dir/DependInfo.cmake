@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table04_geo_regions.cpp" "bench/CMakeFiles/bench_table04_geo_regions.dir/bench_table04_geo_regions.cpp.o" "gcc" "bench/CMakeFiles/bench_table04_geo_regions.dir/bench_table04_geo_regions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cw_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/cw_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchengine/CMakeFiles/cw_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/cw_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/cw_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cw_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cw_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_geo_regions.dir/bench_table04_geo_regions.cpp.o"
+  "CMakeFiles/bench_table04_geo_regions.dir/bench_table04_geo_regions.cpp.o.d"
+  "bench_table04_geo_regions"
+  "bench_table04_geo_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_geo_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

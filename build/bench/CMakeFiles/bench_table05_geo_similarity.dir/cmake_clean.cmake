@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_geo_similarity.dir/bench_table05_geo_similarity.cpp.o"
+  "CMakeFiles/bench_table05_geo_similarity.dir/bench_table05_geo_similarity.cpp.o.d"
+  "bench_table05_geo_similarity"
+  "bench_table05_geo_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_geo_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

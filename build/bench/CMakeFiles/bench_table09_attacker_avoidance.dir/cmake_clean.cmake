@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_attacker_avoidance.dir/bench_table09_attacker_avoidance.cpp.o"
+  "CMakeFiles/bench_table09_attacker_avoidance.dir/bench_table09_attacker_avoidance.cpp.o.d"
+  "bench_table09_attacker_avoidance"
+  "bench_table09_attacker_avoidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_attacker_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

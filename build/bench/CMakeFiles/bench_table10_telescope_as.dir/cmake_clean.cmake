@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_telescope_as.dir/bench_table10_telescope_as.cpp.o"
+  "CMakeFiles/bench_table10_telescope_as.dir/bench_table10_telescope_as.cpp.o.d"
+  "bench_table10_telescope_as"
+  "bench_table10_telescope_as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_telescope_as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

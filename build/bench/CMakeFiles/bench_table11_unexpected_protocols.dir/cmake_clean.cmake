@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_unexpected_protocols.dir/bench_table11_unexpected_protocols.cpp.o"
+  "CMakeFiles/bench_table11_unexpected_protocols.dir/bench_table11_unexpected_protocols.cpp.o.d"
+  "bench_table11_unexpected_protocols"
+  "bench_table11_unexpected_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_unexpected_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

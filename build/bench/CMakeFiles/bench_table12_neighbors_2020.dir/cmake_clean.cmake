@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_neighbors_2020.dir/bench_table12_neighbors_2020.cpp.o"
+  "CMakeFiles/bench_table12_neighbors_2020.dir/bench_table12_neighbors_2020.cpp.o.d"
+  "bench_table12_neighbors_2020"
+  "bench_table12_neighbors_2020.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_neighbors_2020.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table13_geo_similarity_2020.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_network_types_temporal.dir/bench_table14_network_types_temporal.cpp.o"
+  "CMakeFiles/bench_table14_network_types_temporal.dir/bench_table14_network_types_temporal.cpp.o.d"
+  "bench_table14_network_types_temporal"
+  "bench_table14_network_types_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_network_types_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table14_network_types_temporal.
+# This may be replaced when dependencies are built.

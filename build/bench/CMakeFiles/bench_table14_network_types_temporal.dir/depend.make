@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table14_network_types_temporal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table15_telescope_as_2022.
+# This may be replaced when dependencies are built.

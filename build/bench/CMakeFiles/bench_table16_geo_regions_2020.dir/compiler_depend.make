@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table16_geo_regions_2020.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table17_unexpected_2022.dir/bench_table17_unexpected_2022.cpp.o"
+  "CMakeFiles/bench_table17_unexpected_2022.dir/bench_table17_unexpected_2022.cpp.o.d"
+  "bench_table17_unexpected_2022"
+  "bench_table17_unexpected_2022.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table17_unexpected_2022.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudwatch_cli.dir/cloudwatch_cli.cpp.o"
+  "CMakeFiles/cloudwatch_cli.dir/cloudwatch_cli.cpp.o.d"
+  "cloudwatch_cli"
+  "cloudwatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudwatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_experiment.dir/leak_experiment.cpp.o"
+  "CMakeFiles/leak_experiment.dir/leak_experiment.cpp.o.d"
+  "leak_experiment"
+  "leak_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

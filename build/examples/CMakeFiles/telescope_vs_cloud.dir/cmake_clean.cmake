@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telescope_vs_cloud.dir/telescope_vs_cloud.cpp.o"
+  "CMakeFiles/telescope_vs_cloud.dir/telescope_vs_cloud.cpp.o.d"
+  "telescope_vs_cloud"
+  "telescope_vs_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telescope_vs_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("stats")
+subdirs("sim")
+subdirs("topology")
+subdirs("proto")
+subdirs("ids")
+subdirs("searchengine")
+subdirs("capture")
+subdirs("agents")
+subdirs("analysis")
+subdirs("core")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/actor.cpp" "src/agents/CMakeFiles/cw_agents.dir/actor.cpp.o" "gcc" "src/agents/CMakeFiles/cw_agents.dir/actor.cpp.o.d"
+  "/root/repo/src/agents/botnet.cpp" "src/agents/CMakeFiles/cw_agents.dir/botnet.cpp.o" "gcc" "src/agents/CMakeFiles/cw_agents.dir/botnet.cpp.o.d"
+  "/root/repo/src/agents/campaign.cpp" "src/agents/CMakeFiles/cw_agents.dir/campaign.cpp.o" "gcc" "src/agents/CMakeFiles/cw_agents.dir/campaign.cpp.o.d"
+  "/root/repo/src/agents/evader.cpp" "src/agents/CMakeFiles/cw_agents.dir/evader.cpp.o" "gcc" "src/agents/CMakeFiles/cw_agents.dir/evader.cpp.o.d"
+  "/root/repo/src/agents/miner.cpp" "src/agents/CMakeFiles/cw_agents.dir/miner.cpp.o" "gcc" "src/agents/CMakeFiles/cw_agents.dir/miner.cpp.o.d"
+  "/root/repo/src/agents/population.cpp" "src/agents/CMakeFiles/cw_agents.dir/population.cpp.o" "gcc" "src/agents/CMakeFiles/cw_agents.dir/population.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/capture/CMakeFiles/cw_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchengine/CMakeFiles/cw_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cw_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cw_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/cw_ids.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_agents.dir/actor.cpp.o"
+  "CMakeFiles/cw_agents.dir/actor.cpp.o.d"
+  "CMakeFiles/cw_agents.dir/botnet.cpp.o"
+  "CMakeFiles/cw_agents.dir/botnet.cpp.o.d"
+  "CMakeFiles/cw_agents.dir/campaign.cpp.o"
+  "CMakeFiles/cw_agents.dir/campaign.cpp.o.d"
+  "CMakeFiles/cw_agents.dir/evader.cpp.o"
+  "CMakeFiles/cw_agents.dir/evader.cpp.o.d"
+  "CMakeFiles/cw_agents.dir/miner.cpp.o"
+  "CMakeFiles/cw_agents.dir/miner.cpp.o.d"
+  "CMakeFiles/cw_agents.dir/population.cpp.o"
+  "CMakeFiles/cw_agents.dir/population.cpp.o.d"
+  "libcw_agents.a"
+  "libcw_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

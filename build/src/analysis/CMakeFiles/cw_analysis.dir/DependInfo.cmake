@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/blocklist.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/blocklist.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/blocklist.cpp.o.d"
+  "/root/repo/src/analysis/campaigns.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/campaigns.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/campaigns.cpp.o.d"
+  "/root/repo/src/analysis/characteristics.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/characteristics.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/characteristics.cpp.o.d"
+  "/root/repo/src/analysis/comparison.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/comparison.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/comparison.cpp.o.d"
+  "/root/repo/src/analysis/geography.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/geography.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/geography.cpp.o.d"
+  "/root/repo/src/analysis/leak.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/leak.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/leak.cpp.o.d"
+  "/root/repo/src/analysis/malicious.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/malicious.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/malicious.cpp.o.d"
+  "/root/repo/src/analysis/neighborhood.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/neighborhood.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/neighborhood.cpp.o.d"
+  "/root/repo/src/analysis/network.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/network.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/network.cpp.o.d"
+  "/root/repo/src/analysis/oracle.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/oracle.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/oracle.cpp.o.d"
+  "/root/repo/src/analysis/overlap.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/overlap.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/overlap.cpp.o.d"
+  "/root/repo/src/analysis/protocols.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/protocols.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/protocols.cpp.o.d"
+  "/root/repo/src/analysis/structure.cpp" "src/analysis/CMakeFiles/cw_analysis.dir/structure.cpp.o" "gcc" "src/analysis/CMakeFiles/cw_analysis.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agents/CMakeFiles/cw_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/capture/CMakeFiles/cw_capture.dir/DependInfo.cmake"
+  "/root/repo/build/src/ids/CMakeFiles/cw_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchengine/CMakeFiles/cw_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cw_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cw_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cw_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

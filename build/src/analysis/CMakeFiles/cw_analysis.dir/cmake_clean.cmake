@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_analysis.dir/blocklist.cpp.o"
+  "CMakeFiles/cw_analysis.dir/blocklist.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/campaigns.cpp.o"
+  "CMakeFiles/cw_analysis.dir/campaigns.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/characteristics.cpp.o"
+  "CMakeFiles/cw_analysis.dir/characteristics.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/comparison.cpp.o"
+  "CMakeFiles/cw_analysis.dir/comparison.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/geography.cpp.o"
+  "CMakeFiles/cw_analysis.dir/geography.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/leak.cpp.o"
+  "CMakeFiles/cw_analysis.dir/leak.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/malicious.cpp.o"
+  "CMakeFiles/cw_analysis.dir/malicious.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/neighborhood.cpp.o"
+  "CMakeFiles/cw_analysis.dir/neighborhood.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/network.cpp.o"
+  "CMakeFiles/cw_analysis.dir/network.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/oracle.cpp.o"
+  "CMakeFiles/cw_analysis.dir/oracle.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/overlap.cpp.o"
+  "CMakeFiles/cw_analysis.dir/overlap.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/protocols.cpp.o"
+  "CMakeFiles/cw_analysis.dir/protocols.cpp.o.d"
+  "CMakeFiles/cw_analysis.dir/structure.cpp.o"
+  "CMakeFiles/cw_analysis.dir/structure.cpp.o.d"
+  "libcw_analysis.a"
+  "libcw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

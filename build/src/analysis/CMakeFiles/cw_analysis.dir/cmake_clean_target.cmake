@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcw_analysis.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/capture/collector.cpp" "src/capture/CMakeFiles/cw_capture.dir/collector.cpp.o" "gcc" "src/capture/CMakeFiles/cw_capture.dir/collector.cpp.o.d"
+  "/root/repo/src/capture/dataset.cpp" "src/capture/CMakeFiles/cw_capture.dir/dataset.cpp.o" "gcc" "src/capture/CMakeFiles/cw_capture.dir/dataset.cpp.o.d"
+  "/root/repo/src/capture/event.cpp" "src/capture/CMakeFiles/cw_capture.dir/event.cpp.o" "gcc" "src/capture/CMakeFiles/cw_capture.dir/event.cpp.o.d"
+  "/root/repo/src/capture/firewall.cpp" "src/capture/CMakeFiles/cw_capture.dir/firewall.cpp.o" "gcc" "src/capture/CMakeFiles/cw_capture.dir/firewall.cpp.o.d"
+  "/root/repo/src/capture/interner.cpp" "src/capture/CMakeFiles/cw_capture.dir/interner.cpp.o" "gcc" "src/capture/CMakeFiles/cw_capture.dir/interner.cpp.o.d"
+  "/root/repo/src/capture/pcap.cpp" "src/capture/CMakeFiles/cw_capture.dir/pcap.cpp.o" "gcc" "src/capture/CMakeFiles/cw_capture.dir/pcap.cpp.o.d"
+  "/root/repo/src/capture/store.cpp" "src/capture/CMakeFiles/cw_capture.dir/store.cpp.o" "gcc" "src/capture/CMakeFiles/cw_capture.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ids/CMakeFiles/cw_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cw_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/cw_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

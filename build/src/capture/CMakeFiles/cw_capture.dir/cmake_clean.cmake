@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_capture.dir/collector.cpp.o"
+  "CMakeFiles/cw_capture.dir/collector.cpp.o.d"
+  "CMakeFiles/cw_capture.dir/dataset.cpp.o"
+  "CMakeFiles/cw_capture.dir/dataset.cpp.o.d"
+  "CMakeFiles/cw_capture.dir/event.cpp.o"
+  "CMakeFiles/cw_capture.dir/event.cpp.o.d"
+  "CMakeFiles/cw_capture.dir/firewall.cpp.o"
+  "CMakeFiles/cw_capture.dir/firewall.cpp.o.d"
+  "CMakeFiles/cw_capture.dir/interner.cpp.o"
+  "CMakeFiles/cw_capture.dir/interner.cpp.o.d"
+  "CMakeFiles/cw_capture.dir/pcap.cpp.o"
+  "CMakeFiles/cw_capture.dir/pcap.cpp.o.d"
+  "CMakeFiles/cw_capture.dir/store.cpp.o"
+  "CMakeFiles/cw_capture.dir/store.cpp.o.d"
+  "libcw_capture.a"
+  "libcw_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

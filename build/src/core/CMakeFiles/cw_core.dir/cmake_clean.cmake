@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_core.dir/experiment.cpp.o"
+  "CMakeFiles/cw_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/cw_core.dir/tables.cpp.o"
+  "CMakeFiles/cw_core.dir/tables.cpp.o.d"
+  "CMakeFiles/cw_core.dir/temporal.cpp.o"
+  "CMakeFiles/cw_core.dir/temporal.cpp.o.d"
+  "libcw_core.a"
+  "libcw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

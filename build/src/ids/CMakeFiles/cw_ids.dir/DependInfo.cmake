@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ids/engine.cpp" "src/ids/CMakeFiles/cw_ids.dir/engine.cpp.o" "gcc" "src/ids/CMakeFiles/cw_ids.dir/engine.cpp.o.d"
+  "/root/repo/src/ids/rule.cpp" "src/ids/CMakeFiles/cw_ids.dir/rule.cpp.o" "gcc" "src/ids/CMakeFiles/cw_ids.dir/rule.cpp.o.d"
+  "/root/repo/src/ids/ruleset.cpp" "src/ids/CMakeFiles/cw_ids.dir/ruleset.cpp.o" "gcc" "src/ids/CMakeFiles/cw_ids.dir/ruleset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/cw_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

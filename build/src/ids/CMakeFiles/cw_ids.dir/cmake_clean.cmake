@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_ids.dir/engine.cpp.o"
+  "CMakeFiles/cw_ids.dir/engine.cpp.o.d"
+  "CMakeFiles/cw_ids.dir/rule.cpp.o"
+  "CMakeFiles/cw_ids.dir/rule.cpp.o.d"
+  "CMakeFiles/cw_ids.dir/ruleset.cpp.o"
+  "CMakeFiles/cw_ids.dir/ruleset.cpp.o.d"
+  "libcw_ids.a"
+  "libcw_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_net.dir/asn.cpp.o"
+  "CMakeFiles/cw_net.dir/asn.cpp.o.d"
+  "CMakeFiles/cw_net.dir/geo.cpp.o"
+  "CMakeFiles/cw_net.dir/geo.cpp.o.d"
+  "CMakeFiles/cw_net.dir/ipv4.cpp.o"
+  "CMakeFiles/cw_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/cw_net.dir/ports.cpp.o"
+  "CMakeFiles/cw_net.dir/ports.cpp.o.d"
+  "libcw_net.a"
+  "libcw_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/banners.cpp" "src/proto/CMakeFiles/cw_proto.dir/banners.cpp.o" "gcc" "src/proto/CMakeFiles/cw_proto.dir/banners.cpp.o.d"
+  "/root/repo/src/proto/credentials.cpp" "src/proto/CMakeFiles/cw_proto.dir/credentials.cpp.o" "gcc" "src/proto/CMakeFiles/cw_proto.dir/credentials.cpp.o.d"
+  "/root/repo/src/proto/exploits.cpp" "src/proto/CMakeFiles/cw_proto.dir/exploits.cpp.o" "gcc" "src/proto/CMakeFiles/cw_proto.dir/exploits.cpp.o.d"
+  "/root/repo/src/proto/fingerprint.cpp" "src/proto/CMakeFiles/cw_proto.dir/fingerprint.cpp.o" "gcc" "src/proto/CMakeFiles/cw_proto.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/proto/http.cpp" "src/proto/CMakeFiles/cw_proto.dir/http.cpp.o" "gcc" "src/proto/CMakeFiles/cw_proto.dir/http.cpp.o.d"
+  "/root/repo/src/proto/payloads.cpp" "src/proto/CMakeFiles/cw_proto.dir/payloads.cpp.o" "gcc" "src/proto/CMakeFiles/cw_proto.dir/payloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

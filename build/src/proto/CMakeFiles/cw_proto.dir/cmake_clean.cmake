@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_proto.dir/banners.cpp.o"
+  "CMakeFiles/cw_proto.dir/banners.cpp.o.d"
+  "CMakeFiles/cw_proto.dir/credentials.cpp.o"
+  "CMakeFiles/cw_proto.dir/credentials.cpp.o.d"
+  "CMakeFiles/cw_proto.dir/exploits.cpp.o"
+  "CMakeFiles/cw_proto.dir/exploits.cpp.o.d"
+  "CMakeFiles/cw_proto.dir/fingerprint.cpp.o"
+  "CMakeFiles/cw_proto.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/cw_proto.dir/http.cpp.o"
+  "CMakeFiles/cw_proto.dir/http.cpp.o.d"
+  "CMakeFiles/cw_proto.dir/payloads.cpp.o"
+  "CMakeFiles/cw_proto.dir/payloads.cpp.o.d"
+  "libcw_proto.a"
+  "libcw_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_search.dir/engine.cpp.o"
+  "CMakeFiles/cw_search.dir/engine.cpp.o.d"
+  "libcw_search.a"
+  "libcw_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

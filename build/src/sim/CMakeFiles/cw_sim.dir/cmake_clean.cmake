@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_sim.dir/engine.cpp.o"
+  "CMakeFiles/cw_sim.dir/engine.cpp.o.d"
+  "libcw_sim.a"
+  "libcw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

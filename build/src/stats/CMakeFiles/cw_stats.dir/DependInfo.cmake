@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chi_squared.cpp" "src/stats/CMakeFiles/cw_stats.dir/chi_squared.cpp.o" "gcc" "src/stats/CMakeFiles/cw_stats.dir/chi_squared.cpp.o.d"
+  "/root/repo/src/stats/contingency.cpp" "src/stats/CMakeFiles/cw_stats.dir/contingency.cpp.o" "gcc" "src/stats/CMakeFiles/cw_stats.dir/contingency.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/cw_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/cw_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/fisher.cpp" "src/stats/CMakeFiles/cw_stats.dir/fisher.cpp.o" "gcc" "src/stats/CMakeFiles/cw_stats.dir/fisher.cpp.o.d"
+  "/root/repo/src/stats/freq.cpp" "src/stats/CMakeFiles/cw_stats.dir/freq.cpp.o" "gcc" "src/stats/CMakeFiles/cw_stats.dir/freq.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/stats/CMakeFiles/cw_stats.dir/ks.cpp.o" "gcc" "src/stats/CMakeFiles/cw_stats.dir/ks.cpp.o.d"
+  "/root/repo/src/stats/mann_whitney.cpp" "src/stats/CMakeFiles/cw_stats.dir/mann_whitney.cpp.o" "gcc" "src/stats/CMakeFiles/cw_stats.dir/mann_whitney.cpp.o.d"
+  "/root/repo/src/stats/special_functions.cpp" "src/stats/CMakeFiles/cw_stats.dir/special_functions.cpp.o" "gcc" "src/stats/CMakeFiles/cw_stats.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_stats.dir/chi_squared.cpp.o"
+  "CMakeFiles/cw_stats.dir/chi_squared.cpp.o.d"
+  "CMakeFiles/cw_stats.dir/contingency.cpp.o"
+  "CMakeFiles/cw_stats.dir/contingency.cpp.o.d"
+  "CMakeFiles/cw_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/cw_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/cw_stats.dir/fisher.cpp.o"
+  "CMakeFiles/cw_stats.dir/fisher.cpp.o.d"
+  "CMakeFiles/cw_stats.dir/freq.cpp.o"
+  "CMakeFiles/cw_stats.dir/freq.cpp.o.d"
+  "CMakeFiles/cw_stats.dir/ks.cpp.o"
+  "CMakeFiles/cw_stats.dir/ks.cpp.o.d"
+  "CMakeFiles/cw_stats.dir/mann_whitney.cpp.o"
+  "CMakeFiles/cw_stats.dir/mann_whitney.cpp.o.d"
+  "CMakeFiles/cw_stats.dir/special_functions.cpp.o"
+  "CMakeFiles/cw_stats.dir/special_functions.cpp.o.d"
+  "libcw_stats.a"
+  "libcw_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

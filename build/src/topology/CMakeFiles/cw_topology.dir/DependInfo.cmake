@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/deployment.cpp" "src/topology/CMakeFiles/cw_topology.dir/deployment.cpp.o" "gcc" "src/topology/CMakeFiles/cw_topology.dir/deployment.cpp.o.d"
+  "/root/repo/src/topology/provider.cpp" "src/topology/CMakeFiles/cw_topology.dir/provider.cpp.o" "gcc" "src/topology/CMakeFiles/cw_topology.dir/provider.cpp.o.d"
+  "/root/repo/src/topology/universe.cpp" "src/topology/CMakeFiles/cw_topology.dir/universe.cpp.o" "gcc" "src/topology/CMakeFiles/cw_topology.dir/universe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cw_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

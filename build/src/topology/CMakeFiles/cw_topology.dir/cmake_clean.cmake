@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_topology.dir/deployment.cpp.o"
+  "CMakeFiles/cw_topology.dir/deployment.cpp.o.d"
+  "CMakeFiles/cw_topology.dir/provider.cpp.o"
+  "CMakeFiles/cw_topology.dir/provider.cpp.o.d"
+  "CMakeFiles/cw_topology.dir/universe.cpp.o"
+  "CMakeFiles/cw_topology.dir/universe.cpp.o.d"
+  "libcw_topology.a"
+  "libcw_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

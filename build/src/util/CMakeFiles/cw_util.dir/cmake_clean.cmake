@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_util.dir/rng.cpp.o"
+  "CMakeFiles/cw_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cw_util.dir/sim_time.cpp.o"
+  "CMakeFiles/cw_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/cw_util.dir/strings.cpp.o"
+  "CMakeFiles/cw_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cw_util.dir/table.cpp.o"
+  "CMakeFiles/cw_util.dir/table.cpp.o.d"
+  "libcw_util.a"
+  "libcw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_agents_test.dir/agents/campaign_test.cpp.o"
+  "CMakeFiles/cw_agents_test.dir/agents/campaign_test.cpp.o.d"
+  "CMakeFiles/cw_agents_test.dir/agents/evader_test.cpp.o"
+  "CMakeFiles/cw_agents_test.dir/agents/evader_test.cpp.o.d"
+  "CMakeFiles/cw_agents_test.dir/agents/miner_test.cpp.o"
+  "CMakeFiles/cw_agents_test.dir/agents/miner_test.cpp.o.d"
+  "CMakeFiles/cw_agents_test.dir/agents/population_test.cpp.o"
+  "CMakeFiles/cw_agents_test.dir/agents/population_test.cpp.o.d"
+  "cw_agents_test"
+  "cw_agents_test.pdb"
+  "cw_agents_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_agents_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

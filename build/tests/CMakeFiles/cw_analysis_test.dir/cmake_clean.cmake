@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_analysis_test.dir/analysis/blocklist_test.cpp.o"
+  "CMakeFiles/cw_analysis_test.dir/analysis/blocklist_test.cpp.o.d"
+  "CMakeFiles/cw_analysis_test.dir/analysis/campaigns_test.cpp.o"
+  "CMakeFiles/cw_analysis_test.dir/analysis/campaigns_test.cpp.o.d"
+  "CMakeFiles/cw_analysis_test.dir/analysis/characteristics_test.cpp.o"
+  "CMakeFiles/cw_analysis_test.dir/analysis/characteristics_test.cpp.o.d"
+  "CMakeFiles/cw_analysis_test.dir/analysis/comparison_test.cpp.o"
+  "CMakeFiles/cw_analysis_test.dir/analysis/comparison_test.cpp.o.d"
+  "CMakeFiles/cw_analysis_test.dir/analysis/geography_test.cpp.o"
+  "CMakeFiles/cw_analysis_test.dir/analysis/geography_test.cpp.o.d"
+  "CMakeFiles/cw_analysis_test.dir/analysis/malicious_test.cpp.o"
+  "CMakeFiles/cw_analysis_test.dir/analysis/malicious_test.cpp.o.d"
+  "CMakeFiles/cw_analysis_test.dir/analysis/network_test.cpp.o"
+  "CMakeFiles/cw_analysis_test.dir/analysis/network_test.cpp.o.d"
+  "CMakeFiles/cw_analysis_test.dir/analysis/overlap_test.cpp.o"
+  "CMakeFiles/cw_analysis_test.dir/analysis/overlap_test.cpp.o.d"
+  "CMakeFiles/cw_analysis_test.dir/analysis/protocols_test.cpp.o"
+  "CMakeFiles/cw_analysis_test.dir/analysis/protocols_test.cpp.o.d"
+  "CMakeFiles/cw_analysis_test.dir/analysis/structure_test.cpp.o"
+  "CMakeFiles/cw_analysis_test.dir/analysis/structure_test.cpp.o.d"
+  "cw_analysis_test"
+  "cw_analysis_test.pdb"
+  "cw_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

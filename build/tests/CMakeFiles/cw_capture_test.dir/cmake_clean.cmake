@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_capture_test.dir/capture/collector_test.cpp.o"
+  "CMakeFiles/cw_capture_test.dir/capture/collector_test.cpp.o.d"
+  "CMakeFiles/cw_capture_test.dir/capture/dataset_test.cpp.o"
+  "CMakeFiles/cw_capture_test.dir/capture/dataset_test.cpp.o.d"
+  "CMakeFiles/cw_capture_test.dir/capture/firewall_test.cpp.o"
+  "CMakeFiles/cw_capture_test.dir/capture/firewall_test.cpp.o.d"
+  "CMakeFiles/cw_capture_test.dir/capture/pcap_test.cpp.o"
+  "CMakeFiles/cw_capture_test.dir/capture/pcap_test.cpp.o.d"
+  "cw_capture_test"
+  "cw_capture_test.pdb"
+  "cw_capture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_capture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

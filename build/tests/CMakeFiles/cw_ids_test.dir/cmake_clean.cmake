@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_ids_test.dir/ids/engine_test.cpp.o"
+  "CMakeFiles/cw_ids_test.dir/ids/engine_test.cpp.o.d"
+  "CMakeFiles/cw_ids_test.dir/ids/rule_test.cpp.o"
+  "CMakeFiles/cw_ids_test.dir/ids/rule_test.cpp.o.d"
+  "cw_ids_test"
+  "cw_ids_test.pdb"
+  "cw_ids_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_ids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_integration_test.dir/integration/config_knobs_test.cpp.o"
+  "CMakeFiles/cw_integration_test.dir/integration/config_knobs_test.cpp.o.d"
+  "CMakeFiles/cw_integration_test.dir/integration/experiment_test.cpp.o"
+  "CMakeFiles/cw_integration_test.dir/integration/experiment_test.cpp.o.d"
+  "CMakeFiles/cw_integration_test.dir/integration/leak_test.cpp.o"
+  "CMakeFiles/cw_integration_test.dir/integration/leak_test.cpp.o.d"
+  "CMakeFiles/cw_integration_test.dir/integration/paper_claims_test.cpp.o"
+  "CMakeFiles/cw_integration_test.dir/integration/paper_claims_test.cpp.o.d"
+  "CMakeFiles/cw_integration_test.dir/integration/tables_test.cpp.o"
+  "CMakeFiles/cw_integration_test.dir/integration/tables_test.cpp.o.d"
+  "CMakeFiles/cw_integration_test.dir/integration/temporal_test.cpp.o"
+  "CMakeFiles/cw_integration_test.dir/integration/temporal_test.cpp.o.d"
+  "cw_integration_test"
+  "cw_integration_test.pdb"
+  "cw_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

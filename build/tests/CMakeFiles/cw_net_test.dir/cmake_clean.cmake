@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_net_test.dir/net/asn_geo_test.cpp.o"
+  "CMakeFiles/cw_net_test.dir/net/asn_geo_test.cpp.o.d"
+  "CMakeFiles/cw_net_test.dir/net/ipv4_test.cpp.o"
+  "CMakeFiles/cw_net_test.dir/net/ipv4_test.cpp.o.d"
+  "CMakeFiles/cw_net_test.dir/net/ports_test.cpp.o"
+  "CMakeFiles/cw_net_test.dir/net/ports_test.cpp.o.d"
+  "cw_net_test"
+  "cw_net_test.pdb"
+  "cw_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_proto_test.dir/proto/banners_test.cpp.o"
+  "CMakeFiles/cw_proto_test.dir/proto/banners_test.cpp.o.d"
+  "CMakeFiles/cw_proto_test.dir/proto/credentials_test.cpp.o"
+  "CMakeFiles/cw_proto_test.dir/proto/credentials_test.cpp.o.d"
+  "CMakeFiles/cw_proto_test.dir/proto/exploits_test.cpp.o"
+  "CMakeFiles/cw_proto_test.dir/proto/exploits_test.cpp.o.d"
+  "CMakeFiles/cw_proto_test.dir/proto/fingerprint_test.cpp.o"
+  "CMakeFiles/cw_proto_test.dir/proto/fingerprint_test.cpp.o.d"
+  "CMakeFiles/cw_proto_test.dir/proto/http_test.cpp.o"
+  "CMakeFiles/cw_proto_test.dir/proto/http_test.cpp.o.d"
+  "cw_proto_test"
+  "cw_proto_test.pdb"
+  "cw_proto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_proto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_search_test.dir/searchengine/engine_test.cpp.o"
+  "CMakeFiles/cw_search_test.dir/searchengine/engine_test.cpp.o.d"
+  "cw_search_test"
+  "cw_search_test.pdb"
+  "cw_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

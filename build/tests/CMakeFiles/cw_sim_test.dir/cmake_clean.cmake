@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_sim_test.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/cw_sim_test.dir/sim/engine_test.cpp.o.d"
+  "cw_sim_test"
+  "cw_sim_test.pdb"
+  "cw_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

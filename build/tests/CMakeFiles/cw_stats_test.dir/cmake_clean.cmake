@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_stats_test.dir/stats/chi_squared_test.cpp.o"
+  "CMakeFiles/cw_stats_test.dir/stats/chi_squared_test.cpp.o.d"
+  "CMakeFiles/cw_stats_test.dir/stats/contingency_test.cpp.o"
+  "CMakeFiles/cw_stats_test.dir/stats/contingency_test.cpp.o.d"
+  "CMakeFiles/cw_stats_test.dir/stats/descriptive_test.cpp.o"
+  "CMakeFiles/cw_stats_test.dir/stats/descriptive_test.cpp.o.d"
+  "CMakeFiles/cw_stats_test.dir/stats/fisher_test.cpp.o"
+  "CMakeFiles/cw_stats_test.dir/stats/fisher_test.cpp.o.d"
+  "CMakeFiles/cw_stats_test.dir/stats/freq_test.cpp.o"
+  "CMakeFiles/cw_stats_test.dir/stats/freq_test.cpp.o.d"
+  "CMakeFiles/cw_stats_test.dir/stats/mwu_ks_test.cpp.o"
+  "CMakeFiles/cw_stats_test.dir/stats/mwu_ks_test.cpp.o.d"
+  "CMakeFiles/cw_stats_test.dir/stats/special_functions_test.cpp.o"
+  "CMakeFiles/cw_stats_test.dir/stats/special_functions_test.cpp.o.d"
+  "cw_stats_test"
+  "cw_stats_test.pdb"
+  "cw_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

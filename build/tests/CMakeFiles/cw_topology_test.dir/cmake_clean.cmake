@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_topology_test.dir/topology/deployment_test.cpp.o"
+  "CMakeFiles/cw_topology_test.dir/topology/deployment_test.cpp.o.d"
+  "CMakeFiles/cw_topology_test.dir/topology/universe_test.cpp.o"
+  "CMakeFiles/cw_topology_test.dir/topology/universe_test.cpp.o.d"
+  "cw_topology_test"
+  "cw_topology_test.pdb"
+  "cw_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cw_util_test.dir/util/rng_test.cpp.o"
+  "CMakeFiles/cw_util_test.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/cw_util_test.dir/util/sim_time_test.cpp.o"
+  "CMakeFiles/cw_util_test.dir/util/sim_time_test.cpp.o.d"
+  "CMakeFiles/cw_util_test.dir/util/strings_test.cpp.o"
+  "CMakeFiles/cw_util_test.dir/util/strings_test.cpp.o.d"
+  "CMakeFiles/cw_util_test.dir/util/table_test.cpp.o"
+  "CMakeFiles/cw_util_test.dir/util/table_test.cpp.o.d"
+  "cw_util_test"
+  "cw_util_test.pdb"
+  "cw_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cw_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

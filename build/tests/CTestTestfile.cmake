@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/cw_util_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_net_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_proto_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_ids_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_capture_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_search_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_agents_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/cw_integration_test[1]_include.cmake")
