@@ -6,6 +6,7 @@
 // Environment knobs:
 //   CW_SCALE  population scale factor (default 0.5)
 //   CW_T24    telescope size in /24 networks (default 16)
+//   CW_JOBS   worker threads for the pipeline runner (default 1, 0 = all)
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -17,6 +18,7 @@
 
 #include "core/experiment.h"
 #include "core/tables.h"
+#include "runner/report.h"
 
 namespace cw::bench {
 
@@ -28,6 +30,11 @@ inline double env_scale(double fallback = 0.5) {
 inline int env_telescope_slash24s(int fallback = 16) {
   const char* value = std::getenv("CW_T24");
   return value != nullptr ? std::atoi(value) : fallback;
+}
+
+inline unsigned env_jobs(unsigned fallback = 1) {
+  const char* value = std::getenv("CW_JOBS");
+  return value != nullptr ? static_cast<unsigned>(std::atoi(value)) : fallback;
 }
 
 inline core::ExperimentConfig bench_config(
@@ -56,6 +63,30 @@ inline void bm_experiment_build(benchmark::State& state, topology::ScenarioYear 
     auto result = core::Experiment(bench_config(year)).run();
     benchmark::DoNotOptimize(result->store().size());
   }
+}
+
+// Shared runner entry point: regenerates the full paper result set over the
+// cached experiment through the deterministic pipeline runner. `jobs`
+// follows CW_JOBS when the state range is 0, so one binary sweeps worker
+// counts. The heavyweight leak experiment is excluded — it simulates its
+// own populations and would drown out the per-table numbers.
+inline void bm_report_pipelines(benchmark::State& state) {
+  const core::ExperimentResult& experiment = shared_experiment();
+  experiment.store().freeze();
+  runner::ReportOptions options;
+  options.include_leak = false;
+  const auto pipelines = runner::paper_report_pipelines(experiment, options);
+  const unsigned jobs =
+      state.range(0) == 0 ? env_jobs() : static_cast<unsigned>(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto run = runner::run_pipelines(pipelines, jobs);
+    bytes = 0;
+    for (const std::string& output : run.outputs) bytes += output.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["jobs"] = jobs;
+  state.counters["output_bytes"] = static_cast<double>(bytes);
 }
 
 // Standard main: run benchmarks, then print the regenerated artifact.

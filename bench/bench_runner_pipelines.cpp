@@ -1,0 +1,28 @@
+// Benchmarks the deterministic parallel pipeline runner: the full paper
+// result set (minus the self-simulating leak experiment) regenerated at
+// 1/2/4/8 workers over one cached experiment, plus the CW_JOBS-driven
+// configuration. The printed artifact is the runner's own RunReport at
+// CW_JOBS workers — per-pipeline wall time, events, and output size.
+#include "bench_common.h"
+
+namespace cw::bench {
+namespace {
+
+void bm_runner(benchmark::State& state) { bm_report_pipelines(state); }
+BENCHMARK(bm_runner)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+std::string runner_report() {
+  const core::ExperimentResult& experiment = shared_experiment();
+  experiment.store().freeze();
+  runner::ReportOptions options;
+  options.include_leak = false;
+  const auto pipelines = runner::paper_report_pipelines(experiment, options);
+  const auto run = runner::run_pipelines(pipelines, env_jobs());
+  return run.report.render();
+}
+
+}  // namespace
+}  // namespace cw::bench
+
+CW_BENCH_MAIN(cw::bench::runner_report())

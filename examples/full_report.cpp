@@ -1,57 +1,60 @@
 // Regenerates every table of the paper from one simulated observation
 // window, plus the Figure 1 summaries and the Section 3.2 headline numbers.
 //
-//   ./full_report [scale] [telescope_slash24s]
+//   ./full_report [--jobs N] [scale] [telescope_slash24s]
 //
-// This is the "whole paper in one run" example; the bench/ binaries produce
-// the same outputs one experiment at a time with timing.
+// The analysis pipelines are sharded across a work-stealing thread pool
+// (--jobs N, default 1; 0 = hardware concurrency) with a deterministic
+// merge: the rendered tables on stdout are byte-identical at every worker
+// count. Per-pipeline wall-time metrics go to stderr so they never perturb
+// the comparable output. The bench/ binaries produce the same outputs one
+// experiment at a time with timing.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
-#include "analysis/leak.h"
 #include "core/experiment.h"
-#include "core/tables.h"
+#include "runner/report.h"
 
 int main(int argc, char** argv) {
+  unsigned jobs = 1;
   cw::core::ExperimentConfig config;
-  config.scale = argc > 1 ? std::atof(argv[1]) : 1.0;
-  config.telescope_slash24s = argc > 2 ? std::atoi(argv[2]) : 64;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --jobs requires a value\n");
+        return 2;
+      }
+      jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
+    } else if (positional == 0) {
+      config.scale = std::atof(argv[i]);
+      ++positional;
+    } else {
+      config.telescope_slash24s = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
 
   std::printf("== Cloud Watching full report (scale %.2f) ==\n\n", config.scale);
   const auto result = cw::core::Experiment(config).run();
+  // Freeze the per-vantage index before fanning out so no pipeline pays for
+  // (or contends on) the first-use build.
+  result->store().freeze();
   std::printf("captured %zu session records\n\n", result->store().size());
 
-  std::printf("--- Table 1: vantage points ---\n%s\n", cw::core::render_table1(*result).c_str());
-  std::printf("--- Section 3.2: malicious-traffic fractions ---\n%s\n",
-              cw::core::render_sec32(*result).c_str());
-  std::printf("--- Table 2: neighboring services ---\n%s\n",
-              cw::core::render_table2(*result).c_str());
+  cw::runner::ReportOptions options;
+  const auto pipelines = cw::runner::paper_report_pipelines(*result, options);
+  const auto run = cw::runner::run_pipelines(pipelines, jobs);
 
-  std::printf("--- Table 3: search-engine leak experiment ---\n");
-  cw::analysis::LeakExperimentConfig leak_config;
-  const auto leak = cw::analysis::run_leak_experiment(leak_config);
-  std::printf("%s\n", cw::core::render_table3(leak).c_str());
-
-  std::printf("--- Table 4: most-different geographic regions ---\n%s\n",
-              cw::core::render_table4(*result).c_str());
-  std::printf("--- Table 5: geographic similarity ---\n%s\n",
-              cw::core::render_table5(*result).c_str());
-  std::printf("--- Table 6: co-located clouds ---\n%s\n",
-              cw::core::render_table6(*result).c_str());
-  std::printf("--- Table 7: network types ---\n%s\n", cw::core::render_table7(*result).c_str());
-  std::printf("--- Table 8: scanner overlap with the telescope ---\n%s\n",
-              cw::core::render_table8(*result).c_str());
-  std::printf("--- Table 9: attacker overlap with the telescope ---\n%s\n",
-              cw::core::render_table9(*result).c_str());
-  std::printf("--- Table 10: telescope scanners differ ---\n%s\n",
-              cw::core::render_table10(*result).c_str());
-  std::printf("--- Table 11: scanner-targeted protocols ---\n%s\n",
-              cw::core::render_table11(*result).c_str());
-
-  for (cw::net::Port port : {cw::net::Port{22}, cw::net::Port{445}, cw::net::Port{80},
-                             cw::net::Port{17128}}) {
-    std::printf("--- Figure 1 (port %u) ---\n%s\n", port,
-                cw::core::render_figure1(*result, port).c_str());
+  for (std::size_t i = 0; i < pipelines.size(); ++i) {
+    std::printf("--- %s ---\n%s\n", pipelines[i].name.c_str(), run.outputs[i].c_str());
   }
-  return 0;
+  std::fprintf(stderr, "\n== runner report ==\n%s", run.report.render().c_str());
+  bool failed = false;
+  for (const auto& metrics : run.report.pipelines) failed |= metrics.failed;
+  return failed ? 1 : 0;
 }

@@ -11,12 +11,19 @@ MeasuredIntent MaliciousClassifier::classify(const capture::SessionRecord& recor
 
   const std::uint64_t key =
       (static_cast<std::uint64_t>(record.payload_id) << 16) | record.port;
-  auto it = verdict_cache_.find(key);
-  bool fired;
-  if (it != verdict_cache_.end()) {
-    fired = it->second;
-  } else {
-    fired = engine_->matches(store.payload(record.payload_id), record.port, record.transport);
+  {
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    auto it = verdict_cache_.find(key);
+    if (it != verdict_cache_.end()) {
+      return it->second ? MeasuredIntent::kMalicious : MeasuredIntent::kBenign;
+    }
+  }
+  // Match outside the lock: the rule engine is immutable and the verdict for
+  // a key is deterministic, so a racing duplicate insert is harmless.
+  const bool fired =
+      engine_->matches(store.payload(record.payload_id), record.port, record.transport);
+  {
+    std::unique_lock<std::shared_mutex> lock(cache_mutex_);
     verdict_cache_.emplace(key, fired);
   }
   return fired ? MeasuredIntent::kMalicious : MeasuredIntent::kBenign;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <shared_mutex>
 #include <unordered_map>
 
 #include "capture/store.h"
@@ -27,7 +28,8 @@ class MaliciousClassifier {
 
   // Classifies one record against the store it came from. Verdicts for
   // (payload, port) pairs are memoized — campaign payloads repeat millions
-  // of times.
+  // of times. Safe to call from concurrent analysis threads; the memo table
+  // is guarded by a reader/writer lock.
   MeasuredIntent classify(const capture::SessionRecord& record,
                           const capture::EventStore& store) const;
 
@@ -39,6 +41,7 @@ class MaliciousClassifier {
  private:
   const ids::RuleEngine* engine_;
   // Key packs payload id and port.
+  mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<std::uint64_t, bool> verdict_cache_;
 };
 

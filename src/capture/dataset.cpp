@@ -12,7 +12,9 @@ namespace cw::capture {
 namespace {
 
 constexpr char kMagic[4] = {'C', 'W', 'D', 'S'};
-constexpr std::uint32_t kVersion = 1;
+// Version 2 switched the interned credential blobs from the '\n'-joined
+// encoding to the length-prefixed one (see EventStore::encode_credential).
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& out, T value) {
@@ -93,12 +95,11 @@ std::optional<EventStore> read_dataset(std::istream& in) {
   }
   std::vector<proto::Credential> credentials(credential_count);
   for (proto::Credential& credential : credentials) {
-    std::string joined;
-    if (!read_string(in, joined)) return std::nullopt;
-    const std::size_t split = joined.find('\n');
-    if (split == std::string::npos) return std::nullopt;
-    credential.username = joined.substr(0, split);
-    credential.password = joined.substr(split + 1);
+    std::string encoded;
+    if (!read_string(in, encoded)) return std::nullopt;
+    auto decoded = EventStore::decode_credential(encoded);
+    if (!decoded.has_value()) return std::nullopt;
+    credential = std::move(*decoded);
   }
 
   EventStore store;

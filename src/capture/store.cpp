@@ -1,42 +1,87 @@
 #include "capture/store.h"
 
 #include <algorithm>
+#include <charconv>
 
 namespace cw::capture {
+
+EventStore::EventStore(EventStore&& other) noexcept
+    : records_(std::move(other.records_)),
+      payloads_(std::move(other.payloads_)),
+      credentials_(std::move(other.credentials_)),
+      vantage_index_(std::move(other.vantage_index_)) {
+  index_valid_.store(other.index_valid_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+}
+
+EventStore& EventStore::operator=(EventStore&& other) noexcept {
+  if (this != &other) {
+    records_ = std::move(other.records_);
+    payloads_ = std::move(other.payloads_);
+    credentials_ = std::move(other.credentials_);
+    vantage_index_ = std::move(other.vantage_index_);
+    index_valid_.store(other.index_valid_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+  }
+  return *this;
+}
+
+std::string EventStore::encode_credential(const proto::Credential& credential) {
+  std::string out = std::to_string(credential.username.size());
+  out += ':';
+  out += credential.username;
+  out += credential.password;
+  return out;
+}
+
+std::optional<proto::Credential> EventStore::decode_credential(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos || colon == 0) return std::nullopt;
+  std::size_t username_length = 0;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + colon, username_length);
+  if (ec != std::errc{} || end != text.data() + colon) return std::nullopt;
+  const std::string_view rest = text.substr(colon + 1);
+  if (username_length > rest.size()) return std::nullopt;
+  proto::Credential out;
+  out.username = std::string(rest.substr(0, username_length));
+  out.password = std::string(rest.substr(username_length));
+  return out;
+}
 
 void EventStore::append(SessionRecord record, std::string_view payload,
                         const std::optional<proto::Credential>& credential) {
   record.payload_id = payload.empty() ? kNoPayload : payloads_.intern(payload);
   if (credential.has_value()) {
-    record.credential_id = credentials_.intern(credential->username + "\n" + credential->password);
+    record.credential_id = credentials_.intern(encode_credential(*credential));
   } else {
     record.credential_id = kNoCredential;
   }
   records_.push_back(record);
-  index_valid_ = false;
+  index_valid_.store(false, std::memory_order_release);
 }
 
 proto::Credential EventStore::credential(std::uint32_t id) const {
-  const std::string& joined = credentials_.at(id);
-  const std::size_t split = joined.find('\n');
-  proto::Credential out;
-  out.username = joined.substr(0, split);
-  if (split != std::string::npos) out.password = joined.substr(split + 1);
-  return out;
+  const auto decoded = decode_credential(credentials_.at(id));
+  return decoded.value_or(proto::Credential{});
+}
+
+void EventStore::freeze() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (index_valid_.load(std::memory_order_relaxed)) return;
+  topology::VantageId max_vantage = 0;
+  for (const SessionRecord& record : records_) {
+    max_vantage = std::max(max_vantage, record.vantage);
+  }
+  vantage_index_.assign(max_vantage + 1, {});
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    vantage_index_[records_[i].vantage].push_back(i);
+  }
+  index_valid_.store(true, std::memory_order_release);
 }
 
 const std::vector<std::uint32_t>& EventStore::for_vantage(topology::VantageId id) const {
-  if (!index_valid_) {
-    topology::VantageId max_vantage = 0;
-    for (const SessionRecord& record : records_) {
-      max_vantage = std::max(max_vantage, record.vantage);
-    }
-    vantage_index_.assign(max_vantage + 1, {});
-    for (std::uint32_t i = 0; i < records_.size(); ++i) {
-      vantage_index_[records_[i].vantage].push_back(i);
-    }
-    index_valid_ = true;
-  }
+  if (!index_valid_.load(std::memory_order_acquire)) freeze();
   static const std::vector<std::uint32_t> kEmpty;
   if (id >= vantage_index_.size()) return kEmpty;
   return vantage_index_[id];

@@ -1,8 +1,17 @@
 // The event store: every SessionRecord captured during a run, with interned
 // payloads/credentials and per-vantage indices for the analysis pipelines.
+//
+// Threading model: the store is single-writer during the simulation phase
+// (append), then read-only during analysis. All const members, including the
+// lazily built for_vantage index, are safe to call from concurrent reader
+// threads once the last append has happened-before the readers start (the
+// pipeline runner joins the simulation before fanning out).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,8 +25,12 @@ namespace cw::capture {
 
 class EventStore {
  public:
+  EventStore() = default;
+  EventStore(EventStore&& other) noexcept;
+  EventStore& operator=(EventStore&& other) noexcept;
+
   // Appends a record whose payload/credential have not been interned yet.
-  // Empty payload => kNoPayload.
+  // Empty payload => kNoPayload. Not safe concurrently with any reader.
   void append(SessionRecord record, std::string_view payload,
               const std::optional<proto::Credential>& credential);
 
@@ -31,21 +44,38 @@ class EventStore {
   [[nodiscard]] std::size_t distinct_payloads() const noexcept { return payloads_.size(); }
   [[nodiscard]] std::size_t distinct_credentials() const noexcept { return credentials_.size(); }
 
-  // Raw interned credential text ("username\npassword"), for serialization.
+  // Raw interned credential text in the length-prefixed encoding below, for
+  // serialization.
   [[nodiscard]] const std::string& credential_text(std::uint32_t id) const {
     return credentials_.at(id);
   }
 
-  // Record indices captured by one vantage point. Built lazily on first use
-  // and invalidated by append.
+  // Credentials are interned as "<username length>:<username><password>".
+  // A plain '\n' join corrupted round-trips whenever the username itself
+  // contained a newline (Cowrie-style SSH capture does observe those) and
+  // made ("a\nb", "c") collide with ("a", "b\nc").
+  static std::string encode_credential(const proto::Credential& credential);
+  static std::optional<proto::Credential> decode_credential(std::string_view text);
+
+  // Record indices captured by one vantage point. The index is built once on
+  // first use (or by freeze()) and is safe for concurrent readers; append
+  // invalidates it.
   [[nodiscard]] const std::vector<std::uint32_t>& for_vantage(topology::VantageId id) const;
+
+  // Eagerly builds the per-vantage index (idempotent, safe to race). Call
+  // after the simulation phase so concurrent analysis readers never contend
+  // on the first-use build.
+  void freeze() const;
 
  private:
   std::vector<SessionRecord> records_;
   Interner payloads_;
-  Interner credentials_;  // interned as "username\npassword"
+  Interner credentials_;
+  // Lazily built per-vantage index. index_valid_ is the double-checked flag:
+  // acquire-loaded on the read path, set under index_mutex_ by the builder.
+  mutable std::mutex index_mutex_;
+  mutable std::atomic<bool> index_valid_{false};
   mutable std::vector<std::vector<std::uint32_t>> vantage_index_;
-  mutable bool index_valid_ = false;
 };
 
 }  // namespace cw::capture

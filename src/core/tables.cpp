@@ -82,16 +82,36 @@ std::string render_table1(const ExperimentResult& result) {
   return table.render();
 }
 
-std::string render_table2(const ExperimentResult& result) {
+namespace {
+
+// Row order shared by table2_tasks and render_table2_from.
+constexpr analysis::TrafficScope kTable2Scopes[] = {
+    analysis::TrafficScope::kSsh22, analysis::TrafficScope::kTelnet23,
+    analysis::TrafficScope::kHttp80, analysis::TrafficScope::kHttpAllPorts};
+
+}  // namespace
+
+std::vector<std::function<analysis::NeighborhoodSummary()>> table2_tasks(
+    const ExperimentResult& result) {
+  std::vector<std::function<analysis::NeighborhoodSummary()>> tasks;
+  for (const auto scope : kTable2Scopes) {
+    for (const auto characteristic : analysis::characteristics_for_scope(scope)) {
+      tasks.push_back([&result, scope, characteristic] {
+        return analysis::analyze_neighborhoods(result.store(), result.deployment(), scope,
+                                               characteristic, result.classifier());
+      });
+    }
+  }
+  return tasks;
+}
+
+std::string render_table2_from(const std::vector<analysis::NeighborhoodSummary>& summaries) {
   util::TextTable table({"Scope", "Traffic Characteristic", "% Neighborhoods different", "n",
                          "Avg phi", "Magnitude"});
-  const analysis::TrafficScope scopes[] = {
-      analysis::TrafficScope::kSsh22, analysis::TrafficScope::kTelnet23,
-      analysis::TrafficScope::kHttp80, analysis::TrafficScope::kHttpAllPorts};
-  for (const auto scope : scopes) {
+  std::size_t next = 0;
+  for (const auto scope : kTable2Scopes) {
     for (const auto characteristic : analysis::characteristics_for_scope(scope)) {
-      const analysis::NeighborhoodSummary summary = analysis::analyze_neighborhoods(
-          result.store(), result.deployment(), scope, characteristic, result.classifier());
+      const analysis::NeighborhoodSummary& summary = summaries.at(next++);
       table.add_row({std::string(analysis::scope_name(scope)),
                      std::string(analysis::characteristic_name(characteristic)),
                      pct(summary.pct_different), std::to_string(summary.neighborhoods_tested),
@@ -103,6 +123,12 @@ std::string render_table2(const ExperimentResult& result) {
     table.add_separator();
   }
   return table.render();
+}
+
+std::string render_table2(const ExperimentResult& result) {
+  std::vector<analysis::NeighborhoodSummary> summaries;
+  for (const auto& task : table2_tasks(result)) summaries.push_back(task());
+  return render_table2_from(summaries);
 }
 
 std::string render_table3(const analysis::LeakExperimentResult& leak) {
@@ -311,23 +337,48 @@ std::string render_table9(const ExperimentResult& result) {
   return table.render();
 }
 
-std::string render_table10(const ExperimentResult& result) {
+namespace {
+
+// Row order shared by table10_tasks and render_table10_from.
+constexpr analysis::TrafficScope kTable10Scopes[] = {
+    analysis::TrafficScope::kSsh22, analysis::TrafficScope::kTelnet23,
+    analysis::TrafficScope::kHttp80, analysis::TrafficScope::kAnyAll};
+
+}  // namespace
+
+std::vector<std::function<analysis::NetworkComparison()>> table10_tasks(
+    const ExperimentResult& result) {
+  std::vector<std::function<analysis::NetworkComparison()>> tasks;
+  for (const auto scope : kTable10Scopes) {
+    for (const bool edu : {true, false}) {
+      tasks.push_back([&result, scope, edu] {
+        const auto pairs = edu ? analysis::telescope_edu_pairs(result.deployment())
+                               : analysis::telescope_cloud_pairs(result.deployment());
+        return analysis::compare_vantage_pairs(result.store(), result.deployment(), pairs,
+                                               scope, analysis::Characteristic::kTopAs,
+                                               result.classifier());
+      });
+    }
+  }
+  return tasks;
+}
+
+std::string render_table10_from(const std::vector<analysis::NetworkComparison>& comparisons) {
   util::TextTable table({"Traffic", "Protocol", "Telescope-EDU", "Telescope-Cloud"});
-  const auto te = analysis::telescope_edu_pairs(result.deployment());
-  const auto tc = analysis::telescope_cloud_pairs(result.deployment());
-  const analysis::TrafficScope scopes[] = {
-      analysis::TrafficScope::kSsh22, analysis::TrafficScope::kTelnet23,
-      analysis::TrafficScope::kHttp80, analysis::TrafficScope::kAnyAll};
-  for (const auto scope : scopes) {
-    auto run = [&](const std::vector<std::pair<topology::VantageId, topology::VantageId>>& pairs) {
-      return analysis::compare_vantage_pairs(result.store(), result.deployment(), pairs, scope,
-                                             analysis::Characteristic::kTopAs,
-                                             result.classifier());
-    };
-    table.add_row({"Top 3 AS", std::string(analysis::scope_name(scope)), network_cell(run(te)),
-                   network_cell(run(tc))});
+  std::size_t next = 0;
+  for (const auto scope : kTable10Scopes) {
+    const analysis::NetworkComparison& te = comparisons.at(next++);
+    const analysis::NetworkComparison& tc = comparisons.at(next++);
+    table.add_row({"Top 3 AS", std::string(analysis::scope_name(scope)), network_cell(te),
+                   network_cell(tc)});
   }
   return table.render();
+}
+
+std::string render_table10(const ExperimentResult& result) {
+  std::vector<analysis::NetworkComparison> comparisons;
+  for (const auto& task : table10_tasks(result)) comparisons.push_back(task());
+  return render_table10_from(comparisons);
 }
 
 namespace {

@@ -4,9 +4,13 @@
 // comparable with the paper.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "analysis/leak.h"
+#include "analysis/neighborhood.h"
+#include "analysis/network.h"
 #include "core/experiment.h"
 
 namespace cw::core {
@@ -17,6 +21,14 @@ std::string render_table1(const ExperimentResult& result);
 // Table 2 (and Table 12 when run on a 2020 scenario): neighborhood
 // differences per scope and characteristic.
 std::string render_table2(const ExperimentResult& result);
+
+// Table 2's computation grid as independent closures — one
+// analyze_neighborhoods call per (scope, characteristic) row, in row order —
+// so the pipeline runner can shard the table's critical path. Feed the
+// results, in the same order, to render_table2_from.
+std::vector<std::function<analysis::NeighborhoodSummary()>> table2_tasks(
+    const ExperimentResult& result);
+std::string render_table2_from(const std::vector<analysis::NeighborhoodSummary>& summaries);
 
 // Table 3: the leak experiment (independent of the main experiment).
 std::string render_table3(const analysis::LeakExperimentResult& leak);
@@ -41,6 +53,14 @@ std::string render_table9(const ExperimentResult& result);
 
 // Table 10 (and 15): telescope-vs-EDU/cloud top-AS differences.
 std::string render_table10(const ExperimentResult& result);
+
+// Table 10's comparison grid as independent closures — scope-major,
+// telescope-EDU before telescope-cloud within each scope. This is the
+// longest-running single table, so sharding these eight
+// compare_vantage_pairs calls shortens the whole report's critical path.
+std::vector<std::function<analysis::NetworkComparison()>> table10_tasks(
+    const ExperimentResult& result);
+std::string render_table10_from(const std::vector<analysis::NetworkComparison>& comparisons);
 
 // Table 11: scanner-targeted protocols with reputation breakdown.
 std::string render_table11(const ExperimentResult& result);

@@ -1,0 +1,32 @@
+// The paper's full result set as runner pipelines: one Pipeline per table /
+// figure panel / headline-number block, all reading one completed
+// (immutable) ExperimentResult. This is the shared entry point wired into
+// examples/full_report and the bench harnesses — slot order is print order,
+// so rendering the outputs in sequence reproduces the sequential report
+// byte for byte at any worker count.
+#pragma once
+
+#include <vector>
+
+#include "analysis/leak.h"
+#include "core/experiment.h"
+#include "runner/pipeline.h"
+
+namespace cw::runner {
+
+struct ReportOptions {
+  // The leak experiment (Table 3) simulates its own populations and is by
+  // far the heaviest pipeline; disable it for quick runs.
+  bool include_leak = true;
+  analysis::LeakExperimentConfig leak_config;
+  // Figure 1 panels, one pipeline per port.
+  std::vector<net::Port> figure1_ports = {22, 445, 80, 17128};
+};
+
+// Builds the pipeline set over `result`. Each Pipeline::name is the section
+// title ("Table 1: vantage points", ...); `result` (and `options`) must
+// outlive the returned pipelines.
+std::vector<Pipeline> paper_report_pipelines(const core::ExperimentResult& result,
+                                             const ReportOptions& options);
+
+}  // namespace cw::runner

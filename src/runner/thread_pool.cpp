@@ -1,0 +1,143 @@
+#include "runner/thread_pool.h"
+
+#include <utility>
+
+namespace cw::runner {
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  queues_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back(&ThreadPool::worker_loop, this, i);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::submit(Task task) {
+  const std::size_t slot =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  outstanding_.fetch_add(1, std::memory_order_release);
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Empty critical section: pairs the queued_ increment with the sleeping
+    // worker's predicate check so the notify can't slip in between.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.front());
+      own.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+    WorkerQueue& victim = *queues_[(self + offset) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::run_task(Task& task) {
+  task();
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  for (;;) {
+    Task task;
+    if (try_pop(index, task)) {
+      run_task(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    work_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Shards are claimed through an atomic index rather than popped off the
+  // deques: the caller may itself be a pool task, so blocking on idle_cv_
+  // would deadlock (its own task keeps outstanding_ nonzero). Instead the
+  // caller claims and runs shards directly while submitted wrappers let the
+  // other workers claim in parallel; the caller never executes unrelated
+  // queued tasks, so a pipeline's wall time covers only its own work.
+  struct Group {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+  };
+  auto group = std::make_shared<Group>();
+  auto claim_one = [group, &fn, n]() -> bool {
+    const std::size_t i = group->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return false;
+    fn(i);
+    group->done.fetch_add(1, std::memory_order_release);
+    return true;
+  };
+  // n - 1 wrappers: the caller runs at least one shard itself. A wrapper
+  // that finds every index claimed is a no-op; `fn` is only dereferenced
+  // for claimed indices, which all finish before parallel_for returns.
+  for (std::size_t k = 1; k < n; ++k) {
+    submit([claim_one] { claim_one(); });
+  }
+  while (claim_one()) {
+  }
+  // Unclaimed-by-us shards may still be running on other workers; their
+  // runtime bounds this wait.
+  while (group->done.load(std::memory_order_acquire) != n) {
+    std::this_thread::yield();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(sleep_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace cw::runner

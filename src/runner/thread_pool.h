@@ -1,0 +1,80 @@
+// A work-stealing thread pool for the analysis pipeline runner. Each worker
+// owns a deque: submitted tasks are dealt round-robin, a worker pops from
+// the front of its own deque, and an idle worker steals from the back of a
+// victim's. Task execution order is therefore nondeterministic — callers
+// that need deterministic results write into pre-assigned slots (see
+// pipeline.h) rather than relying on completion order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cw::runner {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  // 0 workers => hardware_concurrency() (at least 1).
+  explicit ThreadPool(unsigned workers = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Safe from any thread, including from inside a running
+  // task (the pool is not idle until nested submissions also finish).
+  void submit(Task task);
+
+  // Blocks until every submitted task has completed. Safe to call
+  // repeatedly; the pool stays usable afterwards. Must NOT be called from
+  // inside a pool task (the running task counts as outstanding, so it would
+  // deadlock) — nested fan-out uses parallel_for instead.
+  void wait_idle();
+
+  // Runs fn(0..n-1) on the pool and returns when all n calls have finished.
+  // Safe to call from inside a pool task: instead of blocking, the calling
+  // thread claims and runs shards of its own loop while idle workers claim
+  // the rest, so nested fan-out composes with pipeline-level parallelism
+  // without deadlocking even on a single worker. The caller never executes
+  // unrelated queued tasks.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(queues_.size());
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  // Pops from own front, else steals from the back of the other queues.
+  bool try_pop(std::size_t self, Task& out);
+  // Executes a popped task and performs the idle bookkeeping.
+  void run_task(Task& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // queued_ counts tasks sitting in deques; outstanding_ additionally
+  // includes tasks currently executing.
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+
+  std::mutex sleep_mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace cw::runner

@@ -1,25 +1,31 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace cw::sim {
 
 void Engine::schedule_at(util::SimTime t, Callback cb) {
   if (t < now_) t = now_;
-  queue_.push(Scheduled{t, next_sequence_++, std::move(cb)});
+  heap_.push_back(Scheduled{t, next_sequence_++, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void Engine::schedule_after(util::SimDuration delay, Callback cb) {
   schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(cb));
 }
 
+Engine::Scheduled Engine::pop_next() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Scheduled event = std::move(heap_.back());
+  heap_.pop_back();
+  return event;
+}
+
 std::uint64_t Engine::run_until(util::SimTime end) {
   std::uint64_t ran = 0;
-  while (!queue_.empty() && queue_.top().time <= end) {
-    // Move the callback out before popping so re-entrant scheduling from
-    // inside the callback can't touch a dangling reference.
-    Scheduled event = std::move(const_cast<Scheduled&>(queue_.top()));
-    queue_.pop();
+  while (!heap_.empty() && heap_.front().time <= end) {
+    Scheduled event = pop_next();
     now_ = event.time;
     event.callback(*this);
     ++ran;
@@ -31,9 +37,8 @@ std::uint64_t Engine::run_until(util::SimTime end) {
 
 std::uint64_t Engine::run_all() {
   std::uint64_t ran = 0;
-  while (!queue_.empty()) {
-    Scheduled event = std::move(const_cast<Scheduled&>(queue_.top()));
-    queue_.pop();
+  while (!heap_.empty()) {
+    Scheduled event = pop_next();
     now_ = event.time;
     event.callback(*this);
     ++ran;

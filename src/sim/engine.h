@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/sim_time.h"
@@ -28,6 +27,9 @@ class Engine {
   // Schedules relative to the current simulated time.
   void schedule_after(util::SimDuration delay, Callback cb);
 
+  // Pre-allocates heap capacity for a known event volume.
+  void reserve(std::size_t events) { heap_.reserve(events); }
+
   [[nodiscard]] util::SimTime now() const noexcept { return now_; }
 
   // Runs events with timestamp <= end, then sets now() to end. Returns the
@@ -38,7 +40,7 @@ class Engine {
   std::uint64_t run_all();
 
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
  private:
   struct Scheduled {
@@ -53,7 +55,15 @@ class Engine {
     }
   };
 
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  // Pops the earliest event off the heap and returns it by value.
+  Scheduled pop_next();
+
+  // Explicit binary heap (std::push_heap/std::pop_heap over a vector) rather
+  // than std::priority_queue: top() of a priority_queue is const, so moving
+  // the callback out required a const_cast — undefined behavior that also
+  // broke re-entrant scheduling. pop_heap hands us the element at back(),
+  // which we may legally move from, and the vector supports reserve().
+  std::vector<Scheduled> heap_;
   util::SimTime now_ = 0;
   std::uint64_t next_sequence_ = 0;
   std::uint64_t processed_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace cw::stats {
 
@@ -23,7 +24,9 @@ double median(std::vector<double> values) {
 }
 
 double quantile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
+  // An empty sample has no quantiles; without this guard values.size() - 1
+  // underflows std::size_t below.
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   std::sort(values.begin(), values.end());
   const double pos = q * static_cast<double>(values.size() - 1);

@@ -14,7 +14,7 @@ double mean(const std::vector<double>& values);
 // yields 0.
 double median(std::vector<double> values);
 
-// Linear-interpolated quantile, q in [0, 1].
+// Linear-interpolated quantile, q in [0, 1]. Empty input yields NaN.
 double quantile(std::vector<double> values, double q);
 
 // Fold increase of `treatment` over `control` means; returns 0 when the

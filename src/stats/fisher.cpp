@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/special_functions.h"
+
 namespace cw::stats {
 namespace {
 
 // log(n!) via lgamma; exact enough for the table sizes honeypot comparisons
 // produce.
-double log_factorial(std::uint64_t n) { return std::lgamma(static_cast<double>(n) + 1.0); }
+double log_factorial(std::uint64_t n) {
+  return lgamma_threadsafe(static_cast<double>(n) + 1.0);
+}
 
 // Log-probability of a specific 2x2 table under the hypergeometric null
 // with fixed margins.

@@ -21,7 +21,7 @@ double gamma_p_series(double a, double x) {
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - lgamma_threadsafe(a));
 }
 
 // Lentz continued fraction for Q(a, x); converges quickly for x > a + 1.
@@ -42,10 +42,19 @@ double gamma_q_cf(double a, double x) {
     h *= delta;
     if (std::fabs(delta - 1.0) < kEpsilon) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - lgamma_threadsafe(a));
 }
 
 }  // namespace
+
+double lgamma_threadsafe(double a) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(a, &sign);
+#else
+  return std::lgamma(a);
+#endif
+}
 
 double gamma_p(double a, double x) {
   if (a <= 0.0 || x < 0.0) return std::numeric_limits<double>::quiet_NaN();

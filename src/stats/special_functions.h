@@ -7,6 +7,11 @@
 
 namespace cw::stats {
 
+// log |Gamma(a)| without touching libm's process-global `signgam` —
+// std::lgamma writes it, which is a data race when analysis pipelines run
+// on concurrent worker threads.
+double lgamma_threadsafe(double a);
+
 // Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
 double gamma_p(double a, double x);
 

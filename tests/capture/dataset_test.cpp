@@ -102,6 +102,31 @@ TEST(Dataset, BinaryPayloadsSurviveRoundTrip) {
   EXPECT_EQ(loaded->payload(loaded->records()[0].payload_id), binary);
 }
 
+TEST(Dataset, NewlineBearingCredentialsRoundTrip) {
+  EventStore store;
+  SessionRecord record;
+  record.port = 22;
+  store.append(record, "SSH-2.0-x\r\n", proto::Credential{"root\nadmin", "pass\nword"});
+  store.append(record, {}, proto::Credential{"a\nb", "c"});
+  store.append(record, {}, proto::Credential{"a", "b\nc"});
+
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(store, buffer));
+  const auto loaded = read_dataset(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->distinct_credentials(), 3u);
+  const auto credential = [&](std::size_t i) {
+    return loaded->credential(loaded->records()[i].credential_id);
+  };
+  EXPECT_EQ(credential(0).username, "root\nadmin");
+  EXPECT_EQ(credential(0).password, "pass\nword");
+  EXPECT_EQ(credential(1).username, "a\nb");
+  EXPECT_EQ(credential(1).password, "c");
+  EXPECT_EQ(credential(2).username, "a");
+  EXPECT_EQ(credential(2).password, "b\nc");
+}
+
 TEST(Dataset, RejectsBadMagic) {
   std::stringstream buffer("NOPE garbage");
   EXPECT_FALSE(read_dataset(buffer).has_value());

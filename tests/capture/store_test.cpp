@@ -1,0 +1,131 @@
+#include "capture/store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cw::capture {
+namespace {
+
+SessionRecord record_at(topology::VantageId vantage, std::uint32_t src = 1) {
+  SessionRecord record;
+  record.vantage = vantage;
+  record.src = src;
+  record.port = 22;
+  return record;
+}
+
+TEST(EventStore, CredentialRoundTrip) {
+  EventStore store;
+  store.append(record_at(0), {}, proto::Credential{"root", "123456"});
+  const std::uint32_t id = store.records()[0].credential_id;
+  ASSERT_NE(id, kNoCredential);
+  EXPECT_EQ(store.credential(id).username, "root");
+  EXPECT_EQ(store.credential(id).password, "123456");
+}
+
+TEST(EventStore, CredentialWithNewlineUsernameRoundTrips) {
+  // Cowrie-style SSH capture does observe usernames containing '\n'; the
+  // old "username\npassword" join split on the first newline and corrupted
+  // both fields.
+  EventStore store;
+  store.append(record_at(0), {}, proto::Credential{"root\nadmin", "pass\nword"});
+  store.append(record_at(0), {}, proto::Credential{"", "only-password"});
+  store.append(record_at(0), {}, proto::Credential{"only-username", ""});
+  store.append(record_at(0), {}, proto::Credential{"with:colon", "p:w"});
+
+  const auto check = [&](std::size_t i, const std::string& username,
+                         const std::string& password) {
+    const std::uint32_t id = store.records()[i].credential_id;
+    ASSERT_NE(id, kNoCredential);
+    EXPECT_EQ(store.credential(id).username, username);
+    EXPECT_EQ(store.credential(id).password, password);
+  };
+  check(0, "root\nadmin", "pass\nword");
+  check(1, "", "only-password");
+  check(2, "only-username", "");
+  check(3, "with:colon", "p:w");
+}
+
+TEST(EventStore, NewlineCredentialsDoNotCollide) {
+  // Under the '\n'-joined encoding, ("a\nb", "c") and ("a", "b\nc") both
+  // interned as "a\nb\nc" and collapsed into one credential id.
+  EventStore store;
+  store.append(record_at(0), {}, proto::Credential{"a\nb", "c"});
+  store.append(record_at(0), {}, proto::Credential{"a", "b\nc"});
+  EXPECT_NE(store.records()[0].credential_id, store.records()[1].credential_id);
+  EXPECT_EQ(store.distinct_credentials(), 2u);
+}
+
+TEST(EventStore, DecodeCredentialRejectsMalformedText) {
+  EXPECT_FALSE(EventStore::decode_credential("").has_value());
+  EXPECT_FALSE(EventStore::decode_credential("no-colon").has_value());
+  EXPECT_FALSE(EventStore::decode_credential(":missing-length").has_value());
+  EXPECT_FALSE(EventStore::decode_credential("abc:def").has_value());
+  EXPECT_FALSE(EventStore::decode_credential("9:short").has_value());
+  // Round trip through the encoder always decodes.
+  const proto::Credential credential{"user\n:9", "pw"};
+  const auto decoded =
+      EventStore::decode_credential(EventStore::encode_credential(credential));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, credential);
+}
+
+TEST(EventStore, ForVantageIndexRebuildsAfterAppend) {
+  EventStore store;
+  store.append(record_at(2), {}, std::nullopt);
+  EXPECT_EQ(store.for_vantage(2).size(), 1u);
+  EXPECT_TRUE(store.for_vantage(5).empty());
+  store.append(record_at(5), {}, std::nullopt);
+  EXPECT_EQ(store.for_vantage(5).size(), 1u);
+  EXPECT_EQ(store.for_vantage(2).size(), 1u);
+  EXPECT_TRUE(store.for_vantage(99).empty());
+}
+
+TEST(EventStore, MovePreservesContentsAndIndex) {
+  EventStore store;
+  store.append(record_at(1), "payload", proto::Credential{"u", "p"});
+  store.freeze();
+  EventStore moved = std::move(store);
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.for_vantage(1).size(), 1u);
+  EXPECT_EQ(moved.payload(moved.records()[0].payload_id), "payload");
+  EXPECT_EQ(moved.credential(moved.records()[0].credential_id).username, "u");
+}
+
+TEST(EventStore, ConcurrentForVantageReadersSeeOneConsistentIndex) {
+  // Simulation phase: single-threaded appends across a few vantages.
+  EventStore store;
+  constexpr topology::VantageId kVantages = 7;
+  constexpr std::uint32_t kPerVantage = 250;
+  for (std::uint32_t i = 0; i < kPerVantage; ++i) {
+    for (topology::VantageId v = 0; v < kVantages; ++v) {
+      store.append(record_at(v, /*src=*/i), {}, std::nullopt);
+    }
+  }
+
+  // Analysis phase: N reader threads race on the first-use index build (no
+  // freeze() here on purpose). Run under -DCW_SANITIZE=thread to verify.
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&store, &mismatch] {
+      for (int iteration = 0; iteration < 50; ++iteration) {
+        for (topology::VantageId v = 0; v < kVantages; ++v) {
+          const auto& indices = store.for_vantage(v);
+          if (indices.size() != kPerVantage) mismatch.store(true);
+          for (const std::uint32_t index : indices) {
+            if (store.records()[index].vantage != v) mismatch.store(true);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
+}  // namespace
+}  // namespace cw::capture

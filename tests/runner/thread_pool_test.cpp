@@ -1,0 +1,164 @@
+#include "runner/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runner/pipeline.h"
+
+namespace cw::runner {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  EXPECT_EQ(pool.worker_count(), 2u);
+}
+
+TEST(ThreadPool, SingleWorkerStillDrains) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, NestedSubmissionsFinishBeforeIdle) {
+  // A task fans out subtasks; wait_idle must cover them too (work stealing
+  // lets other workers pick nested tasks off the submitter's queue).
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&pool, &count] {
+      for (int j = 0; j < 8; ++j) {
+        pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 16 * 8);
+}
+
+TEST(ThreadPool, ReusableAfterWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ZeroWorkersFallsBackToHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForFromOutsideRunsEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlockOnOneWorker) {
+  // parallel_for called from inside a pool task must help drain the queue
+  // rather than block: with a single worker there is nobody else to run the
+  // nested shards, so a blocking wait would deadlock forever.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.submit([&pool, &count] {
+    pool.parallel_for(16, [&pool, &count](std::size_t) {
+      pool.parallel_for(4, [&count](std::size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 16 * 4);
+}
+
+TEST(ParallelMap, CollectsResultsIntoFixedSlots) {
+  ThreadPool pool(4);
+  const std::function<int(std::size_t)> square = [](std::size_t i) {
+    return static_cast<int>(i * i);
+  };
+  const std::vector<int> out = parallel_map<int>(pool, 100, square);
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(RunPipelines, DeterministicSlotsAndErrorIsolation) {
+  std::vector<Pipeline> pipelines;
+  auto add = [&pipelines](std::string name, std::function<std::string()> run,
+                          std::uint64_t events) {
+    Pipeline pipeline;
+    pipeline.name = std::move(name);
+    pipeline.run = std::move(run);
+    pipeline.events = events;
+    pipelines.push_back(std::move(pipeline));
+  };
+  add("first", [] { return std::string("one\n"); }, 10);
+  add("boom", []() -> std::string { throw std::runtime_error("kaput"); }, 0);
+  add("last", [] { return std::string("three\n"); }, 30);
+
+  const RunResult run = run_pipelines(pipelines, 3);
+  ASSERT_EQ(run.outputs.size(), 3u);
+  EXPECT_EQ(run.outputs[0], "one\n");
+  EXPECT_NE(run.outputs[1].find("kaput"), std::string::npos);
+  EXPECT_EQ(run.outputs[2], "three\n");
+  ASSERT_EQ(run.report.pipelines.size(), 3u);
+  EXPECT_FALSE(run.report.pipelines[0].failed);
+  EXPECT_TRUE(run.report.pipelines[1].failed);
+  EXPECT_EQ(run.report.pipelines[0].events, 10u);
+  EXPECT_EQ(run.report.pipelines[2].output_bytes, 6u);
+  EXPECT_EQ(run.report.jobs, 3u);
+  EXPECT_NE(run.report.render().find("boom (FAILED)"), std::string::npos);
+}
+
+TEST(RunPipelines, ShardedPipelineFansOutOnTheSharedPool) {
+  // A run_sharded pipeline borrows the runner's own pool for its internal
+  // fan-out; the slot output must still be deterministic at any worker count.
+  for (unsigned jobs : {1u, 4u}) {
+    std::vector<Pipeline> pipelines;
+    Pipeline plain;
+    plain.name = "plain";
+    plain.run = [] { return std::string("p\n"); };
+    pipelines.push_back(std::move(plain));
+    Pipeline sharded;
+    sharded.name = "sharded";
+    sharded.run_sharded = [](ThreadPool& pool) {
+      const std::function<int(std::size_t)> fn = [](std::size_t i) {
+        return static_cast<int>(i) + 1;
+      };
+      const std::vector<int> parts = parallel_map<int>(pool, 8, fn);
+      int sum = 0;
+      for (int part : parts) sum += part;
+      return std::to_string(sum) + "\n";
+    };
+    pipelines.push_back(std::move(sharded));
+    const RunResult run = run_pipelines(pipelines, jobs);
+    ASSERT_EQ(run.outputs.size(), 2u);
+    EXPECT_EQ(run.outputs[0], "p\n");
+    EXPECT_EQ(run.outputs[1], "36\n");
+  }
+}
+
+}  // namespace
+}  // namespace cw::runner

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <numeric>
 #include <vector>
 
 namespace cw::sim {
@@ -98,6 +100,53 @@ TEST(Engine, RunAllDrainsQueue) {
   EXPECT_EQ(ran, 2);
   EXPECT_EQ(engine.pending(), 0u);
   EXPECT_EQ(engine.now(), 1000000);
+}
+
+TEST(Engine, ReschedulingAtSameTimestampFromCallback) {
+  // Regression for the const_cast-and-move-from-priority_queue::top() UB:
+  // scheduling from inside the running callback at the *same* timestamp
+  // grows the heap mid-pop, which invalidated the moved-from top() slot in
+  // the old scheme. The new events must still run, FIFO, at that timestamp.
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(10, [&](Engine& e) {
+    order.push_back(0);
+    for (int i = 1; i <= 64; ++i) {
+      e.schedule_at(10, [&order, i](Engine& e2) {
+        EXPECT_EQ(e2.now(), 10);
+        order.push_back(i);
+      });
+    }
+  });
+  EXPECT_EQ(engine.run_until(10), 65u);
+  std::vector<int> want(65);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(order, want);
+}
+
+TEST(Engine, CallbackStateSurvivesPop) {
+  // The popped event is moved out of the heap before running; state owned
+  // by the callback must arrive intact even when the callback itself
+  // reschedules (which reallocates the heap the event was popped from).
+  Engine engine;
+  int got = 0;
+  auto payload = std::make_shared<int>(42);
+  engine.schedule_at(5, [payload = std::move(payload), &got](Engine& e) {
+    e.schedule_at(5, [&got](Engine&) { got += 1; });
+    got += *payload;
+  });
+  engine.run_all();
+  EXPECT_EQ(got, 43);
+}
+
+TEST(Engine, ReserveDoesNotDisturbPendingEvents) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(2, [&](Engine&) { order.push_back(2); });
+  engine.reserve(1024);
+  engine.schedule_at(1, [&](Engine&) { order.push_back(1); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(Engine, EventsProcessedAccumulates) {

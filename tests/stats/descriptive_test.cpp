@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace cw::stats {
 namespace {
 
@@ -31,7 +33,15 @@ TEST(Quantile, ClampsOutOfRange) {
   const std::vector<double> values = {1, 2};
   EXPECT_DOUBLE_EQ(quantile(values, -1.0), 1.0);
   EXPECT_DOUBLE_EQ(quantile(values, 2.0), 2.0);
-  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Quantile, EmptyInputIsNaN) {
+  // An empty sample has no quantiles; the guard also prevents the
+  // values.size() - 1 size_t underflow.
+  EXPECT_TRUE(std::isnan(quantile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(quantile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(quantile({}, 1.0)));
+  EXPECT_FALSE(std::isnan(quantile({7.0}, 0.5)));
 }
 
 TEST(FoldIncrease, Basic) {
