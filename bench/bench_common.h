@@ -19,6 +19,7 @@
 #include "core/experiment.h"
 #include "core/tables.h"
 #include "runner/report.h"
+#include "runner/thread_pool.h"
 
 namespace cw::bench {
 
@@ -34,7 +35,14 @@ inline int env_telescope_slash24s(int fallback = 16) {
 
 inline unsigned env_jobs(unsigned fallback = 1) {
   const char* value = std::getenv("CW_JOBS");
-  return value != nullptr ? static_cast<unsigned>(std::atoi(value)) : fallback;
+  if (value == nullptr) return fallback;
+  const auto parsed = runner::parse_jobs(value);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "warning: CW_JOBS='%s' is not a valid worker count; using %u\n",
+                 value, fallback);
+    return fallback;
+  }
+  return *parsed;
 }
 
 inline core::ExperimentConfig bench_config(

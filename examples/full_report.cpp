@@ -16,6 +16,21 @@
 
 #include "core/experiment.h"
 #include "runner/report.h"
+#include "runner/thread_pool.h"
+
+namespace {
+
+bool set_jobs(const char* text, unsigned& jobs) {
+  const auto parsed = cw::runner::parse_jobs(text);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "error: --jobs expects a non-negative integer, got '%s'\n", text);
+    return false;
+  }
+  jobs = *parsed;
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   unsigned jobs = 1;
@@ -27,9 +42,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --jobs requires a value\n");
         return 2;
       }
-      jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (!set_jobs(argv[++i], jobs)) return 2;
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
+      if (!set_jobs(argv[i] + 7, jobs)) return 2;
     } else if (positional == 0) {
       config.scale = std::atof(argv[i]);
       ++positional;

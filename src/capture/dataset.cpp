@@ -14,7 +14,24 @@ namespace {
 constexpr char kMagic[4] = {'C', 'W', 'D', 'S'};
 // Version 2 switched the interned credential blobs from the '\n'-joined
 // encoding to the length-prefixed one (see EventStore::encode_credential).
+// Version-1 files are still readable via the legacy decoder below; writing
+// always uses the current version.
 constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kLegacyVersion = 1;
+
+// Version 1 joined a credential as "<username>\n<password>" and split on the
+// first newline. A blob with more than one newline is ambiguous under that
+// scheme — ("a\nb", "c") and ("a", "b\nc") produced the same bytes — so
+// such blobs are rejected rather than silently mis-split.
+std::optional<proto::Credential> decode_legacy_credential(std::string_view text) {
+  const std::size_t split = text.find('\n');
+  if (split == std::string_view::npos) return std::nullopt;
+  if (text.find('\n', split + 1) != std::string_view::npos) return std::nullopt;
+  proto::Credential out;
+  out.username = std::string(text.substr(0, split));
+  out.password = std::string(text.substr(split + 1));
+  return out;
+}
 
 template <typename T>
 void write_pod(std::ostream& out, T value) {
@@ -83,7 +100,9 @@ std::optional<EventStore> read_dataset(std::istream& in) {
   std::uint64_t record_count = 0;
   std::uint32_t payload_count = 0;
   std::uint32_t credential_count = 0;
-  if (!read_pod(in, version) || version != kVersion) return std::nullopt;
+  if (!read_pod(in, version) || (version != kVersion && version != kLegacyVersion)) {
+    return std::nullopt;
+  }
   if (!read_pod(in, record_count) || !read_pod(in, payload_count) ||
       !read_pod(in, credential_count)) {
     return std::nullopt;
@@ -97,7 +116,8 @@ std::optional<EventStore> read_dataset(std::istream& in) {
   for (proto::Credential& credential : credentials) {
     std::string encoded;
     if (!read_string(in, encoded)) return std::nullopt;
-    auto decoded = EventStore::decode_credential(encoded);
+    auto decoded = version == kLegacyVersion ? decode_legacy_credential(encoded)
+                                             : EventStore::decode_credential(encoded);
     if (!decoded.has_value()) return std::nullopt;
     credential = std::move(*decoded);
   }

@@ -1,8 +1,25 @@
 #include "runner/thread_pool.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <exception>
 #include <utility>
 
 namespace cw::runner {
+
+std::optional<unsigned> parse_jobs(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < 0) {
+    return std::nullopt;
+  }
+  unsigned max_jobs = std::thread::hardware_concurrency();
+  if (max_jobs == 0) max_jobs = 1;
+  if (value > static_cast<long>(max_jobs)) return max_jobs;
+  return static_cast<unsigned>(value);
+}
 
 ThreadPool::ThreadPool(unsigned workers) {
   if (workers == 0) {
@@ -32,12 +49,18 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(Task task) {
   const std::size_t slot =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  // Count the task before publishing it: a stealing worker may pop and
+  // finish it the instant it lands in the deque, and if the counters did not
+  // already cover it the fetch_subs would underflow and wait_idle() could
+  // observe a spurious zero while tasks are still running. A worker that
+  // wakes in the window before the push only spins through an empty
+  // try_pop, which is harmless.
+  outstanding_.fetch_add(1, std::memory_order_release);
+  queued_.fetch_add(1, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
     queues_[slot]->tasks.push_back(std::move(task));
   }
-  outstanding_.fetch_add(1, std::memory_order_release);
-  queued_.fetch_add(1, std::memory_order_release);
   {
     // Empty critical section: pairs the queued_ increment with the sleeping
     // worker's predicate check so the notify can't slip in between.
@@ -109,12 +132,29 @@ void ThreadPool::parallel_for(std::size_t n,
   struct Group {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
   };
   auto group = std::make_shared<Group>();
+  // Every claimed shard increments done exactly once, even when fn throws:
+  // otherwise the caller's done != n wait below would never finish, and a
+  // throw inside a submitted wrapper would escape the pool's Task and
+  // std::terminate. The first exception is captured and rethrown on the
+  // caller once the loop settles; shards claimed after a failure are
+  // skipped (their done still counts) so the loop winds down quickly.
   auto claim_one = [group, &fn, n]() -> bool {
     const std::size_t i = group->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return false;
-    fn(i);
+    if (!group->failed.load(std::memory_order_acquire)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(group->error_mutex);
+        if (!group->error) group->error = std::current_exception();
+        group->failed.store(true, std::memory_order_release);
+      }
+    }
     group->done.fetch_add(1, std::memory_order_release);
     return true;
   };
@@ -131,6 +171,9 @@ void ThreadPool::parallel_for(std::size_t n,
   while (group->done.load(std::memory_order_acquire) != n) {
     std::this_thread::yield();
   }
+  // The acquire wait above synchronizes with the release increment a failing
+  // shard performs after recording its exception, so this read is safe.
+  if (group->error) std::rethrow_exception(group->error);
 }
 
 void ThreadPool::wait_idle() {

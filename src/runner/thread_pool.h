@@ -13,10 +13,18 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 namespace cw::runner {
+
+// Parses a worker-count argument ("--jobs N" on the CLI, CW_JOBS in the
+// bench harnesses). Rejects negative, non-numeric, or trailing-garbage
+// input with nullopt; values above hardware_concurrency() are clamped to it
+// so a typo cannot ask for billions of threads. 0 is valid and keeps its
+// "use hardware concurrency" meaning.
+std::optional<unsigned> parse_jobs(const char* text);
 
 class ThreadPool {
  public:
@@ -43,7 +51,9 @@ class ThreadPool {
   // thread claims and runs shards of its own loop while idle workers claim
   // the rest, so nested fan-out composes with pipeline-level parallelism
   // without deadlocking even on a single worker. The caller never executes
-  // unrelated queued tasks.
+  // unrelated queued tasks. If fn throws, the first exception is rethrown
+  // on the caller after in-flight shards settle; shards not yet started are
+  // skipped.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] unsigned worker_count() const noexcept {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <string>
 
 namespace cw::capture {
 namespace {
@@ -125,6 +127,62 @@ TEST(Dataset, NewlineBearingCredentialsRoundTrip) {
   EXPECT_EQ(credential(1).password, "c");
   EXPECT_EQ(credential(2).username, "a");
   EXPECT_EQ(credential(2).password, "b\nc");
+}
+
+// Length-prefixed string entry exactly as write_string lays it out
+// (native-endian u32 length + raw bytes).
+std::string packed_string(const std::string& value) {
+  const auto length = static_cast<std::uint32_t>(value.size());
+  std::string out(reinterpret_cast<const char*>(&length), sizeof length);
+  return out + value;
+}
+
+// Rewrites a current-version stream into a version-1 one: patches the
+// version field and swaps the (unique) length-prefixed credential blob for
+// its legacy '\n'-joined form. Keeps the test independent of the record
+// layout.
+std::string as_v1_stream(std::string bytes, const std::string& v2_blob,
+                         const std::string& v1_blob) {
+  bytes[4] = 1;  // version field; bytes 5-7 are already zero
+  const std::string old_entry = packed_string(v2_blob);
+  const std::size_t at = bytes.find(old_entry);
+  EXPECT_NE(at, std::string::npos);
+  if (at != std::string::npos) {
+    bytes.replace(at, old_entry.size(), packed_string(v1_blob));
+  }
+  return bytes;
+}
+
+TEST(Dataset, LegacyV1DatasetStillLoads) {
+  EventStore store;
+  SessionRecord record;
+  record.port = 22;
+  store.append(record, {}, proto::Credential{"root", "hunter2"});
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(store, buffer));
+
+  // "4:roothunter2" is what v2 interns; a v1 writer stored "root\nhunter2".
+  std::stringstream legacy(as_v1_stream(buffer.str(), "4:roothunter2", "root\nhunter2"));
+  const auto loaded = read_dataset(legacy);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  const proto::Credential credential = loaded->credential(loaded->records()[0].credential_id);
+  EXPECT_EQ(credential.username, "root");
+  EXPECT_EQ(credential.password, "hunter2");
+}
+
+TEST(Dataset, LegacyV1RejectsAmbiguousMultiNewlineCredential) {
+  EventStore store;
+  SessionRecord record;
+  record.port = 22;
+  store.append(record, {}, proto::Credential{"a\nb", "c\nd"});
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(store, buffer));
+
+  // Three newlines: could have been ("a\nb", "c\nd"), ("a", "b\nc\nd"), ...
+  // — undecidable under the v1 scheme, so the read must fail, not guess.
+  std::stringstream legacy(as_v1_stream(buffer.str(), "3:a\nbc\nd", "a\nb\nc\nd"));
+  EXPECT_FALSE(read_dataset(legacy).has_value());
 }
 
 TEST(Dataset, RejectsBadMagic) {

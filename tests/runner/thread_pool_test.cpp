@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "runner/pipeline.h"
@@ -90,6 +92,67 @@ TEST(ThreadPool, NestedParallelForDoesNotDeadlockOnOneWorker) {
   });
   pool.wait_idle();
   EXPECT_EQ(count.load(), 16 * 4);
+}
+
+TEST(ThreadPool, ParallelForRethrowsOnCallerInsteadOfHanging) {
+  // A throwing fn used to leave group->done short of n (caller spins
+  // forever) or escape a submitted wrapper task (std::terminate). The first
+  // exception must surface on the calling thread once the loop settles.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&ran](std::size_t) {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                          throw std::runtime_error("shard failed");
+                        }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+
+  // The pool must stay fully usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(32, [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, ParallelForExceptionInsideNestedTaskStaysContained) {
+  // Single worker: the throwing shard necessarily runs on the thread that
+  // called parallel_for from inside a pool task; the exception must not
+  // leak past that task's own try/catch into the worker loop.
+  ThreadPool pool(1);
+  std::atomic<bool> caught{false};
+  pool.submit([&pool, &caught] {
+    try {
+      pool.parallel_for(8, [](std::size_t i) {
+        if (i == 3) throw std::runtime_error("inner");
+      });
+    } catch (const std::runtime_error&) {
+      caught.store(true);
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(caught.load());
+}
+
+TEST(ParseJobs, AcceptsNonNegativeIntegersAndClampsLargeValues) {
+  ASSERT_TRUE(parse_jobs("0").has_value());
+  EXPECT_EQ(*parse_jobs("0"), 0u);  // 0 keeps its hardware-concurrency meaning
+  ASSERT_TRUE(parse_jobs("1").has_value());
+  EXPECT_EQ(*parse_jobs("1"), 1u);
+  unsigned max_jobs = std::thread::hardware_concurrency();
+  if (max_jobs == 0) max_jobs = 1;
+  ASSERT_TRUE(parse_jobs("999999999").has_value());
+  EXPECT_EQ(*parse_jobs("999999999"), max_jobs);
+}
+
+TEST(ParseJobs, RejectsNegativeAndMalformedInput) {
+  EXPECT_FALSE(parse_jobs("-1").has_value());
+  EXPECT_FALSE(parse_jobs("-999999999999999999999").has_value());
+  EXPECT_FALSE(parse_jobs("abc").has_value());
+  EXPECT_FALSE(parse_jobs("8x").has_value());
+  EXPECT_FALSE(parse_jobs("").has_value());
+  EXPECT_FALSE(parse_jobs(nullptr).has_value());
 }
 
 TEST(ParallelMap, CollectsResultsIntoFixedSlots) {
