@@ -81,6 +81,10 @@ inline void bm_experiment_build(benchmark::State& state, topology::ScenarioYear 
 inline void bm_report_pipelines(benchmark::State& state) {
   const core::ExperimentResult& experiment = shared_experiment();
   experiment.store().freeze();
+  // Pre-build the shared columnar frame (as examples/full_report does) so
+  // every iteration times the pipelines, not the one-off frame build;
+  // bench_runner_pipelines times the build separately.
+  static_cast<void>(experiment.frame());
   runner::ReportOptions options;
   options.include_leak = false;
   const auto pipelines = runner::paper_report_pipelines(experiment, options);

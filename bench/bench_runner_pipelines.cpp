@@ -3,7 +3,15 @@
 // 1/2/4/8 workers over one cached experiment, plus the CW_JOBS-driven
 // configuration. The printed artifact is the runner's own RunReport at
 // CW_JOBS workers — per-pipeline wall time, events, and output size.
+//
+// Also times the SessionFrame build itself and the frame-vs-full-scan cost
+// of the pipelines the frame was designed for (Tables 8/9/10), so the
+// columnar layer's payoff is a recorded number rather than a claim.
 #include "bench_common.h"
+
+#include "agents/population.h"
+#include "analysis/overlap.h"
+#include "capture/frame.h"
 
 namespace cw::bench {
 namespace {
@@ -11,6 +19,132 @@ namespace {
 void bm_runner(benchmark::State& state) { bm_report_pipelines(state); }
 BENCHMARK(bm_runner)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0)
     ->Unit(benchmark::kMillisecond);
+
+// One frame build per iteration (pin/unpin balanced by the destructor),
+// with the same verdict wiring ExperimentResult::frame uses.
+void bm_frame_build(benchmark::State& state) {
+  const core::ExperimentResult& experiment = shared_experiment();
+  experiment.store().freeze();
+  const auto jobs = static_cast<unsigned>(state.range(0));
+  std::unique_ptr<runner::ThreadPool> pool;
+  if (jobs > 1) pool = std::make_unique<runner::ThreadPool>(jobs);
+  for (auto _ : state) {
+    capture::SessionFrame::BuildOptions options;
+    options.pool = pool.get();
+    options.verdict = [&experiment](const capture::SessionRecord& record) {
+      switch (experiment.classifier().classify(record, experiment.store())) {
+        case analysis::MeasuredIntent::kMalicious:
+          return capture::SessionFrame::Verdict::kMalicious;
+        case analysis::MeasuredIntent::kBenign:
+          return capture::SessionFrame::Verdict::kBenign;
+        case analysis::MeasuredIntent::kUnobservable: break;
+      }
+      return capture::SessionFrame::Verdict::kUnobservable;
+    };
+    const capture::SessionFrame frame = capture::SessionFrame::build(
+        experiment.store(), experiment.deployment(), std::move(options));
+    benchmark::DoNotOptimize(frame.size());
+  }
+  state.counters["jobs"] = jobs;
+}
+BENCHMARK(bm_frame_build)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+const std::vector<capture::ActorId>& crawler_actors() {
+  static const std::vector<capture::ActorId> actors = {
+      agents::Population::kCensysActorId, agents::Population::kShodanActorId};
+  return actors;
+}
+
+void bm_table8_fullscan(benchmark::State& state) {
+  const core::ExperimentResult& e = shared_experiment();
+  e.store().freeze();
+  for (auto _ : state) {
+    const auto rows = analysis::scanner_overlap(e.store(), e.deployment(),
+                                                net::popular_ports(), crawler_actors());
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(bm_table8_fullscan)->Unit(benchmark::kMillisecond);
+
+void bm_table8_frame(benchmark::State& state) {
+  const core::ExperimentResult& e = shared_experiment();
+  const capture::SessionFrame& frame = e.frame();
+  for (auto _ : state) {
+    const auto rows = analysis::scanner_overlap(frame, net::popular_ports(), crawler_actors());
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(bm_table8_frame)->Unit(benchmark::kMillisecond);
+
+const std::vector<net::Port>& table9_ports() {
+  static const std::vector<net::Port> ports = {23, 2323, 80, 8080, 2222, 22};
+  return ports;
+}
+
+void bm_table9_fullscan(benchmark::State& state) {
+  const core::ExperimentResult& e = shared_experiment();
+  e.store().freeze();
+  for (auto _ : state) {
+    const auto rows = analysis::attacker_overlap(e.store(), e.deployment(), e.classifier(),
+                                                 table9_ports(), crawler_actors());
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(bm_table9_fullscan)->Unit(benchmark::kMillisecond);
+
+void bm_table9_frame(benchmark::State& state) {
+  const core::ExperimentResult& e = shared_experiment();
+  const capture::SessionFrame& frame = e.frame();
+  for (auto _ : state) {
+    const auto rows = analysis::attacker_overlap(frame, table9_ports(), crawler_actors());
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(bm_table9_frame)->Unit(benchmark::kMillisecond);
+
+constexpr analysis::TrafficScope kTable10Scopes[] = {
+    analysis::TrafficScope::kSsh22, analysis::TrafficScope::kTelnet23,
+    analysis::TrafficScope::kHttp80, analysis::TrafficScope::kAnyAll};
+
+void bm_table10_fullscan(benchmark::State& state) {
+  const core::ExperimentResult& e = shared_experiment();
+  e.store().freeze();
+  for (auto _ : state) {
+    std::size_t tested = 0;
+    for (const auto scope : kTable10Scopes) {
+      for (const bool edu : {true, false}) {
+        const auto pairs = edu ? analysis::telescope_edu_pairs(e.deployment())
+                               : analysis::telescope_cloud_pairs(e.deployment());
+        tested += analysis::compare_vantage_pairs(e.store(), e.deployment(), pairs, scope,
+                                                  analysis::Characteristic::kTopAs,
+                                                  e.classifier())
+                      .pairs_tested;
+      }
+    }
+    benchmark::DoNotOptimize(tested);
+  }
+}
+BENCHMARK(bm_table10_fullscan)->Unit(benchmark::kMillisecond);
+
+void bm_table10_frame(benchmark::State& state) {
+  const core::ExperimentResult& e = shared_experiment();
+  const capture::SessionFrame& frame = e.frame();
+  for (auto _ : state) {
+    std::size_t tested = 0;
+    for (const auto scope : kTable10Scopes) {
+      for (const bool edu : {true, false}) {
+        const auto pairs = edu ? analysis::telescope_edu_pairs(e.deployment())
+                               : analysis::telescope_cloud_pairs(e.deployment());
+        tested += analysis::compare_vantage_pairs(frame, pairs, scope,
+                                                  analysis::Characteristic::kTopAs,
+                                                  e.classifier())
+                      .pairs_tested;
+      }
+    }
+    benchmark::DoNotOptimize(tested);
+  }
+}
+BENCHMARK(bm_table10_frame)->Unit(benchmark::kMillisecond);
 
 std::string runner_report() {
   const core::ExperimentResult& experiment = shared_experiment();

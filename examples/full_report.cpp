@@ -56,9 +56,15 @@ int main(int argc, char** argv) {
 
   std::printf("== Cloud Watching full report (scale %.2f) ==\n\n", config.scale);
   const auto result = cw::core::Experiment(config).run();
-  // Freeze the per-vantage index before fanning out so no pipeline pays for
-  // (or contends on) the first-use build.
+  // Freeze the per-vantage index and build the shared columnar frame before
+  // fanning out, so no pipeline pays for (or contends on) the first-use
+  // build. The frame build itself shards over the same worker count; the
+  // columns and posting lists it produces are identical at any job count.
   result->store().freeze();
+  {
+    cw::runner::ThreadPool frame_pool(jobs);
+    static_cast<void>(result->frame(&frame_pool));
+  }
   std::printf("captured %zu session records\n\n", result->store().size());
 
   cw::runner::ReportOptions options;

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus the sanitizer configs, runnable locally and
+# from CI (.github/workflows/ci.yml calls each stage).
+#
+#   scripts/check.sh            # tier-1: configure + build + ctest
+#   scripts/check.sh asan       # -DCW_SANITIZE=address,undefined build + ctest
+#   scripts/check.sh tsan       # -DCW_SANITIZE=thread build + concurrency suites
+#   scripts/check.sh determinism# full_report byte-identical at --jobs 1/2/8
+#   scripts/check.sh bench      # frame-vs-full-scan numbers (bench_runner_pipelines)
+#   scripts/check.sh all        # tier-1 + asan + tsan + determinism
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${CW_CHECK_JOBS:-$(nproc)}"
+
+tier1() {
+  cmake -B "$ROOT/build" -S "$ROOT"
+  cmake --build "$ROOT/build" -j "$JOBS"
+  ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+}
+
+asan() {
+  cmake -B "$ROOT/build-asan" -S "$ROOT" -DCW_SANITIZE=address,undefined
+  cmake --build "$ROOT/build-asan" -j "$JOBS"
+  ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$JOBS"
+}
+
+tsan() {
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DCW_SANITIZE=thread
+  # The concurrency surface: the pool, the runner, and the capture layer
+  # (store freeze/pin + SessionFrame sharded builds). Building everything
+  # under TSan is slow; these three binaries cover every thread we spawn.
+  cmake --build "$ROOT/build-tsan" -j "$JOBS" \
+    --target cw_runner_test cw_capture_test cw_analysis_test
+  ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
+    -R 'cw_runner_test|cw_capture_test|cw_analysis_test'
+}
+
+determinism() {
+  # The report must be byte-identical at every worker count (the frame
+  # build and all 17 pipelines shard through the pool).
+  cmake --build "$ROOT/build" -j "$JOBS" --target full_report
+  local bin="$ROOT/build/examples/full_report"
+  [ -x "$bin" ] || bin="$ROOT/build/full_report"
+  local scale="${CW_CHECK_SCALE:-0.3}" t24="${CW_CHECK_T24:-16}"
+  local out1 out2 out8
+  out1=$(mktemp) && out2=$(mktemp) && out8=$(mktemp)
+  "$bin" --jobs 1 "$scale" "$t24" >"$out1" 2>/dev/null
+  "$bin" --jobs 2 "$scale" "$t24" >"$out2" 2>/dev/null
+  "$bin" --jobs 8 "$scale" "$t24" >"$out8" 2>/dev/null
+  diff -q "$out1" "$out2" && diff -q "$out1" "$out8"
+  rm -f "$out1" "$out2" "$out8"
+  echo "determinism: byte-identical at --jobs 1/2/8 (scale $scale, t24 $t24)"
+}
+
+bench() {
+  cmake --build "$ROOT/build" -j "$JOBS" --target bench_runner_pipelines
+  local bin="$ROOT/build/bench/bench_runner_pipelines"
+  [ -x "$bin" ] || bin="$ROOT/build/bench_runner_pipelines"
+  CW_SCALE="${CW_SCALE:-0.5}" CW_T24="${CW_T24:-16}" CW_JOBS="${CW_JOBS:-1}" \
+    "$bin" --benchmark_filter='bm_frame_build|bm_table(8|9|10)_(fullscan|frame)' \
+           --benchmark_min_time=0.5
+}
+
+case "${1:-tier1}" in
+  tier1) tier1 ;;
+  asan) asan ;;
+  tsan) tsan ;;
+  determinism) determinism ;;
+  bench) bench ;;
+  all) tier1; asan; tsan; determinism ;;
+  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|bench|all]" >&2; exit 2 ;;
+esac

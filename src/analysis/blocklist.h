@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/malicious.h"
+#include "capture/frame.h"
 #include "topology/deployment.h"
 
 namespace cw::analysis {
@@ -44,11 +45,20 @@ BlocklistEvaluation evaluate_blocklist(const capture::EventStore& store,
                                        const std::vector<topology::VantageId>& target,
                                        std::string source_label, std::string target_label);
 
+// Frame variant: reads the precomputed verdict column. The frame must have
+// been built with a verdict function; throws std::logic_error otherwise.
+BlocklistEvaluation evaluate_blocklist(const capture::SessionFrame& frame,
+                                       const std::vector<topology::VantageId>& source,
+                                       const std::vector<topology::VantageId>& target,
+                                       std::string source_label, std::string target_label);
+
 // The regional matrix the paper's recommendation asks about: GreyNoise
 // cloud vantage points grouped by continent (US / EU / AP), every source
 // group evaluated against every target group.
 std::vector<BlocklistEvaluation> regional_blocklist_matrix(
     const capture::EventStore& store, const topology::Deployment& deployment,
     const MaliciousClassifier& classifier);
+
+std::vector<BlocklistEvaluation> regional_blocklist_matrix(const capture::SessionFrame& frame);
 
 }  // namespace cw::analysis

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "capture/frame.h"
 #include "capture/store.h"
 #include "util/sim_time.h"
 
@@ -40,6 +41,11 @@ struct CampaignInferenceOptions {
 std::vector<InferredCampaign> infer_campaigns(const capture::EventStore& store,
                                               const CampaignInferenceOptions& options = {});
 
+// Frame variant: normalizes each *distinct* payload once (signature
+// memoized by interner id) instead of re-normalizing per record.
+std::vector<InferredCampaign> infer_campaigns(const capture::SessionFrame& frame,
+                                              const CampaignInferenceOptions& options = {});
+
 // Validation against ground truth: fraction of inferred campaigns whose
 // sources all belong to a single true actor ("pure" clusters), and the
 // fraction of multi-source true actors recovered by some inferred campaign.
@@ -60,6 +66,10 @@ struct CampaignValidation {
 };
 
 CampaignValidation validate_campaigns(const capture::EventStore& store,
+                                      const std::vector<InferredCampaign>& campaigns,
+                                      const CampaignInferenceOptions& options = {});
+
+CampaignValidation validate_campaigns(const capture::SessionFrame& frame,
                                       const std::vector<InferredCampaign>& campaigns,
                                       const CampaignInferenceOptions& options = {});
 

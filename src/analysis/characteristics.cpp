@@ -1,5 +1,6 @@
 #include "analysis/characteristics.h"
 
+#include <optional>
 #include <unordered_set>
 
 #include "proto/http.h"
@@ -33,12 +34,63 @@ bool in_scope(const capture::SessionRecord& record, TrafficScope scope,
   return false;
 }
 
+bool in_scope(const capture::SessionFrame& frame, std::uint32_t index, TrafficScope scope) {
+  switch (scope) {
+    case TrafficScope::kSsh22: return frame.port(index) == 22;
+    case TrafficScope::kTelnet23: return frame.port(index) == 23;
+    case TrafficScope::kHttp80: return frame.port(index) == 80;
+    case TrafficScope::kHttpAllPorts: {
+      if (!frame.has_payload(index)) return false;
+      if (frame.has_protocols()) return frame.protocol(index) == net::Protocol::kHttp;
+      return proto::Fingerprinter::identify(frame.store().payload(frame.payload_id(index))) ==
+             net::Protocol::kHttp;
+    }
+    case TrafficScope::kAnyAll: return true;
+  }
+  return false;
+}
+
 TrafficSlice slice_vantage(const capture::EventStore& store, topology::VantageId vantage,
                            TrafficScope scope) {
   TrafficSlice slice;
   slice.store = &store;
   for (std::uint32_t index : store.for_vantage(vantage)) {
     if (in_scope(store.records()[index], scope, store)) slice.records.push_back(index);
+  }
+  return slice;
+}
+
+namespace {
+
+// Port-named scopes resolve to one per-(vantage, port) posting list; the
+// list holds ascending record indices, exactly what the store-side filter
+// loop would produce.
+std::optional<net::Port> scope_port(TrafficScope scope) noexcept {
+  switch (scope) {
+    case TrafficScope::kSsh22: return net::Port{22};
+    case TrafficScope::kTelnet23: return net::Port{23};
+    case TrafficScope::kHttp80: return net::Port{80};
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+TrafficSlice slice_vantage(const capture::SessionFrame& frame, topology::VantageId vantage,
+                           TrafficScope scope) {
+  TrafficSlice slice;
+  slice.store = &frame.store();
+  slice.frame = &frame;
+  if (const auto port = scope_port(scope)) {
+    slice.records = frame.for_vantage_port(vantage, *port);
+    return slice;
+  }
+  if (scope == TrafficScope::kAnyAll) {
+    slice.records = frame.for_vantage(vantage);
+    return slice;
+  }
+  for (std::uint32_t index : frame.for_vantage(vantage)) {
+    if (in_scope(frame, index, scope)) slice.records.push_back(index);
   }
   return slice;
 }
@@ -51,6 +103,21 @@ TrafficSlice slice_neighbor(const capture::EventStore& store, topology::VantageI
     const capture::SessionRecord& record = store.records()[index];
     if (record.neighbor != neighbor) continue;
     if (in_scope(record, scope, store)) slice.records.push_back(index);
+  }
+  return slice;
+}
+
+TrafficSlice slice_neighbor(const capture::SessionFrame& frame, topology::VantageId vantage,
+                            std::uint16_t neighbor, TrafficScope scope) {
+  TrafficSlice slice;
+  slice.store = &frame.store();
+  slice.frame = &frame;
+  const auto port = scope_port(scope);
+  const std::vector<std::uint32_t>& candidates =
+      port ? frame.for_vantage_port(vantage, *port) : frame.for_vantage(vantage);
+  for (std::uint32_t index : candidates) {
+    if (frame.neighbor(index) != neighbor) continue;
+    if (port || in_scope(frame, index, scope)) slice.records.push_back(index);
   }
   return slice;
 }
@@ -95,6 +162,9 @@ stats::FrequencyTable payload_table(const TrafficSlice& slice) {
 
 std::pair<std::uint64_t, std::uint64_t> malicious_counts(const TrafficSlice& slice,
                                                          const MaliciousClassifier& classifier) {
+  if (slice.frame != nullptr && slice.frame->has_verdicts()) {
+    return slice.frame->count_verdicts(slice.records);
+  }
   return classifier.count(*slice.store, slice.records);
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/malicious.h"
+#include "capture/frame.h"
 #include "capture/store.h"
 #include "net/asn.h"
 #include "proto/fingerprint.h"
@@ -35,9 +36,16 @@ std::string_view scope_name(TrafficScope scope) noexcept;
 bool in_scope(const capture::SessionRecord& record, TrafficScope scope,
               const capture::EventStore& store);
 
-// A selected subset of a store's records.
+// Frame variant: HTTP/AllPorts reads the precomputed protocol column
+// instead of re-fingerprinting the payload.
+bool in_scope(const capture::SessionFrame& frame, std::uint32_t index, TrafficScope scope);
+
+// A selected subset of a store's records. `frame` is set when the slice was
+// built from a SessionFrame; frame-aware consumers (malicious_counts) use
+// its precomputed columns, everything else reads through `store`.
 struct TrafficSlice {
   const capture::EventStore* store = nullptr;
+  const capture::SessionFrame* frame = nullptr;
   std::vector<std::uint32_t> records;
 
   [[nodiscard]] bool empty() const noexcept { return records.empty(); }
@@ -47,8 +55,15 @@ struct TrafficSlice {
 TrafficSlice slice_vantage(const capture::EventStore& store, topology::VantageId vantage,
                            TrafficScope scope);
 
+// Frame variant: port-named scopes select the per-(vantage, port) posting
+// list directly; no per-record scan at all.
+TrafficSlice slice_vantage(const capture::SessionFrame& frame, topology::VantageId vantage,
+                           TrafficScope scope);
+
 // Records captured by one neighbor (address) of a vantage point.
 TrafficSlice slice_neighbor(const capture::EventStore& store, topology::VantageId vantage,
+                            std::uint16_t neighbor, TrafficScope scope);
+TrafficSlice slice_neighbor(const capture::SessionFrame& frame, topology::VantageId vantage,
                             std::uint16_t neighbor, TrafficScope scope);
 
 // Characteristic extraction. AS tables are keyed by ASN rendered as text so

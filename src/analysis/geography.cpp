@@ -13,9 +13,12 @@ struct VantageSlices {
   std::vector<TrafficSlice> slices;
 };
 
-VantageSlices collect(const capture::EventStore& store, const topology::Deployment& deployment,
-                      TrafficScope scope, const GeoOptions& options,
-                      std::optional<topology::Provider> provider_filter) {
+// `slice_fn(vantage_id)` supplies the scoped slice — store scan or frame
+// posting list, depending on the caller.
+template <typename SliceFn>
+VantageSlices collect(const topology::Deployment& deployment, const GeoOptions& options,
+                      std::optional<topology::Provider> provider_filter,
+                      const SliceFn& slice_fn) {
   VantageSlices out;
   for (const topology::VantagePoint& vp : deployment.vantage_points()) {
     if (vp.type != topology::NetworkType::kCloud ||
@@ -23,7 +26,7 @@ VantageSlices collect(const capture::EventStore& store, const topology::Deployme
       continue;
     }
     if (provider_filter && vp.provider != *provider_filter) continue;
-    TrafficSlice slice = slice_vantage(store, vp.id, scope);
+    TrafficSlice slice = slice_fn(vp.id);
     if (slice.records.size() < options.min_records) continue;
     out.points.push_back(&vp);
     out.slices.push_back(std::move(slice));
@@ -31,43 +34,15 @@ VantageSlices collect(const capture::EventStore& store, const topology::Deployme
   return out;
 }
 
-}  // namespace
-
-std::string_view pair_group_name(PairGroup g) noexcept {
-  switch (g) {
-    case PairGroup::kUs: return "US";
-    case PairGroup::kEu: return "EU";
-    case PairGroup::kApac: return "APAC";
-    case PairGroup::kIntercontinental: return "Intercontinental";
-  }
-  return "?";
-}
-
-std::optional<PairGroup> classify_pair(const topology::VantagePoint& a,
-                                       const topology::VantagePoint& b) noexcept {
-  const net::Continent ca = a.region.continent;
-  const net::Continent cb = b.region.continent;
-  if (ca != cb) return PairGroup::kIntercontinental;
-  switch (ca) {
-    case net::Continent::kNorthAmerica: return PairGroup::kUs;
-    case net::Continent::kEurope: return PairGroup::kEu;
-    case net::Continent::kAsiaPacific: return PairGroup::kApac;
-    default: return PairGroup::kIntercontinental;
-  }
-}
-
-GeoSimilarity geo_similarity(const capture::EventStore& store,
-                             const topology::Deployment& deployment, TrafficScope scope,
-                             Characteristic characteristic,
-                             const MaliciousClassifier& classifier,
-                             const GeoOptions& options) {
+GeoSimilarity geo_similarity_impl(const VantageSlices& all, Characteristic characteristic,
+                                  const MaliciousClassifier& classifier,
+                                  const GeoOptions& options) {
   GeoSimilarity result;
   result.characteristic = characteristic;
 
   // Pairs are always within one provider network so that network effects
   // never masquerade as geographic ones.
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
-  VantageSlices all = collect(store, deployment, scope, options, std::nullopt);
   for (std::size_t i = 0; i < all.points.size(); ++i) {
     for (std::size_t j = i + 1; j < all.points.size(); ++j) {
       if (all.points[i]->provider != all.points[j]->provider) continue;
@@ -93,14 +68,11 @@ GeoSimilarity geo_similarity(const capture::EventStore& store,
   return result;
 }
 
-MostDifferentRegion most_different_region(const capture::EventStore& store,
-                                          const topology::Deployment& deployment,
-                                          topology::Provider provider, TrafficScope scope,
-                                          Characteristic characteristic,
-                                          const MaliciousClassifier& classifier,
-                                          const GeoOptions& options) {
+MostDifferentRegion most_different_region_impl(const VantageSlices& all,
+                                               Characteristic characteristic,
+                                               const MaliciousClassifier& classifier,
+                                               const GeoOptions& options) {
   MostDifferentRegion result;
-  VantageSlices all = collect(store, deployment, scope, options, provider);
   if (all.points.size() < 2) return result;
 
   const std::size_t n = all.points.size();
@@ -145,6 +117,74 @@ MostDifferentRegion most_different_region(const capture::EventStore& store,
   result.avg_phi = best->second.phi_sum / static_cast<double>(best->second.significant);
   result.magnitude = best->second.strongest;
   return result;
+}
+
+}  // namespace
+
+std::string_view pair_group_name(PairGroup g) noexcept {
+  switch (g) {
+    case PairGroup::kUs: return "US";
+    case PairGroup::kEu: return "EU";
+    case PairGroup::kApac: return "APAC";
+    case PairGroup::kIntercontinental: return "Intercontinental";
+  }
+  return "?";
+}
+
+std::optional<PairGroup> classify_pair(const topology::VantagePoint& a,
+                                       const topology::VantagePoint& b) noexcept {
+  const net::Continent ca = a.region.continent;
+  const net::Continent cb = b.region.continent;
+  if (ca != cb) return PairGroup::kIntercontinental;
+  switch (ca) {
+    case net::Continent::kNorthAmerica: return PairGroup::kUs;
+    case net::Continent::kEurope: return PairGroup::kEu;
+    case net::Continent::kAsiaPacific: return PairGroup::kApac;
+    default: return PairGroup::kIntercontinental;
+  }
+}
+
+GeoSimilarity geo_similarity(const capture::EventStore& store,
+                             const topology::Deployment& deployment, TrafficScope scope,
+                             Characteristic characteristic,
+                             const MaliciousClassifier& classifier,
+                             const GeoOptions& options) {
+  const VantageSlices all =
+      collect(deployment, options, std::nullopt,
+              [&](topology::VantageId id) { return slice_vantage(store, id, scope); });
+  return geo_similarity_impl(all, characteristic, classifier, options);
+}
+
+GeoSimilarity geo_similarity(const capture::SessionFrame& frame, TrafficScope scope,
+                             Characteristic characteristic,
+                             const MaliciousClassifier& classifier, const GeoOptions& options) {
+  const VantageSlices all =
+      collect(frame.deployment(), options, std::nullopt,
+              [&](topology::VantageId id) { return slice_vantage(frame, id, scope); });
+  return geo_similarity_impl(all, characteristic, classifier, options);
+}
+
+MostDifferentRegion most_different_region(const capture::EventStore& store,
+                                          const topology::Deployment& deployment,
+                                          topology::Provider provider, TrafficScope scope,
+                                          Characteristic characteristic,
+                                          const MaliciousClassifier& classifier,
+                                          const GeoOptions& options) {
+  const VantageSlices all =
+      collect(deployment, options, provider,
+              [&](topology::VantageId id) { return slice_vantage(store, id, scope); });
+  return most_different_region_impl(all, characteristic, classifier, options);
+}
+
+MostDifferentRegion most_different_region(const capture::SessionFrame& frame,
+                                          topology::Provider provider, TrafficScope scope,
+                                          Characteristic characteristic,
+                                          const MaliciousClassifier& classifier,
+                                          const GeoOptions& options) {
+  const VantageSlices all =
+      collect(frame.deployment(), options, provider,
+              [&](topology::VantageId id) { return slice_vantage(frame, id, scope); });
+  return most_different_region_impl(all, characteristic, classifier, options);
 }
 
 }  // namespace cw::analysis

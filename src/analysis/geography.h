@@ -49,6 +49,12 @@ GeoSimilarity geo_similarity(const capture::EventStore& store,
                              Characteristic characteristic,
                              const MaliciousClassifier& classifier, const GeoOptions& options = {});
 
+// Frame variant: slices come from the frame's per-(vantage, port) posting
+// lists instead of per-vantage scans.
+GeoSimilarity geo_similarity(const capture::SessionFrame& frame, TrafficScope scope,
+                             Characteristic characteristic,
+                             const MaliciousClassifier& classifier, const GeoOptions& options = {});
+
 // Table 4: the region with the most significant pairwise deviations inside
 // one provider's network.
 struct MostDifferentRegion {
@@ -61,6 +67,12 @@ struct MostDifferentRegion {
 
 MostDifferentRegion most_different_region(const capture::EventStore& store,
                                           const topology::Deployment& deployment,
+                                          topology::Provider provider, TrafficScope scope,
+                                          Characteristic characteristic,
+                                          const MaliciousClassifier& classifier,
+                                          const GeoOptions& options = {});
+
+MostDifferentRegion most_different_region(const capture::SessionFrame& frame,
                                           topology::Provider provider, TrafficScope scope,
                                           Characteristic characteristic,
                                           const MaliciousClassifier& classifier,

@@ -43,4 +43,10 @@ std::pair<std::uint64_t, std::uint64_t> MaliciousClassifier::count(
   return {malicious, benign};
 }
 
+std::pair<std::uint64_t, std::uint64_t> MaliciousClassifier::count(
+    const capture::SessionFrame& frame, const std::vector<std::uint32_t>& indices) const {
+  if (frame.has_verdicts()) return frame.count_verdicts(indices);
+  return count(frame.store(), indices);
+}
+
 }  // namespace cw::analysis

@@ -10,6 +10,7 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "capture/frame.h"
 #include "capture/store.h"
 #include "ids/engine.h"
 
@@ -36,6 +37,11 @@ class MaliciousClassifier {
   // Convenience: (malicious, benign) counts over a set of record indices;
   // unobservable records are excluded from both.
   std::pair<std::uint64_t, std::uint64_t> count(const capture::EventStore& store,
+                                                const std::vector<std::uint32_t>& indices) const;
+
+  // Frame variant: reads the precomputed verdict column when present and
+  // falls back to per-record classification otherwise.
+  std::pair<std::uint64_t, std::uint64_t> count(const capture::SessionFrame& frame,
                                                 const std::vector<std::uint32_t>& indices) const;
 
  private:

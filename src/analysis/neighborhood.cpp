@@ -18,17 +18,20 @@ std::vector<Characteristic> characteristics_for_scope(TrafficScope scope) {
   return {};
 }
 
-NeighborhoodSummary analyze_neighborhoods(const capture::EventStore& store,
-                                          const topology::Deployment& deployment,
-                                          TrafficScope scope, Characteristic characteristic,
-                                          const MaliciousClassifier& classifier,
-                                          const NeighborhoodOptions& options) {
-  // First pass: find the testable neighborhoods so the Bonferroni family
-  // size equals the number of comparisons actually performed.
-  struct Candidate {
-    topology::VantageId vantage;
-    std::vector<TrafficSlice> neighbors;
-  };
+namespace {
+
+struct Candidate {
+  topology::VantageId vantage;
+  std::vector<TrafficSlice> neighbors;
+};
+
+// First pass shared by both variants: find the testable neighborhoods so
+// the Bonferroni family size equals the number of comparisons actually
+// performed. `slice_fn(vantage, neighbor)` supplies the neighbor slices.
+template <typename SliceFn>
+std::vector<Candidate> collect_candidates(const topology::Deployment& deployment,
+                                          const NeighborhoodOptions& options,
+                                          const SliceFn& slice_fn) {
   std::vector<Candidate> candidates;
   for (const topology::VantagePoint& vp : deployment.vantage_points()) {
     if (vp.type != topology::NetworkType::kCloud ||
@@ -39,14 +42,52 @@ NeighborhoodSummary analyze_neighborhoods(const capture::EventStore& store,
     candidate.vantage = vp.id;
     std::size_t total_records = 0;
     for (std::uint16_t n = 0; n < vp.addresses.size(); ++n) {
-      TrafficSlice slice = slice_neighbor(store, vp.id, n, scope);
+      TrafficSlice slice = slice_fn(vp.id, n);
       total_records += slice.records.size();
       candidate.neighbors.push_back(std::move(slice));
     }
     if (total_records < options.min_records) continue;
     candidates.push_back(std::move(candidate));
   }
+  return candidates;
+}
 
+NeighborhoodSummary summarize_candidates(const std::vector<Candidate>& candidates,
+                                         Characteristic characteristic,
+                                         const MaliciousClassifier& classifier,
+                                         const NeighborhoodOptions& options);
+
+}  // namespace
+
+NeighborhoodSummary analyze_neighborhoods(const capture::EventStore& store,
+                                          const topology::Deployment& deployment,
+                                          TrafficScope scope, Characteristic characteristic,
+                                          const MaliciousClassifier& classifier,
+                                          const NeighborhoodOptions& options) {
+  const std::vector<Candidate> candidates = collect_candidates(
+      deployment, options, [&](topology::VantageId vantage, std::uint16_t neighbor) {
+        return slice_neighbor(store, vantage, neighbor, scope);
+      });
+  return summarize_candidates(candidates, characteristic, classifier, options);
+}
+
+NeighborhoodSummary analyze_neighborhoods(const capture::SessionFrame& frame, TrafficScope scope,
+                                          Characteristic characteristic,
+                                          const MaliciousClassifier& classifier,
+                                          const NeighborhoodOptions& options) {
+  const std::vector<Candidate> candidates = collect_candidates(
+      frame.deployment(), options, [&](topology::VantageId vantage, std::uint16_t neighbor) {
+        return slice_neighbor(frame, vantage, neighbor, scope);
+      });
+  return summarize_candidates(candidates, characteristic, classifier, options);
+}
+
+namespace {
+
+NeighborhoodSummary summarize_candidates(const std::vector<Candidate>& candidates,
+                                         Characteristic characteristic,
+                                         const MaliciousClassifier& classifier,
+                                         const NeighborhoodOptions& options) {
   NeighborhoodSummary summary;
   summary.characteristic = characteristic;
   summary.neighborhoods_tested = candidates.size();
@@ -81,4 +122,5 @@ NeighborhoodSummary analyze_neighborhoods(const capture::EventStore& store,
   return summary;
 }
 
+}  // namespace
 }  // namespace cw::analysis

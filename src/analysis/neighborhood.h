@@ -39,6 +39,13 @@ NeighborhoodSummary analyze_neighborhoods(const capture::EventStore& store,
                                           const MaliciousClassifier& classifier,
                                           const NeighborhoodOptions& options = {});
 
+// Frame variant: neighbor slices come from the frame's posting lists and
+// the malicious fraction reads the precomputed verdict column.
+NeighborhoodSummary analyze_neighborhoods(const capture::SessionFrame& frame, TrafficScope scope,
+                                          Characteristic characteristic,
+                                          const MaliciousClassifier& classifier,
+                                          const NeighborhoodOptions& options = {});
+
 // The characteristics the paper reports for a scope (credentials for
 // SSH/Telnet, payloads for HTTP).
 std::vector<Characteristic> characteristics_for_scope(TrafficScope scope);

@@ -9,6 +9,10 @@
 
 #include "analysis/comparison.h"
 
+namespace cw::runner {
+class ThreadPool;
+}  // namespace cw::runner
+
 namespace cw::analysis {
 
 struct NetworkOptions {
@@ -38,6 +42,16 @@ NetworkComparison compare_vantage_pairs(
     const std::vector<std::pair<topology::VantageId, topology::VantageId>>& pairs,
     TrafficScope scope, Characteristic characteristic, const MaliciousClassifier& classifier,
     const NetworkOptions& options = {});
+
+// Frame variant. When `pool` is non-null each pair's slicing and test run
+// as an independent shard (nest-safe inside a pipeline task); results land
+// in per-pair slots and are reduced in pair order, so the phi accumulation
+// and the report bytes are identical at any worker count.
+NetworkComparison compare_vantage_pairs(
+    const capture::SessionFrame& frame,
+    const std::vector<std::pair<topology::VantageId, topology::VantageId>>& pairs,
+    TrafficScope scope, Characteristic characteristic, const MaliciousClassifier& classifier,
+    const NetworkOptions& options = {}, runner::ThreadPool* pool = nullptr);
 
 // The pair lists for each comparison family.
 std::vector<std::pair<topology::VantageId, topology::VantageId>> cloud_cloud_pairs(

@@ -1,6 +1,7 @@
 #include "analysis/overlap.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -8,6 +9,7 @@ namespace cw::analysis {
 namespace {
 
 using IpSet = std::unordered_set<std::uint32_t>;
+using PortSets = std::unordered_map<net::Port, IpSet>;
 
 double intersection_fraction(const IpSet& numerator_side, const IpSet& denominator) {
   if (denominator.empty()) return 0.0;
@@ -22,37 +24,28 @@ double intersection_fraction(const IpSet& numerator_side, const IpSet& denominat
   return static_cast<double>(shared) / static_cast<double>(denominator.size());
 }
 
-}  // namespace
+// Const lookup into the aggregation maps: absent ports yield the empty set
+// instead of silently inserting one (operator[] would).
+const IpSet& port_set(const PortSets& sets, net::Port port) {
+  static const IpSet kEmpty;
+  const auto it = sets.find(port);
+  return it != sets.end() ? it->second : kEmpty;
+}
 
-std::vector<OverlapRow> scanner_overlap(const capture::EventStore& store,
-                                        const topology::Deployment& deployment,
-                                        const std::vector<net::Port>& ports,
-                                        const std::vector<capture::ActorId>& exclude_actors) {
-  const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
-                                                      exclude_actors.end());
-  // One pass: per (port, network type) source sets.
-  std::unordered_map<net::Port, IpSet> cloud;
-  std::unordered_map<net::Port, IpSet> edu;
-  std::unordered_map<net::Port, IpSet> telescope;
-  std::unordered_set<net::Port> wanted(ports.begin(), ports.end());
+bool port_flag(const std::unordered_map<net::Port, bool>& flags, net::Port port) {
+  const auto it = flags.find(port);
+  return it != flags.end() && it->second;
+}
 
-  for (const capture::SessionRecord& record : store.records()) {
-    if (!wanted.contains(record.port)) continue;
-    if (excluded.contains(record.actor)) continue;
-    switch (deployment.at(record.vantage).type) {
-      case topology::NetworkType::kCloud: cloud[record.port].insert(record.src); break;
-      case topology::NetworkType::kEducation: edu[record.port].insert(record.src); break;
-      case topology::NetworkType::kTelescope: telescope[record.port].insert(record.src); break;
-    }
-  }
-
+std::vector<OverlapRow> scanner_rows(const std::vector<net::Port>& ports, const PortSets& cloud,
+                                     const PortSets& edu, const PortSets& telescope) {
   std::vector<OverlapRow> rows;
   for (net::Port port : ports) {
     OverlapRow row;
     row.port = port;
-    const IpSet& c = cloud[port];
-    const IpSet& e = edu[port];
-    const IpSet& t = telescope[port];
+    const IpSet& c = port_set(cloud, port);
+    const IpSet& e = port_set(edu, port);
+    const IpSet& t = port_set(telescope, port);
     row.cloud_ips = c.size();
     row.edu_ips = e.size();
     row.telescope_ips = t.size();
@@ -66,15 +59,88 @@ std::vector<OverlapRow> scanner_overlap(const capture::EventStore& store,
   return rows;
 }
 
+std::vector<MaliciousOverlapRow> attacker_rows(
+    const std::vector<net::Port>& ports, const PortSets& malicious_cloud,
+    const PortSets& malicious_edu, const PortSets& telescope,
+    const std::unordered_map<net::Port, bool>& cloud_measurable,
+    const std::unordered_map<net::Port, bool>& edu_measurable) {
+  std::vector<MaliciousOverlapRow> rows;
+  for (net::Port port : ports) {
+    MaliciousOverlapRow row;
+    row.port = port;
+    const IpSet& mc = port_set(malicious_cloud, port);
+    const IpSet& me = port_set(malicious_edu, port);
+    const IpSet& t = port_set(telescope, port);
+    row.malicious_cloud_ips = mc.size();
+    row.malicious_edu_ips = me.size();
+    if (port_flag(cloud_measurable, port) && !mc.empty()) {
+      row.tel_over_malicious_cloud = intersection_fraction(t, mc);
+    }
+    if (port_flag(edu_measurable, port) && !me.empty()) {
+      row.tel_over_malicious_edu = intersection_fraction(t, me);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<OverlapRow> scanner_overlap(const capture::EventStore& store,
+                                        const topology::Deployment& deployment,
+                                        const std::vector<net::Port>& ports,
+                                        const std::vector<capture::ActorId>& exclude_actors) {
+  const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
+                                                      exclude_actors.end());
+  // One pass: per (port, network type) source sets.
+  PortSets cloud;
+  PortSets edu;
+  PortSets telescope;
+  std::unordered_set<net::Port> wanted(ports.begin(), ports.end());
+
+  for (const capture::SessionRecord& record : store.records()) {
+    if (!wanted.contains(record.port)) continue;
+    if (excluded.contains(record.actor)) continue;
+    switch (deployment.at(record.vantage).type) {
+      case topology::NetworkType::kCloud: cloud[record.port].insert(record.src); break;
+      case topology::NetworkType::kEducation: edu[record.port].insert(record.src); break;
+      case topology::NetworkType::kTelescope: telescope[record.port].insert(record.src); break;
+    }
+  }
+  return scanner_rows(ports, cloud, edu, telescope);
+}
+
+std::vector<OverlapRow> scanner_overlap(const capture::SessionFrame& frame,
+                                        const std::vector<net::Port>& ports,
+                                        const std::vector<capture::ActorId>& exclude_actors) {
+  const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
+                                                      exclude_actors.end());
+  PortSets cloud;
+  PortSets edu;
+  PortSets telescope;
+  for (net::Port port : ports) {
+    for (std::uint32_t index : frame.for_port(port)) {
+      if (excluded.contains(frame.actor(index))) continue;
+      const std::uint32_t src = frame.src(index);
+      switch (frame.network_type(index)) {
+        case topology::NetworkType::kCloud: cloud[port].insert(src); break;
+        case topology::NetworkType::kEducation: edu[port].insert(src); break;
+        case topology::NetworkType::kTelescope: telescope[port].insert(src); break;
+      }
+    }
+  }
+  return scanner_rows(ports, cloud, edu, telescope);
+}
+
 std::vector<MaliciousOverlapRow> attacker_overlap(
     const capture::EventStore& store, const topology::Deployment& deployment,
     const MaliciousClassifier& classifier, const std::vector<net::Port>& ports,
     const std::vector<capture::ActorId>& exclude_actors) {
   const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
                                                       exclude_actors.end());
-  std::unordered_map<net::Port, IpSet> malicious_cloud;
-  std::unordered_map<net::Port, IpSet> malicious_edu;
-  std::unordered_map<net::Port, IpSet> telescope;
+  PortSets malicious_cloud;
+  PortSets malicious_edu;
+  PortSets telescope;
   // Whether any cloud/EDU vantage could measure intent on this port at all;
   // if not, the table cell is an "x".
   std::unordered_map<net::Port, bool> cloud_measurable;
@@ -99,25 +165,47 @@ std::vector<MaliciousOverlapRow> attacker_overlap(
       if (intent == MeasuredIntent::kMalicious) malicious_edu[record.port].insert(record.src);
     }
   }
+  return attacker_rows(ports, malicious_cloud, malicious_edu, telescope, cloud_measurable,
+                       edu_measurable);
+}
 
-  std::vector<MaliciousOverlapRow> rows;
-  for (net::Port port : ports) {
-    MaliciousOverlapRow row;
-    row.port = port;
-    const IpSet& mc = malicious_cloud[port];
-    const IpSet& me = malicious_edu[port];
-    const IpSet& t = telescope[port];
-    row.malicious_cloud_ips = mc.size();
-    row.malicious_edu_ips = me.size();
-    if (cloud_measurable[port] && !mc.empty()) {
-      row.tel_over_malicious_cloud = intersection_fraction(t, mc);
-    }
-    if (edu_measurable[port] && !me.empty()) {
-      row.tel_over_malicious_edu = intersection_fraction(t, me);
-    }
-    rows.push_back(row);
+std::vector<MaliciousOverlapRow> attacker_overlap(
+    const capture::SessionFrame& frame, const std::vector<net::Port>& ports,
+    const std::vector<capture::ActorId>& exclude_actors) {
+  if (!frame.has_verdicts()) {
+    throw std::logic_error("attacker_overlap: frame built without a verdict column");
   }
-  return rows;
+  const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
+                                                      exclude_actors.end());
+  PortSets malicious_cloud;
+  PortSets malicious_edu;
+  PortSets telescope;
+  std::unordered_map<net::Port, bool> cloud_measurable;
+  std::unordered_map<net::Port, bool> edu_measurable;
+
+  for (net::Port port : ports) {
+    for (std::uint32_t index : frame.for_port(port)) {
+      if (excluded.contains(frame.actor(index))) continue;
+      const std::uint32_t src = frame.src(index);
+      const topology::NetworkType type = frame.network_type(index);
+      if (type == topology::NetworkType::kTelescope) {
+        telescope[port].insert(src);
+        continue;
+      }
+      const capture::SessionFrame::Verdict verdict = frame.verdict(index);
+      const bool observable = verdict != capture::SessionFrame::Verdict::kUnobservable;
+      const bool malicious = verdict == capture::SessionFrame::Verdict::kMalicious;
+      if (type == topology::NetworkType::kCloud) {
+        cloud_measurable[port] = cloud_measurable[port] || observable;
+        if (malicious) malicious_cloud[port].insert(src);
+      } else {
+        edu_measurable[port] = edu_measurable[port] || observable;
+        if (malicious) malicious_edu[port].insert(src);
+      }
+    }
+  }
+  return attacker_rows(ports, malicious_cloud, malicious_edu, telescope, cloud_measurable,
+                       edu_measurable);
 }
 
 }  // namespace cw::analysis

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/malicious.h"
+#include "capture/frame.h"
 #include "capture/store.h"
 #include "net/ports.h"
 #include "topology/deployment.h"
@@ -34,6 +35,12 @@ std::vector<OverlapRow> scanner_overlap(const capture::EventStore& store,
                                         const std::vector<net::Port>& ports,
                                         const std::vector<capture::ActorId>& exclude_actors = {});
 
+// Frame variant: walks only the per-port posting lists and resolves network
+// types through the frame's precomputed vantage table.
+std::vector<OverlapRow> scanner_overlap(const capture::SessionFrame& frame,
+                                        const std::vector<net::Port>& ports,
+                                        const std::vector<capture::ActorId>& exclude_actors = {});
+
 // Table 9 row: same numerator/denominator construction but restricted to
 // *attacker* IPs — sources whose cloud/EDU traffic was measured malicious.
 // Cells are nullopt where the collection method cannot measure intent
@@ -49,6 +56,13 @@ struct MaliciousOverlapRow {
 std::vector<MaliciousOverlapRow> attacker_overlap(
     const capture::EventStore& store, const topology::Deployment& deployment,
     const MaliciousClassifier& classifier, const std::vector<net::Port>& ports,
+    const std::vector<capture::ActorId>& exclude_actors = {});
+
+// Frame variant: reads the precomputed verdict column instead of classifying
+// per record. The frame must have been built with a verdict function
+// (has_verdicts()); throws std::logic_error otherwise.
+std::vector<MaliciousOverlapRow> attacker_overlap(
+    const capture::SessionFrame& frame, const std::vector<net::Port>& ports,
     const std::vector<capture::ActorId>& exclude_actors = {});
 
 }  // namespace cw::analysis

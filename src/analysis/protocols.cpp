@@ -6,20 +6,26 @@
 #include <unordered_set>
 
 namespace cw::analysis {
+namespace {
+
+// Per (port, source): the fingerprint of the first payload the source
+// sent, and the actor behind it (for the reputation lookup).
+struct ScannerInfo {
+  net::Protocol protocol = net::Protocol::kUnknown;
+  capture::ActorId actor = 0;
+};
+using ScannerMap = std::map<std::pair<net::Port, std::uint32_t>, ScannerInfo>;
+
+std::vector<ProtocolBreakdownRow> breakdown_rows(const ScannerMap& scanners,
+                                                 const ProtocolOptions& options);
+
+}  // namespace
 
 std::vector<ProtocolBreakdownRow> protocol_breakdown(const capture::EventStore& store,
                                                      const topology::Deployment& deployment,
                                                      const ProtocolOptions& options) {
   std::unordered_set<net::Port> wanted(options.ports.begin(), options.ports.end());
-
-  // Per (port, source): the fingerprint of the first payload the source
-  // sent, and the actor behind it (for the reputation lookup).
-  struct ScannerInfo {
-    net::Protocol protocol = net::Protocol::kUnknown;
-    capture::ActorId actor = 0;
-  };
-  std::map<std::pair<net::Port, std::uint32_t>, ScannerInfo> scanners;
-
+  ScannerMap scanners;
   for (const capture::SessionRecord& record : store.records()) {
     if (!wanted.contains(record.port)) continue;
     if (record.payload_id == capture::kNoPayload) continue;
@@ -35,7 +41,36 @@ std::vector<ProtocolBreakdownRow> protocol_breakdown(const capture::EventStore& 
     info.actor = record.actor;
     scanners.emplace(key, info);
   }
+  return breakdown_rows(scanners, options);
+}
 
+std::vector<ProtocolBreakdownRow> protocol_breakdown(const capture::SessionFrame& frame,
+                                                     const ProtocolOptions& options) {
+  ScannerMap scanners;
+  for (net::Port port : options.ports) {
+    for (std::uint32_t index : frame.for_port(port)) {
+      if (!frame.has_payload(index)) continue;
+      if (frame.collection_of(frame.vantage(index)) != topology::CollectionMethod::kHoneytrap) {
+        continue;
+      }
+      const auto key = std::make_pair(port, frame.src(index));
+      if (scanners.contains(key)) continue;  // first payload wins (ascending lists)
+      ScannerInfo info;
+      info.protocol = frame.has_protocols()
+                          ? frame.protocol(index)
+                          : proto::Fingerprinter::identify(
+                                frame.store().payload(frame.payload_id(index)));
+      info.actor = frame.actor(index);
+      scanners.emplace(key, info);
+    }
+  }
+  return breakdown_rows(scanners, options);
+}
+
+namespace {
+
+std::vector<ProtocolBreakdownRow> breakdown_rows(const ScannerMap& scanners,
+                                                 const ProtocolOptions& options) {
   std::vector<ProtocolBreakdownRow> rows;
   for (net::Port port : options.ports) {
     ProtocolBreakdownRow row;
@@ -104,4 +139,5 @@ std::vector<ProtocolBreakdownRow> protocol_breakdown(const capture::EventStore& 
   return rows;
 }
 
+}  // namespace
 }  // namespace cw::analysis

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/oracle.h"
+#include "capture/frame.h"
 #include "capture/store.h"
 #include "net/ports.h"
 #include "proto/fingerprint.h"
@@ -46,6 +47,11 @@ struct ProtocolOptions {
 
 std::vector<ProtocolBreakdownRow> protocol_breakdown(const capture::EventStore& store,
                                                      const topology::Deployment& deployment,
+                                                     const ProtocolOptions& options);
+
+// Frame variant: walks the per-port posting lists and reads the protocol
+// column (fingerprinted once per distinct payload at frame build).
+std::vector<ProtocolBreakdownRow> protocol_breakdown(const capture::SessionFrame& frame,
                                                      const ProtocolOptions& options);
 
 }  // namespace cw::analysis

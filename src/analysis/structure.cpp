@@ -36,6 +36,32 @@ std::vector<double> telescope_address_counts(const capture::EventStore& store,
   return counts;
 }
 
+std::vector<double> telescope_address_counts(const capture::SessionFrame& frame, net::Port port) {
+  const topology::VantagePoint* telescope = nullptr;
+  for (const topology::VantagePoint& vp : frame.deployment().vantage_points()) {
+    if (vp.type == topology::NetworkType::kTelescope) {
+      telescope = &vp;
+      break;
+    }
+  }
+  if (telescope == nullptr || telescope->addresses.empty()) return {};
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> hits;  // (neighbor, src)
+  const std::vector<std::uint32_t>& indices = frame.for_vantage_port(telescope->id, port);
+  hits.reserve(indices.size());
+  for (std::uint32_t index : indices) {
+    hits.emplace_back(frame.neighbor(index), frame.src(index));
+  }
+  std::sort(hits.begin(), hits.end());
+  hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+
+  std::vector<double> counts(telescope->addresses.size(), 0.0);
+  for (const auto& [neighbor, src] : hits) {
+    if (neighbor < counts.size()) counts[neighbor] += 1.0;
+  }
+  return counts;
+}
+
 StructureStats structure_stats(const std::vector<double>& counts,
                                const topology::VantagePoint& telescope) {
   StructureStats stats;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "capture/collector.h"
+#include "capture/frame.h"
 #include "capture/store.h"
 #include "net/ports.h"
 #include "stats/descriptive.h"
@@ -19,6 +20,10 @@ namespace cw::analysis {
 std::vector<double> telescope_address_counts(const capture::EventStore& store,
                                              const topology::Deployment& deployment,
                                              net::Port port);
+
+// Frame variant: reads the per-(vantage, port) posting list instead of
+// filtering the telescope's whole record set by port.
+std::vector<double> telescope_address_counts(const capture::SessionFrame& frame, net::Port port);
 
 struct StructureStats {
   double mean_any_255 = 0.0;   // addresses with a 255 octet anywhere

@@ -1,0 +1,222 @@
+#include "capture/frame.h"
+
+#include <algorithm>
+
+#include "proto/fingerprint.h"
+#include "runner/thread_pool.h"
+
+namespace cw::capture {
+namespace {
+
+// Shard granularity for the column fill. parallel_for submits one task per
+// index, so the build fans out over contiguous chunks, not records.
+constexpr std::size_t kChunk = 64 * 1024;
+
+// Runs fn over [0, n) in contiguous chunks, on the pool when present.
+template <typename Fn>
+void for_chunks(runner::ThreadPool* pool, std::size_t n, Fn fn) {
+  if (n == 0) return;
+  const std::size_t chunks = (n + kChunk - 1) / kChunk;
+  auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kChunk;
+    const std::size_t end = std::min(begin + kChunk, n);
+    fn(begin, end);
+  };
+  if (pool == nullptr || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+  pool->parallel_for(chunks, run_chunk);
+}
+
+}  // namespace
+
+SessionFrame SessionFrame::build(const EventStore& store,
+                                 const topology::Deployment& deployment,
+                                 BuildOptions options) {
+  store.freeze();
+  SessionFrame frame;
+  frame.store_ = &store;
+  frame.deployment_ = &deployment;
+  frame.build_epoch_ = store.index_epoch();
+  store.pin_readers();
+
+  frame.vantage_network_.reserve(deployment.size());
+  frame.vantage_collection_.reserve(deployment.size());
+  for (const topology::VantagePoint& vp : deployment.vantage_points()) {
+    frame.vantage_network_.push_back(vp.type);
+    frame.vantage_collection_.push_back(vp.collection);
+  }
+
+  const std::vector<SessionRecord>& records = store.records();
+  const std::size_t n = records.size();
+  frame.time_.resize(n);
+  frame.src_.resize(n);
+  frame.src_as_.resize(n);
+  frame.port_.resize(n);
+  frame.vantage_.resize(n);
+  frame.neighbor_.resize(n);
+  frame.payload_id_.resize(n);
+  frame.credential_id_.resize(n);
+  frame.actor_.resize(n);
+  frame.flags_.resize(n);
+
+  // Protocol column: fingerprint each *distinct* payload once (interner ids
+  // are dense 0..distinct-1), then gather per record.
+  std::vector<net::Protocol> payload_protocol;
+  if (options.fingerprint_payloads) {
+    payload_protocol.resize(store.distinct_payloads(), net::Protocol::kUnknown);
+    for_chunks(options.pool, payload_protocol.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t id = begin; id < end; ++id) {
+        payload_protocol[id] =
+            proto::Fingerprinter::identify(store.payload(static_cast<std::uint32_t>(id)));
+      }
+    });
+    frame.protocol_.resize(n, net::Protocol::kUnknown);
+    frame.has_protocols_ = true;
+  }
+  if (options.verdict) {
+    frame.verdict_.resize(n, static_cast<std::uint8_t>(Verdict::kUnobservable));
+    frame.has_verdicts_ = true;
+  }
+
+  for_chunks(options.pool, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const SessionRecord& record = records[i];
+      frame.time_[i] = record.time;
+      frame.src_[i] = record.src;
+      frame.src_as_[i] = record.src_as;
+      frame.port_[i] = record.port;
+      frame.vantage_[i] = record.vantage;
+      frame.neighbor_[i] = record.neighbor;
+      frame.payload_id_[i] = record.payload_id;
+      frame.credential_id_[i] = record.credential_id;
+      frame.actor_[i] = record.actor;
+      std::uint8_t flags = 0;
+      if (record.payload_id != kNoPayload) flags |= kHasPayload;
+      if (record.credential_id != kNoCredential) flags |= kHasCredential;
+      if (record.handshake_completed) flags |= kHandshake;
+      frame.flags_[i] = flags;
+      if (frame.has_protocols_ && record.payload_id != kNoPayload) {
+        frame.protocol_[i] = payload_protocol[record.payload_id];
+      }
+      if (frame.has_verdicts_) {
+        frame.verdict_[i] = static_cast<std::uint8_t>(options.verdict(record));
+      }
+    }
+  });
+
+  // Secondary structures: one sequential O(n) pass so every posting list is
+  // in ascending record order independent of worker count.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    frame.port_postings_[frame.port_[i]].push_back(i);
+    frame.network_partition_[static_cast<std::size_t>(frame.network_type(i))].push_back(i);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(frame.vantage_[i]) << 16) | frame.port_[i];
+    frame.vantage_port_postings_[key].push_back(i);
+  }
+  return frame;
+}
+
+SessionFrame::~SessionFrame() { release(); }
+
+void SessionFrame::release() noexcept {
+  if (store_ != nullptr) {
+    store_->unpin_readers();
+    store_ = nullptr;
+  }
+}
+
+SessionFrame::SessionFrame(SessionFrame&& other) noexcept
+    : store_(other.store_),
+      deployment_(other.deployment_),
+      build_epoch_(other.build_epoch_),
+      time_(std::move(other.time_)),
+      src_(std::move(other.src_)),
+      src_as_(std::move(other.src_as_)),
+      port_(std::move(other.port_)),
+      vantage_(std::move(other.vantage_)),
+      neighbor_(std::move(other.neighbor_)),
+      payload_id_(std::move(other.payload_id_)),
+      credential_id_(std::move(other.credential_id_)),
+      actor_(std::move(other.actor_)),
+      flags_(std::move(other.flags_)),
+      verdict_(std::move(other.verdict_)),
+      protocol_(std::move(other.protocol_)),
+      has_verdicts_(other.has_verdicts_),
+      has_protocols_(other.has_protocols_),
+      vantage_network_(std::move(other.vantage_network_)),
+      vantage_collection_(std::move(other.vantage_collection_)),
+      port_postings_(std::move(other.port_postings_)),
+      vantage_port_postings_(std::move(other.vantage_port_postings_)) {
+  for (std::size_t i = 0; i < 3; ++i) {
+    network_partition_[i] = std::move(other.network_partition_[i]);
+  }
+  other.store_ = nullptr;  // pin ownership transfers; other's dtor must not unpin
+  other.deployment_ = nullptr;
+}
+
+SessionFrame& SessionFrame::operator=(SessionFrame&& other) noexcept {
+  if (this != &other) {
+    release();
+    store_ = other.store_;
+    deployment_ = other.deployment_;
+    build_epoch_ = other.build_epoch_;
+    time_ = std::move(other.time_);
+    src_ = std::move(other.src_);
+    src_as_ = std::move(other.src_as_);
+    port_ = std::move(other.port_);
+    vantage_ = std::move(other.vantage_);
+    neighbor_ = std::move(other.neighbor_);
+    payload_id_ = std::move(other.payload_id_);
+    credential_id_ = std::move(other.credential_id_);
+    actor_ = std::move(other.actor_);
+    flags_ = std::move(other.flags_);
+    verdict_ = std::move(other.verdict_);
+    protocol_ = std::move(other.protocol_);
+    has_verdicts_ = other.has_verdicts_;
+    has_protocols_ = other.has_protocols_;
+    vantage_network_ = std::move(other.vantage_network_);
+    vantage_collection_ = std::move(other.vantage_collection_);
+    port_postings_ = std::move(other.port_postings_);
+    for (std::size_t i = 0; i < 3; ++i) {
+      network_partition_[i] = std::move(other.network_partition_[i]);
+    }
+    vantage_port_postings_ = std::move(other.vantage_port_postings_);
+    other.store_ = nullptr;
+    other.deployment_ = nullptr;
+  }
+  return *this;
+}
+
+std::pair<std::uint64_t, std::uint64_t> SessionFrame::count_verdicts(
+    const std::vector<std::uint32_t>& indices) const {
+  std::uint64_t malicious = 0;
+  std::uint64_t benign = 0;
+  for (std::uint32_t index : indices) {
+    switch (verdict(index)) {
+      case Verdict::kMalicious: ++malicious; break;
+      case Verdict::kBenign: ++benign; break;
+      case Verdict::kUnobservable: break;
+    }
+  }
+  return {malicious, benign};
+}
+
+namespace {
+const std::vector<std::uint32_t> kEmptyPostings;
+}  // namespace
+
+const std::vector<std::uint32_t>& SessionFrame::for_port(net::Port port) const {
+  const auto it = port_postings_.find(port);
+  return it != port_postings_.end() ? it->second : kEmptyPostings;
+}
+
+const std::vector<std::uint32_t>& SessionFrame::for_vantage_port(topology::VantageId id,
+                                                                 net::Port port) const {
+  const auto it =
+      vantage_port_postings_.find((static_cast<std::uint64_t>(id) << 16) | port);
+  return it != vantage_port_postings_.end() ? it->second : kEmptyPostings;
+}
+
+}  // namespace cw::capture

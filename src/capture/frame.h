@@ -1,0 +1,181 @@
+// SessionFrame: an immutable, columnar (SoA) projection of a frozen
+// EventStore, shared by every analysis pipeline. The paper's tables are all
+// filtered aggregations over the same one-week corpus; instead of each
+// pipeline re-scanning store.records() and re-resolving deployment.at() per
+// record, the frame materializes the hot columns once plus the secondary
+// structures the pipelines select on:
+//
+//   - parallel column vectors (time/src/src_as/port/vantage/neighbor/
+//     payload_id/credential_id/actor/flags),
+//   - per-port posting lists and per-network-type partitions (vantage ids
+//     resolved through the Deployment once, not per record),
+//   - per-(vantage, port) slices for the pairwise comparison pipelines,
+//   - a malicious-verdict column evaluated once per record through an opaque
+//     callback (capture cannot depend on analysis), and a protocol column
+//     fingerprinted once per *distinct* payload.
+//
+// The build shards over contiguous record chunks through
+// runner::ThreadPool::parallel_for and is deterministic: every secondary
+// structure lists record indices in ascending order regardless of worker
+// count, so frame-backed pipelines produce byte-identical reports.
+//
+// Lifetime: build() freezes the store and pins it (EventStore::pin_readers);
+// the destructor unpins. An append after the build bumps the store's index
+// epoch, which attached() detects — and trips the store's debug assertion,
+// because every span the frame returns points into invalidated state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "capture/event.h"
+#include "capture/store.h"
+#include "net/ports.h"
+#include "topology/deployment.h"
+#include "topology/provider.h"
+
+namespace cw::runner {
+class ThreadPool;
+}  // namespace cw::runner
+
+namespace cw::capture {
+
+class SessionFrame {
+ public:
+  // Verdict of the malicious-intent measurement, mirroring
+  // analysis::MeasuredIntent without a capture->analysis dependency.
+  enum class Verdict : std::uint8_t { kUnobservable = 0, kBenign, kMalicious };
+
+  using VerdictFn = std::function<Verdict(const SessionRecord&)>;
+
+  struct BuildOptions {
+    BuildOptions() {}
+    // Shards the column fill across the pool; null builds sequentially.
+    runner::ThreadPool* pool = nullptr;
+    // Evaluated once per record into the verdict column. Empty leaves the
+    // frame without verdicts (has_verdicts() == false).
+    VerdictFn verdict;
+    // Fingerprint each distinct payload into the protocol column.
+    bool fingerprint_payloads = true;
+  };
+
+  // Freezes the store, pins it, and materializes every column and secondary
+  // structure. Deterministic at any pool size.
+  static SessionFrame build(const EventStore& store, const topology::Deployment& deployment,
+                            BuildOptions options = {});
+
+  ~SessionFrame();
+  SessionFrame(SessionFrame&& other) noexcept;
+  SessionFrame& operator=(SessionFrame&& other) noexcept;
+  SessionFrame(const SessionFrame&) = delete;
+  SessionFrame& operator=(const SessionFrame&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
+
+  // True while the underlying store has not been appended to since the
+  // build; a false return means every span below is stale.
+  [[nodiscard]] bool attached() const noexcept {
+    return store_ != nullptr && store_->index_epoch() == build_epoch_;
+  }
+
+  // --- column accessors ----------------------------------------------------
+  [[nodiscard]] util::SimTime time(std::uint32_t i) const { return time_[i]; }
+  [[nodiscard]] std::uint32_t src(std::uint32_t i) const { return src_[i]; }
+  [[nodiscard]] net::Asn src_as(std::uint32_t i) const { return src_as_[i]; }
+  [[nodiscard]] net::Port port(std::uint32_t i) const { return port_[i]; }
+  [[nodiscard]] topology::VantageId vantage(std::uint32_t i) const { return vantage_[i]; }
+  [[nodiscard]] std::uint16_t neighbor(std::uint32_t i) const { return neighbor_[i]; }
+  [[nodiscard]] std::uint32_t payload_id(std::uint32_t i) const { return payload_id_[i]; }
+  [[nodiscard]] std::uint32_t credential_id(std::uint32_t i) const { return credential_id_[i]; }
+  [[nodiscard]] ActorId actor(std::uint32_t i) const { return actor_[i]; }
+
+  [[nodiscard]] bool has_payload(std::uint32_t i) const { return (flags_[i] & kHasPayload) != 0; }
+  [[nodiscard]] bool has_credential(std::uint32_t i) const {
+    return (flags_[i] & kHasCredential) != 0;
+  }
+  [[nodiscard]] bool handshake(std::uint32_t i) const { return (flags_[i] & kHandshake) != 0; }
+
+  // Network type of the record's vantage point, resolved at build time.
+  [[nodiscard]] topology::NetworkType network_type(std::uint32_t i) const {
+    return vantage_network_[vantage_[i]];
+  }
+  [[nodiscard]] topology::NetworkType network_of(topology::VantageId id) const {
+    return vantage_network_[id];
+  }
+  [[nodiscard]] topology::CollectionMethod collection_of(topology::VantageId id) const {
+    return vantage_collection_[id];
+  }
+
+  // Verdict column (empty VerdictFn => has_verdicts() false, verdict() must
+  // not be called).
+  [[nodiscard]] bool has_verdicts() const noexcept { return has_verdicts_; }
+  [[nodiscard]] Verdict verdict(std::uint32_t i) const {
+    return static_cast<Verdict>(verdict_[i]);
+  }
+  // (malicious, benign) over a set of record indices; unobservable excluded.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> count_verdicts(
+      const std::vector<std::uint32_t>& indices) const;
+
+  // Protocol column: LZR fingerprint of the record's payload (kUnknown when
+  // none), computed once per distinct payload.
+  [[nodiscard]] bool has_protocols() const noexcept { return has_protocols_; }
+  [[nodiscard]] net::Protocol protocol(std::uint32_t i) const { return protocol_[i]; }
+
+  // --- secondary structures ------------------------------------------------
+  // All posting lists hold record indices in ascending order.
+  [[nodiscard]] const std::vector<std::uint32_t>& for_port(net::Port port) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& for_network(topology::NetworkType type) const {
+    return network_partition_[static_cast<std::size_t>(type)];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& for_vantage(topology::VantageId id) const {
+    return store_->for_vantage(id);
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& for_vantage_port(topology::VantageId id,
+                                                                   net::Port port) const;
+
+  [[nodiscard]] const SessionRecord& record(std::uint32_t i) const {
+    return store_->records()[i];
+  }
+  [[nodiscard]] const EventStore& store() const noexcept { return *store_; }
+  [[nodiscard]] const topology::Deployment& deployment() const noexcept { return *deployment_; }
+
+ private:
+  SessionFrame() = default;
+  void release() noexcept;
+
+  static constexpr std::uint8_t kHasPayload = 1;
+  static constexpr std::uint8_t kHasCredential = 2;
+  static constexpr std::uint8_t kHandshake = 4;
+
+  const EventStore* store_ = nullptr;
+  const topology::Deployment* deployment_ = nullptr;
+  std::uint64_t build_epoch_ = 0;
+
+  std::vector<util::SimTime> time_;
+  std::vector<std::uint32_t> src_;
+  std::vector<net::Asn> src_as_;
+  std::vector<net::Port> port_;
+  std::vector<topology::VantageId> vantage_;
+  std::vector<std::uint16_t> neighbor_;
+  std::vector<std::uint32_t> payload_id_;
+  std::vector<std::uint32_t> credential_id_;
+  std::vector<ActorId> actor_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint8_t> verdict_;
+  std::vector<net::Protocol> protocol_;
+  bool has_verdicts_ = false;
+  bool has_protocols_ = false;
+
+  std::vector<topology::NetworkType> vantage_network_;
+  std::vector<topology::CollectionMethod> vantage_collection_;
+
+  std::unordered_map<net::Port, std::vector<std::uint32_t>> port_postings_;
+  std::vector<std::uint32_t> network_partition_[3];
+  // Key packs vantage << 16 | port (ports are 16-bit).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> vantage_port_postings_;
+};
+
+}  // namespace cw::capture

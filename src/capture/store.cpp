@@ -1,6 +1,7 @@
 #include "capture/store.h"
 
 #include <algorithm>
+#include <cassert>
 #include <charconv>
 
 namespace cw::capture {
@@ -10,17 +11,24 @@ EventStore::EventStore(EventStore&& other) noexcept
       payloads_(std::move(other.payloads_)),
       credentials_(std::move(other.credentials_)),
       vantage_index_(std::move(other.vantage_index_)) {
+  assert(other.reader_pins() == 0 && "EventStore moved while a reader holds a pin");
   index_valid_.store(other.index_valid_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  index_epoch_.store(other.index_epoch_.load(std::memory_order_acquire),
                      std::memory_order_release);
 }
 
 EventStore& EventStore::operator=(EventStore&& other) noexcept {
   if (this != &other) {
+    assert(reader_pins() == 0 && other.reader_pins() == 0 &&
+           "EventStore moved while a reader holds a pin");
     records_ = std::move(other.records_);
     payloads_ = std::move(other.payloads_);
     credentials_ = std::move(other.credentials_);
     vantage_index_ = std::move(other.vantage_index_);
     index_valid_.store(other.index_valid_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+    index_epoch_.store(other.index_epoch_.load(std::memory_order_acquire),
                        std::memory_order_release);
   }
   return *this;
@@ -51,6 +59,10 @@ std::optional<proto::Credential> EventStore::decode_credential(std::string_view 
 
 void EventStore::append(SessionRecord record, std::string_view payload,
                         const std::optional<proto::Credential>& credential) {
+  // Appending invalidates every reference a reader may hold into the
+  // per-vantage index (and any SessionFrame built over this store); pinned
+  // readers make that a logic error, not a silent stale read.
+  assert(reader_pins() == 0 && "append() while a frozen reader holds a pin");
   record.payload_id = payload.empty() ? kNoPayload : payloads_.intern(payload);
   if (credential.has_value()) {
     record.credential_id = credentials_.intern(encode_credential(*credential));
@@ -58,7 +70,13 @@ void EventStore::append(SessionRecord record, std::string_view payload,
     record.credential_id = kNoCredential;
   }
   records_.push_back(record);
-  index_valid_.store(false, std::memory_order_release);
+  // Bumping the epoch on the freeze->append transition (not per append)
+  // keeps the simulation hot path to one relaxed load while letting
+  // SessionFrame::attached() observe the invalidation immediately.
+  if (index_valid_.load(std::memory_order_relaxed)) {
+    index_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    index_valid_.store(false, std::memory_order_release);
+  }
 }
 
 proto::Credential EventStore::credential(std::uint32_t id) const {
@@ -77,6 +95,7 @@ void EventStore::freeze() const {
   for (std::uint32_t i = 0; i < records_.size(); ++i) {
     vantage_index_[records_[i].vantage].push_back(i);
   }
+  index_epoch_.fetch_add(1, std::memory_order_acq_rel);
   index_valid_.store(true, std::memory_order_release);
 }
 

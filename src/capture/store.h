@@ -5,7 +5,14 @@
 // (append), then read-only during analysis. All const members, including the
 // lazily built for_vantage index, are safe to call from concurrent reader
 // threads once the last append has happened-before the readers start (the
-// pipeline runner joins the simulation before fanning out).
+// pipeline runner joins the simulation before fanning out). The frozen-store
+// contract is load-bearing for derived read-side structures: a
+// capture::SessionFrame snapshots the store at one index epoch, and any
+// append after that invalidates both the per-vantage index and the frame.
+// Long-lived readers therefore register themselves through pin_readers()
+// (SessionFrame does this automatically); in debug builds an append while a
+// pin is held trips an assertion, and in all builds it bumps index_epoch()
+// so a stale frame is detectable via SessionFrame::attached().
 #pragma once
 
 #include <atomic>
@@ -67,6 +74,27 @@ class EventStore {
   // on the first-use build.
   void freeze() const;
 
+  // Monotonic generation counter for the per-vantage index: 0 before the
+  // first build, bumped on every rebuild. A derived structure (SessionFrame)
+  // records the epoch it was built against; append() invalidates the index,
+  // so a mismatch means the structure is stale.
+  [[nodiscard]] std::uint64_t index_epoch() const noexcept {
+    return index_epoch_.load(std::memory_order_acquire);
+  }
+
+  // Registration for long-lived readers that hold references into the store
+  // (frames, for_vantage spans cached across calls). append() asserts no pin
+  // is held — appending would invalidate what the reader is looking at.
+  void pin_readers() const noexcept {
+    reader_pins_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void unpin_readers() const noexcept {
+    reader_pins_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  [[nodiscard]] int reader_pins() const noexcept {
+    return reader_pins_.load(std::memory_order_acquire);
+  }
+
  private:
   std::vector<SessionRecord> records_;
   Interner payloads_;
@@ -75,6 +103,8 @@ class EventStore {
   // acquire-loaded on the read path, set under index_mutex_ by the builder.
   mutable std::mutex index_mutex_;
   mutable std::atomic<bool> index_valid_{false};
+  mutable std::atomic<std::uint64_t> index_epoch_{0};
+  mutable std::atomic<int> reader_pins_{0};
   mutable std::vector<std::vector<std::uint32_t>> vantage_index_;
 };
 

@@ -4,6 +4,24 @@
 
 namespace cw::core {
 
+const capture::SessionFrame& ExperimentResult::frame(runner::ThreadPool* pool) const {
+  std::call_once(*frame_once_, [this, pool] {
+    capture::SessionFrame::BuildOptions options;
+    options.pool = pool;
+    options.verdict = [this](const capture::SessionRecord& record) {
+      switch (classifier_->classify(record, collector_->store())) {
+        case analysis::MeasuredIntent::kMalicious: return capture::SessionFrame::Verdict::kMalicious;
+        case analysis::MeasuredIntent::kBenign: return capture::SessionFrame::Verdict::kBenign;
+        case analysis::MeasuredIntent::kUnobservable: break;
+      }
+      return capture::SessionFrame::Verdict::kUnobservable;
+    };
+    frame_ = std::make_unique<capture::SessionFrame>(
+        capture::SessionFrame::build(collector_->store(), deployment_, std::move(options)));
+  });
+  return *frame_;
+}
+
 std::unique_ptr<ExperimentResult> Experiment::run() const {
   auto result = std::make_unique<ExperimentResult>();
 

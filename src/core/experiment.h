@@ -11,16 +11,22 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "agents/population.h"
 #include "analysis/malicious.h"
 #include "analysis/oracle.h"
 #include "capture/collector.h"
+#include "capture/frame.h"
 #include "ids/engine.h"
 #include "searchengine/engine.h"
 #include "sim/engine.h"
 #include "topology/deployment.h"
 #include "topology/universe.h"
+
+namespace cw::runner {
+class ThreadPool;
+}  // namespace cw::runner
 
 namespace cw::core {
 
@@ -61,6 +67,13 @@ class ExperimentResult {
   [[nodiscard]] const agents::Population& population() const noexcept { return *population_; }
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return events_processed_; }
 
+  // The shared columnar projection of the store, built lazily on first use
+  // (thread-safe) and reused by every table renderer. The verdict column
+  // wraps this result's classifier, so frame-backed pipelines agree with
+  // per-record classification bit for bit. Pass a pool to shard the first
+  // build; later calls ignore it and return the cached frame.
+  [[nodiscard]] const capture::SessionFrame& frame(runner::ThreadPool* pool = nullptr) const;
+
  private:
   friend class Experiment;
   topology::Deployment deployment_;
@@ -73,6 +86,10 @@ class ExperimentResult {
   std::unique_ptr<analysis::MaliciousClassifier> classifier_;
   std::unique_ptr<analysis::ReputationOracle> oracle_;
   std::uint64_t events_processed_ = 0;
+  // Lazy frame cache. The once_flag lives behind a pointer so the result
+  // stays movable.
+  mutable std::unique_ptr<std::once_flag> frame_once_ = std::make_unique<std::once_flag>();
+  mutable std::unique_ptr<capture::SessionFrame> frame_;
 };
 
 class Experiment {

@@ -62,16 +62,16 @@ std::string render_table1(const ExperimentResult& result) {
     }
   }
 
+  const capture::SessionFrame& frame = result.frame();
   for (const RowKey& row : rows) {
     std::unordered_set<std::uint32_t> ips;
     std::unordered_set<std::uint32_t> ases;
     std::size_t addresses = 0;
     for (topology::VantageId id : row.vantages) {
       addresses += result.deployment().at(id).addresses.size();
-      for (std::uint32_t index : result.store().for_vantage(id)) {
-        const capture::SessionRecord& record = result.store().records()[index];
-        ips.insert(record.src);
-        ases.insert(record.src_as);
+      for (std::uint32_t index : frame.for_vantage(id)) {
+        ips.insert(frame.src(index));
+        ases.insert(frame.src_as(index));
       }
     }
     table.add_row({row.name, std::string(topology::network_type_name(row.type)),
@@ -97,8 +97,8 @@ std::vector<std::function<analysis::NeighborhoodSummary()>> table2_tasks(
   for (const auto scope : kTable2Scopes) {
     for (const auto characteristic : analysis::characteristics_for_scope(scope)) {
       tasks.push_back([&result, scope, characteristic] {
-        return analysis::analyze_neighborhoods(result.store(), result.deployment(), scope,
-                                               characteristic, result.classifier());
+        return analysis::analyze_neighborhoods(result.frame(), scope, characteristic,
+                                               result.classifier());
       });
     }
   }
@@ -196,8 +196,7 @@ std::string render_table4(const ExperimentResult& result) {
         std::string(analysis::scope_name(row.scope))};
     for (const topology::Provider provider : providers) {
       const analysis::MostDifferentRegion most = analysis::most_different_region(
-          result.store(), result.deployment(), provider, row.scope, row.characteristic,
-          result.classifier());
+          result.frame(), provider, row.scope, row.characteristic, result.classifier());
       if (!most.any_significant) {
         cells.push_back("-");
       } else {
@@ -219,7 +218,7 @@ std::string render_table5(const ExperimentResult& result) {
   for (const auto scope : scopes) {
     for (const auto characteristic : analysis::characteristics_for_scope(scope)) {
       const analysis::GeoSimilarity similarity = analysis::geo_similarity(
-          result.store(), result.deployment(), scope, characteristic, result.classifier());
+          result.frame(), scope, characteristic, result.classifier());
       std::vector<std::string> cells = {
           std::string(analysis::scope_name(scope)),
           std::string(analysis::characteristic_name(characteristic))};
@@ -292,8 +291,8 @@ std::string render_table7(const ExperimentResult& result) {
   };
   for (const RowSpec& row : rows) {
     auto run = [&](const std::vector<std::pair<topology::VantageId, topology::VantageId>>& pairs) {
-      return analysis::compare_vantage_pairs(result.store(), result.deployment(), pairs,
-                                             row.scope, row.characteristic, result.classifier());
+      return analysis::compare_vantage_pairs(result.frame(), pairs, row.scope,
+                                             row.characteristic, result.classifier());
     };
     table.add_row({std::string(analysis::characteristic_name(row.characteristic)),
                    std::string(analysis::scope_name(row.scope)), network_cell(run(cc)),
@@ -308,7 +307,7 @@ std::string render_table8(const ExperimentResult& result) {
   util::TextTable table({"Port", "|Tel & Cloud|/|Cloud|", "|Tel & EDU|/|EDU|",
                          "|Cloud & EDU|/|Cloud|"});
   const auto rows = analysis::scanner_overlap(
-      result.store(), result.deployment(), net::popular_ports(),
+      result.frame(), net::popular_ports(),
       {agents::Population::kCensysActorId, agents::Population::kShodanActorId});
   auto cell = [](const std::optional<double>& value) {
     return value ? pct(*value * 100.0) : std::string("-");
@@ -325,7 +324,7 @@ std::string render_table9(const ExperimentResult& result) {
       {"Port", "|Tel & Mal.Cloud|/|Mal.Cloud|", "|Tel & Mal.EDU|/|Mal.EDU|"});
   const std::vector<net::Port> ports = {23, 2323, 80, 8080, 2222, 22};
   const auto rows = analysis::attacker_overlap(
-      result.store(), result.deployment(), result.classifier(), ports,
+      result.frame(), ports,
       {agents::Population::kCensysActorId, agents::Population::kShodanActorId});
   auto cell = [](const std::optional<double>& value) {
     return value ? pct(*value * 100.0, 1) : std::string("x");
@@ -346,17 +345,18 @@ constexpr analysis::TrafficScope kTable10Scopes[] = {
 
 }  // namespace
 
-std::vector<std::function<analysis::NetworkComparison()>> table10_tasks(
+std::vector<std::function<analysis::NetworkComparison(runner::ThreadPool*)>> table10_tasks(
     const ExperimentResult& result) {
-  std::vector<std::function<analysis::NetworkComparison()>> tasks;
+  std::vector<std::function<analysis::NetworkComparison(runner::ThreadPool*)>> tasks;
   for (const auto scope : kTable10Scopes) {
     for (const bool edu : {true, false}) {
-      tasks.push_back([&result, scope, edu] {
+      tasks.push_back([&result, scope, edu](runner::ThreadPool* pool) {
         const auto pairs = edu ? analysis::telescope_edu_pairs(result.deployment())
                                : analysis::telescope_cloud_pairs(result.deployment());
-        return analysis::compare_vantage_pairs(result.store(), result.deployment(), pairs,
-                                               scope, analysis::Characteristic::kTopAs,
-                                               result.classifier());
+        return analysis::compare_vantage_pairs(result.frame(), pairs, scope,
+                                               analysis::Characteristic::kTopAs,
+                                               result.classifier(), analysis::NetworkOptions{},
+                                               pool);
       });
     }
   }
@@ -377,7 +377,7 @@ std::string render_table10_from(const std::vector<analysis::NetworkComparison>& 
 
 std::string render_table10(const ExperimentResult& result) {
   std::vector<analysis::NetworkComparison> comparisons;
-  for (const auto& task : table10_tasks(result)) comparisons.push_back(task());
+  for (const auto& task : table10_tasks(result)) comparisons.push_back(task(nullptr));
   return render_table10_from(comparisons);
 }
 
@@ -386,7 +386,7 @@ namespace {
 std::string render_protocols(const ExperimentResult& result, bool with_oracle) {
   analysis::ProtocolOptions options;
   if (with_oracle) options.oracle = &result.oracle();
-  const auto rows = analysis::protocol_breakdown(result.store(), result.deployment(), options);
+  const auto rows = analysis::protocol_breakdown(result.frame(), options);
 
   std::vector<std::string> header = {"Protocol/Port", "Breakdown"};
   if (with_oracle) {
@@ -439,30 +439,27 @@ std::string render_table17(const ExperimentResult& result) {
 }
 
 std::string render_sec32(const ExperimentResult& result) {
-  const capture::EventStore& store = result.store();
+  const capture::SessionFrame& frame = result.frame();
   std::uint64_t telnet_total = 0, telnet_auth = 0;
   std::uint64_t ssh_total = 0, ssh_auth = 0;
   std::uint64_t http_total = 0, http_exploit = 0;
   std::set<std::uint32_t> http_payload_ids;
   std::set<std::uint32_t> http_malicious_ids;
 
-  for (const capture::SessionRecord& record : store.records()) {
-    const bool has_payload_or_credential = record.payload_id != capture::kNoPayload ||
-                                           record.credential_id != capture::kNoCredential;
-    if (!has_payload_or_credential) continue;
-    if (record.port == 23) {
+  for (std::uint32_t i = 0; i < frame.size(); ++i) {
+    if (!frame.has_payload(i) && !frame.has_credential(i)) continue;
+    if (frame.port(i) == 23) {
       ++telnet_total;
-      if (record.credential_id != capture::kNoCredential) ++telnet_auth;
-    } else if (record.port == 22) {
+      if (frame.has_credential(i)) ++telnet_auth;
+    } else if (frame.port(i) == 22) {
       ++ssh_total;
-      if (record.credential_id != capture::kNoCredential) ++ssh_auth;
-    } else if (record.port == 80 && record.payload_id != capture::kNoPayload) {
+      if (frame.has_credential(i)) ++ssh_auth;
+    } else if (frame.port(i) == 80 && frame.has_payload(i)) {
       ++http_total;
-      const bool malicious =
-          result.classifier().classify(record, store) == analysis::MeasuredIntent::kMalicious;
+      const bool malicious = frame.verdict(i) == capture::SessionFrame::Verdict::kMalicious;
       if (malicious) ++http_exploit;
-      http_payload_ids.insert(record.payload_id);
-      if (malicious) http_malicious_ids.insert(record.payload_id);
+      http_payload_ids.insert(frame.payload_id(i));
+      if (malicious) http_malicious_ids.insert(frame.payload_id(i));
     }
   }
 
@@ -484,8 +481,7 @@ std::string render_sec32(const ExperimentResult& result) {
 
 std::string render_figure1(const ExperimentResult& result, net::Port port,
                            std::size_t rolling_window, std::size_t buckets) {
-  const std::vector<double> counts =
-      analysis::telescope_address_counts(result.store(), result.deployment(), port);
+  const std::vector<double> counts = analysis::telescope_address_counts(result.frame(), port);
   if (counts.empty()) return "no telescope data\n";
   const std::vector<double> rolled = stats::rolling_average(counts, rolling_window);
 

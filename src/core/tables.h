@@ -58,7 +58,9 @@ std::string render_table10(const ExperimentResult& result);
 // telescope-EDU before telescope-cloud within each scope. This is the
 // longest-running single table, so sharding these eight
 // compare_vantage_pairs calls shortens the whole report's critical path.
-std::vector<std::function<analysis::NetworkComparison()>> table10_tasks(
+// Each closure also shards *within* the comparison when handed a pool
+// (per-pair, deterministic); pass nullptr to run its pairs sequentially.
+std::vector<std::function<analysis::NetworkComparison(runner::ThreadPool*)>> table10_tasks(
     const ExperimentResult& result);
 std::string render_table10_from(const std::vector<analysis::NetworkComparison>& comparisons);
 

@@ -55,10 +55,13 @@ std::vector<Pipeline> paper_report_pipelines(const core::ExperimentResult& resul
       [&result] { return core::render_table8(result); });
   add("Table 9: attacker overlap with the telescope",
       [&result] { return core::render_table9(result); });
+  // Each Table 10 task also shards per pair on the same pool (nested
+  // parallel_for), so the eight comparisons and their pairs all feed the
+  // same workers.
   add_sharded("Table 10: telescope scanners differ", [&result](ThreadPool& pool) {
     const auto tasks = core::table10_tasks(result);
     return core::render_table10_from(parallel_map<analysis::NetworkComparison>(
-        pool, tasks.size(), [&tasks](std::size_t i) { return tasks[i](); }));
+        pool, tasks.size(), [&tasks, &pool](std::size_t i) { return tasks[i](&pool); }));
   });
   add("Table 11: scanner-targeted protocols",
       [&result] { return core::render_table11(result); });

@@ -1,0 +1,236 @@
+#include "capture/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/fingerprint.h"
+#include "proto/payloads.h"
+#include "runner/thread_pool.h"
+
+namespace cw::capture {
+namespace {
+
+class FrameTest : public ::testing::Test {
+ protected:
+  FrameTest() {
+    auto add_vantage = [&](const char* name, topology::NetworkType type,
+                           topology::CollectionMethod method) {
+      topology::VantagePoint vp;
+      vp.name = name;
+      vp.provider = topology::Provider::kAws;
+      vp.type = type;
+      vp.collection = method;
+      vp.region = net::make_region("US", "CA");
+      vp.addresses = {net::IPv4Addr(3, 0, 0, 1), net::IPv4Addr(3, 0, 0, 2)};
+      deployment_.add(std::move(vp));
+    };
+    add_vantage("cloud", topology::NetworkType::kCloud, topology::CollectionMethod::kGreyNoise);
+    add_vantage("edu", topology::NetworkType::kEducation, topology::CollectionMethod::kHoneytrap);
+    add_vantage("tel", topology::NetworkType::kTelescope, topology::CollectionMethod::kTelescope);
+  }
+
+  void add(topology::VantageId vantage, net::Port port, std::uint32_t src,
+           std::string payload = {}, std::optional<proto::Credential> credential = std::nullopt) {
+    SessionRecord record;
+    record.vantage = vantage;
+    record.port = port;
+    record.src = src;
+    record.src_as = static_cast<net::Asn>(100 + src);
+    record.neighbor = static_cast<std::uint16_t>(src % 2);
+    record.time = static_cast<util::SimTime>(store_.size());
+    record.handshake_completed = vantage != 2;
+    store_.append(record, payload, credential);
+  }
+
+  void populate() {
+    add(0, 22, 1, proto::ssh_client_banner(), proto::Credential{"root", "root"});
+    add(1, 80, 2, "GET / HTTP/1.1\r\n\r\n");
+    add(2, 23, 3);
+    add(0, 22, 4, proto::ssh_client_banner());
+    add(0, 80, 5, "GET /shell HTTP/1.1\r\n\r\n");
+    add(2, 22, 6);
+  }
+
+  topology::Deployment deployment_;
+  EventStore store_;
+};
+
+TEST_F(FrameTest, ColumnsMirrorRecords) {
+  populate();
+  const SessionFrame frame = SessionFrame::build(store_, deployment_);
+  ASSERT_EQ(frame.size(), store_.size());
+  for (std::uint32_t i = 0; i < frame.size(); ++i) {
+    const SessionRecord& record = store_.records()[i];
+    EXPECT_EQ(frame.time(i), record.time);
+    EXPECT_EQ(frame.src(i), record.src);
+    EXPECT_EQ(frame.src_as(i), record.src_as);
+    EXPECT_EQ(frame.port(i), record.port);
+    EXPECT_EQ(frame.vantage(i), record.vantage);
+    EXPECT_EQ(frame.neighbor(i), record.neighbor);
+    EXPECT_EQ(frame.payload_id(i), record.payload_id);
+    EXPECT_EQ(frame.credential_id(i), record.credential_id);
+    EXPECT_EQ(frame.actor(i), record.actor);
+    EXPECT_EQ(frame.has_payload(i), record.payload_id != kNoPayload);
+    EXPECT_EQ(frame.has_credential(i), record.credential_id != kNoCredential);
+    EXPECT_EQ(frame.handshake(i), record.handshake_completed);
+    EXPECT_EQ(frame.network_type(i), deployment_.at(record.vantage).type);
+  }
+  EXPECT_EQ(frame.network_of(0), topology::NetworkType::kCloud);
+  EXPECT_EQ(frame.collection_of(1), topology::CollectionMethod::kHoneytrap);
+}
+
+TEST_F(FrameTest, PostingListsAreAscendingAndComplete) {
+  populate();
+  const SessionFrame frame = SessionFrame::build(store_, deployment_);
+
+  std::size_t covered = 0;
+  for (const net::Port port : {net::Port{22}, net::Port{23}, net::Port{80}}) {
+    const auto& postings = frame.for_port(port);
+    covered += postings.size();
+    for (std::size_t k = 0; k < postings.size(); ++k) {
+      EXPECT_EQ(frame.port(postings[k]), port);
+      if (k > 0) EXPECT_LT(postings[k - 1], postings[k]);
+    }
+  }
+  EXPECT_EQ(covered, frame.size());
+  EXPECT_TRUE(frame.for_port(443).empty());
+
+  covered = 0;
+  for (const auto type :
+       {topology::NetworkType::kCloud, topology::NetworkType::kEducation,
+        topology::NetworkType::kTelescope}) {
+    const auto& partition = frame.for_network(type);
+    covered += partition.size();
+    for (const std::uint32_t index : partition) EXPECT_EQ(frame.network_type(index), type);
+  }
+  EXPECT_EQ(covered, frame.size());
+
+  // Per-(vantage, port) slices agree with a filtered per-vantage scan.
+  for (topology::VantageId v = 0; v < 3; ++v) {
+    for (const net::Port port : {net::Port{22}, net::Port{23}, net::Port{80}}) {
+      std::vector<std::uint32_t> expected;
+      for (const std::uint32_t index : frame.for_vantage(v)) {
+        if (frame.port(index) == port) expected.push_back(index);
+      }
+      EXPECT_EQ(frame.for_vantage_port(v, port), expected);
+    }
+  }
+}
+
+TEST_F(FrameTest, VerdictColumnEvaluatesCallbackOncePerRecord) {
+  populate();
+  SessionFrame::BuildOptions options;
+  options.verdict = [](const SessionRecord& record) {
+    if (record.credential_id != kNoCredential) return SessionFrame::Verdict::kMalicious;
+    if (record.payload_id != kNoPayload) return SessionFrame::Verdict::kBenign;
+    return SessionFrame::Verdict::kUnobservable;
+  };
+  const SessionFrame frame = SessionFrame::build(store_, deployment_, std::move(options));
+  ASSERT_TRUE(frame.has_verdicts());
+  EXPECT_EQ(frame.verdict(0), SessionFrame::Verdict::kMalicious);
+  EXPECT_EQ(frame.verdict(1), SessionFrame::Verdict::kBenign);
+  EXPECT_EQ(frame.verdict(2), SessionFrame::Verdict::kUnobservable);
+
+  std::vector<std::uint32_t> all(frame.size());
+  for (std::uint32_t i = 0; i < frame.size(); ++i) all[i] = i;
+  const auto [malicious, benign] = frame.count_verdicts(all);
+  EXPECT_EQ(malicious, 1u);
+  EXPECT_EQ(benign, 3u);
+}
+
+TEST_F(FrameTest, ProtocolColumnFingerprintsDistinctPayloads) {
+  populate();
+  const SessionFrame with = SessionFrame::build(store_, deployment_);
+  ASSERT_TRUE(with.has_protocols());
+  for (std::uint32_t i = 0; i < with.size(); ++i) {
+    const SessionRecord& record = store_.records()[i];
+    const net::Protocol expected =
+        record.payload_id == kNoPayload
+            ? net::Protocol::kUnknown
+            : proto::Fingerprinter::identify(store_.payload(record.payload_id));
+    EXPECT_EQ(with.protocol(i), expected);
+  }
+
+  SessionFrame::BuildOptions skip;
+  skip.fingerprint_payloads = false;
+  const SessionFrame without = SessionFrame::build(store_, deployment_, std::move(skip));
+  EXPECT_FALSE(without.has_protocols());
+}
+
+TEST_F(FrameTest, ShardedBuildMatchesSequential) {
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    add(static_cast<topology::VantageId>(i % 3), i % 2 == 0 ? 22 : 80, i,
+        i % 5 == 0 ? proto::ssh_client_banner() : std::string{});
+  }
+  const SessionFrame sequential = SessionFrame::build(store_, deployment_);
+  runner::ThreadPool pool(4);
+  SessionFrame::BuildOptions options;
+  options.pool = &pool;
+  const SessionFrame sharded = SessionFrame::build(store_, deployment_, std::move(options));
+
+  ASSERT_EQ(sequential.size(), sharded.size());
+  for (std::uint32_t i = 0; i < sequential.size(); ++i) {
+    ASSERT_EQ(sequential.src(i), sharded.src(i));
+    ASSERT_EQ(sequential.protocol(i), sharded.protocol(i));
+  }
+  for (const net::Port port : {net::Port{22}, net::Port{80}}) {
+    EXPECT_EQ(sequential.for_port(port), sharded.for_port(port));
+  }
+  for (topology::VantageId v = 0; v < 3; ++v) {
+    EXPECT_EQ(sequential.for_vantage_port(v, 22), sharded.for_vantage_port(v, 22));
+  }
+}
+
+TEST_F(FrameTest, BuildPinsStoreAndDestructionUnpins) {
+  populate();
+  EXPECT_EQ(store_.reader_pins(), 0);
+  {
+    const SessionFrame frame = SessionFrame::build(store_, deployment_);
+    EXPECT_EQ(store_.reader_pins(), 1);
+    EXPECT_TRUE(frame.attached());
+
+    // A second frame over the same store pins independently.
+    const SessionFrame other = SessionFrame::build(store_, deployment_);
+    EXPECT_EQ(store_.reader_pins(), 2);
+  }
+  EXPECT_EQ(store_.reader_pins(), 0);
+}
+
+TEST_F(FrameTest, MoveTransfersPinOwnership) {
+  populate();
+  SessionFrame frame = SessionFrame::build(store_, deployment_);
+  EXPECT_EQ(store_.reader_pins(), 1);
+  SessionFrame moved = std::move(frame);
+  EXPECT_EQ(store_.reader_pins(), 1);
+  EXPECT_TRUE(moved.attached());
+  {
+    SessionFrame assigned = SessionFrame::build(store_, deployment_);
+    EXPECT_EQ(store_.reader_pins(), 2);
+    assigned = std::move(moved);  // drops assigned's pin, adopts moved's
+    EXPECT_EQ(store_.reader_pins(), 1);
+    EXPECT_TRUE(assigned.attached());
+  }
+  EXPECT_EQ(store_.reader_pins(), 0);
+}
+
+TEST_F(FrameTest, AppendAfterBuildDetaches) {
+  populate();
+  SessionFrame frame = SessionFrame::build(store_, deployment_);
+  EXPECT_TRUE(frame.attached());
+#ifndef NDEBUG
+  // Appending while the frame still pins the store is a logic error and
+  // trips the store's debug assertion.
+  EXPECT_DEATH(add(0, 22, 99), "append\\(\\) while a frozen reader holds a pin");
+#endif
+  // Release the pin (as the frame's destructor would) and append: the epoch
+  // bump detaches the frame immediately, before any index rebuild.
+  store_.unpin_readers();
+  add(0, 22, 99);
+  EXPECT_FALSE(frame.attached());
+  store_.pin_readers();  // restore so the frame's destructor balances
+}
+
+}  // namespace
+}  // namespace cw::capture

@@ -95,6 +95,44 @@ TEST(EventStore, MovePreservesContentsAndIndex) {
   EXPECT_EQ(moved.credential(moved.records()[0].credential_id).username, "u");
 }
 
+TEST(EventStore, AppendAfterFreezeInvalidatesIndexAndBumpsEpoch) {
+  EventStore store;
+  store.append(record_at(1), {}, std::nullopt);
+  store.freeze();
+  const std::uint64_t frozen_epoch = store.index_epoch();
+  EXPECT_EQ(store.for_vantage(1).size(), 1u);
+
+  // Regression: an append into a frozen store must invalidate the index
+  // (the next reader sees the new record) and advance the epoch so frozen
+  // readers (SessionFrame) can detect the staleness.
+  store.append(record_at(1), {}, std::nullopt);
+  EXPECT_GT(store.index_epoch(), frozen_epoch);
+
+  // Appends into an already-invalid index do not churn the epoch again
+  // until the next freeze.
+  const std::uint64_t after_append = store.index_epoch();
+  store.append(record_at(1), {}, std::nullopt);
+  EXPECT_EQ(store.index_epoch(), after_append);
+
+  // The next reader rebuild sees every appended record.
+  EXPECT_EQ(store.for_vantage(1).size(), 3u);
+  EXPECT_GT(store.index_epoch(), after_append);
+}
+
+TEST(EventStore, PinCountingBalances) {
+  EventStore store;
+  store.append(record_at(1), {}, std::nullopt);
+  store.freeze();
+  EXPECT_EQ(store.reader_pins(), 0);
+  store.pin_readers();
+  store.pin_readers();
+  EXPECT_EQ(store.reader_pins(), 2);
+  store.unpin_readers();
+  EXPECT_EQ(store.reader_pins(), 1);
+  store.unpin_readers();
+  EXPECT_EQ(store.reader_pins(), 0);
+}
+
 TEST(EventStore, ConcurrentForVantageReadersSeeOneConsistentIndex) {
   // Simulation phase: single-threaded appends across a few vantages.
   EventStore store;

@@ -36,6 +36,13 @@ std::vector<std::string> render_all(unsigned jobs) {
 
 TEST(RunnerDeterminism, SameOutputAt1And2And8Workers) {
   small_experiment().store().freeze();
+  // Every renderer now reads the shared columnar frame; build it sharded so
+  // the whole frame path (chunked column fill included) is under the
+  // byte-identical diff.
+  {
+    ThreadPool frame_pool(8);
+    static_cast<void>(small_experiment().frame(&frame_pool));
+  }
   const std::vector<std::string> sequential = render_all(1);
   const std::vector<std::string> two = render_all(2);
   const std::vector<std::string> eight = render_all(8);
