@@ -146,6 +146,30 @@ void bm_table10_frame(benchmark::State& state) {
 }
 BENCHMARK(bm_table10_frame)->Unit(benchmark::kMillisecond);
 
+// Cache-backed Table 10 with a COLD cache each iteration: measures what the
+// shared CharacteristicTableCache buys from cross-pair reuse alone (Orion's
+// table per scope is built once for its five pairs, instead of five times).
+void bm_table10_cached(benchmark::State& state) {
+  const core::ExperimentResult& e = shared_experiment();
+  const capture::SessionFrame& frame = e.frame();
+  for (auto _ : state) {
+    const analysis::CharacteristicTableCache cache(frame, e.classifier());
+    std::size_t tested = 0;
+    for (const auto scope : kTable10Scopes) {
+      for (const bool edu : {true, false}) {
+        const auto pairs = edu ? analysis::telescope_edu_pairs(e.deployment())
+                               : analysis::telescope_cloud_pairs(e.deployment());
+        tested += analysis::compare_vantage_pairs(cache, pairs, scope,
+                                                  analysis::Characteristic::kTopAs)
+                      .pairs_tested;
+      }
+    }
+    benchmark::DoNotOptimize(tested);
+    state.counters["tables"] = static_cast<double>(cache.tables_built());
+  }
+}
+BENCHMARK(bm_table10_cached)->Unit(benchmark::kMillisecond);
+
 std::string runner_report() {
   const core::ExperimentResult& experiment = shared_experiment();
   experiment.store().freeze();

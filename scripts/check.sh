@@ -38,17 +38,31 @@ tsan() {
 
 determinism() {
   # The report must be byte-identical at every worker count (the frame
-  # build and all 17 pipelines shard through the pool).
+  # build, the characteristic-table cache, and all 17 pipelines shard
+  # through the pool) — and, at the reference scale, identical to the
+  # recorded golden hash, so a refactor that shifts any output byte (even
+  # deterministically) fails here instead of landing unnoticed.
   cmake --build "$ROOT/build" -j "$JOBS" --target full_report
   local bin="$ROOT/build/examples/full_report"
   [ -x "$bin" ] || bin="$ROOT/build/full_report"
   local scale="${CW_CHECK_SCALE:-0.3}" t24="${CW_CHECK_T24:-16}"
+  local golden="${CW_CHECK_GOLDEN_MD5:-06bc684b63b54af2709cec936ccc1153}"
   local out1 out2 out8
   out1=$(mktemp) && out2=$(mktemp) && out8=$(mktemp)
   "$bin" --jobs 1 "$scale" "$t24" >"$out1" 2>/dev/null
   "$bin" --jobs 2 "$scale" "$t24" >"$out2" 2>/dev/null
   "$bin" --jobs 8 "$scale" "$t24" >"$out8" 2>/dev/null
   diff -q "$out1" "$out2" && diff -q "$out1" "$out8"
+  if [ "$scale" = "0.3" ] && [ "$t24" = "16" ] && [ -n "$golden" ]; then
+    local md5
+    md5=$(md5sum "$out1" | cut -d' ' -f1)
+    if [ "$md5" != "$golden" ]; then
+      echo "determinism: stdout md5 $md5 != golden $golden (scale 0.3, t24 16)" >&2
+      rm -f "$out1" "$out2" "$out8"
+      return 1
+    fi
+    echo "determinism: stdout md5 matches golden $golden"
+  fi
   rm -f "$out1" "$out2" "$out8"
   echo "determinism: byte-identical at --jobs 1/2/8 (scale $scale, t24 $t24)"
 }

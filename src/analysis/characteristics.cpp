@@ -18,6 +18,17 @@ std::string_view scope_name(TrafficScope scope) noexcept {
   return "?";
 }
 
+std::string_view characteristic_name(Characteristic c) noexcept {
+  switch (c) {
+    case Characteristic::kTopAs: return "Top 3 AS";
+    case Characteristic::kFracMalicious: return "Fraction Malicious";
+    case Characteristic::kTopUsername: return "Top 3 Username";
+    case Characteristic::kTopPassword: return "Top 3 Password";
+    case Characteristic::kTopPayload: return "Top 3 Payloads";
+  }
+  return "?";
+}
+
 bool in_scope(const capture::SessionRecord& record, TrafficScope scope,
               const capture::EventStore& store) {
   switch (scope) {
@@ -60,8 +71,6 @@ TrafficSlice slice_vantage(const capture::EventStore& store, topology::VantageId
   return slice;
 }
 
-namespace {
-
 // Port-named scopes resolve to one per-(vantage, port) posting list; the
 // list holds ascending record indices, exactly what the store-side filter
 // loop would produce.
@@ -73,8 +82,6 @@ std::optional<net::Port> scope_port(TrafficScope scope) noexcept {
     default: return std::nullopt;
   }
 }
-
-}  // namespace
 
 TrafficSlice slice_vantage(const capture::SessionFrame& frame, topology::VantageId vantage,
                            TrafficScope scope) {
@@ -122,42 +129,66 @@ TrafficSlice slice_neighbor(const capture::SessionFrame& frame, topology::Vantag
   return slice;
 }
 
-stats::FrequencyTable as_table(const TrafficSlice& slice) {
+stats::FrequencyTable as_table(const capture::EventStore& store,
+                               const std::vector<std::uint32_t>& records, std::size_t begin,
+                               std::size_t end) {
   stats::FrequencyTable table;
-  for (std::uint32_t index : slice.records) {
-    table.add("AS" + std::to_string(slice.store->records()[index].src_as));
+  for (std::size_t i = begin; i < end; ++i) {
+    table.add("AS" + std::to_string(store.records()[records[i]].src_as));
   }
   return table;
+}
+
+stats::FrequencyTable username_table(const capture::EventStore& store,
+                                     const std::vector<std::uint32_t>& records, std::size_t begin,
+                                     std::size_t end) {
+  stats::FrequencyTable table;
+  for (std::size_t i = begin; i < end; ++i) {
+    const capture::SessionRecord& record = store.records()[records[i]];
+    if (record.credential_id == capture::kNoCredential) continue;
+    table.add(store.credential(record.credential_id).username);
+  }
+  return table;
+}
+
+stats::FrequencyTable password_table(const capture::EventStore& store,
+                                     const std::vector<std::uint32_t>& records, std::size_t begin,
+                                     std::size_t end) {
+  stats::FrequencyTable table;
+  for (std::size_t i = begin; i < end; ++i) {
+    const capture::SessionRecord& record = store.records()[records[i]];
+    if (record.credential_id == capture::kNoCredential) continue;
+    table.add(store.credential(record.credential_id).password);
+  }
+  return table;
+}
+
+stats::FrequencyTable payload_table(const capture::EventStore& store,
+                                    const std::vector<std::uint32_t>& records, std::size_t begin,
+                                    std::size_t end) {
+  stats::FrequencyTable table;
+  for (std::size_t i = begin; i < end; ++i) {
+    const capture::SessionRecord& record = store.records()[records[i]];
+    if (record.payload_id == capture::kNoPayload) continue;
+    table.add(proto::normalize_http_payload(store.payload(record.payload_id)));
+  }
+  return table;
+}
+
+stats::FrequencyTable as_table(const TrafficSlice& slice) {
+  return as_table(*slice.store, slice.records, 0, slice.records.size());
 }
 
 stats::FrequencyTable username_table(const TrafficSlice& slice) {
-  stats::FrequencyTable table;
-  for (std::uint32_t index : slice.records) {
-    const capture::SessionRecord& record = slice.store->records()[index];
-    if (record.credential_id == capture::kNoCredential) continue;
-    table.add(slice.store->credential(record.credential_id).username);
-  }
-  return table;
+  return username_table(*slice.store, slice.records, 0, slice.records.size());
 }
 
 stats::FrequencyTable password_table(const TrafficSlice& slice) {
-  stats::FrequencyTable table;
-  for (std::uint32_t index : slice.records) {
-    const capture::SessionRecord& record = slice.store->records()[index];
-    if (record.credential_id == capture::kNoCredential) continue;
-    table.add(slice.store->credential(record.credential_id).password);
-  }
-  return table;
+  return password_table(*slice.store, slice.records, 0, slice.records.size());
 }
 
 stats::FrequencyTable payload_table(const TrafficSlice& slice) {
-  stats::FrequencyTable table;
-  for (std::uint32_t index : slice.records) {
-    const capture::SessionRecord& record = slice.store->records()[index];
-    if (record.payload_id == capture::kNoPayload) continue;
-    table.add(proto::normalize_http_payload(slice.store->payload(record.payload_id)));
-  }
-  return table;
+  return payload_table(*slice.store, slice.records, 0, slice.records.size());
 }
 
 std::pair<std::uint64_t, std::uint64_t> malicious_counts(const TrafficSlice& slice,

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -31,6 +32,19 @@ enum class TrafficScope : std::uint8_t {
 
 std::string_view scope_name(TrafficScope scope) noexcept;
 
+// The traffic characteristics the paper compares (Section 3.3). Lives here
+// rather than comparison.h so the table cache can key on it without pulling
+// in the comparison driver.
+enum class Characteristic : std::uint8_t {
+  kTopAs = 0,
+  kFracMalicious,
+  kTopUsername,
+  kTopPassword,
+  kTopPayload,
+};
+
+std::string_view characteristic_name(Characteristic c) noexcept;
+
 // True if the record falls inside the scope. HTTP/AllPorts needs payload
 // access, hence the store parameter.
 bool in_scope(const capture::SessionRecord& record, TrafficScope scope,
@@ -39,6 +53,11 @@ bool in_scope(const capture::SessionRecord& record, TrafficScope scope,
 // Frame variant: HTTP/AllPorts reads the precomputed protocol column
 // instead of re-fingerprinting the payload.
 bool in_scope(const capture::SessionFrame& frame, std::uint32_t index, TrafficScope scope);
+
+// The destination port a port-named scope selects on, or nullopt for the
+// scopes that need payload inspection (HTTP/AllPorts) or select everything
+// (Any/All). Port-named scopes resolve to frame posting lists directly.
+std::optional<net::Port> scope_port(TrafficScope scope) noexcept;
 
 // A selected subset of a store's records. `frame` is set when the slice was
 // built from a SessionFrame; frame-aware consumers (malicious_counts) use
@@ -75,6 +94,23 @@ stats::FrequencyTable password_table(const TrafficSlice& slice);
 // Payload table with ephemeral HTTP fields stripped (Section 3.3). Records
 // without payloads are skipped.
 stats::FrequencyTable payload_table(const TrafficSlice& slice);
+
+// Range variants over records[begin, end): the chunk primitives the
+// characteristic-table cache shards a single big build with (partials over
+// contiguous chunks, merged in chunk order). The slice forms above are the
+// begin=0, end=size() case.
+stats::FrequencyTable as_table(const capture::EventStore& store,
+                               const std::vector<std::uint32_t>& records, std::size_t begin,
+                               std::size_t end);
+stats::FrequencyTable username_table(const capture::EventStore& store,
+                                     const std::vector<std::uint32_t>& records, std::size_t begin,
+                                     std::size_t end);
+stats::FrequencyTable password_table(const capture::EventStore& store,
+                                     const std::vector<std::uint32_t>& records, std::size_t begin,
+                                     std::size_t end);
+stats::FrequencyTable payload_table(const capture::EventStore& store,
+                                    const std::vector<std::uint32_t>& records, std::size_t begin,
+                                    std::size_t end);
 
 // (malicious, benign) record counts per the Section 3.2 classifier.
 std::pair<std::uint64_t, std::uint64_t> malicious_counts(const TrafficSlice& slice,

@@ -2,17 +2,6 @@
 
 namespace cw::analysis {
 
-std::string_view characteristic_name(Characteristic c) noexcept {
-  switch (c) {
-    case Characteristic::kTopAs: return "Top 3 AS";
-    case Characteristic::kFracMalicious: return "Fraction Malicious";
-    case Characteristic::kTopUsername: return "Top 3 Username";
-    case Characteristic::kTopPassword: return "Top 3 Password";
-    case Characteristic::kTopPayload: return "Top 3 Payloads";
-  }
-  return "?";
-}
-
 stats::SignificanceTest compare_characteristic(const std::vector<TrafficSlice>& groups,
                                                Characteristic characteristic,
                                                const MaliciousClassifier* classifier,
@@ -40,6 +29,27 @@ stats::SignificanceTest compare_characteristic(const std::vector<TrafficSlice>& 
   std::vector<const stats::FrequencyTable*> pointers;
   pointers.reserve(tables.size());
   for (const stats::FrequencyTable& table : tables) pointers.push_back(&table);
+  return stats::compare_top_k(pointers, options.top_k, options.alpha, options.family_size);
+}
+
+stats::SignificanceTest compare_characteristic(
+    const CharacteristicTableCache& cache,
+    const std::vector<CharacteristicTableCache::SliceKey>& groups, TrafficScope scope,
+    Characteristic characteristic, const CompareOptions& options, runner::ThreadPool* pool) {
+  if (characteristic == Characteristic::kFracMalicious) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> rows;
+    rows.reserve(groups.size());
+    for (const CharacteristicTableCache::SliceKey& key : groups) {
+      rows.push_back(cache.malicious(key.vantage, scope, key.neighbor));
+    }
+    return stats::compare_binary(rows, options.alpha, options.family_size);
+  }
+
+  std::vector<const stats::FrequencyTable*> pointers;
+  pointers.reserve(groups.size());
+  for (const CharacteristicTableCache::SliceKey& key : groups) {
+    pointers.push_back(&cache.table(key.vantage, scope, characteristic, pool, key.neighbor));
+  }
   return stats::compare_top_k(pointers, options.top_k, options.alpha, options.family_size);
 }
 

@@ -8,19 +8,14 @@
 #include <vector>
 
 #include "analysis/characteristics.h"
+#include "analysis/table_cache.h"
 #include "stats/chi_squared.h"
 
+namespace cw::runner {
+class ThreadPool;
+}  // namespace cw::runner
+
 namespace cw::analysis {
-
-enum class Characteristic : std::uint8_t {
-  kTopAs = 0,
-  kFracMalicious,
-  kTopUsername,
-  kTopPassword,
-  kTopPayload,
-};
-
-std::string_view characteristic_name(Characteristic c) noexcept;
 
 // Comparison parameters; k=3 is the paper's default (footnote 2).
 struct CompareOptions {
@@ -35,6 +30,18 @@ stats::SignificanceTest compare_characteristic(const std::vector<TrafficSlice>& 
                                                Characteristic characteristic,
                                                const MaliciousClassifier* classifier,
                                                const CompareOptions& options);
+
+// Cache-backed variant: each group's table (or (malicious, benign) counts)
+// comes from the shared CharacteristicTableCache, so a side that appears in
+// many comparisons — Orion in five of Table 10's pairs per scope — is
+// materialized once and reused. Statistically identical to the slice form:
+// the cached tables hold the same counts the slices would produce, and the
+// groups enter compare_top_k / compare_binary in the same order.
+stats::SignificanceTest compare_characteristic(
+    const CharacteristicTableCache& cache,
+    const std::vector<CharacteristicTableCache::SliceKey>& groups, TrafficScope scope,
+    Characteristic characteristic, const CompareOptions& options,
+    runner::ThreadPool* pool = nullptr);
 
 // Whether the characteristic is measurable on slices collected with the
 // given method within the given scope (Honeytrap extracts no credentials,

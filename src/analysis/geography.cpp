@@ -34,18 +34,22 @@ VantageSlices collect(const topology::Deployment& deployment, const GeoOptions& 
   return out;
 }
 
-GeoSimilarity geo_similarity_impl(const VantageSlices& all, Characteristic characteristic,
-                                  const MaliciousClassifier& classifier,
-                                  const GeoOptions& options) {
+// The statistics below are written against `points` plus a pair-test
+// functor `test_fn(i, j, compare)` so the slice-based and cache-based entry
+// points share them verbatim — the functor is the only thing that differs.
+template <typename TestFn>
+GeoSimilarity geo_similarity_impl(const std::vector<const topology::VantagePoint*>& points,
+                                  Characteristic characteristic, const GeoOptions& options,
+                                  const TestFn& test_fn) {
   GeoSimilarity result;
   result.characteristic = characteristic;
 
   // Pairs are always within one provider network so that network effects
   // never masquerade as geographic ones.
   std::vector<std::pair<std::size_t, std::size_t>> pairs;
-  for (std::size_t i = 0; i < all.points.size(); ++i) {
-    for (std::size_t j = i + 1; j < all.points.size(); ++j) {
-      if (all.points[i]->provider != all.points[j]->provider) continue;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (std::size_t j = i + 1; j < points.size(); ++j) {
+      if (points[i]->provider != points[j]->provider) continue;
       pairs.emplace_back(i, j);
     }
   }
@@ -56,11 +60,10 @@ GeoSimilarity geo_similarity_impl(const VantageSlices& all, Characteristic chara
   compare.family_size = pairs.size() == 0 ? 1 : pairs.size();
 
   for (const auto& [i, j] : pairs) {
-    const auto group = classify_pair(*all.points[i], *all.points[j]);
+    const auto group = classify_pair(*points[i], *points[j]);
     if (!group) continue;
     const auto g = static_cast<std::size_t>(*group);
-    const stats::SignificanceTest test = compare_characteristic(
-        {all.slices[i], all.slices[j]}, characteristic, &classifier, compare);
+    const stats::SignificanceTest test = test_fn(i, j, compare);
     if (!test.chi.valid) continue;
     ++result.tested[g];
     if (!test.significant) ++result.similar[g];
@@ -68,14 +71,14 @@ GeoSimilarity geo_similarity_impl(const VantageSlices& all, Characteristic chara
   return result;
 }
 
-MostDifferentRegion most_different_region_impl(const VantageSlices& all,
-                                               Characteristic characteristic,
-                                               const MaliciousClassifier& classifier,
-                                               const GeoOptions& options) {
+template <typename TestFn>
+MostDifferentRegion most_different_region_impl(
+    const std::vector<const topology::VantagePoint*>& points, const GeoOptions& options,
+    const TestFn& test_fn) {
   MostDifferentRegion result;
-  if (all.points.size() < 2) return result;
+  if (points.size() < 2) return result;
 
-  const std::size_t n = all.points.size();
+  const std::size_t n = points.size();
   const std::size_t pair_count = n * (n - 1) / 2;
   CompareOptions compare;
   compare.top_k = options.top_k;
@@ -91,11 +94,10 @@ MostDifferentRegion most_different_region_impl(const VantageSlices& all,
 
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      const stats::SignificanceTest test = compare_characteristic(
-          {all.slices[i], all.slices[j]}, characteristic, &classifier, compare);
+      const stats::SignificanceTest test = test_fn(i, j, compare);
       if (!test.chi.valid || !test.significant) continue;
       for (const std::size_t k : {i, j}) {
-        RegionScore& score = scores[all.points[k]->region.code()];
+        RegionScore& score = scores[points[k]->region.code()];
         ++score.significant;
         score.phi_sum += test.chi.cramers_v;
         score.strongest = std::max(score.strongest, test.magnitude);
@@ -117,6 +119,45 @@ MostDifferentRegion most_different_region_impl(const VantageSlices& all,
   result.avg_phi = best->second.phi_sum / static_cast<double>(best->second.significant);
   result.magnitude = best->second.strongest;
   return result;
+}
+
+// Pair-test functor over materialized slices (the store and frame entry
+// points). The returned lambda borrows `all`; callers keep it alive.
+auto slice_test(const VantageSlices& all, Characteristic characteristic,
+                const MaliciousClassifier& classifier) {
+  return [&all, characteristic, &classifier](std::size_t i, std::size_t j,
+                                             const CompareOptions& compare) {
+    return compare_characteristic({all.slices[i], all.slices[j]}, characteristic, &classifier,
+                                  compare);
+  };
+}
+
+// Cache counterpart of collect(): same vantage filter and order, but the
+// min-sample gate reads cache.record_count (no slices materialized here).
+std::vector<const topology::VantagePoint*> collect_points(
+    const CharacteristicTableCache& cache, TrafficScope scope, const GeoOptions& options,
+    std::optional<topology::Provider> provider_filter) {
+  std::vector<const topology::VantagePoint*> points;
+  for (const topology::VantagePoint& vp : cache.frame().deployment().vantage_points()) {
+    if (vp.type != topology::NetworkType::kCloud ||
+        vp.collection != topology::CollectionMethod::kGreyNoise) {
+      continue;
+    }
+    if (provider_filter && vp.provider != *provider_filter) continue;
+    if (cache.record_count(vp.id, scope) < options.min_records) continue;
+    points.push_back(&vp);
+  }
+  return points;
+}
+
+auto cache_test(const CharacteristicTableCache& cache,
+                const std::vector<const topology::VantagePoint*>& points, TrafficScope scope,
+                Characteristic characteristic) {
+  return [&cache, &points, scope, characteristic](std::size_t i, std::size_t j,
+                                                  const CompareOptions& compare) {
+    return compare_characteristic(cache, {{points[i]->id}, {points[j]->id}}, scope,
+                                  characteristic, compare);
+  };
 }
 
 }  // namespace
@@ -152,7 +193,8 @@ GeoSimilarity geo_similarity(const capture::EventStore& store,
   const VantageSlices all =
       collect(deployment, options, std::nullopt,
               [&](topology::VantageId id) { return slice_vantage(store, id, scope); });
-  return geo_similarity_impl(all, characteristic, classifier, options);
+  return geo_similarity_impl(all.points, characteristic, options,
+                             slice_test(all, characteristic, classifier));
 }
 
 GeoSimilarity geo_similarity(const capture::SessionFrame& frame, TrafficScope scope,
@@ -161,7 +203,16 @@ GeoSimilarity geo_similarity(const capture::SessionFrame& frame, TrafficScope sc
   const VantageSlices all =
       collect(frame.deployment(), options, std::nullopt,
               [&](topology::VantageId id) { return slice_vantage(frame, id, scope); });
-  return geo_similarity_impl(all, characteristic, classifier, options);
+  return geo_similarity_impl(all.points, characteristic, options,
+                             slice_test(all, characteristic, classifier));
+}
+
+GeoSimilarity geo_similarity(const CharacteristicTableCache& cache, TrafficScope scope,
+                             Characteristic characteristic, const GeoOptions& options) {
+  const std::vector<const topology::VantagePoint*> points =
+      collect_points(cache, scope, options, std::nullopt);
+  return geo_similarity_impl(points, characteristic, options,
+                             cache_test(cache, points, scope, characteristic));
 }
 
 MostDifferentRegion most_different_region(const capture::EventStore& store,
@@ -173,7 +224,8 @@ MostDifferentRegion most_different_region(const capture::EventStore& store,
   const VantageSlices all =
       collect(deployment, options, provider,
               [&](topology::VantageId id) { return slice_vantage(store, id, scope); });
-  return most_different_region_impl(all, characteristic, classifier, options);
+  return most_different_region_impl(all.points, options,
+                                    slice_test(all, characteristic, classifier));
 }
 
 MostDifferentRegion most_different_region(const capture::SessionFrame& frame,
@@ -184,7 +236,18 @@ MostDifferentRegion most_different_region(const capture::SessionFrame& frame,
   const VantageSlices all =
       collect(frame.deployment(), options, provider,
               [&](topology::VantageId id) { return slice_vantage(frame, id, scope); });
-  return most_different_region_impl(all, characteristic, classifier, options);
+  return most_different_region_impl(all.points, options,
+                                    slice_test(all, characteristic, classifier));
+}
+
+MostDifferentRegion most_different_region(const CharacteristicTableCache& cache,
+                                          topology::Provider provider, TrafficScope scope,
+                                          Characteristic characteristic,
+                                          const GeoOptions& options) {
+  const std::vector<const topology::VantagePoint*> points =
+      collect_points(cache, scope, options, provider);
+  return most_different_region_impl(points, options,
+                                    cache_test(cache, points, scope, characteristic));
 }
 
 }  // namespace cw::analysis

@@ -55,6 +55,12 @@ GeoSimilarity geo_similarity(const capture::SessionFrame& frame, TrafficScope sc
                              Characteristic characteristic,
                              const MaliciousClassifier& classifier, const GeoOptions& options = {});
 
+// Cache variant: each vantage's table is built once in the shared cache and
+// reused across all C(n,2) pairs (and by any other analysis naming the same
+// (vantage, scope, characteristic) side).
+GeoSimilarity geo_similarity(const CharacteristicTableCache& cache, TrafficScope scope,
+                             Characteristic characteristic, const GeoOptions& options = {});
+
 // Table 4: the region with the most significant pairwise deviations inside
 // one provider's network.
 struct MostDifferentRegion {
@@ -76,6 +82,11 @@ MostDifferentRegion most_different_region(const capture::SessionFrame& frame,
                                           topology::Provider provider, TrafficScope scope,
                                           Characteristic characteristic,
                                           const MaliciousClassifier& classifier,
+                                          const GeoOptions& options = {});
+
+MostDifferentRegion most_different_region(const CharacteristicTableCache& cache,
+                                          topology::Provider provider, TrafficScope scope,
+                                          Characteristic characteristic,
                                           const GeoOptions& options = {});
 
 }  // namespace cw::analysis

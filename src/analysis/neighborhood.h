@@ -46,6 +46,15 @@ NeighborhoodSummary analyze_neighborhoods(const capture::SessionFrame& frame, Tr
                                           const MaliciousClassifier& classifier,
                                           const NeighborhoodOptions& options = {});
 
+// Cache variant: Table 2 runs this once per characteristic over the same
+// scope, and each run re-slices the same neighborhoods; the cache memoizes
+// the per-neighbor slices (and their tables) across those runs. Candidate
+// selection and group order match the slice variants exactly — every
+// neighbor of a qualifying vantage is a group, empty ones included.
+NeighborhoodSummary analyze_neighborhoods(const CharacteristicTableCache& cache,
+                                          TrafficScope scope, Characteristic characteristic,
+                                          const NeighborhoodOptions& options = {});
+
 // The characteristics the paper reports for a scope (credentials for
 // SSH/Telnet, payloads for HTTP).
 std::vector<Characteristic> characteristics_for_scope(TrafficScope scope);

@@ -124,6 +124,77 @@ NetworkComparison compare_vantage_pairs(
   return result;
 }
 
+NetworkComparison compare_vantage_pairs(
+    const CharacteristicTableCache& cache,
+    const std::vector<std::pair<topology::VantageId, topology::VantageId>>& pairs,
+    TrafficScope scope, Characteristic characteristic, const NetworkOptions& options,
+    runner::ThreadPool* pool) {
+  NetworkComparison result;
+  result.scope = scope;
+  result.characteristic = characteristic;
+
+  const capture::SessionFrame& frame = cache.frame();
+  // A characteristic must be measurable at *both* endpoints.
+  for (const auto& [a, b] : pairs) {
+    if (!measurable(characteristic, frame.collection_of(a), scope) ||
+        !measurable(characteristic, frame.collection_of(b), scope)) {
+      result.measurable = false;
+      return result;
+    }
+  }
+
+  CompareOptions compare;
+  compare.top_k = options.top_k;
+  compare.alpha = options.alpha;
+  compare.family_size = std::max<std::size_t>(pairs.size(), 1) * options.family_scale;
+
+  // Same shard-per-pair / reduce-in-pair-order scheme as the frame variant;
+  // here concurrent shards that share a side block on the cache's one
+  // builder instead of each slicing and counting the side themselves.
+  struct PairOutcome {
+    bool counted = false;
+    bool different = false;
+    double phi = 0.0;
+    stats::EffectMagnitude magnitude = stats::EffectMagnitude::kNone;
+  };
+  std::vector<PairOutcome> outcomes(pairs.size());
+  const auto evaluate_pair = [&](std::size_t p) {
+    const auto& [a, b] = pairs[p];
+    if (cache.record_count(a, scope) < options.min_records ||
+        cache.record_count(b, scope) < options.min_records) {
+      return;
+    }
+    const stats::SignificanceTest test =
+        compare_characteristic(cache, {{a}, {b}}, scope, characteristic, compare, pool);
+    if (!test.chi.valid) return;
+    PairOutcome& outcome = outcomes[p];
+    outcome.counted = true;
+    if (!test.significant) return;
+    outcome.different = true;
+    outcome.phi = test.chi.cramers_v;
+    outcome.magnitude = test.magnitude;
+  };
+  if (pool != nullptr && pairs.size() > 1) {
+    pool->parallel_for(pairs.size(), evaluate_pair);
+  } else {
+    for (std::size_t p = 0; p < pairs.size(); ++p) evaluate_pair(p);
+  }
+
+  double phi_sum = 0.0;
+  for (const PairOutcome& outcome : outcomes) {
+    if (!outcome.counted) continue;
+    ++result.pairs_tested;
+    if (!outcome.different) continue;
+    ++result.pairs_different;
+    phi_sum += outcome.phi;
+    result.strongest = std::max(result.strongest, outcome.magnitude);
+  }
+  if (result.pairs_different > 0) {
+    result.avg_phi = phi_sum / static_cast<double>(result.pairs_different);
+  }
+  return result;
+}
+
 std::vector<std::pair<topology::VantageId, topology::VantageId>> cloud_cloud_pairs(
     const topology::Deployment& deployment) {
   std::vector<std::pair<topology::VantageId, topology::VantageId>> pairs;

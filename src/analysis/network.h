@@ -53,6 +53,17 @@ NetworkComparison compare_vantage_pairs(
     TrafficScope scope, Characteristic characteristic, const MaliciousClassifier& classifier,
     const NetworkOptions& options = {}, runner::ThreadPool* pool = nullptr);
 
+// Cache variant: sides are fetched from (and memoized in) the shared
+// CharacteristicTableCache, so a vantage appearing in several pairs — or in
+// a different characteristic's pass over the same pair list — builds its
+// table once. Same per-pair sharding and pair-order reduction as the frame
+// variant; output is byte-identical to it.
+NetworkComparison compare_vantage_pairs(
+    const CharacteristicTableCache& cache,
+    const std::vector<std::pair<topology::VantageId, topology::VantageId>>& pairs,
+    TrafficScope scope, Characteristic characteristic, const NetworkOptions& options = {},
+    runner::ThreadPool* pool = nullptr);
+
 // The pair lists for each comparison family.
 std::vector<std::pair<topology::VantageId, topology::VantageId>> cloud_cloud_pairs(
     const topology::Deployment& deployment);

@@ -1,0 +1,117 @@
+#include "analysis/table_cache.h"
+
+#include <stdexcept>
+
+#include "runner/thread_pool.h"
+
+namespace cw::analysis {
+
+namespace {
+
+stats::FrequencyTable build_range(const capture::EventStore& store,
+                                  const std::vector<std::uint32_t>& records,
+                                  Characteristic characteristic, std::size_t begin,
+                                  std::size_t end) {
+  switch (characteristic) {
+    case Characteristic::kTopAs: return as_table(store, records, begin, end);
+    case Characteristic::kTopUsername: return username_table(store, records, begin, end);
+    case Characteristic::kTopPassword: return password_table(store, records, begin, end);
+    case Characteristic::kTopPayload: return payload_table(store, records, begin, end);
+    case Characteristic::kFracMalicious: break;
+  }
+  throw std::invalid_argument("build_characteristic_table: kFracMalicious has no table");
+}
+
+}  // namespace
+
+stats::FrequencyTable build_characteristic_table(const capture::SessionFrame& frame,
+                                                 const std::vector<std::uint32_t>& records,
+                                                 Characteristic characteristic,
+                                                 runner::ThreadPool* pool, std::size_t chunk) {
+  const capture::EventStore& store = frame.store();
+  const std::size_t n = records.size();
+  if (pool == nullptr || chunk == 0 || n <= chunk) {
+    return build_range(store, records, characteristic, 0, n);
+  }
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  std::vector<stats::FrequencyTable> partials(chunks);
+  pool->parallel_for(chunks, [&](std::size_t i) {
+    partials[i] = build_range(store, records, characteristic, i * chunk,
+                              std::min(n, (i + 1) * chunk));
+  });
+  stats::FrequencyTable out = std::move(partials.front());
+  for (std::size_t i = 1; i < chunks; ++i) out.merge(partials[i]);
+  return out;
+}
+
+template <typename Entry>
+Entry& CharacteristicTableCache::entry(
+    std::unordered_map<std::uint64_t, std::unique_ptr<Entry>>& map, std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Entry>& slot = map[key];
+  if (slot == nullptr) slot = std::make_unique<Entry>();
+  return *slot;
+}
+
+const std::vector<std::uint32_t>& CharacteristicTableCache::records_for(
+    topology::VantageId vantage, std::uint16_t neighbor, TrafficScope scope) const {
+  // Whole-vantage slices for port-named scopes and Any/All are exactly a
+  // frame posting list; reference it instead of copying (the kAnyAll
+  // telescope list is ~every record).
+  if (neighbor == kWholeVantage) {
+    if (const auto port = scope_port(scope)) return frame_->for_vantage_port(vantage, *port);
+    if (scope == TrafficScope::kAnyAll) return frame_->for_vantage(vantage);
+  }
+  SliceEntry& slice =
+      entry(slices_, pack(vantage, neighbor, scope, Characteristic::kTopAs));
+  std::call_once(slice.once, [&] {
+    if (neighbor == kWholeVantage) {
+      // HTTP/AllPorts: filter the vantage posting list by the protocol
+      // column, the same test slice_vantage applies.
+      for (std::uint32_t index : frame_->for_vantage(vantage)) {
+        if (in_scope(*frame_, index, scope)) slice.owned.push_back(index);
+      }
+    } else {
+      slice.owned = slice_neighbor(*frame_, vantage, neighbor, scope).records;
+    }
+    slice.records = &slice.owned;
+  });
+  return *slice.records;
+}
+
+std::size_t CharacteristicTableCache::record_count(topology::VantageId vantage, TrafficScope scope,
+                                                   std::uint16_t neighbor) const {
+  return records_for(vantage, neighbor, scope).size();
+}
+
+const stats::FrequencyTable& CharacteristicTableCache::table(topology::VantageId vantage,
+                                                             TrafficScope scope,
+                                                             Characteristic characteristic,
+                                                             runner::ThreadPool* pool,
+                                                             std::uint16_t neighbor) const {
+  TableEntry& cached = entry(tables_, pack(vantage, neighbor, scope, characteristic));
+  std::call_once(cached.once, [&] {
+    cached.table = build_characteristic_table(*frame_, records_for(vantage, neighbor, scope),
+                                              characteristic, pool);
+  });
+  return cached.table;
+}
+
+std::pair<std::uint64_t, std::uint64_t> CharacteristicTableCache::malicious(
+    topology::VantageId vantage, TrafficScope scope, std::uint16_t neighbor) const {
+  BinaryEntry& cached =
+      entry(binaries_, pack(vantage, neighbor, scope, Characteristic::kFracMalicious));
+  std::call_once(cached.once, [&] {
+    // Same read path as malicious_counts on a frame-backed slice: the
+    // verdict column when present, per-record classification otherwise.
+    cached.counts = classifier_->count(*frame_, records_for(vantage, neighbor, scope));
+  });
+  return cached.counts;
+}
+
+std::size_t CharacteristicTableCache::tables_built() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tables_.size();
+}
+
+}  // namespace cw::analysis

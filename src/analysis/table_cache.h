@@ -1,0 +1,150 @@
+// CharacteristicTableCache: per-experiment memoization of the frequency
+// tables (and (malicious, benign) counts) the Section 3.3 comparisons are
+// built from, keyed by (vantage, neighbor, scope, characteristic).
+//
+// Two layers of reuse:
+//
+//  1. Across comparisons. Table 10's eight compare_vantage_pairs calls name
+//     Orion as a side in 5 pairs per scope, and each Honeytrap vantage in
+//     2-3; Tables 4/5/7 repeat vantage-level sides the same way, and Table
+//     2 re-slices the same neighborhoods once per characteristic. Routing
+//     compare_characteristic through the cache builds each side's table
+//     exactly once per (vantage, scope, characteristic) and shares it with
+//     every comparison that names that side — which also helps --jobs 1.
+//
+//  2. Within one build. Big tables (the kAnyAll telescope side walks ~every
+//     record) shard over fixed-size record chunks via
+//     runner::ThreadPool::parallel_for; the chunk partials are merged in
+//     ascending chunk order. Counts are exact integers, so the merged table
+//     — and therefore sorted()/top_k() and every downstream report byte —
+//     is identical at any worker count.
+//
+// Thread safety: entries are created under a mutex and built under a
+// per-entry std::once_flag, so concurrent pair shards that share a side
+// block on the single builder instead of duplicating work. The builder may
+// itself fan out through the pool (ThreadPool::parallel_for is nest-safe);
+// waiters hold no pool resources, so this cannot deadlock.
+//
+// Lifetime: the cache borrows the SessionFrame (and the classifier behind
+// its verdict column) and must not outlive it — ExperimentResult owns both
+// and tears them down together (see ExperimentResult::table_cache()).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/characteristics.h"
+#include "capture/frame.h"
+#include "stats/freq.h"
+
+namespace cw::runner {
+class ThreadPool;
+}  // namespace cw::runner
+
+namespace cw::analysis {
+
+// Record-chunk size for sharded table builds. Fixed (not derived from the
+// worker count) so the partial boundaries are reproducible; the merged
+// result would be identical either way, but fixed chunks keep the build
+// schedule itself worker-count independent.
+inline constexpr std::size_t kTableBuildChunk = 1u << 16;
+
+// Builds the characteristic's frequency table over records[0, size). With a
+// pool and enough records the build shards into kTableBuildChunk-sized
+// partials merged in chunk order; the result is identical to the sequential
+// build. kFracMalicious has no frequency table; asking for it throws.
+stats::FrequencyTable build_characteristic_table(const capture::SessionFrame& frame,
+                                                 const std::vector<std::uint32_t>& records,
+                                                 Characteristic characteristic,
+                                                 runner::ThreadPool* pool = nullptr,
+                                                 std::size_t chunk = kTableBuildChunk);
+
+class CharacteristicTableCache {
+ public:
+  // Sentinel neighbor meaning "the whole vantage point".
+  static constexpr std::uint16_t kWholeVantage = 0xFFFF;
+
+  // A cached side of a comparison: one vantage point, or one neighbor
+  // (address) of it.
+  struct SliceKey {
+    topology::VantageId vantage = 0;
+    std::uint16_t neighbor = kWholeVantage;
+  };
+
+  CharacteristicTableCache(const capture::SessionFrame& frame,
+                           const MaliciousClassifier& classifier)
+      : frame_(&frame), classifier_(&classifier) {}
+
+  CharacteristicTableCache(const CharacteristicTableCache&) = delete;
+  CharacteristicTableCache& operator=(const CharacteristicTableCache&) = delete;
+
+  [[nodiscard]] const capture::SessionFrame& frame() const noexcept { return *frame_; }
+
+  // Number of records in the (vantage, neighbor, scope) slice — the
+  // min_records gate — without building any table. Port-named scopes and
+  // Any/All resolve to frame posting lists without copying.
+  [[nodiscard]] std::size_t record_count(topology::VantageId vantage, TrafficScope scope,
+                                         std::uint16_t neighbor = kWholeVantage) const;
+
+  // The slice's frequency table for a top-k characteristic, built on first
+  // use (sharded through `pool` when one is supplied) and shared by every
+  // later caller. The reference stays valid for the cache's lifetime.
+  [[nodiscard]] const stats::FrequencyTable& table(topology::VantageId vantage, TrafficScope scope,
+                                                   Characteristic characteristic,
+                                                   runner::ThreadPool* pool = nullptr,
+                                                   std::uint16_t neighbor = kWholeVantage) const;
+
+  // (malicious, benign) counts for the slice (the kFracMalicious side),
+  // read from the frame's verdict column when present.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> malicious(
+      topology::VantageId vantage, TrafficScope scope,
+      std::uint16_t neighbor = kWholeVantage) const;
+
+  // Number of materialized frequency tables (diagnostics / tests).
+  [[nodiscard]] std::size_t tables_built() const;
+
+ private:
+  struct SliceEntry {
+    std::once_flag once;
+    // Points at a frame posting list, or at `owned` when the scope needs a
+    // filtered copy (HTTP/AllPorts, per-neighbor slices).
+    const std::vector<std::uint32_t>* records = nullptr;
+    std::vector<std::uint32_t> owned;
+  };
+  struct TableEntry {
+    std::once_flag once;
+    stats::FrequencyTable table;
+  };
+  struct BinaryEntry {
+    std::once_flag once;
+    std::pair<std::uint64_t, std::uint64_t> counts{0, 0};
+  };
+
+  [[nodiscard]] const std::vector<std::uint32_t>& records_for(topology::VantageId vantage,
+                                                              std::uint16_t neighbor,
+                                                              TrafficScope scope) const;
+
+  template <typename Entry>
+  Entry& entry(std::unordered_map<std::uint64_t, std::unique_ptr<Entry>>& map,
+               std::uint64_t key) const;
+
+  static std::uint64_t pack(topology::VantageId vantage, std::uint16_t neighbor,
+                            TrafficScope scope, Characteristic characteristic) {
+    return (static_cast<std::uint64_t>(vantage) << 32) |
+           (static_cast<std::uint64_t>(neighbor) << 16) |
+           (static_cast<std::uint64_t>(scope) << 8) | static_cast<std::uint64_t>(characteristic);
+  }
+
+  const capture::SessionFrame* frame_;
+  const MaliciousClassifier* classifier_;
+  mutable std::mutex mutex_;  // guards the maps; entries build under their own once_flag
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<SliceEntry>> slices_;
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<TableEntry>> tables_;
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<BinaryEntry>> binaries_;
+};
+
+}  // namespace cw::analysis

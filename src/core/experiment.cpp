@@ -22,6 +22,15 @@ const capture::SessionFrame& ExperimentResult::frame(runner::ThreadPool* pool) c
   return *frame_;
 }
 
+const analysis::CharacteristicTableCache& ExperimentResult::table_cache(
+    runner::ThreadPool* pool) const {
+  std::call_once(*cache_once_, [this, pool] {
+    table_cache_ =
+        std::make_unique<analysis::CharacteristicTableCache>(frame(pool), *classifier_);
+  });
+  return *table_cache_;
+}
+
 std::unique_ptr<ExperimentResult> Experiment::run() const {
   auto result = std::make_unique<ExperimentResult>();
 

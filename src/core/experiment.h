@@ -16,6 +16,7 @@
 #include "agents/population.h"
 #include "analysis/malicious.h"
 #include "analysis/oracle.h"
+#include "analysis/table_cache.h"
 #include "capture/collector.h"
 #include "capture/frame.h"
 #include "ids/engine.h"
@@ -74,6 +75,14 @@ class ExperimentResult {
   // build; later calls ignore it and return the cached frame.
   [[nodiscard]] const capture::SessionFrame& frame(runner::ThreadPool* pool = nullptr) const;
 
+  // The shared characteristic-table cache over this result's frame, built
+  // lazily like frame() (a pool passed here shards the frame build if it is
+  // the first frame() caller; cached tables shard through the pool their
+  // first *reader* supplies). Every table renderer that names the same
+  // (vantage, scope, characteristic) side shares one materialization.
+  [[nodiscard]] const analysis::CharacteristicTableCache& table_cache(
+      runner::ThreadPool* pool = nullptr) const;
+
  private:
   friend class Experiment;
   topology::Deployment deployment_;
@@ -90,6 +99,8 @@ class ExperimentResult {
   // stays movable.
   mutable std::unique_ptr<std::once_flag> frame_once_ = std::make_unique<std::once_flag>();
   mutable std::unique_ptr<capture::SessionFrame> frame_;
+  mutable std::unique_ptr<std::once_flag> cache_once_ = std::make_unique<std::once_flag>();
+  mutable std::unique_ptr<analysis::CharacteristicTableCache> table_cache_;
 };
 
 class Experiment {

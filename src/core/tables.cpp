@@ -97,8 +97,9 @@ std::vector<std::function<analysis::NeighborhoodSummary()>> table2_tasks(
   for (const auto scope : kTable2Scopes) {
     for (const auto characteristic : analysis::characteristics_for_scope(scope)) {
       tasks.push_back([&result, scope, characteristic] {
-        return analysis::analyze_neighborhoods(result.frame(), scope, characteristic,
-                                               result.classifier());
+        // Cache-backed: the per-neighbor slices are shared across this
+        // scope's characteristic rows instead of being rebuilt per row.
+        return analysis::analyze_neighborhoods(result.table_cache(), scope, characteristic);
       });
     }
   }
@@ -196,7 +197,7 @@ std::string render_table4(const ExperimentResult& result) {
         std::string(analysis::scope_name(row.scope))};
     for (const topology::Provider provider : providers) {
       const analysis::MostDifferentRegion most = analysis::most_different_region(
-          result.frame(), provider, row.scope, row.characteristic, result.classifier());
+          result.table_cache(), provider, row.scope, row.characteristic);
       if (!most.any_significant) {
         cells.push_back("-");
       } else {
@@ -217,8 +218,8 @@ std::string render_table5(const ExperimentResult& result) {
       analysis::TrafficScope::kHttp80, analysis::TrafficScope::kHttpAllPorts};
   for (const auto scope : scopes) {
     for (const auto characteristic : analysis::characteristics_for_scope(scope)) {
-      const analysis::GeoSimilarity similarity = analysis::geo_similarity(
-          result.frame(), scope, characteristic, result.classifier());
+      const analysis::GeoSimilarity similarity =
+          analysis::geo_similarity(result.table_cache(), scope, characteristic);
       std::vector<std::string> cells = {
           std::string(analysis::scope_name(scope)),
           std::string(analysis::characteristic_name(characteristic))};
@@ -291,8 +292,10 @@ std::string render_table7(const ExperimentResult& result) {
   };
   for (const RowSpec& row : rows) {
     auto run = [&](const std::vector<std::pair<topology::VantageId, topology::VantageId>>& pairs) {
-      return analysis::compare_vantage_pairs(result.frame(), pairs, row.scope,
-                                             row.characteristic, result.classifier());
+      // Cache-backed: the cloud-EDU and EDU-EDU families reuse the Stanford
+      // and Merit tables across rows that repeat a (scope, characteristic).
+      return analysis::compare_vantage_pairs(result.table_cache(), pairs, row.scope,
+                                             row.characteristic);
     };
     table.add_row({std::string(analysis::characteristic_name(row.characteristic)),
                    std::string(analysis::scope_name(row.scope)), network_cell(run(cc)),
@@ -353,10 +356,12 @@ std::vector<std::function<analysis::NetworkComparison(runner::ThreadPool*)>> tab
       tasks.push_back([&result, scope, edu](runner::ThreadPool* pool) {
         const auto pairs = edu ? analysis::telescope_edu_pairs(result.deployment())
                                : analysis::telescope_cloud_pairs(result.deployment());
-        return analysis::compare_vantage_pairs(result.frame(), pairs, scope,
+        // Cache-backed: Orion's table per scope is built once and shared by
+        // all five of its pairs (and both task closures for the scope); the
+        // big Any/All build shards through the pool when one is supplied.
+        return analysis::compare_vantage_pairs(result.table_cache(), pairs, scope,
                                                analysis::Characteristic::kTopAs,
-                                               result.classifier(), analysis::NetworkOptions{},
-                                               pool);
+                                               analysis::NetworkOptions{}, pool);
       });
     }
   }

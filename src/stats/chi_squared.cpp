@@ -29,12 +29,14 @@ EffectMagnitude classify_effect(double cramers_v, std::size_t min_dim_minus_one)
 
 namespace {
 
-SignificanceTest finish(ContingencyTable table, double alpha, std::size_t family_size) {
+SignificanceTest finish(ContingencyTable& table, double alpha, std::size_t family_size) {
   SignificanceTest out;
   out.alpha = alpha;
   out.family_size = std::max<std::size_t>(family_size, 1);
-  // Capture the effective dimensions after empty rows/cols are dropped by
-  // computing on the reduced table directly.
+  // Reduce in place, exactly once: pearson_chi_squared detects the reduced
+  // table and computes on it directly, and callers that inspect the table
+  // afterwards (compare_binary's sparsity check) see the same table the
+  // test actually ran on.
   table.drop_empty_columns();
   table.drop_empty_rows();
   out.chi = pearson_chi_squared(table);
@@ -54,7 +56,7 @@ SignificanceTest compare_top_k(const std::vector<const FrequencyTable*>& tables,
                                double alpha, std::size_t family_size) {
   const std::vector<std::string> categories = top_k_union(tables, k);
   ContingencyTable table = ContingencyTable::from_frequency_tables(tables, categories);
-  return finish(std::move(table), alpha, family_size);
+  return finish(table, alpha, family_size);
 }
 
 SignificanceTest compare_binary(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& rows,
@@ -67,7 +69,9 @@ SignificanceTest compare_binary(const std::vector<std::pair<std::uint64_t, std::
   SignificanceTest result = finish(table, alpha, family_size);
   // Sparse 2x2 tables break the chi-squared approximation (expected cell
   // counts < 5); substitute Fisher's exact p-value, keeping the chi-based
-  // effect size.
+  // effect size. finish() reduced `table` in place, so this sparsity check
+  // runs on the same table the significance test did (a zero row/column in
+  // the input can no longer skew the expected-frequency scan).
   if (result.chi.valid && rows.size() == 2 && table.cells_with_expected_below(5.0) > 0) {
     const FisherResult fisher = fisher_exact_2x2(rows[0].first, rows[0].second, rows[1].first,
                                                  rows[1].second);

@@ -56,6 +56,22 @@ double ContingencyTable::grand_total() const {
   return total;
 }
 
+std::vector<double> ContingencyTable::row_totals() const {
+  std::vector<double> totals(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) totals[r] += cells_[r * cols_ + c];
+  }
+  return totals;
+}
+
+std::vector<double> ContingencyTable::col_totals() const {
+  std::vector<double> totals(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) totals[c] += cells_[r * cols_ + c];
+  }
+  return totals;
+}
+
 std::size_t ContingencyTable::drop_empty_columns() {
   std::vector<std::size_t> keep;
   for (std::size_t c = 0; c < cols_; ++c) {
@@ -89,30 +105,30 @@ std::size_t ContingencyTable::drop_empty_rows() {
 std::size_t ContingencyTable::cells_with_expected_below(double threshold) const {
   const double n = grand_total();
   if (n <= 0.0) return rows_ * cols_;
+  const std::vector<double> rows = row_totals();
+  const std::vector<double> cols = col_totals();
   std::size_t count = 0;
   for (std::size_t r = 0; r < rows_; ++r) {
-    const double rt = row_total(r);
     for (std::size_t c = 0; c < cols_; ++c) {
-      if (rt * col_total(c) / n < threshold) ++count;
+      if (rows[r] * cols[c] / n < threshold) ++count;
     }
   }
   return count;
 }
 
-ChiSquared pearson_chi_squared(const ContingencyTable& input) {
-  ContingencyTable table = input;
-  table.drop_empty_columns();
-  table.drop_empty_rows();
+namespace {
 
+ChiSquared pearson_on_reduced(const ContingencyTable& table, const std::vector<double>& row_sums,
+                              const std::vector<double>& col_sums) {
   ChiSquared result;
   const double n = table.grand_total();
   if (table.rows() < 2 || table.cols() < 2 || n <= 0.0) return result;
 
   double statistic = 0.0;
   for (std::size_t r = 0; r < table.rows(); ++r) {
-    const double rt = table.row_total(r);
+    const double rt = row_sums[r];
     for (std::size_t c = 0; c < table.cols(); ++c) {
-      const double expected = rt * table.col_total(c) / n;
+      const double expected = rt * col_sums[c] / n;
       if (expected <= 0.0) continue;  // cannot happen after dropping empties
       const double delta = table.at(r, c) - expected;
       statistic += delta * delta / expected;
@@ -127,6 +143,26 @@ ChiSquared pearson_chi_squared(const ContingencyTable& input) {
   result.cramers_v = min_dim > 0.0 ? std::sqrt(statistic / (n * min_dim)) : 0.0;
   result.valid = true;
   return result;
+}
+
+}  // namespace
+
+ChiSquared pearson_chi_squared(const ContingencyTable& input) {
+  const std::vector<double> row_sums = input.row_totals();
+  const std::vector<double> col_sums = input.col_totals();
+  const auto positive = [](double total) { return total > 0.0; };
+  if (std::all_of(row_sums.begin(), row_sums.end(), positive) &&
+      std::all_of(col_sums.begin(), col_sums.end(), positive)) {
+    // Already reduced (the stats::finish hot path): compute in place, no
+    // table copy and no second reduction pass.
+    return pearson_on_reduced(input, row_sums, col_sums);
+  }
+  // Empty rows/columns carry no information and would zero the expected
+  // frequencies; reduce a copy for direct callers handing in a raw table.
+  ContingencyTable table = input;
+  table.drop_empty_columns();
+  table.drop_empty_rows();
+  return pearson_on_reduced(table, table.row_totals(), table.col_totals());
 }
 
 }  // namespace cw::stats

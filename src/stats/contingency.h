@@ -31,6 +31,13 @@ class ContingencyTable {
   [[nodiscard]] double col_total(std::size_t col) const;
   [[nodiscard]] double grand_total() const;
 
+  // All row/column totals in one pass over the cells. The per-cell loops in
+  // cells_with_expected_below and pearson_chi_squared consume these instead
+  // of recomputing col_total(c) per cell (which was accidentally
+  // O(R*C*(R+C)) on wide top-k-union tables).
+  [[nodiscard]] std::vector<double> row_totals() const;
+  [[nodiscard]] std::vector<double> col_totals() const;
+
   // Drops columns whose total is zero (they carry no information and break
   // expected-frequency requirements). Returns the number of columns kept.
   std::size_t drop_empty_columns();
@@ -58,7 +65,9 @@ struct ChiSquared {
 };
 
 // Pearson chi-squared over a contingency table. Degenerate tables (fewer
-// than 2 non-empty rows/cols, or zero total) yield valid=false.
+// than 2 non-empty rows/cols, or zero total) yield valid=false. A table
+// with no empty rows/columns (anything stats::finish hands in) is computed
+// on directly; otherwise a reduced copy is made first.
 ChiSquared pearson_chi_squared(const ContingencyTable& table);
 
 }  // namespace cw::stats

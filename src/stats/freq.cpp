@@ -10,6 +10,11 @@ void FrequencyTable::add(const std::string& value, std::uint64_t count) {
   total_ += count;
 }
 
+void FrequencyTable::merge(const FrequencyTable& other) {
+  for (const auto& [value, count] : other.counts_) counts_[value] += count;
+  total_ += other.total_;
+}
+
 std::uint64_t FrequencyTable::count(const std::string& value) const noexcept {
   auto it = counts_.find(value);
   return it == counts_.end() ? 0 : it->second;

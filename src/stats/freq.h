@@ -17,6 +17,12 @@ class FrequencyTable {
  public:
   void add(const std::string& value, std::uint64_t count = 1);
 
+  // Adds every (value, count) of `other` into this table. Counts are exact
+  // integers, so a table assembled by merging record-chunk partials is
+  // identical to one built sequentially over the same records — the merge
+  // order cannot perturb sorted()/top_k() output.
+  void merge(const FrequencyTable& other);
+
   [[nodiscard]] std::uint64_t count(const std::string& value) const noexcept;
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
   [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }

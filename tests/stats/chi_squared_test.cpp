@@ -122,6 +122,26 @@ TEST(CompareBinary, AllZeroColumnInvalid) {
   EXPECT_FALSE(test.chi.valid);
 }
 
+TEST(CompareBinary, ZeroColumnNeverFallsBackToFisher) {
+  // Regression: the Fisher-fallback sparsity check used to scan the
+  // unreduced table while the significance test ran on the reduced one. A
+  // 2x2 with an all-zero column reduces to 2x1 — chi invalid — and the
+  // aligned check must leave Fisher untouched even though every unreduced
+  // expected count in the zero column is below 5.
+  const SignificanceTest test = compare_binary({{1000, 0}, {2000, 0}}, 0.05, 1);
+  EXPECT_FALSE(test.chi.valid);
+  EXPECT_FALSE(test.used_fisher);
+  EXPECT_FALSE(test.significant);
+}
+
+TEST(CompareBinary, SparseTwoByTwoUsesFisher) {
+  // Genuinely sparse (no empty rows/columns): expected counts below 5, so
+  // the chi p-value is replaced by Fisher's exact p-value.
+  const SignificanceTest test = compare_binary({{2, 8}, {9, 1}}, 0.05, 1);
+  ASSERT_TRUE(test.chi.valid);
+  EXPECT_TRUE(test.used_fisher);
+}
+
 // Property sweep: under the null hypothesis (both tables drawn from the
 // same distribution), Bonferroni-corrected comparisons almost never fire.
 class NullCalibration : public ::testing::TestWithParam<std::uint64_t> {};

@@ -115,6 +115,44 @@ TEST(PearsonChiSquared, DegenerateTablesInvalid) {
   }
 }
 
+TEST(ContingencyTable, RowAndColTotalVectorsMatchScalarAccessors) {
+  ContingencyTable table(3, 4);
+  table.set(0, 0, 2);
+  table.set(0, 3, 7);
+  table.set(1, 1, 5);
+  table.set(2, 2, 0.5);
+  const std::vector<double> rows = table.row_totals();
+  const std::vector<double> cols = table.col_totals();
+  ASSERT_EQ(rows.size(), 3u);
+  ASSERT_EQ(cols.size(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(rows[r], table.row_total(r));
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(cols[c], table.col_total(c));
+}
+
+TEST(PearsonChiSquared, UnreducedTableBitIdenticalToReduced) {
+  // A zero row and zero column must not change a single output bit versus
+  // the hand-reduced table: pearson reduces internally and the per-cell
+  // accumulation order over surviving cells is the same row-major walk.
+  ContingencyTable padded(3, 3);
+  padded.set(0, 0, 10);
+  padded.set(0, 2, 20);
+  padded.set(2, 0, 30);
+  padded.set(2, 2, 40);  // row 1 and column 1 stay empty
+  ContingencyTable reduced(2, 2);
+  reduced.set(0, 0, 10);
+  reduced.set(0, 1, 20);
+  reduced.set(1, 0, 30);
+  reduced.set(1, 1, 40);
+  const ChiSquared a = pearson_chi_squared(padded);
+  const ChiSquared b = pearson_chi_squared(reduced);
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_EQ(a.statistic, b.statistic);
+  EXPECT_EQ(a.df, b.df);
+  EXPECT_EQ(a.p_value, b.p_value);
+  EXPECT_EQ(a.cramers_v, b.cramers_v);
+  EXPECT_EQ(a.n, b.n);
+}
+
 TEST(PearsonChiSquared, ScaleInvarianceOfCramersV) {
   // Doubling all counts doubles chi2 but keeps Cramér's V fixed.
   ContingencyTable small(2, 2);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace cw::stats {
 namespace {
 
@@ -52,6 +54,73 @@ TEST(FrequencyTable, EmptyTable) {
   EXPECT_TRUE(table.empty());
   EXPECT_TRUE(table.top_k(3).empty());
   EXPECT_TRUE(table.sorted().empty());
+}
+
+TEST(FrequencyTable, TopKTieAtKBoundaryIsDeterministic) {
+  // Three values tie exactly at the k-th slot; the winner must be the
+  // lexicographically smallest, regardless of insertion order.
+  FrequencyTable forward;
+  forward.add("top", 9);
+  forward.add("alpha", 5);
+  forward.add("mid", 5);
+  forward.add("zeta", 5);
+  FrequencyTable reversed;
+  reversed.add("zeta", 5);
+  reversed.add("mid", 5);
+  reversed.add("alpha", 5);
+  reversed.add("top", 9);
+  for (const FrequencyTable* table : {&forward, &reversed}) {
+    const auto top = table->top_k(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0], "top");
+    EXPECT_EQ(top[1], "alpha");
+  }
+}
+
+TEST(FrequencyTable, MergeSumsCountsAndTotals) {
+  FrequencyTable a;
+  a.add("x", 3);
+  a.add("y", 1);
+  FrequencyTable b;
+  b.add("y", 2);
+  b.add("z", 5);
+  a.merge(b);
+  EXPECT_EQ(a.count("x"), 3u);
+  EXPECT_EQ(a.count("y"), 3u);
+  EXPECT_EQ(a.count("z"), 5u);
+  EXPECT_EQ(a.total(), 11u);
+  EXPECT_EQ(a.distinct(), 3u);
+
+  FrequencyTable empty;
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 11u);
+  empty.merge(a);
+  EXPECT_EQ(empty.total(), 11u);
+  EXPECT_EQ(empty.count("y"), 3u);
+}
+
+TEST(FrequencyTable, ChunkedMergeMatchesSequentialBuild) {
+  // A table assembled by merging contiguous-chunk partials must be
+  // indistinguishable from the sequential build — the cache's sharded
+  // builds rely on this.
+  std::vector<std::string> values;
+  for (int i = 0; i < 1000; ++i) values.push_back("v" + std::to_string(i % 37));
+  FrequencyTable sequential;
+  for (const std::string& v : values) sequential.add(v);
+
+  for (const std::size_t chunk : {1ul, 7ul, 64ul, 999ul, 5000ul}) {
+    FrequencyTable merged;
+    for (std::size_t begin = 0; begin < values.size(); begin += chunk) {
+      FrequencyTable partial;
+      for (std::size_t i = begin; i < std::min(values.size(), begin + chunk); ++i) {
+        partial.add(values[i]);
+      }
+      merged.merge(partial);
+    }
+    EXPECT_EQ(merged.total(), sequential.total());
+    EXPECT_EQ(merged.sorted(), sequential.sorted());
+    EXPECT_EQ(merged.top_k(3), sequential.top_k(3));
+  }
 }
 
 TEST(TopKUnion, UnionsAndSorts) {
