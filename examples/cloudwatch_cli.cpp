@@ -3,11 +3,15 @@
 //   cloudwatch_cli report  [--scale S] [--t24 N] [--year 2020|2021|2022] [--table NAME]...
 //   cloudwatch_cli export  [--scale S] [--t24 N] [--year Y] --out FILE [--csv FILE]
 //   cloudwatch_cli inspect --in FILE
+//   cloudwatch_cli watch   [--scale S] [--t24 N] [--year Y] [--epochs K] [--shards M] [--jobs N]
 //
 // `report` runs an experiment and prints the requested tables (default:
 // all). `export` additionally persists the captured traffic — the analog of
 // the paper's released dataset — in the CWDS binary format and optionally
-// as CSV. `inspect` summarizes a previously exported dataset.
+// as CSV. `inspect` summarizes a previously exported dataset. `watch` runs
+// the window as a continuously-serving stream: ingest is sealed into an
+// epoch segment every window/K of simulated time and the paper tables are
+// re-rendered incrementally after each seal (src/stream).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +25,7 @@
 #include "capture/pcap.h"
 #include "core/experiment.h"
 #include "core/tables.h"
+#include "stream/live_report.h"
 
 namespace {
 
@@ -36,6 +41,9 @@ struct Options {
   std::string csv_path;
   std::string pcap_path;
   std::string in_path;
+  std::size_t epochs = 4;
+  std::size_t shards = 4;
+  unsigned jobs = 1;
 };
 
 void usage() {
@@ -44,6 +52,8 @@ void usage() {
                "       cloudwatch_cli export [--scale S] [--t24 N] [--year Y] --out FILE"
                " [--csv FILE] [--pcap FILE]\n"
                "       cloudwatch_cli inspect --in FILE\n"
+               "       cloudwatch_cli watch [--scale S] [--t24 N] [--year Y] [--epochs K]"
+               " [--shards M] [--jobs N]\n"
                "tables: 1 2 4 5 6 7 8 9 10 11 17 sec32 fig1\n");
 }
 
@@ -93,6 +103,18 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.in_path = v;
+    } else if (arg == "--epochs") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      options.epochs = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      options.shards = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 0) return false;
+      options.jobs = static_cast<unsigned>(std::atoi(v));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -215,6 +237,39 @@ int cmd_inspect(const Options& options) {
   return 0;
 }
 
+int cmd_watch(const Options& options) {
+  cw::stream::LiveReportConfig config;
+  config.experiment.scale = options.scale;
+  config.experiment.telescope_slash24s = options.telescope_slash24s;
+  config.experiment.year = options.year;
+  config.epochs = options.epochs;
+  config.shards = options.shards;
+  config.jobs = options.jobs;
+  // The leak experiment re-simulates its own populations and its result does
+  // not change across epochs; keep interactive watching responsive.
+  config.report.include_leak = false;
+  std::fprintf(stderr,
+               "watching %s experiment (scale %.2f, telescope %d /24s,"
+               " %zu epochs, %zu shards)...\n",
+               std::string(cw::topology::scenario_year_name(options.year)).c_str(),
+               options.scale, options.telescope_slash24s, options.epochs, options.shards);
+
+  bool failed = false;
+  cw::stream::LiveReport live(config);
+  live.run([&](const cw::stream::EpochReport& report) {
+    failed |= report.failed;
+    std::printf("== epoch %llu/%zu (sim %s): %llu records (+%llu) ==\n\n",
+                static_cast<unsigned long long>(report.epoch), options.epochs,
+                cw::util::format_sim_time(report.now).c_str(),
+                static_cast<unsigned long long>(report.records_total),
+                static_cast<unsigned long long>(report.records_new));
+    for (std::size_t i = 0; i < report.outputs.size(); ++i) {
+      std::printf("--- %s ---\n%s\n", report.names[i].c_str(), report.outputs[i].c_str());
+    }
+  });
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,6 +281,7 @@ int main(int argc, char** argv) {
   if (options.command == "report") return cmd_report(options);
   if (options.command == "export") return cmd_export(options);
   if (options.command == "inspect") return cmd_inspect(options);
+  if (options.command == "watch") return cmd_watch(options);
   usage();
   return 1;
 }

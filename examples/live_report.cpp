@@ -1,0 +1,109 @@
+// Live (streaming) counterpart of full_report: runs the same observation
+// window in epoch slices through the stream subsystem, re-rendering every
+// paper table at each epoch boundary from sealed segments.
+//
+//   ./live_report [--jobs N] [--epochs K] [--shards M] [--final-only] [scale] [t24]
+//
+// With --final-only, only the final epoch's report is printed — in exactly
+// the byte format of full_report — so
+//
+//   diff <(./full_report S T) <(./live_report --final-only --epochs K S T)
+//
+// is empty for any K, M, and --jobs: the live incremental report over the
+// full window is byte-identical to the one-shot batch report. Without
+// --final-only, each epoch prints its own full table set under an epoch
+// header (and the final epoch still matches full_report's table bytes).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runner/thread_pool.h"
+#include "stream/live_report.h"
+
+namespace {
+
+bool set_jobs(const char* text, unsigned& jobs) {
+  const auto parsed = cw::runner::parse_jobs(text);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "error: --jobs expects a non-negative integer, got '%s'\n", text);
+    return false;
+  }
+  jobs = *parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cw::stream::LiveReportConfig config;
+  bool final_only = false;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      const char* v = value();
+      if (v == nullptr || !set_jobs(v, config.jobs)) return 2;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      if (!set_jobs(argv[i] + 7, config.jobs)) return 2;
+    } else if (std::strcmp(argv[i], "--epochs") == 0) {
+      const char* v = value();
+      if (v == nullptr || std::atoi(v) <= 0) {
+        std::fprintf(stderr, "error: --epochs expects a positive integer\n");
+        return 2;
+      }
+      config.epochs = static_cast<std::size_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* v = value();
+      if (v == nullptr || std::atoi(v) <= 0) {
+        std::fprintf(stderr, "error: --shards expects a positive integer\n");
+        return 2;
+      }
+      config.shards = static_cast<std::size_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--final-only") == 0) {
+      final_only = true;
+    } else if (positional == 0) {
+      config.experiment.scale = std::atof(argv[i]);
+      ++positional;
+    } else {
+      config.experiment.telescope_slash24s = std::atoi(argv[i]);
+      ++positional;
+    }
+  }
+  config.render_intermediate = !final_only;
+
+  if (!final_only) {
+    std::printf("== Cloud Watching live report (scale %.2f, %zu epochs, %zu shards) ==\n\n",
+                config.experiment.scale, config.epochs, config.shards);
+  }
+
+  bool failed = false;
+  cw::stream::LiveReport live(config);
+  const auto final_report = live.run([&](const cw::stream::EpochReport& report) {
+    failed |= report.failed;
+    if (final_only || !report.rendered) return;
+    std::printf("== epoch %llu/%zu (sim %s): %llu records (+%llu) ==\n\n",
+                static_cast<unsigned long long>(report.epoch), config.epochs,
+                cw::util::format_sim_time(report.now).c_str(),
+                static_cast<unsigned long long>(report.records_total),
+                static_cast<unsigned long long>(report.records_new));
+    for (std::size_t i = 0; i < report.outputs.size(); ++i) {
+      std::printf("--- %s ---\n%s\n", report.names[i].c_str(), report.outputs[i].c_str());
+    }
+    std::fprintf(stderr, "\n== epoch %llu runner report ==\n%s",
+                 static_cast<unsigned long long>(report.epoch),
+                 report.run_report.render().c_str());
+  });
+
+  if (final_only) {
+    // Byte-compatible with full_report over the same configuration.
+    std::printf("== Cloud Watching full report (scale %.2f) ==\n\n", config.experiment.scale);
+    std::printf("captured %llu session records\n\n",
+                static_cast<unsigned long long>(final_report.records_total));
+    for (std::size_t i = 0; i < final_report.outputs.size(); ++i) {
+      std::printf("--- %s ---\n%s\n", final_report.names[i].c_str(),
+                  final_report.outputs[i].c_str());
+    }
+    std::fprintf(stderr, "\n== runner report ==\n%s", final_report.run_report.render().c_str());
+  }
+  return failed ? 1 : 0;
+}

@@ -6,8 +6,10 @@
 #   scripts/check.sh asan       # -DCW_SANITIZE=address,undefined build + ctest
 #   scripts/check.sh tsan       # -DCW_SANITIZE=thread build + concurrency suites
 #   scripts/check.sh determinism# full_report byte-identical at --jobs 1/2/8
+#   scripts/check.sh stream     # live_report == full_report at several epoch
+#                               # slicings/shard counts/worker counts (+ golden md5)
 #   scripts/check.sh bench      # frame-vs-full-scan numbers (bench_runner_pipelines)
-#   scripts/check.sh all        # tier-1 + asan + tsan + determinism
+#   scripts/check.sh all        # tier-1 + asan + tsan + determinism + stream
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -27,13 +29,18 @@ asan() {
 
 tsan() {
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DCW_SANITIZE=thread
-  # The concurrency surface: the pool, the runner, and the capture layer
-  # (store freeze/pin + SessionFrame sharded builds). Building everything
-  # under TSan is slow; these three binaries cover every thread we spawn.
+  # The concurrency surface: the pool, the runner, the capture layer (store
+  # freeze/pin + SessionFrame sharded builds), and the stream ingest path
+  # (multi-producer shard buffers racing a snapshot reader). Building
+  # everything under TSan is slow; these binaries cover every thread we
+  # spawn. Run them directly: gtest_discover_tests registers per-case names,
+  # so a ctest -R on binary names silently matches nothing.
   cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-    --target cw_runner_test cw_capture_test cw_analysis_test
-  ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS" \
-    -R 'cw_runner_test|cw_capture_test|cw_analysis_test'
+    --target cw_runner_test cw_capture_test cw_analysis_test cw_stream_test
+  local binary
+  for binary in cw_runner_test cw_capture_test cw_analysis_test cw_stream_test; do
+    "$ROOT/build-tsan/tests/$binary"
+  done
 }
 
 determinism() {
@@ -67,6 +74,48 @@ determinism() {
   echo "determinism: byte-identical at --jobs 1/2/8 (scale $scale, t24 $t24)"
 }
 
+stream() {
+  # The live-ingest invariant: after the final epoch, the incrementally
+  # maintained report is byte-identical to the one-shot batch report — at
+  # any epoch slicing, shard count, and worker count. At the reference
+  # scale the live output must also reproduce the recorded golden hash, so
+  # the streaming path cannot drift from the batch path unnoticed.
+  cmake --build "$ROOT/build" -j "$JOBS" --target full_report live_report cw_stream_test
+  "$ROOT/build/tests/cw_stream_test"
+  local batch="$ROOT/build/examples/full_report"
+  [ -x "$batch" ] || batch="$ROOT/build/full_report"
+  local live="$ROOT/build/examples/live_report"
+  [ -x "$live" ] || live="$ROOT/build/live_report"
+  local scale="${CW_CHECK_SCALE:-0.3}" t24="${CW_CHECK_T24:-16}"
+  local golden="${CW_CHECK_GOLDEN_MD5:-06bc684b63b54af2709cec936ccc1153}"
+  local batch_out live_out
+  batch_out=$(mktemp) && live_out=$(mktemp)
+  "$batch" --jobs 1 "$scale" "$t24" >"$batch_out" 2>/dev/null
+  local spec epochs shards jobs
+  for spec in "1 1 1" "3 4 2" "5 16 8"; do
+    read -r epochs shards jobs <<<"$spec"
+    "$live" --final-only --epochs "$epochs" --shards "$shards" --jobs "$jobs" \
+      "$scale" "$t24" >"$live_out" 2>/dev/null
+    if ! diff -q "$batch_out" "$live_out"; then
+      echo "stream: live report diverged from batch at $epochs epochs, $shards shards, --jobs $jobs" >&2
+      rm -f "$batch_out" "$live_out"
+      return 1
+    fi
+  done
+  if [ "$scale" = "0.3" ] && [ "$t24" = "16" ] && [ -n "$golden" ]; then
+    local md5
+    md5=$(md5sum "$live_out" | cut -d' ' -f1)
+    if [ "$md5" != "$golden" ]; then
+      echo "stream: live stdout md5 $md5 != golden $golden (scale 0.3, t24 16)" >&2
+      rm -f "$batch_out" "$live_out"
+      return 1
+    fi
+    echo "stream: live stdout md5 matches golden $golden"
+  fi
+  rm -f "$batch_out" "$live_out"
+  echo "stream: live == batch at epochs/shards/jobs 1/1/1, 3/4/2, 5/16/8 (scale $scale, t24 $t24)"
+}
+
 bench() {
   cmake --build "$ROOT/build" -j "$JOBS" --target bench_runner_pipelines
   local bin="$ROOT/build/bench/bench_runner_pipelines"
@@ -81,7 +130,8 @@ case "${1:-tier1}" in
   asan) asan ;;
   tsan) tsan ;;
   determinism) determinism ;;
+  stream) stream ;;
   bench) bench ;;
-  all) tier1; asan; tsan; determinism ;;
-  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|bench|all]" >&2; exit 2 ;;
+  all) tier1; asan; tsan; determinism; stream ;;
+  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|bench|all]" >&2; exit 2 ;;
 esac

@@ -9,8 +9,10 @@ MeasuredIntent MaliciousClassifier::classify(const capture::SessionRecord& recor
 
   if (record.payload_id == capture::kNoPayload) return MeasuredIntent::kUnobservable;
 
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(record.payload_id) << 16) | record.port;
+  const VerdictKey key{store.uid(),
+                       (static_cast<std::uint64_t>(record.payload_id) << 17) |
+                           (static_cast<std::uint64_t>(record.port) << 1) |
+                           (record.transport == net::Transport::kUdp ? 1u : 0u)};
   {
     std::shared_lock<std::shared_mutex> lock(cache_mutex_);
     auto it = verdict_cache_.find(key);

@@ -28,9 +28,13 @@ class MaliciousClassifier {
   explicit MaliciousClassifier(const ids::RuleEngine& engine) : engine_(&engine) {}
 
   // Classifies one record against the store it came from. Verdicts for
-  // (payload, port) pairs are memoized — campaign payloads repeat millions
-  // of times. Safe to call from concurrent analysis threads; the memo table
-  // is guarded by a reader/writer lock.
+  // (payload, port, transport) triples are memoized — campaign payloads
+  // repeat millions of times. The memo key includes the store's uid: payload
+  // ids are store-local, and one classifier serves many stores in stream
+  // mode (every sealed segment plus the merged snapshot replica), so a key
+  // without the store identity would alias unrelated payloads. Safe to call
+  // from concurrent analysis threads; the memo table is guarded by a
+  // reader/writer lock.
   MeasuredIntent classify(const capture::SessionRecord& record,
                           const capture::EventStore& store) const;
 
@@ -45,10 +49,28 @@ class MaliciousClassifier {
                                                 const std::vector<std::uint32_t>& indices) const;
 
  private:
+  // Key: (store uid, payload id, port, transport bit).
+  struct VerdictKey {
+    std::uint64_t store_uid;
+    std::uint64_t payload_port;
+    bool operator==(const VerdictKey& other) const noexcept {
+      return store_uid == other.store_uid && payload_port == other.payload_port;
+    }
+  };
+  struct VerdictKeyHash {
+    std::size_t operator()(const VerdictKey& key) const noexcept {
+      // splitmix-style mix of the two words.
+      std::uint64_t h = key.store_uid * 0x9e3779b97f4a7c15ULL ^ key.payload_port;
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   const ids::RuleEngine* engine_;
-  // Key packs payload id and port.
   mutable std::shared_mutex cache_mutex_;
-  mutable std::unordered_map<std::uint64_t, bool> verdict_cache_;
+  mutable std::unordered_map<VerdictKey, bool, VerdictKeyHash> verdict_cache_;
 };
 
 }  // namespace cw::analysis

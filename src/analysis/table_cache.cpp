@@ -1,5 +1,6 @@
 #include "analysis/table_cache.h"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "runner/thread_pool.h"
@@ -112,6 +113,88 @@ std::pair<std::uint64_t, std::uint64_t> CharacteristicTableCache::malicious(
 std::size_t CharacteristicTableCache::tables_built() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return tables_.size();
+}
+
+// --- SegmentedTableCache ----------------------------------------------------
+
+SegmentedTableCache::SegmentedTableCache(const MaliciousClassifier& classifier)
+    : CharacteristicTableCache(classifier) {}
+
+SegmentedTableCache::~SegmentedTableCache() = default;
+
+void SegmentedTableCache::add_segment(const capture::SessionFrame& segment_frame) {
+  segments_.push_back(
+      std::make_unique<CharacteristicTableCache>(segment_frame, classifier()));
+  // Merged memos describe the previous epoch's corpus; drop them. The
+  // per-segment partials inside segments_ survive, which is the whole point:
+  // the next table() call rebuilds only the new segment's partial.
+  const std::lock_guard<std::mutex> lock(merged_mutex_);
+  merged_tables_.clear();
+  merged_counts_.clear();
+}
+
+const capture::SessionFrame& SegmentedTableCache::frame() const noexcept {
+  assert(!segments_.empty() && "SegmentedTableCache::frame() before the first segment");
+  return segments_.front()->frame();
+}
+
+template <typename Entry>
+Entry& SegmentedTableCache::merged_entry(
+    std::unordered_map<std::uint64_t, std::unique_ptr<Entry>>& map, std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(merged_mutex_);
+  std::unique_ptr<Entry>& slot = map[key];
+  if (slot == nullptr) slot = std::make_unique<Entry>();
+  return *slot;
+}
+
+std::size_t SegmentedTableCache::record_count(topology::VantageId vantage, TrafficScope scope,
+                                              std::uint16_t neighbor) const {
+  std::size_t total = 0;
+  for (const auto& segment : segments_) total += segment->record_count(vantage, scope, neighbor);
+  return total;
+}
+
+const stats::FrequencyTable& SegmentedTableCache::table(topology::VantageId vantage,
+                                                        TrafficScope scope,
+                                                        Characteristic characteristic,
+                                                        runner::ThreadPool* pool,
+                                                        std::uint16_t neighbor) const {
+  MergedTable& cached = merged_entry(merged_tables_, pack(vantage, neighbor, scope, characteristic));
+  std::call_once(cached.once, [&] {
+    // Per-segment partials in ascending segment (= epoch, = record) order.
+    // Counts are exact, so the merge order cannot perturb the result — it is
+    // fixed anyway so the build schedule itself is reproducible.
+    for (const auto& segment : segments_) {
+      cached.table.merge(segment->table(vantage, scope, characteristic, pool, neighbor));
+    }
+  });
+  return cached.table;
+}
+
+std::pair<std::uint64_t, std::uint64_t> SegmentedTableCache::malicious(
+    topology::VantageId vantage, TrafficScope scope, std::uint16_t neighbor) const {
+  MergedCounts& cached =
+      merged_entry(merged_counts_, pack(vantage, neighbor, scope, Characteristic::kFracMalicious));
+  std::call_once(cached.once, [&] {
+    for (const auto& segment : segments_) {
+      const auto [malicious_count, benign_count] = segment->malicious(vantage, scope, neighbor);
+      cached.counts.first += malicious_count;
+      cached.counts.second += benign_count;
+    }
+  });
+  return cached.counts;
+}
+
+std::size_t SegmentedTableCache::tables_built() const {
+  std::size_t total = segment_tables_built();
+  const std::lock_guard<std::mutex> lock(merged_mutex_);
+  return total + merged_tables_.size();
+}
+
+std::size_t SegmentedTableCache::segment_tables_built() const {
+  std::size_t total = 0;
+  for (const auto& segment : segments_) total += segment->tables_built();
+  return total;
 }
 
 }  // namespace cw::analysis

@@ -78,34 +78,60 @@ class CharacteristicTableCache {
   CharacteristicTableCache(const capture::SessionFrame& frame,
                            const MaliciousClassifier& classifier)
       : frame_(&frame), classifier_(&classifier) {}
+  virtual ~CharacteristicTableCache() = default;
 
   CharacteristicTableCache(const CharacteristicTableCache&) = delete;
   CharacteristicTableCache& operator=(const CharacteristicTableCache&) = delete;
 
-  [[nodiscard]] const capture::SessionFrame& frame() const noexcept { return *frame_; }
+  // The query surface below is virtual so the stream layer's segment-merging
+  // cache (SegmentedTableCache) substitutes for a whole-corpus cache in
+  // every comparison driver — compare_characteristic, compare_vantage_pairs,
+  // analyze_neighborhoods, geo_similarity — without those drivers knowing
+  // about segments.
+
+  // A frame carrying the deployment/vantage metadata (collection method,
+  // network type) the comparison drivers consult. For the whole-corpus cache
+  // this is the corpus frame; a segmented cache returns its first segment's
+  // frame — the metadata columns are deployment-derived and identical across
+  // segments.
+  [[nodiscard]] virtual const capture::SessionFrame& frame() const noexcept { return *frame_; }
 
   // Number of records in the (vantage, neighbor, scope) slice — the
   // min_records gate — without building any table. Port-named scopes and
   // Any/All resolve to frame posting lists without copying.
-  [[nodiscard]] std::size_t record_count(topology::VantageId vantage, TrafficScope scope,
-                                         std::uint16_t neighbor = kWholeVantage) const;
+  [[nodiscard]] virtual std::size_t record_count(topology::VantageId vantage, TrafficScope scope,
+                                                 std::uint16_t neighbor = kWholeVantage) const;
 
   // The slice's frequency table for a top-k characteristic, built on first
   // use (sharded through `pool` when one is supplied) and shared by every
   // later caller. The reference stays valid for the cache's lifetime.
-  [[nodiscard]] const stats::FrequencyTable& table(topology::VantageId vantage, TrafficScope scope,
-                                                   Characteristic characteristic,
-                                                   runner::ThreadPool* pool = nullptr,
-                                                   std::uint16_t neighbor = kWholeVantage) const;
+  [[nodiscard]] virtual const stats::FrequencyTable& table(
+      topology::VantageId vantage, TrafficScope scope, Characteristic characteristic,
+      runner::ThreadPool* pool = nullptr, std::uint16_t neighbor = kWholeVantage) const;
 
   // (malicious, benign) counts for the slice (the kFracMalicious side),
   // read from the frame's verdict column when present.
-  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> malicious(
+  [[nodiscard]] virtual std::pair<std::uint64_t, std::uint64_t> malicious(
       topology::VantageId vantage, TrafficScope scope,
       std::uint16_t neighbor = kWholeVantage) const;
 
   // Number of materialized frequency tables (diagnostics / tests).
-  [[nodiscard]] std::size_t tables_built() const;
+  [[nodiscard]] virtual std::size_t tables_built() const;
+
+ protected:
+  // For segment-merging subclasses that override the whole query surface and
+  // never touch the base maps: no corpus frame exists at construction.
+  explicit CharacteristicTableCache(const MaliciousClassifier& classifier)
+      : frame_(nullptr), classifier_(&classifier) {}
+
+  [[nodiscard]] const MaliciousClassifier& classifier() const noexcept { return *classifier_; }
+
+  static std::uint64_t pack(topology::VantageId vantage, std::uint16_t neighbor,
+                            TrafficScope scope, Characteristic characteristic) {
+    return (static_cast<std::uint64_t>(vantage) << 32) |
+           (static_cast<std::uint64_t>(neighbor) << 16) |
+           (static_cast<std::uint64_t>(scope) << 8) | static_cast<std::uint64_t>(characteristic);
+  }
 
  private:
   struct SliceEntry {
@@ -132,19 +158,82 @@ class CharacteristicTableCache {
   Entry& entry(std::unordered_map<std::uint64_t, std::unique_ptr<Entry>>& map,
                std::uint64_t key) const;
 
-  static std::uint64_t pack(topology::VantageId vantage, std::uint16_t neighbor,
-                            TrafficScope scope, Characteristic characteristic) {
-    return (static_cast<std::uint64_t>(vantage) << 32) |
-           (static_cast<std::uint64_t>(neighbor) << 16) |
-           (static_cast<std::uint64_t>(scope) << 8) | static_cast<std::uint64_t>(characteristic);
-  }
-
   const capture::SessionFrame* frame_;
   const MaliciousClassifier* classifier_;
   mutable std::mutex mutex_;  // guards the maps; entries build under their own once_flag
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<SliceEntry>> slices_;
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<TableEntry>> tables_;
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<BinaryEntry>> binaries_;
+};
+
+// SegmentedTableCache: the incremental-statistics extension of the cache for
+// stream ingest. The corpus is a list of immutable segments (one sealed per
+// epoch, each carrying its own SessionFrame); this cache holds one
+// whole-corpus-shaped CharacteristicTableCache per segment and answers every
+// query by combining per-segment results in segment order:
+//
+//   - table(): FrequencyTable::merge of the per-segment partials. Counts are
+//     exact integers and the characteristic keys are interned *text* (never
+//     store-local ids), so the merged table is bit-identical to one built
+//     cold over the concatenated corpus — the live-vs-batch byte-identity
+//     invariant rests on this.
+//   - malicious() / record_count(): per-segment sums.
+//
+// Advancing an epoch (add_segment) keeps every per-segment partial and drops
+// only the merged memos, so a refresh costs the new segment's builds plus a
+// merge over distinct values — time proportional to the new data, not the
+// corpus (bench_stream_ingest measures this).
+//
+// Thread safety: queries follow the base-class discipline (entries created
+// under a mutex, built under per-entry once_flags) and per-segment caches
+// are themselves concurrent-safe. add_segment must not race with queries:
+// the stream driver advances epochs between report renders.
+class SegmentedTableCache final : public CharacteristicTableCache {
+ public:
+  explicit SegmentedTableCache(const MaliciousClassifier& classifier);
+  ~SegmentedTableCache() override;
+
+  // Appends one sealed segment's frame (borrowed; must outlive the cache —
+  // stream::EpochSnapshot keeps segments alive) and invalidates the merged
+  // memos. References previously returned by table() are invalidated too;
+  // callers must not hold them across epochs.
+  void add_segment(const capture::SessionFrame& segment_frame);
+
+  [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
+
+  [[nodiscard]] const capture::SessionFrame& frame() const noexcept override;
+  [[nodiscard]] std::size_t record_count(topology::VantageId vantage, TrafficScope scope,
+                                         std::uint16_t neighbor = kWholeVantage) const override;
+  [[nodiscard]] const stats::FrequencyTable& table(
+      topology::VantageId vantage, TrafficScope scope, Characteristic characteristic,
+      runner::ThreadPool* pool = nullptr,
+      std::uint16_t neighbor = kWholeVantage) const override;
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> malicious(
+      topology::VantageId vantage, TrafficScope scope,
+      std::uint16_t neighbor = kWholeVantage) const override;
+  // Materialized merged tables plus the per-segment partials behind them.
+  [[nodiscard]] std::size_t tables_built() const override;
+  // Only the per-segment partials (to observe partial reuse across epochs).
+  [[nodiscard]] std::size_t segment_tables_built() const;
+
+ private:
+  struct MergedTable {
+    std::once_flag once;
+    stats::FrequencyTable table;
+  };
+  struct MergedCounts {
+    std::once_flag once;
+    std::pair<std::uint64_t, std::uint64_t> counts{0, 0};
+  };
+
+  template <typename Entry>
+  Entry& merged_entry(std::unordered_map<std::uint64_t, std::unique_ptr<Entry>>& map,
+                      std::uint64_t key) const;
+
+  std::vector<std::unique_ptr<CharacteristicTableCache>> segments_;
+  mutable std::mutex merged_mutex_;
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<MergedTable>> merged_tables_;
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<MergedCounts>> merged_counts_;
 };
 
 }  // namespace cw::analysis

@@ -36,6 +36,15 @@ bool client_speaks_first(net::Protocol protocol) noexcept {
   return false;
 }
 
+void Collector::emit(const SessionRecord& record, std::string_view payload,
+                     const std::optional<proto::Credential>& credential) {
+  if (store_sink_) {
+    store_sink_(record, payload, credential);
+    return;
+  }
+  store_.append(record, payload, credential);
+}
+
 bool Collector::deliver(const ScanEvent& event) {
   const auto target_index = universe_->find(event.dst);
   if (!target_index) {
@@ -72,7 +81,7 @@ bool Collector::deliver(const ScanEvent& event) {
     case topology::CollectionMethod::kTelescope: {
       // First packet only: no handshake, no payload, no credentials.
       record.handshake_completed = false;
-      store_.append(record, {}, std::nullopt);
+      emit(record, {}, std::nullopt);
       break;
     }
     case topology::CollectionMethod::kHoneytrap: {
@@ -83,8 +92,8 @@ bool Collector::deliver(const ScanEvent& event) {
       const bool client_sends =
           !event.payload.empty() && (event.transport == net::Transport::kUdp ||
                                      client_speaks_first(event.intended_protocol));
-      store_.append(record, client_sends ? std::string_view(event.payload) : std::string_view{},
-                    std::nullopt);
+      emit(record, client_sends ? std::string_view(event.payload) : std::string_view{},
+           std::nullopt);
       break;
     }
     case topology::CollectionMethod::kGreyNoise: {
@@ -96,9 +105,9 @@ bool Collector::deliver(const ScanEvent& event) {
       if (is_cowrie_port(event.dst_port)) {
         // Cowrie walks the client through the full login exchange, so both
         // the banner/negotiation payload and the credentials are retained.
-        store_.append(record, event.payload, event.credential);
+        emit(record, event.payload, event.credential);
       } else {
-        store_.append(record, event.payload, std::nullopt);
+        emit(record, event.payload, std::nullopt);
       }
       break;
     }

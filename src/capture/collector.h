@@ -13,9 +13,11 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "capture/event.h"
 #include "capture/store.h"
+#include "proto/credentials.h"
 #include "topology/universe.h"
 
 namespace cw::capture {
@@ -48,6 +50,14 @@ class Collector {
   using FirewallHook = std::function<bool(const ScanEvent&, const topology::VantagePoint&)>;
   void set_firewall(FirewallHook hook) { firewall_ = std::move(hook); }
 
+  // Optional capture sink: when set, records that would be appended to the
+  // internal store are handed to the sink instead (with the not-yet-interned
+  // payload/credential). The stream ingest layer uses this to route live
+  // capture into per-shard buffers; the internal store stays empty.
+  using StoreSink = std::function<void(const SessionRecord&, std::string_view,
+                                       const std::optional<proto::Credential>&)>;
+  void set_store_sink(StoreSink sink) { store_sink_ = std::move(sink); }
+
   [[nodiscard]] EventStore& store() noexcept { return store_; }
   [[nodiscard]] const EventStore& store() const noexcept { return store_; }
 
@@ -57,10 +67,15 @@ class Collector {
   [[nodiscard]] std::uint64_t dropped_firewalled() const noexcept { return dropped_firewalled_; }
 
  private:
+  // Appends to the store, or diverts to the sink when one is installed.
+  void emit(const SessionRecord& record, std::string_view payload,
+            const std::optional<proto::Credential>& credential);
+
   const topology::TargetUniverse* universe_;
   EventStore store_;
   TelescopeSink telescope_sink_;
   FirewallHook firewall_;
+  StoreSink store_sink_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_unmonitored_ = 0;
   std::uint64_t dropped_refused_ = 0;

@@ -156,6 +156,40 @@ std::optional<EventStore> read_dataset(std::istream& in) {
   return store;
 }
 
+bool write_dataset_segments(const std::vector<const EventStore*>& segments, std::ostream& out) {
+  for (const EventStore* segment : segments) {
+    if (segment == nullptr || !write_dataset(*segment, out)) return false;
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<EventStore>> read_dataset_segments(std::istream& in) {
+  std::vector<EventStore> segments;
+  while (true) {
+    // Clean EOF between segments ends the file; anything else must parse as
+    // a complete segment (read_dataset fails on a bad magic or truncation,
+    // which covers garbage at a segment boundary).
+    if (in.peek() == std::char_traits<char>::eof()) break;
+    auto segment = read_dataset(in);
+    if (!segment.has_value()) return std::nullopt;
+    segments.push_back(std::move(*segment));
+  }
+  return segments;
+}
+
+bool save_dataset_segments(const std::vector<const EventStore*>& segments,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  return write_dataset_segments(segments, out);
+}
+
+std::optional<std::vector<EventStore>> load_dataset_segments(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return read_dataset_segments(in);
+}
+
 bool save_dataset(const EventStore& store, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;

@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "capture/store.h"
 #include "topology/deployment.h"
@@ -30,6 +31,22 @@ std::optional<EventStore> read_dataset(std::istream& in);
 // Convenience file wrappers.
 bool save_dataset(const EventStore& store, const std::string& path);
 std::optional<EventStore> load_dataset(const std::string& path);
+
+// Concatenated segment files: a stream ingest seals one immutable store per
+// epoch, and a multi-segment snapshot round-trips through a single file as
+// back-to-back v2 datasets (each with its own header and tables). Segment
+// boundaries are self-describing — every segment re-validates the magic —
+// so a truncated or corrupted boundary is rejected rather than mis-parsed.
+bool write_dataset_segments(const std::vector<const EventStore*>& segments, std::ostream& out);
+
+// Reads segments until clean EOF. Returns nullopt if any segment is
+// malformed or if trailing bytes remain after the last complete segment.
+// A file written by write_dataset reads back as one segment.
+std::optional<std::vector<EventStore>> read_dataset_segments(std::istream& in);
+
+bool save_dataset_segments(const std::vector<const EventStore*>& segments,
+                           const std::string& path);
+std::optional<std::vector<EventStore>> load_dataset_segments(const std::string& path);
 
 // CSV export: one row per record with human-readable fields
 // (time_ms, src, src_asn, dst, port, transport, handshake, vantage,

@@ -6,16 +6,36 @@
 
 namespace cw::capture {
 
+std::uint64_t EventStore::next_uid() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Shared tail of the move operations: transfer the index state and identity
+// from `other` to `self`, then reset `other` to a coherent empty store — a
+// fresh uid (its interned-id space is gone), an invalid index, and a bumped
+// epoch so any derived structure still pointing at it reads as detached.
+void EventStore::steal_read_state(EventStore& other) noexcept {
+  index_valid_.store(other.index_valid_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  index_epoch_.store(other.index_epoch_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  reader_pins_.store(other.reader_pins_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+  uid_ = other.uid_;
+  other.uid_ = next_uid();
+  other.index_valid_.store(false, std::memory_order_release);
+  other.index_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  other.reader_pins_.store(0, std::memory_order_release);
+}
+
 EventStore::EventStore(EventStore&& other) noexcept
     : records_(std::move(other.records_)),
       payloads_(std::move(other.payloads_)),
       credentials_(std::move(other.credentials_)),
       vantage_index_(std::move(other.vantage_index_)) {
   assert(other.reader_pins() == 0 && "EventStore moved while a reader holds a pin");
-  index_valid_.store(other.index_valid_.load(std::memory_order_acquire),
-                     std::memory_order_release);
-  index_epoch_.store(other.index_epoch_.load(std::memory_order_acquire),
-                     std::memory_order_release);
+  steal_read_state(other);
 }
 
 EventStore& EventStore::operator=(EventStore&& other) noexcept {
@@ -26,10 +46,9 @@ EventStore& EventStore::operator=(EventStore&& other) noexcept {
     payloads_ = std::move(other.payloads_);
     credentials_ = std::move(other.credentials_);
     vantage_index_ = std::move(other.vantage_index_);
-    index_valid_.store(other.index_valid_.load(std::memory_order_acquire),
-                       std::memory_order_release);
-    index_epoch_.store(other.index_epoch_.load(std::memory_order_acquire),
-                       std::memory_order_release);
+    other.records_.clear();
+    other.vantage_index_.clear();
+    steal_read_state(other);
   }
   return *this;
 }

@@ -33,6 +33,13 @@ namespace cw::capture {
 class EventStore {
  public:
   EventStore() = default;
+  // Moves transfer the whole read-side state coherently: records, interners,
+  // the per-vantage index together with its validity flag and epoch, and the
+  // store uid (so memoizations keyed by uid stay correct for the surviving
+  // store). Moving while any reader holds a pin is a logic error (asserted in
+  // debug builds): the readers' spans would dangle. The moved-from store is
+  // left empty with a fresh uid, an invalid index, and a bumped epoch so any
+  // (illegally) surviving derived structure detaches.
   EventStore(EventStore&& other) noexcept;
   EventStore& operator=(EventStore&& other) noexcept;
 
@@ -82,6 +89,14 @@ class EventStore {
     return index_epoch_.load(std::memory_order_acquire);
   }
 
+  // Process-unique identity of this store's interned-id space. Fresh at
+  // construction, transferred by move (the moved-from store gets a new one).
+  // Memoizations keyed on interned ids (MaliciousClassifier's verdict memo)
+  // include the uid so the same classifier can serve records from many
+  // stores — the segment stores a stream ingest seals every epoch — without
+  // id collisions across stores.
+  [[nodiscard]] std::uint64_t uid() const noexcept { return uid_; }
+
   // Registration for long-lived readers that hold references into the store
   // (frames, for_vantage spans cached across calls). append() asserts no pin
   // is held — appending would invalidate what the reader is looking at.
@@ -96,6 +111,10 @@ class EventStore {
   }
 
  private:
+  static std::uint64_t next_uid() noexcept;
+  void steal_read_state(EventStore& other) noexcept;
+
+  std::uint64_t uid_ = next_uid();
   std::vector<SessionRecord> records_;
   Interner payloads_;
   Interner credentials_;

@@ -1,15 +1,18 @@
 #include "core/experiment.h"
 
+#include <algorithm>
+
 #include "ids/ruleset.h"
 
 namespace cw::core {
 
 const capture::SessionFrame& ExperimentResult::frame(runner::ThreadPool* pool) const {
   std::call_once(*frame_once_, [this, pool] {
+    const capture::EventStore& source = store();
     capture::SessionFrame::BuildOptions options;
     options.pool = pool;
-    options.verdict = [this](const capture::SessionRecord& record) {
-      switch (classifier_->classify(record, collector_->store())) {
+    options.verdict = [this, &source](const capture::SessionRecord& record) {
+      switch (classifier_->classify(record, source)) {
         case analysis::MeasuredIntent::kMalicious: return capture::SessionFrame::Verdict::kMalicious;
         case analysis::MeasuredIntent::kBenign: return capture::SessionFrame::Verdict::kBenign;
         case analysis::MeasuredIntent::kUnobservable: break;
@@ -17,13 +20,14 @@ const capture::SessionFrame& ExperimentResult::frame(runner::ThreadPool* pool) c
       return capture::SessionFrame::Verdict::kUnobservable;
     };
     frame_ = std::make_unique<capture::SessionFrame>(
-        capture::SessionFrame::build(collector_->store(), deployment_, std::move(options)));
+        capture::SessionFrame::build(source, deployment_, std::move(options)));
   });
   return *frame_;
 }
 
 const analysis::CharacteristicTableCache& ExperimentResult::table_cache(
     runner::ThreadPool* pool) const {
+  if (external_cache_ != nullptr) return *external_cache_;
   std::call_once(*cache_once_, [this, pool] {
     table_cache_ =
         std::make_unique<analysis::CharacteristicTableCache>(frame(pool), *classifier_);
@@ -31,8 +35,26 @@ const analysis::CharacteristicTableCache& ExperimentResult::table_cache(
   return *table_cache_;
 }
 
-std::unique_ptr<ExperimentResult> Experiment::run() const {
-  auto result = std::make_unique<ExperimentResult>();
+void ExperimentResult::rebind_store(const capture::EventStore* store,
+                                    const analysis::CharacteristicTableCache* cache) {
+  release_derived();
+  external_store_ = store;
+  external_cache_ = cache;
+}
+
+void ExperimentResult::release_derived() {
+  // The cold cache borrows the frame; tear down in dependency order.
+  table_cache_.reset();
+  cache_once_ = std::make_unique<std::once_flag>();
+  frame_.reset();  // unpins the store it was built over
+  frame_once_ = std::make_unique<std::once_flag>();
+}
+
+LiveExperiment::LiveExperiment(ExperimentConfig config)
+    : config_(std::move(config)),
+      result_(std::make_unique<ExperimentResult>()),
+      engine_(std::make_unique<sim::Engine>()) {
+  ExperimentResult* result = result_.get();
 
   topology::DeploymentConfig deployment_config;
   deployment_config.year = config_.year;
@@ -57,9 +79,21 @@ std::unique_ptr<ExperimentResult> Experiment::run() const {
   result->population_ = std::make_unique<agents::Population>(
       agents::Population::build(population_config, result->deployment_));
 
-  sim::Engine engine;
-  agents::AgentContext ctx;
-  ctx.engine = &engine;
+  // The measurement context does not depend on the captured traffic, so a
+  // live run has it from epoch zero: classification and reputation work on
+  // partial corpora exactly as they do on the final one.
+  result->rules_ = std::make_unique<ids::RuleEngine>(ids::curated_engine());
+  result->classifier_ = std::make_unique<analysis::MaliciousClassifier>(*result->rules_);
+  result->oracle_ = std::make_unique<analysis::ReputationOracle>(
+      result->population_->ground_truth(), config_.oracle_unknown_fraction,
+      config_.seed ^ 0x6f7261636cULL);
+
+  // Actors hold a reference to this context across the whole window (their
+  // scheduled events re-enter through it), so it lives on the heap with the
+  // engine, not on the constructor's stack.
+  ctx_ = std::make_unique<agents::AgentContext>();
+  agents::AgentContext& ctx = *ctx_;
+  ctx.engine = engine_.get();
   ctx.universe = result->universe_.get();
   ctx.collector = result->collector_.get();
   ctx.censys = result->censys_.get();
@@ -69,7 +103,7 @@ std::unique_ptr<ExperimentResult> Experiment::run() const {
   if (config_.crawl_interval > 0) {
     util::Rng crawl_seed(config_.seed ^ 0x637261776cULL);
     for (util::SimTime t = util::kHour; t < config_.duration; t += config_.crawl_interval) {
-      engine.schedule_at(t, [result = result.get(), crawl_seed](sim::Engine& e) mutable {
+      engine_->schedule_at(t, [result, crawl_seed](sim::Engine& e) mutable {
         util::Rng rng = crawl_seed.stream(static_cast<std::uint64_t>(e.now()));
         result->censys_->crawl(e.now(), *result->universe_, *result->collector_, rng);
         result->shodan_->crawl(e.now(), *result->universe_, *result->collector_, rng);
@@ -78,15 +112,30 @@ std::unique_ptr<ExperimentResult> Experiment::run() const {
   }
 
   result->population_->start_all(ctx);
-  engine.run_until(config_.duration);
-  result->events_processed_ = engine.events_processed();
+}
 
-  result->rules_ = std::make_unique<ids::RuleEngine>(ids::curated_engine());
-  result->classifier_ = std::make_unique<analysis::MaliciousClassifier>(*result->rules_);
-  result->oracle_ = std::make_unique<analysis::ReputationOracle>(
-      result->population_->ground_truth(), config_.oracle_unknown_fraction,
-      config_.seed ^ 0x6f7261636cULL);
-  return result;
+LiveExperiment::~LiveExperiment() = default;
+
+void LiveExperiment::advance_to(util::SimTime until) {
+  engine_->run_until(std::min(until, config_.duration));
+  result_->events_processed_ = engine_->events_processed();
+}
+
+util::SimTime LiveExperiment::now() const noexcept { return engine_->now(); }
+
+bool LiveExperiment::finished() const noexcept { return engine_->now() >= config_.duration; }
+
+capture::Collector& LiveExperiment::collector() noexcept { return *result_->collector_; }
+
+std::unique_ptr<ExperimentResult> LiveExperiment::take() {
+  result_->events_processed_ = engine_->events_processed();
+  return std::move(result_);
+}
+
+std::unique_ptr<ExperimentResult> Experiment::run() const {
+  LiveExperiment live(config_);
+  live.advance_to(config_.duration);
+  return live.take();
 }
 
 }  // namespace cw::core

@@ -55,8 +55,11 @@ class ExperimentResult {
  public:
   [[nodiscard]] const topology::Deployment& deployment() const noexcept { return deployment_; }
   [[nodiscard]] const topology::TargetUniverse& universe() const noexcept { return *universe_; }
+  // The record source every analysis reads. Normally the collector's store;
+  // in stream mode, the externally bound merged-snapshot replica (see
+  // rebind_store below).
   [[nodiscard]] const capture::EventStore& store() const noexcept {
-    return collector_->store();
+    return external_store_ != nullptr ? *external_store_ : collector_->store();
   }
   [[nodiscard]] const capture::Collector& collector() const noexcept { return *collector_; }
   [[nodiscard]] const analysis::MaliciousClassifier& classifier() const noexcept {
@@ -83,8 +86,27 @@ class ExperimentResult {
   [[nodiscard]] const analysis::CharacteristicTableCache& table_cache(
       runner::ThreadPool* pool = nullptr) const;
 
+  // --- stream support (src/stream) -----------------------------------------
+  // A live run re-renders the paper tables every epoch over a growing
+  // corpus. rebind_store() points the result's record source at an
+  // externally assembled store — the stream driver's merged-snapshot replica
+  // — and optionally overrides table_cache() with the stream layer's
+  // segment-merging cache; both are borrowed and must outlive the result or
+  // the next rebind. Passing nullptrs restores the collector's own store and
+  // the lazily built cache. Every rebind (and release_derived()) drops the
+  // cached frame and cold cache, so the next frame() call rebuilds over the
+  // current source.
+  void rebind_store(const capture::EventStore* store,
+                    const analysis::CharacteristicTableCache* cache);
+
+  // Drops the cached frame/table-cache and unpins the source store, so the
+  // stream driver may append the next epoch's records to it. frame()
+  // rebuilds on next use.
+  void release_derived();
+
  private:
   friend class Experiment;
+  friend class LiveExperiment;
   topology::Deployment deployment_;
   std::unique_ptr<topology::TargetUniverse> universe_;
   std::unique_ptr<capture::Collector> collector_;
@@ -95,6 +117,9 @@ class ExperimentResult {
   std::unique_ptr<analysis::MaliciousClassifier> classifier_;
   std::unique_ptr<analysis::ReputationOracle> oracle_;
   std::uint64_t events_processed_ = 0;
+  // Stream mode: external record source / table cache (borrowed).
+  const capture::EventStore* external_store_ = nullptr;
+  const analysis::CharacteristicTableCache* external_cache_ = nullptr;
   // Lazy frame cache. The once_flag lives behind a pointer so the result
   // stays movable.
   mutable std::unique_ptr<std::once_flag> frame_once_ = std::make_unique<std::once_flag>();
@@ -114,6 +139,50 @@ class Experiment {
 
  private:
   ExperimentConfig config_;
+};
+
+// A batch run, opened up: the full experiment context — topology, search
+// engines, population, classifier, oracle, crawl schedule — is built at
+// construction with the clock at zero, and the caller advances the
+// simulation in slices. This is the substrate of the stream subsystem
+// (src/stream): the live driver installs a capture sink on collector(),
+// steps advance_to() once per epoch, and seals what arrived in between.
+// Experiment::run() is exactly "construct; advance_to(duration); take()",
+// so sliced and batch runs process the identical event sequence.
+class LiveExperiment {
+ public:
+  explicit LiveExperiment(ExperimentConfig config);
+  ~LiveExperiment();
+  LiveExperiment(const LiveExperiment&) = delete;
+  LiveExperiment& operator=(const LiveExperiment&) = delete;
+
+  // Advances the simulation to min(until, config.duration). Monotonic:
+  // earlier targets are a no-op. Not safe concurrently with readers of the
+  // collector's store (the stream driver quiesces between slices).
+  void advance_to(util::SimTime until);
+
+  [[nodiscard]] util::SimTime now() const noexcept;
+  [[nodiscard]] bool finished() const noexcept;
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
+
+  // The context, readable at any point between slices. Mutable collector
+  // access lets the stream driver install its capture sink before the first
+  // slice.
+  [[nodiscard]] ExperimentResult& result() noexcept { return *result_; }
+  [[nodiscard]] const ExperimentResult& result() const noexcept { return *result_; }
+  [[nodiscard]] capture::Collector& collector() noexcept;
+
+  // Finalizes the run (records events_processed) and releases the result.
+  // The engine stays with the LiveExperiment; call after the last slice.
+  [[nodiscard]] std::unique_ptr<ExperimentResult> take();
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<ExperimentResult> result_;
+  std::unique_ptr<sim::Engine> engine_;
+  // Actors capture the context by reference into their scheduled events, so
+  // it must stay alive (and address-stable) until the last slice runs.
+  std::unique_ptr<agents::AgentContext> ctx_;
 };
 
 }  // namespace cw::core

@@ -1,0 +1,67 @@
+#include "stream/ingest.h"
+
+#include <utility>
+
+namespace cw::stream {
+
+IngestShards::IngestShards(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+void IngestShards::append(std::size_t shard, const capture::SessionRecord& record,
+                          std::string_view payload,
+                          const std::optional<proto::Credential>& credential) {
+  Shard& target = *shards_[shard % shards_.size()];
+  const std::lock_guard<std::mutex> lock(target.mutex);
+  target.buffer.push_back(Buffered{record, std::string(payload), credential});
+}
+
+EpochSnapshot IngestShards::seal_epoch(const topology::Deployment& deployment,
+                                       const VerdictFactory& verdict,
+                                       runner::ThreadPool* pool) {
+  // Drain shard-major: shard 0's buffer in append order, then shard 1's, ...
+  // This total order — not the producers' interleaving — is what the segment
+  // (and everything derived from it) is built over.
+  capture::EventStore store;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::vector<Buffered> drained;
+    {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      drained.swap(shard->buffer);
+    }
+    for (Buffered& buffered : drained) {
+      store.append(buffered.record, buffered.payload, buffered.credential);
+    }
+  }
+  store.freeze();
+
+  EpochSnapshot previous = snapshot();
+  auto segment = std::make_shared<const Segment>(previous.epoch(), previous.size(),
+                                                 std::move(store), deployment, verdict, pool);
+  EpochSnapshot next = EpochSnapshot::extend(previous, std::move(segment));
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = next;
+  }
+  return next;
+}
+
+EpochSnapshot IngestShards::snapshot() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::size_t IngestShards::pending() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->buffer.size();
+  }
+  return total;
+}
+
+std::uint64_t IngestShards::total_sealed() const { return snapshot().size(); }
+
+}  // namespace cw::stream

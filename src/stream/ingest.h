@@ -1,0 +1,102 @@
+// Sharded live ingest: the write side of the stream subsystem.
+//
+// Concurrent collectors append captured records into per-shard buffers
+// (one mutex per shard, so producers on different shards never contend); at
+// each epoch boundary seal_epoch() drains every buffer — in shard-major
+// order — into one immutable, frozen capture::EventStore, builds the
+// segment's SessionFrame, and publishes the extended EpochSnapshot.
+//
+// Determinism contract: the sealed record order is shard 0's buffer in
+// append order, then shard 1's, and so on. For a fixed (shard count, shard
+// routing, epoch slicing) the segment byte stream is therefore identical
+// no matter how many producer threads fed the shards, as long as each
+// record's *shard* and each shard's *append order* are fixed — which
+// shard_of()'s vantage-based routing guarantees for any per-vantage-ordered
+// producer (the simulation delivers each vantage point's traffic in time
+// order). Analyses on top are additionally invariant across slicings and
+// shard counts because they aggregate through text-keyed exact counts
+// (analysis::SegmentedTableCache) or permutation-invariant renderers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "capture/event.h"
+#include "proto/credentials.h"
+#include "stream/snapshot.h"
+#include "topology/deployment.h"
+
+namespace cw::runner {
+class ThreadPool;
+}  // namespace cw::runner
+
+namespace cw::stream {
+
+class IngestShards {
+ public:
+  // `shards` >= 1 (0 is clamped to 1).
+  explicit IngestShards(std::size_t shards);
+
+  IngestShards(const IngestShards&) = delete;
+  IngestShards& operator=(const IngestShards&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  // Deterministic shard routing: a record's vantage point selects its shard,
+  // so one vantage's records land in one buffer in delivery order.
+  [[nodiscard]] std::size_t shard_of(const capture::SessionRecord& record) const noexcept {
+    return record.vantage % shards_.size();
+  }
+
+  // Buffers one captured record (payload/credential not yet interned —
+  // interning happens against the segment store at seal time). Safe to call
+  // from multiple producer threads concurrently, including on the same
+  // shard; must not race with seal_epoch on the same shard (the driver
+  // quiesces producers at epoch boundaries).
+  void append(std::size_t shard, const capture::SessionRecord& record, std::string_view payload,
+              const std::optional<proto::Credential>& credential);
+
+  // Seals everything buffered so far into one immutable segment: drains the
+  // shard buffers in shard-major order into a fresh EventStore, freezes it,
+  // builds the segment frame (sharded through `pool` when given; `verdict`
+  // supplies the frame's verdict column), and publishes the extended
+  // snapshot. Returns the new snapshot; an epoch with no buffered records
+  // still seals (an empty segment keeps epoch numbering uniform).
+  EpochSnapshot seal_epoch(const topology::Deployment& deployment,
+                           const VerdictFactory& verdict = {},
+                           runner::ThreadPool* pool = nullptr);
+
+  // The latest published snapshot (epoch 0 before the first seal). Safe to
+  // call concurrently with append(), and with seal_epoch (readers see the
+  // previous or the new snapshot, never a partial one).
+  [[nodiscard]] EpochSnapshot snapshot() const;
+
+  // Records buffered but not yet sealed, summed across shards. Approximate
+  // under concurrent appends (per-shard locks are taken in turn).
+  [[nodiscard]] std::size_t pending() const;
+
+  // Total records across all sealed segments.
+  [[nodiscard]] std::uint64_t total_sealed() const;
+
+ private:
+  struct Buffered {
+    capture::SessionRecord record;
+    std::string payload;
+    std::optional<proto::Credential> credential;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<Buffered> buffer;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex snapshot_mutex_;  // guards snapshot_ swaps (seal vs readers)
+  EpochSnapshot snapshot_;
+};
+
+}  // namespace cw::stream

@@ -1,0 +1,99 @@
+#include "stream/live_report.h"
+
+#include "runner/pipeline.h"
+#include "runner/thread_pool.h"
+
+namespace cw::stream {
+
+EpochReport LiveReport::run(const EpochCallback& callback) {
+  const std::size_t epochs = config_.epochs == 0 ? 1 : config_.epochs;
+
+  core::LiveExperiment live(config_.experiment);
+  IngestShards ingest(config_.shards);
+
+  // Route live capture into the shard buffers; the collector's own store
+  // stays empty for the whole run.
+  live.collector().set_store_sink(
+      [&ingest](const capture::SessionRecord& record, std::string_view payload,
+                const std::optional<proto::Credential>& credential) {
+        ingest.append(ingest.shard_of(record), record, payload, credential);
+      });
+
+  const analysis::MaliciousClassifier& classifier = live.result().classifier();
+  const VerdictFactory verdict = [&classifier](const capture::EventStore& store) {
+    return [&classifier, &store](const capture::SessionRecord& record) {
+      switch (classifier.classify(record, store)) {
+        case analysis::MeasuredIntent::kMalicious: return capture::SessionFrame::Verdict::kMalicious;
+        case analysis::MeasuredIntent::kBenign: return capture::SessionFrame::Verdict::kBenign;
+        case analysis::MeasuredIntent::kUnobservable: break;
+      }
+      return capture::SessionFrame::Verdict::kUnobservable;
+    };
+  };
+
+  analysis::SegmentedTableCache segmented(classifier);
+  // Cumulative store replica: every sealed segment's records re-appended in
+  // segment order. The light renderers (sets, overlaps, Figure 1) re-read
+  // this whole replica each epoch; the heavy tables never touch it — they go
+  // through `segmented`, which only builds the newest segment's partials.
+  capture::EventStore total;
+
+  runner::ThreadPool pool(config_.jobs);
+  EpochReport report;
+
+  for (std::size_t k = 1; k <= epochs; ++k) {
+    // Integer slice boundaries; the last is exactly the configured duration.
+    const util::SimTime boundary = static_cast<util::SimTime>(
+        (static_cast<unsigned long long>(config_.experiment.duration) * k) / epochs);
+    live.advance_to(k == epochs ? config_.experiment.duration : boundary);
+
+    const EpochSnapshot snapshot = ingest.seal_epoch(live.result().deployment(), verdict, &pool);
+    const Segment& segment = *snapshot.segments().back();
+    segmented.add_segment(segment.frame());
+
+    // Unpin the replica (the previous epoch's cumulative frame holds a pin)
+    // before extending it with the new segment's records.
+    live.result().release_derived();
+    const capture::EventStore& sealed = segment.store();
+    for (const capture::SessionRecord& record : sealed.records()) {
+      const std::string_view payload = record.payload_id == capture::kNoPayload
+                                           ? std::string_view{}
+                                           : std::string_view(sealed.payload(record.payload_id));
+      std::optional<proto::Credential> credential;
+      if (record.credential_id != capture::kNoCredential) {
+        credential = sealed.credential(record.credential_id);
+      }
+      total.append(record, payload, credential);
+    }
+    total.freeze();
+    live.result().rebind_store(&total, &segmented);
+
+    report = EpochReport{};
+    report.epoch = k;
+    report.now = live.now();
+    report.records_total = total.size();
+    report.records_new = segment.size();
+
+    if (config_.render_intermediate || k == epochs) {
+      // Same warm-up order as the batch driver: cumulative frame first, then
+      // the pipelines fan out over it and the segmented cache.
+      static_cast<void>(live.result().frame(&pool));
+      const auto pipelines = runner::paper_report_pipelines(live.result(), config_.report);
+      auto run = runner::run_pipelines(pipelines, config_.jobs);
+      report.rendered = true;
+      report.names.reserve(pipelines.size());
+      for (const auto& pipeline : pipelines) report.names.push_back(pipeline.name);
+      report.outputs = std::move(run.outputs);
+      for (const auto& metrics : run.report.pipelines) report.failed |= metrics.failed;
+      report.run_report = std::move(run.report);
+    }
+    if (callback) callback(report);
+  }
+
+  // `total`/`segmented` are declared after `live` and die first; drop the
+  // result's frame (which pins `total`) and external bindings before they do.
+  live.result().rebind_store(nullptr, nullptr);
+  return report;
+}
+
+}  // namespace cw::stream

@@ -1,0 +1,77 @@
+// LiveReport: the continuously-serving driver over the stream subsystem.
+//
+// Runs the simulated observation window in wall-clock slices. During each
+// slice the collector's capture sink routes every record into
+// stream::IngestShards; at the slice boundary the driver seals an epoch
+// segment, folds its partial tables into an analysis::SegmentedTableCache,
+// extends a cumulative store replica, and re-renders the full paper report
+// through the same runner::paper_report_pipelines the batch path uses.
+//
+// The load-bearing invariant (enforced by tests and scripts/check.sh): after
+// the final epoch the rendered report is byte-identical to the one-shot
+// batch report over the same configuration — at any --jobs, any shard
+// count, and any epoch slicing. Heavy tables get there incrementally (the
+// segmented cache merges per-segment partials, rebuilding only the newest);
+// the remaining renderers re-read the cumulative replica, whose record
+// order differs from the batch store's only by a permutation that every
+// renderer is invariant to (sets, text-keyed exact counts, per-key
+// extrema).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "runner/report.h"
+#include "stream/ingest.h"
+#include "util/sim_time.h"
+
+namespace cw::stream {
+
+struct LiveReportConfig {
+  core::ExperimentConfig experiment;
+  // Number of wall-clock slices the observation window is cut into.
+  std::size_t epochs = 4;
+  // Ingest shard count (routing is by vantage; see IngestShards::shard_of).
+  std::size_t shards = 4;
+  // Worker count for frame builds and report pipelines (0 = hardware).
+  unsigned jobs = 1;
+  runner::ReportOptions report;
+  // Skip report rendering for all but the final epoch (the simulation and
+  // sealing still run every epoch; used by equivalence checks that only
+  // compare final outputs).
+  bool render_intermediate = true;
+};
+
+// One epoch's rendered report.
+struct EpochReport {
+  std::uint64_t epoch = 0;       // 1-based
+  util::SimTime now = 0;         // simulation clock at the slice boundary
+  std::uint64_t records_total = 0;
+  std::uint64_t records_new = 0;  // sealed this epoch
+  bool rendered = false;          // false when render_intermediate skipped it
+  bool failed = false;            // any pipeline threw
+  std::vector<std::string> names;    // pipeline names, slot order
+  std::vector<std::string> outputs;  // rendered artifacts, slot order
+  runner::RunReport run_report;
+};
+
+class LiveReport {
+ public:
+  explicit LiveReport(LiveReportConfig config) : config_(std::move(config)) {}
+
+  using EpochCallback = std::function<void(const EpochReport&)>;
+
+  // Runs the whole window, invoking `callback` (if set) after each epoch,
+  // and returns the final epoch's report. Single-use.
+  EpochReport run(const EpochCallback& callback = {});
+
+  [[nodiscard]] const LiveReportConfig& config() const noexcept { return config_; }
+
+ private:
+  LiveReportConfig config_;
+};
+
+}  // namespace cw::stream

@@ -1,0 +1,38 @@
+#include "stream/snapshot.h"
+
+namespace cw::stream {
+
+namespace {
+
+capture::SessionFrame build_segment_frame(const capture::EventStore& store,
+                                          const topology::Deployment& deployment,
+                                          const VerdictFactory& verdict,
+                                          runner::ThreadPool* pool) {
+  capture::SessionFrame::BuildOptions options;
+  options.pool = pool;
+  if (verdict) options.verdict = verdict(store);
+  return capture::SessionFrame::build(store, deployment, std::move(options));
+}
+
+}  // namespace
+
+Segment::Segment(std::uint64_t id, std::uint64_t base, capture::EventStore&& store,
+                 const topology::Deployment& deployment, const VerdictFactory& verdict,
+                 runner::ThreadPool* pool)
+    : id_(id),
+      base_(base),
+      store_(std::move(store)),
+      frame_(build_segment_frame(store_, deployment, verdict, pool)) {}
+
+EpochSnapshot EpochSnapshot::extend(const EpochSnapshot& prev,
+                                    std::shared_ptr<const Segment> segment) {
+  EpochSnapshot next;
+  next.epoch_ = prev.epoch_ + 1;
+  next.size_ = prev.size_ + segment->size();
+  next.segments_.reserve(prev.segments_.size() + 1);
+  next.segments_ = prev.segments_;
+  next.segments_.push_back(std::move(segment));
+  return next;
+}
+
+}  // namespace cw::stream

@@ -1,0 +1,101 @@
+// Epoch snapshots: the immutable read side of the stream subsystem.
+//
+// A live run seals what arrived during each wall-clock slice into a Segment
+// — a frozen EventStore plus the SessionFrame built over it once — and
+// publishes the growing corpus as an EpochSnapshot: a persistent
+// (shared-structure) list of segments. Snapshots are values: epoch k+1
+// shares every segment with epoch k and appends one, so readers holding an
+// older snapshot keep a consistent corpus view at zero copy cost while the
+// ingest side moves on.
+//
+// Determinism contract: a segment's record order is fixed by the seal
+// (shard-major; see stream::IngestShards), its frame build is deterministic
+// at any pool size (capture::SessionFrame), and the segment list is ordered
+// by epoch. Everything derived per segment — frames, the per-segment
+// partial tables in analysis::SegmentedTableCache — is therefore
+// byte-reproducible for a fixed (shard count, epoch slicing), and the
+// *merged* statistics are additionally invariant across slicings because
+// they aggregate over text-keyed exact counts (see table_cache.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "capture/frame.h"
+#include "capture/store.h"
+#include "topology/deployment.h"
+
+namespace cw::runner {
+class ThreadPool;
+}  // namespace cw::runner
+
+namespace cw::stream {
+
+// Builds the verdict column of a segment's frame. The classifier needs the
+// owning store to resolve interned payload ids, and the store does not exist
+// until the seal — so the ingest layer takes a factory and invokes it with
+// the freshly sealed store (the stream driver closes over its
+// MaliciousClassifier here).
+using VerdictFactory =
+    std::function<capture::SessionFrame::VerdictFn(const capture::EventStore&)>;
+
+// One sealed epoch of capture: the frozen record store and its columnar
+// frame, built exactly once at seal time and reused by every snapshot (and
+// every SegmentedTableCache partial) that includes this segment. Immovable:
+// the frame pins the store in place.
+class Segment {
+ public:
+  // `store` is frozen and projected during construction. `base` is the
+  // segment's record offset within the cumulative corpus (sum of earlier
+  // segment sizes). An empty `verdict` factory leaves the frame without a
+  // verdict column.
+  Segment(std::uint64_t id, std::uint64_t base, capture::EventStore&& store,
+          const topology::Deployment& deployment, const VerdictFactory& verdict,
+          runner::ThreadPool* pool = nullptr);
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+  [[nodiscard]] const capture::EventStore& store() const noexcept { return store_; }
+  [[nodiscard]] const capture::SessionFrame& frame() const noexcept { return frame_; }
+
+ private:
+  std::uint64_t id_;
+  std::uint64_t base_;
+  capture::EventStore store_;  // declared before frame_: the frame borrows it
+  capture::SessionFrame frame_;
+};
+
+// An immutable view of the corpus after some epoch: the ordered segment
+// list, the epoch number, and the total record count. Cheap to copy (the
+// segments are shared), safe to read from any thread, never invalidated by
+// later seals.
+class EpochSnapshot {
+ public:
+  // Epoch zero: no segments, no records.
+  EpochSnapshot() = default;
+
+  // The successor snapshot: `prev`'s segments plus one newly sealed segment.
+  [[nodiscard]] static EpochSnapshot extend(const EpochSnapshot& prev,
+                                            std::shared_ptr<const Segment> segment);
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  // Total records across all segments.
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::vector<std::shared_ptr<const Segment>>& segments() const noexcept {
+    return segments_;
+  }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::uint64_t size_ = 0;
+  std::vector<std::shared_ptr<const Segment>> segments_;
+};
+
+}  // namespace cw::stream

@@ -221,6 +221,68 @@ TEST(Dataset, EmptyStoreRoundTrips) {
   EXPECT_EQ(loaded->size(), 0u);
 }
 
+EventStore make_second_store() {
+  EventStore store;
+  SessionRecord record;
+  record.time = 777;
+  record.src = 42;
+  record.port = 23;
+  record.vantage = 3;
+  store.append(record, "telnet-banner", proto::Credential{"admin", "admin"});
+  return store;
+}
+
+TEST(Dataset, SegmentsRoundTripBackToBack) {
+  const EventStore first = make_store();
+  const EventStore second = make_second_store();
+  const EventStore empty;  // an epoch with no captured records still seals
+
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset_segments({&first, &second, &empty}, buffer));
+  const auto loaded = read_dataset_segments(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].size(), first.size());
+  EXPECT_EQ((*loaded)[1].size(), second.size());
+  EXPECT_EQ((*loaded)[2].size(), 0u);
+  EXPECT_EQ((*loaded)[0].distinct_payloads(), first.distinct_payloads());
+  EXPECT_EQ((*loaded)[1].payload((*loaded)[1].records()[0].payload_id), "telnet-banner");
+  EXPECT_EQ((*loaded)[1].credential((*loaded)[1].records()[0].credential_id).username, "admin");
+}
+
+TEST(Dataset, SegmentsEmptyStreamIsZeroSegments) {
+  std::stringstream buffer;
+  const auto loaded = read_dataset_segments(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(Dataset, SegmentsRejectGarbageAtBoundary) {
+  const EventStore first = make_store();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(first, buffer));
+  // A well-formed first segment followed by bytes that are not a segment
+  // header must fail the whole read — not silently return one segment.
+  std::stringstream corrupted(buffer.str() + "NOPE garbage");
+  EXPECT_FALSE(read_dataset_segments(corrupted).has_value());
+}
+
+TEST(Dataset, SegmentsRejectTruncatedSecondSegment) {
+  const EventStore first = make_store();
+  const EventStore second = make_second_store();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset_segments({&first, &second}, buffer));
+  const std::string full = buffer.str();
+  std::stringstream first_only;
+  ASSERT_TRUE(write_dataset(first, first_only));
+  const std::size_t boundary = first_only.str().size();
+  // Cut inside the second segment: after its magic, and just before its end.
+  for (const std::size_t cut : {boundary + 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(read_dataset_segments(truncated).has_value()) << "cut at " << cut;
+  }
+}
+
 TEST(Dataset, CsvExportContainsAnnotatedRows) {
   topology::Deployment deployment;
   topology::VantagePoint vp0;

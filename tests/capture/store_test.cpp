@@ -133,6 +133,76 @@ TEST(EventStore, PinCountingBalances) {
   EXPECT_EQ(store.reader_pins(), 0);
 }
 
+TEST(EventStore, MoveTransfersIndexEpochAndUidCoherently) {
+  EventStore store;
+  store.append(record_at(3), "payload", std::nullopt);
+  store.freeze();
+  const std::uint64_t uid = store.uid();
+  const std::uint64_t epoch = store.index_epoch();
+
+  // Regression: the old compiler-generated moves left the index-validity
+  // flag, epoch, and uid behind, so the moved-to store either rebuilt a
+  // valid index from scratch (epoch churn) or — worse — a uid-keyed
+  // memoization kept serving verdicts for ids the dead store interned.
+  EventStore moved = std::move(store);
+  EXPECT_EQ(moved.uid(), uid);
+  EXPECT_EQ(moved.index_epoch(), epoch);
+  EXPECT_EQ(moved.for_vantage(3).size(), 1u);
+  // Still the same epoch: the index came across valid, no rebuild happened.
+  EXPECT_EQ(moved.index_epoch(), epoch);
+
+  // The moved-from store is a coherent empty store with a fresh identity:
+  // new uid (its interned-id space is gone), invalid index, bumped epoch so
+  // any surviving derived structure reads as detached.
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_NE(store.uid(), uid);
+  EXPECT_GT(store.index_epoch(), epoch);
+  EXPECT_EQ(store.reader_pins(), 0);
+  EXPECT_TRUE(store.for_vantage(3).empty());
+}
+
+TEST(EventStore, MoveAssignmentTransfersReadState) {
+  EventStore source;
+  source.append(record_at(1), {}, std::nullopt);
+  source.append(record_at(1), {}, std::nullopt);
+  source.freeze();
+  const std::uint64_t uid = source.uid();
+  const std::uint64_t epoch = source.index_epoch();
+
+  EventStore target;
+  target.append(record_at(9), {}, std::nullopt);
+  target.freeze();
+  target = std::move(source);
+  EXPECT_EQ(target.uid(), uid);
+  EXPECT_EQ(target.index_epoch(), epoch);
+  EXPECT_EQ(target.for_vantage(1).size(), 2u);
+  EXPECT_TRUE(target.for_vantage(9).empty());
+  EXPECT_EQ(source.size(), 0u);
+  EXPECT_NE(source.uid(), uid);
+}
+
+TEST(EventStore, UidsAreDistinctAcrossStores) {
+  EventStore a;
+  EventStore b;
+  EXPECT_NE(a.uid(), b.uid());
+}
+
+#ifndef NDEBUG
+TEST(EventStoreDeathTest, MovingAPinnedStoreAsserts) {
+  // A pinned reader (a SessionFrame) holds spans into the store; moving it
+  // out from under the reader is a logic error the debug build traps.
+  EXPECT_DEATH(
+      {
+        EventStore store;
+        store.append(record_at(1), {}, std::nullopt);
+        store.pin_readers();
+        EventStore moved = std::move(store);
+        static_cast<void>(moved);
+      },
+      "pin");
+}
+#endif
+
 TEST(EventStore, ConcurrentForVantageReadersSeeOneConsistentIndex) {
   // Simulation phase: single-threaded appends across a few vantages.
   EventStore store;
