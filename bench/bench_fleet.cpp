@@ -1,0 +1,90 @@
+// Benchmarks the runner::Fleet campaign harness: throughput of the two
+// bundled campaigns (DESIGN.md §6 ablation grid and §4 calibration sweep)
+// at 1/2/4/8 workers, reported as cells per minute, plus the per-cell
+// memory high-water mark via getrusage ru_maxrss. The ablation campaign
+// stresses corpus sharing (6 cells, 1 simulation); the calibration
+// campaign stresses concurrent simulation groups (6 cells, 6 simulations).
+//
+// Environment knobs: CW_SCALE (default 0.3 here — campaign-sized, lighter
+// than the single-experiment benches), CW_T24, CW_JOBS.
+#include "bench_common.h"
+
+#include <sys/resource.h>
+
+#include "runner/fleet.h"
+#include "runner/sweep.h"
+
+namespace cw::bench {
+namespace {
+
+runner::CampaignParams fleet_params() {
+  runner::CampaignParams params;
+  params.scale = env_scale(0.3);
+  params.telescope_slash24s = env_telescope_slash24s();
+  return params;
+}
+
+long maxrss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+void bm_campaign(benchmark::State& state, const runner::Campaign& campaign) {
+  auto jobs = static_cast<unsigned>(state.range(0));
+  if (jobs == 0) jobs = env_jobs();
+  runner::ThreadPool pool(jobs);
+  const runner::Fleet fleet(pool);
+  const long rss_before_kb = maxrss_kb();
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const std::vector<runner::CellResult> results = fleet.run(campaign);
+    benchmark::DoNotOptimize(results.size());
+    cells += results.size();
+  }
+  state.counters["jobs"] = jobs;
+  state.counters["cells_per_min"] =
+      benchmark::Counter(static_cast<double>(cells) * 60.0, benchmark::Counter::kIsRate);
+  // High-water growth attributable to the campaign runs, amortised per cell.
+  // ru_maxrss is monotone, so later (wider) worker counts only register when
+  // concurrent simulation groups genuinely push the peak higher.
+  const long growth_kb = maxrss_kb() - rss_before_kb;
+  state.counters["cell_hiwater_mb"] =
+      static_cast<double>(growth_kb) / 1024.0 / static_cast<double>(campaign.cells.size());
+  state.counters["proc_maxrss_mb"] = static_cast<double>(maxrss_kb()) / 1024.0;
+}
+
+void bm_fleet_ablation(benchmark::State& state) {
+  bm_campaign(state, runner::make_ablation_campaign(fleet_params()));
+}
+BENCHMARK(bm_fleet_ablation)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void bm_fleet_calibration(benchmark::State& state) {
+  bm_campaign(state, runner::make_calibration_campaign(fleet_params()));
+}
+BENCHMARK(bm_fleet_calibration)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// The seeding primitive itself, for the record: deriving a cell seed is two
+// splitmix64 passes over the campaign seed and a label hash.
+void bm_cell_seed(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc ^= runner::Fleet::cell_seed(acc + 0x636c6f7564666cULL, "calibration/alpha/x0.60");
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(bm_cell_seed);
+
+std::string ablation_report() {
+  runner::ThreadPool pool(env_jobs());
+  const runner::Fleet fleet(pool);
+  const runner::Campaign campaign = runner::make_ablation_campaign(fleet_params());
+  return runner::SweepReport::render(campaign, fleet.run(campaign));
+}
+
+}  // namespace
+}  // namespace cw::bench
+
+CW_BENCH_MAIN(cw::bench::ablation_report())

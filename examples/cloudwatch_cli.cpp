@@ -4,6 +4,8 @@
 //   cloudwatch_cli export  [--scale S] [--t24 N] [--year Y] --out FILE [--csv FILE]
 //   cloudwatch_cli inspect --in FILE
 //   cloudwatch_cli watch   [--scale S] [--t24 N] [--year Y] [--epochs K] [--shards M] [--jobs N]
+//   cloudwatch_cli sweep   CAMPAIGN [--scale S] [--t24 N] [--year Y] [--jobs N]
+//                          [--cell LABEL] [--cells-dir DIR]
 //
 // `report` runs an experiment and prints the requested tables (default:
 // all). `export` additionally persists the captured traffic — the analog of
@@ -11,7 +13,12 @@
 // as CSV. `inspect` summarizes a previously exported dataset. `watch` runs
 // the window as a continuously-serving stream: ingest is sealed into an
 // epoch segment every window/K of simulated time and the paper tables are
-// re-rendered incrementally after each seal (src/stream).
+// re-rendered incrementally after each seal (src/stream). `sweep` runs a
+// named campaign (`ablation` or `calibration`) through runner::Fleet and
+// prints the cross-cell findings matrix; `--cell` reruns one cell
+// standalone (byte-identical to its in-fleet per-cell block) and
+// `--cells-dir` writes each cell's block to DIR for that comparison (the
+// check.sh fleet tier).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,10 +28,15 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "capture/dataset.h"
 #include "capture/pcap.h"
 #include "core/experiment.h"
 #include "core/tables.h"
+#include "runner/fleet.h"
+#include "runner/sweep.h"
+#include "runner/thread_pool.h"
 #include "stream/live_report.h"
 
 namespace {
@@ -44,6 +56,9 @@ struct Options {
   std::size_t epochs = 4;
   std::size_t shards = 4;
   unsigned jobs = 1;
+  std::string campaign;
+  std::string cell;
+  std::string cells_dir;
 };
 
 void usage() {
@@ -54,7 +69,10 @@ void usage() {
                "       cloudwatch_cli inspect --in FILE\n"
                "       cloudwatch_cli watch [--scale S] [--t24 N] [--year Y] [--epochs K]"
                " [--shards M] [--jobs N]\n"
-               "tables: 1 2 4 5 6 7 8 9 10 11 17 sec32 fig1\n");
+               "       cloudwatch_cli sweep CAMPAIGN [--scale S] [--t24 N] [--year Y] [--jobs N]"
+               " [--cell LABEL] [--cells-dir DIR]\n"
+               "tables: 1 2 4 5 6 7 8 9 10 11 17 sec32 fig1\n"
+               "campaigns: ablation calibration\n");
 }
 
 bool parse(int argc, char** argv, Options& options) {
@@ -115,6 +133,17 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (v == nullptr || std::atoi(v) < 0) return false;
       options.jobs = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--cell") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.cell = v;
+    } else if (arg == "--cells-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.cells_dir = v;
+    } else if (!arg.empty() && arg[0] != '-' && options.command == "sweep" &&
+               options.campaign.empty()) {
+      options.campaign = arg;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -270,6 +299,71 @@ int cmd_watch(const Options& options) {
   return failed ? 1 : 0;
 }
 
+// Cell labels may contain '/': flatten them for per-cell filenames.
+std::string cell_file_name(const std::string& label) {
+  std::string name = label;
+  for (char& c : name) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  return name + ".md";
+}
+
+int cmd_sweep(const Options& options) {
+  cw::runner::CampaignParams params;
+  params.scale = options.scale;
+  params.telescope_slash24s = options.telescope_slash24s;
+  params.year = options.year;
+  cw::runner::Campaign campaign;
+  if (options.campaign == "ablation") {
+    campaign = cw::runner::make_ablation_campaign(params);
+  } else if (options.campaign == "calibration") {
+    campaign = cw::runner::make_calibration_campaign(params);
+  } else {
+    usage();
+    return 1;
+  }
+  if (!options.cell.empty()) {
+    // Standalone cell rerun: a one-cell campaign with the same campaign
+    // seed. Fleet::cell_seed depends only on (campaign seed, sim_label), so
+    // this reproduces the in-fleet corpus — and bytes — exactly.
+    std::vector<cw::runner::FleetCell> kept;
+    for (cw::runner::FleetCell& cell : campaign.cells) {
+      if (cell.label == options.cell) kept.push_back(std::move(cell));
+    }
+    if (kept.empty()) {
+      std::fprintf(stderr, "unknown cell: %s\n", options.cell.c_str());
+      return 1;
+    }
+    campaign.cells = std::move(kept);
+  }
+  std::fprintf(stderr, "sweeping %s (%zu cells, scale %.2f, telescope %d /24s, jobs %u)...\n",
+               campaign.name.c_str(), campaign.cells.size(), options.scale,
+               options.telescope_slash24s, options.jobs);
+  cw::runner::ThreadPool pool(options.jobs);
+  const cw::runner::Fleet fleet(pool);
+  const std::vector<cw::runner::CellResult> results = fleet.run(campaign);
+  if (!options.cells_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.cells_dir, ec);
+    for (const cw::runner::CellResult& cell : results) {
+      const std::filesystem::path path =
+          std::filesystem::path(options.cells_dir) / cell_file_name(cell.label);
+      std::ofstream file(path);
+      if (!file) {
+        std::fprintf(stderr, "failed to write %s\n", path.string().c_str());
+        return 1;
+      }
+      file << cw::runner::render_cell(cell);
+    }
+  }
+  if (!options.cell.empty()) {
+    std::printf("%s", cw::runner::render_cell(results.front()).c_str());
+    return 0;
+  }
+  std::printf("%s", cw::runner::SweepReport::render(campaign, results).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -282,6 +376,7 @@ int main(int argc, char** argv) {
   if (options.command == "export") return cmd_export(options);
   if (options.command == "inspect") return cmd_inspect(options);
   if (options.command == "watch") return cmd_watch(options);
+  if (options.command == "sweep") return cmd_sweep(options);
   usage();
   return 1;
 }

@@ -1,0 +1,65 @@
+// fleet_sweep — runs the two bundled campaigns through runner::Fleet and
+// prints their cross-cell findings matrices: the DESIGN.md §6 ablation grid
+// (one simulation, top-k × Bonferroni analysis variants) and the §4
+// calibration-sensitivity sweep (seed × scale simulation grid, paper-default
+// analysis). The robustness question the matrices answer: which paper
+// findings are properties of attacker policy, and which move when the
+// statistical recipe or the population draw moves?
+//
+//   fleet_sweep [--scale S] [--t24 N] [--jobs N] [ablation|calibration]
+//
+// With no campaign argument both run, ablation first.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runner/fleet.h"
+#include "runner/sweep.h"
+#include "runner/thread_pool.h"
+
+int main(int argc, char** argv) {
+  cw::runner::CampaignParams params;
+  params.scale = 0.3;
+  params.telescope_slash24s = 16;
+  unsigned jobs = 1;
+  std::vector<std::string> names;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return 1;
+      params.scale = std::atof(v);
+    } else if (arg == "--t24") {
+      const char* v = next();
+      if (v == nullptr) return 1;
+      params.telescope_slash24s = std::atoi(v);
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      const auto parsed = cw::runner::parse_jobs(v);
+      if (!parsed.has_value()) return 1;
+      jobs = *parsed;
+    } else if (arg == "ablation" || arg == "calibration") {
+      names.push_back(arg);
+    } else {
+      std::fprintf(stderr,
+                   "usage: fleet_sweep [--scale S] [--t24 N] [--jobs N]"
+                   " [ablation|calibration]\n");
+      return 1;
+    }
+  }
+  if (names.empty()) names = {"ablation", "calibration"};
+
+  cw::runner::ThreadPool pool(jobs);
+  const cw::runner::Fleet fleet(pool);
+  for (const std::string& name : names) {
+    const cw::runner::Campaign campaign = name == "ablation"
+                                              ? cw::runner::make_ablation_campaign(params)
+                                              : cw::runner::make_calibration_campaign(params);
+    std::fprintf(stderr, "running %s (%zu cells)...\n", name.c_str(), campaign.cells.size());
+    const std::vector<cw::runner::CellResult> results = fleet.run(campaign);
+    std::printf("%s", cw::runner::SweepReport::render(campaign, results).c_str());
+  }
+  return 0;
+}

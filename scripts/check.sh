@@ -9,7 +9,9 @@
 #   scripts/check.sh stream     # live_report == full_report at several epoch
 #                               # slicings/shard counts/worker counts (+ golden md5)
 #   scripts/check.sh bench      # frame-vs-full-scan numbers (bench_runner_pipelines)
-#   scripts/check.sh all        # tier-1 + asan + tsan + determinism + stream
+#   scripts/check.sh fleet      # sweep campaigns byte-identical at --jobs 1/2/8,
+#                               # in-fleet cell == standalone --cell rerun
+#   scripts/check.sh all        # tier-1 + asan + tsan + determinism + stream + fleet
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -125,6 +127,47 @@ bench() {
            --benchmark_min_time=0.5
 }
 
+fleet() {
+  # The Fleet determinism contract: a campaign's sweep report (and every
+  # per-cell file) is byte-identical at any worker count, and any single
+  # cell rerun standalone (--cell) reproduces its in-fleet per-cell file
+  # byte-for-byte — cell seeds derive from (campaign seed, sim label), never
+  # from scheduling position.
+  cmake --build "$ROOT/build" -j "$JOBS" --target cloudwatch_cli
+  local cli="$ROOT/build/examples/cloudwatch_cli"
+  [ -x "$cli" ] || cli="$ROOT/build/cloudwatch_cli"
+  local scale="${CW_CHECK_FLEET_SCALE:-0.15}" t24="${CW_CHECK_FLEET_T24:-8}"
+  local work campaign jobs
+  work=$(mktemp -d)
+  for campaign in ablation calibration; do
+    for jobs in 1 2 8; do
+      "$cli" sweep "$campaign" --scale "$scale" --t24 "$t24" --jobs "$jobs" \
+        --cells-dir "$work/$campaign-j$jobs" >"$work/$campaign-j$jobs.md" 2>/dev/null
+    done
+    for jobs in 2 8; do
+      if ! diff -q "$work/$campaign-j1.md" "$work/$campaign-j$jobs.md" ||
+         ! diff -rq "$work/$campaign-j1" "$work/$campaign-j$jobs"; then
+        echo "fleet: $campaign sweep diverged between --jobs 1 and --jobs $jobs" >&2
+        rm -rf "$work"
+        return 1
+      fi
+    done
+  done
+  # Standalone rerun of one cell from each campaign vs its in-fleet file.
+  "$cli" sweep ablation --scale "$scale" --t24 "$t24" --jobs 1 \
+    --cell "k5-bonf" >"$work/solo-ablation.md" 2>/dev/null
+  "$cli" sweep calibration --scale "$scale" --t24 "$t24" --jobs 1 \
+    --cell "beta/x0.60" >"$work/solo-calibration.md" 2>/dev/null
+  if ! diff -q "$work/solo-ablation.md" "$work/ablation-j1/k5-bonf.md" ||
+     ! diff -q "$work/solo-calibration.md" "$work/calibration-j1/beta_x0.60.md"; then
+    echo "fleet: standalone --cell rerun diverged from in-fleet per-cell file" >&2
+    rm -rf "$work"
+    return 1
+  fi
+  rm -rf "$work"
+  echo "fleet: sweeps byte-identical at --jobs 1/2/8; standalone cells match in-fleet (scale $scale, t24 $t24)"
+}
+
 case "${1:-tier1}" in
   tier1) tier1 ;;
   asan) asan ;;
@@ -132,6 +175,7 @@ case "${1:-tier1}" in
   determinism) determinism ;;
   stream) stream ;;
   bench) bench ;;
-  all) tier1; asan; tsan; determinism; stream ;;
-  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|bench|all]" >&2; exit 2 ;;
+  fleet) fleet ;;
+  all) tier1; asan; tsan; determinism; stream; fleet ;;
+  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|bench|fleet|all]" >&2; exit 2 ;;
 esac

@@ -55,6 +55,7 @@ LiveExperiment::LiveExperiment(ExperimentConfig config)
       result_(std::make_unique<ExperimentResult>()),
       engine_(std::make_unique<sim::Engine>()) {
   ExperimentResult* result = result_.get();
+  result->config_ = config_;
 
   topology::DeploymentConfig deployment_config;
   deployment_config.year = config_.year;

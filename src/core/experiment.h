@@ -53,6 +53,10 @@ struct ExperimentConfig {
 // borrow freely.
 class ExperimentResult {
  public:
+  // The configuration the run was built from (seed included). Lets corpus
+  // consumers that only see the result — fleet cells, table renderers,
+  // benches — report provenance without threading the config separately.
+  [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
   [[nodiscard]] const topology::Deployment& deployment() const noexcept { return deployment_; }
   [[nodiscard]] const topology::TargetUniverse& universe() const noexcept { return *universe_; }
   // The record source every analysis reads. Normally the collector's store;
@@ -107,6 +111,7 @@ class ExperimentResult {
  private:
   friend class Experiment;
   friend class LiveExperiment;
+  ExperimentConfig config_;
   topology::Deployment deployment_;
   std::unique_ptr<topology::TargetUniverse> universe_;
   std::unique_ptr<capture::Collector> collector_;

@@ -1,0 +1,117 @@
+#include "runner/fleet.h"
+
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "runner/thread_pool.h"
+#include "util/rng.h"
+
+namespace cw::runner {
+
+std::uint64_t Fleet::cell_seed(std::uint64_t campaign_seed, std::string_view sim_label) noexcept {
+  return util::Rng(campaign_seed).stream(sim_label).seed();
+}
+
+std::vector<CellResult> Fleet::run(const Campaign& campaign) const {
+  // Group cells by simulation identity, preserving first-appearance order
+  // so the grouping (and therefore the schedule shape) is a function of the
+  // campaign alone.
+  struct Group {
+    std::string_view sim_label;
+    std::vector<std::size_t> cells;  // indices into campaign.cells
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::string_view, std::size_t> group_of;
+  for (std::size_t i = 0; i < campaign.cells.size(); ++i) {
+    const std::string_view sim_label = campaign.cells[i].sim_label;
+    const auto [it, inserted] = group_of.try_emplace(sim_label, groups.size());
+    if (inserted) groups.push_back(Group{sim_label, {}});
+    groups[it->second].cells.push_back(i);
+  }
+
+  std::vector<CellResult> results(campaign.cells.size());
+  // One pool task per simulation group: the engine runs to the end of its
+  // window, then the group's cells extract their findings sequentially over
+  // the shared result. Nested fan-out (frame builds, pair sharding) uses
+  // parallel_for, which is nest-safe, so groups neither deadlock nor
+  // serialize behind each other's table builds.
+  pool_->parallel_for(groups.size(), [&](std::size_t g) {
+    const Group& group = groups[g];
+    core::ExperimentConfig config = campaign.cells[group.cells.front()].config;
+    config.seed = cell_seed(campaign.seed, group.sim_label);
+    core::LiveExperiment live(config);
+    live.advance_to(config.duration);
+    const std::unique_ptr<core::ExperimentResult> result = live.take();
+    for (const std::size_t index : group.cells) {
+      const FleetCell& cell = campaign.cells[index];
+      CellResult& out = results[index];
+      out.label = cell.label;
+      out.sim_label = cell.sim_label;
+      out.seed = result->config().seed;
+      out.records = result->store().size();
+      out.events = result->events_processed();
+      out.findings = extract_findings(*result, cell.analysis, pool_);
+    }
+    // `result` (engine corpus, frame, cached tables) is released here, so a
+    // fleet's memory high-water tracks the widest concurrent group set, not
+    // the whole campaign (bench_fleet measures this).
+  });
+  return results;
+}
+
+namespace {
+
+std::string format_topk_label(std::size_t top_k, bool bonferroni) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "k%zu%s", top_k, bonferroni ? "+bonf" : "-bonf");
+  return buffer;
+}
+
+}  // namespace
+
+Campaign make_ablation_campaign(const CampaignParams& params) {
+  Campaign campaign;
+  campaign.name = "ablation";
+  campaign.seed = params.seed;
+  core::ExperimentConfig config;
+  config.scale = params.scale;
+  config.telescope_slash24s = params.telescope_slash24s;
+  config.year = params.year;
+  for (const std::size_t top_k : {std::size_t{3}, std::size_t{5}, std::size_t{100}}) {
+    for (const bool bonferroni : {true, false}) {
+      FleetCell cell;
+      cell.label = format_topk_label(top_k, bonferroni);
+      cell.sim_label = "base";  // every variant reads the same corpus
+      cell.config = config;
+      cell.analysis.top_k = top_k;
+      cell.analysis.use_bonferroni = bonferroni;
+      campaign.cells.push_back(std::move(cell));
+    }
+  }
+  return campaign;
+}
+
+Campaign make_calibration_campaign(const CampaignParams& params) {
+  Campaign campaign;
+  campaign.name = "calibration";
+  campaign.seed = params.seed;
+  for (const std::string_view seed_stream : {"alpha", "beta", "gamma"}) {
+    for (const double multiplier : {1.0, 0.6}) {
+      FleetCell cell;
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s/x%.2f", std::string(seed_stream).c_str(),
+                    multiplier);
+      cell.label = label;
+      cell.sim_label = label;  // every cell is its own simulation
+      cell.config.scale = params.scale * multiplier;
+      cell.config.telescope_slash24s = params.telescope_slash24s;
+      cell.config.year = params.year;
+      campaign.cells.push_back(std::move(cell));
+    }
+  }
+  return campaign;
+}
+
+}  // namespace cw::runner

@@ -1,0 +1,108 @@
+// runner::Fleet — the scenario sweep harness. Executes a campaign's matrix
+// of independent experiments (scenario config × seed × scale cells, plus
+// analysis-only variants layered on each simulation) through the shared
+// nest-safe ThreadPool and reduces every cell to its paper-finding verdicts
+// (sweep.h).
+//
+// Grid shape. A cell names a simulation (`sim_label`) and an analysis
+// variant (AnalysisOptions). Cells with *distinct* sim_labels get one
+// sim::Engine each, run via core::LiveExperiment on a pool task; cells that
+// share a sim_label — the DESIGN.md §6 ablation grid, where only the
+// statistics knobs move — share one simulated ExperimentResult and its
+// cached frame/tables, so the corpus is simulated and columnarized once per
+// sim, not once per cell.
+//
+// Determinism contract (enforced by `scripts/check.sh fleet`):
+//   - Per-cell seeding is positional-independent: the cell's experiment
+//     seed is Rng(campaign.seed).stream(sim_label).seed() — a pure function
+//     of the campaign seed and the cell's own label, never of cell order,
+//     worker count, or which other cells run.
+//   - Simulation groups run concurrently, but each group's cells extract
+//     findings sequentially inside the group's task, and all results land
+//     in pre-assigned slots (campaign cell order). Nested table builds
+//     shard through the pool, whose merges are exact-count and
+//     order-independent — so fleet output is byte-identical at any --jobs,
+//     and any cell rerun in isolation (a one-cell campaign with the same
+//     campaign seed) reproduces its in-fleet bytes exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.h"
+#include "runner/sweep.h"
+
+namespace cw::runner {
+
+class ThreadPool;
+
+// One cell of the sweep grid.
+struct FleetCell {
+  std::string label;      // unique within the campaign; names the cell everywhere
+  std::string sim_label;  // simulation identity; equal labels share one engine
+  // Simulation shape (scale, telescope size, year, duration, ...). `seed`
+  // is overwritten by Fleet::run with cell_seed(); cells sharing a
+  // sim_label must carry identical configs (the first cell's is used).
+  core::ExperimentConfig config;
+  AnalysisOptions analysis;
+};
+
+struct Campaign {
+  std::string name;
+  std::uint64_t seed = 0x636c6f7564666cULL;  // campaign master seed
+  std::vector<FleetCell> cells;
+};
+
+// A finished cell: provenance plus the seven finding verdicts.
+struct CellResult {
+  std::string label;
+  std::string sim_label;
+  std::uint64_t seed = 0;     // the derived per-sim experiment seed
+  std::uint64_t records = 0;  // corpus size the findings were extracted from
+  std::uint64_t events = 0;   // engine events processed by the simulation
+  CellFindings findings{};
+};
+
+class Fleet {
+ public:
+  explicit Fleet(ThreadPool& pool) noexcept : pool_(&pool) {}
+
+  // Runs every cell of the campaign; returns results in campaign cell
+  // order regardless of scheduling. Safe to call repeatedly (each run is
+  // independent); not safe to call concurrently on one Fleet from multiple
+  // threads that share the pool's wait_idle discipline.
+  [[nodiscard]] std::vector<CellResult> run(const Campaign& campaign) const;
+
+  // The per-cell experiment seed: pure function of campaign seed and the
+  // cell's simulation label (see the determinism contract above).
+  [[nodiscard]] static std::uint64_t cell_seed(std::uint64_t campaign_seed,
+                                               std::string_view sim_label) noexcept;
+
+ private:
+  ThreadPool* pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Named campaigns (the first two shipped grids; `cloudwatch_cli sweep`).
+
+struct CampaignParams {
+  double scale = 0.3;            // base population scale
+  int telescope_slash24s = 16;   // telescope size in /24s
+  std::uint64_t seed = 0x636c6f7564666cULL;
+  topology::ScenarioYear year = topology::ScenarioYear::k2021;
+};
+
+// DESIGN.md §6 ablation grid: one simulation, analysis variants
+// top-k {3, 5, 100} × Bonferroni {on, off} — how much of each finding is an
+// artifact of the statistical recipe rather than of attacker policy.
+Campaign make_ablation_campaign(const CampaignParams& params = {});
+
+// DESIGN.md §4 calibration-sensitivity sweep: the paper's qualitative
+// findings must be properties of the calibrated agent policies, not of one
+// lucky seed or population size. Three seed streams × two scales
+// (params.scale and 0.6×), fixed paper-default analysis.
+Campaign make_calibration_campaign(const CampaignParams& params = {});
+
+}  // namespace cw::runner

@@ -133,7 +133,8 @@ void ThreadPool::parallel_for(std::size_t n,
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<bool> failed{false};
-    std::mutex error_mutex;
+    std::mutex mutex;  // guards error capture and pairs with done_cv
+    std::condition_variable done_cv;
     std::exception_ptr error;
   };
   auto group = std::make_shared<Group>();
@@ -150,12 +151,18 @@ void ThreadPool::parallel_for(std::size_t n,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(group->error_mutex);
+        std::lock_guard<std::mutex> lock(group->mutex);
         if (!group->error) group->error = std::current_exception();
         group->failed.store(true, std::memory_order_release);
       }
     }
-    group->done.fetch_add(1, std::memory_order_release);
+    if (group->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      // Empty critical section pairs the increment with the caller's
+      // predicate check (same discipline as submit/work_cv_), so the notify
+      // cannot fire between the caller's last predicate read and its sleep.
+      { std::lock_guard<std::mutex> lock(group->mutex); }
+      group->done_cv.notify_all();
+    }
     return true;
   };
   // n - 1 wrappers: the caller runs at least one shard itself. A wrapper
@@ -167,9 +174,19 @@ void ThreadPool::parallel_for(std::size_t n,
   while (claim_one()) {
   }
   // Unclaimed-by-us shards may still be running on other workers; their
-  // runtime bounds this wait.
-  while (group->done.load(std::memory_order_acquire) != n) {
+  // runtime bounds this wait. Spin briefly for the common almost-done case,
+  // then sleep on the group's cv — an unbounded yield() loop burns a full
+  // timeslice per straggler shard on machines where the straggler needs the
+  // caller's core (the 1-vCPU CI box pays it on every nested fan-out).
+  constexpr int kSpinIterations = 256;
+  for (int spin = 0; spin < kSpinIterations; ++spin) {
+    if (group->done.load(std::memory_order_acquire) == n) break;
     std::this_thread::yield();
+  }
+  if (group->done.load(std::memory_order_acquire) != n) {
+    std::unique_lock<std::mutex> lock(group->mutex);
+    group->done_cv.wait(
+        lock, [&group, n] { return group->done.load(std::memory_order_acquire) == n; });
   }
   // The acquire wait above synchronizes with the release increment a failing
   // shard performs after recording its exception, so this read is safe.

@@ -21,6 +21,12 @@ void IngestShards::append(std::size_t shard, const capture::SessionRecord& recor
 EpochSnapshot IngestShards::seal_epoch(const topology::Deployment& deployment,
                                        const VerdictFactory& verdict,
                                        runner::ThreadPool* pool) {
+  // One sealer at a time: without this, two concurrent sealers would both
+  // read the same `previous` snapshot below and both extend it, silently
+  // dropping whichever segment published first. Shard appends are untouched
+  // (they only take the per-shard mutexes), so producers never stall behind
+  // a seal.
+  const std::lock_guard<std::mutex> seal_lock(seal_mutex_);
   // Drain shard-major: shard 0's buffer in append order, then shard 1's, ...
   // This total order — not the producers' interleaving — is what the segment
   // (and everything derived from it) is built over.

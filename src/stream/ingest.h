@@ -56,8 +56,9 @@ class IngestShards {
   // Buffers one captured record (payload/credential not yet interned —
   // interning happens against the segment store at seal time). Safe to call
   // from multiple producer threads concurrently, including on the same
-  // shard; must not race with seal_epoch on the same shard (the driver
-  // quiesces producers at epoch boundaries).
+  // shard, and concurrently with seal_epoch (the append lands in whichever
+  // epoch's drain observes it). Deterministic epoch *contents* additionally
+  // require the driver to quiesce producers at epoch boundaries.
   void append(std::size_t shard, const capture::SessionRecord& record, std::string_view payload,
               const std::optional<proto::Credential>& credential);
 
@@ -66,7 +67,10 @@ class IngestShards {
   // builds the segment frame (sharded through `pool` when given; `verdict`
   // supplies the frame's verdict column), and publishes the extended
   // snapshot. Returns the new snapshot; an epoch with no buffered records
-  // still seals (an empty segment keeps epoch numbering uniform).
+  // still seals (an empty segment keeps epoch numbering uniform). Safe to
+  // call from multiple threads: sealers are serialized on an internal seal
+  // mutex (each drains what is buffered at its turn), and shard appends
+  // proceed concurrently.
   EpochSnapshot seal_epoch(const topology::Deployment& deployment,
                            const VerdictFactory& verdict = {},
                            runner::ThreadPool* pool = nullptr);
@@ -95,6 +99,9 @@ class IngestShards {
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Serializes whole seal_epoch calls (drain + build + extend + publish):
+  // concurrent sealers must not extend the same `previous` snapshot.
+  std::mutex seal_mutex_;
   mutable std::mutex snapshot_mutex_;  // guards snapshot_ swaps (seal vs readers)
   EpochSnapshot snapshot_;
 };

@@ -1,7 +1,9 @@
 #include "util/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <utility>
 
 namespace cw::util {
 namespace {
@@ -116,26 +118,65 @@ double Rng::normal() noexcept {
 
 double Rng::normal(double mu, double sigma) noexcept { return mu + sigma * normal(); }
 
-std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
-  if (n <= 1) return 0;
-  // Rejection-inversion (Hörmann) would be overkill; the simulator draws
-  // Zipf ranks over modest n (ASes, credential dictionaries), so a direct
-  // inverse-CDF walk over harmonic weights is fine and exact.
-  double h = 0.0;
-  for (std::uint64_t k = 1; k <= n; ++k) h += 1.0 / std::pow(static_cast<double>(k), s);
-  double u = uniform() * h;
+namespace {
+
+// Cumulative harmonic weights for one (n, s) pair: cdf[k] is the partial sum
+// of i^-s for i = 1..k+1, accumulated in ascending order so cdf.back() is
+// bit-identical to the running normalizer the pre-cache implementation
+// recomputed per draw.
+struct ZipfTable {
+  std::uint64_t n = 0;
+  double s = 0.0;
+  std::vector<double> cdf;
+};
+
+const ZipfTable& zipf_table(std::uint64_t n, double s) {
+  // The simulator draws over a handful of distinct (n, s) pairs — AS
+  // popularity, credential dictionaries — so a tiny per-thread pool with
+  // linear lookup beats any map. thread_local keeps concurrent engines
+  // (one per fleet cell) from contending or racing on the cache.
+  constexpr std::size_t kMaxCachedTables = 16;
+  thread_local std::vector<ZipfTable> cache;
+  for (const ZipfTable& entry : cache) {
+    if (entry.n == n && entry.s == s) return entry;
+  }
+  ZipfTable entry;
+  entry.n = n;
+  entry.s = s;
+  entry.cdf.reserve(n);
   double acc = 0.0;
   for (std::uint64_t k = 1; k <= n; ++k) {
     acc += 1.0 / std::pow(static_cast<double>(k), s);
-    if (u <= acc) return k - 1;
+    entry.cdf.push_back(acc);
   }
-  return n - 1;
+  if (cache.size() >= kMaxCachedTables) cache.erase(cache.begin());
+  cache.push_back(std::move(entry));
+  return cache.back();
 }
 
-std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
+}  // namespace
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
+  if (n <= 1) return 0;
+  // Inverse CDF over cached cumulative weights. Exactly one uniform() is
+  // consumed per draw and the selected rank matches the former O(n)
+  // recompute-and-walk draw for draw: the cached partial sums are built with
+  // the identical ascending accumulation, and lower_bound returns the first
+  // index whose partial sum is >= u — the same index the linear walk's
+  // `u <= acc` test stopped at.
+  const ZipfTable& table = zipf_table(n, s);
+  const double u = uniform() * table.cdf.back();
+  const auto it = std::lower_bound(table.cdf.begin(), table.cdf.end(), u);
+  if (it == table.cdf.end()) return n - 1;
+  return static_cast<std::uint64_t>(it - table.cdf.begin());
+}
+
+std::optional<std::size_t> Rng::weighted_index(const std::vector<double>& weights) noexcept {
   double total = 0.0;
   for (double w : weights) total += w > 0.0 ? w : 0.0;
-  if (total <= 0.0) return weights.size();
+  // No uniform is consumed when there is nothing to choose: callers can
+  // branch on the sentinel without perturbing the draw sequence.
+  if (total <= 0.0) return std::nullopt;
   double u = uniform() * total;
   double acc = 0.0;
   for (std::size_t i = 0; i < weights.size(); ++i) {
@@ -143,7 +184,12 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
     acc += weights[i];
     if (u <= acc) return i;
   }
-  return weights.size() - 1;
+  // Floating-point slack pushed u past the last partial sum; pick the last
+  // positive-weight index (never a zero-weight element).
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return std::nullopt;
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) noexcept {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -65,16 +66,18 @@ class Rng {
   double normal(double mu, double sigma) noexcept;
 
   // Zipf-distributed rank in [0, n) with exponent s (> 0): rank 0 is the
-  // most popular. Uses inverse-CDF over precomputed weights when n is small
-  // and rejection sampling otherwise.
+  // most popular. Inverse CDF over cumulative harmonic weights cached per
+  // (n, s) in thread-local storage, so repeated draws inside agent hot loops
+  // cost one uniform plus a binary search instead of an O(n) recompute.
   std::uint64_t zipf(std::uint64_t n, double s) noexcept;
 
   // Picks a uniformly random element index for a container of given size.
   std::size_t index(std::size_t size) noexcept { return static_cast<std::size_t>(next_below(size)); }
 
-  // Picks an index according to non-negative weights. Returns weights.size()
-  // if all weights are zero or the vector is empty.
-  std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+  // Picks an index according to non-negative weights. Returns nullopt — and
+  // consumes no uniform — when the vector is empty or no weight is positive;
+  // a returned index always has positive weight.
+  std::optional<std::size_t> weighted_index(const std::vector<double>& weights) noexcept;
 
   // Fisher-Yates shuffle.
   template <typename T>

@@ -1,0 +1,151 @@
+#include "runner/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "runner/sweep.h"
+#include "runner/thread_pool.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace cw::runner {
+namespace {
+
+// A small, fast grid: two simulations, two analysis variants on the first.
+// Short window + tiny scale keeps this suite TSan-friendly.
+Campaign tiny_campaign() {
+  Campaign campaign;
+  campaign.name = "tiny";
+  campaign.seed = 0x7465737466ULL;
+  core::ExperimentConfig config;
+  config.scale = 0.1;
+  config.telescope_slash24s = 4;
+  config.duration = 2 * util::kDay;
+  for (const char* sim : {"simA", "simB"}) {
+    FleetCell cell;
+    cell.label = std::string(sim) + "/k3";
+    cell.sim_label = sim;
+    cell.config = config;
+    campaign.cells.push_back(cell);
+  }
+  FleetCell variant;  // shares simA's corpus, different analysis knobs
+  variant.label = "simA/k5";
+  variant.sim_label = "simA";
+  variant.config = config;
+  variant.analysis.top_k = 5;
+  variant.analysis.use_bonferroni = false;
+  campaign.cells.push_back(variant);
+  return campaign;
+}
+
+TEST(FleetSeed, IsPureFunctionOfCampaignSeedAndSimLabel) {
+  EXPECT_EQ(Fleet::cell_seed(42, "alpha"), util::Rng(42).stream("alpha").seed());
+  EXPECT_EQ(Fleet::cell_seed(42, "alpha"), Fleet::cell_seed(42, "alpha"));
+  EXPECT_NE(Fleet::cell_seed(42, "alpha"), Fleet::cell_seed(42, "beta"));
+  EXPECT_NE(Fleet::cell_seed(42, "alpha"), Fleet::cell_seed(43, "alpha"));
+}
+
+TEST(FleetCampaigns, AblationGridSharesOneSimulation) {
+  const Campaign campaign = make_ablation_campaign();
+  ASSERT_EQ(campaign.cells.size(), 6u);  // top-k {3,5,100} x bonferroni {on,off}
+  std::set<std::string> labels;
+  std::set<std::string> sims;
+  std::set<std::pair<std::size_t, bool>> variants;
+  for (const FleetCell& cell : campaign.cells) {
+    labels.insert(cell.label);
+    sims.insert(cell.sim_label);
+    variants.insert({cell.analysis.top_k, cell.analysis.use_bonferroni});
+  }
+  EXPECT_EQ(labels.size(), 6u);    // unique cell labels
+  EXPECT_EQ(sims.size(), 1u);      // one shared corpus
+  EXPECT_EQ(variants.size(), 6u);  // all analysis variants distinct
+}
+
+TEST(FleetCampaigns, CalibrationGridVariesSeedAndScale) {
+  const CampaignParams params{.scale = 0.4};
+  const Campaign campaign = make_calibration_campaign(params);
+  ASSERT_EQ(campaign.cells.size(), 6u);  // 3 seed streams x 2 scales
+  std::set<std::string> sims;
+  std::set<double> scales;
+  for (const FleetCell& cell : campaign.cells) {
+    sims.insert(cell.sim_label);
+    scales.insert(cell.config.scale);
+    EXPECT_EQ(cell.analysis.top_k, 3u);  // analysis fixed at paper defaults
+    EXPECT_TRUE(cell.analysis.use_bonferroni);
+  }
+  EXPECT_EQ(sims.size(), 6u);  // every cell is its own simulation
+  EXPECT_EQ(scales.size(), 2u);
+  EXPECT_NEAR(*scales.begin(), 0.4 * 0.6, 1e-12);
+}
+
+TEST(Fleet, ResultsInCellOrderAndCorpusSharedWithinSimGroups) {
+  const Campaign campaign = tiny_campaign();
+  ThreadPool pool(2);
+  const Fleet fleet(pool);
+  const std::vector<CellResult> results = fleet.run(campaign);
+  ASSERT_EQ(results.size(), campaign.cells.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].label, campaign.cells[i].label);
+    EXPECT_EQ(results[i].sim_label, campaign.cells[i].sim_label);
+    EXPECT_EQ(results[i].seed, Fleet::cell_seed(campaign.seed, campaign.cells[i].sim_label));
+    EXPECT_GT(results[i].records, 0u);
+  }
+  // simA cells (0 and 2) share one corpus; simB (1) is an independent run.
+  EXPECT_EQ(results[0].seed, results[2].seed);
+  EXPECT_EQ(results[0].records, results[2].records);
+  EXPECT_EQ(results[0].events, results[2].events);
+  EXPECT_NE(results[0].seed, results[1].seed);
+}
+
+TEST(Fleet, InFleetCellEqualsStandaloneRerun) {
+  const Campaign campaign = tiny_campaign();
+  ThreadPool fleet_pool(3);
+  const std::vector<CellResult> in_fleet = Fleet(fleet_pool).run(campaign);
+
+  // Rerun the analysis-variant cell alone, in a one-cell campaign with the
+  // same campaign seed, on a single-worker pool: the rendered per-cell
+  // report must be byte-identical to the in-fleet run's.
+  Campaign solo = campaign;
+  solo.cells = {campaign.cells[2]};
+  ThreadPool solo_pool(1);
+  const std::vector<CellResult> standalone = Fleet(solo_pool).run(solo);
+  ASSERT_EQ(standalone.size(), 1u);
+  EXPECT_EQ(render_cell(standalone[0]), render_cell(in_fleet[2]));
+}
+
+TEST(Fleet, SweepReportByteIdenticalAcrossWorkerCounts) {
+  const Campaign campaign = tiny_campaign();
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const std::string report1 = SweepReport::render(campaign, Fleet(pool1).run(campaign));
+  const std::string report4 = SweepReport::render(campaign, Fleet(pool4).run(campaign));
+  EXPECT_EQ(report1, report4);
+}
+
+TEST(SweepReportRender, MatrixListsEveryFindingAndCell) {
+  const Campaign campaign = tiny_campaign();
+  ThreadPool pool(2);
+  const std::vector<CellResult> results = Fleet(pool).run(campaign);
+  const std::string report = SweepReport::render(campaign, results);
+  EXPECT_NE(report.find("# sweep: tiny"), std::string::npos);
+  EXPECT_NE(report.find("3 cells, 2 simulations"), std::string::npos);
+  for (std::size_t f = 0; f < kPaperFindingCount; ++f) {
+    const auto finding = static_cast<PaperFinding>(f);
+    EXPECT_NE(report.find(std::string("| ") + std::string(finding_name(finding)) + " |"),
+              std::string::npos);
+    EXPECT_NE(report.find(std::string(finding_claim(finding))), std::string::npos);
+  }
+  for (const CellResult& cell : results) {
+    EXPECT_NE(report.find("## cell " + cell.label), std::string::npos);
+  }
+  // Each cell's block inside the report matches its standalone render.
+  for (const CellResult& cell : results) {
+    EXPECT_NE(report.find(render_cell(cell)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cw::runner

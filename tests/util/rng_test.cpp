@@ -150,25 +150,97 @@ TEST(Rng, ZipfSingleElement) {
   EXPECT_EQ(rng.zipf(0, 1.0), 0u);
 }
 
+namespace {
+
+// The pre-cache zipf implementation, kept verbatim as the regression
+// reference: recompute the harmonic normalizer and walk the inverse CDF on
+// every draw. Rng::zipf must reproduce this draw for draw (same consumed
+// uniforms, same selected ranks) or golden report hashes shift.
+std::uint64_t zipf_reference(Rng& rng, std::uint64_t n, double s) {
+  if (n <= 1) return 0;
+  double h = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) h += 1.0 / std::pow(static_cast<double>(k), s);
+  double u = rng.uniform() * h;
+  double acc = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    if (u <= acc) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace
+
+TEST(Rng, ZipfCachedDrawSequenceMatchesReference) {
+  Rng cached(12345);
+  Rng reference(12345);
+  // Interleave (n, s) pairs so the cache is hit, missed, and refilled within
+  // one sequence; include the credential-dictionary shape (n=60, s=1.2) and
+  // a large-n table.
+  const std::pair<std::uint64_t, double> shapes[] = {
+      {10, 1.2}, {60, 1.2}, {10, 1.0}, {2, 0.8}, {1000, 1.5}, {10, 1.2}};
+  for (int round = 0; round < 500; ++round) {
+    for (const auto& [n, s] : shapes) {
+      ASSERT_EQ(cached.zipf(n, s), zipf_reference(reference, n, s))
+          << "n=" << n << " s=" << s << " round=" << round;
+    }
+  }
+  // Both generators must have consumed the identical uniform stream.
+  EXPECT_EQ(cached.next(), reference.next());
+}
+
+TEST(Rng, ZipfInterleavedWithOtherDrawsKeepsSequence) {
+  Rng cached(99);
+  Rng reference(99);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(cached.zipf(37, 1.1), zipf_reference(reference, 37, 1.1));
+    ASSERT_EQ(cached.next(), reference.next());
+    ASSERT_EQ(cached.uniform(), reference.uniform());
+  }
+}
+
 TEST(Rng, WeightedIndexRespectsWeights) {
   Rng rng(47);
   std::vector<double> weights = {0.0, 1.0, 3.0};
   std::vector<int> counts(3, 0);
   for (int i = 0; i < 20000; ++i) {
-    const std::size_t index = rng.weighted_index(weights);
-    ASSERT_LT(index, 3u);
-    ++counts[index];
+    const std::optional<std::size_t> index = rng.weighted_index(weights);
+    ASSERT_TRUE(index.has_value());
+    ASSERT_LT(*index, 3u);
+    ++counts[*index];
   }
   EXPECT_EQ(counts[0], 0);
   EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
 }
 
-TEST(Rng, WeightedIndexAllZeroReturnsSize) {
+TEST(Rng, WeightedIndexEmptyReturnsNullopt) {
   Rng rng(53);
-  std::vector<double> weights = {0.0, 0.0};
-  EXPECT_EQ(rng.weighted_index(weights), 2u);
-  std::vector<double> empty;
-  EXPECT_EQ(rng.weighted_index(empty), 0u);
+  const std::vector<double> empty;
+  EXPECT_EQ(rng.weighted_index(empty), std::nullopt);
+}
+
+TEST(Rng, WeightedIndexAllNonpositiveReturnsNullopt) {
+  Rng rng(53);
+  EXPECT_EQ(rng.weighted_index({0.0, 0.0}), std::nullopt);
+  EXPECT_EQ(rng.weighted_index({-1.0, 0.0, -3.5}), std::nullopt);
+}
+
+TEST(Rng, WeightedIndexSinglePositiveAlwaysChosen) {
+  Rng rng(53);
+  const std::vector<double> weights = {0.0, 0.0, 2.5, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.weighted_index(weights), 2u);
+}
+
+TEST(Rng, WeightedIndexSentinelConsumesNoUniform) {
+  // A nullopt return must not advance the generator: the draw sequence with
+  // and without interleaved sentinel lookups is identical.
+  Rng with_sentinels(71);
+  Rng plain(71);
+  const std::vector<double> empty;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(with_sentinels.weighted_index(empty), std::nullopt);
+    EXPECT_EQ(with_sentinels.next(), plain.next());
+  }
 }
 
 TEST(Rng, ShufflePreservesElements) {
