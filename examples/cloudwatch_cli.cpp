@@ -59,6 +59,7 @@ struct Options {
   std::string campaign;
   std::string cell;
   std::string cells_dir;
+  std::size_t stress_cells = 1000;
 };
 
 void usage() {
@@ -70,9 +71,9 @@ void usage() {
                "       cloudwatch_cli watch [--scale S] [--t24 N] [--year Y] [--epochs K]"
                " [--shards M] [--jobs N]\n"
                "       cloudwatch_cli sweep CAMPAIGN [--scale S] [--t24 N] [--year Y] [--jobs N]"
-               " [--cell LABEL] [--cells-dir DIR]\n"
+               " [--cell LABEL] [--cells-dir DIR] [--cells N]\n"
                "tables: 1 2 4 5 6 7 8 9 10 11 17 sec32 fig1\n"
-               "campaigns: ablation calibration\n");
+               "campaigns: ablation calibration stress\n");
 }
 
 bool parse(int argc, char** argv, Options& options) {
@@ -141,6 +142,10 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (v == nullptr) return false;
       options.cells_dir = v;
+    } else if (arg == "--cells") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      options.stress_cells = static_cast<std::size_t>(std::atoi(v));
     } else if (!arg.empty() && arg[0] != '-' && options.command == "sweep" &&
                options.campaign.empty()) {
       options.campaign = arg;
@@ -318,6 +323,8 @@ int cmd_sweep(const Options& options) {
     campaign = cw::runner::make_ablation_campaign(params);
   } else if (options.campaign == "calibration") {
     campaign = cw::runner::make_calibration_campaign(params);
+  } else if (options.campaign == "stress") {
+    campaign = cw::runner::make_stress_campaign(params, options.stress_cells);
   } else {
     usage();
     return 1;

@@ -11,7 +11,11 @@
 #   scripts/check.sh bench      # frame-vs-full-scan numbers (bench_runner_pipelines)
 #   scripts/check.sh fleet      # sweep campaigns byte-identical at --jobs 1/2/8,
 #                               # in-fleet cell == standalone --cell rerun
+#   scripts/check.sh stress     # opt-in: 1000-engine stress campaign — completes
+#                               # under a deadline, bounded memory, byte-identical
+#                               # sweep report at --jobs 2 vs 8
 #   scripts/check.sh all        # tier-1 + asan + tsan + determinism + stream + fleet
+#                               # (stress stays opt-in: run it explicitly)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -119,12 +123,18 @@ stream() {
 }
 
 bench() {
-  cmake --build "$ROOT/build" -j "$JOBS" --target bench_runner_pipelines
+  cmake --build "$ROOT/build" -j "$JOBS" --target bench_runner_pipelines bench_frame_kernels
   local bin="$ROOT/build/bench/bench_runner_pipelines"
   [ -x "$bin" ] || bin="$ROOT/build/bench_runner_pipelines"
   CW_SCALE="${CW_SCALE:-0.5}" CW_T24="${CW_T24:-16}" CW_JOBS="${CW_JOBS:-1}" \
     "$bin" --benchmark_filter='bm_frame_build|bm_table(8|9|10)_(fullscan|frame)' \
            --benchmark_min_time=0.5
+  # The SessionFrame v2 kernels: encoded vs v1 table builds, packed posting
+  # iteration, cold vs warm epoch seal.
+  local kernels="$ROOT/build/bench/bench_frame_kernels"
+  [ -x "$kernels" ] || kernels="$ROOT/build/bench_frame_kernels"
+  CW_SCALE="${CW_SCALE:-0.5}" CW_T24="${CW_T24:-16}" CW_JOBS="${CW_JOBS:-1}" \
+    "$kernels" --benchmark_min_time=0.5
 }
 
 fleet() {
@@ -168,6 +178,45 @@ fleet() {
   echo "fleet: sweeps byte-identical at --jobs 1/2/8; standalone cells match in-fleet (scale $scale, t24 $t24)"
 }
 
+stress() {
+  # Fleet harness at width: CW_CHECK_STRESS_CELLS independent engines (default
+  # 1000) through one pool. Passes when (a) both sweeps finish inside the
+  # deadline — a scheduling deadlock or a group that never releases the pool
+  # trips `timeout`; (b) memory stays under the cap — per-group teardown
+  # must keep the high-water at the concurrent group set, not the whole
+  # campaign; (c) the sweep reports at --jobs 2 and --jobs 8 are
+  # byte-identical.
+  cmake --build "$ROOT/build" -j "$JOBS" --target cloudwatch_cli
+  local cli="$ROOT/build/examples/cloudwatch_cli"
+  [ -x "$cli" ] || cli="$ROOT/build/cloudwatch_cli"
+  local cells="${CW_CHECK_STRESS_CELLS:-1000}"
+  local scale="${CW_CHECK_STRESS_SCALE:-0.02}" t24="${CW_CHECK_STRESS_T24:-1}"
+  local deadline="${CW_CHECK_STRESS_DEADLINE:-900}"   # seconds per sweep
+  local mem_limit_kb="${CW_CHECK_STRESS_MEM_KB:-2097152}"  # 2 GiB address space
+  local work jobs
+  work=$(mktemp -d)
+  for jobs in 2 8; do
+    # ulimit -v caps the address space: a fleet whose memory high-water
+    # tracks the campaign instead of the concurrent group set dies on a
+    # failed allocation here rather than passing on a big machine.
+    if ! timeout "$deadline" bash -c "ulimit -v $mem_limit_kb; exec \"$cli\" \
+        sweep stress --cells $cells --scale $scale --t24 $t24 \
+        --jobs $jobs" >"$work/stress-j$jobs.md" 2>/dev/null; then
+      echo "stress: sweep --jobs $jobs failed, exceeded ${deadline}s (deadlock?)," \
+           "or blew the ${mem_limit_kb}kB memory cap" >&2
+      rm -rf "$work"
+      return 1
+    fi
+  done
+  if ! diff -q "$work/stress-j2.md" "$work/stress-j8.md"; then
+    echo "stress: sweep report diverged between --jobs 2 and --jobs 8" >&2
+    rm -rf "$work"
+    return 1
+  fi
+  rm -rf "$work"
+  echo "stress: $cells engines byte-identical at --jobs 2/8, memory bounded (scale $scale, t24 $t24)"
+}
+
 case "${1:-tier1}" in
   tier1) tier1 ;;
   asan) asan ;;
@@ -176,6 +225,7 @@ case "${1:-tier1}" in
   stream) stream ;;
   bench) bench ;;
   fleet) fleet ;;
+  stress) stress ;;
   all) tier1; asan; tsan; determinism; stream; fleet ;;
-  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|bench|fleet|all]" >&2; exit 2 ;;
+  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|bench|fleet|stress|all]" >&2; exit 2 ;;
 esac

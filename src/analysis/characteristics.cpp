@@ -89,7 +89,7 @@ TrafficSlice slice_vantage(const capture::SessionFrame& frame, topology::Vantage
   slice.store = &frame.store();
   slice.frame = &frame;
   if (const auto port = scope_port(scope)) {
-    slice.records = frame.for_vantage_port(vantage, *port);
+    slice.records = frame.for_vantage_port(vantage, *port).to_vector();
     return slice;
   }
   if (scope == TrafficScope::kAnyAll) {
@@ -120,12 +120,13 @@ TrafficSlice slice_neighbor(const capture::SessionFrame& frame, topology::Vantag
   slice.store = &frame.store();
   slice.frame = &frame;
   const auto port = scope_port(scope);
-  const std::vector<std::uint32_t>& candidates =
-      port ? frame.for_vantage_port(vantage, *port) : frame.for_vantage(vantage);
-  for (std::uint32_t index : candidates) {
-    if (frame.neighbor(index) != neighbor) continue;
+  const util::PostingView candidates =
+      port ? util::PostingView(frame.for_vantage_port(vantage, *port))
+           : util::PostingView(frame.for_vantage(vantage));
+  candidates.for_each([&](std::uint32_t index) {
+    if (frame.neighbor(index) != neighbor) return;
     if (port || in_scope(frame, index, scope)) slice.records.push_back(index);
-  }
+  });
   return slice;
 }
 

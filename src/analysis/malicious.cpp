@@ -32,21 +32,21 @@ MeasuredIntent MaliciousClassifier::classify(const capture::SessionRecord& recor
 }
 
 std::pair<std::uint64_t, std::uint64_t> MaliciousClassifier::count(
-    const capture::EventStore& store, const std::vector<std::uint32_t>& indices) const {
+    const capture::EventStore& store, const util::PostingView& indices) const {
   std::uint64_t malicious = 0;
   std::uint64_t benign = 0;
-  for (std::uint32_t index : indices) {
+  indices.for_each([&](std::uint32_t index) {
     switch (classify(store.records()[index], store)) {
       case MeasuredIntent::kMalicious: ++malicious; break;
       case MeasuredIntent::kBenign: ++benign; break;
       case MeasuredIntent::kUnobservable: break;
     }
-  }
+  });
   return {malicious, benign};
 }
 
 std::pair<std::uint64_t, std::uint64_t> MaliciousClassifier::count(
-    const capture::SessionFrame& frame, const std::vector<std::uint32_t>& indices) const {
+    const capture::SessionFrame& frame, const util::PostingView& indices) const {
   if (frame.has_verdicts()) return frame.count_verdicts(indices);
   return count(frame.store(), indices);
 }

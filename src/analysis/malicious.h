@@ -38,15 +38,16 @@ class MaliciousClassifier {
   MeasuredIntent classify(const capture::SessionRecord& record,
                           const capture::EventStore& store) const;
 
-  // Convenience: (malicious, benign) counts over a set of record indices;
-  // unobservable records are excluded from both.
+  // Convenience: (malicious, benign) counts over a set of record indices
+  // (a plain ascending vector or a packed frame posting list, via
+  // util::PostingView); unobservable records are excluded from both.
   std::pair<std::uint64_t, std::uint64_t> count(const capture::EventStore& store,
-                                                const std::vector<std::uint32_t>& indices) const;
+                                                const util::PostingView& indices) const;
 
   // Frame variant: reads the precomputed verdict column when present and
   // falls back to per-record classification otherwise.
   std::pair<std::uint64_t, std::uint64_t> count(const capture::SessionFrame& frame,
-                                                const std::vector<std::uint32_t>& indices) const;
+                                                const util::PostingView& indices) const;
 
  private:
   // Key: (store uid, payload id, port, transport bit).

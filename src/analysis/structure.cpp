@@ -47,7 +47,7 @@ std::vector<double> telescope_address_counts(const capture::SessionFrame& frame,
   if (telescope == nullptr || telescope->addresses.empty()) return {};
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> hits;  // (neighbor, src)
-  const std::vector<std::uint32_t>& indices = frame.for_vantage_port(telescope->id, port);
+  const util::PostingList& indices = frame.for_vantage_port(telescope->id, port);
   hits.reserve(indices.size());
   for (std::uint32_t index : indices) {
     hits.emplace_back(frame.neighbor(index), frame.src(index));

@@ -23,21 +23,46 @@ stats::FrequencyTable build_range(const capture::EventStore& store,
   throw std::invalid_argument("build_characteristic_table: kFracMalicious has no table");
 }
 
+capture::CodedColumn coded_column_for(Characteristic characteristic) {
+  switch (characteristic) {
+    case Characteristic::kTopAs: return capture::CodedColumn::kAs;
+    case Characteristic::kTopUsername: return capture::CodedColumn::kUsername;
+    case Characteristic::kTopPassword: return capture::CodedColumn::kPassword;
+    case Characteristic::kTopPayload: return capture::CodedColumn::kPayload;
+    case Characteristic::kFracMalicious: break;
+  }
+  throw std::invalid_argument("build_characteristic_table: kFracMalicious has no table");
+}
+
 }  // namespace
 
 stats::FrequencyTable build_characteristic_table(const capture::SessionFrame& frame,
-                                                 const std::vector<std::uint32_t>& records,
+                                                 const util::PostingView& records,
                                                  Characteristic characteristic,
                                                  runner::ThreadPool* pool, std::size_t chunk) {
+  if (frame.has_codes()) {
+    // Encoded kernel: one gather/increment pass over the code column. Fast
+    // enough that sharding would only buy scheduling overhead; the chunked
+    // v1 path below is the no-codes fallback.
+    const capture::CodedColumn column = coded_column_for(characteristic);
+    return stats::FrequencyTable::from_codes(frame.codes(column), records, frame.dict(column));
+  }
   const capture::EventStore& store = frame.store();
-  const std::size_t n = records.size();
+  // The v1 builders index records randomly, so a packed view materializes.
+  std::vector<std::uint32_t> materialized;
+  const std::vector<std::uint32_t>* vec = records.as_vector();
+  if (vec == nullptr) {
+    materialized = records.to_vector();
+    vec = &materialized;
+  }
+  const std::size_t n = vec->size();
   if (pool == nullptr || chunk == 0 || n <= chunk) {
-    return build_range(store, records, characteristic, 0, n);
+    return build_range(store, *vec, characteristic, 0, n);
   }
   const std::size_t chunks = (n + chunk - 1) / chunk;
   std::vector<stats::FrequencyTable> partials(chunks);
   pool->parallel_for(chunks, [&](std::size_t i) {
-    partials[i] = build_range(store, records, characteristic, i * chunk,
+    partials[i] = build_range(store, *vec, characteristic, i * chunk,
                               std::min(n, (i + 1) * chunk));
   });
   stats::FrequencyTable out = std::move(partials.front());
@@ -54,14 +79,17 @@ Entry& CharacteristicTableCache::entry(
   return *slot;
 }
 
-const std::vector<std::uint32_t>& CharacteristicTableCache::records_for(
-    topology::VantageId vantage, std::uint16_t neighbor, TrafficScope scope) const {
+util::PostingView CharacteristicTableCache::records_for(topology::VantageId vantage,
+                                                        std::uint16_t neighbor,
+                                                        TrafficScope scope) const {
   // Whole-vantage slices for port-named scopes and Any/All are exactly a
-  // frame posting list; reference it instead of copying (the kAnyAll
-  // telescope list is ~every record).
+  // frame posting list; view it instead of copying (the kAnyAll telescope
+  // list is ~every record).
   if (neighbor == kWholeVantage) {
-    if (const auto port = scope_port(scope)) return frame_->for_vantage_port(vantage, *port);
-    if (scope == TrafficScope::kAnyAll) return frame_->for_vantage(vantage);
+    if (const auto port = scope_port(scope)) {
+      return util::PostingView(frame_->for_vantage_port(vantage, *port));
+    }
+    if (scope == TrafficScope::kAnyAll) return util::PostingView(frame_->for_vantage(vantage));
   }
   SliceEntry& slice =
       entry(slices_, pack(vantage, neighbor, scope, Characteristic::kTopAs));
@@ -75,9 +103,9 @@ const std::vector<std::uint32_t>& CharacteristicTableCache::records_for(
     } else {
       slice.owned = slice_neighbor(*frame_, vantage, neighbor, scope).records;
     }
-    slice.records = &slice.owned;
+    slice.records = util::PostingView(slice.owned);
   });
-  return *slice.records;
+  return slice.records;
 }
 
 std::size_t CharacteristicTableCache::record_count(topology::VantageId vantage, TrafficScope scope,

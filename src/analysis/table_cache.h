@@ -53,12 +53,18 @@ namespace cw::analysis {
 // schedule itself worker-count independent.
 inline constexpr std::size_t kTableBuildChunk = 1u << 16;
 
-// Builds the characteristic's frequency table over records[0, size). With a
-// pool and enough records the build shards into kTableBuildChunk-sized
-// partials merged in chunk order; the result is identical to the sequential
-// build. kFracMalicious has no frequency table; asking for it throws.
+// Builds the characteristic's frequency table over the record set (a plain
+// ascending vector or a packed frame posting list, via util::PostingView).
+// Frames carrying encoded characteristic columns (SessionFrame v2) count
+// through stats::FrequencyTable::from_codes — one branchless pass, no
+// string ever touched — and the result is bit-identical to the v1 text
+// scan because all table output renders through dictionary text. Frames
+// without codes fall back to the v1 path: with a pool and enough records
+// the build shards into kTableBuildChunk-sized partials merged in chunk
+// order, identical to the sequential build. kFracMalicious has no
+// frequency table; asking for it throws.
 stats::FrequencyTable build_characteristic_table(const capture::SessionFrame& frame,
-                                                 const std::vector<std::uint32_t>& records,
+                                                 const util::PostingView& records,
                                                  Characteristic characteristic,
                                                  runner::ThreadPool* pool = nullptr,
                                                  std::size_t chunk = kTableBuildChunk);
@@ -136,9 +142,9 @@ class CharacteristicTableCache {
  private:
   struct SliceEntry {
     std::once_flag once;
-    // Points at a frame posting list, or at `owned` when the scope needs a
+    // Views a frame posting list, or `owned` when the scope needs a
     // filtered copy (HTTP/AllPorts, per-neighbor slices).
-    const std::vector<std::uint32_t>* records = nullptr;
+    util::PostingView records;
     std::vector<std::uint32_t> owned;
   };
   struct TableEntry {
@@ -150,9 +156,8 @@ class CharacteristicTableCache {
     std::pair<std::uint64_t, std::uint64_t> counts{0, 0};
   };
 
-  [[nodiscard]] const std::vector<std::uint32_t>& records_for(topology::VantageId vantage,
-                                                              std::uint16_t neighbor,
-                                                              TrafficScope scope) const;
+  [[nodiscard]] util::PostingView records_for(topology::VantageId vantage,
+                                              std::uint16_t neighbor, TrafficScope scope) const;
 
   template <typename Entry>
   Entry& entry(std::unordered_map<std::uint64_t, std::unique_ptr<Entry>>& map,

@@ -7,12 +7,32 @@
 //
 //   - parallel column vectors (time/src/src_as/port/vantage/neighbor/
 //     payload_id/credential_id/actor/flags),
-//   - per-port posting lists and per-network-type partitions (vantage ids
-//     resolved through the Deployment once, not per record),
-//   - per-(vantage, port) slices for the pairwise comparison pipelines,
-//   - a malicious-verdict column evaluated once per record through an opaque
-//     callback (capture cannot depend on analysis), and a protocol column
-//     fingerprinted once per *distinct* payload.
+//   - dictionary-encoded characteristic columns (v2): the AS / username /
+//     password / normalized-payload text each record contributes to the
+//     Section 3.3 frequency tables, stored as dense u32 codes against
+//     per-column dictionaries so the table kernels count without touching a
+//     string (see codes()/dict() and stats::FrequencyTable::from_codes),
+//   - packed per-port and per-(vantage, port) posting lists
+//     (util::PostingList — roaring-style array/bitmap containers yielding
+//     ascending indices, so report bytes cannot change) plus per-network
+//     partitions (vantage ids resolved through the Deployment once),
+//   - a malicious-verdict column evaluated through an opaque callback
+//     (capture cannot depend on analysis) — once per *distinct*
+//     (credential-presence, payload, port, transport) tuple when the caller
+//     declares the callback pure, once per record otherwise — and a
+//     protocol column fingerprinted once per distinct payload.
+//
+// Code assignment is deterministic: batch frames sort each dictionary, so
+// insertion order cannot perturb codes; stream frames built against
+// SharedFrameDicts assign codes first-sight in store record order, which is
+// itself a pure function of the sealed corpus. Output bytes never depend on
+// either choice — every table renders through dictionary *text* with
+// lexicographic tie-breaks.
+//
+// Shifted-code convention: code columns store (dictionary code + 1); 0
+// means "no value" (telescope records have no payload/credential). Count
+// kernels index a vector sized dict->size()+1 and slot 0 absorbs the
+// missing rows branchlessly.
 //
 // The build shards over contiguous record chunks through
 // runner::ThreadPool::parallel_for and is deterministic: every secondary
@@ -25,8 +45,10 @@
 // because every span the frame returns points into invalidated state.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -36,12 +58,51 @@
 #include "net/ports.h"
 #include "topology/deployment.h"
 #include "topology/provider.h"
+#include "util/dict.h"
+#include "util/postings.h"
 
 namespace cw::runner {
 class ThreadPool;
 }  // namespace cw::runner
 
 namespace cw::capture {
+
+// The dictionary-encoded characteristic columns a frame carries.
+enum class CodedColumn : std::uint8_t { kAs = 0, kUsername, kPassword, kPayload };
+inline constexpr std::size_t kCodedColumns = 4;
+
+// Shared per-experiment dictionaries + encode memos for stream mode: the
+// ingest layer owns one instance and hands it to every epoch's frame build,
+// so sealing encodes only *novel* values — history keeps its codes and
+// per-segment count vectors stay mergeable code-wise forever.
+//
+// Thread contract: mutated only inside SessionFrame::build under the stream
+// layer's seal serialization (one seal at a time, renders quiesced); frames
+// alias the dictionaries as shared_ptr<const Dictionary>.
+struct SharedFrameDicts {
+  SharedFrameDicts();
+
+  std::array<std::shared_ptr<util::Dictionary>, kCodedColumns> dicts;
+
+  // Raw payload text -> (shifted normalized-payload code, protocol). One
+  // normalization + LZR fingerprint per novel payload per experiment.
+  struct PayloadInfo {
+    std::uint32_t shifted_code = 0;
+    net::Protocol protocol = net::Protocol::kUnknown;
+  };
+  std::unordered_map<std::string, PayloadInfo> payload_memo;
+
+  // Interned credential text -> (shifted username code, shifted password
+  // code). One decode per novel credential per experiment.
+  struct CredentialCodes {
+    std::uint32_t shifted_username = 0;
+    std::uint32_t shifted_password = 0;
+  };
+  std::unordered_map<std::string, CredentialCodes> credential_memo;
+
+  // ASN -> shifted "AS<n>" code.
+  std::unordered_map<net::Asn, std::uint32_t> as_memo;
+};
 
 class SessionFrame {
  public:
@@ -55,11 +116,22 @@ class SessionFrame {
     BuildOptions() {}
     // Shards the column fill across the pool; null builds sequentially.
     runner::ThreadPool* pool = nullptr;
-    // Evaluated once per record into the verdict column. Empty leaves the
-    // frame without verdicts (has_verdicts() == false).
+    // Evaluated into the verdict column. Empty leaves the frame without
+    // verdicts (has_verdicts() == false).
     VerdictFn verdict;
+    // Declares that `verdict` is a pure function of (credential presence,
+    // payload_id, port, transport) — true for the Section 3.2 classifier.
+    // The build then memoizes it per distinct tuple instead of invoking it
+    // per record (the callback typically hides a shared_mutex memo of its
+    // own; at seal scale the per-record virtual call dominated).
+    bool verdict_pure = false;
     // Fingerprint each distinct payload into the protocol column.
     bool fingerprint_payloads = true;
+    // Materialize the dictionary-encoded characteristic columns.
+    bool encode_characteristics = true;
+    // Stream mode: encode against these shared dictionaries instead of
+    // building frame-local sorted ones. Borrowed; mutated during build.
+    SharedFrameDicts* shared_dicts = nullptr;
   };
 
   // Freezes the store, pins it, and materializes every column and secondary
@@ -117,24 +189,34 @@ class SessionFrame {
   }
   // (malicious, benign) over a set of record indices; unobservable excluded.
   [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> count_verdicts(
-      const std::vector<std::uint32_t>& indices) const;
+      const util::PostingView& indices) const;
 
   // Protocol column: LZR fingerprint of the record's payload (kUnknown when
   // none), computed once per distinct payload.
   [[nodiscard]] bool has_protocols() const noexcept { return has_protocols_; }
   [[nodiscard]] net::Protocol protocol(std::uint32_t i) const { return protocol_[i]; }
 
+  // --- encoded characteristic columns (v2) ---------------------------------
+  [[nodiscard]] bool has_codes() const noexcept { return has_codes_; }
+  // Shifted codes (code+1; 0 = no value), one entry per record.
+  [[nodiscard]] const std::vector<std::uint32_t>& codes(CodedColumn column) const {
+    return codes_[static_cast<std::size_t>(column)];
+  }
+  [[nodiscard]] const std::shared_ptr<const util::Dictionary>& dict(CodedColumn column) const {
+    return dicts_[static_cast<std::size_t>(column)];
+  }
+
   // --- secondary structures ------------------------------------------------
   // All posting lists hold record indices in ascending order.
-  [[nodiscard]] const std::vector<std::uint32_t>& for_port(net::Port port) const;
+  [[nodiscard]] const util::PostingList& for_port(net::Port port) const;
   [[nodiscard]] const std::vector<std::uint32_t>& for_network(topology::NetworkType type) const {
     return network_partition_[static_cast<std::size_t>(type)];
   }
   [[nodiscard]] const std::vector<std::uint32_t>& for_vantage(topology::VantageId id) const {
     return store_->for_vantage(id);
   }
-  [[nodiscard]] const std::vector<std::uint32_t>& for_vantage_port(topology::VantageId id,
-                                                                   net::Port port) const;
+  [[nodiscard]] const util::PostingList& for_vantage_port(topology::VantageId id,
+                                                          net::Port port) const;
 
   [[nodiscard]] const SessionRecord& record(std::uint32_t i) const {
     return store_->records()[i];
@@ -168,14 +250,18 @@ class SessionFrame {
   std::vector<net::Protocol> protocol_;
   bool has_verdicts_ = false;
   bool has_protocols_ = false;
+  bool has_codes_ = false;
+
+  std::array<std::vector<std::uint32_t>, kCodedColumns> codes_;
+  std::array<std::shared_ptr<const util::Dictionary>, kCodedColumns> dicts_;
 
   std::vector<topology::NetworkType> vantage_network_;
   std::vector<topology::CollectionMethod> vantage_collection_;
 
-  std::unordered_map<net::Port, std::vector<std::uint32_t>> port_postings_;
+  std::unordered_map<net::Port, util::PostingList> port_postings_;
   std::vector<std::uint32_t> network_partition_[3];
   // Key packs vantage << 16 | port (ports are 16-bit).
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> vantage_port_postings_;
+  std::unordered_map<std::uint64_t, util::PostingList> vantage_port_postings_;
 };
 
 }  // namespace cw::capture

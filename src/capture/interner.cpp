@@ -3,7 +3,7 @@
 namespace cw::capture {
 
 std::uint32_t Interner::intern(std::string_view value) {
-  auto it = ids_.find(std::string(value));
+  auto it = ids_.find(value);
   if (it != ids_.end()) return it->second;
   const std::uint32_t id = static_cast<std::uint32_t>(values_.size());
   values_.emplace_back(value);

@@ -12,7 +12,9 @@ namespace cw::capture {
 
 class Interner {
  public:
-  // Returns a stable id for the string, inserting it on first sight.
+  // Returns a stable id for the string, inserting it on first sight. Probes
+  // with the string_view directly (transparent hash/equal) — a repeat of a
+  // seen value allocates nothing.
   std::uint32_t intern(std::string_view value);
 
   // The interned string for an id. Precondition: id came from intern().
@@ -20,9 +22,26 @@ class Interner {
 
   [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
 
+  // Pre-sizes the lookup map for a bulk insert (stream epoch seal).
+  void reserve(std::size_t n) {
+    values_.reserve(n);
+    ids_.reserve(n);
+  }
+
  private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view value) const noexcept {
+      return std::hash<std::string_view>{}(value);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept { return a == b; }
+  };
+
   std::vector<std::string> values_;
-  std::unordered_map<std::string, std::uint32_t> ids_;
+  std::unordered_map<std::string, std::uint32_t, Hash, Eq> ids_;
 };
 
 }  // namespace cw::capture

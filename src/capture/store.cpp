@@ -53,11 +53,21 @@ EventStore& EventStore::operator=(EventStore&& other) noexcept {
   return *this;
 }
 
-std::string EventStore::encode_credential(const proto::Credential& credential) {
-  std::string out = std::to_string(credential.username.size());
+void EventStore::encode_credential_into(std::string& out, const proto::Credential& credential) {
+  out.clear();
+  char digits[20];
+  const auto [end, ec] =
+      std::to_chars(digits, digits + sizeof(digits), credential.username.size());
+  static_cast<void>(ec);
+  out.append(digits, end);
   out += ':';
   out += credential.username;
   out += credential.password;
+}
+
+std::string EventStore::encode_credential(const proto::Credential& credential) {
+  std::string out;
+  encode_credential_into(out, credential);
   return out;
 }
 
@@ -84,7 +94,8 @@ void EventStore::append(SessionRecord record, std::string_view payload,
   assert(reader_pins() == 0 && "append() while a frozen reader holds a pin");
   record.payload_id = payload.empty() ? kNoPayload : payloads_.intern(payload);
   if (credential.has_value()) {
-    record.credential_id = credentials_.intern(encode_credential(*credential));
+    encode_credential_into(credential_scratch_, *credential);
+    record.credential_id = credentials_.intern(credential_scratch_);
   } else {
     record.credential_id = kNoCredential;
   }
@@ -110,7 +121,7 @@ void EventStore::freeze() const {
   for (const SessionRecord& record : records_) {
     max_vantage = std::max(max_vantage, record.vantage);
   }
-  vantage_index_.assign(max_vantage + 1, {});
+  vantage_index_.assign(static_cast<std::size_t>(max_vantage) + 1, {});
   for (std::uint32_t i = 0; i < records_.size(); ++i) {
     vantage_index_[records_[i].vantage].push_back(i);
   }

@@ -48,6 +48,15 @@ class EventStore {
   void append(SessionRecord record, std::string_view payload,
               const std::optional<proto::Credential>& credential);
 
+  // Pre-sizes the record vector and interner maps for a bulk append (the
+  // stream layer seals a whole epoch's buffered records at once).
+  void reserve(std::size_t records, std::size_t payload_hint = 0,
+               std::size_t credential_hint = 0) {
+    records_.reserve(records);
+    if (payload_hint != 0) payloads_.reserve(payload_hint);
+    if (credential_hint != 0) credentials_.reserve(credential_hint);
+  }
+
   [[nodiscard]] const std::vector<SessionRecord>& records() const noexcept { return records_; }
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
 
@@ -69,6 +78,9 @@ class EventStore {
   // contained a newline (Cowrie-style SSH capture does observe those) and
   // made ("a\nb", "c") collide with ("a", "b\nc").
   static std::string encode_credential(const proto::Credential& credential);
+  // Appends the encoding to `out` (cleared first) — the bulk-seal append path
+  // reuses one scratch buffer instead of allocating a string per record.
+  static void encode_credential_into(std::string& out, const proto::Credential& credential);
   static std::optional<proto::Credential> decode_credential(std::string_view text);
 
   // Record indices captured by one vantage point. The index is built once on
@@ -116,6 +128,8 @@ class EventStore {
 
   std::uint64_t uid_ = next_uid();
   std::vector<SessionRecord> records_;
+  // Writer-side scratch for credential encoding; never read outside append().
+  std::string credential_scratch_;
   Interner payloads_;
   Interner credentials_;
   // Lazily built per-vantage index. index_valid_ is the double-checked flag:

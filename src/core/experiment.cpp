@@ -19,6 +19,10 @@ const capture::SessionFrame& ExperimentResult::frame(runner::ThreadPool* pool) c
       }
       return capture::SessionFrame::Verdict::kUnobservable;
     };
+    // MaliciousClassifier::classify depends only on (credential presence,
+    // payload id, port, transport); declaring that lets the build memoize
+    // one verdict per distinct tuple instead of classifying every record.
+    options.verdict_pure = true;
     frame_ = std::make_unique<capture::SessionFrame>(
         capture::SessionFrame::build(source, deployment_, std::move(options)));
   });

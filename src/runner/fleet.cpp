@@ -114,4 +114,25 @@ Campaign make_calibration_campaign(const CampaignParams& params) {
   return campaign;
 }
 
+Campaign make_stress_campaign(const CampaignParams& params, std::size_t engines) {
+  Campaign campaign;
+  campaign.name = "stress";
+  campaign.seed = params.seed;
+  campaign.cells.reserve(engines);
+  for (std::size_t i = 0; i < engines; ++i) {
+    FleetCell cell;
+    char label[32];
+    std::snprintf(label, sizeof(label), "e%04zu", i);
+    cell.label = label;
+    cell.sim_label = label;  // every cell is its own engine
+    cell.config.scale = params.scale;
+    cell.config.telescope_slash24s = params.telescope_slash24s;
+    cell.config.year = params.year;
+    // One simulated day: the point is engine count, not window length.
+    cell.config.duration = util::kDay;
+    campaign.cells.push_back(std::move(cell));
+  }
+  return campaign;
+}
+
 }  // namespace cw::runner

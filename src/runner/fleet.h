@@ -105,4 +105,13 @@ Campaign make_ablation_campaign(const CampaignParams& params = {});
 // (params.scale and 0.6×), fixed paper-default analysis.
 Campaign make_calibration_campaign(const CampaignParams& params = {});
 
+// Stress grid: `engines` single-cell simulations, every cell its own
+// sim::Engine over a one-day window at params.scale. Exists to exercise the
+// harness itself at fleet width — scheduling, per-group teardown (memory
+// high-water must track the concurrent group set, not the campaign), and
+// byte-identical sweep reports at any --jobs. Run via the opt-in
+// `scripts/check.sh stress` tier, which pins scale/telescope small so a
+// thousand engines stay cheap.
+Campaign make_stress_campaign(const CampaignParams& params = {}, std::size_t engines = 1000);
+
 }  // namespace cw::runner

@@ -1,40 +1,183 @@
 #include "stats/freq.h"
 
 #include <algorithm>
+#include <cassert>
 #include <set>
 
 namespace cw::stats {
 
+namespace {
+
+// Shared tie-break rule: descending count, then ascending text. Both
+// representations sort with this exact comparator, which is a total order
+// over distinct values — the source representation cannot change output.
+bool count_text_less(std::uint64_t count_a, const std::string& text_a, std::uint64_t count_b,
+                     const std::string& text_b) {
+  if (count_a != count_b) return count_a > count_b;
+  return text_a < text_b;
+}
+
+}  // namespace
+
+FrequencyTable FrequencyTable::from_codes(std::span<const std::uint32_t> shifted_codes,
+                                          std::shared_ptr<const util::Dictionary> dict) {
+  FrequencyTable table;
+  table.dict_ = std::move(dict);
+  table.shifted_counts_.assign(static_cast<std::size_t>(table.dict_->size()) + 1, 0);
+  std::uint64_t* counts = table.shifted_counts_.data();
+  for (const std::uint32_t shifted : shifted_codes) {
+    assert(shifted < table.shifted_counts_.size());
+    ++counts[shifted];
+  }
+  table.recount_dense();
+  return table;
+}
+
+FrequencyTable FrequencyTable::from_codes(std::span<const std::uint32_t> shifted_codes,
+                                          const util::PostingView& records,
+                                          std::shared_ptr<const util::Dictionary> dict) {
+  FrequencyTable table;
+  table.dict_ = std::move(dict);
+  table.shifted_counts_.assign(static_cast<std::size_t>(table.dict_->size()) + 1, 0);
+  std::uint64_t* counts = table.shifted_counts_.data();
+  const std::uint32_t* codes = shifted_codes.data();
+  records.for_each([counts, codes](std::uint32_t record) { ++counts[codes[record]]; });
+  table.recount_dense();
+  return table;
+}
+
+void FrequencyTable::recount_dense() {
+  total_ = 0;
+  dense_distinct_ = 0;
+  for (std::size_t s = 1; s < shifted_counts_.size(); ++s) {
+    total_ += shifted_counts_[s];
+    dense_distinct_ += shifted_counts_[s] != 0;
+  }
+}
+
+void FrequencyTable::flatten() {
+  if (!dense()) return;
+  counts_.reserve(dense_distinct_);
+  for (std::size_t s = 1; s < shifted_counts_.size(); ++s) {
+    if (shifted_counts_[s] != 0) {
+      counts_.emplace(dict_->at(static_cast<std::uint32_t>(s - 1)), shifted_counts_[s]);
+    }
+  }
+  dict_.reset();
+  shifted_counts_.clear();
+  shifted_counts_.shrink_to_fit();
+  dense_distinct_ = 0;
+}
+
 void FrequencyTable::add(const std::string& value, std::uint64_t count) {
+  flatten();
   counts_[value] += count;
   total_ += count;
 }
 
 void FrequencyTable::merge(const FrequencyTable& other) {
+  if (other.dense()) {
+    if (pristine()) {
+      // Adopt the dense representation (SegmentedTableCache seeds its merge
+      // accumulator with a default-constructed table).
+      dict_ = other.dict_;
+      shifted_counts_ = other.shifted_counts_;
+      total_ = other.total_;
+      dense_distinct_ = other.dense_distinct_;
+      return;
+    }
+    if (dense() && dict_ == other.dict_) {
+      // Code-wise merge on the shared dictionary. A stream dictionary only
+      // grows, so the shorter vector is a prefix of the longer code space.
+      if (shifted_counts_.size() < other.shifted_counts_.size()) {
+        shifted_counts_.resize(other.shifted_counts_.size(), 0);
+      }
+      for (std::size_t s = 0; s < other.shifted_counts_.size(); ++s) {
+        shifted_counts_[s] += other.shifted_counts_[s];
+      }
+      recount_dense();
+      return;
+    }
+    // Dictionary mismatch: fall back to text.
+    flatten();
+    for (std::size_t s = 1; s < other.shifted_counts_.size(); ++s) {
+      if (other.shifted_counts_[s] != 0) {
+        counts_[other.dict_->at(static_cast<std::uint32_t>(s - 1))] += other.shifted_counts_[s];
+      }
+    }
+    total_ += other.total_;
+    return;
+  }
+  if (other.counts_.empty()) return;
+  flatten();
   for (const auto& [value, count] : other.counts_) counts_[value] += count;
   total_ += other.total_;
 }
 
 std::uint64_t FrequencyTable::count(const std::string& value) const noexcept {
+  if (dense()) {
+    const auto code = dict_->find(value);
+    if (!code.has_value()) return 0;
+    const std::size_t slot = static_cast<std::size_t>(*code) + 1;
+    // A shared stream dictionary may have grown past this table's build.
+    return slot < shifted_counts_.size() ? shifted_counts_[slot] : 0;
+  }
   auto it = counts_.find(value);
   return it == counts_.end() ? 0 : it->second;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> FrequencyTable::sorted() const {
-  std::vector<std::pair<std::string, std::uint64_t>> out(counts_.begin(), counts_.end());
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  if (dense()) {
+    out.reserve(dense_distinct_);
+    for (std::size_t s = 1; s < shifted_counts_.size(); ++s) {
+      if (shifted_counts_[s] != 0) {
+        out.emplace_back(dict_->at(static_cast<std::uint32_t>(s - 1)), shifted_counts_[s]);
+      }
+    }
+  } else {
+    out.assign(counts_.begin(), counts_.end());
+  }
   std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
+    return count_text_less(a.second, a.first, b.second, b.first);
   });
   return out;
 }
 
 std::vector<std::string> FrequencyTable::top_k(std::size_t k) const {
-  auto all = sorted();
-  if (all.size() > k) all.resize(k);
   std::vector<std::string> out;
-  out.reserve(all.size());
-  for (auto& [value, count] : all) out.push_back(std::move(value));
+  if (k == 0) return out;
+  if (dense()) {
+    // Select over (count, code) pairs; the text tie-break reads through the
+    // dictionary, so first-sight code order cannot perturb the result.
+    std::vector<std::uint32_t> codes;
+    codes.reserve(dense_distinct_);
+    for (std::size_t s = 1; s < shifted_counts_.size(); ++s) {
+      if (shifted_counts_[s] != 0) codes.push_back(static_cast<std::uint32_t>(s - 1));
+    }
+    const std::size_t take = std::min(k, codes.size());
+    const auto less = [this](std::uint32_t a, std::uint32_t b) {
+      return count_text_less(shifted_counts_[a + 1], dict_->at(a), shifted_counts_[b + 1],
+                             dict_->at(b));
+    };
+    std::partial_sort(codes.begin(), codes.begin() + static_cast<std::ptrdiff_t>(take),
+                      codes.end(), less);
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) out.push_back(dict_->at(codes[i]));
+    return out;
+  }
+  // Sparse: partial-sort pointers into the map — O(n log k) instead of the
+  // v1 full sorted() materialization, with the identical total order.
+  std::vector<const std::pair<const std::string, std::uint64_t>*> entries;
+  entries.reserve(counts_.size());
+  for (const auto& entry : counts_) entries.push_back(&entry);
+  const std::size_t take = std::min(k, entries.size());
+  std::partial_sort(entries.begin(), entries.begin() + static_cast<std::ptrdiff_t>(take),
+                    entries.end(), [](const auto* a, const auto* b) {
+                      return count_text_less(a->second, a->first, b->second, b->first);
+                    });
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(entries[i]->first);
   return out;
 }
 
@@ -43,7 +186,7 @@ std::vector<std::string> top_k_union(const std::vector<const FrequencyTable*>& t
   std::set<std::string> seen;
   for (const FrequencyTable* table : tables) {
     if (table == nullptr) continue;
-    for (const std::string& value : table->top_k(k)) seen.insert(value);
+    for (std::string& value : table->top_k(k)) seen.insert(std::move(value));
   }
   return {seen.begin(), seen.end()};
 }

@@ -4,44 +4,93 @@
 // k values at each vantage point, union them, and compare counts on that
 // union only, which bounds degrees of freedom and keeps expected cell
 // frequencies away from zero.
+//
+// Two representations share one interface:
+//
+//   - sparse: the v1 unordered_map<string, u64>, fed by add()/merge().
+//   - dense:  a vector<u64> indexed by dictionary code, built by
+//             from_codes() — counting is a branchless gather/increment, and
+//             merge() between tables sharing a dictionary is an elementwise
+//             vector add. This is the SessionFrame v2 fast path.
+//
+// Dense tables use the *shifted-code* convention of the frame's encoded
+// columns: slot s holds the count of dictionary code s-1, and slot 0
+// absorbs records with no value (no payload / no credential) so the count
+// kernel needs no missing-value branch. Slot 0 is excluded from total(),
+// distinct(), sorted(), and top_k(), exactly as the v1 add-loop never saw
+// those records. All output is produced through the dictionary's text, with
+// ties broken lexicographically, so code assignment order can never leak
+// into report bytes.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "util/dict.h"
+#include "util/postings.h"
 
 namespace cw::stats {
 
 class FrequencyTable {
  public:
+  FrequencyTable() = default;
+
+  // Dense construction over a whole shifted-code column.
+  [[nodiscard]] static FrequencyTable from_codes(std::span<const std::uint32_t> shifted_codes,
+                                                 std::shared_ptr<const util::Dictionary> dict);
+
+  // Dense construction gathering only the rows in `records`.
+  [[nodiscard]] static FrequencyTable from_codes(std::span<const std::uint32_t> shifted_codes,
+                                                 const util::PostingView& records,
+                                                 std::shared_ptr<const util::Dictionary> dict);
+
   void add(const std::string& value, std::uint64_t count = 1);
 
   // Adds every (value, count) of `other` into this table. Counts are exact
   // integers, so a table assembled by merging record-chunk partials is
   // identical to one built sequentially over the same records — the merge
-  // order cannot perturb sorted()/top_k() output.
+  // order cannot perturb sorted()/top_k() output. Dense tables sharing a
+  // dictionary merge code-wise (an elementwise vector add, resized to the
+  // larger table when a shared stream dictionary grew between builds);
+  // mixed or dictionary-mismatched merges fall back to text.
   void merge(const FrequencyTable& other);
 
   [[nodiscard]] std::uint64_t count(const std::string& value) const noexcept;
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
-  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return counts_.empty(); }
+  [[nodiscard]] std::size_t distinct() const noexcept {
+    return dense() ? dense_distinct_ : counts_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return distinct() == 0; }
+  [[nodiscard]] bool dense() const noexcept { return dict_ != nullptr; }
 
   // Values sorted by descending count; ties broken lexicographically so the
-  // result is deterministic. Returns at most k values.
+  // result is deterministic. Returns at most k values; selects with a
+  // partial sort when k is small relative to distinct().
   [[nodiscard]] std::vector<std::string> top_k(std::size_t k) const;
 
   // All (value, count) pairs, sorted as in top_k.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
 
-  [[nodiscard]] const std::unordered_map<std::string, std::uint64_t>& raw() const noexcept {
-    return counts_;
-  }
-
  private:
+  // Converts a dense table to the sparse representation in place.
+  void flatten();
+  [[nodiscard]] bool pristine() const noexcept {
+    return dict_ == nullptr && counts_.empty() && total_ == 0;
+  }
+  void recount_dense();
+
   std::unordered_map<std::string, std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+
+  // Dense representation (active iff dict_ != nullptr; counts_ stays empty).
+  std::shared_ptr<const util::Dictionary> dict_;
+  std::vector<std::uint64_t> shifted_counts_;  // slot 0 = missing, slot s = code s-1
+  std::size_t dense_distinct_ = 0;
 };
 
 // Union of the top-k values across a group of tables, sorted

@@ -19,33 +19,38 @@ void IngestShards::append(std::size_t shard, const capture::SessionRecord& recor
 }
 
 EpochSnapshot IngestShards::seal_epoch(const topology::Deployment& deployment,
-                                       const VerdictFactory& verdict,
-                                       runner::ThreadPool* pool) {
+                                       const VerdictFactory& verdict, runner::ThreadPool* pool,
+                                       bool verdict_pure) {
   // One sealer at a time: without this, two concurrent sealers would both
   // read the same `previous` snapshot below and both extend it, silently
   // dropping whichever segment published first. Shard appends are untouched
   // (they only take the per-shard mutexes), so producers never stall behind
-  // a seal.
+  // a seal. The lock also serializes mutation of the shared dictionaries
+  // the segment frames encode against.
   const std::lock_guard<std::mutex> seal_lock(seal_mutex_);
   // Drain shard-major: shard 0's buffer in append order, then shard 1's, ...
   // This total order — not the producers' interleaving — is what the segment
   // (and everything derived from it) is built over.
+  std::vector<std::vector<Buffered>> drained(shards_.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::lock_guard<std::mutex> lock(shards_[i]->mutex);
+    drained[i].swap(shards_[i]->buffer);
+    total += drained[i].size();
+  }
   capture::EventStore store;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    std::vector<Buffered> drained;
-    {
-      const std::lock_guard<std::mutex> lock(shard->mutex);
-      drained.swap(shard->buffer);
-    }
-    for (Buffered& buffered : drained) {
+  store.reserve(total);
+  for (std::vector<Buffered>& batch : drained) {
+    for (Buffered& buffered : batch) {
       store.append(buffered.record, buffered.payload, buffered.credential);
     }
   }
   store.freeze();
 
   EpochSnapshot previous = snapshot();
-  auto segment = std::make_shared<const Segment>(previous.epoch(), previous.size(),
-                                                 std::move(store), deployment, verdict, pool);
+  auto segment =
+      std::make_shared<const Segment>(previous.epoch(), previous.size(), std::move(store),
+                                      deployment, verdict, pool, &dicts_, verdict_pure);
   EpochSnapshot next = EpochSnapshot::extend(previous, std::move(segment));
   {
     const std::lock_guard<std::mutex> lock(snapshot_mutex_);

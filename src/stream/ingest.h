@@ -71,9 +71,18 @@ class IngestShards {
   // call from multiple threads: sealers are serialized on an internal seal
   // mutex (each drains what is buffered at its turn), and shard appends
   // proceed concurrently.
+  //
+  // Segment frames encode their characteristic columns against dictionaries
+  // shared across this instance's epochs (guarded by the seal mutex), so a
+  // seal pays only for values it has never seen — history is never
+  // re-interned or re-encoded. `verdict_pure` declares the factory's verdict
+  // functions pure in (credential presence, payload id, port, transport);
+  // set it only for classifier-derived verdicts (the live driver does) so
+  // the frame build memoizes classification per distinct tuple instead of
+  // calling the verdict once per record.
   EpochSnapshot seal_epoch(const topology::Deployment& deployment,
                            const VerdictFactory& verdict = {},
-                           runner::ThreadPool* pool = nullptr);
+                           runner::ThreadPool* pool = nullptr, bool verdict_pure = false);
 
   // The latest published snapshot (epoch 0 before the first seal). Safe to
   // call concurrently with append(), and with seal_epoch (readers see the
@@ -99,6 +108,10 @@ class IngestShards {
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Experiment-lifetime characteristic dictionaries (plus the payload /
+  // credential / AS encode memos) shared by every segment frame this
+  // instance seals. Mutated only inside seal_epoch under seal_mutex_.
+  capture::SharedFrameDicts dicts_;
   // Serializes whole seal_epoch calls (drain + build + extend + publish):
   // concurrent sealers must not extend the same `previous` snapshot.
   std::mutex seal_mutex_;

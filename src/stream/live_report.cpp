@@ -47,7 +47,11 @@ EpochReport LiveReport::run(const EpochCallback& callback) {
         (static_cast<unsigned long long>(config_.experiment.duration) * k) / epochs);
     live.advance_to(k == epochs ? config_.experiment.duration : boundary);
 
-    const EpochSnapshot snapshot = ingest.seal_epoch(live.result().deployment(), verdict, &pool);
+    // The factory above wraps the classifier, which is pure in (credential
+    // presence, payload id, port, transport) — declare it so the seal
+    // memoizes classification per distinct tuple.
+    const EpochSnapshot snapshot =
+        ingest.seal_epoch(live.result().deployment(), verdict, &pool, /*verdict_pure=*/true);
     const Segment& segment = *snapshot.segments().back();
     segmented.add_segment(segment.frame());
 

@@ -6,10 +6,13 @@ namespace {
 
 capture::SessionFrame build_segment_frame(const capture::EventStore& store,
                                           const topology::Deployment& deployment,
-                                          const VerdictFactory& verdict,
-                                          runner::ThreadPool* pool) {
+                                          const VerdictFactory& verdict, runner::ThreadPool* pool,
+                                          capture::SharedFrameDicts* shared_dicts,
+                                          bool verdict_pure) {
   capture::SessionFrame::BuildOptions options;
   options.pool = pool;
+  options.shared_dicts = shared_dicts;
+  options.verdict_pure = verdict_pure;
   if (verdict) options.verdict = verdict(store);
   return capture::SessionFrame::build(store, deployment, std::move(options));
 }
@@ -18,11 +21,12 @@ capture::SessionFrame build_segment_frame(const capture::EventStore& store,
 
 Segment::Segment(std::uint64_t id, std::uint64_t base, capture::EventStore&& store,
                  const topology::Deployment& deployment, const VerdictFactory& verdict,
-                 runner::ThreadPool* pool)
+                 runner::ThreadPool* pool, capture::SharedFrameDicts* shared_dicts,
+                 bool verdict_pure)
     : id_(id),
       base_(base),
       store_(std::move(store)),
-      frame_(build_segment_frame(store_, deployment, verdict, pool)) {}
+      frame_(build_segment_frame(store_, deployment, verdict, pool, shared_dicts, verdict_pure)) {}
 
 EpochSnapshot EpochSnapshot::extend(const EpochSnapshot& prev,
                                     std::shared_ptr<const Segment> segment) {

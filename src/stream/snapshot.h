@@ -51,10 +51,19 @@ class Segment {
   // `store` is frozen and projected during construction. `base` is the
   // segment's record offset within the cumulative corpus (sum of earlier
   // segment sizes). An empty `verdict` factory leaves the frame without a
-  // verdict column.
+  // verdict column. `shared_dicts`, when given, points at the experiment's
+  // shared characteristic dictionaries: the frame encodes against (and
+  // extends) them instead of building segment-local ones, so values seen in
+  // earlier epochs are never re-normalized or re-fingerprinted. The caller
+  // must serialize builds that share the same dictionaries (the ingest seal
+  // mutex does). `verdict_pure` declares the verdict function pure in
+  // (credential presence, payload id, port, transport) so the frame build
+  // may memoize it per distinct tuple — only set it for classifier-derived
+  // verdicts, never for arbitrary test factories.
   Segment(std::uint64_t id, std::uint64_t base, capture::EventStore&& store,
           const topology::Deployment& deployment, const VerdictFactory& verdict,
-          runner::ThreadPool* pool = nullptr);
+          runner::ThreadPool* pool = nullptr, capture::SharedFrameDicts* shared_dicts = nullptr,
+          bool verdict_pure = false);
 
   Segment(const Segment&) = delete;
   Segment& operator=(const Segment&) = delete;

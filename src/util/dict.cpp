@@ -1,0 +1,28 @@
+#include "util/dict.h"
+
+#include <algorithm>
+
+namespace cw::util {
+
+std::shared_ptr<const Dictionary> Dictionary::sorted(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  auto dict = std::make_shared<Dictionary>();
+  dict->values_ = std::move(values);
+  dict->codes_.reserve(dict->values_.size());
+  for (std::uint32_t code = 0; code < dict->values_.size(); ++code) {
+    dict->codes_.emplace(dict->values_[code], code);
+  }
+  return dict;
+}
+
+std::uint32_t Dictionary::encode(std::string_view value) {
+  const auto it = codes_.find(value);
+  if (it != codes_.end()) return it->second;
+  const std::uint32_t code = static_cast<std::uint32_t>(values_.size());
+  values_.emplace_back(value);
+  codes_.emplace(values_.back(), code);
+  return code;
+}
+
+}  // namespace cw::util

@@ -1,0 +1,75 @@
+// Dictionary: a stable text <-> dense-u32-code mapping for categorical
+// columns. The SessionFrame v2 encodings rest on two construction modes:
+//
+//   - sorted():   freeze a distinct-value set with codes assigned in
+//                 lexicographic order. Insertion order cannot perturb the
+//                 assignment, so two frames built over the same value set —
+//                 sequentially or sharded — carry identical dictionaries.
+//   - encode():   append-only first-sight assignment for the *shared*
+//                 per-experiment dictionaries the stream layer seals epochs
+//                 against: codes handed out in earlier epochs stay valid
+//                 forever, so per-segment count vectors indexed by code can
+//                 be merged across epochs without re-encoding history.
+//
+// Thread contract: encode()/find() mutate or read the lookup map and need
+// external serialization against writers (the stream layer's seal mutex
+// provides it; batch dictionaries are frozen after construction and then
+// safe for concurrent find()/at()). at()/size() readers must not overlap a
+// writer either — the live driver quiesces analysis between seals.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cw::util {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Frozen dictionary over a distinct-value set, codes in lexicographic
+  // order of the values. Duplicates are collapsed.
+  [[nodiscard]] static std::shared_ptr<const Dictionary> sorted(std::vector<std::string> values);
+
+  // First-sight append: returns the existing code for a seen value or
+  // assigns the next one. Writer-side; serialize against all other access.
+  std::uint32_t encode(std::string_view value);
+
+  // The code for a value, if interned. Safe for concurrent readers only
+  // while no writer runs.
+  [[nodiscard]] std::optional<std::uint32_t> find(std::string_view value) const {
+    const auto it = codes_.find(value);
+    if (it == codes_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // The value for a code. Precondition: code < size().
+  [[nodiscard]] const std::string& at(std::uint32_t code) const { return values_[code]; }
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(values_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view value) const noexcept {
+      return std::hash<std::string_view>{}(value);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept { return a == b; }
+  };
+
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, std::uint32_t, Hash, Eq> codes_;
+};
+
+}  // namespace cw::util

@@ -1,0 +1,107 @@
+#include "util/postings.h"
+
+namespace cw::util {
+
+void PostingList::append(std::uint32_t value) {
+#ifndef NDEBUG
+  assert(last_appended_ == 0 || static_cast<std::uint64_t>(value) + 1 > last_appended_);
+  last_appended_ = static_cast<std::uint64_t>(value) + 1;
+#endif
+  const auto key = static_cast<std::uint16_t>(value >> 16);
+  const auto low = static_cast<std::uint16_t>(value & 0xFFFFu);
+  if (containers_.empty() || containers_.back().key != key) {
+    containers_.emplace_back();
+    containers_.back().key = key;
+  }
+  Container& c = containers_.back();
+  if (!c.bits.empty()) {
+    c.bits[low >> 6] |= std::uint64_t{1} << (low & 63u);
+  } else if (c.array.size() < kArrayMax) {
+    c.array.push_back(low);
+  } else {
+    c.bits.assign(kBitmapWords, 0);
+    for (const std::uint16_t v : c.array) c.bits[v >> 6] |= std::uint64_t{1} << (v & 63u);
+    c.array.clear();
+    c.array.shrink_to_fit();
+    c.bits[low >> 6] |= std::uint64_t{1} << (low & 63u);
+  }
+  ++size_;
+}
+
+std::size_t PostingList::bytes() const noexcept {
+  std::size_t total = sizeof(*this) + containers_.capacity() * sizeof(Container);
+  for (const Container& c : containers_) {
+    total += c.array.capacity() * sizeof(std::uint16_t);
+    total += c.bits.capacity() * sizeof(std::uint64_t);
+  }
+  return total;
+}
+
+void PostingList::shrink() {
+  containers_.shrink_to_fit();
+  for (Container& c : containers_) c.array.shrink_to_fit();
+}
+
+std::vector<std::uint32_t> PostingList::to_vector() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(size_);
+  for_each([&out](std::uint32_t value) { out.push_back(value); });
+  return out;
+}
+
+void PostingList::const_iterator::settle() {
+  pos_ = 0;
+  if (list_ == nullptr || container_ >= list_->containers_.size()) {
+    current_ = 0;
+    return;
+  }
+  // Containers are created on append and thus never empty.
+  const Container& c = list_->containers_[container_];
+  const std::uint32_t base = static_cast<std::uint32_t>(c.key) << 16;
+  if (c.bits.empty()) {
+    current_ = base | c.array[0];
+    return;
+  }
+  for (std::size_t w = 0; w < kBitmapWords; ++w) {
+    if (c.bits[w] != 0) {
+      pos_ = static_cast<std::uint32_t>((w << 6) | std::countr_zero(c.bits[w]));
+      current_ = base | pos_;
+      return;
+    }
+  }
+}
+
+void PostingList::const_iterator::advance() {
+  const Container& c = list_->containers_[container_];
+  const std::uint32_t base = static_cast<std::uint32_t>(c.key) << 16;
+  if (c.bits.empty()) {
+    if (pos_ + 1 < c.array.size()) {
+      ++pos_;
+      current_ = base | c.array[pos_];
+      return;
+    }
+  } else if (pos_ < 65535u) {
+    std::uint32_t low = pos_ + 1;
+    std::size_t w = low >> 6;
+    std::uint64_t word = c.bits[w] & (~std::uint64_t{0} << (low & 63u));
+    while (true) {
+      if (word != 0) {
+        pos_ = static_cast<std::uint32_t>((w << 6) | std::countr_zero(word));
+        current_ = base | pos_;
+        return;
+      }
+      if (++w == kBitmapWords) break;
+      word = c.bits[w];
+    }
+  }
+  ++container_;
+  settle();
+}
+
+std::vector<std::uint32_t> PostingView::to_vector() const {
+  if (vec_ != nullptr) return *vec_;
+  if (list_ != nullptr) return list_->to_vector();
+  return {};
+}
+
+}  // namespace cw::util

@@ -1,0 +1,169 @@
+// PostingList: a packed, roaring-style set of ascending u32 record indices.
+//
+// The SessionFrame keeps one posting list per port and per (vantage, port);
+// at telescope scale the dense lists (port 22/23/80/445 on the telescope
+// vantage) hold millions of near-contiguous indices, which a plain
+// vector<uint32> stores at 4 bytes each. Here the index space is chunked by
+// the high 16 bits into containers of two shapes — a sorted u16 array while
+// sparse (<= 4096 entries) and a 65536-bit bitmap once dense — so a full
+// run costs 2 bits/index and a sparse tail 2 bytes/index, with the
+// array->bitmap cutover exactly at the break-even point (4096 * 16 bits ==
+// 65536 bits).
+//
+// Everything iterates in ascending index order (for_each, the forward
+// iterator, to_vector), so a consumer that walks a packed list observes the
+// identical sequence the v1 vector held — report bytes cannot change.
+//
+// Build contract: append() values strictly ascending (the frame's
+// secondary-structure pass is a single ascending scan). Not thread-safe
+// during build; immutable and freely shared after.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cw::util {
+
+class PostingList {
+ public:
+  // Array -> bitmap cutover: 4096 u16s occupy exactly one bitmap's 8 KiB.
+  static constexpr std::size_t kArrayMax = 4096;
+  static constexpr std::size_t kBitmapWords = 65536 / 64;
+
+  // Appends one index; must be strictly greater than every prior append.
+  void append(std::uint32_t value);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  // Packed footprint in bytes (diagnostics / bench).
+  [[nodiscard]] std::size_t bytes() const noexcept;
+
+  // Drops build-time slack (call once after the last append).
+  void shrink();
+
+  // Ascending iteration. for_each is the fast path (two tight loops, no
+  // per-element dispatch); the iterator exists so range-for consumers read
+  // exactly like they did over the v1 vector.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Container& c : containers_) {
+      const std::uint32_t base = static_cast<std::uint32_t>(c.key) << 16;
+      if (c.bits.empty()) {
+        for (const std::uint16_t low : c.array) fn(base | low);
+      } else {
+        for (std::size_t w = 0; w < kBitmapWords; ++w) {
+          std::uint64_t word = c.bits[w];
+          while (word != 0) {
+            fn(base | static_cast<std::uint32_t>((w << 6) | std::countr_zero(word)));
+            word &= word - 1;
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> to_vector() const;
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const std::uint32_t*;
+    using reference = std::uint32_t;
+
+    const_iterator() = default;
+    reference operator*() const { return current_; }
+    const_iterator& operator++() {
+      advance();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      advance();
+      return tmp;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.container_ == b.container_ && a.pos_ == b.pos_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) { return !(a == b); }
+
+   private:
+    friend class PostingList;
+    const_iterator(const PostingList* list, std::size_t container) noexcept
+        : list_(list), container_(container) {
+      settle();
+    }
+    void advance();
+    // Positions on the first element of container_ (or end).
+    void settle();
+
+    const PostingList* list_ = nullptr;
+    std::size_t container_ = 0;
+    // Array containers: rank of the current element. Bitmap containers: the
+    // current low 16 bits. Within one container the two never mix, so
+    // (container_, pos_) is a total position.
+    std::uint32_t pos_ = 0;
+    std::uint32_t current_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept { return const_iterator(this, 0); }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(this, containers_.size());
+  }
+
+ private:
+  struct Container {
+    std::uint16_t key = 0;                // high 16 bits of every member
+    std::vector<std::uint16_t> array;     // sorted; empty once bitmap
+    std::vector<std::uint64_t> bits;      // kBitmapWords words; empty while array
+  };
+
+  friend class const_iterator;
+  std::vector<Container> containers_;
+  std::size_t size_ = 0;
+#ifndef NDEBUG
+  std::uint64_t last_appended_ = 0;  // (value + 1); 0 = nothing appended yet
+#endif
+};
+
+// A non-owning view over either a packed PostingList or a plain ascending
+// vector<uint32>: the record-set currency of the analysis layer. Slices the
+// table cache owns (neighbor filters, HTTP/AllPorts) stay plain vectors;
+// frame posting lists arrive packed; kernels iterate either through one
+// branch-hoisted for_each.
+class PostingView {
+ public:
+  PostingView() = default;
+  /*implicit*/ PostingView(const PostingList& list) noexcept : list_(&list) {}
+  /*implicit*/ PostingView(const std::vector<std::uint32_t>& vec) noexcept : vec_(&vec) {}
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return vec_ != nullptr ? vec_->size() : list_ != nullptr ? list_->size() : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (vec_ != nullptr) {
+      for (const std::uint32_t value : *vec_) fn(value);
+    } else if (list_ != nullptr) {
+      list_->for_each(fn);
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> to_vector() const;
+
+  // The underlying vector when this view wraps one (random-access chunked
+  // builds keep their v1 sharding in that case), nullptr for packed lists.
+  [[nodiscard]] const std::vector<std::uint32_t>* as_vector() const noexcept { return vec_; }
+
+ private:
+  const PostingList* list_ = nullptr;
+  const std::vector<std::uint32_t>* vec_ = nullptr;
+};
+
+}  // namespace cw::util

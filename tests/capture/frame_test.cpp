@@ -87,11 +87,13 @@ TEST_F(FrameTest, PostingListsAreAscendingAndComplete) {
 
   std::size_t covered = 0;
   for (const net::Port port : {net::Port{22}, net::Port{23}, net::Port{80}}) {
-    const auto& postings = frame.for_port(port);
+    const std::vector<std::uint32_t> postings = frame.for_port(port).to_vector();
     covered += postings.size();
     for (std::size_t k = 0; k < postings.size(); ++k) {
       EXPECT_EQ(frame.port(postings[k]), port);
-      if (k > 0) EXPECT_LT(postings[k - 1], postings[k]);
+      if (k > 0) {
+        EXPECT_LT(postings[k - 1], postings[k]);
+      }
     }
   }
   EXPECT_EQ(covered, frame.size());
@@ -114,7 +116,7 @@ TEST_F(FrameTest, PostingListsAreAscendingAndComplete) {
       for (const std::uint32_t index : frame.for_vantage(v)) {
         if (frame.port(index) == port) expected.push_back(index);
       }
-      EXPECT_EQ(frame.for_vantage_port(v, port), expected);
+      EXPECT_EQ(frame.for_vantage_port(v, port).to_vector(), expected);
     }
   }
 }
@@ -176,10 +178,11 @@ TEST_F(FrameTest, ShardedBuildMatchesSequential) {
     ASSERT_EQ(sequential.protocol(i), sharded.protocol(i));
   }
   for (const net::Port port : {net::Port{22}, net::Port{80}}) {
-    EXPECT_EQ(sequential.for_port(port), sharded.for_port(port));
+    EXPECT_EQ(sequential.for_port(port).to_vector(), sharded.for_port(port).to_vector());
   }
   for (topology::VantageId v = 0; v < 3; ++v) {
-    EXPECT_EQ(sequential.for_vantage_port(v, 22), sharded.for_vantage_port(v, 22));
+    EXPECT_EQ(sequential.for_vantage_port(v, 22).to_vector(),
+              sharded.for_vantage_port(v, 22).to_vector());
   }
 }
 

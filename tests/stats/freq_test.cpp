@@ -123,6 +123,166 @@ TEST(FrequencyTable, ChunkedMergeMatchesSequentialBuild) {
   }
 }
 
+// --- Dense (from_codes) path -----------------------------------------------
+
+// A synthetic shifted-code column with missing rows (shifted code 0) plus
+// the equivalent text column for the v1 add-loop.
+struct EncodedColumn {
+  std::shared_ptr<const cw::util::Dictionary> dict;
+  std::vector<std::uint32_t> shifted;      // code+1, 0 = missing
+  std::vector<std::string> texts;          // one entry per non-missing row
+};
+
+EncodedColumn make_column(std::size_t rows, std::size_t distinct, std::size_t missing_every) {
+  std::vector<std::string> values;
+  for (std::size_t i = 0; i < distinct; ++i) values.push_back("val-" + std::to_string(i));
+  EncodedColumn column;
+  column.dict = cw::util::Dictionary::sorted(values);
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (missing_every != 0 && r % missing_every == 0) {
+      column.shifted.push_back(0);
+      continue;
+    }
+    const std::string& text = values[(r * 13) % distinct];
+    column.shifted.push_back(*column.dict->find(text) + 1);
+    column.texts.push_back(text);
+  }
+  return column;
+}
+
+void expect_bit_identical(const FrequencyTable& a, const FrequencyTable& b) {
+  EXPECT_EQ(a.total(), b.total());
+  EXPECT_EQ(a.distinct(), b.distinct());
+  EXPECT_EQ(a.sorted(), b.sorted());
+  EXPECT_EQ(a.top_k(3), b.top_k(3));
+}
+
+TEST(FrequencyTableDense, FromCodesMatchesAddLoop) {
+  const auto column = make_column(997, 23, 5);
+  const auto dense = FrequencyTable::from_codes(column.shifted, column.dict);
+  EXPECT_TRUE(dense.dense());
+  FrequencyTable sparse;
+  for (const std::string& text : column.texts) sparse.add(text);
+  expect_bit_identical(dense, sparse);
+  EXPECT_EQ(dense.count("val-0"), sparse.count("val-0"));
+  EXPECT_EQ(dense.count("never-seen"), 0u);
+}
+
+TEST(FrequencyTableDense, FromCodesOverRecordsMatchesAddLoop) {
+  const auto column = make_column(500, 11, 0);
+  // Every third row, through both PostingView sources.
+  std::vector<std::uint32_t> picked;
+  for (std::uint32_t r = 0; r < 500; r += 3) picked.push_back(r);
+  cw::util::PostingList packed;
+  for (const std::uint32_t r : picked) packed.append(r);
+
+  FrequencyTable sparse;
+  for (const std::uint32_t r : picked) sparse.add(column.dict->at(column.shifted[r] - 1));
+
+  const auto via_vector =
+      FrequencyTable::from_codes(column.shifted, cw::util::PostingView(picked), column.dict);
+  const auto via_packed =
+      FrequencyTable::from_codes(column.shifted, cw::util::PostingView(packed), column.dict);
+  expect_bit_identical(via_vector, sparse);
+  expect_bit_identical(via_packed, sparse);
+}
+
+TEST(FrequencyTableDense, MergedChunkPartialsMatchSequential) {
+  // Satellite contract: from_codes chunk partials merged code-wise must be
+  // bit-identical to the sequential v1 add-loop over the same records.
+  const auto column = make_column(2000, 31, 7);
+  FrequencyTable sequential;
+  for (const std::string& text : column.texts) sequential.add(text);
+
+  for (const std::size_t chunk : {64ul, 333ul, 1999ul, 4096ul}) {
+    FrequencyTable merged;
+    for (std::size_t begin = 0; begin < column.shifted.size(); begin += chunk) {
+      const std::size_t end = std::min(column.shifted.size(), begin + chunk);
+      const auto partial = FrequencyTable::from_codes(
+          std::span<const std::uint32_t>(column.shifted).subspan(begin, end - begin),
+          column.dict);
+      merged.merge(partial);
+    }
+    EXPECT_TRUE(merged.dense());
+    expect_bit_identical(merged, sequential);
+  }
+}
+
+TEST(FrequencyTableDense, MergeAcrossGrownSharedDictionary) {
+  // Stream mode: the shared dictionary grows between epoch builds; earlier
+  // partials have shorter count vectors but codes stay aligned.
+  auto shared = std::make_shared<cw::util::Dictionary>();
+  std::vector<std::uint32_t> epoch1 = {shared->encode("b") + 1, shared->encode("a") + 1,
+                                       shared->encode("b") + 1, 0};
+  std::shared_ptr<const cw::util::Dictionary> view = shared;
+  const auto table1 = FrequencyTable::from_codes(epoch1, view);
+
+  std::vector<std::uint32_t> epoch2 = {shared->encode("c") + 1, shared->encode("a") + 1, 0,
+                                       shared->encode("c") + 1};
+  const auto table2 = FrequencyTable::from_codes(epoch2, view);
+
+  FrequencyTable merged;
+  merged.merge(table1);
+  merged.merge(table2);
+  EXPECT_TRUE(merged.dense());
+
+  FrequencyTable reference;
+  reference.add("b", 2);
+  reference.add("a", 2);
+  reference.add("c", 2);
+  expect_bit_identical(merged, reference);
+
+  // Reverse order (long vector first) must also work.
+  FrequencyTable reversed;
+  reversed.merge(table2);
+  reversed.merge(table1);
+  expect_bit_identical(reversed, reference);
+}
+
+TEST(FrequencyTableDense, MismatchedDictionariesFallBackToText) {
+  const auto col_a = make_column(100, 7, 0);
+  const auto col_b = make_column(100, 9, 0);
+  auto dense_a = FrequencyTable::from_codes(col_a.shifted, col_a.dict);
+  const auto dense_b = FrequencyTable::from_codes(col_b.shifted, col_b.dict);
+  FrequencyTable reference;
+  for (const std::string& text : col_a.texts) reference.add(text);
+  for (const std::string& text : col_b.texts) reference.add(text);
+  dense_a.merge(dense_b);
+  expect_bit_identical(dense_a, reference);
+}
+
+TEST(FrequencyTableDense, AddAndSparseMergeFlattenDenseTables) {
+  const auto column = make_column(50, 5, 0);
+  auto dense = FrequencyTable::from_codes(column.shifted, column.dict);
+  FrequencyTable reference;
+  for (const std::string& text : column.texts) reference.add(text);
+
+  auto via_add = dense;
+  auto add_reference = reference;
+  via_add.add("extra", 2);
+  add_reference.add("extra", 2);
+  EXPECT_FALSE(via_add.dense());
+  expect_bit_identical(via_add, add_reference);
+
+  FrequencyTable sparse_other;
+  sparse_other.add("other", 4);
+  dense.merge(sparse_other);
+  reference.add("other", 4);
+  EXPECT_FALSE(dense.dense());
+  expect_bit_identical(dense, reference);
+}
+
+TEST(FrequencyTableDense, AllMissingColumnIsEmpty) {
+  const std::vector<std::uint32_t> shifted = {0, 0, 0};
+  const auto dense =
+      FrequencyTable::from_codes(shifted, cw::util::Dictionary::sorted({"a", "b"}));
+  EXPECT_TRUE(dense.empty());
+  EXPECT_EQ(dense.total(), 0u);
+  EXPECT_EQ(dense.distinct(), 0u);
+  EXPECT_TRUE(dense.sorted().empty());
+  EXPECT_TRUE(dense.top_k(3).empty());
+}
+
 TEST(TopKUnion, UnionsAndSorts) {
   FrequencyTable a;
   a.add("x", 5);

@@ -1,0 +1,109 @@
+#include "util/dict.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace cw::util {
+namespace {
+
+TEST(DictionaryTest, SortedAssignsLexicographicCodes) {
+  auto dict = Dictionary::sorted({"charlie", "alpha", "bravo"});
+  ASSERT_EQ(dict->size(), 3u);
+  EXPECT_EQ(dict->at(0), "alpha");
+  EXPECT_EQ(dict->at(1), "bravo");
+  EXPECT_EQ(dict->at(2), "charlie");
+  EXPECT_EQ(dict->find("alpha"), std::optional<std::uint32_t>{0});
+  EXPECT_EQ(dict->find("bravo"), std::optional<std::uint32_t>{1});
+  EXPECT_EQ(dict->find("charlie"), std::optional<std::uint32_t>{2});
+  EXPECT_FALSE(dict->find("delta").has_value());
+}
+
+TEST(DictionaryTest, SortedCollapsesDuplicates) {
+  auto dict = Dictionary::sorted({"x", "y", "x", "x", "y"});
+  ASSERT_EQ(dict->size(), 2u);
+  EXPECT_EQ(dict->at(0), "x");
+  EXPECT_EQ(dict->at(1), "y");
+}
+
+TEST(DictionaryTest, SortedIsInsertionOrderIndependent) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 200; ++i) values.push_back("value-" + std::to_string(i % 57));
+  std::vector<std::string> shuffled = values;
+  std::mt19937 gen(42);
+  std::shuffle(shuffled.begin(), shuffled.end(), gen);
+
+  auto a = Dictionary::sorted(values);
+  auto b = Dictionary::sorted(shuffled);
+  ASSERT_EQ(a->size(), b->size());
+  for (std::uint32_t code = 0; code < a->size(); ++code) EXPECT_EQ(a->at(code), b->at(code));
+}
+
+TEST(DictionaryTest, EncodeAssignsFirstSightCodesStably) {
+  Dictionary dict;
+  EXPECT_EQ(dict.encode("zulu"), 0u);
+  EXPECT_EQ(dict.encode("alpha"), 1u);
+  EXPECT_EQ(dict.encode("zulu"), 0u);  // seen values keep their code
+  EXPECT_EQ(dict.encode("mike"), 2u);
+  EXPECT_EQ(dict.encode("alpha"), 1u);
+  ASSERT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.at(0), "zulu");
+  EXPECT_EQ(dict.at(1), "alpha");
+  EXPECT_EQ(dict.at(2), "mike");
+}
+
+// The v2 contract: encoding a column and decoding it through the dictionary
+// reproduces the original text column exactly.
+TEST(DictionaryTest, ColumnRoundTrip) {
+  std::vector<std::string> column;
+  for (int i = 0; i < 1000; ++i) column.push_back("AS" + std::to_string((i * 37) % 101));
+
+  // Batch mode: sorted dictionary, then find() per cell.
+  auto sorted = Dictionary::sorted(column);
+  std::vector<std::uint32_t> codes;
+  codes.reserve(column.size());
+  for (const std::string& value : column) {
+    auto code = sorted->find(value);
+    ASSERT_TRUE(code.has_value());
+    codes.push_back(*code);
+  }
+  for (std::size_t i = 0; i < column.size(); ++i) EXPECT_EQ(sorted->at(codes[i]), column[i]);
+
+  // Stream mode: append-only encode per cell.
+  Dictionary shared;
+  std::vector<std::uint32_t> stream_codes;
+  stream_codes.reserve(column.size());
+  for (const std::string& value : column) stream_codes.push_back(shared.encode(value));
+  for (std::size_t i = 0; i < column.size(); ++i)
+    EXPECT_EQ(shared.at(stream_codes[i]), column[i]);
+}
+
+// Stream dictionaries only grow: codes handed out in an earlier epoch must
+// survive later epochs untouched.
+TEST(DictionaryTest, EncodeKeepsEarlierCodesAcrossGrowth) {
+  Dictionary dict;
+  std::vector<std::uint32_t> epoch1;
+  for (int i = 0; i < 50; ++i) epoch1.push_back(dict.encode("e1-" + std::to_string(i)));
+  const std::uint32_t size_after_epoch1 = dict.size();
+  for (int i = 0; i < 500; ++i) dict.encode("e2-" + std::to_string(i));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dict.find("e1-" + std::to_string(i)), std::optional<std::uint32_t>{epoch1[i]});
+    EXPECT_EQ(dict.at(epoch1[i]), "e1-" + std::to_string(i));
+  }
+  EXPECT_EQ(dict.size(), size_after_epoch1 + 500);
+}
+
+TEST(DictionaryTest, EmptyDictionary) {
+  Dictionary dict;
+  EXPECT_TRUE(dict.empty());
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_FALSE(dict.find("anything").has_value());
+  auto sorted = Dictionary::sorted({});
+  EXPECT_TRUE(sorted->empty());
+}
+
+}  // namespace
+}  // namespace cw::util

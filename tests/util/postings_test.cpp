@@ -1,0 +1,121 @@
+#include "util/postings.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cw::util {
+namespace {
+
+// Builds a packed list from an ascending vector and checks every read path
+// (for_each, iterator, to_vector, size) yields exactly the source sequence.
+void ExpectEquivalent(const std::vector<std::uint32_t>& reference) {
+  PostingList list;
+  for (const std::uint32_t v : reference) list.append(v);
+  list.shrink();
+
+  EXPECT_EQ(list.size(), reference.size());
+  EXPECT_EQ(list.empty(), reference.empty());
+  EXPECT_EQ(list.to_vector(), reference);
+
+  std::vector<std::uint32_t> via_for_each;
+  list.for_each([&via_for_each](std::uint32_t v) { via_for_each.push_back(v); });
+  EXPECT_EQ(via_for_each, reference);
+
+  std::vector<std::uint32_t> via_iter;
+  for (const std::uint32_t v : list) via_iter.push_back(v);
+  EXPECT_EQ(via_iter, reference);
+
+  PostingView view(list);
+  EXPECT_EQ(view.size(), reference.size());
+  EXPECT_EQ(view.to_vector(), reference);
+}
+
+TEST(PostingListTest, Empty) { ExpectEquivalent({}); }
+
+TEST(PostingListTest, SingleElement) {
+  ExpectEquivalent({0});
+  ExpectEquivalent({65535});
+  ExpectEquivalent({65536});
+  ExpectEquivalent({4294967295u});
+}
+
+TEST(PostingListTest, DenseRun) {
+  // A full contiguous run forces the array->bitmap conversion mid-container.
+  std::vector<std::uint32_t> reference;
+  for (std::uint32_t v = 0; v < 70000; ++v) reference.push_back(v);
+  ExpectEquivalent(reference);
+}
+
+TEST(PostingListTest, SparseTail) {
+  // Dense head, then widely spaced stragglers across many containers.
+  std::vector<std::uint32_t> reference;
+  for (std::uint32_t v = 0; v < 5000; ++v) reference.push_back(v);
+  for (std::uint32_t v = 1; v <= 40; ++v) reference.push_back(100000u * v + (v % 7));
+  ExpectEquivalent(reference);
+}
+
+TEST(PostingListTest, FullRangeContainer) {
+  // All 65536 values of one container, bracketed by neighbors.
+  std::vector<std::uint32_t> reference;
+  reference.push_back(65535);  // last slot of container 0
+  for (std::uint32_t v = 65536; v < 131072; ++v) reference.push_back(v);
+  reference.push_back(131072);  // first slot of container 2
+  ExpectEquivalent(reference);
+}
+
+TEST(PostingListTest, ContainerBoundaryStraddle) {
+  ExpectEquivalent({65534, 65535, 65536, 65537, 131071, 131072});
+}
+
+TEST(PostingListTest, ExactlyAtConversionThreshold) {
+  // 4096 elements stay an array; the 4097th converts.
+  std::vector<std::uint32_t> at_threshold;
+  for (std::uint32_t v = 0; v < PostingList::kArrayMax; ++v) at_threshold.push_back(2 * v);
+  ExpectEquivalent(at_threshold);
+  at_threshold.push_back(2 * PostingList::kArrayMax);
+  ExpectEquivalent(at_threshold);
+}
+
+TEST(PostingListTest, RandomAscendingMatchesVector) {
+  std::mt19937 gen(7);
+  for (const double density : {0.9, 0.1, 0.001}) {
+    std::vector<std::uint32_t> reference;
+    std::geometric_distribution<std::uint32_t> gap(density);
+    std::uint64_t next = 0;
+    while (reference.size() < 50000 && next <= 0xFFFFFFFFull) {
+      reference.push_back(static_cast<std::uint32_t>(next));
+      next += 1 + gap(gen);
+    }
+    ExpectEquivalent(reference);
+  }
+}
+
+TEST(PostingListTest, PackedBeatsVectorOnDenseRuns) {
+  PostingList list;
+  for (std::uint32_t v = 0; v < 1u << 20; ++v) list.append(v);
+  list.shrink();
+  // 1Mi dense indices: ~2 bits each packed vs 32 bits in a vector.
+  EXPECT_LT(list.bytes(), (1u << 20) * sizeof(std::uint32_t) / 8);
+}
+
+TEST(PostingViewTest, WrapsVectorAndDefault) {
+  const std::vector<std::uint32_t> vec = {3, 9, 27};
+  PostingView view(vec);
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(view.as_vector(), &vec);
+  EXPECT_EQ(view.to_vector(), vec);
+  std::vector<std::uint32_t> seen;
+  view.for_each([&seen](std::uint32_t v) { seen.push_back(v); });
+  EXPECT_EQ(seen, vec);
+
+  PostingView empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.as_vector(), nullptr);
+  EXPECT_TRUE(empty.to_vector().empty());
+}
+
+}  // namespace
+}  // namespace cw::util
