@@ -1,0 +1,255 @@
+// bench_serve — mixed ingest+query load against stream::ReportServer.
+//
+// A live window runs in the background (sealing epochs and publishing their
+// rendered tables) while client threads hammer the server over real keep-alive
+// sockets. Two phases are measured separately:
+//
+//   mixed   requests issued while the live run is still sealing/rendering —
+//           the server's lock-free-read claim under producer pressure
+//   cached  requests after the final epoch, when every response comes from
+//           the per-(epoch, route) cache — the steady-state read path
+//
+// Per-request latency is wall-clock around one send+recv round trip; the
+// percentiles and QPS go to stdout as JSON for BENCH_runner.json.
+//
+// Environment knobs:
+//   CW_SCALE          experiment scale (default 0.1 — the live run is the
+//                     backdrop here, not the thing being measured)
+//   CW_T24            telescope /24 count (default 4)
+//   CW_EPOCHS         epoch count for the live window (default 6)
+//   CW_SERVE_CLIENTS  concurrent reader connections (default 4)
+//   CW_SERVE_WORKERS  server handler pool size (default 4)
+//   CW_SERVE_SECONDS  cached-phase measurement window (default 5)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "stream/live_report.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// One GET round trip on a keep-alive connection; returns false on any
+// protocol hiccup (caller reconnects).
+bool get_round_trip(int fd, const std::string& target, std::string& buffer) {
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(request.size())) {
+    return false;
+  }
+  buffer.clear();
+  char chunk[16384];
+  std::size_t body_start = 0;
+  std::size_t content_length = 0;
+  for (;;) {
+    if (body_start == 0) {
+      const std::size_t head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        const std::size_t tag = buffer.find("Content-Length: ");
+        if (tag == std::string::npos || tag > head_end) return false;
+        content_length = static_cast<std::size_t>(
+            std::atoll(buffer.c_str() + tag + std::strlen("Content-Length: ")));
+        body_start = head_end + 4;
+      }
+    }
+    if (body_start != 0 && buffer.size() >= body_start + content_length) return true;
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) return false;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+struct Phase {
+  std::vector<double> latencies_us;  // merged across clients
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double percentile(double p) const {
+    if (latencies_us.empty()) return 0.0;
+    std::vector<double> sorted = latencies_us;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[rank];
+  }
+  [[nodiscard]] double qps() const {
+    return wall_seconds > 0 ? static_cast<double>(latencies_us.size()) / wall_seconds : 0.0;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const double scale = env_double("CW_SCALE", 0.1);
+  const int t24 = env_int("CW_T24", 4);
+  const std::size_t epochs = static_cast<std::size_t>(env_int("CW_EPOCHS", 6));
+  const std::size_t clients = static_cast<std::size_t>(env_int("CW_SERVE_CLIENTS", 4));
+  const int cached_seconds = env_int("CW_SERVE_SECONDS", 5);
+
+  cw::stream::LiveReportConfig config;
+  config.experiment.scale = scale;
+  config.experiment.telescope_slash24s = t24;
+  config.epochs = epochs;
+  config.shards = 4;
+  config.jobs = 1;
+  config.report.include_leak = false;
+  config.extract_findings = true;
+
+  cw::stream::ReportPublisher publisher;
+  cw::stream::ReportServerConfig server_config;
+  server_config.workers = static_cast<unsigned>(env_int("CW_SERVE_WORKERS", 4));
+  server_config.max_connections = clients + 8;
+  cw::stream::ReportServer server(publisher, server_config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "bench_serve: server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "bench_serve: scale %.2f, t24 %d, %zu epochs, %zu clients, port %u\n",
+               scale, t24, epochs, clients, server.port());
+
+  // Background producer: the live window seals, renders, publishes.
+  std::atomic<bool> live_done{false};
+  std::thread producer([&config, &publisher, &live_done, scale] {
+    cw::stream::LiveReport live(config);
+    live.run([&publisher, scale](const cw::stream::EpochReport& report) {
+      publisher.publish(cw::stream::PublishedEpoch::from_report(report, scale));
+      std::fprintf(stderr, "bench_serve: published epoch %llu (+%llu records)\n",
+                   static_cast<unsigned long long>(report.epoch),
+                   static_cast<unsigned long long>(report.records_new));
+    });
+    live_done.store(true);
+  });
+
+  // Clients hammer the table/report routes for whatever epochs exist,
+  // tagging each latency sample with the phase it ran in.
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> mixed_lat(clients);
+  std::vector<std::vector<double>> cached_lat(clients);
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      int fd = -1;
+      std::string buffer;
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t latest = publisher.latest_epoch();
+        if (latest == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          continue;
+        }
+        if (fd < 0) fd = connect_to(server.port());
+        if (fd < 0) {
+          ++failures;
+          continue;
+        }
+        // Rotate target epochs and routes deterministically per client.
+        const std::uint64_t k = 1 + (i + c) % latest;
+        const auto epoch = publisher.epoch(k);
+        if (!epoch || epoch->tables.empty()) continue;
+        const std::string& slug = epoch->table_slugs[(i / latest) % epoch->table_slugs.size()];
+        const std::string target = i % 4 == 3
+                                       ? "/epoch/" + std::to_string(k) + "/report"
+                                       : "/epoch/" + std::to_string(k) + "/table/" + slug;
+        const bool mixed_phase = !live_done.load(std::memory_order_relaxed);
+        const auto begin = Clock::now();
+        const bool ok = get_round_trip(fd, target, buffer);
+        const auto end = Clock::now();
+        if (!ok) {
+          ::close(fd);
+          fd = -1;
+          ++failures;
+          continue;
+        }
+        const double us =
+            std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(end - begin)
+                .count();
+        (mixed_phase ? mixed_lat : cached_lat)[c].push_back(us);
+        ++i;
+      }
+      if (fd >= 0) ::close(fd);
+    });
+  }
+
+  const auto mixed_begin = Clock::now();
+  producer.join();
+  const auto mixed_end = Clock::now();
+  // Cached phase: the live run is over; every request hits the cache.
+  std::this_thread::sleep_for(std::chrono::seconds(cached_seconds));
+  stop.store(true);
+  for (std::thread& thread : threads) thread.join();
+  const auto cached_end = Clock::now();
+  server.stop();
+
+  Phase mixed;
+  mixed.wall_seconds = std::chrono::duration<double>(mixed_end - mixed_begin).count();
+  for (const auto& lat : mixed_lat) {
+    mixed.latencies_us.insert(mixed.latencies_us.end(), lat.begin(), lat.end());
+  }
+  Phase cached;
+  cached.wall_seconds = std::chrono::duration<double>(cached_end - mixed_end).count();
+  for (const auto& lat : cached_lat) {
+    cached.latencies_us.insert(cached.latencies_us.end(), lat.begin(), lat.end());
+  }
+
+  const auto stats = server.stats();
+  std::printf(
+      "{\n"
+      "  \"config\": {\"scale\": %.2f, \"t24\": %d, \"epochs\": %zu, \"clients\": %zu,"
+      " \"server_workers\": %u},\n"
+      "  \"mixed\": {\"requests\": %zu, \"wall_s\": %.2f, \"qps\": %.0f,"
+      " \"p50_us\": %.0f, \"p99_us\": %.0f},\n"
+      "  \"cached\": {\"requests\": %zu, \"wall_s\": %.2f, \"qps\": %.0f,"
+      " \"p50_us\": %.0f, \"p99_us\": %.0f},\n"
+      "  \"server\": {\"requests\": %llu, \"cache_hits\": %llu, \"accepted\": %llu,"
+      " \"rejected\": %llu, \"client_failures\": %llu}\n"
+      "}\n",
+      scale, t24, epochs, clients, server_config.workers, mixed.latencies_us.size(),
+      mixed.wall_seconds, mixed.qps(), mixed.percentile(0.5), mixed.percentile(0.99),
+      cached.latencies_us.size(), cached.wall_seconds, cached.qps(), cached.percentile(0.5),
+      cached.percentile(0.99), static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.cache_hits),
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(failures.load()));
+  return 0;
+}

@@ -4,6 +4,9 @@
 //   cloudwatch_cli export  [--scale S] [--t24 N] [--year Y] --out FILE [--csv FILE]
 //   cloudwatch_cli inspect --in FILE
 //   cloudwatch_cli watch   [--scale S] [--t24 N] [--year Y] [--epochs K] [--shards M] [--jobs N]
+//   cloudwatch_cli serve   [--scale S] [--t24 N] [--year Y] [--epochs K] [--shards M] [--jobs N]
+//                          [--port P] [--port-file FILE] [--serve-workers N] [--max-conn N]
+//                          [--linger SECONDS]
 //   cloudwatch_cli sweep   CAMPAIGN [--scale S] [--t24 N] [--year Y] [--jobs N]
 //                          [--cell LABEL] [--cells-dir DIR]
 //
@@ -13,7 +16,12 @@
 // as CSV. `inspect` summarizes a previously exported dataset. `watch` runs
 // the window as a continuously-serving stream: ingest is sealed into an
 // epoch segment every window/K of simulated time and the paper tables are
-// re-rendered incrementally after each seal (src/stream). `sweep` runs a
+// re-rendered incrementally after each seal (src/stream). `serve` runs the
+// same live window but publishes every sealed epoch's tables and findings
+// through stream::ReportServer (src/serve), so any number of HTTP readers
+// can pull per-epoch reports while ingest keeps sealing; after the final
+// epoch the server lingers (--linger) so late readers can still fetch.
+// `sweep` runs a
 // named campaign (`ablation` or `calibration`) through runner::Fleet and
 // prints the cross-cell findings matrix; `--cell` reruns one cell
 // standalone (byte-identical to its in-fleet per-cell block) and
@@ -30,6 +38,9 @@
 
 #include <filesystem>
 
+#include <chrono>
+#include <thread>
+
 #include "capture/dataset.h"
 #include "capture/pcap.h"
 #include "core/experiment.h"
@@ -37,6 +48,7 @@
 #include "runner/fleet.h"
 #include "runner/sweep.h"
 #include "runner/thread_pool.h"
+#include "serve/server.h"
 #include "stream/live_report.h"
 
 namespace {
@@ -60,6 +72,11 @@ struct Options {
   std::string cell;
   std::string cells_dir;
   std::size_t stress_cells = 1000;
+  int port = 0;  // 0 = kernel-assigned ephemeral port
+  std::string port_file;
+  unsigned serve_workers = 4;
+  std::size_t max_connections = 128;
+  int linger = 0;  // seconds to keep serving after the final epoch
 };
 
 void usage() {
@@ -70,6 +87,10 @@ void usage() {
                "       cloudwatch_cli inspect --in FILE\n"
                "       cloudwatch_cli watch [--scale S] [--t24 N] [--year Y] [--epochs K]"
                " [--shards M] [--jobs N]\n"
+               "       cloudwatch_cli serve [--scale S] [--t24 N] [--year Y] [--epochs K]"
+               " [--shards M] [--jobs N]\n"
+               "                            [--port P] [--port-file FILE] [--serve-workers N]"
+               " [--max-conn N] [--linger SECONDS]\n"
                "       cloudwatch_cli sweep CAMPAIGN [--scale S] [--t24 N] [--year Y] [--jobs N]"
                " [--cell LABEL] [--cells-dir DIR] [--cells N]\n"
                "tables: 1 2 4 5 6 7 8 9 10 11 17 sec32 fig1\n"
@@ -146,6 +167,26 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (v == nullptr || std::atoi(v) <= 0) return false;
       options.stress_cells = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 0 || std::atoi(v) > 65535) return false;
+      options.port = std::atoi(v);
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options.port_file = v;
+    } else if (arg == "--serve-workers") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      options.serve_workers = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--max-conn") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return false;
+      options.max_connections = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--linger") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) < 0) return false;
+      options.linger = std::atoi(v);
     } else if (!arg.empty() && arg[0] != '-' && options.command == "sweep" &&
                options.campaign.empty()) {
       options.campaign = arg;
@@ -304,6 +345,73 @@ int cmd_watch(const Options& options) {
   return failed ? 1 : 0;
 }
 
+int cmd_serve(const Options& options) {
+  cw::stream::LiveReportConfig config;
+  config.experiment.scale = options.scale;
+  config.experiment.telescope_slash24s = options.telescope_slash24s;
+  config.experiment.year = options.year;
+  config.epochs = options.epochs;
+  config.shards = options.shards;
+  config.jobs = options.jobs;
+  // Unlike `watch`, the leak table stays in: /epoch/<k>/report promises the
+  // exact full_report byte stream, and check.sh diffs the two.
+  config.extract_findings = true;
+
+  cw::stream::ReportPublisher publisher;
+  cw::stream::ReportServerConfig server_config;
+  server_config.port = static_cast<std::uint16_t>(options.port);
+  server_config.workers = options.serve_workers;
+  server_config.max_connections = options.max_connections;
+  cw::stream::ReportServer server(publisher, server_config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "failed to start report server: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serving on http://127.0.0.1:%u\n", server.port());
+  if (!options.port_file.empty()) {
+    // Written only once the socket is listening, so scripts can poll the
+    // file instead of racing the bind.
+    std::ofstream port_file(options.port_file);
+    if (!port_file) {
+      std::fprintf(stderr, "failed to write %s\n", options.port_file.c_str());
+      return 1;
+    }
+    port_file << server.port() << '\n';
+  }
+
+  std::fprintf(stderr,
+               "serving %s experiment (scale %.2f, telescope %d /24s,"
+               " %zu epochs, %zu shards)...\n",
+               std::string(cw::topology::scenario_year_name(options.year)).c_str(),
+               options.scale, options.telescope_slash24s, options.epochs, options.shards);
+  bool failed = false;
+  cw::stream::LiveReport live(config);
+  live.run([&](const cw::stream::EpochReport& report) {
+    failed |= report.failed;
+    if (!report.rendered) return;
+    publisher.publish(cw::stream::PublishedEpoch::from_report(report, options.scale));
+    std::fprintf(stderr, "published epoch %llu/%zu: %llu records (+%llu)\n",
+                 static_cast<unsigned long long>(report.epoch), options.epochs,
+                 static_cast<unsigned long long>(report.records_total),
+                 static_cast<unsigned long long>(report.records_new));
+  });
+  if (options.linger > 0) {
+    std::fprintf(stderr, "final epoch published; lingering %d s for late readers...\n",
+                 options.linger);
+    std::this_thread::sleep_for(std::chrono::seconds(options.linger));
+  }
+  server.stop();
+  const auto stats = server.stats();
+  std::fprintf(stderr,
+               "served %llu requests over %llu connections (%llu cache hits, %llu rejected)\n",
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.rejected));
+  return failed ? 1 : 0;
+}
+
 // Cell labels may contain '/': flatten them for per-cell filenames.
 std::string cell_file_name(const std::string& label) {
   std::string name = label;
@@ -383,6 +491,7 @@ int main(int argc, char** argv) {
   if (options.command == "export") return cmd_export(options);
   if (options.command == "inspect") return cmd_inspect(options);
   if (options.command == "watch") return cmd_watch(options);
+  if (options.command == "serve") return cmd_serve(options);
   if (options.command == "sweep") return cmd_sweep(options);
   usage();
   return 1;

@@ -8,14 +8,16 @@
 #   scripts/check.sh determinism# full_report byte-identical at --jobs 1/2/8
 #   scripts/check.sh stream     # live_report == full_report at several epoch
 #                               # slicings/shard counts/worker counts (+ golden md5)
+#   scripts/check.sh serve      # cloudwatch_cli serve: curl per-epoch tables, diff
+#                               # against the batch render (+ golden md5), 503 shed
 #   scripts/check.sh bench      # frame-vs-full-scan numbers (bench_runner_pipelines)
 #   scripts/check.sh fleet      # sweep campaigns byte-identical at --jobs 1/2/8,
 #                               # in-fleet cell == standalone --cell rerun
 #   scripts/check.sh stress     # opt-in: 1000-engine stress campaign — completes
 #                               # under a deadline, bounded memory, byte-identical
 #                               # sweep report at --jobs 2 vs 8
-#   scripts/check.sh all        # tier-1 + asan + tsan + determinism + stream + fleet
-#                               # (stress stays opt-in: run it explicitly)
+#   scripts/check.sh all        # tier-1 + asan + tsan + determinism + stream + serve
+#                               # + fleet (stress stays opt-in: run it explicitly)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -37,14 +39,15 @@ tsan() {
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DCW_SANITIZE=thread
   # The concurrency surface: the pool, the runner, the capture layer (store
   # freeze/pin + SessionFrame sharded builds), and the stream ingest path
-  # (multi-producer shard buffers racing a snapshot reader). Building
-  # everything under TSan is slow; these binaries cover every thread we
-  # spawn. Run them directly: gtest_discover_tests registers per-case names,
-  # so a ctest -R on binary names silently matches nothing.
+  # (multi-producer shard buffers racing a snapshot reader), and the report
+  # server (handler pool + acceptor + concurrent readers racing sealers).
+  # Building everything under TSan is slow; these binaries cover every thread
+  # we spawn. Run them directly: gtest_discover_tests registers per-case
+  # names, so a ctest -R on binary names silently matches nothing.
   cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-    --target cw_runner_test cw_capture_test cw_analysis_test cw_stream_test
+    --target cw_runner_test cw_capture_test cw_analysis_test cw_stream_test cw_serve_test
   local binary
-  for binary in cw_runner_test cw_capture_test cw_analysis_test cw_stream_test; do
+  for binary in cw_runner_test cw_capture_test cw_analysis_test cw_stream_test cw_serve_test; do
     "$ROOT/build-tsan/tests/$binary"
   done
 }
@@ -122,6 +125,113 @@ stream() {
   echo "stream: live == batch at epochs/shards/jobs 1/1/1, 3/4/2, 5/16/8 (scale $scale, t24 $t24)"
 }
 
+serve() {
+  # The serve contract: every byte a reader pulls from stream::ReportServer
+  # is the batch render of the same corpus — /epoch/<final>/report over HTTP
+  # diffs clean against full_report stdout (and reproduces the golden md5 at
+  # the reference scale) — and overload is shed with 503 + Retry-After
+  # instead of queueing without bound.
+  cmake --build "$ROOT/build" -j "$JOBS" --target cloudwatch_cli full_report cw_serve_test
+  "$ROOT/build/tests/cw_serve_test"
+  local cli="$ROOT/build/examples/cloudwatch_cli"
+  [ -x "$cli" ] || cli="$ROOT/build/cloudwatch_cli"
+  local batch="$ROOT/build/examples/full_report"
+  [ -x "$batch" ] || batch="$ROOT/build/full_report"
+  local scale="${CW_CHECK_SCALE:-0.3}" t24="${CW_CHECK_T24:-16}" epochs=3
+  local golden="${CW_CHECK_GOLDEN_MD5:-06bc684b63b54af2709cec936ccc1153}"
+  local work
+  work=$(mktemp -d)
+  "$batch" --jobs 1 "$scale" "$t24" >"$work/batch.md" 2>/dev/null
+  "$cli" serve --scale "$scale" --t24 "$t24" --epochs "$epochs" --shards 4 \
+    --max-conn 8 --port-file "$work/port" --linger 300 2>"$work/serve.log" &
+  local server_pid=$!
+  # shellcheck disable=SC2064
+  trap "kill $server_pid 2>/dev/null; wait $server_pid 2>/dev/null" RETURN
+  local port="" i
+  for i in $(seq 1 120); do
+    [ -s "$work/port" ] && { port=$(cat "$work/port"); break; }
+    sleep 0.5
+  done
+  if [ -z "$port" ]; then
+    echo "serve: server never wrote its port file" >&2
+    rm -rf "$work"
+    return 1
+  fi
+  # Wait for the final epoch to publish, then pull its full report.
+  local ready=""
+  for i in $(seq 1 1200); do
+    if curl -sf "http://127.0.0.1:$port/epochs" 2>/dev/null | grep -q "\"latest\":$epochs"; then
+      ready=1
+      break
+    fi
+    sleep 0.5
+  done
+  if [ -z "$ready" ]; then
+    echo "serve: final epoch never published (see $work/serve.log)" >&2
+    return 1
+  fi
+  curl -sf "http://127.0.0.1:$port/epoch/$epochs/report" >"$work/served.md"
+  if ! diff -q "$work/batch.md" "$work/served.md"; then
+    echo "serve: served /epoch/$epochs/report diverged from batch full_report" >&2
+    return 1
+  fi
+  if [ "$scale" = "0.3" ] && [ "$t24" = "16" ] && [ -n "$golden" ]; then
+    local md5
+    md5=$(md5sum "$work/served.md" | cut -d' ' -f1)
+    if [ "$md5" != "$golden" ]; then
+      echo "serve: served report md5 $md5 != golden $golden (scale 0.3, t24 16)" >&2
+      return 1
+    fi
+    echo "serve: served report md5 matches golden $golden"
+  fi
+  # Spot-check the table and findings routes.
+  curl -sf "http://127.0.0.1:$port/epoch/$epochs/table/table-1-vantage-points" \
+    >"$work/table1.md"
+  if ! grep -qF "$(head -1 "$work/table1.md")" "$work/batch.md"; then
+    echo "serve: table route body not found in the batch render" >&2
+    return 1
+  fi
+  if ! curl -sf "http://127.0.0.1:$port/epoch/$epochs/findings" | grep -q '"findings":\['; then
+    echo "serve: findings route missing or malformed" >&2
+    return 1
+  fi
+  # Overload path: hold --max-conn idle connections, expect an immediate 503
+  # with Retry-After; release them, expect recovery to 200.
+  local fd
+  for fd in $(seq 3 10); do
+    eval "exec $fd<>/dev/tcp/127.0.0.1/$port"
+  done
+  sleep 0.3
+  local shed
+  shed=$(curl -s --max-time 5 -D - -o /dev/null "http://127.0.0.1:$port/healthz" || true)
+  for fd in $(seq 3 10); do
+    eval "exec $fd<&-" && eval "exec $fd>&-"
+  done
+  if ! grep -q "^HTTP/1.1 503" <<<"$shed" || ! grep -qi "^Retry-After:" <<<"$shed"; then
+    echo "serve: expected 503 + Retry-After at connection capacity, got:" >&2
+    echo "$shed" >&2
+    return 1
+  fi
+  local recovered=""
+  for i in $(seq 1 60); do
+    if [ "$(curl -s --max-time 5 -o /dev/null -w '%{http_code}' \
+            "http://127.0.0.1:$port/healthz" || true)" = "200" ]; then
+      recovered=1
+      break
+    fi
+    sleep 0.5
+  done
+  if [ -z "$recovered" ]; then
+    echo "serve: server never recovered after overload connections closed" >&2
+    return 1
+  fi
+  kill "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  trap - RETURN
+  rm -rf "$work"
+  echo "serve: served epochs byte-identical to batch; 503 shed + recovery verified (scale $scale, t24 $t24)"
+}
+
 bench() {
   cmake --build "$ROOT/build" -j "$JOBS" --target bench_runner_pipelines bench_frame_kernels
   local bin="$ROOT/build/bench/bench_runner_pipelines"
@@ -135,6 +245,11 @@ bench() {
   [ -x "$kernels" ] || kernels="$ROOT/build/bench_frame_kernels"
   CW_SCALE="${CW_SCALE:-0.5}" CW_T24="${CW_T24:-16}" CW_JOBS="${CW_JOBS:-1}" \
     "$kernels" --benchmark_min_time=0.5
+  # The report server under mixed (live run racing readers) and cached load.
+  cmake --build "$ROOT/build" -j "$JOBS" --target bench_serve
+  local serve_bin="$ROOT/build/bench/bench_serve"
+  [ -x "$serve_bin" ] || serve_bin="$ROOT/build/bench_serve"
+  CW_SCALE="${CW_SCALE:-0.1}" CW_T24="${CW_T24:-4}" "$serve_bin"
 }
 
 fleet() {
@@ -223,9 +338,10 @@ case "${1:-tier1}" in
   tsan) tsan ;;
   determinism) determinism ;;
   stream) stream ;;
+  serve) serve ;;
   bench) bench ;;
   fleet) fleet ;;
   stress) stress ;;
-  all) tier1; asan; tsan; determinism; stream; fleet ;;
-  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|bench|fleet|stress|all]" >&2; exit 2 ;;
+  all) tier1; asan; tsan; determinism; stream; serve; fleet ;;
+  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|serve|bench|fleet|stress|all]" >&2; exit 2 ;;
 esac

@@ -1,0 +1,175 @@
+#include "serve/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cw::stream {
+
+namespace {
+
+std::string lowercased(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string_view trimmed(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) text.remove_prefix(1);
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+bool HttpRequest::keep_alive() const {
+  const auto it = headers.find("connection");
+  if (it != headers.end()) {
+    const std::string value = lowercased(it->second);
+    if (value.find("close") != std::string::npos) return false;
+    if (value.find("keep-alive") != std::string::npos) return true;
+  }
+  return version != "HTTP/1.0";
+}
+
+ParseResult parse_http_request(std::string_view buffer, HttpRequest& out,
+                               std::size_t& head_bytes) {
+  // A head ends at the first blank line; accept both CRLF and bare LF.
+  const std::size_t end = buffer.find("\n\r\n") != std::string_view::npos
+                              ? buffer.find("\n\r\n") + 3
+                              : buffer.find("\n\n") != std::string_view::npos
+                                    ? buffer.find("\n\n") + 2
+                                    : std::string_view::npos;
+  if (end == std::string_view::npos) return ParseResult::kIncomplete;
+  head_bytes = end;
+  out = HttpRequest{};
+
+  std::string_view head = buffer.substr(0, end);
+  // Request line.
+  const std::size_t line_end = head.find('\n');
+  std::string_view line = trimmed(head.substr(0, line_end));
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) return ParseResult::kBad;
+  out.method = std::string(line.substr(0, sp1));
+  out.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out.version = std::string(trimmed(line.substr(sp2 + 1)));
+  if (out.method.empty() || out.target.empty() || out.version.rfind("HTTP/", 0) != 0) {
+    return ParseResult::kBad;
+  }
+  const std::size_t question = out.target.find('?');
+  out.path = out.target.substr(0, question);
+  out.query = question == std::string::npos ? std::string() : out.target.substr(question + 1);
+
+  // Header lines.
+  std::size_t cursor = line_end + 1;
+  while (cursor < head.size()) {
+    const std::size_t next = head.find('\n', cursor);
+    std::string_view raw = head.substr(cursor, next - cursor);
+    cursor = next == std::string_view::npos ? head.size() : next + 1;
+    raw = trimmed(raw);
+    if (raw.empty()) break;
+    const std::size_t colon = raw.find(':');
+    if (colon == std::string_view::npos) return ParseResult::kBad;
+    out.headers[lowercased(trimmed(raw.substr(0, colon)))] =
+        std::string(trimmed(raw.substr(colon + 1)));
+  }
+  return ParseResult::kOk;
+}
+
+std::string_view http_status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string http_response(int status, std::string_view content_type, std::string_view body,
+                          bool keep_alive,
+                          const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::string out;
+  out.reserve(body.size() + 256);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += http_status_text(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += keep_alive ? "\r\nConnection: keep-alive" : "\r\nConnection: close";
+  for (const auto& [name, value] : extra_headers) {
+    out += "\r\n";
+    out += name;
+    out += ": ";
+    out += value;
+  }
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string table_slug(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  bool pending_dash = false;
+  for (const char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      if (pending_dash && !out.empty()) out += '-';
+      pending_dash = false;
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_dash = true;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_path(std::string_view path) {
+  std::vector<std::string_view> out;
+  std::size_t cursor = 0;
+  while (cursor < path.size()) {
+    if (path[cursor] == '/') {
+      ++cursor;
+      continue;
+    }
+    const std::size_t next = path.find('/', cursor);
+    out.push_back(path.substr(cursor, next - cursor));
+    cursor = next == std::string_view::npos ? path.size() : next;
+  }
+  return out;
+}
+
+}  // namespace cw::stream

@@ -1,0 +1,66 @@
+// Minimal HTTP/1.1 plumbing for stream::ReportServer: an incremental
+// request-head parser and response composers, all pure string functions so
+// the protocol layer tests without sockets. Only what the report endpoint
+// needs — GET/HEAD, keep-alive, Content-Length bodies on responses, no
+// request bodies, no chunked encoding, no TLS.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cw::stream {
+
+// One parsed request head. Header names are lowercased (HTTP headers are
+// case-insensitive); the target is split at '?' into path and query.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string path;
+  std::string query;
+  std::string version;  // "HTTP/1.1"
+  std::map<std::string, std::string> headers;
+
+  // Connection semantics: HTTP/1.1 defaults to keep-alive unless the client
+  // sent "Connection: close"; HTTP/1.0 defaults to close.
+  [[nodiscard]] bool keep_alive() const;
+};
+
+enum class ParseResult {
+  kIncomplete,  // no blank line yet — read more bytes
+  kOk,          // request parsed; head_bytes consumed
+  kBad,         // malformed request line or header
+};
+
+// Parses one request head from the front of `buffer` (everything up to and
+// including the first CRLFCRLF). On kOk, `head_bytes` is the number of bytes
+// consumed, so pipelined requests parse by erasing the head and calling
+// again. Tolerates bare-LF line endings.
+ParseResult parse_http_request(std::string_view buffer, HttpRequest& out,
+                               std::size_t& head_bytes);
+
+// The reason phrase for the handful of statuses the server emits.
+std::string_view http_status_text(int status);
+
+// Composes a full response (status line + headers + body). Content-Length
+// is always set; `extra_headers` append verbatim after the standard set.
+std::string http_response(int status, std::string_view content_type, std::string_view body,
+                          bool keep_alive,
+                          const std::vector<std::pair<std::string, std::string>>&
+                              extra_headers = {});
+
+// JSON string-body escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view text);
+
+// URL-safe identifier for a table name: lowercase, runs of non-alphanumerics
+// collapsed to single '-', trimmed ("Table 1: vantage points" ->
+// "table-1-vantage-points").
+std::string table_slug(std::string_view name);
+
+// Splits a path ("/epoch/3/table/x") into segments ({"epoch","3","table","x"}).
+std::vector<std::string_view> split_path(std::string_view path);
+
+}  // namespace cw::stream

@@ -1,0 +1,87 @@
+#include "serve/publisher.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "serve/http.h"
+
+namespace cw::stream {
+
+PublishedEpoch PublishedEpoch::from_report(const EpochReport& report, double scale) {
+  PublishedEpoch out;
+  out.epoch = report.epoch;
+  out.now = report.now;
+  out.records_total = report.records_total;
+  out.records_new = report.records_new;
+  out.scale = scale;
+  out.snapshot = report.snapshot;
+  out.table_names = report.names;
+  out.table_slugs.reserve(report.names.size());
+  for (const std::string& name : report.names) out.table_slugs.push_back(table_slug(name));
+  out.tables.reserve(report.outputs.size());
+  for (const std::string& output : report.outputs) {
+    out.tables.push_back(std::make_shared<const std::string>(output));
+  }
+  out.has_findings = report.findings_extracted;
+  out.findings = report.findings;
+  return out;
+}
+
+std::string PublishedEpoch::render_full_report() const {
+  // Byte-compatible with examples/full_report (and live_report --final-only)
+  // over the same corpus.
+  char header[160];
+  std::snprintf(header, sizeof(header),
+                "== Cloud Watching full report (scale %.2f) ==\n\ncaptured %" PRIu64
+                " session records\n\n",
+                scale, records_total);
+  std::string out(header);
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    out += "--- ";
+    out += table_names[i];
+    out += " ---\n";
+    out += *tables[i];
+    out += '\n';
+  }
+  return out;
+}
+
+int PublishedEpoch::table_index(std::string_view slug) const {
+  for (std::size_t i = 0; i < table_slugs.size(); ++i) {
+    if (table_slugs[i] == slug) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void ReportPublisher::publish(PublishedEpoch epoch) {
+  auto shared = std::make_shared<const PublishedEpoch>(std::move(epoch));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  history_.push_back(std::move(shared));
+  // Release so a reader that polls latest_epoch() and then resolves the
+  // epoch observes the fully published entry. Racing publishers may land out
+  // of order; latest_ only ever advances.
+  if (history_.back()->epoch > latest_.load(std::memory_order_relaxed)) {
+    latest_.store(history_.back()->epoch, std::memory_order_release);
+  }
+}
+
+std::shared_ptr<const PublishedEpoch> ReportPublisher::epoch(std::uint64_t k) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if ((*it)->epoch == k) return *it;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const PublishedEpoch> ReportPublisher::latest() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return history_.empty() ? nullptr : history_.back();
+}
+
+std::size_t ReportPublisher::published_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return history_.size();
+}
+
+}  // namespace cw::stream

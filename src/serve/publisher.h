@@ -1,0 +1,87 @@
+// ReportPublisher: the hand-off point between the sealing/rendering side and
+// the serving side. The live driver publishes one immutable PublishedEpoch
+// per sealed epoch — the rendered table bytes, the headline-claim findings,
+// and the epoch's pinned EpochSnapshot — and readers resolve any epoch, past
+// or latest, to a shared_ptr they can hold for as long as a response takes.
+//
+// The persistence story mirrors EpochSnapshot itself: publishing epoch k+1
+// appends one entry and swaps one pointer; nothing already published is
+// touched, so a reader that resolved epoch k mid-publish still sees exactly
+// epoch k's bytes. That is what makes request handling lock-free against
+// seal_epoch: the only shared state a request takes a lock for is the
+// (brief) history lookup, never anything the ingest side mutates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/sweep.h"
+#include "stream/live_report.h"
+#include "stream/snapshot.h"
+#include "util/sim_time.h"
+
+namespace cw::stream {
+
+// One sealed epoch's published artifacts. Immutable after publish; shared by
+// every reader of that epoch.
+struct PublishedEpoch {
+  std::uint64_t epoch = 0;  // 1-based
+  util::SimTime now = 0;
+  std::uint64_t records_total = 0;
+  std::uint64_t records_new = 0;
+  double scale = 0.0;  // experiment scale, for the full_report-format header
+  // Pinned corpus view: shares the sealed segments, never invalidated by
+  // later seals. Held here so the segments (and thus the bytes derived from
+  // them) outlive the ingest side's progress for as long as anyone can still
+  // request this epoch.
+  EpochSnapshot snapshot;
+  std::vector<std::string> table_names;  // pipeline names, slot order
+  std::vector<std::string> table_slugs;  // table_slug(name), same order
+  // Rendered markdown per table, shared so a cached response and the epoch
+  // hold the same bytes.
+  std::vector<std::shared_ptr<const std::string>> tables;
+  bool has_findings = false;
+  runner::CellFindings findings{};
+
+  // Builds the published form of one rendered EpochReport (moves nothing out
+  // of `report`; the snapshot copy is the cheap shared-segment one).
+  [[nodiscard]] static PublishedEpoch from_report(const EpochReport& report, double scale);
+
+  // The exact stdout byte stream examples/full_report would print for this
+  // corpus: header, record count, then every table in slot order. The serve
+  // check tier diffs this against a real full_report run.
+  [[nodiscard]] std::string render_full_report() const;
+
+  [[nodiscard]] int table_index(std::string_view slug) const;  // -1 = unknown
+};
+
+class ReportPublisher {
+ public:
+  // Publishes one epoch. Thread-safe against readers and against itself;
+  // racing publishers may land out of order (latest_epoch only advances).
+  void publish(PublishedEpoch epoch);
+
+  // Latest published epoch number; 0 before the first publish. A relaxed
+  // counter read — the poll path for "has a new epoch landed?".
+  [[nodiscard]] std::uint64_t latest_epoch() const noexcept {
+    return latest_.load(std::memory_order_acquire);
+  }
+
+  // Resolves an epoch (1-based) to its published artifacts; nullptr when the
+  // epoch has not been published. latest() is epoch(latest_epoch()).
+  [[nodiscard]] std::shared_ptr<const PublishedEpoch> epoch(std::uint64_t k) const;
+  [[nodiscard]] std::shared_ptr<const PublishedEpoch> latest() const;
+
+  [[nodiscard]] std::size_t published_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<const PublishedEpoch>> history_;  // arrival order
+  std::atomic<std::uint64_t> latest_{0};
+};
+
+}  // namespace cw::stream

@@ -1,0 +1,428 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "runner/thread_pool.h"
+
+namespace cw::stream {
+
+namespace {
+
+constexpr std::string_view kJson = "application/json; charset=utf-8";
+constexpr std::string_view kMarkdown = "text/markdown; charset=utf-8";
+constexpr std::string_view kText = "text/plain; charset=utf-8";
+
+std::string json_error(std::string_view message) {
+  return "{\"error\":\"" + json_escape(message) + "\"}\n";
+}
+
+std::string epoch_meta_json(const PublishedEpoch& epoch) {
+  std::string out = "{";
+  out += "\"epoch\":" + std::to_string(epoch.epoch);
+  out += ",\"sim_now\":\"" + json_escape(util::format_sim_time(epoch.now)) + "\"";
+  out += ",\"records_total\":" + std::to_string(epoch.records_total);
+  out += ",\"records_new\":" + std::to_string(epoch.records_new);
+  out += ",\"segments\":" + std::to_string(epoch.snapshot.segments().size());
+  out += ",\"has_findings\":";
+  out += epoch.has_findings ? "true" : "false";
+  out += ",\"tables\":[";
+  for (std::size_t i = 0; i < epoch.table_names.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"index\":" + std::to_string(i);
+    out += ",\"slug\":\"" + json_escape(epoch.table_slugs[i]) + "\"";
+    out += ",\"name\":\"" + json_escape(epoch.table_names[i]) + "\"";
+    out += ",\"bytes\":" + std::to_string(epoch.tables[i]->size());
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string findings_json(const PublishedEpoch& epoch) {
+  std::string out = "{\"epoch\":" + std::to_string(epoch.epoch) + ",\"findings\":[";
+  for (std::size_t i = 0; i < epoch.findings.size(); ++i) {
+    const runner::FindingOutcome& outcome = epoch.findings[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"" + json_escape(runner::finding_name(outcome.finding)) + "\"";
+    out += ",\"claim\":\"" + json_escape(runner::finding_claim(outcome.finding)) + "\"";
+    out += ",\"holds\":";
+    out += outcome.holds ? "true" : "false";
+    char effect[32];
+    std::snprintf(effect, sizeof(effect), "%.4f", outcome.effect);
+    out += ",\"effect\":";
+    out += effect;
+    out += ",\"detail\":\"" + json_escape(outcome.detail) + "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+// Parses a decimal epoch token; returns 0 on malformed input (epoch numbers
+// are 1-based, so 0 doubles as "invalid").
+std::uint64_t parse_epoch_token(std::string_view token) {
+  if (token.empty() || token.size() > 18) return 0;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return 0;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+ReportServer::ReportServer(const ReportPublisher& publisher, ReportServerConfig config)
+    : publisher_(publisher), config_(std::move(config)) {}
+
+ReportServer::~ReportServer() { stop(); }
+
+bool ReportServer::start(std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) *error = std::string(what) + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (started_) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, 128) != 0) return fail("listen");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  pool_ = std::make_unique<runner::ThreadPool>(config_.workers);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void ReportServer::stop() {
+  if (!started_) return;
+  running_.store(false, std::memory_order_release);
+  if (listen_fd_ >= 0) {
+    // shutdown() on the listening socket makes the blocked accept() return;
+    // the fd itself is closed only after the acceptor has joined, so the
+    // acceptor never races a reused descriptor number.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Unblock every handler parked in recv(); the handler owns the close.
+    const std::lock_guard<std::mutex> lock(fds_mutex_);
+    for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (pool_) {
+    pool_->wait_idle();
+    pool_.reset();
+  }
+}
+
+ReportServer::Stats ReportServer::stats() const {
+  Stats out;
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.open_connections = open_connections_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ReportServer::accept_loop() {
+  // Prebuilt overload response: the acceptor must shed load without doing
+  // per-connection work.
+  const std::string overload =
+      http_response(503, kJson, json_error("server at connection capacity; retry shortly"),
+                    /*keep_alive=*/false,
+                    {{"Retry-After", std::to_string(config_.retry_after_seconds)}});
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EBADF/EINVAL: stop() closed the listener.
+      break;
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    // Admission control: the cap covers connections queued for the pool plus
+    // those being served, so a flood cannot grow the handler queue without
+    // bound — excess readers get an immediate, honest 503.
+    if (open_connections_.load(std::memory_order_relaxed) >= config_.max_connections) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      (void)!send_all(fd, overload);
+      ::close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lock(fds_mutex_);
+      open_fds_.insert(fd);
+    }
+    pool_->submit([this, fd] { serve_connection(fd); });
+  }
+}
+
+void ReportServer::serve_connection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval timeout{};
+  timeout.tv_sec = config_.idle_timeout_seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string buffer;
+  char chunk[8192];
+  bool alive = true;
+  while (alive && running_.load(std::memory_order_acquire)) {
+    // Drain every complete request already buffered (pipelining) before
+    // touching the socket again.
+    HttpRequest request;
+    std::size_t head_bytes = 0;
+    const ParseResult parsed = parse_http_request(buffer, request, head_bytes);
+    if (parsed == ParseResult::kOk) {
+      buffer.erase(0, head_bytes);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      std::string response;
+      bool keep = request.keep_alive();
+      if (request.method != "GET") {
+        response = http_response(405, kJson, json_error("only GET is supported"), keep);
+      } else {
+        response = handle(request);
+        if (!keep) {
+          // handle() composes keep-alive responses; flip the header.
+          const std::size_t pos = response.find("Connection: keep-alive");
+          if (pos != std::string::npos) {
+            response.replace(pos, std::strlen("Connection: keep-alive"), "Connection: close");
+          }
+        }
+      }
+      if (!send_all(fd, response)) break;
+      alive = keep;
+      continue;
+    }
+    if (parsed == ParseResult::kBad || buffer.size() > config_.max_request_bytes) {
+      const int status = parsed == ParseResult::kBad ? 400 : 431;
+      (void)!send_all(fd, http_response(status, kJson, json_error("malformed request"),
+                                        /*keep_alive=*/false));
+      break;
+    }
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      buffer.append(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    break;  // peer closed, idle timeout (EAGAIN), or hard error
+  }
+  // Deregister before closing: once the fd is closed its number can be
+  // reused by a fresh accept, and stop() must never shutdown() the newcomer.
+  {
+    const std::lock_guard<std::mutex> lock(fds_mutex_);
+    open_fds_.erase(fd);
+  }
+  ::close(fd);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool ReportServer::send_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t sent = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+std::shared_ptr<const std::string> ReportServer::cached_response(const std::string& key) {
+  const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+  const auto it = response_cache_.find(key);
+  return it == response_cache_.end() ? nullptr : it->second;
+}
+
+void ReportServer::store_response(const std::string& key,
+                                  std::shared_ptr<const std::string> response) {
+  const std::lock_guard<std::shared_mutex> lock(cache_mutex_);
+  response_cache_.emplace(key, std::move(response));
+}
+
+std::string ReportServer::handle(const HttpRequest& request) {
+  const std::vector<std::string_view> segments = split_path(request.path);
+
+  if (segments.empty()) {
+    std::string body =
+        "# cloudwatch report server\n\n"
+        "Serves each sealed epoch's paper tables and headline findings.\n\n"
+        "- `/epochs` — published epochs\n"
+        "- `/epoch/<k|latest>` — epoch metadata + table list\n"
+        "- `/epoch/<k>/report` — the full report (markdown, full_report bytes)\n"
+        "- `/epoch/<k>/table/<slug>` — one table (`?format=json` to wrap)\n"
+        "- `/epoch/<k>/findings` — the seven headline-claim verdicts\n";
+    body += "\nlatest epoch: " + std::to_string(publisher_.latest_epoch()) + "\n";
+    return http_response(200, kMarkdown, body, true);
+  }
+
+  if (segments[0] == "healthz" && segments.size() == 1) {
+    return http_response(200, kText, "ok\n", true);
+  }
+
+  if (segments[0] == "stats" && segments.size() == 1) {
+    const Stats s = stats();
+    std::string body = "{";
+    body += "\"accepted\":" + std::to_string(s.accepted);
+    body += ",\"rejected\":" + std::to_string(s.rejected);
+    body += ",\"requests\":" + std::to_string(s.requests);
+    body += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+    body += ",\"open_connections\":" + std::to_string(s.open_connections);
+    body += ",\"latest_epoch\":" + std::to_string(publisher_.latest_epoch());
+    body += "}\n";
+    return http_response(200, kJson, body, true);
+  }
+
+  if (segments[0] == "epochs" && segments.size() == 1) {
+    // Keyed by the latest epoch: the list only changes when a new epoch
+    // publishes, and older keys stay valid for readers mid-flight.
+    const std::uint64_t latest = publisher_.latest_epoch();
+    const std::string key = "epochs@" + std::to_string(latest);
+    if (auto hit = cached_response(key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      return *hit;
+    }
+    std::string body = "{\"latest\":" + std::to_string(latest) + ",\"epochs\":[";
+    bool first = true;
+    for (std::uint64_t k = 1; k <= latest; ++k) {
+      const auto epoch = publisher_.epoch(k);
+      if (!epoch) continue;
+      if (!first) body += ',';
+      first = false;
+      body += "{\"epoch\":" + std::to_string(epoch->epoch);
+      body += ",\"records_total\":" + std::to_string(epoch->records_total);
+      body += ",\"records_new\":" + std::to_string(epoch->records_new);
+      body += ",\"tables\":" + std::to_string(epoch->tables.size());
+      body += '}';
+    }
+    body += "]}\n";
+    auto response = std::make_shared<const std::string>(http_response(200, kJson, body, true));
+    store_response(key, response);
+    return *response;
+  }
+
+  if (segments[0] == "epoch" && segments.size() >= 2) return handle_epoch_route(request, segments);
+
+  return http_response(404, kJson, json_error("no such route: " + request.path), true);
+}
+
+std::string ReportServer::handle_epoch_route(const HttpRequest& request,
+                                             const std::vector<std::string_view>& segments) {
+  // Resolve the epoch token first: every cache key is under the *resolved*
+  // number, so "latest" responses are the same shared bytes as their
+  // numbered twin and can never serve a stale alias.
+  std::uint64_t k = 0;
+  if (segments[1] == "latest") {
+    k = publisher_.latest_epoch();
+    if (k == 0) return http_response(404, kJson, json_error("no epoch published yet"), true);
+  } else {
+    k = parse_epoch_token(segments[1]);
+    if (k == 0) {
+      return http_response(400, kJson, json_error("epoch must be a positive integer or 'latest'"),
+                           true);
+    }
+  }
+
+  std::string key = "epoch@" + std::to_string(k) + request.path.substr(
+                        request.path.find(segments[1]) + segments[1].size());
+  const bool want_json = request.query.find("format=json") != std::string::npos;
+  if (want_json) key += "?json";
+  if (auto hit = cached_response(key)) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *hit;
+  }
+
+  const std::shared_ptr<const PublishedEpoch> epoch = publisher_.epoch(k);
+  if (!epoch) {
+    return http_response(404, kJson,
+                         json_error("epoch " + std::to_string(k) + " not published"), true);
+  }
+
+  std::shared_ptr<const std::string> response;
+  if (segments.size() == 2) {
+    response = std::make_shared<const std::string>(
+        http_response(200, kJson, epoch_meta_json(*epoch), true));
+  } else if (segments[2] == "report" && segments.size() == 3) {
+    response = std::make_shared<const std::string>(
+        http_response(200, kMarkdown, epoch->render_full_report(), true));
+  } else if (segments[2] == "findings" && segments.size() == 3) {
+    if (!epoch->has_findings) {
+      return http_response(404, kJson,
+                           json_error("epoch " + std::to_string(k) + " has no findings"), true);
+    }
+    response =
+        std::make_shared<const std::string>(http_response(200, kJson, findings_json(*epoch), true));
+  } else if (segments[2] == "table" && segments.size() == 4) {
+    const int index = epoch->table_index(segments[3]);
+    if (index < 0) {
+      return http_response(
+          404, kJson,
+          json_error("no table '" + std::string(segments[3]) + "' in epoch " + std::to_string(k)),
+          true);
+    }
+    const auto i = static_cast<std::size_t>(index);
+    if (want_json) {
+      std::string body = "{\"epoch\":" + std::to_string(k);
+      body += ",\"slug\":\"" + json_escape(epoch->table_slugs[i]) + "\"";
+      body += ",\"name\":\"" + json_escape(epoch->table_names[i]) + "\"";
+      body += ",\"markdown\":\"" + json_escape(*epoch->tables[i]) + "\"}\n";
+      response = std::make_shared<const std::string>(http_response(200, kJson, body, true));
+    } else {
+      response = std::make_shared<const std::string>(
+          http_response(200, kMarkdown, *epoch->tables[i], true));
+    }
+  } else {
+    return http_response(404, kJson, json_error("no such route: " + request.path), true);
+  }
+
+  store_response(key, response);
+  return *response;
+}
+
+}  // namespace cw::stream

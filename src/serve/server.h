@@ -1,0 +1,140 @@
+// stream::ReportServer — the read side of the live measurement service,
+// exposed over HTTP/1.1 to many concurrent readers while ingest keeps
+// sealing epochs.
+//
+// Architecture (DESIGN.md §7):
+//   - Blocking TCP sockets + the existing nest-safe runner::ThreadPool — no
+//     event loop, no new dependencies. One acceptor thread takes
+//     connections; each admitted connection becomes a pool task that serves
+//     any number of keep-alive requests until the client closes or idles
+//     out.
+//   - Reads are lock-free against seal_epoch: a request resolves its epoch
+//     to an immutable PublishedEpoch (whose pinned EpochSnapshot shares the
+//     sealed segments), so nothing a handler touches is ever mutated by the
+//     ingest side. The only locks on the request path are the publisher's
+//     history lookup and the response cache — both brief and never held by
+//     a sealer.
+//   - Per-(epoch, table) response cache: complete rendered response bytes
+//     (headers + body) behind shared_ptr, keyed by the *resolved* epoch so
+//     "latest" cannot alias and a new epoch invalidates nothing
+//     retroactively — the cache only ever grows by the new epoch's entries.
+//   - Admission control: when admitted connections reach
+//     max_connections, further accepts are answered 503 + Retry-After and
+//     closed immediately, bounding both the pool queue and handler memory.
+//     (Producer-side backpressure is IngestShards::set_pending_limit.)
+//
+// Routes (GET):
+//   /healthz                      liveness probe
+//   /stats                        server counters (JSON)
+//   /epochs                       published epochs + latest (JSON)
+//   /epoch/<k|latest>             one epoch's metadata + table list (JSON)
+//   /epoch/<k>/report             the exact full_report byte stream (markdown)
+//   /epoch/<k>/table/<slug>       one table (markdown; ?format=json to wrap)
+//   /epoch/<k>/findings           the seven headline-claim verdicts (JSON)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "serve/http.h"
+#include "serve/publisher.h"
+
+namespace cw::runner {
+class ThreadPool;
+}  // namespace cw::runner
+
+namespace cw::stream {
+
+struct ReportServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; see ReportServer::port()
+  // Handler pool size (0 = hardware concurrency). Each live keep-alive
+  // connection occupies one pool task while it waits for its next request,
+  // so size this at least as large as the expected concurrent reader count.
+  unsigned workers = 4;
+  // Admission cap: connections admitted (queued + being served). Accepts
+  // beyond it are answered 503 and closed by the acceptor thread.
+  std::size_t max_connections = 128;
+  unsigned retry_after_seconds = 1;  // the 503 Retry-After hint
+  // A keep-alive connection idle longer than this is closed, bounding how
+  // long a silent client can hold a pool worker.
+  int idle_timeout_seconds = 5;
+  std::size_t max_request_bytes = 16 * 1024;
+};
+
+class ReportServer {
+ public:
+  // The publisher is borrowed and must outlive the server. Its contents may
+  // keep growing while the server runs — that is the point.
+  explicit ReportServer(const ReportPublisher& publisher, ReportServerConfig config = {});
+  ~ReportServer();
+  ReportServer(const ReportServer&) = delete;
+  ReportServer& operator=(const ReportServer&) = delete;
+
+  // Binds, listens, and starts the acceptor + handler pool. Returns false
+  // (with *error set) on socket failure. Call at most once.
+  bool start(std::string* error = nullptr);
+
+  // Stops accepting, unblocks every in-flight handler, and joins them all.
+  // Idempotent; the destructor calls it.
+  void stop();
+
+  // The bound port (resolves port 0 to the kernel-assigned ephemeral port).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  struct Stats {
+    std::uint64_t accepted = 0;       // connections admitted
+    std::uint64_t rejected = 0;       // connections answered 503 at accept
+    std::uint64_t requests = 0;       // requests handled
+    std::uint64_t cache_hits = 0;     // responses served from the cache
+    std::size_t open_connections = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  // Routes one parsed request to its response bytes — the whole handler
+  // minus the socket I/O, exposed so tests (and the bench) can drive the
+  // routing and cache without a network round trip.
+  [[nodiscard]] std::string handle(const HttpRequest& request);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  bool send_all(int fd, std::string_view bytes);
+
+  // Cache lookup/fill for responses derived from one published epoch.
+  std::shared_ptr<const std::string> cached_response(const std::string& key);
+  void store_response(const std::string& key, std::shared_ptr<const std::string> response);
+
+  std::string handle_epoch_route(const HttpRequest& request,
+                                 const std::vector<std::string_view>& segments);
+
+  const ReportPublisher& publisher_;
+  ReportServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::unique_ptr<runner::ThreadPool> pool_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+
+  std::atomic<std::size_t> open_connections_{0};
+  std::mutex fds_mutex_;
+  std::unordered_set<int> open_fds_;
+
+  mutable std::shared_mutex cache_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const std::string>> response_cache_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+};
+
+}  // namespace cw::stream

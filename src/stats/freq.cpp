@@ -1,8 +1,8 @@
 #include "stats/freq.h"
 
 #include <algorithm>
-#include <cassert>
 #include <set>
+#include <stdexcept>
 
 namespace cw::stats {
 
@@ -17,6 +17,14 @@ bool count_text_less(std::uint64_t count_a, const std::string& text_a, std::uint
   return text_a < text_b;
 }
 
+// Out-of-line so the gather loops stay tight; the comparison feeding it is
+// always-false for a dictionary that matches its codes.
+[[noreturn]] void throw_stale_dictionary(std::uint32_t shifted, std::size_t slots) {
+  throw std::out_of_range("FrequencyTable::from_codes: shifted code " + std::to_string(shifted) +
+                          " >= " + std::to_string(slots) +
+                          " count slots (stale or mismatched dictionary)");
+}
+
 }  // namespace
 
 FrequencyTable FrequencyTable::from_codes(std::span<const std::uint32_t> shifted_codes,
@@ -25,8 +33,14 @@ FrequencyTable FrequencyTable::from_codes(std::span<const std::uint32_t> shifted
   table.dict_ = std::move(dict);
   table.shifted_counts_.assign(static_cast<std::size_t>(table.dict_->size()) + 1, 0);
   std::uint64_t* counts = table.shifted_counts_.data();
+  // The bounds check is unconditional: a stale or mismatched dictionary must
+  // throw in release builds too, not scribble past the count vector the way
+  // the old debug-only assert allowed. The branch never fires for a matching
+  // dictionary, so the gather stays effectively branchless
+  // (bench_frame_kernels: within noise of the unchecked loop).
+  const std::size_t slots = table.shifted_counts_.size();
   for (const std::uint32_t shifted : shifted_codes) {
-    assert(shifted < table.shifted_counts_.size());
+    if (shifted >= slots) throw_stale_dictionary(shifted, slots);
     ++counts[shifted];
   }
   table.recount_dense();
@@ -41,7 +55,12 @@ FrequencyTable FrequencyTable::from_codes(std::span<const std::uint32_t> shifted
   table.shifted_counts_.assign(static_cast<std::size_t>(table.dict_->size()) + 1, 0);
   std::uint64_t* counts = table.shifted_counts_.data();
   const std::uint32_t* codes = shifted_codes.data();
-  records.for_each([counts, codes](std::uint32_t record) { ++counts[codes[record]]; });
+  const std::size_t slots = table.shifted_counts_.size();
+  records.for_each([counts, codes, slots](std::uint32_t record) {
+    const std::uint32_t shifted = codes[record];
+    if (shifted >= slots) throw_stale_dictionary(shifted, slots);
+    ++counts[shifted];
+  });
   table.recount_dense();
   return table;
 }

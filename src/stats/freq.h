@@ -40,11 +40,15 @@ class FrequencyTable {
  public:
   FrequencyTable() = default;
 
-  // Dense construction over a whole shifted-code column.
+  // Dense construction over a whole shifted-code column. Every shifted code
+  // must fit the dictionary (code < dict->size() + 1); a stale or mismatched
+  // dictionary throws std::out_of_range — in all build modes — instead of
+  // writing past the count vector.
   [[nodiscard]] static FrequencyTable from_codes(std::span<const std::uint32_t> shifted_codes,
                                                  std::shared_ptr<const util::Dictionary> dict);
 
-  // Dense construction gathering only the rows in `records`.
+  // Dense construction gathering only the rows in `records`. Same
+  // stale-dictionary policy as the whole-column overload.
   [[nodiscard]] static FrequencyTable from_codes(std::span<const std::uint32_t> shifted_codes,
                                                  const util::PostingView& records,
                                                  std::shared_ptr<const util::Dictionary> dict);

@@ -13,9 +13,22 @@ IngestShards::IngestShards(std::size_t shards) {
 void IngestShards::append(std::size_t shard, const capture::SessionRecord& record,
                           std::string_view payload,
                           const std::optional<proto::Credential>& credential) {
+  // Backpressure: stall this producer while the unsealed backlog sits at the
+  // limit. The wait is outside the shard lock so draining sealers (and other
+  // shards' producers) are never blocked by a stalled producer.
+  if (pending_limit_ != 0 &&
+      pending_count_.load(std::memory_order_relaxed) >= pending_limit_) {
+    std::unique_lock<std::mutex> wait_lock(backpressure_mutex_);
+    drained_cv_.wait(wait_lock, [this] {
+      return pending_count_.load(std::memory_order_relaxed) < pending_limit_;
+    });
+  }
   Shard& target = *shards_[shard % shards_.size()];
   const std::lock_guard<std::mutex> lock(target.mutex);
   target.buffer.push_back(Buffered{record, std::string(payload), credential});
+  // Counted inside the shard lock: a drain that swaps this buffer acquired
+  // the same mutex afterwards, so it observes the increment it subtracts.
+  pending_count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 EpochSnapshot IngestShards::seal_epoch(const topology::Deployment& deployment,
@@ -37,6 +50,13 @@ EpochSnapshot IngestShards::seal_epoch(const topology::Deployment& deployment,
     const std::lock_guard<std::mutex> lock(shards_[i]->mutex);
     drained[i].swap(shards_[i]->buffer);
     total += drained[i].size();
+  }
+  if (total != 0) {
+    pending_count_.fetch_sub(total, std::memory_order_relaxed);
+    // Lock-then-notify so a producer that just saw the backlog full cannot
+    // miss the wakeup between its predicate check and its wait.
+    const std::lock_guard<std::mutex> wake_lock(backpressure_mutex_);
+    drained_cv_.notify_all();
   }
   capture::EventStore store;
   store.reserve(total);
@@ -64,15 +84,14 @@ EpochSnapshot IngestShards::snapshot() const {
   return snapshot_;
 }
 
-std::size_t IngestShards::pending() const {
-  std::size_t total = 0;
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->buffer.size();
-  }
-  return total;
+std::uint64_t IngestShards::total_sealed() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_.size();
 }
 
-std::uint64_t IngestShards::total_sealed() const { return snapshot().size(); }
+std::uint64_t IngestShards::epoch() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_.epoch();
+}
 
 }  // namespace cw::stream

@@ -18,6 +18,8 @@
 // (analysis::SegmentedTableCache) or permutation-invariant renderers.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -90,11 +92,31 @@ class IngestShards {
   [[nodiscard]] EpochSnapshot snapshot() const;
 
   // Records buffered but not yet sealed, summed across shards. Approximate
-  // under concurrent appends (per-shard locks are taken in turn).
-  [[nodiscard]] std::size_t pending() const;
+  // under concurrent appends (a relaxed counter read).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_count_.load(std::memory_order_relaxed);
+  }
 
-  // Total records across all sealed segments.
+  // Total records across all sealed segments. Reads the published snapshot's
+  // counter under the snapshot mutex — no segment-vector copy (the full
+  // snapshot() copy here used to make a one-counter poll pay for a
+  // shared_ptr vector clone; server-side epoch polling does the same).
   [[nodiscard]] std::uint64_t total_sealed() const;
+
+  // The latest sealed epoch number (0 before the first seal). Same cheap
+  // counter read as total_sealed(); the poll path of serve-side readers.
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  // Backpressure between producers and seal_epoch: with a nonzero limit,
+  // append() blocks while more than `limit` records are buffered and
+  // unsealed, resuming when a seal drains the shards. Keeps a slow sealer
+  // from letting the buffered backlog grow without bound under sustained
+  // producer load (the serve driver sets this; the batch/live drivers seal
+  // synchronously and leave it unbounded). Set before producers start; only
+  // engage it when something is actually sealing, or producers block
+  // forever. 0 restores the unbounded default.
+  void set_pending_limit(std::size_t limit) noexcept { pending_limit_ = limit; }
+  [[nodiscard]] std::size_t pending_limit() const noexcept { return pending_limit_; }
 
  private:
   struct Buffered {
@@ -117,6 +139,13 @@ class IngestShards {
   std::mutex seal_mutex_;
   mutable std::mutex snapshot_mutex_;  // guards snapshot_ swaps (seal vs readers)
   EpochSnapshot snapshot_;
+  // Buffered-but-unsealed record count, maintained under the shard locks
+  // (incremented with the append, decremented by the sealing drain) so the
+  // backpressure predicate and pending() are one atomic read.
+  std::atomic<std::size_t> pending_count_{0};
+  std::size_t pending_limit_ = 0;  // 0 = unbounded; set before producers start
+  std::mutex backpressure_mutex_;
+  std::condition_variable drained_cv_;
 };
 
 }  // namespace cw::stream

@@ -77,6 +77,7 @@ EpochReport LiveReport::run(const EpochCallback& callback) {
     report.now = live.now();
     report.records_total = total.size();
     report.records_new = segment.size();
+    report.snapshot = snapshot;
 
     if (config_.render_intermediate || k == epochs) {
       // Same warm-up order as the batch driver: cumulative frame first, then
@@ -90,6 +91,12 @@ EpochReport LiveReport::run(const EpochCallback& callback) {
       report.outputs = std::move(run.outputs);
       for (const auto& metrics : run.report.pipelines) report.failed |= metrics.failed;
       report.run_report = std::move(run.report);
+      if (config_.extract_findings) {
+        // After the render the shared table cache is warm, so the seven
+        // extractors mostly re-read tables the pipelines already built.
+        report.findings = runner::extract_findings(live.result(), runner::AnalysisOptions{}, &pool);
+        report.findings_extracted = true;
+      }
     }
     if (callback) callback(report);
   }

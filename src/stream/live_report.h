@@ -25,6 +25,7 @@
 
 #include "core/experiment.h"
 #include "runner/report.h"
+#include "runner/sweep.h"
 #include "stream/ingest.h"
 #include "util/sim_time.h"
 
@@ -43,6 +44,11 @@ struct LiveReportConfig {
   // sealing still run every epoch; used by equivalence checks that only
   // compare final outputs).
   bool render_intermediate = true;
+  // Additionally run runner::extract_findings over each rendered epoch and
+  // attach the seven headline-claim verdicts to the EpochReport (the serve
+  // driver publishes them next to the tables). Cheap after rendering: the
+  // extractors read the same shared table cache the pipelines just filled.
+  bool extract_findings = false;
 };
 
 // One epoch's rendered report.
@@ -56,6 +62,14 @@ struct EpochReport {
   std::vector<std::string> names;    // pipeline names, slot order
   std::vector<std::string> outputs;  // rendered artifacts, slot order
   runner::RunReport run_report;
+  // The sealed corpus as of this epoch, pinned: a cheap shared-segment copy
+  // that stays valid — and byte-stable — no matter how many epochs seal
+  // after it. The serve layer hands this to readers so responses for epoch k
+  // never chase the ingest side.
+  EpochSnapshot snapshot;
+  // Headline-claim verdicts (LiveReportConfig::extract_findings).
+  bool findings_extracted = false;
+  runner::CellFindings findings{};
 };
 
 class LiveReport {

@@ -1,12 +1,22 @@
 #include "util/postings.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace cw::util {
 
 void PostingList::append(std::uint32_t value) {
-#ifndef NDEBUG
-  assert(last_appended_ == 0 || static_cast<std::uint64_t>(value) + 1 > last_appended_);
+  // The ascending contract is validated in every build, not just debug: a
+  // non-increasing append would silently produce an out-of-order container
+  // list, breaking the ascending for_each/iterator contract every consumer
+  // relies on once NDEBUG compiles an assert away. The comparison is
+  // always-false on the hot path, so the branch predicts perfectly.
+  if (static_cast<std::uint64_t>(value) + 1 <= last_appended_) {
+    throw std::logic_error("PostingList::append: value " + std::to_string(value) +
+                           " is not strictly greater than the previous append (" +
+                           std::to_string(last_appended_ - 1) + ")");
+  }
   last_appended_ = static_cast<std::uint64_t>(value) + 1;
-#endif
   const auto key = static_cast<std::uint16_t>(value >> 16);
   const auto low = static_cast<std::uint16_t>(value & 0xFFFFu);
   if (containers_.empty() || containers_.back().key != key) {

@@ -15,12 +15,15 @@
 // identical sequence the v1 vector held — report bytes cannot change.
 //
 // Build contract: append() values strictly ascending (the frame's
-// secondary-structure pass is a single ascending scan). Not thread-safe
+// secondary-structure pass is a single ascending scan). The contract is
+// enforced in every build — a non-increasing append throws std::logic_error
+// instead of corrupting the container order (a debug-only assert would let
+// release builds silently break the ascending iteration contract). The
+// check is a single always-false branch on the hot path. Not thread-safe
 // during build; immutable and freely shared after.
 #pragma once
 
 #include <bit>
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +36,8 @@ class PostingList {
   static constexpr std::size_t kBitmapWords = 65536 / 64;
 
   // Appends one index; must be strictly greater than every prior append.
+  // Throws std::logic_error otherwise — in all build modes — leaving the
+  // list exactly as it was before the call.
   void append(std::uint32_t value);
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -125,9 +130,7 @@ class PostingList {
   friend class const_iterator;
   std::vector<Container> containers_;
   std::size_t size_ = 0;
-#ifndef NDEBUG
   std::uint64_t last_appended_ = 0;  // (value + 1); 0 = nothing appended yet
-#endif
 };
 
 // A non-owning view over either a packed PostingList or a plain ascending

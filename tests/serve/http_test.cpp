@@ -1,0 +1,147 @@
+// Protocol-layer tests for src/serve/http.h: request parsing (incremental,
+// pipelined, malformed), keep-alive semantics, response composition, and the
+// small string helpers the router builds on. Pure functions — no sockets.
+#include "serve/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cw::stream {
+namespace {
+
+TEST(HttpParse, FullRequestWithHeadersAndQuery) {
+  const std::string raw =
+      "GET /epoch/3/table/table-1?format=json HTTP/1.1\r\n"
+      "Host: localhost:8080\r\n"
+      "ACCEPT: */*\r\n"
+      "Connection:  keep-alive \r\n"
+      "\r\n";
+  HttpRequest request;
+  std::size_t head_bytes = 0;
+  ASSERT_EQ(parse_http_request(raw, request, head_bytes), ParseResult::kOk);
+  EXPECT_EQ(head_bytes, raw.size());
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/epoch/3/table/table-1?format=json");
+  EXPECT_EQ(request.path, "/epoch/3/table/table-1");
+  EXPECT_EQ(request.query, "format=json");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  // Header names are lowercased, values trimmed.
+  EXPECT_EQ(request.headers.at("host"), "localhost:8080");
+  EXPECT_EQ(request.headers.at("accept"), "*/*");
+  EXPECT_EQ(request.headers.at("connection"), "keep-alive");
+  EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(HttpParse, IncompleteUntilBlankLine) {
+  HttpRequest request;
+  std::size_t head_bytes = 0;
+  EXPECT_EQ(parse_http_request("GET / HTTP/1.1\r\nHost: x\r\n", request, head_bytes),
+            ParseResult::kIncomplete);
+  EXPECT_EQ(parse_http_request("GET / HT", request, head_bytes), ParseResult::kIncomplete);
+  EXPECT_EQ(parse_http_request("", request, head_bytes), ParseResult::kIncomplete);
+}
+
+TEST(HttpParse, PipelinedRequestsParseOneAtATime) {
+  std::string buffer =
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "GET /stats HTTP/1.1\r\n\r\n";
+  HttpRequest request;
+  std::size_t head_bytes = 0;
+  ASSERT_EQ(parse_http_request(buffer, request, head_bytes), ParseResult::kOk);
+  EXPECT_EQ(request.path, "/healthz");
+  buffer.erase(0, head_bytes);
+  ASSERT_EQ(parse_http_request(buffer, request, head_bytes), ParseResult::kOk);
+  EXPECT_EQ(request.path, "/stats");
+  EXPECT_EQ(head_bytes, buffer.size());
+}
+
+TEST(HttpParse, ToleratesBareLfLineEndings) {
+  HttpRequest request;
+  std::size_t head_bytes = 0;
+  ASSERT_EQ(parse_http_request("GET /epochs HTTP/1.1\nHost: x\n\n", request, head_bytes),
+            ParseResult::kOk);
+  EXPECT_EQ(request.path, "/epochs");
+  EXPECT_EQ(request.headers.at("host"), "x");
+}
+
+TEST(HttpParse, MalformedRequestsAreBad) {
+  HttpRequest request;
+  std::size_t head_bytes = 0;
+  // Too few request-line tokens.
+  EXPECT_EQ(parse_http_request("GET /\r\n\r\n", request, head_bytes), ParseResult::kBad);
+  // Not an HTTP version.
+  EXPECT_EQ(parse_http_request("GET / FTP/1.0\r\n\r\n", request, head_bytes), ParseResult::kBad);
+  // Header without a colon.
+  EXPECT_EQ(parse_http_request("GET / HTTP/1.1\r\nnocolon\r\n\r\n", request, head_bytes),
+            ParseResult::kBad);
+}
+
+TEST(HttpParse, KeepAliveSemantics) {
+  HttpRequest request;
+  std::size_t head_bytes = 0;
+  // HTTP/1.1 defaults to keep-alive.
+  ASSERT_EQ(parse_http_request("GET / HTTP/1.1\r\n\r\n", request, head_bytes), ParseResult::kOk);
+  EXPECT_TRUE(request.keep_alive());
+  // ... unless the client says close.
+  ASSERT_EQ(parse_http_request("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", request,
+                               head_bytes),
+            ParseResult::kOk);
+  EXPECT_FALSE(request.keep_alive());
+  // HTTP/1.0 defaults to close ...
+  ASSERT_EQ(parse_http_request("GET / HTTP/1.0\r\n\r\n", request, head_bytes), ParseResult::kOk);
+  EXPECT_FALSE(request.keep_alive());
+  // ... unless the client opts in.
+  ASSERT_EQ(parse_http_request("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", request,
+                               head_bytes),
+            ParseResult::kOk);
+  EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(HttpResponse, ComposesStatusHeadersAndBody) {
+  const std::string response = http_response(200, "text/plain", "hello", /*keep_alive=*/true);
+  EXPECT_EQ(response,
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain\r\n"
+            "Content-Length: 5\r\n"
+            "Connection: keep-alive\r\n"
+            "\r\n"
+            "hello");
+}
+
+TEST(HttpResponse, ExtraHeadersAndClose) {
+  const std::string response =
+      http_response(503, "application/json", "{}", /*keep_alive=*/false, {{"Retry-After", "2"}});
+  EXPECT_NE(response.find("HTTP/1.1 503 Service Unavailable\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Retry-After: 2\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\n{}"), std::string::npos);
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab\rret"), "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(TableSlug, CollapsesToUrlSafeIdentifier) {
+  EXPECT_EQ(table_slug("Table 1: vantage points"), "table-1-vantage-points");
+  EXPECT_EQ(table_slug("Section 3.2: malicious-traffic fractions"),
+            "section-3-2-malicious-traffic-fractions");
+  EXPECT_EQ(table_slug("already-fine"), "already-fine");
+  EXPECT_EQ(table_slug("  Leading & trailing!  "), "leading-trailing");
+  EXPECT_EQ(table_slug(""), "");
+}
+
+TEST(SplitPath, Segments) {
+  using Segments = std::vector<std::string_view>;
+  EXPECT_EQ(split_path("/"), Segments{});
+  EXPECT_EQ(split_path(""), Segments{});
+  EXPECT_EQ(split_path("/healthz"), (Segments{"healthz"}));
+  EXPECT_EQ(split_path("/epoch/3/table/x"), (Segments{"epoch", "3", "table", "x"}));
+  EXPECT_EQ(split_path("//double//slash/"), (Segments{"double", "slash"}));
+}
+
+}  // namespace
+}  // namespace cw::stream

@@ -1,0 +1,541 @@
+// ReportServer contract tests:
+//
+//  1. Routing + response caching through handle() — no sockets.
+//  2. Admission control over real sockets: the connection past
+//     max_connections gets 503 + Retry-After, and capacity frees on close.
+//  3. The concurrent-reader invariant (the serve-side analog of the stream
+//     equivalence suite): reader threads pinning epochs over HTTP while two
+//     sealers race seal_epoch always see bytes identical to a cold render of
+//     the same pinned snapshot — run under -DCW_SANITIZE=thread to verify
+//     the locking discipline.
+//  4. End-to-end: a LiveReport window served over HTTP; the final epoch's
+//     /report body is byte-identical to the cold batch pipeline render.
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "runner/pipeline.h"
+#include "runner/report.h"
+#include "runner/thread_pool.h"
+#include "serve/http.h"
+#include "serve/publisher.h"
+#include "stream/ingest.h"
+#include "stream/live_report.h"
+#include "topology/deployment.h"
+
+namespace cw::stream {
+namespace {
+
+// --- helpers ---------------------------------------------------------------
+
+PublishedEpoch synthetic_epoch(std::uint64_t k) {
+  PublishedEpoch epoch;
+  epoch.epoch = k;
+  epoch.records_total = 100 * k;
+  epoch.records_new = 100;
+  epoch.scale = 0.25;
+  epoch.table_names = {"Table 1: vantage points", "Section 3.2: malicious-traffic fractions"};
+  for (const std::string& name : epoch.table_names) {
+    epoch.table_slugs.push_back(table_slug(name));
+    epoch.tables.push_back(std::make_shared<const std::string>(
+        name + " body for epoch " + std::to_string(k) + "\n"));
+  }
+  return epoch;
+}
+
+HttpRequest get(const std::string& target) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = target;
+  const std::size_t question = target.find('?');
+  request.path = target.substr(0, question);
+  request.query = question == std::string::npos ? std::string() : target.substr(question + 1);
+  request.version = "HTTP/1.1";
+  return request;
+}
+
+int status_of(const std::string& response) {
+  if (response.size() < std::strlen("HTTP/1.1 200")) return -1;
+  return std::atoi(response.c_str() + std::strlen("HTTP/1.1 "));
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string() : response.substr(split + 4);
+}
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Reads one full response (head + Content-Length body) from a keep-alive
+// connection. Returns empty on EOF/error.
+std::string read_response(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  std::size_t body_start = 0;
+  std::size_t content_length = std::string::npos;
+  for (;;) {
+    if (body_start == 0) {
+      const std::size_t head_end = buffer.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        body_start = head_end + 4;
+        const std::size_t tag = buffer.find("Content-Length: ");
+        if (tag == std::string::npos || tag > head_end) return {};
+        content_length =
+            static_cast<std::size_t>(std::atoll(buffer.c_str() + tag + std::strlen("Content-Length: ")));
+      }
+    }
+    if (body_start != 0 && buffer.size() >= body_start + content_length) {
+      return buffer.substr(0, body_start + content_length);
+    }
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) return {};
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+std::string http_get(int fd, const std::string& target) {
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: test\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), MSG_NOSIGNAL) !=
+      static_cast<ssize_t>(request.size())) {
+    return {};
+  }
+  return read_response(fd);
+}
+
+// --- 1. routing + caching (no sockets) -------------------------------------
+
+TEST(ReportServerHandle, RoutesMetaTablesReportAndErrors) {
+  ReportPublisher publisher;
+  publisher.publish(synthetic_epoch(1));
+  publisher.publish(synthetic_epoch(2));
+  ReportServer server(publisher);
+
+  EXPECT_EQ(status_of(server.handle(get("/healthz"))), 200);
+  EXPECT_EQ(body_of(server.handle(get("/healthz"))), "ok\n");
+
+  const std::string epochs = server.handle(get("/epochs"));
+  EXPECT_EQ(status_of(epochs), 200);
+  EXPECT_NE(body_of(epochs).find("\"latest\":2"), std::string::npos);
+  EXPECT_NE(body_of(epochs).find("\"epoch\":1"), std::string::npos);
+
+  const std::string meta = server.handle(get("/epoch/2"));
+  EXPECT_EQ(status_of(meta), 200);
+  EXPECT_NE(body_of(meta).find("\"records_total\":200"), std::string::npos);
+  EXPECT_NE(body_of(meta).find("\"slug\":\"table-1-vantage-points\""), std::string::npos);
+
+  // /epoch/latest resolves to the same bytes as the numbered route.
+  EXPECT_EQ(server.handle(get("/epoch/latest")), meta);
+
+  const std::string table = server.handle(get("/epoch/1/table/table-1-vantage-points"));
+  EXPECT_EQ(status_of(table), 200);
+  EXPECT_EQ(body_of(table), "Table 1: vantage points body for epoch 1\n");
+
+  const std::string as_json =
+      server.handle(get("/epoch/1/table/table-1-vantage-points?format=json"));
+  EXPECT_EQ(status_of(as_json), 200);
+  EXPECT_NE(body_of(as_json).find("\"markdown\":\"Table 1: vantage points body for epoch 1\\n\""),
+            std::string::npos);
+
+  const std::string report = server.handle(get("/epoch/2/report"));
+  EXPECT_EQ(status_of(report), 200);
+  EXPECT_EQ(body_of(report),
+            "== Cloud Watching full report (scale 0.25) ==\n\ncaptured 200 session records\n\n"
+            "--- Table 1: vantage points ---\nTable 1: vantage points body for epoch 2\n\n"
+            "--- Section 3.2: malicious-traffic fractions ---\n"
+            "Section 3.2: malicious-traffic fractions body for epoch 2\n\n");
+
+  // Errors: unknown route, unpublished epoch, malformed epoch, unknown slug,
+  // findings absent.
+  EXPECT_EQ(status_of(server.handle(get("/nope"))), 404);
+  EXPECT_EQ(status_of(server.handle(get("/epoch/99"))), 404);
+  EXPECT_EQ(status_of(server.handle(get("/epoch/abc"))), 400);
+  EXPECT_EQ(status_of(server.handle(get("/epoch/0"))), 400);
+  EXPECT_EQ(status_of(server.handle(get("/epoch/1/table/no-such-table"))), 404);
+  EXPECT_EQ(status_of(server.handle(get("/epoch/1/findings"))), 404);
+}
+
+TEST(ReportServerHandle, CachesPerEpochAndNewEpochsInvalidateNothing) {
+  ReportPublisher publisher;
+  publisher.publish(synthetic_epoch(1));
+  ReportServer server(publisher);
+
+  const std::string first = server.handle(get("/epoch/1/report"));
+  EXPECT_EQ(server.stats().cache_hits, 0u);
+  const std::string again = server.handle(get("/epoch/1/report"));
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+
+  // A new epoch never invalidates epoch 1's cached bytes, and "latest" now
+  // resolves to epoch 2 (cached under its own resolved key, not an alias).
+  const std::string latest_was_1 = server.handle(get("/epoch/latest/report"));
+  EXPECT_EQ(latest_was_1, first);  // cache hit under resolved epoch 1
+  publisher.publish(synthetic_epoch(2));
+  const std::string latest_is_2 = server.handle(get("/epoch/latest/report"));
+  EXPECT_NE(latest_is_2, first);
+  EXPECT_NE(body_of(latest_is_2).find("captured 200 session records"), std::string::npos);
+  EXPECT_EQ(server.handle(get("/epoch/1/report")), first);
+}
+
+TEST(ReportServerHandle, FindingsRouteRendersClaims) {
+  ReportPublisher publisher;
+  PublishedEpoch epoch = synthetic_epoch(1);
+  epoch.has_findings = true;
+  for (std::size_t i = 0; i < epoch.findings.size(); ++i) {
+    epoch.findings[i].finding = static_cast<runner::PaperFinding>(i);
+    epoch.findings[i].holds = (i % 2) == 0;
+    epoch.findings[i].effect = 0.5;
+    epoch.findings[i].detail = "detail " + std::to_string(i);
+  }
+  publisher.publish(std::move(epoch));
+  ReportServer server(publisher);
+  const std::string response = server.handle(get("/epoch/1/findings"));
+  EXPECT_EQ(status_of(response), 200);
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("\"holds\":true"), std::string::npos);
+  EXPECT_NE(body.find("\"holds\":false"), std::string::npos);
+  EXPECT_NE(body.find("\"detail\":\"detail 0\""), std::string::npos);
+  EXPECT_NE(body.find(std::string(runner::finding_name(static_cast<runner::PaperFinding>(0)))),
+            std::string::npos);
+}
+
+// --- 2. admission control over real sockets --------------------------------
+
+TEST(ReportServer, OverloadSheds503WithRetryAfterAndRecovers) {
+  ReportPublisher publisher;
+  publisher.publish(synthetic_epoch(1));
+  ReportServerConfig config;
+  config.max_connections = 1;
+  config.workers = 1;
+  config.retry_after_seconds = 2;
+  config.idle_timeout_seconds = 30;  // the held connection must not idle out
+  ReportServer server(publisher, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Occupy the single admission slot with an idle connection.
+  const int held = connect_to(server.port());
+  ASSERT_GE(held, 0);
+  for (int i = 0; i < 200 && server.stats().accepted < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.stats().accepted, 1u);
+
+  // The next connection is shed at accept time with 503 + Retry-After.
+  const int shed = connect_to(server.port());
+  ASSERT_GE(shed, 0);
+  const std::string response = read_response(shed);
+  ::close(shed);
+  EXPECT_EQ(status_of(response), 503);
+  EXPECT_NE(response.find("Retry-After: 2\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_GE(server.stats().rejected, 1u);
+
+  // Closing the held connection frees the slot; the retry succeeds.
+  ::close(held);
+  for (int i = 0; i < 200 && server.stats().open_connections > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const int retry = connect_to(server.port());
+  ASSERT_GE(retry, 0);
+  const std::string ok = http_get(retry, "/epoch/1/report");
+  ::close(retry);
+  EXPECT_EQ(status_of(ok), 200);
+  server.stop();
+}
+
+// --- 3. concurrent readers vs racing sealers --------------------------------
+
+topology::Deployment serving_deployment() {
+  topology::Deployment deployment;
+  for (std::size_t v = 0; v < 3; ++v) {
+    topology::VantagePoint vp;
+    vp.name = "vp-" + std::to_string(v);
+    vp.type = topology::NetworkType::kCloud;
+    vp.collection = topology::CollectionMethod::kHoneytrap;
+    vp.addresses = {net::IPv4Addr(3, 0, static_cast<std::uint8_t>(v), 1)};
+    deployment.add(std::move(vp));
+  }
+  return deployment;
+}
+
+// A deterministic pure function of a pinned snapshot — the "table" each
+// published epoch serves, recomputable cold at any later time.
+std::string render_snapshot(const EpochSnapshot& snapshot) {
+  std::string out = "epoch " + std::to_string(snapshot.epoch()) + "\n";
+  for (const auto& segment : snapshot.segments()) {
+    out += "segment " + std::to_string(segment->id()) + ": " +
+           std::to_string(segment->size()) + " records\n";
+  }
+  out += "total " + std::to_string(snapshot.size()) + "\n";
+  return out;
+}
+
+PublishedEpoch epoch_from_snapshot(const EpochSnapshot& snapshot) {
+  PublishedEpoch epoch;
+  epoch.epoch = snapshot.epoch();
+  epoch.records_total = snapshot.size();
+  epoch.snapshot = snapshot;
+  epoch.table_names = {"Sealed segments"};
+  epoch.table_slugs = {table_slug("Sealed segments")};
+  epoch.tables = {std::make_shared<const std::string>(render_snapshot(snapshot))};
+  return epoch;
+}
+
+TEST(ReportServer, ConcurrentReadersSeeByteIdenticalEpochsWhileSealersRace) {
+  const topology::Deployment deployment = serving_deployment();
+  constexpr int kRounds = 12;
+  constexpr std::size_t kSealers = 2;
+  constexpr std::size_t kReaders = 3;
+
+  IngestShards ingest(2);
+  ReportPublisher publisher;
+  ReportServerConfig config;
+  config.workers = kReaders + 1;
+  ReportServer server(publisher, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint32_t> next_src{0};
+
+  // Two sealers race seal_epoch while a producer keeps appending; each
+  // sealed snapshot is published as soon as its sealer has it.
+  std::thread producer([&ingest, &next_src, &done] {
+    while (!done.load()) {
+      const std::uint32_t src = next_src.fetch_add(1);
+      ingest.append(src % 2,
+                    [&] {
+                      capture::SessionRecord record;
+                      record.vantage = static_cast<topology::VantageId>(src % 3);
+                      record.src = src;
+                      record.port = 22;
+                      return record;
+                    }(),
+                    {}, std::nullopt);
+    }
+  });
+  std::vector<std::thread> sealers;
+  for (std::size_t s = 0; s < kSealers; ++s) {
+    sealers.emplace_back([&ingest, &publisher, &deployment] {
+      for (int round = 0; round < kRounds; ++round) {
+        publisher.publish(epoch_from_snapshot(ingest.seal_epoch(deployment)));
+      }
+    });
+  }
+
+  // Readers pin epochs over HTTP while the sealers run, recording the first
+  // body they see for each (epoch, route).
+  std::vector<std::map<std::string, std::string>> seen(kReaders);
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&server, &publisher, &seen, r] {
+      const int fd = connect_to(server.port());
+      ASSERT_GE(fd, 0);
+      std::uint64_t max_epoch = 0;
+      while (max_epoch < kSealers * kRounds) {
+        const std::uint64_t latest = publisher.latest_epoch();
+        if (latest == 0) continue;
+        // Walk every epoch published so far, keep-alive on one connection.
+        for (std::uint64_t k = 1; k <= latest; ++k) {
+          for (const std::string& route :
+               {"/epoch/" + std::to_string(k) + "/table/sealed-segments",
+                "/epoch/" + std::to_string(k) + "/report"}) {
+            std::string response = http_get(fd, route);
+            ASSERT_FALSE(response.empty()) << route;
+            // Racing sealers publish out of order: epoch k can trail a
+            // higher-numbered publish, so a 404 here means "not yet" —
+            // retry until the straggler lands.
+            while (status_of(response) == 404) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+              response = http_get(fd, route);
+              ASSERT_FALSE(response.empty()) << route;
+            }
+            ASSERT_EQ(status_of(response), 200) << route;
+            seen[r].try_emplace(route, body_of(response));
+            // Re-reads mid-race are byte-identical to the first read.
+            ASSERT_EQ(body_of(response), seen[r].at(route)) << route;
+          }
+        }
+        max_epoch = latest;
+      }
+      ::close(fd);
+    });
+  }
+
+  for (std::thread& sealer : sealers) sealer.join();
+  done.store(true);
+  producer.join();
+  for (std::thread& reader : readers) reader.join();
+
+  // Cold verification: with all sealing quiesced, re-render every epoch from
+  // its pinned snapshot; every byte any reader ever saw must match.
+  ASSERT_EQ(publisher.published_count(), kSealers * kRounds);
+  for (std::uint64_t k = 1; k <= kSealers * kRounds; ++k) {
+    const auto epoch = publisher.epoch(k);
+    ASSERT_NE(epoch, nullptr) << "epoch " << k;
+    EXPECT_EQ(epoch->snapshot.epoch(), k);
+    const std::string cold = render_snapshot(epoch->snapshot);
+    const std::string table_route = "/epoch/" + std::to_string(k) + "/table/sealed-segments";
+    const std::string report_route = "/epoch/" + std::to_string(k) + "/report";
+    const std::string cold_report = epoch->render_full_report();
+    for (std::size_t r = 0; r < kReaders; ++r) {
+      const auto table_it = seen[r].find(table_route);
+      if (table_it != seen[r].end()) {
+        EXPECT_EQ(table_it->second, cold) << table_route;
+      }
+      const auto report_it = seen[r].find(report_route);
+      if (report_it != seen[r].end()) {
+        EXPECT_EQ(report_it->second, cold_report) << report_route;
+      }
+    }
+    // At least the final walk visited every epoch.
+    EXPECT_TRUE(seen[0].count(table_route) == 1) << table_route;
+  }
+  server.stop();
+}
+
+// --- 4. end-to-end: live window over HTTP vs cold batch render --------------
+
+core::ExperimentConfig tiny_config() {
+  core::ExperimentConfig config;
+  config.scale = 0.05;
+  config.telescope_slash24s = 4;
+  config.duration = util::kDay;
+  return config;
+}
+
+TEST(ReportServer, LiveWindowOverHttpMatchesColdBatchRender) {
+  runner::ReportOptions options;
+  options.include_leak = false;  // deterministic but heavy; not serve-dependent
+
+  // Cold batch render, composed exactly as /epoch/<final>/report promises.
+  std::string expected;
+  {
+    const auto result = core::Experiment(tiny_config()).run();
+    result->store().freeze();
+    const auto pipelines = runner::paper_report_pipelines(*result, options);
+    const auto batch = runner::run_pipelines(pipelines, 1);
+    char header[160];
+    std::snprintf(header, sizeof(header),
+                  "== Cloud Watching full report (scale %.2f) ==\n\ncaptured %zu"
+                  " session records\n\n",
+                  tiny_config().scale, result->store().size());
+    expected = header;
+    for (std::size_t i = 0; i < pipelines.size(); ++i) {
+      expected += "--- " + pipelines[i].name + " ---\n" + batch.outputs[i] + "\n";
+    }
+  }
+
+  LiveReportConfig config;
+  config.experiment = tiny_config();
+  config.epochs = 3;
+  config.shards = 2;
+  config.jobs = 1;
+  config.report = options;
+  config.extract_findings = true;
+
+  ReportPublisher publisher;
+  ReportServer server(publisher);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // A reader polls during the run, pinning each epoch's /report as it lands.
+  std::atomic<bool> done{false};
+  std::mutex during_run_mutex;
+  std::map<std::uint64_t, std::string> during_run;
+  const auto pinned_count = [&during_run_mutex, &during_run] {
+    const std::lock_guard<std::mutex> lock(during_run_mutex);
+    return during_run.size();
+  };
+  std::thread reader([&server, &publisher, &during_run_mutex, &during_run, &done] {
+    int fd = connect_to(server.port());
+    ASSERT_GE(fd, 0);
+    while (!done.load()) {
+      const std::uint64_t latest = publisher.latest_epoch();
+      for (std::uint64_t k = 1; k <= latest; ++k) {
+        {
+          const std::lock_guard<std::mutex> lock(during_run_mutex);
+          if (during_run.count(k) != 0) continue;
+        }
+        std::string response = http_get(fd, "/epoch/" + std::to_string(k) + "/report");
+        if (status_of(response) != 200) {
+          // The server reaps keep-alive connections idle past its timeout,
+          // and epochs can be minutes apart under TSan — reconnect and retry.
+          ::close(fd);
+          fd = connect_to(server.port());
+          ASSERT_GE(fd, 0);
+          response = http_get(fd, "/epoch/" + std::to_string(k) + "/report");
+        }
+        ASSERT_EQ(status_of(response), 200);
+        const std::lock_guard<std::mutex> lock(during_run_mutex);
+        during_run[k] = body_of(response);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ::close(fd);
+  });
+
+  LiveReport live(config);
+  live.run([&publisher](const EpochReport& report) {
+    ASSERT_FALSE(report.failed);
+    publisher.publish(PublishedEpoch::from_report(report, tiny_config().scale));
+  });
+  // Let the reader pin the final epoch before stopping it (bail instead of
+  // hanging if the reader thread died on an assertion).
+  while (pinned_count() < config.epochs && !::testing::Test::HasFatalFailure()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  done.store(true);
+  reader.join();
+
+  // The final epoch served over HTTP mid-run is the cold batch render.
+  ASSERT_EQ(publisher.latest_epoch(), config.epochs);
+  ASSERT_EQ(during_run.count(config.epochs), 1u);
+  EXPECT_EQ(during_run.at(config.epochs), expected);
+
+  // Findings were extracted and serve as JSON; every epoch re-fetches to the
+  // same bytes it served mid-run.
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string findings =
+      http_get(fd, "/epoch/" + std::to_string(config.epochs) + "/findings");
+  EXPECT_EQ(status_of(findings), 200);
+  EXPECT_NE(body_of(findings).find("\"findings\":["), std::string::npos);
+  for (const auto& [k, body] : during_run) {
+    const std::string again = http_get(fd, "/epoch/" + std::to_string(k) + "/report");
+    EXPECT_EQ(body_of(again), body) << "epoch " << k;
+  }
+  ::close(fd);
+  EXPECT_GT(server.stats().cache_hits, 0u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace cw::stream

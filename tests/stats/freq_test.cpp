@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace cw::stats {
 namespace {
@@ -281,6 +282,35 @@ TEST(FrequencyTableDense, AllMissingColumnIsEmpty) {
   EXPECT_EQ(dense.distinct(), 0u);
   EXPECT_TRUE(dense.sorted().empty());
   EXPECT_TRUE(dense.top_k(3).empty());
+}
+
+TEST(FrequencyTableDense, StaleDictionaryCodeThrowsInEveryBuildMode) {
+  // Satellite contract: a shifted code beyond the dictionary's range (a
+  // stale or mismatched dictionary) must throw std::out_of_range in release
+  // builds too — the old assert() vanished under NDEBUG and the gather
+  // kernel scribbled past shifted_counts_.
+  const auto dict = cw::util::Dictionary::sorted({"a", "b", "c"});
+  const std::vector<std::uint32_t> good = {1, 2, 3, 0};
+  const std::vector<std::uint32_t> stale = {1, 2, 7, 0};  // 7 > distinct+1
+
+  // Whole-column path.
+  EXPECT_NO_THROW(FrequencyTable::from_codes(good, dict));
+  EXPECT_THROW(FrequencyTable::from_codes(stale, dict), std::out_of_range);
+
+  // Gather (record-subset) path, through both PostingView sources.
+  const std::vector<std::uint32_t> rows = {0, 1, 2};
+  EXPECT_NO_THROW(FrequencyTable::from_codes(good, cw::util::PostingView(rows), dict));
+  EXPECT_THROW(FrequencyTable::from_codes(stale, cw::util::PostingView(rows), dict),
+               std::out_of_range);
+  cw::util::PostingList packed;
+  for (const std::uint32_t r : rows) packed.append(r);
+  EXPECT_THROW(FrequencyTable::from_codes(stale, cw::util::PostingView(packed), dict),
+               std::out_of_range);
+
+  // A gather that never touches the stale row stays fine: the check guards
+  // the codes actually read, not the whole column.
+  const std::vector<std::uint32_t> safe_rows = {0, 1, 3};
+  EXPECT_NO_THROW(FrequencyTable::from_codes(stale, cw::util::PostingView(safe_rows), dict));
 }
 
 TEST(TopKUnion, UnionsAndSorts) {

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 namespace cw::util {
@@ -99,6 +100,32 @@ TEST(PostingListTest, PackedBeatsVectorOnDenseRuns) {
   list.shrink();
   // 1Mi dense indices: ~2 bits each packed vs 32 bits in a vector.
   EXPECT_LT(list.bytes(), (1u << 20) * sizeof(std::uint32_t) / 8);
+}
+
+TEST(PostingListTest, NonIncreasingAppendThrowsInEveryBuildMode) {
+  // Satellite contract: the ascending-append validation must survive NDEBUG.
+  // This test runs in the release-mode tier-1 build (RelWithDebInfo), where
+  // the old assert() compiled away and an out-of-order append silently
+  // corrupted the container order.
+  PostingList list;
+  list.append(10);
+  list.append(11);
+  EXPECT_THROW(list.append(11), std::logic_error);  // equal
+  EXPECT_THROW(list.append(5), std::logic_error);   // decreasing
+  EXPECT_THROW(list.append(0), std::logic_error);   // decreasing to minimum
+  // The failed appends left the list exactly as it was.
+  EXPECT_EQ(list.to_vector(), (std::vector<std::uint32_t>{10, 11}));
+  // And the list still accepts valid appends afterwards.
+  list.append(12);
+  EXPECT_EQ(list.to_vector(), (std::vector<std::uint32_t>{10, 11, 12}));
+}
+
+TEST(PostingListTest, RejectsDuplicateOfMaxValue) {
+  // value+1 arithmetic at the top of the range must not wrap.
+  PostingList list;
+  list.append(4294967295u);
+  EXPECT_THROW(list.append(4294967295u), std::logic_error);
+  EXPECT_EQ(list.to_vector(), (std::vector<std::uint32_t>{4294967295u}));
 }
 
 TEST(PostingViewTest, WrapsVectorAndDefault) {
