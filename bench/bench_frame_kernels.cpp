@@ -91,16 +91,19 @@ void bm_table_build_v1(benchmark::State& state) {
 BENCHMARK(bm_table_build_v1)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 
 // Largest per-port posting list in the corpus, as the packed list and as
-// the v1 index vector.
+// the v1 index vector. The frame hands out views, so the packed list is
+// rebuilt once here (ascending append reproduces the identical containers).
 const util::PostingList& big_port_postings() {
   static const util::PostingList* list = [] {
     const capture::SessionFrame& frame = encoded_frame();
-    const util::PostingList* best = &frame.for_port(22);
+    net::Port best = 22;
     for (const net::Port port : {net::Port{23}, net::Port{80}, net::Port{445}}) {
-      const util::PostingList& candidate = frame.for_port(port);
-      if (candidate.size() > best->size()) best = &candidate;
+      if (frame.for_port(port).size() > frame.for_port(best).size()) best = port;
     }
-    return best;
+    auto* rebuilt = new util::PostingList();
+    frame.for_port(best).for_each([&](std::uint32_t index) { rebuilt->append(index); });
+    rebuilt->shrink();
+    return rebuilt;
   }();
   return *list;
 }

@@ -27,6 +27,7 @@
 // standalone (byte-identical to its in-fleet per-cell block) and
 // `--cells-dir` writes each cell's block to DIR for that comparison (the
 // check.sh fleet tier).
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +51,7 @@
 #include "runner/thread_pool.h"
 #include "serve/server.h"
 #include "stream/live_report.h"
+#include "stream/spill_runner.h"
 
 namespace {
 
@@ -77,6 +79,9 @@ struct Options {
   unsigned serve_workers = 4;
   std::size_t max_connections = 128;
   int linger = 0;  // seconds to keep serving after the final epoch
+  // Out-of-core tiering (watch/serve/sweep): active when spill_dir is set.
+  std::string spill_dir;
+  std::size_t hot_segments = 1;  // --hot-segments all => SIZE_MAX
 };
 
 void usage() {
@@ -87,14 +92,20 @@ void usage() {
                "       cloudwatch_cli inspect --in FILE\n"
                "       cloudwatch_cli watch [--scale S] [--t24 N] [--year Y] [--epochs K]"
                " [--shards M] [--jobs N]\n"
+               "                            [--spill-dir DIR] [--hot-segments N|all]\n"
                "       cloudwatch_cli serve [--scale S] [--t24 N] [--year Y] [--epochs K]"
                " [--shards M] [--jobs N]\n"
                "                            [--port P] [--port-file FILE] [--serve-workers N]"
                " [--max-conn N] [--linger SECONDS]\n"
+               "                            [--spill-dir DIR] [--hot-segments N|all]\n"
                "       cloudwatch_cli sweep CAMPAIGN [--scale S] [--t24 N] [--year Y] [--jobs N]"
                " [--cell LABEL] [--cells-dir DIR] [--cells N]\n"
+               "                            [--spill-dir DIR] [--hot-segments N|all]"
+               " [--epochs K] [--shards M]\n"
                "tables: 1 2 4 5 6 7 8 9 10 11 17 sec32 fig1\n"
-               "campaigns: ablation calibration stress\n");
+               "campaigns: ablation calibration stress\n"
+               "--spill-dir spills sealed epoch segments to DIR, keeping only the newest\n"
+               "--hot-segments resident (out-of-core corpora); output bytes are unchanged.\n");
 }
 
 bool parse(int argc, char** argv, Options& options) {
@@ -187,6 +198,20 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (v == nullptr || std::atoi(v) < 0) return false;
       options.linger = std::atoi(v);
+    } else if (arg == "--spill-dir") {
+      const char* v = next();
+      if (v == nullptr || *v == '\0') return false;
+      options.spill_dir = v;
+    } else if (arg == "--hot-segments") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "all") == 0) {
+        options.hot_segments = static_cast<std::size_t>(-1);
+      } else if (std::atoi(v) >= 0 && (std::isdigit(static_cast<unsigned char>(*v)) != 0)) {
+        options.hot_segments = static_cast<std::size_t>(std::atoi(v));
+      } else {
+        return false;
+      }
     } else if (!arg.empty() && arg[0] != '-' && options.command == "sweep" &&
                options.campaign.empty()) {
       options.campaign = arg;
@@ -320,6 +345,10 @@ int cmd_watch(const Options& options) {
   config.epochs = options.epochs;
   config.shards = options.shards;
   config.jobs = options.jobs;
+  if (!options.spill_dir.empty()) {
+    config.spill_dir = options.spill_dir;
+    config.hot_segments = options.hot_segments;
+  }
   // The leak experiment re-simulates its own populations and its result does
   // not change across epochs; keep interactive watching responsive.
   config.report.include_leak = false;
@@ -353,6 +382,10 @@ int cmd_serve(const Options& options) {
   config.epochs = options.epochs;
   config.shards = options.shards;
   config.jobs = options.jobs;
+  if (!options.spill_dir.empty()) {
+    config.spill_dir = options.spill_dir;
+    config.hot_segments = options.hot_segments;
+  }
   // Unlike `watch`, the leak table stays in: /epoch/<k>/report promises the
   // exact full_report byte stream, and check.sh diffs the two.
   config.extract_findings = true;
@@ -455,7 +488,18 @@ int cmd_sweep(const Options& options) {
                campaign.name.c_str(), campaign.cells.size(), options.scale,
                options.telescope_slash24s, options.jobs);
   cw::runner::ThreadPool pool(options.jobs);
-  const cw::runner::Fleet fleet(pool);
+  cw::runner::Fleet fleet(pool);
+  if (!options.spill_dir.empty()) {
+    // Out-of-core simulations: every group runs its window in epochs and
+    // keeps only the newest --hot-segments resident; findings are
+    // byte-identical to the resident path (check.sh coldstore diffs them).
+    cw::stream::SpillSimOptions spill;
+    spill.spill_dir = options.spill_dir;
+    spill.hot_segments = options.hot_segments;
+    spill.epochs = options.epochs;
+    spill.shards = options.shards;
+    fleet.set_sim_runner(cw::stream::make_spill_sim_runner(spill, &pool));
+  }
   const std::vector<cw::runner::CellResult> results = fleet.run(campaign);
   if (!options.cells_dir.empty()) {
     std::error_code ec;

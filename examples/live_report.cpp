@@ -2,7 +2,12 @@
 // window in epoch slices through the stream subsystem, re-rendering every
 // paper table at each epoch boundary from sealed segments.
 //
-//   ./live_report [--jobs N] [--epochs K] [--shards M] [--final-only] [scale] [t24]
+//   ./live_report [--jobs N] [--epochs K] [--shards M] [--final-only]
+//                 [--spill-dir DIR] [--hot-segments N|all] [scale] [t24]
+//
+// --spill-dir spills segments older than the newest --hot-segments to DIR
+// (out-of-core tiering; see stream::LiveReportConfig). The report bytes are
+// unchanged — the coldstore check tier diffs spilled vs resident output.
 //
 // With --final-only, only the final epoch's report is printed — in exactly
 // the byte format of full_report — so
@@ -59,6 +64,23 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.shards = static_cast<std::size_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0) {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        std::fprintf(stderr, "error: --spill-dir expects a directory\n");
+        return 2;
+      }
+      config.spill_dir = v;
+    } else if (std::strcmp(argv[i], "--hot-segments") == 0) {
+      const char* v = value();
+      if (v != nullptr && std::strcmp(v, "all") == 0) {
+        config.hot_segments = static_cast<std::size_t>(-1);
+      } else if (v != nullptr && std::atoi(v) >= 0 && *v >= '0' && *v <= '9') {
+        config.hot_segments = static_cast<std::size_t>(std::atoi(v));
+      } else {
+        std::fprintf(stderr, "error: --hot-segments expects a non-negative integer or 'all'\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--final-only") == 0) {
       final_only = true;
     } else if (positional == 0) {

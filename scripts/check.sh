@@ -16,8 +16,15 @@
 #   scripts/check.sh stress     # opt-in: 1000-engine stress campaign — completes
 #                               # under a deadline, bounded memory, byte-identical
 #                               # sweep report at --jobs 2 vs 8
+#   scripts/check.sh coldstore  # out-of-core tiering: spilled live report grid
+#                               # byte-identical to batch (+ golden md5) at
+#                               # --hot-segments 0/1/all x --jobs 1/8, and a
+#                               # campaign that dies under `ulimit -v` resident
+#                               # completes under the same cap with --spill-dir,
+#                               # byte-identical to the uncapped render
 #   scripts/check.sh all        # tier-1 + asan + tsan + determinism + stream + serve
-#                               # + fleet (stress stays opt-in: run it explicitly)
+#                               # + fleet + coldstore (stress stays opt-in: run it
+#                               # explicitly)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -332,6 +339,95 @@ stress() {
   echo "stress: $cells engines byte-identical at --jobs 2/8, memory bounded (scale $scale, t24 $t24)"
 }
 
+coldstore() {
+  # The out-of-core contract, end to end. Two halves:
+  #
+  # (a) Byte-identity grid: a spilled live report — segments beyond the hot
+  #     set demoted to mmap-backed cold files — renders exactly the batch
+  #     bytes at every hot-set size and worker count, and reproduces the
+  #     recorded golden hash at the reference scale. Tiering must be
+  #     invisible in the output or it fails here.
+  # (b) Memory high-water: a sweep cell whose resident footprint exceeds a
+  #     hard `ulimit -v` cap must die resident and complete under the same
+  #     cap with --spill-dir — byte-identical to the uncapped resident
+  #     render. Cold segments must genuinely leave the address space
+  #     (munmap, not madvise) for this to pass.
+  cmake --build "$ROOT/build" -j "$JOBS" --target full_report live_report cloudwatch_cli
+  local batch="$ROOT/build/examples/full_report"
+  [ -x "$batch" ] || batch="$ROOT/build/full_report"
+  local live="$ROOT/build/examples/live_report"
+  [ -x "$live" ] || live="$ROOT/build/live_report"
+  local cli="$ROOT/build/examples/cloudwatch_cli"
+  [ -x "$cli" ] || cli="$ROOT/build/cloudwatch_cli"
+  local scale="${CW_CHECK_SCALE:-0.3}" t24="${CW_CHECK_T24:-16}"
+  local golden="${CW_CHECK_GOLDEN_MD5:-06bc684b63b54af2709cec936ccc1153}"
+  local work
+  work=$(mktemp -d)
+  "$batch" --jobs 1 "$scale" "$t24" >"$work/batch.md" 2>/dev/null
+
+  local hot jobs
+  for hot in 0 1 all; do
+    for jobs in 1 8; do
+      rm -rf "$work/spill"
+      "$live" --final-only --epochs 4 --shards 4 --jobs "$jobs" \
+        --spill-dir "$work/spill" --hot-segments "$hot" "$scale" "$t24" \
+        >"$work/live.md" 2>/dev/null
+      if ! diff -q "$work/batch.md" "$work/live.md"; then
+        echo "coldstore: spilled live report diverged from batch at" \
+             "--hot-segments $hot --jobs $jobs" >&2
+        rm -rf "$work"
+        return 1
+      fi
+    done
+  done
+  if [ "$scale" = "0.3" ] && [ "$t24" = "16" ] && [ -n "$golden" ]; then
+    local md5
+    md5=$(md5sum "$work/live.md" | cut -d' ' -f1)
+    if [ "$md5" != "$golden" ]; then
+      echo "coldstore: spilled stdout md5 $md5 != golden $golden (scale 0.3, t24 16)" >&2
+      rm -rf "$work"
+      return 1
+    fi
+    echo "coldstore: spilled stdout md5 matches golden $golden"
+  fi
+  echo "coldstore: spilled live == batch at --hot-segments 0/1/all x --jobs 1/8 (scale $scale, t24 $t24)"
+
+  # (b) The cap demonstration. At the default configuration the resident
+  # cell peaks ~1.5 GiB of address space and the spilled run ~0.65 GiB
+  # (measured on the reference container), so the 1 GiB cap cleanly
+  # separates them on both sides.
+  local cap_kb="${CW_CHECK_COLD_MEM_KB:-1048576}"
+  local cap_scale="${CW_CHECK_COLD_SCALE:-4.5}" cap_t24="${CW_CHECK_COLD_T24:-16}"
+  local cap_cell="${CW_CHECK_COLD_CELL:-beta/x0.60}"
+  local cap_epochs="${CW_CHECK_COLD_EPOCHS:-12}"
+  "$cli" sweep calibration --cell "$cap_cell" --scale "$cap_scale" --t24 "$cap_t24" \
+    --jobs 2 >"$work/uncapped.md" 2>/dev/null
+  # Subshell so the expected SIGABRT's job-control notice stays quiet.
+  if (bash -c "ulimit -v $cap_kb; exec \"$cli\" sweep calibration --cell \"$cap_cell\" \
+      --scale $cap_scale --t24 $cap_t24 --jobs 2" >/dev/null 2>&1) 2>/dev/null; then
+    echo "coldstore: resident cell fit under the ${cap_kb}kB cap —" \
+         "raise CW_CHECK_COLD_SCALE so the cap demonstration discriminates" >&2
+    rm -rf "$work"
+    return 1
+  fi
+  rm -rf "$work/spill"
+  if ! bash -c "ulimit -v $cap_kb; exec \"$cli\" sweep calibration --cell \"$cap_cell\" \
+      --scale $cap_scale --t24 $cap_t24 --jobs 2 --spill-dir \"$work/spill\" \
+      --hot-segments 1 --epochs $cap_epochs --shards 4" >"$work/capped.md" 2>/dev/null; then
+    echo "coldstore: spilled cell still blew the ${cap_kb}kB cap" >&2
+    rm -rf "$work"
+    return 1
+  fi
+  if ! diff -q "$work/uncapped.md" "$work/capped.md"; then
+    echo "coldstore: capped spilled render diverged from the uncapped resident render" >&2
+    rm -rf "$work"
+    return 1
+  fi
+  rm -rf "$work"
+  echo "coldstore: resident dies at ${cap_kb}kB, spilled completes byte-identical" \
+       "(cell $cap_cell, scale $cap_scale, t24 $cap_t24)"
+}
+
 case "${1:-tier1}" in
   tier1) tier1 ;;
   asan) asan ;;
@@ -342,6 +438,7 @@ case "${1:-tier1}" in
   bench) bench ;;
   fleet) fleet ;;
   stress) stress ;;
-  all) tier1; asan; tsan; determinism; stream; serve; fleet ;;
-  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|serve|bench|fleet|stress|all]" >&2; exit 2 ;;
+  coldstore) coldstore ;;
+  all) tier1; asan; tsan; determinism; stream; serve; fleet; coldstore ;;
+  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|serve|bench|fleet|stress|coldstore|all]" >&2; exit 2 ;;
 esac

@@ -86,14 +86,15 @@ std::optional<net::Port> scope_port(TrafficScope scope) noexcept {
 TrafficSlice slice_vantage(const capture::SessionFrame& frame, topology::VantageId vantage,
                            TrafficScope scope) {
   TrafficSlice slice;
-  slice.store = &frame.store();
+  slice.store = frame.store_ptr();  // null for a mapped (spilled) frame
   slice.frame = &frame;
   if (const auto port = scope_port(scope)) {
     slice.records = frame.for_vantage_port(vantage, *port).to_vector();
     return slice;
   }
   if (scope == TrafficScope::kAnyAll) {
-    slice.records = frame.for_vantage(vantage);
+    const std::span<const std::uint32_t> all = frame.for_vantage(vantage);
+    slice.records.assign(all.begin(), all.end());
     return slice;
   }
   for (std::uint32_t index : frame.for_vantage(vantage)) {
@@ -117,7 +118,7 @@ TrafficSlice slice_neighbor(const capture::EventStore& store, topology::VantageI
 TrafficSlice slice_neighbor(const capture::SessionFrame& frame, topology::VantageId vantage,
                             std::uint16_t neighbor, TrafficScope scope) {
   TrafficSlice slice;
-  slice.store = &frame.store();
+  slice.store = frame.store_ptr();  // null for a mapped (spilled) frame
   slice.frame = &frame;
   const auto port = scope_port(scope);
   const util::PostingView candidates =

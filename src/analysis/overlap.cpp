@@ -110,6 +110,30 @@ std::vector<OverlapRow> scanner_overlap(const capture::EventStore& store,
   return scanner_rows(ports, cloud, edu, telescope);
 }
 
+namespace {
+
+// Shared accumulation pass of the frame-backed scanner overlap: one frame's
+// per-port posting lists folded into the (port, network type) source sets.
+// The segmented variant calls this once per segment; union into shared sets
+// is exactly the single-frame scan of the concatenated corpus.
+void accumulate_scanner(const capture::SessionFrame& frame, const std::vector<net::Port>& ports,
+                        const std::unordered_set<capture::ActorId>& excluded, PortSets& cloud,
+                        PortSets& edu, PortSets& telescope) {
+  for (net::Port port : ports) {
+    frame.for_port(port).for_each([&](std::uint32_t index) {
+      if (excluded.contains(frame.actor(index))) return;
+      const std::uint32_t src = frame.src(index);
+      switch (frame.network_type(index)) {
+        case topology::NetworkType::kCloud: cloud[port].insert(src); break;
+        case topology::NetworkType::kEducation: edu[port].insert(src); break;
+        case topology::NetworkType::kTelescope: telescope[port].insert(src); break;
+      }
+    });
+  }
+}
+
+}  // namespace
+
 std::vector<OverlapRow> scanner_overlap(const capture::SessionFrame& frame,
                                         const std::vector<net::Port>& ports,
                                         const std::vector<capture::ActorId>& exclude_actors) {
@@ -118,16 +142,23 @@ std::vector<OverlapRow> scanner_overlap(const capture::SessionFrame& frame,
   PortSets cloud;
   PortSets edu;
   PortSets telescope;
-  for (net::Port port : ports) {
-    for (std::uint32_t index : frame.for_port(port)) {
-      if (excluded.contains(frame.actor(index))) continue;
-      const std::uint32_t src = frame.src(index);
-      switch (frame.network_type(index)) {
-        case topology::NetworkType::kCloud: cloud[port].insert(src); break;
-        case topology::NetworkType::kEducation: edu[port].insert(src); break;
-        case topology::NetworkType::kTelescope: telescope[port].insert(src); break;
-      }
-    }
+  accumulate_scanner(frame, ports, excluded, cloud, edu, telescope);
+  return scanner_rows(ports, cloud, edu, telescope);
+}
+
+std::vector<OverlapRow> scanner_overlap(const std::vector<const capture::SessionFrame*>& frames,
+                                        const std::vector<net::Port>& ports,
+                                        const std::vector<capture::ActorId>& exclude_actors,
+                                        const SegmentPager& pager) {
+  const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
+                                                      exclude_actors.end());
+  PortSets cloud;
+  PortSets edu;
+  PortSets telescope;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (pager) pager(i, true);
+    accumulate_scanner(*frames[i], ports, excluded, cloud, edu, telescope);
+    if (pager) pager(i, false);
   }
   return scanner_rows(ports, cloud, edu, telescope);
 }
@@ -169,28 +200,24 @@ std::vector<MaliciousOverlapRow> attacker_overlap(
                        edu_measurable);
 }
 
-std::vector<MaliciousOverlapRow> attacker_overlap(
-    const capture::SessionFrame& frame, const std::vector<net::Port>& ports,
-    const std::vector<capture::ActorId>& exclude_actors) {
+namespace {
+
+void accumulate_attacker(const capture::SessionFrame& frame, const std::vector<net::Port>& ports,
+                         const std::unordered_set<capture::ActorId>& excluded,
+                         PortSets& malicious_cloud, PortSets& malicious_edu, PortSets& telescope,
+                         std::unordered_map<net::Port, bool>& cloud_measurable,
+                         std::unordered_map<net::Port, bool>& edu_measurable) {
   if (!frame.has_verdicts()) {
     throw std::logic_error("attacker_overlap: frame built without a verdict column");
   }
-  const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
-                                                      exclude_actors.end());
-  PortSets malicious_cloud;
-  PortSets malicious_edu;
-  PortSets telescope;
-  std::unordered_map<net::Port, bool> cloud_measurable;
-  std::unordered_map<net::Port, bool> edu_measurable;
-
   for (net::Port port : ports) {
-    for (std::uint32_t index : frame.for_port(port)) {
-      if (excluded.contains(frame.actor(index))) continue;
+    frame.for_port(port).for_each([&](std::uint32_t index) {
+      if (excluded.contains(frame.actor(index))) return;
       const std::uint32_t src = frame.src(index);
       const topology::NetworkType type = frame.network_type(index);
       if (type == topology::NetworkType::kTelescope) {
         telescope[port].insert(src);
-        continue;
+        return;
       }
       const capture::SessionFrame::Verdict verdict = frame.verdict(index);
       const bool observable = verdict != capture::SessionFrame::Verdict::kUnobservable;
@@ -202,7 +229,43 @@ std::vector<MaliciousOverlapRow> attacker_overlap(
         edu_measurable[port] = edu_measurable[port] || observable;
         if (malicious) malicious_edu[port].insert(src);
       }
-    }
+    });
+  }
+}
+
+}  // namespace
+
+std::vector<MaliciousOverlapRow> attacker_overlap(
+    const capture::SessionFrame& frame, const std::vector<net::Port>& ports,
+    const std::vector<capture::ActorId>& exclude_actors) {
+  const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
+                                                      exclude_actors.end());
+  PortSets malicious_cloud;
+  PortSets malicious_edu;
+  PortSets telescope;
+  std::unordered_map<net::Port, bool> cloud_measurable;
+  std::unordered_map<net::Port, bool> edu_measurable;
+  accumulate_attacker(frame, ports, excluded, malicious_cloud, malicious_edu, telescope,
+                      cloud_measurable, edu_measurable);
+  return attacker_rows(ports, malicious_cloud, malicious_edu, telescope, cloud_measurable,
+                       edu_measurable);
+}
+
+std::vector<MaliciousOverlapRow> attacker_overlap(
+    const std::vector<const capture::SessionFrame*>& frames, const std::vector<net::Port>& ports,
+    const std::vector<capture::ActorId>& exclude_actors, const SegmentPager& pager) {
+  const std::unordered_set<capture::ActorId> excluded(exclude_actors.begin(),
+                                                      exclude_actors.end());
+  PortSets malicious_cloud;
+  PortSets malicious_edu;
+  PortSets telescope;
+  std::unordered_map<net::Port, bool> cloud_measurable;
+  std::unordered_map<net::Port, bool> edu_measurable;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (pager) pager(i, true);
+    accumulate_attacker(*frames[i], ports, excluded, malicious_cloud, malicious_edu, telescope,
+                        cloud_measurable, edu_measurable);
+    if (pager) pager(i, false);
   }
   return attacker_rows(ports, malicious_cloud, malicious_edu, telescope, cloud_measurable,
                        edu_measurable);

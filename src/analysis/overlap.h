@@ -3,6 +3,7 @@
 // network types.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -41,6 +42,22 @@ std::vector<OverlapRow> scanner_overlap(const capture::SessionFrame& frame,
                                         const std::vector<net::Port>& ports,
                                         const std::vector<capture::ActorId>& exclude_actors = {});
 
+// Paging hook for segmented corpora whose frames may live out of core:
+// invoked with (segment index, true) before a segment's frame is scanned and
+// (segment index, false) after, so the caller can map a spilled segment in
+// and release it again (see stream::Segment). An empty function means every
+// frame is resident.
+using SegmentPager = std::function<void(std::size_t, bool)>;
+
+// Segmented variant: one sealed frame per epoch, scanned in segment order.
+// Overlaps are set intersections over per-port source-IP sets, and set union
+// commutes with the segment split — the rows are bit-identical to the
+// single-frame scan of the concatenated corpus.
+std::vector<OverlapRow> scanner_overlap(const std::vector<const capture::SessionFrame*>& frames,
+                                        const std::vector<net::Port>& ports,
+                                        const std::vector<capture::ActorId>& exclude_actors = {},
+                                        const SegmentPager& pager = {});
+
 // Table 9 row: same numerator/denominator construction but restricted to
 // *attacker* IPs — sources whose cloud/EDU traffic was measured malicious.
 // Cells are nullopt where the collection method cannot measure intent
@@ -64,5 +81,12 @@ std::vector<MaliciousOverlapRow> attacker_overlap(
 std::vector<MaliciousOverlapRow> attacker_overlap(
     const capture::SessionFrame& frame, const std::vector<net::Port>& ports,
     const std::vector<capture::ActorId>& exclude_actors = {});
+
+// Segmented variant of the frame scan, with the same paging hook and the
+// same exactness argument as the segmented scanner_overlap. Every segment
+// frame must carry a verdict column.
+std::vector<MaliciousOverlapRow> attacker_overlap(
+    const std::vector<const capture::SessionFrame*>& frames, const std::vector<net::Port>& ports,
+    const std::vector<capture::ActorId>& exclude_actors = {}, const SegmentPager& pager = {});
 
 }  // namespace cw::analysis

@@ -48,13 +48,13 @@ std::vector<ProtocolBreakdownRow> protocol_breakdown(const capture::SessionFrame
                                                      const ProtocolOptions& options) {
   ScannerMap scanners;
   for (net::Port port : options.ports) {
-    for (std::uint32_t index : frame.for_port(port)) {
-      if (!frame.has_payload(index)) continue;
+    frame.for_port(port).for_each([&](std::uint32_t index) {
+      if (!frame.has_payload(index)) return;
       if (frame.collection_of(frame.vantage(index)) != topology::CollectionMethod::kHoneytrap) {
-        continue;
+        return;
       }
       const auto key = std::make_pair(port, frame.src(index));
-      if (scanners.contains(key)) continue;  // first payload wins (ascending lists)
+      if (scanners.contains(key)) return;  // first payload wins (ascending lists)
       ScannerInfo info;
       info.protocol = frame.has_protocols()
                           ? frame.protocol(index)
@@ -62,7 +62,7 @@ std::vector<ProtocolBreakdownRow> protocol_breakdown(const capture::SessionFrame
                                 frame.store().payload(frame.payload_id(index)));
       info.actor = frame.actor(index);
       scanners.emplace(key, info);
-    }
+    });
   }
   return breakdown_rows(scanners, options);
 }

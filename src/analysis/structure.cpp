@@ -47,11 +47,11 @@ std::vector<double> telescope_address_counts(const capture::SessionFrame& frame,
   if (telescope == nullptr || telescope->addresses.empty()) return {};
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> hits;  // (neighbor, src)
-  const util::PostingList& indices = frame.for_vantage_port(telescope->id, port);
+  const util::PostingView indices = frame.for_vantage_port(telescope->id, port);
   hits.reserve(indices.size());
-  for (std::uint32_t index : indices) {
+  indices.for_each([&](std::uint32_t index) {
     hits.emplace_back(frame.neighbor(index), frame.src(index));
-  }
+  });
   std::sort(hits.begin(), hits.end());
   hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
 

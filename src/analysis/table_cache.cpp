@@ -150,6 +150,22 @@ SegmentedTableCache::SegmentedTableCache(const MaliciousClassifier& classifier)
 
 SegmentedTableCache::~SegmentedTableCache() = default;
 
+class SegmentedTableCache::PageGuard {
+ public:
+  PageGuard(const SegmentPager& pager, std::size_t segment) : pager_(pager), segment_(segment) {
+    if (pager_) pager_(segment_, true);
+  }
+  ~PageGuard() {
+    if (pager_) pager_(segment_, false);
+  }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+ private:
+  const SegmentPager& pager_;
+  std::size_t segment_;
+};
+
 void SegmentedTableCache::add_segment(const capture::SessionFrame& segment_frame) {
   segments_.push_back(
       std::make_unique<CharacteristicTableCache>(segment_frame, classifier()));
@@ -178,7 +194,10 @@ Entry& SegmentedTableCache::merged_entry(
 std::size_t SegmentedTableCache::record_count(topology::VantageId vantage, TrafficScope scope,
                                               std::uint16_t neighbor) const {
   std::size_t total = 0;
-  for (const auto& segment : segments_) total += segment->record_count(vantage, scope, neighbor);
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const PageGuard guard(pager_, i);
+    total += segments_[i]->record_count(vantage, scope, neighbor);
+  }
   return total;
 }
 
@@ -192,8 +211,9 @@ const stats::FrequencyTable& SegmentedTableCache::table(topology::VantageId vant
     // Per-segment partials in ascending segment (= epoch, = record) order.
     // Counts are exact, so the merge order cannot perturb the result — it is
     // fixed anyway so the build schedule itself is reproducible.
-    for (const auto& segment : segments_) {
-      cached.table.merge(segment->table(vantage, scope, characteristic, pool, neighbor));
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      const PageGuard guard(pager_, i);
+      cached.table.merge(segments_[i]->table(vantage, scope, characteristic, pool, neighbor));
     }
   });
   return cached.table;
@@ -204,8 +224,10 @@ std::pair<std::uint64_t, std::uint64_t> SegmentedTableCache::malicious(
   MergedCounts& cached =
       merged_entry(merged_counts_, pack(vantage, neighbor, scope, Characteristic::kFracMalicious));
   std::call_once(cached.once, [&] {
-    for (const auto& segment : segments_) {
-      const auto [malicious_count, benign_count] = segment->malicious(vantage, scope, neighbor);
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      const PageGuard guard(pager_, i);
+      const auto [malicious_count, benign_count] =
+          segments_[i]->malicious(vantage, scope, neighbor);
       cached.counts.first += malicious_count;
       cached.counts.second += benign_count;
     }

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "analysis/characteristics.h"
+#include "analysis/overlap.h"  // SegmentPager
 #include "capture/frame.h"
 #include "stats/freq.h"
 
@@ -206,6 +207,16 @@ class SegmentedTableCache final : public CharacteristicTableCache {
 
   [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
 
+  // Out-of-core hook: when segment frames may be spilled (stream::Segment),
+  // the pager is invoked with (segment index, true/false) around every
+  // per-segment query so the caller can map the frame in and release it
+  // again. Must be set before queries run and must be safe to call
+  // concurrently with itself (concurrent merged builds of different keys
+  // touch the same segments — the stream layer's pager refcounts). Merged
+  // memos are served without paging; per-segment queries always page, even
+  // when the partial behind them is already cached.
+  void set_segment_pager(SegmentPager pager) { pager_ = std::move(pager); }
+
   [[nodiscard]] const capture::SessionFrame& frame() const noexcept override;
   [[nodiscard]] std::size_t record_count(topology::VantageId vantage, TrafficScope scope,
                                          std::uint16_t neighbor = kWholeVantage) const override;
@@ -235,7 +246,11 @@ class SegmentedTableCache final : public CharacteristicTableCache {
   Entry& merged_entry(std::unordered_map<std::uint64_t, std::unique_ptr<Entry>>& map,
                       std::uint64_t key) const;
 
+  // RAII acquire/release of one segment through pager_ (no-op when unset).
+  class PageGuard;
+
   std::vector<std::unique_ptr<CharacteristicTableCache>> segments_;
+  SegmentPager pager_;
   mutable std::mutex merged_mutex_;
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<MergedTable>> merged_tables_;
   mutable std::unordered_map<std::uint64_t, std::unique_ptr<MergedCounts>> merged_counts_;

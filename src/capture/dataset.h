@@ -3,14 +3,25 @@
 // equivalent for simulated runs: a compact binary format for full-fidelity
 // round-trips and a CSV export for external analysis.
 //
-// Binary format (little-endian):
+// Binary format (little-endian), version 3:
 //   header:  magic "CWDS", u32 version, u64 record count,
-//            u32 payload count, u32 credential count
+//            u32 payload count, u32 credential count,
+//            u32 section flags (bit 0 = frame section present), u32 reserved,
+//            u64 frame section offset (relative to the segment's first byte),
+//            u64 frame section length
 //   payload table:    per entry u32 length + bytes
-//   credential table: per entry u32 length + bytes ("user\npass")
+//   credential table: per entry u32 length + bytes
 //   records:  fixed-width fields in SessionRecord order
+//   [zero pad to an 8-aligned file offset, then the frame section — the
+//    serialized SessionFrame columns; see capture/frame_io.h]
+//   trailer:  u32 CRC-32 over every prior byte of the segment
+//
+// The CRC catches truncation and bit flips at load time — a spilled segment
+// is rejected with a clear error instead of being analyzed. Version 1 and 2
+// files (no flags/frame/CRC fields) are still readable.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -21,32 +32,50 @@
 
 namespace cw::capture {
 
-// Serializes the store to the stream. Returns false on I/O failure.
+class SessionFrame;
+
+// Serializes the store to the stream (v3, CRC trailer, no frame section).
+// Returns false on I/O failure.
 bool write_dataset(const EventStore& store, std::ostream& out);
 
-// Reads a dataset written by write_dataset. Returns nullopt on malformed
-// input (bad magic, truncated tables, out-of-range ids).
-std::optional<EventStore> read_dataset(std::istream& in);
+// As above, but embeds the frame's serialized columns as the segment's frame
+// section (the spill-to-disk layout; null behaves like the plain overload).
+// The frame must be hot and built over `store`.
+bool write_dataset(const EventStore& store, const SessionFrame* frame, std::ostream& out);
+
+// Reads a dataset written by write_dataset (any version). Returns nullopt on
+// malformed input (bad magic, truncated tables, out-of-range ids, CRC
+// mismatch); *error describes the failure when given.
+std::optional<EventStore> read_dataset(std::istream& in, std::string* error = nullptr);
 
 // Convenience file wrappers.
 bool save_dataset(const EventStore& store, const std::string& path);
-std::optional<EventStore> load_dataset(const std::string& path);
+std::optional<EventStore> load_dataset(const std::string& path, std::string* error = nullptr);
 
 // Concatenated segment files: a stream ingest seals one immutable store per
 // epoch, and a multi-segment snapshot round-trips through a single file as
-// back-to-back v2 datasets (each with its own header and tables). Segment
+// back-to-back datasets (each with its own header, tables, and CRC). Segment
 // boundaries are self-describing — every segment re-validates the magic —
 // so a truncated or corrupted boundary is rejected rather than mis-parsed.
 bool write_dataset_segments(const std::vector<const EventStore*>& segments, std::ostream& out);
 
+// Streaming reader: invokes `sink` once per segment as it is decoded, so a
+// batch loader never holds more than one segment beyond what the sink keeps
+// (the materializing overload below peaked at ~2x corpus RSS). A sink
+// returning false aborts the scan (reported as failure).
+bool read_dataset_segments(std::istream& in, const std::function<bool(EventStore&&)>& sink,
+                           std::string* error = nullptr);
+
 // Reads segments until clean EOF. Returns nullopt if any segment is
 // malformed or if trailing bytes remain after the last complete segment.
 // A file written by write_dataset reads back as one segment.
-std::optional<std::vector<EventStore>> read_dataset_segments(std::istream& in);
+std::optional<std::vector<EventStore>> read_dataset_segments(std::istream& in,
+                                                             std::string* error = nullptr);
 
 bool save_dataset_segments(const std::vector<const EventStore*>& segments,
                            const std::string& path);
-std::optional<std::vector<EventStore>> load_dataset_segments(const std::string& path);
+std::optional<std::vector<EventStore>> load_dataset_segments(const std::string& path,
+                                                             std::string* error = nullptr);
 
 // CSV export: one row per record with human-readable fields
 // (time_ms, src, src_asn, dst, port, transport, handshake, vantage,

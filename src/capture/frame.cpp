@@ -238,11 +238,11 @@ SessionFrame SessionFrame::build(const EventStore& store,
     frame.has_verdicts_ = true;
   }
 
-  std::vector<std::uint32_t>* payload_codes =
+  util::Column<std::uint32_t>* payload_codes =
       encode ? &frame.codes_[column_index(CodedColumn::kPayload)] : nullptr;
-  std::vector<std::uint32_t>* username_codes =
+  util::Column<std::uint32_t>* username_codes =
       encode ? &frame.codes_[column_index(CodedColumn::kUsername)] : nullptr;
-  std::vector<std::uint32_t>* password_codes =
+  util::Column<std::uint32_t>* password_codes =
       encode ? &frame.codes_[column_index(CodedColumn::kPassword)] : nullptr;
 
   for_chunks(options.pool, n, [&](std::size_t begin, std::size_t end) {
@@ -296,7 +296,7 @@ SessionFrame SessionFrame::build(const EventStore& store,
   FlatSlotMap verdict_slots;
   std::vector<std::uint8_t> verdict_memo;
   const bool verdict_memoized = static_cast<bool>(options.verdict) && options.verdict_pure;
-  std::vector<std::uint32_t>* as_codes =
+  util::Column<std::uint32_t>* as_codes =
       encode ? &frame.codes_[column_index(CodedColumn::kAs)] : nullptr;
 
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -397,6 +397,7 @@ SessionFrame::SessionFrame(SessionFrame&& other) noexcept
     : store_(other.store_),
       deployment_(other.deployment_),
       build_epoch_(other.build_epoch_),
+      mapped_(other.mapped_),
       time_(std::move(other.time_)),
       src_(std::move(other.src_)),
       src_as_(std::move(other.src_as_)),
@@ -417,12 +418,18 @@ SessionFrame::SessionFrame(SessionFrame&& other) noexcept
       vantage_network_(std::move(other.vantage_network_)),
       vantage_collection_(std::move(other.vantage_collection_)),
       port_postings_(std::move(other.port_postings_)),
-      vantage_port_postings_(std::move(other.vantage_port_postings_)) {
+      vantage_port_postings_(std::move(other.vantage_port_postings_)),
+      port_spans_(std::move(other.port_spans_)),
+      vp_spans_(std::move(other.vp_spans_)),
+      port_span_slot_(std::move(other.port_span_slot_)),
+      vp_span_slot_(std::move(other.vp_span_slot_)),
+      vantage_slices_(std::move(other.vantage_slices_)) {
   for (std::size_t i = 0; i < 3; ++i) {
     network_partition_[i] = std::move(other.network_partition_[i]);
   }
   other.store_ = nullptr;  // pin ownership transfers; other's dtor must not unpin
   other.deployment_ = nullptr;
+  other.mapped_ = false;
 }
 
 SessionFrame& SessionFrame::operator=(SessionFrame&& other) noexcept {
@@ -431,6 +438,7 @@ SessionFrame& SessionFrame::operator=(SessionFrame&& other) noexcept {
     store_ = other.store_;
     deployment_ = other.deployment_;
     build_epoch_ = other.build_epoch_;
+    mapped_ = other.mapped_;
     time_ = std::move(other.time_);
     src_ = std::move(other.src_);
     src_as_ = std::move(other.src_as_);
@@ -455,8 +463,14 @@ SessionFrame& SessionFrame::operator=(SessionFrame&& other) noexcept {
       network_partition_[i] = std::move(other.network_partition_[i]);
     }
     vantage_port_postings_ = std::move(other.vantage_port_postings_);
+    port_spans_ = std::move(other.port_spans_);
+    vp_spans_ = std::move(other.vp_spans_);
+    port_span_slot_ = std::move(other.port_span_slot_);
+    vp_span_slot_ = std::move(other.vp_span_slot_);
+    vantage_slices_ = std::move(other.vantage_slices_);
     other.store_ = nullptr;
     other.deployment_ = nullptr;
+    other.mapped_ = false;
   }
   return *this;
 }
@@ -476,20 +490,27 @@ std::pair<std::uint64_t, std::uint64_t> SessionFrame::count_verdicts(
   return {malicious, benign};
 }
 
-namespace {
-const util::PostingList kEmptyPostings;
-}  // namespace
-
-const util::PostingList& SessionFrame::for_port(net::Port port) const {
+util::PostingView SessionFrame::for_port(net::Port port) const {
+  if (mapped_) {
+    const auto it = port_span_slot_.find(port);
+    if (it == port_span_slot_.end()) return {};
+    return util::PostingView(port_spans_[it->second]);
+  }
   const auto it = port_postings_.find(port);
-  return it != port_postings_.end() ? it->second : kEmptyPostings;
+  if (it == port_postings_.end()) return {};
+  return util::PostingView(it->second);
 }
 
-const util::PostingList& SessionFrame::for_vantage_port(topology::VantageId id,
-                                                        net::Port port) const {
-  const auto it =
-      vantage_port_postings_.find((static_cast<std::uint64_t>(id) << 16) | port);
-  return it != vantage_port_postings_.end() ? it->second : kEmptyPostings;
+util::PostingView SessionFrame::for_vantage_port(topology::VantageId id, net::Port port) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(id) << 16) | port;
+  if (mapped_) {
+    const auto it = vp_span_slot_.find(key);
+    if (it == vp_span_slot_.end()) return {};
+    return util::PostingView(vp_spans_[it->second]);
+  }
+  const auto it = vantage_port_postings_.find(key);
+  if (it == vantage_port_postings_.end()) return {};
+  return util::PostingView(it->second);
 }
 
 }  // namespace cw::capture

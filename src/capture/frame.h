@@ -43,12 +43,23 @@
 // the destructor unpins. An append after the build bumps the store's index
 // epoch, which attached() detects — and trips the store's debug assertion,
 // because every span the frame returns points into invalidated state.
+//
+// Hot vs cold (out-of-core spill): every column is a util::Column that
+// either owns its vector (a hot frame, built as above) or views external
+// memory. capture::FrameView binds a frame's columns, posting lists, and
+// vantage slices straight into an mmapped CWDS frame section — the same
+// accessor surface then reads zero-copy out of the file, so every analysis
+// kernel is oblivious to where a segment lives. A mapped frame has no
+// EventStore behind it: store()/record() must not be called (store_ptr()
+// returns nullptr), and for_vantage serves from the serialized per-vantage
+// index instead of the store's.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -58,6 +69,7 @@
 #include "net/ports.h"
 #include "topology/deployment.h"
 #include "topology/provider.h"
+#include "util/column.h"
 #include "util/dict.h"
 #include "util/postings.h"
 
@@ -139,19 +151,27 @@ class SessionFrame {
   static SessionFrame build(const EventStore& store, const topology::Deployment& deployment,
                             BuildOptions options = {});
 
+  // An empty frame: the target a FrameView maps a spilled segment into.
+  SessionFrame() = default;
+
   ~SessionFrame();
   SessionFrame(SessionFrame&& other) noexcept;
   SessionFrame& operator=(SessionFrame&& other) noexcept;
   SessionFrame(const SessionFrame&) = delete;
   SessionFrame& operator=(const SessionFrame&) = delete;
 
+  // Column sizes survive an unmap, so a cold segment still reports its size.
   [[nodiscard]] std::size_t size() const noexcept { return time_.size(); }
 
-  // True while the underlying store has not been appended to since the
-  // build; a false return means every span below is stale.
+  // True while every span below is valid: either the frame is bound to a
+  // live mapping, or the underlying store has not been appended to since
+  // the build.
   [[nodiscard]] bool attached() const noexcept {
-    return store_ != nullptr && store_->index_epoch() == build_epoch_;
+    return mapped_ || (store_ != nullptr && store_->index_epoch() == build_epoch_);
   }
+
+  // True when the columns view an mmapped frame section (no store behind).
+  [[nodiscard]] bool mapped() const noexcept { return mapped_; }
 
   // --- column accessors ----------------------------------------------------
   [[nodiscard]] util::SimTime time(std::uint32_t i) const { return time_[i]; }
@@ -199,33 +219,37 @@ class SessionFrame {
   // --- encoded characteristic columns (v2) ---------------------------------
   [[nodiscard]] bool has_codes() const noexcept { return has_codes_; }
   // Shifted codes (code+1; 0 = no value), one entry per record.
-  [[nodiscard]] const std::vector<std::uint32_t>& codes(CodedColumn column) const {
-    return codes_[static_cast<std::size_t>(column)];
+  [[nodiscard]] std::span<const std::uint32_t> codes(CodedColumn column) const {
+    return codes_[static_cast<std::size_t>(column)].span();
   }
   [[nodiscard]] const std::shared_ptr<const util::Dictionary>& dict(CodedColumn column) const {
     return dicts_[static_cast<std::size_t>(column)];
   }
 
   // --- secondary structures ------------------------------------------------
-  // All posting lists hold record indices in ascending order.
-  [[nodiscard]] const util::PostingList& for_port(net::Port port) const;
-  [[nodiscard]] const std::vector<std::uint32_t>& for_network(topology::NetworkType type) const {
-    return network_partition_[static_cast<std::size_t>(type)];
+  // All record-index sets list indices in ascending order. The views are
+  // cheap by-value handles; an unknown port / vantage yields an empty view.
+  [[nodiscard]] util::PostingView for_port(net::Port port) const;
+  [[nodiscard]] std::span<const std::uint32_t> for_network(topology::NetworkType type) const {
+    return network_partition_[static_cast<std::size_t>(type)].span();
   }
-  [[nodiscard]] const std::vector<std::uint32_t>& for_vantage(topology::VantageId id) const {
-    return store_->for_vantage(id);
+  [[nodiscard]] std::span<const std::uint32_t> for_vantage(topology::VantageId id) const {
+    if (store_ != nullptr) return store_->for_vantage(id);
+    return id < vantage_slices_.size() ? vantage_slices_[id]
+                                       : std::span<const std::uint32_t>{};
   }
-  [[nodiscard]] const util::PostingList& for_vantage_port(topology::VantageId id,
-                                                          net::Port port) const;
+  [[nodiscard]] util::PostingView for_vantage_port(topology::VantageId id, net::Port port) const;
 
+  // Hot frames only: a mapped frame has no store (store_ptr() == nullptr).
   [[nodiscard]] const SessionRecord& record(std::uint32_t i) const {
     return store_->records()[i];
   }
   [[nodiscard]] const EventStore& store() const noexcept { return *store_; }
+  [[nodiscard]] const EventStore* store_ptr() const noexcept { return store_; }
   [[nodiscard]] const topology::Deployment& deployment() const noexcept { return *deployment_; }
 
  private:
-  SessionFrame() = default;
+  friend class FrameView;
   void release() noexcept;
 
   static constexpr std::uint8_t kHasPayload = 1;
@@ -235,33 +259,43 @@ class SessionFrame {
   const EventStore* store_ = nullptr;
   const topology::Deployment* deployment_ = nullptr;
   std::uint64_t build_epoch_ = 0;
+  // Columns view an mmapped frame section (set/cleared by FrameView).
+  bool mapped_ = false;
 
-  std::vector<util::SimTime> time_;
-  std::vector<std::uint32_t> src_;
-  std::vector<net::Asn> src_as_;
-  std::vector<net::Port> port_;
-  std::vector<topology::VantageId> vantage_;
-  std::vector<std::uint16_t> neighbor_;
-  std::vector<std::uint32_t> payload_id_;
-  std::vector<std::uint32_t> credential_id_;
-  std::vector<ActorId> actor_;
-  std::vector<std::uint8_t> flags_;
-  std::vector<std::uint8_t> verdict_;
-  std::vector<net::Protocol> protocol_;
+  util::Column<util::SimTime> time_;
+  util::Column<std::uint32_t> src_;
+  util::Column<net::Asn> src_as_;
+  util::Column<net::Port> port_;
+  util::Column<topology::VantageId> vantage_;
+  util::Column<std::uint16_t> neighbor_;
+  util::Column<std::uint32_t> payload_id_;
+  util::Column<std::uint32_t> credential_id_;
+  util::Column<ActorId> actor_;
+  util::Column<std::uint8_t> flags_;
+  util::Column<std::uint8_t> verdict_;
+  util::Column<net::Protocol> protocol_;
   bool has_verdicts_ = false;
   bool has_protocols_ = false;
   bool has_codes_ = false;
 
-  std::array<std::vector<std::uint32_t>, kCodedColumns> codes_;
+  std::array<util::Column<std::uint32_t>, kCodedColumns> codes_;
   std::array<std::shared_ptr<const util::Dictionary>, kCodedColumns> dicts_;
 
   std::vector<topology::NetworkType> vantage_network_;
   std::vector<topology::CollectionMethod> vantage_collection_;
 
   std::unordered_map<net::Port, util::PostingList> port_postings_;
-  std::vector<std::uint32_t> network_partition_[3];
+  util::Column<std::uint32_t> network_partition_[3];
   // Key packs vantage << 16 | port (ports are 16-bit).
   std::unordered_map<std::uint64_t, util::PostingList> vantage_port_postings_;
+
+  // Cold-side secondary structures: posting spans into the mapping plus the
+  // slot maps FrameView builds once at open. Empty on hot frames.
+  std::vector<util::PostingSpan> port_spans_;
+  std::vector<util::PostingSpan> vp_spans_;
+  std::unordered_map<net::Port, std::uint32_t> port_span_slot_;
+  std::unordered_map<std::uint64_t, std::uint32_t> vp_span_slot_;
+  std::vector<std::span<const std::uint32_t>> vantage_slices_;
 };
 
 }  // namespace cw::capture

@@ -46,6 +46,12 @@ void ExperimentResult::rebind_store(const capture::EventStore* store,
   external_cache_ = cache;
 }
 
+void ExperimentResult::bind_segment_frames(std::vector<const capture::SessionFrame*> frames,
+                                           analysis::SegmentPager pager) {
+  segment_frames_ = std::move(frames);
+  segment_pager_ = std::move(pager);
+}
+
 void ExperimentResult::release_derived() {
   // The cold cache borrows the frame; tear down in dependency order.
   table_cache_.reset();

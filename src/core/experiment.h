@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "agents/population.h"
 #include "analysis/malicious.h"
@@ -108,6 +109,20 @@ class ExperimentResult {
   // rebuilds on next use.
   void release_derived();
 
+  // Out-of-core stream mode: registers the sealed per-segment frames (and
+  // the pager that maps a spilled one in around a scan) so frame-scanning
+  // extractors (Tables 8/9) walk segments instead of demanding a cumulative
+  // corpus frame — which a spill run never builds. Borrowed like the rebind
+  // pointers; an empty vector restores the cumulative-frame path.
+  void bind_segment_frames(std::vector<const capture::SessionFrame*> frames,
+                           analysis::SegmentPager pager);
+  [[nodiscard]] const std::vector<const capture::SessionFrame*>& segment_frames() const noexcept {
+    return segment_frames_;
+  }
+  [[nodiscard]] const analysis::SegmentPager& segment_pager() const noexcept {
+    return segment_pager_;
+  }
+
  private:
   friend class Experiment;
   friend class LiveExperiment;
@@ -125,6 +140,9 @@ class ExperimentResult {
   // Stream mode: external record source / table cache (borrowed).
   const capture::EventStore* external_store_ = nullptr;
   const analysis::CharacteristicTableCache* external_cache_ = nullptr;
+  // Out-of-core stream mode: per-segment frames + pager (borrowed).
+  std::vector<const capture::SessionFrame*> segment_frames_;
+  analysis::SegmentPager segment_pager_;
   // Lazy frame cache. The once_flag lives behind a pointer so the result
   // stays movable.
   mutable std::unique_ptr<std::once_flag> frame_once_ = std::make_unique<std::once_flag>();

@@ -41,22 +41,30 @@ std::vector<CellResult> Fleet::run(const Campaign& campaign) const {
     const Group& group = groups[g];
     core::ExperimentConfig config = campaign.cells[group.cells.front()].config;
     config.seed = cell_seed(campaign.seed, group.sim_label);
-    core::LiveExperiment live(config);
-    live.advance_to(config.duration);
-    const std::unique_ptr<core::ExperimentResult> result = live.take();
+    SimHandle handle;
+    if (runner_) {
+      handle = runner_(config);
+    } else {
+      core::LiveExperiment live(config);
+      live.advance_to(config.duration);
+      handle.result = live.take();
+      handle.records = handle.result->store().size();
+      handle.events = handle.result->events_processed();
+    }
     for (const std::size_t index : group.cells) {
       const FleetCell& cell = campaign.cells[index];
       CellResult& out = results[index];
       out.label = cell.label;
       out.sim_label = cell.sim_label;
-      out.seed = result->config().seed;
-      out.records = result->store().size();
-      out.events = result->events_processed();
-      out.findings = extract_findings(*result, cell.analysis, pool_);
+      out.seed = handle.result->config().seed;
+      out.records = handle.records;
+      out.events = handle.events;
+      out.findings = extract_findings(*handle.result, cell.analysis, pool_);
     }
-    // `result` (engine corpus, frame, cached tables) is released here, so a
-    // fleet's memory high-water tracks the widest concurrent group set, not
-    // the whole campaign (bench_fleet measures this).
+    // `handle` (engine corpus, frame, cached tables, and any spill substrate
+    // in its context) is released here, so a fleet's memory high-water tracks
+    // the widest concurrent group set, not the whole campaign (bench_fleet
+    // measures this).
   });
   return results;
 }

@@ -27,6 +27,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -55,6 +57,24 @@ struct Campaign {
   std::vector<FleetCell> cells;
 };
 
+// One completed simulation as delivered to the findings extractors. The
+// default runner is the batch path (LiveExperiment to the end of the window);
+// alternative runners — notably stream::make_spill_sim_runner, which runs the
+// window in epochs and spills cold segments to disk — substitute a result
+// whose corpus lives in whatever substrate `context` keeps alive.
+struct SimHandle {
+  // Destroyed after `result` (members are destroyed in reverse declaration
+  // order): the result borrows snapshot segments, caches, and pagers that
+  // live in the context.
+  std::shared_ptr<void> context;
+  std::unique_ptr<core::ExperimentResult> result;
+  std::uint64_t records = 0;  // corpus size (the store may be empty in spill mode)
+  std::uint64_t events = 0;   // engine events processed
+};
+
+// Runs one simulation to completion for the given (seeded) config.
+using SimRunner = std::function<SimHandle(const core::ExperimentConfig&)>;
+
 // A finished cell: provenance plus the seven finding verdicts.
 struct CellResult {
   std::string label;
@@ -80,8 +100,15 @@ class Fleet {
   [[nodiscard]] static std::uint64_t cell_seed(std::uint64_t campaign_seed,
                                                std::string_view sim_label) noexcept;
 
+  // Substitute the simulation runner for every group (e.g. the out-of-core
+  // epoch runner). The runner is invoked once per simulation group, possibly
+  // concurrently from pool workers, and must be deterministic in the config:
+  // the fleet byte-identity contract extends through it.
+  void set_sim_runner(SimRunner runner) { runner_ = std::move(runner); }
+
  private:
   ThreadPool* pool_;
+  SimRunner runner_;
 };
 
 // ---------------------------------------------------------------------------

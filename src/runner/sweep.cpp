@@ -123,7 +123,13 @@ FindingOutcome extract_t7(const core::ExperimentResult& result,
 FindingOutcome extract_t8(const core::ExperimentResult& result, ThreadPool* pool) {
   FindingOutcome out;
   out.finding = PaperFinding::kT8TelnetIgnoresTelescope;
-  const auto rows = analysis::scanner_overlap(result.frame(pool), {22, 23}, crawler_actors());
+  // A spill-mode result has per-segment frames instead of a cumulative one;
+  // the segmented scan unions the same per-port source sets (bit-identical).
+  const auto rows =
+      result.segment_frames().empty()
+          ? analysis::scanner_overlap(result.frame(pool), {22, 23}, crawler_actors())
+          : analysis::scanner_overlap(result.segment_frames(), {22, 23}, crawler_actors(),
+                                      result.segment_pager());
   const auto& ssh = rows[0].tel_cloud_over_cloud;
   const auto& telnet = rows[1].tel_cloud_over_cloud;
   if (!ssh.has_value() || !telnet.has_value()) {
@@ -142,7 +148,11 @@ FindingOutcome extract_t8(const core::ExperimentResult& result, ThreadPool* pool
 FindingOutcome extract_t9(const core::ExperimentResult& result, ThreadPool* pool) {
   FindingOutcome out;
   out.finding = PaperFinding::kT9SshAttackersAvoid;
-  const auto rows = analysis::attacker_overlap(result.frame(pool), {22, 23}, crawler_actors());
+  const auto rows =
+      result.segment_frames().empty()
+          ? analysis::attacker_overlap(result.frame(pool), {22, 23}, crawler_actors())
+          : analysis::attacker_overlap(result.segment_frames(), {22, 23}, crawler_actors(),
+                                      result.segment_pager());
   const auto& ssh = rows[0].tel_over_malicious_cloud;
   const auto& telnet = rows[1].tel_over_malicious_cloud;
   if (!ssh.has_value() || !telnet.has_value()) {

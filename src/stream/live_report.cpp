@@ -1,5 +1,9 @@
 #include "stream/live_report.h"
 
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+
 #include "runner/pipeline.h"
 #include "runner/thread_pool.h"
 
@@ -7,6 +11,12 @@ namespace cw::stream {
 
 EpochReport LiveReport::run(const EpochCallback& callback) {
   const std::size_t epochs = config_.epochs == 0 ? 1 : config_.epochs;
+
+  if (!config_.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.spill_dir, ec);
+    if (ec) throw std::runtime_error("LiveReport: cannot create " + config_.spill_dir);
+  }
 
   core::LiveExperiment live(config_.experiment);
   IngestShards ingest(config_.shards);
@@ -72,6 +82,28 @@ EpochReport LiveReport::run(const EpochCallback& callback) {
     total.freeze();
     live.result().rebind_store(&total, &segmented);
 
+    // Tiering: demote everything but the newest hot_segments. Safe at this
+    // point — the segment's partials that exist are owned copies inside
+    // `segmented`, and its records are in the replica; partials not yet
+    // built rebuild from the mapping the render block below re-establishes.
+    // spill() is idempotent; release_mapping() after it returns the address
+    // space immediately, so between renders the cold tail costs nothing.
+    if (!config_.spill_dir.empty()) {
+      const auto& segments = snapshot.segments();
+      const std::size_t cold = segments.size() > config_.hot_segments
+                                   ? segments.size() - config_.hot_segments
+                                   : 0;
+      for (std::size_t i = 0; i < cold; ++i) {
+        const Segment& old = *segments[i];
+        if (old.spilled()) continue;
+        std::string spill_error;
+        if (!old.spill(config_.spill_dir, &spill_error)) {
+          throw std::runtime_error("LiveReport: " + spill_error);
+        }
+        old.release_mapping();
+      }
+    }
+
     report = EpochReport{};
     report.epoch = k;
     report.now = live.now();
@@ -80,6 +112,19 @@ EpochReport LiveReport::run(const EpochCallback& callback) {
     report.snapshot = snapshot;
 
     if (config_.render_intermediate || k == epochs) {
+      // Map every spilled segment for the duration of the render: partials
+      // not built while the segment was hot (e.g. with render_intermediate
+      // off, or for slices first named this epoch) rebuild from the mapping,
+      // and madvise(SEQUENTIAL) primes the full-column scans. Released again
+      // after the render — the address space is only held while reading.
+      for (const auto& segment : snapshot.segments()) {
+        if (!segment->spilled()) continue;
+        std::string map_error;
+        if (!segment->ensure_mapped(&map_error)) {
+          throw std::runtime_error("LiveReport: " + map_error);
+        }
+        segment->advise_sequential();
+      }
       // Same warm-up order as the batch driver: cumulative frame first, then
       // the pipelines fan out over it and the segmented cache.
       static_cast<void>(live.result().frame(&pool));
@@ -97,6 +142,8 @@ EpochReport LiveReport::run(const EpochCallback& callback) {
         report.findings = runner::extract_findings(live.result(), runner::AnalysisOptions{}, &pool);
         report.findings_extracted = true;
       }
+      // Render done; drop the cold tail's mappings until the next one.
+      for (const auto& segment : snapshot.segments()) segment->release_mapping();
     }
     if (callback) callback(report);
   }

@@ -49,6 +49,16 @@ struct LiveReportConfig {
   // driver publishes them next to the tables). Cheap after rendering: the
   // extractors read the same shared table cache the pipelines just filled.
   bool extract_findings = false;
+  // Out-of-core tiering: when non-empty, segments older than the newest
+  // `hot_segments` spill to `<spill_dir>/segment-<id>.cwds` after their
+  // partial tables are folded into the segmented cache, and their record
+  // stores, frames, and mappings are released. The rendered report is
+  // byte-identical either way — heavy tables merge from the (copied) cached
+  // partials and light renderers read the cumulative replica, so cold
+  // segments are never consulted. hot_segments = SIZE_MAX keeps everything
+  // resident even with a spill dir (useful for A/B checks of the spill I/O).
+  std::string spill_dir;
+  std::size_t hot_segments = static_cast<std::size_t>(-1);
 };
 
 // One epoch's rendered report.

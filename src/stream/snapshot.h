@@ -21,10 +21,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "capture/frame.h"
+#include "capture/frame_io.h"
 #include "capture/store.h"
 #include "topology/deployment.h"
 
@@ -70,15 +72,58 @@ class Segment {
 
   [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
   [[nodiscard]] std::uint64_t base() const noexcept { return base_; }
-  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+  // Record count. Read through the frame, whose column sizes survive an
+  // unmap — valid hot, spilled-and-mapped, and cold alike.
+  [[nodiscard]] std::size_t size() const noexcept { return frame_.size(); }
+  // The sealed record store. Empty once the segment has spilled: the frame
+  // section carries everything the analysis kernels read.
   [[nodiscard]] const capture::EventStore& store() const noexcept { return store_; }
+  // The columnar frame. For a spilled segment the columns are only readable
+  // while mapped — call ensure_mapped() first (the tiering driver does).
   [[nodiscard]] const capture::SessionFrame& frame() const noexcept { return frame_; }
 
+  // --- Out-of-core tiering -------------------------------------------------
+  // A segment starts hot (store + frame resident). spill(dir) writes the
+  // CWDS v3 spill file `dir/segment-<id>.cwds` (records + CRC + frame
+  // section), rebinds the frame zero-copy onto the mapping in place — the
+  // SessionFrame object's address never changes, so const references handed
+  // out earlier stay valid — and frees the record store. release_mapping()
+  // then drops the address space too (a genuine munmap; the coldstore check
+  // tier runs under `ulimit -v`), leaving only sizes; ensure_mapped() brings
+  // the columns back at whatever address the kernel picks. The map/unmap
+  // lifecycle is single-threaded (the epoch driver); concurrent readers may
+  // scan a *mapped* frame freely.
+
+  // Idempotent; returns false (with *error) on I/O or validation failure.
+  bool spill(const std::string& dir, std::string* error = nullptr) const;
+  [[nodiscard]] bool spilled() const noexcept { return !spill_path_.empty(); }
+  [[nodiscard]] const std::string& spill_path() const noexcept { return spill_path_; }
+  // Resident and mapped segments return true immediately.
+  bool ensure_mapped(std::string* error = nullptr) const;
+  void release_mapping() const;
+  // madvise(SEQUENTIAL) ahead of a full scan of a mapped spilled segment.
+  void advise_sequential() const noexcept { view_.advise_sequential(); }
+
+  // Cold restart: reopens a spill file written by spill() as a fresh mapped
+  // segment. The inline dictionaries are reloaded, so coded queries (and
+  // text-keyed table merges) behave exactly as in the sealing process.
+  [[nodiscard]] static std::shared_ptr<const Segment> load_spilled(
+      const std::string& path, std::uint64_t id, std::uint64_t base,
+      const topology::Deployment& deployment, std::string* error = nullptr);
+
  private:
-  std::uint64_t id_;
-  std::uint64_t base_;
-  capture::EventStore store_;  // declared before frame_: the frame borrows it
-  capture::SessionFrame frame_;
+  Segment() = default;  // load_spilled builds the members directly
+
+  std::uint64_t id_ = 0;
+  std::uint64_t base_ = 0;
+  const topology::Deployment* deployment_ = nullptr;
+  // Tiering mutates the representation, not the value: snapshots share
+  // segments as shared_ptr<const Segment>, and a spill leaves every query
+  // answer bit-identical. Hence the mutable storage members.
+  mutable capture::EventStore store_;  // declared before frame_: the frame borrows it
+  mutable capture::SessionFrame frame_;
+  mutable std::string spill_path_;
+  mutable capture::FrameView view_;
 };
 
 // An immutable view of the corpus after some epoch: the ordered segment

@@ -1,0 +1,54 @@
+// Out-of-core simulation runner for runner::Fleet: runs each fleet
+// simulation through the stream subsystem — the observation window cut into
+// epochs, each sealed into an immutable Segment — and spills every segment
+// older than the newest `hot_segments` to disk (CWDS v3 spill files under a
+// per-simulation directory). The handle it returns holds:
+//
+//   - an ExperimentResult whose table cache is the stream layer's
+//     SegmentedTableCache (per-segment partials built on demand from mapped
+//     spill files) and whose Tables 8/9 extractors walk the per-segment
+//     frames through a refcounted pager that maps a cold segment in around
+//     each scan and releases it after;
+//   - a context keeping the snapshot, cache, and spill files alive until the
+//     result is done; the spill directory is removed at teardown.
+//
+// The findings are bit-identical to the default batch runner's: sliced and
+// batch runs process the same event sequence, segment-merged tables equal
+// whole-corpus tables (text-keyed exact counts), and the overlap unions
+// commute with the segment split. What changes is the memory high-water:
+// resident state is one epoch's segment (plus whatever is pinned hot)
+// instead of the whole corpus — bench_coldstore and `scripts/check.sh
+// coldstore` (which runs a sweep under `ulimit -v`) measure exactly this.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runner/fleet.h"
+
+namespace cw::runner {
+class ThreadPool;
+}  // namespace cw::runner
+
+namespace cw::stream {
+
+struct SpillSimOptions {
+  // Required. Each simulation spills into `<spill_dir>/sim-<seed hex>/`
+  // (created on demand, removed when the simulation's handle is released),
+  // so concurrent fleet groups never collide.
+  std::string spill_dir;
+  // Newest segments kept resident; older ones spill after their seal. 0
+  // spills everything as soon as it seals.
+  std::size_t hot_segments = 1;
+  // Epoch slicing of each simulation's observation window.
+  std::size_t epochs = 4;
+  std::size_t shards = 4;
+};
+
+// Builds the runner for Fleet::set_sim_runner. `pool` (optional) shards the
+// per-epoch frame builds. Throws std::invalid_argument on an empty
+// spill_dir.
+runner::SimRunner make_spill_sim_runner(SpillSimOptions options,
+                                        runner::ThreadPool* pool = nullptr);
+
+}  // namespace cw::stream

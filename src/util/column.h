@@ -1,0 +1,81 @@
+// Column<T>: a frame column that either owns its storage (a hot frame built
+// from a live EventStore) or views external memory (a cold frame bound to an
+// mmapped spill file by capture::FrameView). Readers see one interface —
+// data()/size()/operator[] — so the analysis kernels are oblivious to where
+// a column lives; only the build (resize/push_back, owning) and the binder
+// (bind_external/unbind, viewing) know the difference.
+//
+// unbind() drops the data pointer but keeps the size: an unmapped cold frame
+// still answers size() (the tiering layer needs segment sizes while the
+// bytes are released), it just must not be scanned until the FrameView maps
+// it again and refreshes the pointers — mmap may return a different address
+// each time.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cw::util {
+
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+
+  Column(Column&& other) noexcept { *this = std::move(other); }
+  Column& operator=(Column&& other) noexcept {
+    if (this != &other) {
+      // Moving the vector keeps its heap buffer, so a data_ pointing into it
+      // stays valid under the new owner.
+      own_ = std::move(other.own_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+
+  // --- owning build side ---------------------------------------------------
+  void resize(std::size_t n, T value = T{}) {
+    own_.resize(n, value);
+    rebind();
+  }
+  void push_back(T value) {
+    own_.push_back(value);
+    rebind();
+  }
+  // Mutable access during the build; only valid while owning.
+  [[nodiscard]] T& operator[](std::size_t i) { return own_[i]; }
+
+  // --- external (mapped) side ----------------------------------------------
+  void bind_external(const T* data, std::size_t n) {
+    own_.clear();
+    own_.shrink_to_fit();
+    data_ = data;
+    size_ = n;
+  }
+  // Keeps the size, drops the pointer (the mapping is gone).
+  void unbind() noexcept { data_ = nullptr; }
+
+  // --- read side -----------------------------------------------------------
+  [[nodiscard]] const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const T* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::span<const T> span() const noexcept { return {data_, size_}; }
+
+ private:
+  void rebind() noexcept {
+    data_ = own_.data();
+    size_ = own_.size();
+  }
+
+  std::vector<T> own_;
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cw::util

@@ -1,0 +1,53 @@
+// Incremental IEEE CRC-32 (the zlib/PNG polynomial, reflected 0xEDB88320).
+// The CWDS v3 dataset format appends one CRC trailer per segment so a
+// truncated or bit-flipped spill file is rejected at load instead of being
+// analyzed; the checksum is computed incrementally by the stream read/write
+// wrappers, so no extra pass over the bytes is ever taken.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cw::util {
+
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint32_t crc = state_;
+    for (std::size_t i = 0; i < size; ++i) {
+      crc = (crc >> 8) ^ table()[(crc ^ bytes[i]) & 0xFF];
+    }
+    state_ = crc;
+  }
+
+  // The CRC of everything fed to update() so far.
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  static const std::array<std::uint32_t, 256>& table() noexcept {
+    static const std::array<std::uint32_t, 256> kTable = [] {
+      std::array<std::uint32_t, 256> t{};
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        t[i] = c;
+      }
+      return t;
+    }();
+    return kTable;
+  }
+
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+inline std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  Crc32 crc;
+  crc.update(data, size);
+  return crc.value();
+}
+
+}  // namespace cw::util

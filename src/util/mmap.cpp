@@ -1,0 +1,96 @@
+#include "util/mmap.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cw::util {
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    base_ = std::exchange(other.base_, nullptr);
+    base_size_ = std::exchange(other.base_size_, 0);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+bool MappedFile::map(const std::string& path, std::uint64_t offset, std::uint64_t length,
+                     std::string* error) {
+  reset();
+  if (length == 0) return true;
+
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    set_error(error, "mmap: cannot open " + path + ": " + std::strerror(errno));
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    set_error(error, "mmap: cannot stat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return false;
+  }
+  if (offset + length > static_cast<std::uint64_t>(st.st_size)) {
+    set_error(error, "mmap: range past end of " + path);
+    ::close(fd);
+    return false;
+  }
+
+  const std::uint64_t page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  const std::uint64_t floor = offset - (offset % page);
+  const std::size_t span = static_cast<std::size_t>(length + (offset - floor));
+  void* base = ::mmap(nullptr, span, PROT_READ, MAP_PRIVATE, fd, static_cast<off_t>(floor));
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    set_error(error, "mmap: map of " + path + " failed: " + std::strerror(errno));
+    return false;
+  }
+  base_ = base;
+  base_size_ = span;
+  data_ = static_cast<const std::uint8_t*>(base) + (offset - floor);
+  size_ = static_cast<std::size_t>(length);
+  return true;
+}
+
+void MappedFile::reset() noexcept {
+  if (base_ != nullptr) ::munmap(base_, base_size_);
+  base_ = nullptr;
+  base_size_ = 0;
+  data_ = nullptr;
+  size_ = 0;
+}
+
+void MappedFile::advise_sequential() const noexcept {
+  if (base_ != nullptr) ::madvise(base_, base_size_, MADV_SEQUENTIAL);
+}
+
+void MappedFile::advise_dontneed() const noexcept {
+  if (base_ != nullptr) ::madvise(base_, base_size_, MADV_DONTNEED);
+}
+
+bool MappedFile::file_size(const std::string& path, std::uint64_t& size_out, std::string* error) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    set_error(error, "mmap: cannot stat " + path + ": " + std::strerror(errno));
+    return false;
+  }
+  size_out = static_cast<std::uint64_t>(st.st_size);
+  return true;
+}
+
+}  // namespace cw::util

@@ -1,0 +1,63 @@
+// MappedFile: read-only mmap of a byte range of a file, the storage layer
+// under capture::FrameView. A cold segment's columns are read zero-copy out
+// of the mapping; the view is dropped (munmap, not just madvise) between
+// scans so a spilled corpus costs address space proportional to the mapped
+// window, not the corpus — which is what lets a campaign run under a hard
+// `ulimit -v` cap (scripts/check.sh coldstore).
+//
+// The requested offset need not be page-aligned: the mapping is floored to
+// the containing page and data() points at the requested byte. All higher
+// alignment guarantees (the frame section keeps its arrays 8-aligned) are
+// relative to the section base, which the dataset writer places at a
+// multiple of 8 — combined with the page-aligned floor this keeps every
+// bound column pointer naturally aligned.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cw::util {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { reset(); }
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Maps `length` bytes of `path` starting at byte `offset` read-only.
+  // Returns false (and sets *error when given) on open/map failure or if the
+  // range extends past the end of the file. A zero-length range succeeds
+  // with data() == nullptr.
+  bool map(const std::string& path, std::uint64_t offset, std::uint64_t length,
+           std::string* error = nullptr);
+
+  // Unmaps; safe to call repeatedly. After reset() the view is empty.
+  void reset() noexcept;
+
+  [[nodiscard]] bool mapped() const noexcept { return base_ != nullptr || size_ == 0; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  // First byte of the requested range (not the page floor).
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  // madvise hints over the whole mapping; best-effort (ignored on failure).
+  void advise_sequential() const noexcept;
+  void advise_dontneed() const noexcept;
+
+  // Size of `path` in bytes, or false on stat failure.
+  static bool file_size(const std::string& path, std::uint64_t& size_out,
+                        std::string* error = nullptr);
+
+ private:
+  void* base_ = nullptr;        // page-floored mapping base
+  std::size_t base_size_ = 0;   // mapped length from base_
+  const std::uint8_t* data_ = nullptr;  // base_ + (offset - page floor)
+  std::size_t size_ = 0;        // requested range length
+};
+
+}  // namespace cw::util

@@ -108,10 +108,106 @@ void PostingList::const_iterator::advance() {
   settle();
 }
 
+std::size_t PostingList::serialize(std::vector<std::uint8_t>& out) const {
+  while (out.size() % 8 != 0) out.push_back(0);
+  const std::size_t base = out.size();
+
+  const auto append_pod = [&out](const auto& value) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+    out.insert(out.end(), bytes, bytes + sizeof(value));
+  };
+
+  append_pod(static_cast<std::uint64_t>(size_));
+  append_pod(static_cast<std::uint32_t>(containers_.size()));
+  append_pod(std::uint32_t{0});
+
+  // Directory first (16 bytes per container keeps the payloads 8-aligned
+  // without inter-entry padding), payload offsets filled as they land.
+  const std::size_t dir_base = out.size();
+  out.resize(out.size() + containers_.size() * sizeof(PostingSpan::DirEntry));
+
+  for (std::size_t i = 0; i < containers_.size(); ++i) {
+    const Container& c = containers_[i];
+    PostingSpan::DirEntry entry{};
+    entry.key = c.key;
+    entry.payload_offset = static_cast<std::uint64_t>(out.size() - base);
+    if (c.bits.empty()) {
+      entry.kind = PostingSpan::kArray;
+      entry.count = static_cast<std::uint32_t>(c.array.size());
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(c.array.data());
+      out.insert(out.end(), bytes, bytes + c.array.size() * sizeof(std::uint16_t));
+      while (out.size() % 8 != 0) out.push_back(0);
+    } else {
+      entry.kind = PostingSpan::kBitmap;
+      std::uint32_t count = 0;
+      for (const std::uint64_t word : c.bits) count += std::popcount(word);
+      entry.count = count;
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(c.bits.data());
+      out.insert(out.end(), bytes, bytes + c.bits.size() * sizeof(std::uint64_t));
+    }
+    std::memcpy(out.data() + dir_base + i * sizeof(entry), &entry, sizeof(entry));
+  }
+  return base;
+}
+
+bool PostingSpan::parse(const std::uint8_t* base, std::size_t avail, PostingSpan& out,
+                        std::size_t& length_out) noexcept {
+  out = PostingSpan{};
+  if (base == nullptr || avail < kHeaderBytes) return false;
+  std::uint64_t size = 0;
+  std::uint32_t containers = 0;
+  std::memcpy(&size, base, sizeof(size));
+  std::memcpy(&containers, base + 8, sizeof(containers));
+
+  const std::uint64_t dir_end =
+      kHeaderBytes + static_cast<std::uint64_t>(containers) * sizeof(DirEntry);
+  if (dir_end > avail) return false;
+
+  std::uint64_t end = dir_end;
+  std::uint64_t total = 0;
+  std::uint16_t prev_key = 0;
+  for (std::uint32_t c = 0; c < containers; ++c) {
+    DirEntry entry;
+    std::memcpy(&entry, base + kHeaderBytes + c * sizeof(DirEntry), sizeof(DirEntry));
+    if (c > 0 && entry.key <= prev_key) return false;
+    prev_key = entry.key;
+    if (entry.payload_offset % 8 != 0) return false;
+    std::uint64_t payload_bytes = 0;
+    if (entry.kind == kArray) {
+      if (entry.count > PostingList::kArrayMax) return false;
+      payload_bytes = static_cast<std::uint64_t>(entry.count) * sizeof(std::uint16_t);
+    } else if (entry.kind == kBitmap) {
+      payload_bytes = PostingList::kBitmapWords * sizeof(std::uint64_t);
+    } else {
+      return false;
+    }
+    const std::uint64_t payload_end = entry.payload_offset + payload_bytes;
+    if (entry.payload_offset < dir_end || payload_end > avail) return false;
+    const std::uint64_t aligned_end = (payload_end + 7) & ~std::uint64_t{7};
+    if (aligned_end > end) end = aligned_end;
+    total += entry.count;
+  }
+  if (total != size) return false;
+
+  out.base_ = base;
+  out.size_ = static_cast<std::size_t>(size);
+  out.container_count_ = containers;
+  length_out = static_cast<std::size_t>(end > avail ? avail : end);
+  return true;
+}
+
+std::vector<std::uint32_t> PostingSpan::to_vector() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(size_);
+  for_each([&out](std::uint32_t value) { out.push_back(value); });
+  return out;
+}
+
 std::vector<std::uint32_t> PostingView::to_vector() const {
   if (vec_ != nullptr) return *vec_;
   if (list_ != nullptr) return list_->to_vector();
-  return {};
+  if (span_ != nullptr) return span_->to_vector();
+  return {data_, data_ + raw_size_};
 }
 
 }  // namespace cw::util

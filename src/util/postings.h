@@ -24,7 +24,10 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <vector>
 
 namespace cw::util {
@@ -71,6 +74,18 @@ class PostingList {
   }
 
   [[nodiscard]] std::vector<std::uint32_t> to_vector() const;
+
+  // Appends the spill-file representation of this list to `out` (padding
+  // `out` to 8 alignment first) and returns the byte offset of the blob
+  // base. The layout PostingSpan reads back:
+  //   u64 size (index count)
+  //   u32 container_count, u32 reserved(0)
+  //   container_count x {u16 key, u16 kind(0=array,1=bitmap), u32 count,
+  //                      u64 payload_offset}   // offset relative to blob base
+  //   8-aligned payloads: array = count x u16, bitmap = kBitmapWords x u64
+  // Containers appear in ascending key order (the build order), so a
+  // PostingSpan traversal yields the identical ascending index sequence.
+  std::size_t serialize(std::vector<std::uint8_t>& out) const;
 
   class const_iterator {
    public:
@@ -133,19 +148,89 @@ class PostingList {
   std::uint64_t last_appended_ = 0;  // (value + 1); 0 = nothing appended yet
 };
 
-// A non-owning view over either a packed PostingList or a plain ascending
-// vector<uint32>: the record-set currency of the analysis layer. Slices the
-// table cache owns (neighbor filters, HTTP/AllPorts) stay plain vectors;
-// frame posting lists arrive packed; kernels iterate either through one
-// branch-hoisted for_each.
+// A read-only posting list parsed out of a serialized blob (the spill-file
+// bytes PostingList::serialize wrote), iterated in place — no container is
+// rebuilt on load. A cold SessionFrame holds one PostingSpan per port /
+// (vantage, port) list, pointing straight into the mmapped frame section.
+class PostingSpan {
+ public:
+  PostingSpan() = default;
+
+  // Parses and validates a serialized posting list at `base` with at most
+  // `avail` bytes available. On success fills `out` and `length_out` (the
+  // blob's total byte length, payloads included) and returns true; on any
+  // structural violation (short header, directory past the end, payload out
+  // of bounds, unknown container kind) returns false and leaves `out` empty.
+  static bool parse(const std::uint8_t* base, std::size_t avail, PostingSpan& out,
+                    std::size_t& length_out) noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  // Ascending iteration, matching PostingList::for_each element for element.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint32_t c = 0; c < container_count_; ++c) {
+      DirEntry entry;
+      std::memcpy(&entry, base_ + kHeaderBytes + c * sizeof(DirEntry), sizeof(DirEntry));
+      const std::uint32_t base = static_cast<std::uint32_t>(entry.key) << 16;
+      if (entry.kind == kArray) {
+        const auto* lows = reinterpret_cast<const std::uint16_t*>(base_ + entry.payload_offset);
+        for (std::uint32_t i = 0; i < entry.count; ++i) fn(base | lows[i]);
+      } else {
+        const auto* words = reinterpret_cast<const std::uint64_t*>(base_ + entry.payload_offset);
+        for (std::size_t w = 0; w < PostingList::kBitmapWords; ++w) {
+          std::uint64_t word = words[w];
+          while (word != 0) {
+            fn(base | static_cast<std::uint32_t>((w << 6) | std::countr_zero(word)));
+            word &= word - 1;
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> to_vector() const;
+
+ private:
+  static constexpr std::size_t kHeaderBytes = 16;
+  static constexpr std::uint16_t kArray = 0;
+  static constexpr std::uint16_t kBitmap = 1;
+
+  struct DirEntry {
+    std::uint16_t key;
+    std::uint16_t kind;
+    std::uint32_t count;
+    std::uint64_t payload_offset;
+  };
+  static_assert(sizeof(DirEntry) == 16);
+
+  friend class PostingList;  // serialize() mirrors this layout
+  const std::uint8_t* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint32_t container_count_ = 0;
+};
+
+// A non-owning view over any of the analysis layer's record-set shapes: a
+// packed PostingList, a serialized PostingSpan (cold frame), a plain
+// ascending vector<uint32>, or a raw u32 span (a frame column slice). Slices
+// the table cache owns stay plain vectors; hot frame posting lists arrive
+// packed; cold frames hand out spans into the mapping; kernels iterate all
+// four through one branch-hoisted for_each.
 class PostingView {
  public:
   PostingView() = default;
   /*implicit*/ PostingView(const PostingList& list) noexcept : list_(&list) {}
+  /*implicit*/ PostingView(const PostingSpan& span) noexcept : span_(&span) {}
   /*implicit*/ PostingView(const std::vector<std::uint32_t>& vec) noexcept : vec_(&vec) {}
+  /*implicit*/ PostingView(std::span<const std::uint32_t> raw) noexcept
+      : data_(raw.data()), raw_size_(raw.size()) {}
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return vec_ != nullptr ? vec_->size() : list_ != nullptr ? list_->size() : 0;
+    if (vec_ != nullptr) return vec_->size();
+    if (list_ != nullptr) return list_->size();
+    if (span_ != nullptr) return span_->size();
+    return raw_size_;
   }
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
@@ -155,18 +240,25 @@ class PostingView {
       for (const std::uint32_t value : *vec_) fn(value);
     } else if (list_ != nullptr) {
       list_->for_each(fn);
+    } else if (span_ != nullptr) {
+      span_->for_each(fn);
+    } else {
+      for (std::size_t i = 0; i < raw_size_; ++i) fn(data_[i]);
     }
   }
 
   [[nodiscard]] std::vector<std::uint32_t> to_vector() const;
 
   // The underlying vector when this view wraps one (random-access chunked
-  // builds keep their v1 sharding in that case), nullptr for packed lists.
+  // builds keep their v1 sharding in that case), nullptr otherwise.
   [[nodiscard]] const std::vector<std::uint32_t>* as_vector() const noexcept { return vec_; }
 
  private:
   const PostingList* list_ = nullptr;
+  const PostingSpan* span_ = nullptr;
   const std::vector<std::uint32_t>* vec_ = nullptr;
+  const std::uint32_t* data_ = nullptr;
+  std::size_t raw_size_ = 0;
 };
 
 }  // namespace cw::util

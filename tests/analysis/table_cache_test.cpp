@@ -125,7 +125,8 @@ TEST(TableCache, ShardedBuildMatchesSequentialAtAnyChunkSize) {
     if (vp.type == topology::NetworkType::kTelescope) telescope = &vp;
   }
   ASSERT_NE(telescope, nullptr);
-  const std::vector<std::uint32_t>& records = frame.for_vantage(telescope->id);
+  const std::span<const std::uint32_t> vantage_records = frame.for_vantage(telescope->id);
+  const std::vector<std::uint32_t> records(vantage_records.begin(), vantage_records.end());
   ASSERT_GT(records.size(), 256u);
 
   runner::ThreadPool pool(4);

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace cw::capture {
 namespace {
@@ -144,6 +145,8 @@ std::string packed_string(const std::string& value) {
 std::string as_v1_stream(std::string bytes, const std::string& v2_blob,
                          const std::string& v1_blob) {
   bytes[4] = 1;  // version field; bytes 5-7 are already zero
+  bytes.erase(24, 24);            // v3 section-flags / frame-section header fields
+  bytes.erase(bytes.size() - 4);  // v3 CRC trailer
   const std::string old_entry = packed_string(v2_blob);
   const std::size_t at = bytes.find(old_entry);
   EXPECT_NE(at, std::string::npos);
@@ -281,6 +284,80 @@ TEST(Dataset, SegmentsRejectTruncatedSecondSegment) {
     std::stringstream truncated(full.substr(0, cut));
     EXPECT_FALSE(read_dataset_segments(truncated).has_value()) << "cut at " << cut;
   }
+}
+
+TEST(Dataset, CrcTrailerRejectsEveryRecordAreaBitFlip) {
+  const EventStore original = make_store();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(original, buffer));
+  const std::string full = buffer.str();
+
+  // Flip one bit inside interned payload text (structurally valid bytes a
+  // pre-CRC reader accepted silently) and inside the trailer itself.
+  const std::size_t in_payload = full.find("HTTP/1.1");
+  ASSERT_NE(in_payload, std::string::npos);
+  for (const std::size_t at : {in_payload, in_payload + 4, full.size() - 2}) {
+    std::string bytes = full;
+    bytes[at] = static_cast<char>(bytes[at] ^ 0x10);
+    std::stringstream corrupted(bytes);
+    std::string error;
+    EXPECT_FALSE(read_dataset(corrupted, &error).has_value()) << "flip at " << at;
+    EXPECT_NE(error.find("CRC mismatch"), std::string::npos) << error;
+  }
+}
+
+TEST(Dataset, MissingCrcTrailerIsRejected) {
+  const EventStore original = make_store();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(original, buffer));
+  const std::string full = buffer.str();
+  std::stringstream clipped(full.substr(0, full.size() - 4));
+  std::string error;
+  EXPECT_FALSE(read_dataset(clipped, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Dataset, LegacyV2DatasetStillLoads) {
+  // A v2 stream is a v3 stream minus the section-flags / frame-offset header
+  // fields and the CRC trailer (the table and record layouts are shared).
+  const EventStore original = make_store();
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset(original, buffer));
+  std::string bytes = buffer.str();
+  bytes[4] = 2;                   // version field; bytes 5-7 are already zero
+  bytes.erase(24, 24);            // v3 header extension
+  bytes.erase(bytes.size() - 4);  // v3 CRC trailer
+
+  std::stringstream legacy(bytes);
+  const auto loaded = read_dataset(legacy);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), original.size());
+  EXPECT_EQ(loaded->distinct_payloads(), original.distinct_payloads());
+  EXPECT_EQ(loaded->credential(loaded->records()[0].credential_id).password, "123456");
+}
+
+TEST(Dataset, SegmentsStreamingCallbackDeliversEachSegmentOnce) {
+  const EventStore first = make_store();
+  const EventStore second = make_second_store();
+  const EventStore empty;
+  std::stringstream buffer;
+  ASSERT_TRUE(write_dataset_segments({&first, &second, &empty}, buffer));
+
+  std::vector<std::size_t> sizes;
+  ASSERT_TRUE(read_dataset_segments(
+      buffer, [&sizes](EventStore&& segment) {
+        sizes.push_back(segment.size());
+        return true;
+      }));
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{first.size(), second.size(), 0u}));
+
+  // A sink that aborts mid-stream reports failure, not a silent partial read.
+  std::stringstream again(buffer.str());
+  std::size_t delivered = 0;
+  std::string error;
+  EXPECT_FALSE(read_dataset_segments(
+      again, [&delivered](EventStore&&) { return ++delivered < 2; }, &error));
+  EXPECT_EQ(delivered, 2u);
 }
 
 TEST(Dataset, CsvExportContainsAnnotatedRows) {

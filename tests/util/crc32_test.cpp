@@ -1,0 +1,56 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace cw::util {
+namespace {
+
+TEST(Crc32Test, KnownVectors) {
+  // The IEEE/zlib check values; "123456789" is the canonical CRC-32 check.
+  EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  const std::string fox = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(crc32(fox.data(), fox.size()), 0x414FA339u);
+  const std::string a = "a";
+  EXPECT_EQ(crc32(a.data(), a.size()), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShotAtEverySplit) {
+  const std::string data = "CWDS trailer bytes feed the checksum incrementally";
+  const std::uint32_t whole = crc32(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Crc32 crc;
+    crc.update(data.data(), split);
+    crc.update(data.data() + split, data.size() - split);
+    EXPECT_EQ(crc.value(), whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, ResetRestartsTheState) {
+  Crc32 crc;
+  crc.update("garbage", 7);
+  crc.reset();
+  crc.update("123456789", 9);
+  EXPECT_EQ(crc.value(), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EveryBitFlipChangesTheChecksum) {
+  std::vector<std::uint8_t> bytes(64);
+  for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<std::uint8_t>(i * 7);
+  const std::uint32_t reference = crc32(bytes.data(), bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(bytes.data(), bytes.size()), reference) << "byte " << i << " bit " << bit;
+      bytes[i] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cw::util

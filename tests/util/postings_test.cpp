@@ -144,5 +144,98 @@ TEST(PostingViewTest, WrapsVectorAndDefault) {
   EXPECT_TRUE(empty.to_vector().empty());
 }
 
+// Serializes `reference` through PostingList::serialize and checks the
+// PostingSpan parsed back out of the bytes yields the identical ascending
+// sequence through every read path (for_each, to_vector, PostingView).
+void ExpectSerializedEquivalent(const std::vector<std::uint32_t>& reference) {
+  PostingList list;
+  for (const std::uint32_t v : reference) list.append(v);
+  list.shrink();
+
+  std::vector<std::uint8_t> blob = {0xAB, 0xCD, 0xEF};  // force alignment padding
+  const std::size_t base = list.serialize(blob);
+  EXPECT_EQ(base % 8, 0u);
+  EXPECT_GE(blob.size(), base);
+
+  PostingSpan span;
+  std::size_t length = 0;
+  ASSERT_TRUE(PostingSpan::parse(blob.data() + base, blob.size() - base, span, length));
+  EXPECT_EQ(base + length, blob.size());
+  EXPECT_EQ(span.size(), reference.size());
+  EXPECT_EQ(span.to_vector(), reference);
+
+  std::vector<std::uint32_t> via_for_each;
+  span.for_each([&via_for_each](std::uint32_t v) { via_for_each.push_back(v); });
+  EXPECT_EQ(via_for_each, reference);
+
+  PostingView view(span);
+  EXPECT_EQ(view.size(), reference.size());
+  EXPECT_EQ(view.to_vector(), reference);
+}
+
+TEST(PostingSerializeTest, RoundTripsEveryContainerShape) {
+  ExpectSerializedEquivalent({});
+  ExpectSerializedEquivalent({0});
+  ExpectSerializedEquivalent({42});
+  ExpectSerializedEquivalent({0, 65535, 65536, 131071});  // container boundaries
+
+  // Around the array-to-bitmap conversion threshold (4096 entries in one
+  // 64Ki container): one below, exactly at, one above.
+  for (const std::uint32_t count : {4095u, 4096u, 4097u}) {
+    std::vector<std::uint32_t> reference;
+    reference.reserve(count);
+    for (std::uint32_t v = 0; v < count; ++v) reference.push_back(v * 3);  // stays < 64Ki*3
+    ExpectSerializedEquivalent(reference);
+  }
+
+  // A full dense container (bitmap) followed by a sparse tail container.
+  std::vector<std::uint32_t> mixed;
+  for (std::uint32_t v = 0; v < 65536; ++v) mixed.push_back(v);
+  for (std::uint32_t v = 0; v < 10; ++v) mixed.push_back(65536 + v * 1000);
+  ExpectSerializedEquivalent(mixed);
+}
+
+TEST(PostingSerializeTest, RoundTripsRandomAscendingSets) {
+  std::mt19937 rng(20260808);
+  for (const std::size_t target : {10u, 1000u, 20000u}) {
+    std::vector<std::uint32_t> reference;
+    std::uint32_t v = rng() % 64;
+    while (reference.size() < target) {
+      reference.push_back(v);
+      v += 1 + rng() % 97;
+    }
+    ExpectSerializedEquivalent(reference);
+  }
+}
+
+TEST(PostingSpanTest, RejectsTruncatedAndCorruptBlobs) {
+  PostingList list;
+  for (std::uint32_t v = 0; v < 5000; ++v) list.append(v * 2);
+  list.shrink();
+  std::vector<std::uint8_t> blob;
+  const std::size_t base = list.serialize(blob);
+  PostingSpan span;
+  std::size_t length = 0;
+  ASSERT_TRUE(PostingSpan::parse(blob.data() + base, blob.size() - base, span, length));
+
+  // Every prefix strictly shorter than the blob must be rejected — the
+  // parser may not read past `avail`.
+  for (const std::size_t avail : {std::size_t{0}, std::size_t{8}, std::size_t{15},
+                                  length / 2, length - 1}) {
+    PostingSpan out;
+    std::size_t out_length = 0;
+    EXPECT_FALSE(PostingSpan::parse(blob.data() + base, avail, out, out_length))
+        << "avail " << avail;
+    EXPECT_TRUE(out.empty());
+  }
+
+  // An unknown container kind in the directory is a structural violation.
+  std::vector<std::uint8_t> corrupt(blob.begin() + static_cast<std::ptrdiff_t>(base), blob.end());
+  corrupt[16 + 2] = 0x7F;  // first DirEntry's kind field
+  PostingSpan out;
+  std::size_t out_length = 0;
+  EXPECT_FALSE(PostingSpan::parse(corrupt.data(), corrupt.size(), out, out_length));
+}
+
 }  // namespace
 }  // namespace cw::util
