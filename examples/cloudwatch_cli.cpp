@@ -22,11 +22,12 @@
 // can pull per-epoch reports while ingest keeps sealing; after the final
 // epoch the server lingers (--linger) so late readers can still fetch.
 // `sweep` runs a
-// named campaign (`ablation` or `calibration`) through runner::Fleet and
-// prints the cross-cell findings matrix; `--cell` reruns one cell
-// standalone (byte-identical to its in-fleet per-cell block) and
+// named campaign (`sweep --list` enumerates the registry) through
+// runner::Fleet and prints the cross-cell findings matrix as markdown or,
+// with `--format json`, as one machine-readable object; `--cell` reruns one
+// cell standalone (byte-identical to its in-fleet per-cell block) and
 // `--cells-dir` writes each cell's block to DIR for that comparison (the
-// check.sh fleet tier).
+// check.sh fleet and adversary tiers).
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -82,6 +83,8 @@ struct Options {
   // Out-of-core tiering (watch/serve/sweep): active when spill_dir is set.
   std::string spill_dir;
   std::size_t hot_segments = 1;  // --hot-segments all => SIZE_MAX
+  bool list_campaigns = false;   // sweep --list
+  std::string format = "markdown";  // sweep --format markdown|json
 };
 
 void usage() {
@@ -102,8 +105,11 @@ void usage() {
                " [--cell LABEL] [--cells-dir DIR] [--cells N]\n"
                "                            [--spill-dir DIR] [--hot-segments N|all]"
                " [--epochs K] [--shards M]\n"
+               "                            [--format markdown|json]\n"
+               "       cloudwatch_cli sweep --list\n"
                "tables: 1 2 4 5 6 7 8 9 10 11 17 sec32 fig1\n"
-               "campaigns: ablation calibration stress\n"
+               "campaigns: ablation calibration stress adaptive colocation clustering"
+               " (sweep --list describes each)\n"
                "--spill-dir spills sealed epoch segments to DIR, keeping only the newest\n"
                "--hot-segments resident (out-of-core corpora); output bytes are unchanged.\n");
 }
@@ -202,6 +208,15 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (v == nullptr || *v == '\0') return false;
       options.spill_dir = v;
+    } else if (arg == "--list") {
+      options.list_campaigns = true;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr ||
+          (std::strcmp(v, "markdown") != 0 && std::strcmp(v, "json") != 0)) {
+        return false;
+      }
+      options.format = v;
     } else if (arg == "--hot-segments") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -455,21 +470,29 @@ std::string cell_file_name(const std::string& label) {
 }
 
 int cmd_sweep(const Options& options) {
+  if (options.list_campaigns) {
+    for (const cw::runner::CampaignInfo& info : cw::runner::campaign_registry()) {
+      std::printf("%-12s %s\n", std::string(info.name).c_str(),
+                  std::string(info.description).c_str());
+    }
+    return 0;
+  }
   cw::runner::CampaignParams params;
   params.scale = options.scale;
   params.telescope_slash24s = options.telescope_slash24s;
   params.year = options.year;
-  cw::runner::Campaign campaign;
-  if (options.campaign == "ablation") {
-    campaign = cw::runner::make_ablation_campaign(params);
-  } else if (options.campaign == "calibration") {
-    campaign = cw::runner::make_calibration_campaign(params);
-  } else if (options.campaign == "stress") {
-    campaign = cw::runner::make_stress_campaign(params, options.stress_cells);
-  } else {
-    usage();
+  std::optional<cw::runner::Campaign> preset =
+      cw::runner::make_campaign(options.campaign, params, options.stress_cells);
+  if (!preset.has_value()) {
+    if (!options.campaign.empty()) {
+      std::fprintf(stderr, "unknown campaign: %s (try `cloudwatch_cli sweep --list`)\n",
+                   options.campaign.c_str());
+    } else {
+      usage();
+    }
     return 1;
   }
+  cw::runner::Campaign campaign = std::move(*preset);
   if (!options.cell.empty()) {
     // Standalone cell rerun: a one-cell campaign with the same campaign
     // seed. Fleet::cell_seed depends only on (campaign seed, sim_label), so
@@ -519,7 +542,10 @@ int cmd_sweep(const Options& options) {
     std::printf("%s", cw::runner::render_cell(results.front()).c_str());
     return 0;
   }
-  std::printf("%s", cw::runner::SweepReport::render(campaign, results).c_str());
+  const std::string report =
+      options.format == "json" ? cw::runner::SweepReport::render_json(campaign, results)
+                               : cw::runner::SweepReport::render(campaign, results);
+  std::printf("%s", report.c_str());
   return 0;
 }
 

@@ -13,6 +13,9 @@
 #   scripts/check.sh bench      # frame-vs-full-scan numbers (bench_runner_pipelines)
 #   scripts/check.sh fleet      # sweep campaigns byte-identical at --jobs 1/2/8,
 #                               # in-fleet cell == standalone --cell rerun
+#   scripts/check.sh adversary  # adaptive/colocation/clustering presets at small
+#                               # scale: byte-identical at --jobs 1/8, standalone
+#                               # --cell == in-fleet, clustering scores in md+json
 #   scripts/check.sh stress     # opt-in: 1000-engine stress campaign — completes
 #                               # under a deadline, bounded memory, byte-identical
 #                               # sweep report at --jobs 2 vs 8
@@ -23,8 +26,8 @@
 #                               # completes under the same cap with --spill-dir,
 #                               # byte-identical to the uncapped render
 #   scripts/check.sh all        # tier-1 + asan + tsan + determinism + stream + serve
-#                               # + fleet + coldstore (stress stays opt-in: run it
-#                               # explicitly)
+#                               # + fleet + adversary + coldstore (stress stays
+#                               # opt-in: run it explicitly)
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -300,6 +303,63 @@ fleet() {
   echo "fleet: sweeps byte-identical at --jobs 1/2/8; standalone cells match in-fleet (scale $scale, t24 $t24)"
 }
 
+adversary() {
+  # The adversarial-scenario presets (DESIGN.md §8): the three grids run at
+  # small scale, the sweep reports (and every per-cell file) are
+  # byte-identical at --jobs 1 vs 8, a standalone --cell rerun reproduces
+  # its in-fleet bytes, --list names every preset, and the JSON rendering
+  # carries the clustering scores.
+  cmake --build "$ROOT/build" -j "$JOBS" --target cloudwatch_cli
+  local cli="$ROOT/build/examples/cloudwatch_cli"
+  [ -x "$cli" ] || cli="$ROOT/build/cloudwatch_cli"
+  local scale="${CW_CHECK_ADV_SCALE:-0.1}" t24="${CW_CHECK_ADV_T24:-8}"
+  local work campaign jobs
+  work=$(mktemp -d)
+  for campaign in adaptive colocation clustering; do
+    if ! "$cli" sweep --list | grep -q "^$campaign "; then
+      echo "adversary: sweep --list does not name the $campaign preset" >&2
+      rm -rf "$work"
+      return 1
+    fi
+    for jobs in 1 8; do
+      "$cli" sweep "$campaign" --scale "$scale" --t24 "$t24" --jobs "$jobs" \
+        --cells-dir "$work/$campaign-j$jobs" >"$work/$campaign-j$jobs.md" 2>/dev/null
+    done
+    if ! diff -q "$work/$campaign-j1.md" "$work/$campaign-j8.md" ||
+       ! diff -rq "$work/$campaign-j1" "$work/$campaign-j8"; then
+      echo "adversary: $campaign sweep diverged between --jobs 1 and --jobs 8" >&2
+      rm -rf "$work"
+      return 1
+    fi
+  done
+  # Standalone rerun of the clustering acceptance cell vs its in-fleet file.
+  "$cli" sweep clustering --scale "$scale" --t24 "$t24" --jobs 1 \
+    --cell "families" >"$work/solo-families.md" 2>/dev/null
+  if ! diff -q "$work/solo-families.md" "$work/clustering-j1/families.md"; then
+    echo "adversary: standalone --cell families diverged from in-fleet per-cell file" >&2
+    rm -rf "$work"
+    return 1
+  fi
+  # The acceptance cell scores purity/ARI 1.0000 at any checked scale, and
+  # the JSON rendering must carry the cluster scores for CI artifacts.
+  if ! grep -q "purity 1.0000, ARI 1.0000" "$work/clustering-j1/families.md"; then
+    echo "adversary: families cell lost its purity/ARI 1.0 clustering score" >&2
+    rm -rf "$work"
+    return 1
+  fi
+  "$cli" sweep clustering --scale "$scale" --t24 "$t24" --jobs 8 \
+    --format json >"$work/clustering.json" 2>/dev/null
+  if ! grep -q '"purity":' "$work/clustering.json" ||
+     ! grep -q '"assignment_fnv":' "$work/clustering.json"; then
+    echo "adversary: sweep --format json is missing the cluster scores" >&2
+    rm -rf "$work"
+    return 1
+  fi
+  rm -rf "$work"
+  echo "adversary: presets byte-identical at --jobs 1/8; standalone cell matches in-fleet;" \
+       "clustering scores present in markdown and JSON (scale $scale, t24 $t24)"
+}
+
 stress() {
   # Fleet harness at width: CW_CHECK_STRESS_CELLS independent engines (default
   # 1000) through one pool. Passes when (a) both sweeps finish inside the
@@ -437,8 +497,9 @@ case "${1:-tier1}" in
   serve) serve ;;
   bench) bench ;;
   fleet) fleet ;;
+  adversary) adversary ;;
   stress) stress ;;
   coldstore) coldstore ;;
-  all) tier1; asan; tsan; determinism; stream; serve; fleet; coldstore ;;
-  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|serve|bench|fleet|stress|coldstore|all]" >&2; exit 2 ;;
+  all) tier1; asan; tsan; determinism; stream; serve; fleet; adversary; coldstore ;;
+  *) echo "usage: scripts/check.sh [tier1|asan|tsan|determinism|stream|serve|bench|fleet|adversary|stress|coldstore|all]" >&2; exit 2 ;;
 esac

@@ -1,0 +1,80 @@
+#include "adversary/adaptive.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "proto/payloads.h"
+
+namespace cw::adversary {
+
+AdaptiveAttacker::AdaptiveAttacker(capture::ActorId id, util::Rng rng,
+                                   AdaptiveAttackerConfig config,
+                                   std::shared_ptr<MovingTargetDefense> defense)
+    : Actor(id, config.asn, config.sources, rng),
+      config_(std::move(config)),
+      policy_(config_.policy),
+      defense_(std::move(defense)) {}
+
+void AdaptiveAttacker::start(agents::AgentContext& ctx) {
+  // Per-actor start offset so a fleet of attackers interleaves instead of
+  // firing in one synchronized burst.
+  const auto offset = static_cast<util::SimTime>(rng_.uniform_int(0, util::kHour));
+  for (util::SimTime t = offset; t < ctx.window_end; t += config_.round) {
+    ctx.engine->schedule_at(t, [this, &ctx](sim::Engine& e) { run_round(ctx, e.now()); });
+  }
+}
+
+void AdaptiveAttacker::run_round(agents::AgentContext& ctx, util::SimTime t) {
+  // Exploit phase: revisit every learned service location. A defender
+  // rotation since last round makes the attack miss, and the address is
+  // forgotten — exactly the staleness signal the policy adapts to.
+  std::vector<net::IPv4Addr> still_live;
+  still_live.reserve(known_.size());
+  for (const net::IPv4Addr addr : known_) {
+    const bool success = attack(ctx, t, addr);
+    policy_.observe(success);
+    if (success) still_live.push_back(addr);
+  }
+  known_ = std::move(still_live);
+
+  // Explore phase: probe the rest of the cloud space with the tuned
+  // probability, learning fresh service locations.
+  const auto& cloud = ctx.universe->of_type(topology::NetworkType::kCloud);
+  const auto& targets = ctx.universe->targets();
+  for (const std::size_t idx : cloud) {
+    const net::IPv4Addr addr = targets[idx].address;
+    if (std::find_if(known_.begin(), known_.end(), [addr](net::IPv4Addr k) {
+          return k.value() == addr.value();
+        }) != known_.end()) {
+      continue;
+    }
+    if (!covers(addr, config_.explore_coverage)) continue;
+    if (!rng_.bernoulli(policy_.probability())) continue;
+    const bool success = attack(ctx, t, addr);
+    policy_.observe(success);
+    if (success) known_.push_back(addr);
+  }
+  policy_.end_round();
+}
+
+bool AdaptiveAttacker::attack(agents::AgentContext& ctx, util::SimTime t, net::IPv4Addr dst) {
+  // Success is attacker-side knowledge (did the brute-force reach a live
+  // service?); the emitted records are identical either way.
+  const bool success = defense_ == nullptr || defense_->record_attack(dst);
+  const net::Protocol protocol =
+      config_.port == 23 ? net::Protocol::kTelnet : net::Protocol::kSsh;
+  emit(ctx, t, dst, config_.port, proto::probe_payload(protocol), std::nullopt, protocol,
+       /*malicious=*/true);
+  const int attempts = static_cast<int>(
+      rng_.uniform_int(config_.min_attempts, std::max(config_.max_attempts, config_.min_attempts)));
+  for (int i = 0; i < attempts; ++i) {
+    const std::string payload = protocol == net::Protocol::kTelnet
+                                    ? proto::telnet_negotiation()
+                                    : proto::ssh_client_banner();
+    emit(ctx, t + (i + 1) * 3 * util::kSecond, dst, config_.port, payload,
+         proto::sample_credential(config_.dictionary, rng_), protocol, /*malicious=*/true);
+  }
+  return success;
+}
+
+}  // namespace cw::adversary

@@ -1,0 +1,71 @@
+// The adaptive attacker (DESIGN.md §8a): an SSH brute-force operation that
+// learns where the defender's ephemeral services live and tunes its explore
+// probability from observed success via AdaptivePolicy.
+//
+// Each round (one scheduled pass per `round` interval):
+//   1. exploit — re-attack every address where an attack previously landed
+//      on a live service; a rotation since last round turns the address
+//      stale and it is forgotten,
+//   2. explore — attack each not-yet-known cloud target with the policy's
+//      current probability, learning addresses that hit,
+//   3. adapt — feed the round's outcomes to the policy, which raises the
+//      probability while attacking pays and decays it through barren rounds.
+//
+// Without a defense object every attack "succeeds" (a static world, nothing
+// ever moves), which is the fixed-policy baseline the sweep compares
+// against when the policy is also frozen (AdaptivePolicyConfig::adaptive =
+// false).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adversary/moving_target.h"
+#include "adversary/policy.h"
+#include "agents/actor.h"
+#include "net/asn.h"
+#include "net/ports.h"
+#include "proto/credentials.h"
+
+namespace cw::adversary {
+
+struct AdaptiveAttackerConfig {
+  std::string label = "adaptive";
+  net::Asn asn = 64821;
+  int sources = 4;
+  net::Port port = 22;
+  proto::CredentialDictionary dictionary = proto::CredentialDictionary::kGenericSsh;
+  int min_attempts = 2;  // credential attempts per attacked target
+  int max_attempts = 6;
+  double explore_coverage = 1.0;  // fraction of cloud targets eligible to explore
+  util::SimDuration round = util::kDay;
+  AdaptivePolicyConfig policy;
+};
+
+class AdaptiveAttacker : public agents::Actor {
+ public:
+  AdaptiveAttacker(capture::ActorId id, util::Rng rng, AdaptiveAttackerConfig config,
+                   std::shared_ptr<MovingTargetDefense> defense);
+
+  void start(agents::AgentContext& ctx) override;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "adaptive-attacker"; }
+  [[nodiscard]] bool is_malicious() const noexcept override { return true; }
+
+  [[nodiscard]] const AdaptivePolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] std::size_t known_services() const noexcept { return known_.size(); }
+
+ private:
+  void run_round(agents::AgentContext& ctx, util::SimTime t);
+  // Emits the brute-force burst against one target and reports whether it
+  // landed on a live service.
+  bool attack(agents::AgentContext& ctx, util::SimTime t, net::IPv4Addr dst);
+
+  AdaptiveAttackerConfig config_;
+  AdaptivePolicy policy_;
+  std::shared_ptr<MovingTargetDefense> defense_;  // may be null (static world)
+  std::vector<net::IPv4Addr> known_;              // learned service locations
+};
+
+}  // namespace cw::adversary

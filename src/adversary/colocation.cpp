@@ -1,0 +1,100 @@
+#include "adversary/colocation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace cw::adversary {
+namespace {
+
+std::string lock_probe() { return "GET /lock HTTP/1.1\r\nHost: coloc\r\n\r\n"; }
+std::string check_probe() { return "GET /check HTTP/1.1\r\nHost: coloc\r\n\r\n"; }
+
+}  // namespace
+
+CoLocationProber::CoLocationProber(capture::ActorId id, util::Rng rng,
+                                   CoLocationProberConfig config, std::uint64_t world_seed)
+    : Actor(id, config.asn, config.sources, rng),
+      config_(std::move(config)),
+      world_seed_(world_seed) {}
+
+bool CoLocationProber::shares_server(std::string_view city_code, topology::VantageId a,
+                                     topology::VantageId b) const noexcept {
+  // Symmetric deterministic coin: the synthetic world either co-locates the
+  // pair or it does not, identically for every prober and every run.
+  const topology::VantageId lo = std::min(a, b);
+  const topology::VantageId hi = std::max(a, b);
+  std::uint64_t state = world_seed_ ^ util::fnv1a64(city_code) ^
+                        (static_cast<std::uint64_t>(lo) * 0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(hi) * 0xc2b2ae3d27d4eb4fULL);
+  const double coin = static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
+  return coin < config_.share_rate;
+}
+
+void CoLocationProber::start(agents::AgentContext& ctx) {
+  const auto cities = ctx.universe->deployment().colocated_clouds();
+  util::SimTime t = config_.first_pass;
+  for (int pass = 0; pass < config_.passes; ++pass) {
+    for (const auto& city : cities) {
+      for (std::size_t i = 0; i < city.vantage_ids.size(); ++i) {
+        for (std::size_t j = i + 1; j < city.vantage_ids.size(); ++j) {
+          const topology::VantageId victim = city.vantage_ids[i];
+          const topology::VantageId attacker = city.vantage_ids[j];
+          if (t >= ctx.window_end) return;
+          ctx.engine->schedule_at(t, [this, &ctx, city, victim, attacker](sim::Engine& e) {
+            probe_pair(ctx, e.now(), city, victim, attacker);
+          });
+          t += config_.pair_spacing;
+        }
+      }
+    }
+    t = config_.first_pass + (pass + 1) * config_.pass_spacing;
+  }
+}
+
+void CoLocationProber::probe_pair(agents::AgentContext& ctx, util::SimTime t,
+                                  const topology::Deployment::CoLocation& city,
+                                  topology::VantageId victim, topology::VantageId attacker) {
+  const auto& deployment = ctx.universe->deployment();
+  const auto& victim_addrs = deployment.at(victim).addresses;
+  const auto& attacker_addrs = deployment.at(attacker).addresses;
+  if (victim_addrs.empty() || attacker_addrs.empty()) return;
+  ++pairs_probed_;
+
+  // The lock/check pair: induce contention from the attacker-side instance,
+  // measure it from the victim side.
+  emit(ctx, t, attacker_addrs.front(), config_.probe_port, lock_probe(), std::nullopt,
+       net::Protocol::kHttp, /*malicious=*/true);
+  emit(ctx, t + util::kSecond, victim_addrs.front(), config_.probe_port, check_probe(),
+       std::nullopt, net::Protocol::kHttp, /*malicious=*/true);
+
+  if (!shares_server(city.city_code, victim, attacker) ||
+      !rng_.bernoulli(config_.detect_rate)) {
+    return;
+  }
+  ++pairs_shared_;
+
+  // Binary-search victim localization: one check probe per halving step over
+  // the victim vantage's address list, homing in on the co-resident victim.
+  std::size_t lo = 0;
+  std::size_t hi = victim_addrs.size();
+  std::uint64_t state = world_seed_ ^ (static_cast<std::uint64_t>(victim) << 32) ^ attacker;
+  const std::size_t resident =
+      static_cast<std::size_t>(util::splitmix64(state) % victim_addrs.size());
+  util::SimTime step_time = t + 2 * util::kSecond;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    emit(ctx, step_time, victim_addrs[mid], config_.probe_port, check_probe(), std::nullopt,
+         net::Protocol::kHttp, /*malicious=*/true);
+    ++localization_probes_;
+    if (resident >= mid) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    step_time += util::kSecond;
+  }
+}
+
+}  // namespace cw::adversary

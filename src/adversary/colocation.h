@@ -1,0 +1,75 @@
+// The co-location prober family (DESIGN.md §8d), after the Shadow Hunting
+// artifacts (SNIPPETS.md §2): an attacker renting instances across cloud
+// providers and probing whether they share physical servers with victims.
+//
+// Simplified to this simulator's observable surface: for every city hosting
+// two or more cloud providers (Deployment::colocated_clouds — the paper's
+// Table 6 control set), the prober sweeps each cross-provider vantage pair
+// with a lock/check probe pair (the memory-bus-contention endpoints of the
+// artifact, modeled as HTTP requests). Whether a pair truly shares a server
+// is synthetic world state — a deterministic coin on (world seed, city,
+// pair) that every prober agrees on. On a detected sharing, the prober runs
+// the artifact's binary-search victim localization, emitting one check
+// probe per halving step against the victim vantage.
+//
+// The probe traffic lands in the capture path like any scan, which is what
+// the Table 6 extension in the sweep report aggregates; detection counters
+// stay attacker-side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "agents/actor.h"
+#include "net/asn.h"
+#include "net/ports.h"
+#include "topology/deployment.h"
+
+namespace cw::adversary {
+
+struct CoLocationProberConfig {
+  std::string label = "colocation";
+  net::Asn asn = 64901;
+  int sources = 3;
+  net::Port probe_port = 80;  // the lock/check endpoints ride plain HTTP
+  double share_rate = 0.5;    // ground-truth server-sharing rate per pair
+  double detect_rate = 0.9;   // probe sensitivity given true sharing
+  int passes = 2;             // full sweeps over the pair set
+  util::SimDuration first_pass = util::kHour;
+  util::SimDuration pass_spacing = 2 * util::kDay;
+  util::SimDuration pair_spacing = 10 * util::kMinute;
+};
+
+class CoLocationProber : public agents::Actor {
+ public:
+  // `world_seed` keys the synthetic server-sharing ground truth; probers of
+  // one experiment share it so they probe a consistent world.
+  CoLocationProber(capture::ActorId id, util::Rng rng, CoLocationProberConfig config,
+                   std::uint64_t world_seed);
+
+  void start(agents::AgentContext& ctx) override;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "colocation-prober"; }
+  [[nodiscard]] bool is_malicious() const noexcept override { return true; }
+
+  [[nodiscard]] std::uint64_t pairs_probed() const noexcept { return pairs_probed_; }
+  [[nodiscard]] std::uint64_t pairs_shared() const noexcept { return pairs_shared_; }
+  [[nodiscard]] std::uint64_t localization_probes() const noexcept {
+    return localization_probes_;
+  }
+
+ private:
+  void probe_pair(agents::AgentContext& ctx, util::SimTime t,
+                  const topology::Deployment::CoLocation& city, topology::VantageId victim,
+                  topology::VantageId attacker);
+  [[nodiscard]] bool shares_server(std::string_view city_code, topology::VantageId a,
+                                   topology::VantageId b) const noexcept;
+
+  CoLocationProberConfig config_;
+  std::uint64_t world_seed_;
+  std::uint64_t pairs_probed_ = 0;
+  std::uint64_t pairs_shared_ = 0;
+  std::uint64_t localization_probes_ = 0;
+};
+
+}  // namespace cw::adversary

@@ -1,0 +1,81 @@
+#include "adversary/moving_target.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cw::adversary {
+
+MovingTargetDefense::MovingTargetDefense(const topology::TargetUniverse& universe,
+                                         MovingTargetConfig config, util::Rng rng)
+    : universe_(&universe), config_(config), rng_(rng), ttl_(config.ttl) {
+  const auto& cloud = universe.of_type(topology::NetworkType::kCloud);
+  // Cap the pool at half the cloud space so pick_free_address() always finds
+  // a vacant slot quickly (and a rotation has somewhere to go).
+  const std::size_t cap = std::max<std::size_t>(1, cloud.size() / 2);
+  const std::size_t count =
+      std::min<std::size_t>(cap, static_cast<std::size_t>(std::max(0, config_.services)));
+  residence_.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    const net::IPv4Addr addr = pick_free_address();
+    by_address_.emplace(addr.value(), s);
+    residence_.push_back(addr);
+  }
+}
+
+net::IPv4Addr MovingTargetDefense::pick_free_address() {
+  const auto& cloud = universe_->of_type(topology::NetworkType::kCloud);
+  const auto& targets = universe_->targets();
+  for (;;) {
+    const std::size_t idx = static_cast<std::size_t>(rng_.next_below(cloud.size()));
+    const net::IPv4Addr addr = targets[cloud[idx]].address;
+    if (by_address_.find(addr.value()) == by_address_.end()) return addr;
+  }
+}
+
+void MovingTargetDefense::start(sim::Engine& engine, util::SimTime window_end) {
+  if (config_.rotate) {
+    for (std::size_t s = 0; s < residence_.size(); ++s) {
+      // Stagger the first expirations so the whole pool does not rotate in
+      // one burst at t = ttl.
+      const auto first = static_cast<util::SimTime>(
+          rng_.uniform_int(ttl_.ttl() / 2, std::max<util::SimDuration>(1, ttl_.ttl())));
+      schedule_rotation(engine, s, first, window_end);
+    }
+  }
+  for (util::SimTime t = config_.evaluation_epoch; t < window_end;
+       t += config_.evaluation_epoch) {
+    engine.schedule_at(t, [this](sim::Engine&) { ttl_.end_epoch(); });
+  }
+}
+
+void MovingTargetDefense::schedule_rotation(sim::Engine& engine, std::size_t service,
+                                            util::SimTime at, util::SimTime window_end) {
+  if (at >= window_end) return;
+  engine.schedule_at(at, [this, service, window_end](sim::Engine& e) {
+    by_address_.erase(residence_[service].value());
+    const net::IPv4Addr fresh = pick_free_address();
+    by_address_.emplace(fresh.value(), service);
+    residence_[service] = fresh;
+    ++rotations_;
+    schedule_rotation(e, service, e.now() + ttl_.ttl(), window_end);
+  });
+}
+
+bool MovingTargetDefense::record_attack(net::IPv4Addr addr) {
+  if (by_address_.find(addr.value()) == by_address_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  ttl_.record_attack();
+  return true;
+}
+
+DefenseAgent::DefenseAgent(capture::ActorId id, std::shared_ptr<MovingTargetDefense> defense)
+    : Actor(id, /*asn=*/0, /*source_count=*/1, util::Rng(id)), defense_(std::move(defense)) {}
+
+void DefenseAgent::start(agents::AgentContext& ctx) {
+  defense_->start(*ctx.engine, ctx.window_end);
+}
+
+}  // namespace cw::adversary

@@ -1,0 +1,95 @@
+// The moving-target defense loop (DESIGN.md §8b): a pool of ephemeral cloud
+// services, each resident at one monitored cloud address with a TTL. When a
+// TTL expires the service rotates to a fresh cloud address; an evaluation
+// epoch feeds the observed attack count into the TtlPolicy, which shrinks
+// the TTL under pressure and relaxes it when quiet.
+//
+// The defense is attacker-observable state only: record_attack() answers
+// "did that attack land on a live service?" without ever touching the
+// capture path, so enabling a defense changes what adaptive attackers do
+// next round — not what the collector records about the traffic they send.
+//
+// Determinism: placement and rotation draw from one dedicated Rng stream,
+// and every rotation/epoch event rides the shared sim::Engine heap, so runs
+// are byte-identical at any worker count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "adversary/policy.h"
+#include "agents/actor.h"
+#include "net/ipv4.h"
+#include "sim/engine.h"
+#include "topology/universe.h"
+#include "util/rng.h"
+
+namespace cw::adversary {
+
+struct MovingTargetConfig {
+  int services = 12;    // ephemeral services placed on distinct cloud addresses
+  bool rotate = true;   // false = static placement (a defender that never moves)
+  util::SimDuration evaluation_epoch = util::kDay;  // TtlPolicy cadence
+  TtlPolicyConfig ttl;
+};
+
+class MovingTargetDefense {
+ public:
+  MovingTargetDefense(const topology::TargetUniverse& universe, MovingTargetConfig config,
+                      util::Rng rng);
+
+  // Schedules rotation and evaluation-epoch events; call once before the
+  // window runs (DefenseAgent::start does).
+  void start(sim::Engine& engine, util::SimTime window_end);
+
+  // An attack landed on `addr`: true when an ephemeral service is currently
+  // resident there — the attacker's success signal and the defender's
+  // pressure signal, in one observation.
+  bool record_attack(net::IPv4Addr addr);
+
+  [[nodiscard]] std::size_t services() const noexcept { return residence_.size(); }
+  [[nodiscard]] bool rotates() const noexcept { return config_.rotate; }
+  [[nodiscard]] std::uint64_t rotations() const noexcept { return rotations_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] util::SimDuration current_ttl() const noexcept { return ttl_.ttl(); }
+  [[nodiscard]] const TtlPolicy& ttl_policy() const noexcept { return ttl_; }
+
+ private:
+  void schedule_rotation(sim::Engine& engine, std::size_t service, util::SimTime at,
+                         util::SimTime window_end);
+  [[nodiscard]] net::IPv4Addr pick_free_address();
+
+  const topology::TargetUniverse* universe_;
+  MovingTargetConfig config_;
+  util::Rng rng_;
+  TtlPolicy ttl_;
+  std::vector<net::IPv4Addr> residence_;               // service -> current address
+  std::unordered_map<std::uint32_t, std::size_t> by_address_;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+// Engine anchor for the defense: adopted into the population like any actor
+// so start_all() schedules the rotation loop, but it emits no traffic (the
+// defense is infrastructure, not a scanner). Shares ownership of the pool
+// with the adaptive attackers that probe it.
+class DefenseAgent : public agents::Actor {
+ public:
+  DefenseAgent(capture::ActorId id, std::shared_ptr<MovingTargetDefense> defense);
+
+  void start(agents::AgentContext& ctx) override;
+  [[nodiscard]] std::string_view kind() const noexcept override { return "mtd-defense"; }
+  [[nodiscard]] bool is_malicious() const noexcept override { return false; }
+
+  [[nodiscard]] const MovingTargetDefense& defense() const noexcept { return *defense_; }
+
+ private:
+  std::shared_ptr<MovingTargetDefense> defense_;
+};
+
+}  // namespace cw::adversary

@@ -1,0 +1,70 @@
+#include "adversary/policy.h"
+
+#include <algorithm>
+
+namespace cw::adversary {
+namespace {
+
+double clamp_probability(double p, double lo) noexcept {
+  return std::min(1.0, std::max(lo, p));
+}
+
+}  // namespace
+
+AdaptivePolicy::AdaptivePolicy(const AdaptivePolicyConfig& config) noexcept : config_(config) {
+  config_.min_probability = std::min(1.0, std::max(0.0, config_.min_probability));
+  probability_ = clamp_probability(config_.initial_probability, config_.min_probability);
+}
+
+void AdaptivePolicy::observe(bool success) noexcept {
+  ++attempts_;
+  if (success) {
+    ++successes_;
+    ++round_successes_;
+  }
+}
+
+double AdaptivePolicy::end_round() noexcept {
+  ++rounds_;
+  const bool barren = round_successes_ == 0;
+  round_successes_ = 0;
+  if (!config_.adaptive) return probability_;
+  if (!barren) {
+    barren_streak_ = 0;
+    probability_ = clamp_probability(probability_ * config_.raise, config_.min_probability);
+    return probability_;
+  }
+  if (++barren_streak_ >= config_.patience) {
+    // Keep decaying every round past the patience window: a long
+    // zero-success streak converges to the floor instead of oscillating.
+    probability_ = clamp_probability(probability_ * config_.decay, config_.min_probability);
+  }
+  return probability_;
+}
+
+TtlPolicy::TtlPolicy(const TtlPolicyConfig& config) noexcept : config_(config) {
+  config_.min_ttl = std::max<util::SimDuration>(1, config_.min_ttl);
+  config_.max_ttl = std::max(config_.min_ttl, config_.max_ttl);
+  ttl_ = std::clamp(config_.initial_ttl, config_.min_ttl, config_.max_ttl);
+}
+
+void TtlPolicy::record_attack() noexcept {
+  ++attacks_;
+  ++epoch_attacks_;
+}
+
+util::SimDuration TtlPolicy::end_epoch() noexcept {
+  ++epochs_;
+  const std::uint64_t seen = epoch_attacks_;
+  epoch_attacks_ = 0;
+  if (seen > config_.tolerable_attacks) {
+    ttl_ = std::max(config_.min_ttl,
+                    static_cast<util::SimDuration>(static_cast<double>(ttl_) * config_.shrink));
+  } else if (seen == 0) {
+    ttl_ = std::min(config_.max_ttl,
+                    static_cast<util::SimDuration>(static_cast<double>(ttl_) * config_.grow));
+  }
+  return ttl_;
+}
+
+}  // namespace cw::adversary

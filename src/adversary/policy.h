@@ -1,0 +1,96 @@
+// Attacker/defender policy state machines for the adversarial scenarios
+// (DESIGN.md §8). Both are pure state — no engine, no RNG: the agents feed
+// observations in event order and read the tuned knob back, so the policies
+// are unit-testable in isolation and trivially deterministic.
+//
+// Modeled on the thimblerig moving-target simulation (see SNIPPETS.md §1):
+// the attacker tunes its per-target attack probability from observed
+// success, and the defender tunes ephemeral-service TTLs against a
+// tolerable-attack threshold.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_time.h"
+
+namespace cw::adversary {
+
+// Attacker side. One "round" is one scheduled pass over the target space;
+// observe() feeds each attack's outcome, end_round() tunes the probability
+// used for the next pass.
+struct AdaptivePolicyConfig {
+  double initial_probability = 0.3;  // per-target attack probability at round 0
+  double min_probability = 0.02;     // floor: the attacker never fully stops
+  double raise = 1.5;                // multiplier after a round with any success
+  double decay = 0.5;                // multiplier once `patience` is exhausted
+  int patience = 2;                  // barren rounds tolerated before decaying
+  // false = a constant-probability attacker (thimblerig's DumbAttacker);
+  // end_round() still counts rounds but never moves the probability.
+  bool adaptive = true;
+};
+
+class AdaptivePolicy {
+ public:
+  AdaptivePolicy() noexcept : AdaptivePolicy(AdaptivePolicyConfig{}) {}
+  explicit AdaptivePolicy(const AdaptivePolicyConfig& config) noexcept;
+
+  void observe(bool success) noexcept;
+  // Ends the current round; returns the probability for the next one,
+  // clamped to [min_probability, 1].
+  double end_round() noexcept;
+
+  [[nodiscard]] double probability() const noexcept { return probability_; }
+  [[nodiscard]] double initial_probability() const noexcept {
+    return config_.initial_probability;
+  }
+  [[nodiscard]] std::uint64_t attempts() const noexcept { return attempts_; }
+  [[nodiscard]] std::uint64_t successes() const noexcept { return successes_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] int barren_streak() const noexcept { return barren_streak_; }
+
+ private:
+  AdaptivePolicyConfig config_{};
+  double probability_ = 0.0;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t successes_ = 0;
+  std::uint64_t round_successes_ = 0;
+  std::uint64_t rounds_ = 0;
+  int barren_streak_ = 0;
+};
+
+// Defender side: ephemeral-service TTL tuning. record_attack() counts every
+// attack that lands on a live service; end_epoch() compares the epoch's
+// count against the tolerable threshold and shrinks or grows the TTL used
+// for subsequent rotations.
+struct TtlPolicyConfig {
+  util::SimDuration initial_ttl = 12 * util::kHour;
+  util::SimDuration min_ttl = util::kHour;      // rotation-cost floor
+  util::SimDuration max_ttl = 4 * util::kDay;   // idle-defender ceiling
+  double shrink = 0.5;                   // applied when an epoch exceeds the threshold
+  double grow = 1.25;                    // applied when an epoch sees no attacks
+  std::uint64_t tolerable_attacks = 15;  // mean tolerable attack rate per epoch
+};
+
+class TtlPolicy {
+ public:
+  TtlPolicy() noexcept : TtlPolicy(TtlPolicyConfig{}) {}
+  explicit TtlPolicy(const TtlPolicyConfig& config) noexcept;
+
+  void record_attack() noexcept;
+  // Ends the current evaluation epoch; returns the TTL for subsequent
+  // rotations, clamped to [min_ttl, max_ttl].
+  util::SimDuration end_epoch() noexcept;
+
+  [[nodiscard]] util::SimDuration ttl() const noexcept { return ttl_; }
+  [[nodiscard]] std::uint64_t attacks() const noexcept { return attacks_; }
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+
+ private:
+  TtlPolicyConfig config_{};
+  util::SimDuration ttl_ = 0;
+  std::uint64_t attacks_ = 0;
+  std::uint64_t epoch_attacks_ = 0;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace cw::adversary

@@ -1,0 +1,164 @@
+#include "adversary/scenario.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "adversary/adaptive.h"
+#include "adversary/colocation.h"
+#include "agents/campaign.h"
+#include "agents/population.h"
+
+namespace cw::adversary {
+namespace {
+
+void install_attackers(agents::Population& population, const ScenarioConfig& config,
+                       const topology::TargetUniverse& universe, util::Rng& rng,
+                       capture::ActorId& next) {
+  std::shared_ptr<MovingTargetDefense> defense;
+  if (config.kind != ScenarioKind::kFixedAttackers) {
+    MovingTargetConfig mtd = config.defense;
+    mtd.rotate = config.kind == ScenarioKind::kMovingTarget;
+    defense = std::make_shared<MovingTargetDefense>(universe, mtd, rng.stream("mtd"));
+    population.adopt(std::make_unique<DefenseAgent>(next++, defense));
+  }
+  for (int i = 0; i < config.attackers; ++i) {
+    AdaptiveAttackerConfig attacker;
+    char label[32];
+    std::snprintf(label, sizeof(label), "adaptive-%d", i);
+    attacker.label = label;
+    attacker.asn = 64821 + static_cast<net::Asn>(i);
+    attacker.policy = config.policy;
+    attacker.policy.adaptive = config.kind != ScenarioKind::kFixedAttackers;
+    const capture::ActorId id = next++;
+    population.adopt(
+        std::make_unique<AdaptiveAttacker>(id, rng.stream(id), attacker, defense));
+  }
+}
+
+void install_probers(agents::Population& population, const ScenarioConfig& config,
+                     util::Rng& rng, std::uint64_t seed, capture::ActorId& next) {
+  for (int i = 0; i < config.probers; ++i) {
+    CoLocationProberConfig prober;
+    char label[32];
+    std::snprintf(label, sizeof(label), "colocation-%d", i);
+    prober.label = label;
+    prober.asn = 64901 + static_cast<net::Asn>(i);
+    prober.share_rate = config.share_rate;
+    // Stagger the probers' sweeps so their lock/check traffic interleaves.
+    prober.first_pass = util::kHour + i * 20 * util::kMinute;
+    const capture::ActorId id = next++;
+    population.adopt(std::make_unique<CoLocationProber>(id, rng.stream(id), prober, seed));
+  }
+}
+
+// Distinct-fingerprint scan families for the clustering evaluation: every
+// family pins its own (port, dictionary, favorite credential, cadence), so
+// sources of one family share a behavioral fingerprint that separates
+// cleanly from every other family's — the regime where a correct
+// implementation of analysis::clusters must score purity/ARI >= 0.9.
+void install_families(agents::Population& population, const ScenarioConfig& config,
+                      util::Rng& rng, capture::ActorId& next) {
+  // Credentials only survive capture on the cowrie ports (22/2222/23/2323),
+  // so every family lives on one of those; families sharing a port are told
+  // apart by disjoint dictionary slices (their distinct wordlists) and, for
+  // SSH, a per-operator client banner.
+  struct FamilyShape {
+    net::Port port;
+    proto::CredentialDictionary dictionary;
+    net::Protocol protocol;
+    int slice_offset;
+    int slice_count;
+    const char* ssh_software;  // nullptr = stock banner / telnet
+    util::SimDuration wave_duration;
+    int min_attempts;
+    int max_attempts;
+  };
+  static constexpr util::SimDuration kH = util::kHour;
+  const FamilyShape shapes[] = {
+      {22, proto::CredentialDictionary::kGenericSsh, net::Protocol::kSsh, 0, 10, "libssh2_1.4.3",
+       24 * kH, 4, 8},
+      {2222, proto::CredentialDictionary::kGenericSsh, net::Protocol::kSsh, 10, 10,
+       "Go_ssh_0.2", 12 * kH, 2, 4},
+      {23, proto::CredentialDictionary::kGenericTelnet, net::Protocol::kTelnet, 0, 7, nullptr,
+       24 * kH, 6, 10},
+      {2323, proto::CredentialDictionary::kMirai, net::Protocol::kTelnet, 0, 9, nullptr, 8 * kH,
+       3, 6},
+      {22, proto::CredentialDictionary::kMirai, net::Protocol::kSsh, 9, 9, "paramiko_2.7.1",
+       6 * kH, 2, 5},
+      {23, proto::CredentialDictionary::kMirai, net::Protocol::kTelnet, 18, 9, nullptr,
+       12 * kH, 1, 3},
+      {2323, proto::CredentialDictionary::kGenericTelnet, net::Protocol::kTelnet, 7, 8, nullptr,
+       24 * kH, 5, 9},
+      {2222, proto::CredentialDictionary::kHuaweiRegional, net::Protocol::kSsh, 0, 8,
+       "OpenSSH_5.3", 4 * kH, 2, 4},
+  };
+  constexpr int kShapeCount = static_cast<int>(sizeof(shapes) / sizeof(shapes[0]));
+  for (int f = 0; f < config.families; ++f) {
+    const FamilyShape& shape = shapes[f % kShapeCount];
+    agents::CampaignConfig family;
+    char label[32];
+    std::snprintf(label, sizeof(label), "family-%d", f);
+    family.label = label;
+    family.asn = 64851 + static_cast<net::Asn>(f);
+    family.sources = config.family_sources;
+    family.ports = {shape.port};
+    family.protocol = shape.protocol;
+    family.payload = agents::PayloadKind::kBruteforce;
+    family.dictionary = shape.dictionary;
+    family.dict_slice_offset = shape.slice_offset;
+    family.dict_slice_count = shape.slice_count;
+    if (shape.ssh_software != nullptr) family.ssh_software = shape.ssh_software;
+    // Pin the favorite credential hard: the family's sources share a
+    // dominant (username, password) from their own slice.
+    family.dict_offset = shape.slice_offset;
+    family.favorite_weight = 0.9;
+    family.malicious = true;
+    family.waves = static_cast<int>(util::kWeek / shape.wave_duration);
+    family.wave_duration = shape.wave_duration;
+    family.stable_subset = true;
+    family.min_attempts = shape.min_attempts;
+    family.max_attempts = shape.max_attempts;
+    family.filter.cloud_coverage = 1.0;
+    family.filter.edu_coverage = 0.5;
+    const capture::ActorId id = next++;
+    population.adopt(std::make_unique<agents::ScanCampaign>(id, rng.stream(id), family));
+  }
+}
+
+}  // namespace
+
+std::string_view scenario_kind_name(ScenarioKind kind) noexcept {
+  switch (kind) {
+    case ScenarioKind::kNone: return "none";
+    case ScenarioKind::kFixedAttackers: return "fixed-attackers";
+    case ScenarioKind::kAdaptiveAttackers: return "adaptive-attackers";
+    case ScenarioKind::kMovingTarget: return "moving-target";
+    case ScenarioKind::kColocation: return "colocation";
+    case ScenarioKind::kClusterFamilies: return "cluster-families";
+  }
+  return "unknown";
+}
+
+void install(agents::Population& population, const ScenarioConfig& config,
+             const topology::TargetUniverse& universe, std::uint64_t seed) {
+  if (config.kind == ScenarioKind::kNone) return;
+  util::Rng rng = util::Rng(seed).stream("adversary");
+  capture::ActorId next = population.next_actor_id();
+  switch (config.kind) {
+    case ScenarioKind::kNone: break;
+    case ScenarioKind::kFixedAttackers:
+    case ScenarioKind::kAdaptiveAttackers:
+    case ScenarioKind::kMovingTarget:
+      install_attackers(population, config, universe, rng, next);
+      break;
+    case ScenarioKind::kColocation:
+      install_probers(population, config, rng, seed, next);
+      break;
+    case ScenarioKind::kClusterFamilies:
+      install_families(population, config, rng, next);
+      break;
+  }
+}
+
+}  // namespace cw::adversary

@@ -1,0 +1,62 @@
+// Scenario configuration for the adversarial extensions (DESIGN.md §8).
+// core::ExperimentConfig embeds a ScenarioConfig; install() is called by
+// LiveExperiment after the standard population is built and before the
+// reputation oracle is constructed, so adversary actors join ground truth
+// and start_all() like any population member.
+//
+// The default (ScenarioKind::kNone) installs nothing and draws no
+// randomness: baseline corpora stay bit-for-bit identical to pre-adversary
+// builds (the golden-hash CI tiers depend on this).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "adversary/moving_target.h"
+#include "adversary/policy.h"
+
+namespace cw::agents {
+class Population;
+}  // namespace cw::agents
+
+namespace cw::adversary {
+
+// Which adversarial extension the experiment runs.
+enum class ScenarioKind : std::uint8_t {
+  kNone = 0,
+  kFixedAttackers,     // constant-probability attackers, static services
+  kAdaptiveAttackers,  // adaptive probability against static services
+  kMovingTarget,       // adaptive probability against rotating services
+  kColocation,         // Shadow-Hunting co-location probe family
+  kClusterFamilies,    // distinct-fingerprint families for analysis::clusters
+};
+
+std::string_view scenario_kind_name(ScenarioKind kind) noexcept;
+
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kNone;
+  // When set (clustering evaluation), the standard population is skipped
+  // entirely: the corpus holds crawler traffic plus the scenario's actors,
+  // so ground-truth family labels are the only attack structure present.
+  bool replace_population = false;
+
+  // kFixedAttackers / kAdaptiveAttackers / kMovingTarget
+  int attackers = 6;
+  AdaptivePolicyConfig policy;
+  MovingTargetConfig defense;  // `rotate` is forced by the kind
+
+  // kColocation
+  int probers = 3;
+  double share_rate = 0.5;
+
+  // kClusterFamilies
+  int families = 8;
+  int family_sources = 12;
+};
+
+// Appends the scenario's actors to the population, numbering them after the
+// existing members. Pure function of (population, config, universe, seed).
+void install(agents::Population& population, const ScenarioConfig& config,
+             const topology::TargetUniverse& universe, std::uint64_t seed);
+
+}  // namespace cw::adversary

@@ -97,7 +97,12 @@ void ScanCampaign::scan_target(AgentContext& ctx, util::SimTime time,
           rng_.uniform_int(config_.min_attempts, std::max(config_.max_attempts, config_.min_attempts)));
       const auto& dict = proto::dictionary(config_.dictionary);
       for (int i = 0; i < attempts; ++i) {
-        proto::Credential credential = proto::sample_credential(config_.dictionary, rng_);
+        proto::Credential credential =
+            config_.dict_slice_count > 0
+                ? proto::sample_credential_slice(
+                      config_.dictionary, static_cast<std::size_t>(config_.dict_slice_offset),
+                      static_cast<std::size_t>(config_.dict_slice_count), rng_)
+                : proto::sample_credential(config_.dictionary, rng_);
         if (config_.favorite_weight > 0.0 && rng_.bernoulli(config_.favorite_weight)) {
           const proto::Credential& favorite =
               dict[static_cast<std::size_t>(config_.dict_offset) % dict.size()];
@@ -105,7 +110,9 @@ void ScanCampaign::scan_target(AgentContext& ctx, util::SimTime time,
           if (!config_.favorite_username_only) credential.password = favorite.password;
         }
         const std::string banner = protocol == net::Protocol::kSsh
-                                       ? proto::ssh_client_banner()
+                                       ? (config_.ssh_software.empty()
+                                              ? proto::ssh_client_banner()
+                                              : proto::ssh_client_banner(config_.ssh_software))
                                        : proto::telnet_negotiation();
         emit(ctx, time + i * 3 * util::kSecond, target.address, port, banner,
              std::move(credential), protocol, /*malicious=*/true);

@@ -73,6 +73,17 @@ struct CampaignConfig {
   int dict_offset = 0;
   double favorite_weight = 0.0;
   bool favorite_username_only = false;
+  // Restrict popularity sampling to dictionary[dict_slice_offset,
+  // dict_slice_offset + dict_slice_count) — an operator running their own
+  // excerpt of a public wordlist (the adversary cluster families use
+  // disjoint slices as distinct fingerprints). A zero count samples the
+  // whole dictionary, byte-identical to the historical behavior.
+  int dict_slice_offset = 0;
+  int dict_slice_count = 0;
+  // SSH client software banner; empty keeps the stock banner. Distinct
+  // operators ship distinct client stacks, which Cowrie-style capture
+  // records verbatim — a payload-level fingerprint facet.
+  std::string ssh_software;
   std::optional<proto::ExploitKind> exploit;
   bool malicious = false;
 

@@ -82,8 +82,9 @@ void SearchEngineMiner::attack(AgentContext& ctx, net::IPv4Addr target) {
   }
   // Brute-force burst: many *unique* credentials in a short window — the
   // spike signature the KS test detects.
-  const int attempts = static_cast<int>(
-      rng_.uniform_int(config_.burst_attempts_min, config_.burst_attempts_max));
+  const int attempts = static_cast<int>(rng_.uniform_int(
+      config_.burst_attempts_min,
+      std::max(config_.burst_attempts_max, config_.burst_attempts_min)));
   std::set<std::pair<std::string, std::string>> used;
   for (int i = 0; i < attempts; ++i) {
     proto::Credential credential = proto::sample_credential(config_.dictionary, rng_);

@@ -45,6 +45,21 @@ class Population {
   // Ground-truth intent per actor id (feeds the reputation oracle).
   [[nodiscard]] std::unordered_map<capture::ActorId, bool> ground_truth() const;
 
+  // Installs an extra actor after build() — used by adversary scenarios to
+  // graft adaptive attackers, defenders, and probers onto (or in place of)
+  // the calibrated population.
+  void adopt(std::unique_ptr<Actor> actor) { actors_.push_back(std::move(actor)); }
+
+  // Smallest actor id that is safe for an adopted actor: past the crawler
+  // reservations and every actor built so far.
+  [[nodiscard]] capture::ActorId next_actor_id() const noexcept {
+    capture::ActorId next = kFirstPopulationActorId;
+    for (const std::unique_ptr<Actor>& actor : actors_) {
+      next = std::max(next, static_cast<capture::ActorId>(actor->id() + 1));
+    }
+    return next;
+  }
+
   // Reserved actor ids for infrastructure "actors" whose traffic is emitted
   // outside the population (the search-engine crawlers).
   static constexpr capture::ActorId kCensysActorId = 1;

@@ -90,6 +90,18 @@ LiveExperiment::LiveExperiment(ExperimentConfig config)
   result->population_ = std::make_unique<agents::Population>(
       agents::Population::build(population_config, result->deployment_));
 
+  // Adversarial scenarios graft extra actors onto the population (or swap it
+  // out entirely for a controlled ground-truth one) before the oracle reads
+  // ground_truth() below, so grafted actors get reputations too. kNone is a
+  // strict no-op: the calibrated runs' bytes are untouched.
+  if (config_.adversary.kind != adversary::ScenarioKind::kNone) {
+    if (config_.adversary.replace_population) {
+      result->population_ = std::make_unique<agents::Population>();
+    }
+    adversary::install(*result->population_, config_.adversary, *result->universe_,
+                       config_.seed ^ 0x61647673ULL);
+  }
+
   // The measurement context does not depend on the captured traffic, so a
   // live run has it from epoch zero: classification and reputation work on
   // partial corpora exactly as they do on the final one.

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <vector>
 
+#include "adversary/scenario.h"
 #include "agents/population.h"
 #include "analysis/malicious.h"
 #include "analysis/oracle.h"
@@ -48,6 +49,11 @@ struct ExperimentConfig {
   // Optional transparent firewall in front of the vantage points
   // (Section 7 ablations; see capture::SignatureFirewall).
   capture::Collector::FirewallHook firewall;
+  // Optional adversarial scenario grafted onto (or replacing) the calibrated
+  // population: adaptive attackers, a moving-target defense, co-location
+  // probers, or ground-truth cluster families. kNone leaves the run
+  // untouched — zero extra actors, zero extra RNG draws.
+  adversary::ScenarioConfig adversary;
 };
 
 // The completed run. Movable-only; owns every substrate so analyses can

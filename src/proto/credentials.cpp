@@ -1,5 +1,7 @@
 #include "proto/credentials.h"
 
+#include <algorithm>
+
 namespace cw::proto {
 
 const std::vector<Credential>& dictionary(CredentialDictionary dict) {
@@ -53,6 +55,17 @@ const Credential& sample_credential(CredentialDictionary dict, util::Rng& rng,
   const std::vector<Credential>& entries = dictionary(dict);
   const std::uint64_t rank = rng.zipf(entries.size(), zipf_exponent);
   return entries[static_cast<std::size_t>(rank)];
+}
+
+const Credential& sample_credential_slice(CredentialDictionary dict, std::size_t offset,
+                                          std::size_t count, util::Rng& rng,
+                                          double zipf_exponent) {
+  const std::vector<Credential>& entries = dictionary(dict);
+  offset = std::min(offset, entries.size() - 1);
+  const std::size_t available = entries.size() - offset;
+  const std::size_t width = count == 0 ? available : std::min(count, available);
+  const std::uint64_t rank = rng.zipf(width, zipf_exponent);
+  return entries[offset + static_cast<std::size_t>(rank)];
 }
 
 }  // namespace cw::proto

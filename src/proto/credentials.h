@@ -35,4 +35,12 @@ const std::vector<Credential>& dictionary(CredentialDictionary dict);
 const Credential& sample_credential(CredentialDictionary dict, util::Rng& rng,
                                     double zipf_exponent = 1.2);
 
+// Draws from a contiguous slice [offset, offset + count) of the dictionary —
+// an operator running their own excerpt of a public wordlist. Out-of-range
+// slices clamp to the dictionary tail; a zero count means the whole tail
+// from `offset`. Same Zipf head-heaviness, over the slice's own ranks.
+const Credential& sample_credential_slice(CredentialDictionary dict, std::size_t offset,
+                                          std::size_t count, util::Rng& rng,
+                                          double zipf_exponent = 1.2);
+
 }  // namespace cw::proto

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "adversary/scenario.h"
+#include "agents/population.h"
 #include "runner/thread_pool.h"
 #include "util/rng.h"
 
@@ -60,6 +62,13 @@ std::vector<CellResult> Fleet::run(const Campaign& campaign) const {
       out.records = handle.records;
       out.events = handle.events;
       out.findings = extract_findings(*handle.result, cell.analysis, pool_);
+      if (cell.analysis.cluster_attackers) {
+        out.clusters = extract_clusters(*handle.result, cell.analysis, pool_);
+      }
+      if (cell.analysis.colocation_probes) {
+        out.colocation = render_colocation(*handle.result, cell.analysis, pool_);
+      }
+      out.adversary = render_adversary(*handle.result);
     }
     // `handle` (engine corpus, frame, cached tables, and any spill substrate
     // in its context) is released here, so a fleet's memory high-water tracks
@@ -141,6 +150,121 @@ Campaign make_stress_campaign(const CampaignParams& params, std::size_t engines)
     campaign.cells.push_back(std::move(cell));
   }
   return campaign;
+}
+
+namespace {
+
+// Shared base config for the adversary grids.
+core::ExperimentConfig adversary_base(const CampaignParams& params) {
+  core::ExperimentConfig config;
+  config.scale = params.scale;
+  config.telescope_slash24s = params.telescope_slash24s;
+  config.year = params.year;
+  return config;
+}
+
+std::vector<capture::ActorId> crawler_ids() {
+  return {agents::Population::kCensysActorId, agents::Population::kShodanActorId};
+}
+
+}  // namespace
+
+Campaign make_adaptive_campaign(const CampaignParams& params) {
+  Campaign campaign;
+  campaign.name = "adaptive";
+  campaign.seed = params.seed;
+  const auto add = [&](std::string label, adversary::ScenarioKind kind,
+                       const std::function<void(adversary::ScenarioConfig&)>& tweak = {}) {
+    FleetCell cell;
+    cell.label = label;
+    cell.sim_label = std::move(label);  // every scenario is its own simulation
+    cell.config = adversary_base(params);
+    cell.config.adversary.kind = kind;
+    if (tweak) tweak(cell.config.adversary);
+    campaign.cells.push_back(std::move(cell));
+  };
+  add("baseline", adversary::ScenarioKind::kNone);
+  add("fixed", adversary::ScenarioKind::kFixedAttackers);
+  add("adaptive", adversary::ScenarioKind::kAdaptiveAttackers);
+  add("mtd", adversary::ScenarioKind::kMovingTarget);
+  add("mtd-fast", adversary::ScenarioKind::kMovingTarget, [](adversary::ScenarioConfig& sc) {
+    sc.defense.ttl.initial_ttl = 4 * util::kHour;
+    sc.defense.ttl.min_ttl = util::kHour;
+    sc.defense.ttl.tolerable_attacks = 5;
+  });
+  return campaign;
+}
+
+Campaign make_colocation_campaign(const CampaignParams& params) {
+  Campaign campaign;
+  campaign.name = "colocation";
+  campaign.seed = params.seed;
+  const auto add = [&](std::string label, adversary::ScenarioKind kind, int probers,
+                       double share_rate) {
+    FleetCell cell;
+    cell.label = label;
+    cell.sim_label = std::move(label);
+    cell.config = adversary_base(params);
+    cell.config.adversary.kind = kind;
+    cell.config.adversary.probers = probers;
+    cell.config.adversary.share_rate = share_rate;
+    cell.analysis.colocation_probes = true;
+    campaign.cells.push_back(std::move(cell));
+  };
+  add("baseline", adversary::ScenarioKind::kNone, 0, 0.5);
+  add("probers", adversary::ScenarioKind::kColocation, 3, 0.5);
+  add("dense", adversary::ScenarioKind::kColocation, 8, 0.7);
+  return campaign;
+}
+
+Campaign make_clustering_campaign(const CampaignParams& params) {
+  Campaign campaign;
+  campaign.name = "clustering";
+  campaign.seed = params.seed;
+  const auto add = [&](std::string label, adversary::ScenarioKind kind, bool replace) {
+    FleetCell cell;
+    cell.label = label;
+    cell.sim_label = std::move(label);
+    cell.config = adversary_base(params);
+    cell.config.adversary.kind = kind;
+    cell.config.adversary.replace_population = replace;
+    cell.analysis.cluster_attackers = true;
+    cell.analysis.cluster.exclude_actors = crawler_ids();
+    campaign.cells.push_back(std::move(cell));
+  };
+  // The acceptance cell: distinct-fingerprint families with no background
+  // population, where the partition must recover actor identity (purity and
+  // ARI >= 0.9; tests/analysis/clusters_test.cpp pins this).
+  add("families", adversary::ScenarioKind::kClusterFamilies, /*replace=*/true);
+  // The same families on top of the calibrated background noise.
+  add("families+bg", adversary::ScenarioKind::kClusterFamilies, /*replace=*/false);
+  // The calibrated population by itself: how separable the paper's own
+  // attacker classes are.
+  add("population", adversary::ScenarioKind::kNone, /*replace=*/false);
+  return campaign;
+}
+
+const std::vector<CampaignInfo>& campaign_registry() {
+  static const std::vector<CampaignInfo> kRegistry = {
+      {"ablation", "one corpus, analysis variants top-k x Bonferroni (DESIGN.md 6)"},
+      {"calibration", "seed streams x population scales, paper-default analysis"},
+      {"stress", "N single-cell one-day engines; exercises the harness itself"},
+      {"adaptive", "adaptive attackers vs fixed policy and moving-target defense"},
+      {"colocation", "cross-provider co-location probers over the Table 6 control set"},
+      {"clustering", "ground-truth attacker families scored by clustering purity/ARI"},
+  };
+  return kRegistry;
+}
+
+std::optional<Campaign> make_campaign(std::string_view name, const CampaignParams& params,
+                                      std::size_t stress_engines) {
+  if (name == "ablation") return make_ablation_campaign(params);
+  if (name == "calibration") return make_calibration_campaign(params);
+  if (name == "stress") return make_stress_campaign(params, stress_engines);
+  if (name == "adaptive") return make_adaptive_campaign(params);
+  if (name == "colocation") return make_colocation_campaign(params);
+  if (name == "clustering") return make_clustering_campaign(params);
+  return std::nullopt;
 }
 
 }  // namespace cw::runner

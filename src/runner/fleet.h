@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -83,6 +84,13 @@ struct CellResult {
   std::uint64_t records = 0;  // corpus size the findings were extracted from
   std::uint64_t events = 0;   // engine events processed by the simulation
   CellFindings findings{};
+  // Present iff the cell's AnalysisOptions enabled attacker clustering.
+  std::optional<analysis::ClusterScores> clusters;
+  // Rendered blocks, "" when the cell has nothing to report (the common
+  // case); render_cell appends them verbatim so the baseline report bytes
+  // are unchanged.
+  std::string colocation;
+  std::string adversary;
 };
 
 class Fleet {
@@ -140,5 +148,39 @@ Campaign make_calibration_campaign(const CampaignParams& params = {});
 // `scripts/check.sh stress` tier, which pins scale/telescope small so a
 // thousand engines stay cheap.
 Campaign make_stress_campaign(const CampaignParams& params = {}, std::size_t engines = 1000);
+
+// Adversarial scenario grid (DESIGN.md §8): five simulations over the same
+// calibrated population — no adversary (baseline), fixed-probability
+// attackers, adaptive attackers against static services, adaptive attackers
+// against a rotating moving-target defense, and an aggressive-rotation
+// variant — so the matrix shows how the seven headline deltas shift when
+// the attacker adapts and the defender rotates.
+Campaign make_adaptive_campaign(const CampaignParams& params = {});
+
+// Co-location probing grid: baseline, a small prober family, and a dense
+// high-share-rate variant, each cell reporting the per-city cross-provider
+// probe summary next to the paper findings.
+Campaign make_colocation_campaign(const CampaignParams& params = {});
+
+// Ground-truth clustering grid: distinct-fingerprint attacker families
+// alone (the ≥0.9 purity/ARI acceptance cell), the same families on top of
+// the calibrated background population, and the calibrated population by
+// itself — every cell clustered and scored against actor identity.
+Campaign make_clustering_campaign(const CampaignParams& params = {});
+
+// ---------------------------------------------------------------------------
+// The preset registry (`cloudwatch_cli sweep --list`). Names match the CLI's
+// positional campaign argument; make_campaign returns nullopt for unknown
+// names so the CLI can print the registry as the error message.
+
+struct CampaignInfo {
+  std::string_view name;
+  std::string_view description;
+};
+
+[[nodiscard]] const std::vector<CampaignInfo>& campaign_registry();
+[[nodiscard]] std::optional<Campaign> make_campaign(std::string_view name,
+                                                    const CampaignParams& params = {},
+                                                    std::size_t stress_engines = 1000);
 
 }  // namespace cw::runner

@@ -2,7 +2,12 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <map>
+#include <set>
 
+#include "adversary/adaptive.h"
+#include "adversary/colocation.h"
+#include "adversary/moving_target.h"
 #include "agents/population.h"
 #include "analysis/geography.h"
 #include "analysis/neighborhood.h"
@@ -234,6 +239,130 @@ CellFindings extract_findings(const core::ExperimentResult& result,
   return findings;
 }
 
+analysis::ClusterScores extract_clusters(const core::ExperimentResult& result,
+                                         const AnalysisOptions& options, ThreadPool* pool) {
+  const auto& segments = result.segment_frames();
+  const analysis::ClusterResult clustered =
+      segments.empty()
+          ? analysis::cluster_attackers(result.frame(pool), options.cluster)
+          : analysis::cluster_attackers(segments, options.cluster, result.segment_pager());
+  return clustered.scores;
+}
+
+namespace {
+
+// Per-city probe tally, accumulated frame by frame (so the spill path folds
+// segments into the same totals the cumulative frame produces).
+struct CityTally {
+  std::uint64_t records = 0;
+  // src -> distinct vantage ids hit in this city; a source touching >= 2 is
+  // a cross-provider prober (CoLocation lists one vantage per provider).
+  std::map<std::uint32_t, std::set<topology::VantageId>> sources;
+};
+
+void tally_colocation(const capture::SessionFrame& frame, net::Port port,
+                      const std::vector<topology::Deployment::CoLocation>& cities,
+                      std::vector<CityTally>& tallies) {
+  frame.for_port(port).for_each([&](std::uint32_t i) {
+    const topology::VantageId vantage = frame.vantage(i);
+    for (std::size_t c = 0; c < cities.size(); ++c) {
+      bool member = false;
+      for (const topology::VantageId id : cities[c].vantage_ids) member |= id == vantage;
+      if (!member) continue;
+      CityTally& tally = tallies[c];
+      ++tally.records;
+      tally.sources[frame.src(i)].insert(vantage);
+      break;
+    }
+  });
+}
+
+}  // namespace
+
+std::string render_colocation(const core::ExperimentResult& result,
+                              const AnalysisOptions& options, ThreadPool* pool) {
+  const auto cities = result.deployment().colocated_clouds();
+  std::vector<CityTally> tallies(cities.size());
+  const auto& segments = result.segment_frames();
+  if (segments.empty()) {
+    tally_colocation(result.frame(pool), options.colocation_port, cities, tallies);
+  } else {
+    const analysis::SegmentPager& pager = result.segment_pager();
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      if (pager) pager(s, true);
+      tally_colocation(*segments[s], options.colocation_port, cities, tallies);
+      if (pager) pager(s, false);
+    }
+  }
+  std::string out = format("\n### co-location probes (port %u)\n\n",
+                           static_cast<unsigned>(options.colocation_port));
+  for (std::size_t c = 0; c < cities.size(); ++c) {
+    const CityTally& tally = tallies[c];
+    std::size_t cross = 0;
+    for (const auto& [src, vantages] : tally.sources) cross += vantages.size() >= 2 ? 1 : 0;
+    out += format("- %s (%zu providers): %llu records, %zu sources, %zu cross-provider\n",
+                  cities[c].city_code.c_str(), cities[c].vantage_ids.size(),
+                  static_cast<unsigned long long>(tally.records), tally.sources.size(), cross);
+  }
+  return out;
+}
+
+std::string render_adversary(const core::ExperimentResult& result) {
+  std::size_t attackers = 0;
+  double probability_sum = 0.0;
+  std::uint64_t known = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t successes = 0;
+  const adversary::MovingTargetDefense* defense = nullptr;
+  std::size_t probers = 0;
+  std::uint64_t pairs_probed = 0;
+  std::uint64_t pairs_shared = 0;
+  std::uint64_t localization = 0;
+  for (const auto& actor : result.population().actors()) {
+    if (const auto* attacker = dynamic_cast<const adversary::AdaptiveAttacker*>(actor.get())) {
+      ++attackers;
+      probability_sum += attacker->policy().probability();
+      known += attacker->known_services();
+      attempts += attacker->policy().attempts();
+      successes += attacker->policy().successes();
+    } else if (const auto* agent = dynamic_cast<const adversary::DefenseAgent*>(actor.get())) {
+      defense = &agent->defense();
+    } else if (const auto* prober = dynamic_cast<const adversary::CoLocationProber*>(actor.get())) {
+      ++probers;
+      pairs_probed += prober->pairs_probed();
+      pairs_shared += prober->pairs_shared();
+      localization += prober->localization_probes();
+    }
+  }
+  std::string out;
+  if (attackers > 0) {
+    out += format(
+        "- adversary: %zu adaptive attackers, mean probability %.4f, %llu known services, "
+        "%llu/%llu attacks landed\n",
+        attackers, probability_sum / static_cast<double>(attackers),
+        static_cast<unsigned long long>(known), static_cast<unsigned long long>(successes),
+        static_cast<unsigned long long>(attempts));
+  }
+  if (defense != nullptr) {
+    out += format(
+        "- defense: %zu services (%s), %llu rotations, %llu hits / %llu misses, ttl %lld min\n",
+        defense->services(), defense->rotates() ? "rotating" : "static",
+        static_cast<unsigned long long>(defense->rotations()),
+        static_cast<unsigned long long>(defense->hits()),
+        static_cast<unsigned long long>(defense->misses()),
+        static_cast<long long>(defense->current_ttl() / util::kMinute));
+  }
+  if (probers > 0) {
+    out += format(
+        "- probers: %zu co-location probers, %llu pairs probed, %llu shared, "
+        "%llu localization probes\n",
+        probers, static_cast<unsigned long long>(pairs_probed),
+        static_cast<unsigned long long>(pairs_shared),
+        static_cast<unsigned long long>(localization));
+  }
+  return out;
+}
+
 std::string render_cell(const CellResult& cell) {
   std::string out = "## cell " + cell.label + "\n\n";
   out += format("sim %s, seed 0x%016llx, %llu records, %llu events\n\n", cell.sim_label.c_str(),
@@ -245,6 +374,16 @@ std::string render_cell(const CellResult& cell) {
                   std::string(finding_name(outcome.finding)).c_str(), outcome.effect,
                   outcome.detail.c_str());
   }
+  if (cell.clusters.has_value()) {
+    const analysis::ClusterScores& scores = *cell.clusters;
+    out += format(
+        "- clusters: %zu clusters over %zu sources (%zu true actors), purity %.4f, "
+        "ARI %.4f, assignment fnv %016llx\n",
+        scores.clusters, scores.entities, scores.truth_actors, scores.purity, scores.ari,
+        static_cast<unsigned long long>(scores.assignment_fnv));
+  }
+  out += cell.adversary;
+  out += cell.colocation;
   return out;
 }
 
@@ -301,6 +440,81 @@ std::string SweepReport::render(const Campaign& campaign,
     out += render_cell(cell);
     out += "\n";
   }
+  return out;
+}
+
+namespace {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_cell_json(const CellResult& cell) {
+  std::string out = "    {\n";
+  out += "      \"label\": \"" + json_escape(cell.label) + "\",\n";
+  out += "      \"sim\": \"" + json_escape(cell.sim_label) + "\",\n";
+  out += format("      \"seed\": \"%016llx\",\n", static_cast<unsigned long long>(cell.seed));
+  out += format("      \"records\": %llu,\n", static_cast<unsigned long long>(cell.records));
+  out += format("      \"events\": %llu,\n", static_cast<unsigned long long>(cell.events));
+  out += "      \"findings\": [\n";
+  for (std::size_t f = 0; f < kPaperFindingCount; ++f) {
+    const FindingOutcome& outcome = cell.findings[f];
+    out += "        {\"name\": \"" + json_escape(finding_name(outcome.finding)) + "\", " +
+           format("\"holds\": %s, \"effect\": %.6f, ", outcome.holds ? "true" : "false",
+                  outcome.effect) +
+           "\"detail\": \"" + json_escape(outcome.detail) + "\"}" +
+           (f + 1 < kPaperFindingCount ? ",\n" : "\n");
+  }
+  out += "      ]";
+  if (cell.clusters.has_value()) {
+    const analysis::ClusterScores& scores = *cell.clusters;
+    out += format(
+        ",\n      \"clusters\": {\"entities\": %zu, \"clusters\": %zu, "
+        "\"truth_actors\": %zu, \"purity\": %.6f, \"ari\": %.6f, "
+        "\"assignment_fnv\": \"%016llx\"}",
+        scores.entities, scores.clusters, scores.truth_actors, scores.purity, scores.ari,
+        static_cast<unsigned long long>(scores.assignment_fnv));
+  }
+  if (!cell.adversary.empty()) {
+    out += ",\n      \"adversary\": \"" + json_escape(cell.adversary) + "\"";
+  }
+  if (!cell.colocation.empty()) {
+    out += ",\n      \"colocation\": \"" + json_escape(cell.colocation) + "\"";
+  }
+  out += "\n    }";
+  return out;
+}
+
+}  // namespace
+
+std::string SweepReport::render_json(const Campaign& campaign,
+                                     const std::vector<CellResult>& results) {
+  std::string out = "{\n";
+  out += "  \"campaign\": \"" + json_escape(campaign.name) + "\",\n";
+  out += format("  \"seed\": \"%016llx\",\n", static_cast<unsigned long long>(campaign.seed));
+  out += format("  \"cells\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out += render_cell_json(results[i]);
+    out += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
   return out;
 }
 

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/clusters.h"
 #include "core/experiment.h"
 
 namespace cw::runner {
@@ -37,6 +38,16 @@ struct CellResult;  // fleet.h
 struct AnalysisOptions {
   std::size_t top_k = 3;       // union size of the Section 3.3 recipe
   bool use_bonferroni = true;  // Table 2 neighborhood family correction
+  // Attacker clustering (analysis::clusters): fingerprint malicious sources
+  // and score the partition against ground-truth actor identity. Off by
+  // default — only the clustering presets pay for the O(n^2) linkage.
+  bool cluster_attackers = false;
+  analysis::ClusterOptions cluster;
+  // Co-location probe summary (DESIGN.md §8b): per colocated city, how many
+  // probe-port records and distinct cross-provider sources landed on cloud
+  // vantage points.
+  bool colocation_probes = false;
+  net::Port colocation_port = 80;
 };
 
 // The paper findings a sweep tracks across cells, in render order.
@@ -74,6 +85,26 @@ using CellFindings = std::array<FindingOutcome, kPaperFindingCount>;
 CellFindings extract_findings(const core::ExperimentResult& result,
                               const AnalysisOptions& options, ThreadPool* pool = nullptr);
 
+// Clusters the corpus's malicious sources and scores them against ground
+// truth (options.cluster). Walks the result's segment frames when bound
+// (spill mode), else the cumulative frame — identical scores either way.
+analysis::ClusterScores extract_clusters(const core::ExperimentResult& result,
+                                         const AnalysisOptions& options,
+                                         ThreadPool* pool = nullptr);
+
+// Renders the per-city co-location probe summary (empty campaign → counts of
+// zero, still rendered so the block's presence tracks the toggle, not the
+// traffic). Deterministic markdown, one line per colocated city.
+std::string render_colocation(const core::ExperimentResult& result,
+                              const AnalysisOptions& options, ThreadPool* pool = nullptr);
+
+// Renders the adversary-side instrumentation lines for a finished cell:
+// adaptive-attacker probabilities and learned-service counts, the defense's
+// rotation/hit counters and final TTL, and prober pair statistics. Returns
+// "" when the population holds no adversary actors, so baseline cells'
+// report bytes are untouched.
+std::string render_adversary(const core::ExperimentResult& result);
+
 // One cell's standalone report block: label, sim/seed provenance, corpus
 // size, then a markdown checklist of the seven verdicts. This exact string
 // is what the fleet writes per cell (`cloudwatch_cli sweep --cells-dir`)
@@ -86,6 +117,12 @@ std::string render_cell(const CellResult& cell);
 // 0.412), footer rows for per-cell provenance, and the per-cell blocks.
 struct SweepReport {
   static std::string render(const Campaign& campaign, const std::vector<CellResult>& results);
+  // Machine-readable variant: one JSON object with campaign provenance and a
+  // `cells` array carrying every field render() prints (findings, cluster
+  // scores, adversary/colocation blocks). Stable key order; bytes are as
+  // deterministic as the markdown.
+  static std::string render_json(const Campaign& campaign,
+                                 const std::vector<CellResult>& results);
 };
 
 }  // namespace cw::runner

@@ -1,0 +1,135 @@
+#include "adversary/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace cw::adversary {
+namespace {
+
+TEST(AdaptivePolicy, RaisesOnSuccessAndClampsAtOne) {
+  AdaptivePolicyConfig config;
+  config.initial_probability = 0.5;
+  config.raise = 2.0;
+  AdaptivePolicy policy(config);
+  policy.observe(true);
+  EXPECT_DOUBLE_EQ(policy.end_round(), 1.0);
+  // Further successful rounds stay pinned at the ceiling.
+  policy.observe(true);
+  EXPECT_DOUBLE_EQ(policy.end_round(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.probability(), 1.0);
+  EXPECT_EQ(policy.successes(), 2u);
+  EXPECT_EQ(policy.attempts(), 2u);
+}
+
+TEST(AdaptivePolicy, ZeroSuccessStreakDecaysToFloor) {
+  AdaptivePolicyConfig config;
+  config.initial_probability = 0.8;
+  config.min_probability = 0.05;
+  config.decay = 0.5;
+  config.patience = 2;
+  AdaptivePolicy policy(config);
+  // The first barren round is within patience: no movement yet.
+  policy.observe(false);
+  EXPECT_DOUBLE_EQ(policy.end_round(), 0.8);
+  EXPECT_EQ(policy.barren_streak(), 1);
+  // Once patience is exhausted every further barren round decays, and a long
+  // streak converges to the floor instead of oscillating above it.
+  for (int i = 0; i < 20; ++i) {
+    policy.observe(false);
+    policy.end_round();
+  }
+  EXPECT_DOUBLE_EQ(policy.probability(), 0.05);
+  EXPECT_EQ(policy.successes(), 0u);
+  EXPECT_GE(policy.barren_streak(), config.patience);
+}
+
+TEST(AdaptivePolicy, SuccessResetsBarrenStreak) {
+  AdaptivePolicyConfig config;
+  config.initial_probability = 0.4;
+  config.raise = 1.5;
+  config.patience = 3;
+  AdaptivePolicy policy(config);
+  policy.observe(false);
+  policy.end_round();
+  policy.observe(false);
+  policy.end_round();
+  EXPECT_EQ(policy.barren_streak(), 2);
+  policy.observe(true);
+  policy.end_round();
+  EXPECT_EQ(policy.barren_streak(), 0);
+  EXPECT_DOUBLE_EQ(policy.probability(), 0.6);
+}
+
+TEST(AdaptivePolicy, InitialProbabilityIsClampedToValidRange) {
+  AdaptivePolicyConfig config;
+  config.initial_probability = 7.0;
+  config.min_probability = 0.1;
+  EXPECT_DOUBLE_EQ(AdaptivePolicy(config).probability(), 1.0);
+  config.initial_probability = 0.001;  // below the floor
+  EXPECT_DOUBLE_EQ(AdaptivePolicy(config).probability(), 0.1);
+}
+
+TEST(AdaptivePolicy, NonAdaptiveFreezesProbabilityButCountsRounds) {
+  AdaptivePolicyConfig config;
+  config.initial_probability = 0.3;
+  config.adaptive = false;
+  AdaptivePolicy policy(config);
+  policy.observe(true);
+  EXPECT_DOUBLE_EQ(policy.end_round(), 0.3);
+  for (int i = 0; i < 10; ++i) {
+    policy.observe(false);
+    policy.end_round();
+  }
+  EXPECT_DOUBLE_EQ(policy.probability(), 0.3);
+  EXPECT_EQ(policy.rounds(), 11u);
+}
+
+TEST(TtlPolicy, ShrinksUnderPressureDownToFloor) {
+  TtlPolicyConfig config;
+  config.initial_ttl = 8 * util::kHour;
+  config.min_ttl = util::kHour;
+  config.shrink = 0.5;
+  config.tolerable_attacks = 2;
+  TtlPolicy policy(config);
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    for (int i = 0; i < 5; ++i) policy.record_attack();
+    policy.end_epoch();
+  }
+  // 8h halves three times to the 1h floor and stays there.
+  EXPECT_EQ(policy.ttl(), util::kHour);
+  EXPECT_EQ(policy.attacks(), 50u);
+  EXPECT_EQ(policy.epochs(), 10u);
+}
+
+TEST(TtlPolicy, GrowsWhenQuietUpToCeiling) {
+  TtlPolicyConfig config;
+  config.initial_ttl = util::kDay;
+  config.max_ttl = 2 * util::kDay;
+  config.grow = 1.5;
+  TtlPolicy policy(config);
+  EXPECT_EQ(policy.end_epoch(), static_cast<util::SimDuration>(1.5 * util::kDay));
+  EXPECT_EQ(policy.end_epoch(), 2 * util::kDay);  // clamped
+  EXPECT_EQ(policy.end_epoch(), 2 * util::kDay);
+}
+
+TEST(TtlPolicy, TolerableLoadHoldsTtlSteady) {
+  TtlPolicyConfig config;
+  config.initial_ttl = 6 * util::kHour;
+  config.tolerable_attacks = 10;
+  TtlPolicy policy(config);
+  for (int i = 0; i < 10; ++i) policy.record_attack();  // exactly tolerable
+  EXPECT_EQ(policy.end_epoch(), 6 * util::kHour);
+}
+
+TEST(TtlPolicy, InitialTtlClampedIntoBounds) {
+  TtlPolicyConfig config;
+  config.initial_ttl = 10 * util::kDay;
+  config.max_ttl = util::kDay;
+  EXPECT_EQ(TtlPolicy(config).ttl(), util::kDay);
+  config.initial_ttl = util::kMinute;
+  config.min_ttl = util::kHour;
+  config.max_ttl = util::kDay;
+  EXPECT_EQ(TtlPolicy(config).ttl(), util::kHour);
+}
+
+}  // namespace
+}  // namespace cw::adversary

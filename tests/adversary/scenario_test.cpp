@@ -1,0 +1,238 @@
+#include "adversary/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/adaptive.h"
+#include "adversary/colocation.h"
+#include "agents/population.h"
+#include "capture/collector.h"
+#include "sim/engine.h"
+
+namespace cw::adversary {
+namespace {
+
+// Two cloud vantages from distinct providers in one region, so
+// colocated_clouds() yields exactly one probe-able city pair.
+struct AdversaryWorld {
+  topology::Deployment deployment;
+  std::unique_ptr<topology::TargetUniverse> universe;
+  std::unique_ptr<capture::Collector> collector;
+  sim::Engine engine;
+  agents::AgentContext ctx;
+
+  AdversaryWorld() {
+    topology::VantagePoint aws;
+    aws.id = 0;
+    aws.name = "AWS/AP-SG";
+    aws.provider = topology::Provider::kAws;
+    aws.type = topology::NetworkType::kCloud;
+    aws.region = net::make_region("SG");
+    aws.addresses = topology::Deployment::allocate_block(net::IPv4Addr(3, 0, 7, 1), 32);
+    aws.open_ports = {22, 80};
+    deployment.add(std::move(aws));
+
+    topology::VantagePoint gcp;
+    gcp.id = 1;
+    gcp.name = "Google/AP-SG";
+    gcp.provider = topology::Provider::kGoogle;
+    gcp.type = topology::NetworkType::kCloud;
+    gcp.region = net::make_region("SG");
+    gcp.addresses = topology::Deployment::allocate_block(net::IPv4Addr(34, 1, 0, 1), 32);
+    gcp.open_ports = {22, 80};
+    deployment.add(std::move(gcp));
+
+    universe = std::make_unique<topology::TargetUniverse>(deployment);
+    collector = std::make_unique<capture::Collector>(*universe);
+    ctx.engine = &engine;
+    ctx.universe = universe.get();
+    ctx.collector = collector.get();
+    ctx.window_end = util::kWeek;
+  }
+};
+
+TEST(MovingTargetDefense, PlacesServicesOnDistinctCloudAddresses) {
+  AdversaryWorld world;
+  MovingTargetConfig config;
+  config.services = 8;
+  MovingTargetDefense defense(*world.universe, config, util::Rng(11));
+  EXPECT_EQ(defense.services(), 8u);
+  // Every resident address answers record_attack with a hit, exactly once
+  // per address (they are distinct).
+  EXPECT_EQ(defense.hits(), 0u);
+  EXPECT_TRUE(defense.record_attack(net::IPv4Addr(0)) == false);
+  EXPECT_EQ(defense.misses(), 1u);
+}
+
+TEST(MovingTargetDefense, RotationMovesServicesAndCountsEpochs) {
+  AdversaryWorld world;
+  MovingTargetConfig config;
+  config.services = 4;
+  config.ttl.initial_ttl = 6 * util::kHour;
+  config.ttl.min_ttl = util::kHour;
+  MovingTargetDefense defense(*world.universe, config, util::Rng(11));
+  defense.start(world.engine, util::kWeek);
+  world.engine.run_until(util::kWeek);
+  // ~4 services x ~28 expirations/week; the exact count is seeded, the
+  // floor is what matters: rotation actually ran.
+  EXPECT_GT(defense.rotations(), 20u);
+  EXPECT_EQ(defense.ttl_policy().epochs(), 6u);  // one eval epoch per full day
+}
+
+TEST(MovingTargetDefense, StaticPlacementNeverRotates) {
+  AdversaryWorld world;
+  MovingTargetConfig config;
+  config.services = 4;
+  config.rotate = false;
+  MovingTargetDefense defense(*world.universe, config, util::Rng(11));
+  defense.start(world.engine, util::kWeek);
+  world.engine.run_until(util::kWeek);
+  EXPECT_EQ(defense.rotations(), 0u);
+  EXPECT_FALSE(defense.rotates());
+}
+
+TEST(MovingTargetDefense, IdenticalSeedsGiveIdenticalPlacement) {
+  AdversaryWorld world;
+  MovingTargetConfig config;
+  config.services = 6;
+  MovingTargetDefense a(*world.universe, config, util::Rng(42));
+  MovingTargetDefense b(*world.universe, config, util::Rng(42));
+  // Same seed, same universe: the placements agree address for address, so
+  // an attack that hits one hits the other.
+  for (const auto& target : world.universe->targets()) {
+    EXPECT_EQ(a.record_attack(target.address), b.record_attack(target.address));
+  }
+  EXPECT_EQ(a.hits(), 6u);
+  EXPECT_EQ(a.hits(), b.hits());
+  EXPECT_EQ(a.misses(), b.misses());
+}
+
+TEST(AdaptiveAttacker, StaticWorldRailsProbabilityToOne) {
+  AdversaryWorld world;
+  AdaptiveAttackerConfig config;
+  config.sources = 2;
+  config.round = util::kDay;
+  config.policy.initial_probability = 0.3;
+  // No defense: every attack lands, so the adaptive policy raises through
+  // every round up to the ceiling.
+  AdaptiveAttacker attacker(300, util::Rng(7), config, nullptr);
+  attacker.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  EXPECT_DOUBLE_EQ(attacker.policy().probability(), 1.0);
+  EXPECT_EQ(attacker.policy().successes(), attacker.policy().attempts());
+  EXPECT_GT(attacker.known_services(), 0u);
+  EXPECT_GT(world.collector->store().size(), 0u);
+}
+
+TEST(AdaptiveAttacker, RotatingDefenseProducesMisses) {
+  AdversaryWorld world;
+  MovingTargetConfig mtd;
+  mtd.services = 4;
+  mtd.ttl.initial_ttl = 4 * util::kHour;
+  mtd.ttl.min_ttl = util::kHour;
+  auto defense =
+      std::make_shared<MovingTargetDefense>(*world.universe, mtd, util::Rng(11));
+  defense->start(world.engine, util::kWeek);
+
+  AdaptiveAttackerConfig config;
+  config.sources = 2;
+  config.round = util::kDay;
+  AdaptiveAttacker attacker(301, util::Rng(7), config, defense);
+  attacker.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  // 64 cloud targets, 4 live services: most explore attacks miss.
+  EXPECT_GT(defense->misses(), defense->hits());
+  EXPECT_LT(attacker.policy().successes(), attacker.policy().attempts());
+}
+
+TEST(CoLocationProber, ProbesCrossProviderPairsAndLocalizes) {
+  AdversaryWorld world;
+  CoLocationProberConfig config;
+  config.share_rate = 1.0;   // the synthetic world always shares
+  config.detect_rate = 1.0;  // and the probe always detects it
+  config.passes = 1;
+  CoLocationProber prober(302, util::Rng(9), config, /*world_seed=*/77);
+  prober.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  EXPECT_EQ(prober.pairs_probed(), 1u);  // one city, one AWS-GCP pair
+  EXPECT_EQ(prober.pairs_shared(), 1u);
+  // Binary search over the 32-address victim vantage: log2(32) = 5 steps.
+  EXPECT_EQ(prober.localization_probes(), 5u);
+  // 2 lock/check probes + 5 localization probes hit the capture path.
+  EXPECT_EQ(world.collector->store().size(), 7u);
+}
+
+TEST(CoLocationProber, ZeroShareRateProbesButNeverLocalizes) {
+  AdversaryWorld world;
+  CoLocationProberConfig config;
+  config.share_rate = 0.0;
+  config.passes = 2;
+  CoLocationProber prober(303, util::Rng(9), config, /*world_seed=*/77);
+  prober.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  EXPECT_EQ(prober.pairs_probed(), 2u);
+  EXPECT_EQ(prober.pairs_shared(), 0u);
+  EXPECT_EQ(prober.localization_probes(), 0u);
+}
+
+TEST(Scenario, InstallNoneIsANoOp) {
+  AdversaryWorld world;
+  agents::Population population;
+  ScenarioConfig config;  // kind = kNone
+  install(population, config, *world.universe, 123);
+  EXPECT_EQ(population.size(), 0u);
+}
+
+TEST(Scenario, InstallAddsTheConfiguredActors) {
+  AdversaryWorld world;
+  {
+    agents::Population population;
+    ScenarioConfig config;
+    config.kind = ScenarioKind::kFixedAttackers;
+    config.attackers = 3;
+    install(population, config, *world.universe, 123);
+    EXPECT_EQ(population.size(), 3u);  // no defense agent in the fixed world
+  }
+  {
+    agents::Population population;
+    ScenarioConfig config;
+    config.kind = ScenarioKind::kMovingTarget;
+    config.attackers = 3;
+    install(population, config, *world.universe, 123);
+    EXPECT_EQ(population.size(), 4u);  // defense agent + attackers
+  }
+  {
+    agents::Population population;
+    ScenarioConfig config;
+    config.kind = ScenarioKind::kClusterFamilies;
+    config.families = 5;
+    install(population, config, *world.universe, 123);
+    EXPECT_EQ(population.size(), 5u);
+    for (const auto& actor : population.actors()) {
+      EXPECT_TRUE(actor->is_malicious());
+      EXPECT_GE(actor->id(), agents::Population::kFirstPopulationActorId);
+    }
+  }
+}
+
+TEST(Scenario, InstalledActorIdsContinueAfterExistingMembers) {
+  AdversaryWorld world;
+  agents::Population population;
+  ScenarioConfig config;
+  config.kind = ScenarioKind::kColocation;
+  config.probers = 2;
+  install(population, config, *world.universe, 123);
+  ASSERT_EQ(population.size(), 2u);
+  const capture::ActorId first = population.actors()[0]->id();
+  EXPECT_EQ(first, agents::Population::kFirstPopulationActorId);
+  EXPECT_EQ(population.actors()[1]->id(), first + 1);
+  EXPECT_EQ(population.next_actor_id(), first + 2);
+}
+
+TEST(Scenario, KindNamesAreStable) {
+  EXPECT_EQ(scenario_kind_name(ScenarioKind::kNone), "none");
+  EXPECT_EQ(scenario_kind_name(ScenarioKind::kMovingTarget), "moving-target");
+  EXPECT_EQ(scenario_kind_name(ScenarioKind::kClusterFamilies), "cluster-families");
+}
+
+}  // namespace
+}  // namespace cw::adversary

@@ -107,6 +107,41 @@ TEST(FingerprintingEvader, DetectionVerdictIsStableAcrossWaves) {
   }
 }
 
+TEST(FingerprintingEvader, DetectionRateOutsideUnitIntervalClampsToCertainty) {
+  // The per-address detection coin is compared against the configured rate
+  // directly, so out-of-range rates must behave like their clamped values
+  // (the adaptive adversary loop feeds tuned probabilities into this path).
+  EvaderWorld everything;
+  FingerprintingEvader paranoid(210, util::Rng(3), config_with_rate(2.5));
+  paranoid.start(everything.ctx);
+  everything.engine.run_until(util::kWeek);
+  EXPECT_EQ(paranoid.evaded(), paranoid.probed());
+  EXPECT_EQ(everything.malicious_records(), 0u);
+
+  EvaderWorld nothing;
+  FingerprintingEvader naive(211, util::Rng(3), config_with_rate(-3.0));
+  naive.start(nothing.ctx);
+  nothing.engine.run_until(util::kWeek);
+  EXPECT_EQ(naive.evaded(), 0u);
+  EXPECT_GT(nothing.malicious_records(), 0u);
+}
+
+TEST(FingerprintingEvader, ZeroSuccessStreakKeepsProbingWithoutAttacking) {
+  // Full detection across many waves: the evader's attack success streak is
+  // zero for the whole window, yet each wave still pays the recon probe —
+  // counters accumulate linearly and no attack ever fires.
+  EvaderWorld world;
+  EvaderConfig config = config_with_rate(1.0);
+  config.waves = 4;
+  FingerprintingEvader evader(212, util::Rng(3), config);
+  evader.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  EXPECT_EQ(evader.probed(), 4u * 64u);
+  EXPECT_EQ(evader.evaded(), 4u * 64u);
+  EXPECT_EQ(world.malicious_records(), 0u);
+  EXPECT_EQ(world.collector->store().size(), 4u * 64u);
+}
+
 TEST(FingerprintingEvader, ProbesAreBenignOnTheWire) {
   EvaderWorld world;
   FingerprintingEvader evader(204, util::Rng(3), config_with_rate(1.0));

@@ -176,6 +176,61 @@ TEST(SearchEngineMiner, BannerQueryTargetsMatchingSoftware) {
   EXPECT_TRUE(other.destinations_of(108).empty());
 }
 
+TEST(SearchEngineMiner, ZeroSuccessStreakNeverAttacks) {
+  // The index stays empty for the whole window: every one of the ~14 query
+  // rounds comes back dry and the miner must emit nothing at all — a
+  // zero-success streak never degenerates into blind scanning.
+  MinerWorld world;
+  MinerConfig config = ssh_miner_config();
+  config.query_interval = 12 * util::kHour;
+  SearchEngineMiner miner(109, util::Rng(5), config);
+  miner.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  EXPECT_TRUE(world.destinations_of(109).empty());
+  EXPECT_EQ(world.collector->store().size(), 0u);
+}
+
+TEST(SearchEngineMiner, AttackFractionClampsAtZeroAndOne) {
+  // attack_fraction rides Rng::bernoulli, which clamps out-of-range
+  // probabilities: <= 0 attacks nothing even with a populated index, >= 1
+  // attacks every hit.
+  MinerWorld silent_world;
+  silent_world.crawl_now();
+  MinerConfig none = ssh_miner_config();
+  none.attack_fraction = -0.5;
+  SearchEngineMiner silent(110, util::Rng(5), none);
+  silent.start(silent_world.ctx);
+  silent_world.engine.run_until(util::kWeek);
+  EXPECT_TRUE(silent_world.destinations_of(110).empty());
+
+  MinerWorld eager_world;
+  eager_world.crawl_now();
+  MinerConfig all = ssh_miner_config();
+  all.attack_fraction = 2.0;
+  SearchEngineMiner eager(111, util::Rng(5), all);
+  eager.start(eager_world.ctx);
+  eager_world.engine.run_until(util::kWeek);
+  // Both indexed addresses attacked; the unindexed third never is.
+  const auto destinations = eager_world.destinations_of(111);
+  EXPECT_TRUE(destinations.contains(net::IPv4Addr(3, 0, 0, 1).value()));
+  EXPECT_TRUE(destinations.contains(net::IPv4Addr(3, 0, 0, 2).value()));
+  EXPECT_FALSE(destinations.contains(net::IPv4Addr(3, 0, 0, 3).value()));
+}
+
+TEST(SearchEngineMiner, InvertedBurstBoundsDoNotUnderflow) {
+  // min > max is a config mistake the burst sampler must tolerate (the
+  // uniform draw is clamped, not undefined).
+  MinerWorld world;
+  world.crawl_now();
+  MinerConfig config = ssh_miner_config();
+  config.burst_attempts_min = 9;
+  config.burst_attempts_max = 3;
+  SearchEngineMiner miner(112, util::Rng(5), config);
+  miner.start(world.ctx);
+  world.engine.run_until(util::kWeek);
+  EXPECT_FALSE(world.destinations_of(112).empty());
+}
+
 TEST(NmapProber, AvoidsCensysIndexedTargets) {
   MinerWorld world;
   world.crawl_now();  // addresses .1 and .2 are now live on Censys

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "runner/fleet.h"
+#include "runner/sweep.h"
+#include "runner/thread_pool.h"
+
+namespace cw::runner {
+namespace {
+
+TEST(CampaignRegistry, ListsEveryPresetWithADescription) {
+  const auto& registry = campaign_registry();
+  ASSERT_EQ(registry.size(), 6u);
+  std::set<std::string_view> names;
+  for (const CampaignInfo& info : registry) {
+    names.insert(info.name);
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    // Every listed name resolves through the factory, with the registry
+    // name as the campaign name.
+    const auto campaign = make_campaign(info.name);
+    ASSERT_TRUE(campaign.has_value()) << info.name;
+    EXPECT_EQ(campaign->name, info.name);
+    EXPECT_FALSE(campaign->cells.empty()) << info.name;
+  }
+  EXPECT_EQ(names.size(), registry.size());  // no duplicate names
+  EXPECT_TRUE(names.contains("adaptive"));
+  EXPECT_TRUE(names.contains("colocation"));
+  EXPECT_TRUE(names.contains("clustering"));
+}
+
+TEST(CampaignRegistry, UnknownNameReturnsNullopt) {
+  EXPECT_FALSE(make_campaign("no-such-campaign").has_value());
+  EXPECT_FALSE(make_campaign("").has_value());
+}
+
+TEST(AdversaryCampaigns, AdaptiveGridCoversBaselineToMovingTarget) {
+  const Campaign campaign = make_adaptive_campaign();
+  ASSERT_EQ(campaign.cells.size(), 5u);
+  EXPECT_EQ(campaign.cells[0].config.adversary.kind, adversary::ScenarioKind::kNone);
+  EXPECT_EQ(campaign.cells[1].config.adversary.kind, adversary::ScenarioKind::kFixedAttackers);
+  EXPECT_EQ(campaign.cells[2].config.adversary.kind,
+            adversary::ScenarioKind::kAdaptiveAttackers);
+  EXPECT_EQ(campaign.cells[3].config.adversary.kind, adversary::ScenarioKind::kMovingTarget);
+  EXPECT_EQ(campaign.cells[4].config.adversary.kind, adversary::ScenarioKind::kMovingTarget);
+  std::set<std::string> sims;
+  for (const FleetCell& cell : campaign.cells) sims.insert(cell.sim_label);
+  EXPECT_EQ(sims.size(), 5u);  // every scenario simulates its own world
+}
+
+TEST(AdversaryCampaigns, ClusteringCellsScoreAgainstGroundTruth) {
+  const Campaign campaign = make_clustering_campaign();
+  ASSERT_EQ(campaign.cells.size(), 3u);
+  for (const FleetCell& cell : campaign.cells) {
+    EXPECT_TRUE(cell.analysis.cluster_attackers);
+    // Crawler traffic is infrastructure, not attacker behavior.
+    EXPECT_FALSE(cell.analysis.cluster.exclude_actors.empty());
+  }
+  EXPECT_TRUE(campaign.cells[0].config.adversary.replace_population);
+  EXPECT_FALSE(campaign.cells[2].config.adversary.replace_population);
+}
+
+TEST(AdversaryCampaigns, ColocationCellsEnableTheProbeTally) {
+  const Campaign campaign = make_colocation_campaign();
+  ASSERT_EQ(campaign.cells.size(), 3u);
+  for (const FleetCell& cell : campaign.cells) {
+    EXPECT_TRUE(cell.analysis.colocation_probes);
+  }
+}
+
+// End-to-end: a two-cell fixed-vs-rotating grid at tiny scale. The rendered
+// cells must carry the adversary blocks, and the defense must change what
+// the adaptive attackers report.
+TEST(AdversaryFleet, FixedAndRotatingCellsReportAdversaryState) {
+  Campaign campaign;
+  campaign.name = "adv-tiny";
+  campaign.seed = 0x616476ULL;
+  const auto add = [&](std::string label, adversary::ScenarioKind kind) {
+    FleetCell cell;
+    cell.label = label;
+    cell.sim_label = std::move(label);
+    cell.config.scale = 0.05;
+    cell.config.telescope_slash24s = 4;
+    cell.config.duration = 2 * util::kDay;
+    cell.config.adversary.kind = kind;
+    cell.config.adversary.attackers = 3;
+    campaign.cells.push_back(std::move(cell));
+  };
+  add("fixed", adversary::ScenarioKind::kFixedAttackers);
+  add("mtd", adversary::ScenarioKind::kMovingTarget);
+
+  ThreadPool pool(2);
+  const std::vector<CellResult> results = Fleet(pool).run(campaign);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].adversary.find("- adversary: 3 adaptive attackers"),
+            std::string::npos);
+  EXPECT_EQ(results[0].adversary.find("- defense:"), std::string::npos);
+  EXPECT_NE(results[1].adversary.find("- defense:"), std::string::npos);
+  EXPECT_NE(results[1].adversary.find("rotating"), std::string::npos);
+  EXPECT_NE(results[0].adversary, results[1].adversary);
+  for (const CellResult& cell : results) {
+    EXPECT_NE(render_cell(cell).find(cell.adversary), std::string::npos);
+  }
+
+  // The JSON rendering carries the same state machine-readably.
+  const std::string json = SweepReport::render_json(campaign, results);
+  EXPECT_NE(json.find("\"campaign\""), std::string::npos);
+  EXPECT_NE(json.find("\"adversary\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cw::runner
